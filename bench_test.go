@@ -1,0 +1,81 @@
+package repro_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each drives the corresponding experiment in quick mode
+// (the full-scale runs are `ajexp <name>` without -quick); the
+// benchmark numbers measure how long regenerating the artifact takes,
+// and the experiment assertions live in internal/experiments tests.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchCfg() experiments.Config { return experiments.Config{Quick: true, Seed: 1} }
+
+func benchExperiment(b *testing.B, name string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(name, io.Discard, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI regenerates Table I: the seven SuiteSparse analogues
+// and their measured spectral properties.
+func BenchmarkTableI(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig1 regenerates Figure 1: propagation-matrix
+// expressibility of the two worked 4-process traces.
+func BenchmarkFig1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2 regenerates Figure 2: fraction of propagated
+// relaxations vs thread count on the CPU and Phi FD matrices.
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3 regenerates Figure 3: async/sync speedup vs the delay
+// of one worker (model and simulated machine).
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates Figure 4: residual histories under
+// different delays in model time.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Figure 5: strong scaling of sync vs async
+// on the FD n=4624 problem (time to tolerance and time for 100 sweeps).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6: synchronous divergence vs
+// asynchronous convergence on the FE matrix as threads increase.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7: residual vs relaxations/n for the
+// Table I problems, sync and async across process counts.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8: virtual time to a factor-10
+// residual reduction vs process count.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9: Dubcova2 divergence under sync,
+// convergence under async at growing process counts.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkAblations regenerates the design-choice ablation tables
+// (partitioner, latency, skew, termination detection, eager scheme).
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkRates regenerates the rate-validation table (predicted
+// rho(G) vs measured sync/async per-sweep factors).
+func BenchmarkRates(b *testing.B) { benchExperiment(b, "rates") }
+
+// BenchmarkStaleness regenerates the information-age tables from real
+// asynchronous traces.
+func BenchmarkStaleness(b *testing.B) { benchExperiment(b, "staleness") }
+
+// BenchmarkStaleModel regenerates the bounded-staleness sensitivity
+// table.
+func BenchmarkStaleModel(b *testing.B) { benchExperiment(b, "stalemodel") }

@@ -1,0 +1,71 @@
+// Command ajexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ajexp [-quick] [-seed N] all
+//	ajexp [-quick] [-seed N] table1 fig3 fig7 ...
+//
+// Each experiment prints the same rows/series the paper reports (see
+// EXPERIMENTS.md for the paper-vs-measured comparison).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink sweeps and problem sizes for a fast smoke run")
+	seed := flag.Uint64("seed", 0, "random seed (0 = library default)")
+	repeats := flag.Int("repeats", 1, "average jitter-sensitive measurements over this many seeds (fig8)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	format := flag.String("format", "text", "output format: text | csv | plot (csv/plot cover a subset of experiments)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ajexp [-quick] [-seed N] {all | %s}\n",
+			strings.Join(experiments.Names(), " | "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ajexp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ajexp: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Repeats: *repeats}
+	for _, name := range args {
+		var err error
+		switch {
+		case name == "all" && *format == "csv":
+			err = fmt.Errorf("csv format is per-experiment; name one of %v", experiments.Names())
+		case name == "all":
+			err = experiments.RunAll(os.Stdout, cfg)
+		case *format == "csv":
+			err = experiments.RunCSV(name, os.Stdout, cfg)
+		case *format == "plot":
+			err = experiments.RunPlot(name, os.Stdout, cfg)
+		default:
+			err = experiments.Run(name, os.Stdout, cfg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ajexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command ajtrace records and analyzes asynchronous relaxation traces —
+// the raw material of the paper's Fig 2 methodology ("we printed the
+// solution components that i read from other rows for each relaxation
+// of i").
+//
+// Usage examples:
+//
+//	ajtrace -gen fd -nx 5 -ny 8 -threads 8 -iters 50 -out trace.jsonl
+//	ajtrace -in trace.jsonl                # analyze a saved trace
+//	ajtrace -gen fd -nx 16 -ny 17 -threads 272 -iters 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/shm"
+)
+
+func main() {
+	gen := flag.String("gen", "fd", "matrix: fd | fe")
+	nx := flag.Int("nx", 5, "grid x dimension")
+	ny := flag.Int("ny", 8, "grid y dimension")
+	threads := flag.Int("threads", 8, "asynchronous workers")
+	iters := flag.Int("iters", 50, "local iterations per worker")
+	yieldProb := flag.Float64("yieldprob", 0.02, "per-row mid-iteration yield probability")
+	out := flag.String("out", "", "write the raw trace as JSON Lines")
+	in := flag.String("in", "", "analyze a saved trace instead of recording one")
+	seed := flag.Uint64("seed", 2018, "seed for b and x0")
+	flag.Parse()
+
+	var trace *model.Trace
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ajtrace: %v\n", err)
+			os.Exit(1)
+		}
+		trace, err = model.ReadTraceJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ajtrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded trace: n=%d events=%d\n", trace.N, len(trace.Events))
+	} else {
+		a, err := cli.BuildMatrix(*gen, *nx, *ny, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ajtrace: %v\n", err)
+			os.Exit(1)
+		}
+		cfg := experiments.Config{Seed: *seed}
+		rng := cfg.NewRNG(0x7ace)
+		b := experiments.RandomVec(rng, a.N)
+		x0 := experiments.RandomVec(rng, a.N)
+		res := shm.Solve(a, b, x0, shm.Options{
+			Threads:     *threads,
+			MaxIters:    *iters,
+			Async:       true,
+			RecordTrace: true,
+			YieldProb:   *yieldProb,
+		})
+		trace = res.Trace
+		fmt.Printf("recorded trace: n=%d threads=%d events=%d (final rel res %.3g)\n",
+			a.N, *threads, len(trace.Events), res.RelRes)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ajtrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "ajtrace: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	an, err := trace.Analyze()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ajtrace: analyze: %v\n", err)
+		os.Exit(1)
+	}
+	st, err := trace.Staleness()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ajtrace: staleness: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("propagated:  %d/%d (%.1f%%) across %d parallel steps\n",
+		an.Propagated, an.Total, 100*an.Fraction, len(an.Steps))
+	fmt.Printf("staleness:   fresh %.1f%%, mean %.3f, p95 %d, max %d (over %d reads)\n",
+		100*st.FracFresh, st.Mean, st.P95, st.Max, st.Reads)
+	// Parallel-step width distribution: how many rows the propagation
+	// matrices relax at once.
+	if len(an.Steps) > 0 {
+		minW, maxW, sumW := trace.N+1, 0, 0
+		for _, s := range an.Steps {
+			if len(s) < minW {
+				minW = len(s)
+			}
+			if len(s) > maxW {
+				maxW = len(s)
+			}
+			sumW += len(s)
+		}
+		fmt.Printf("step widths: min %d, mean %.1f, max %d\n",
+			minW, float64(sumW)/float64(len(an.Steps)), maxW)
+	}
+}

@@ -1,0 +1,76 @@
+// Package repro is a Go reproduction of "Convergence Models and
+// Surprising Results for the Asynchronous Jacobi Method"
+// (Wolfson-Pou and Chow, IPDPS 2018).
+//
+// The package re-exports the solver API of internal/core so downstream
+// users have a single import:
+//
+//	a := repro.FD2D(68, 68)                       // a test matrix
+//	b := make([]float64, a.N)                     // right-hand side
+//	res, err := repro.Solve(a, b, repro.Options{
+//	    Method: repro.JacobiAsync, Threads: 16, Tol: 1e-6,
+//	})
+//
+// The full machinery lives in the internal packages:
+//
+//	internal/model       the paper's propagation-matrix model (Sec. IV)
+//	internal/shm         shared-memory sync/async Jacobi (Sec. V)
+//	internal/dist        MPI-like substrate: point-to-point + RMA (Sec. VI)
+//	internal/cluster     discrete-event simulator for at-scale runs
+//	internal/sparse      CSR/COO kernels, MatrixMarket I/O
+//	internal/matgen      FD/FE generators and Table I analogues
+//	internal/spectral    rho(G), rho(|G|), eigenvalue extremes
+//	internal/partition   BFS (METIS stand-in) and contiguous partitioners
+//	internal/experiments every table and figure of the evaluation
+//
+// See README.md for an overview, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the paper-vs-measured record.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// Method selects the stationary iteration; see the constants below.
+type Method = core.Method
+
+// Methods re-exported from internal/core.
+const (
+	JacobiSync   = core.JacobiSync
+	JacobiAsync  = core.JacobiAsync
+	GaussSeidel  = core.GaussSeidel
+	SOR          = core.SOR
+	MulticolorGS = core.MulticolorGS
+	BlockJacobi  = core.BlockJacobi
+)
+
+// Options configure Solve; see internal/core.Options.
+type Options = core.Options
+
+// Result reports a solve; see internal/core.Result.
+type Result = core.Result
+
+// Matrix is the CSR sparse matrix type all solvers operate on.
+type Matrix = sparse.CSR
+
+// Solve runs the selected method on a unit-diagonal symmetric system.
+func Solve(a *Matrix, b []float64, opt Options) (*Result, error) {
+	return core.Solve(a, b, opt)
+}
+
+// Prepare symmetrically scales an SPD system to the unit-diagonal form
+// Solve requires, returning the scaled matrix and right-hand side plus
+// a function mapping scaled solutions back to original variables.
+func Prepare(a *Matrix, b []float64) (*Matrix, []float64, func([]float64) []float64, error) {
+	return core.Prepare(a, b)
+}
+
+// FD2D builds the paper's five-point finite-difference Laplacian test
+// matrix on an nx-by-ny grid (W.D.D., SPD, rho(G) < 1).
+func FD2D(nx, ny int) *Matrix { return matgen.FD2D(nx, ny) }
+
+// FE2D builds the paper's distorted-mesh finite-element test matrix
+// class (SPD, not W.D.D., rho(G) > 1 — synchronous Jacobi diverges).
+func FE2D(nx, ny int) *Matrix { return matgen.FE2D(matgen.DefaultFEOptions(nx, ny)) }

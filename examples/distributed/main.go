@@ -1,0 +1,61 @@
+// Distributed scenario (the paper's Section VI): the same solver on the
+// MPI-like substrate. Synchronous Jacobi exchanges ghost layers with
+// point-to-point messages; asynchronous Jacobi writes boundary values
+// straight into neighbors' RMA windows (per-element-atomic Put under a
+// passive-target epoch) and never waits.
+//
+// A BFS partition (the METIS stand-in) assigns each rank a connected
+// subdomain; ghost-exchange plans are derived from the matrix sparsity.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/dist"
+	"repro/internal/matgen"
+	"repro/internal/partition"
+)
+
+func main() {
+	p := matgen.Ecology2Like()
+	a := p.A
+	fmt.Printf("problem: %s analogue, n=%d nnz=%d\n", p.Name, a.N, a.NNZ())
+
+	rng := rand.New(rand.NewPCG(11, 13))
+	b := make([]float64, a.N)
+	x0 := make([]float64, a.N)
+	for i := range b {
+		b[i] = rng.Float64()*2 - 1
+		x0[i] = rng.Float64()*2 - 1
+	}
+
+	const ranks = 16
+	part := partition.BFS(a, ranks)
+	subs := partition.BuildSubdomains(a, part)
+	ghosts := 0
+	for _, s := range subs {
+		ghosts += s.GhostCount()
+	}
+	fmt.Printf("partition: %d ranks, imbalance %.2f, %d cut nonzeros, %d ghost values\n\n",
+		ranks, part.Imbalance(), part.CutEdges(a), ghosts)
+
+	const tol = 1e-4
+	for _, async := range []bool{false, true} {
+		res := dist.Solve(a, b, x0, dist.SolveOptions{
+			Procs:     ranks,
+			Part:      part,
+			MaxIters:  200000,
+			Tol:       tol,
+			Async:     async,
+			DelayRank: -1,
+		})
+		mode := "sync  (point-to-point)"
+		if async {
+			mode = "async (RMA windows)  "
+		}
+		fmt.Printf("%s converged=%-5v rel.res=%.3g relaxations/n=%.0f\n",
+			mode, res.Converged, res.RelRes,
+			float64(res.TotalRelaxations)/float64(a.N))
+	}
+}

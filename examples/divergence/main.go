@@ -1,0 +1,57 @@
+// Divergence scenario (the paper's Figs 6 and 9): a symmetric positive
+// definite finite-element matrix whose Jacobi iteration matrix has
+// rho(G) > 1. Synchronous Jacobi diverges no matter what; asynchronous
+// Jacobi converges once the concurrency is high enough, because finer
+// interleaving makes the iteration behave like a multiplicative
+// (Gauss-Seidel-like) method.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro"
+	"repro/internal/matgen"
+	"repro/internal/spectral"
+)
+
+func main() {
+	// Distorted-mesh P1 stiffness matrix, the paper's FE class
+	// (n = 3136; the paper's FE matrix had n = 3081).
+	a := matgen.FEPaper()
+	rho := spectral.JacobiRhoGSym(a, 50000, 1e-10)
+	fmt.Printf("FE matrix: n=%d nnz=%d, W.D.D. rows: %.0f%%, rho(G) = %.4f (> 1!)\n\n",
+		a.N, a.NNZ(), 100*a.WDDFraction(), rho.Value)
+
+	rng := rand.New(rand.NewPCG(6, 9))
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = rng.Float64()*2 - 1
+	}
+
+	// Synchronous Jacobi: diverges.
+	sres, err := repro.Solve(a, b, repro.Options{
+		Method: repro.JacobiSync, Tol: 1e-4, MaxSweeps: 300, RecordHistory: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sync Jacobi:   converged=%-5v rel.res after %d sweeps: %.3g\n",
+		sres.Converged, sres.Sweeps, sres.RelRes)
+
+	// Asynchronous Jacobi at increasing concurrency.
+	for _, threads := range []int{8, 64, 272} {
+		ares, err := repro.Solve(a, b, repro.Options{
+			Method: repro.JacobiAsync, Threads: threads, Tol: 1e-4, MaxSweeps: 4000,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("async %3d thr: converged=%-5v rel.res %.3g\n",
+			threads, ares.Converged, ares.RelRes)
+	}
+
+	fmt.Println("\n(higher concurrency -> smaller simultaneously-relaxed blocks -> more")
+	fmt.Println(" multiplicative behaviour; Gauss-Seidel always converges on SPD, and")
+	fmt.Println(" asynchronous Jacobi inherits that as concurrency grows)")
+}

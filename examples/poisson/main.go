@@ -1,0 +1,98 @@
+// Poisson: solve a real boundary-value problem end to end and verify
+// the answer against the analytic solution.
+//
+// We discretize -Laplace(u) = f on the unit square with homogeneous
+// Dirichlet boundary, choosing f so that the exact solution is
+// u(x, y) = sin(pi x) sin(pi y). The raw 5-point system (diagonal
+// 4/h^2) goes through Prepare for unit-diagonal scaling, is solved
+// with asynchronous Jacobi, and the discrete solution is compared to
+// the analytic one: the max error must be O(h^2), the discretization
+// order — demonstrating that the racy solver computes the same answer
+// a textbook method would.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+	"repro/internal/sparse"
+)
+
+// assemble builds the unscaled 5-point system for -Laplace(u) = f on an
+// m-by-m interior grid with spacing h = 1/(m+1).
+func assemble(m int) (*sparse.CSR, []float64, []float64) {
+	h := 1.0 / float64(m+1)
+	n := m * m
+	idx := func(i, j int) int { return j*m + i }
+	c := sparse.NewCOO(n, n)
+	b := make([]float64, n)
+	exact := make([]float64, n)
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			r := idx(i, j)
+			x := float64(i+1) * h
+			y := float64(j+1) * h
+			c.Add(r, r, 4/(h*h))
+			if i > 0 {
+				c.Add(r, idx(i-1, j), -1/(h*h))
+			}
+			if i < m-1 {
+				c.Add(r, idx(i+1, j), -1/(h*h))
+			}
+			if j > 0 {
+				c.Add(r, idx(i, j-1), -1/(h*h))
+			}
+			if j < m-1 {
+				c.Add(r, idx(i, j+1), -1/(h*h))
+			}
+			// f = 2 pi^2 sin(pi x) sin(pi y); boundary terms vanish
+			// because u = 0 there.
+			b[r] = 2 * math.Pi * math.Pi * math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+			exact[r] = math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+		}
+	}
+	return c.ToCSR(), b, exact
+}
+
+func main() {
+	fmt.Println("-Laplace(u) = f on the unit square, exact u = sin(pi x) sin(pi y)")
+	fmt.Printf("%8s %10s %14s %10s\n", "grid", "h", "max error", "order")
+	var prevErr float64
+	for _, m := range []int{15, 31, 63} {
+		a, b, exact := assemble(m)
+		as, bs, unscale, err := repro.Prepare(a, b)
+		if err != nil {
+			panic(err)
+		}
+		res, err := repro.Solve(as, bs, repro.Options{
+			Method:    repro.JacobiAsync,
+			Threads:   8,
+			Tol:       1e-10,
+			MaxSweeps: 500000,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if !res.Converged {
+			panic("solver did not converge")
+		}
+		u := unscale(res.X)
+		var maxErr float64
+		for i := range u {
+			if d := math.Abs(u[i] - exact[i]); d > maxErr {
+				maxErr = d
+			}
+		}
+		h := 1.0 / float64(m+1)
+		order := "-"
+		if prevErr > 0 {
+			// Error ratio across a grid halving estimates the order.
+			order = fmt.Sprintf("%.2f", math.Log2(prevErr/maxErr))
+		}
+		fmt.Printf("%5dx%-3d %10.4g %14.6g %10s\n", m, m, h, maxErr, order)
+		prevErr = maxErr
+	}
+	fmt.Println("\n(order ~2: the asynchronous solve reproduces the second-order")
+	fmt.Println(" accuracy of the five-point discretization)")
+}

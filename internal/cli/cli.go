@@ -1,0 +1,114 @@
+// Package cli holds the helpers shared by the command-line tools:
+// matrix-spec parsing, method-name resolution, and seeded problem
+// setup. Factoring them here keeps the five cmd/ mains thin and gives
+// the parsing logic a test suite.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// BuildMatrix resolves a generator spec to a matrix. Specs:
+//
+//	fd           FD2D(nx, ny)
+//	fd3d         FD3D(nx, ny, nz)
+//	fd9          FD2D9(nx, ny)
+//	aniso:EPS    FD2DAniso(nx, ny, EPS)
+//	fe           FE2D(DefaultFEOptions(nx, ny))
+//	laplace1d    Laplace1D(nx)
+//	ring         RingLaplacian(nx, 0.5)
+//	stretched:G  Stretched(nx, ny, G)
+//	suite:NAME   the Table I analogue NAME
+//	file:PATH    MatrixMarket file at PATH
+func BuildMatrix(spec string, nx, ny, nz int) (*sparse.CSR, error) {
+	switch {
+	case spec == "fd":
+		return matgen.FD2D(nx, ny), nil
+	case spec == "fd3d":
+		return matgen.FD3D(nx, ny, nz), nil
+	case spec == "fd9":
+		return matgen.FD2D9(nx, ny), nil
+	case spec == "fe":
+		return matgen.FE2D(matgen.DefaultFEOptions(nx, ny)), nil
+	case spec == "laplace1d":
+		return matgen.Laplace1D(nx), nil
+	case spec == "ring":
+		return matgen.RingLaplacian(nx, 0.5), nil
+	case strings.HasPrefix(spec, "aniso:"):
+		eps, err := strconv.ParseFloat(strings.TrimPrefix(spec, "aniso:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad anisotropy in %q: %w", spec, err)
+		}
+		return matgen.FD2DAniso(nx, ny, eps), nil
+	case strings.HasPrefix(spec, "stretched:"):
+		g, err := strconv.ParseFloat(strings.TrimPrefix(spec, "stretched:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad grading in %q: %w", spec, err)
+		}
+		return matgen.Stretched(nx, ny, g), nil
+	case strings.HasPrefix(spec, "suite:"):
+		name := strings.TrimPrefix(spec, "suite:")
+		for _, p := range matgen.SuiteProblems() {
+			if p.Name == name {
+				return p.A, nil
+			}
+		}
+		return nil, fmt.Errorf("cli: unknown suite problem %q", name)
+	case strings.HasPrefix(spec, "file:"):
+		f, err := os.Open(strings.TrimPrefix(spec, "file:"))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return sparse.ReadMatrixMarket(f)
+	}
+	return nil, fmt.Errorf("cli: unknown generator %q", spec)
+}
+
+// Methods lists every solver method the core package exposes, in menu
+// order.
+func Methods() []core.Method {
+	return []core.Method{
+		core.JacobiSync, core.JacobiAsync, core.GaussSeidel, core.SOR,
+		core.MulticolorGS, core.BlockJacobi,
+		core.JacobiDamped, core.SymmetricGS, core.CG, core.OverlapBlockJacobi,
+	}
+}
+
+// ParseMethod resolves a method by its String name.
+func ParseMethod(s string) (core.Method, error) {
+	for _, m := range Methods() {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	var names []string
+	for _, m := range Methods() {
+		names = append(names, m.String())
+	}
+	return 0, fmt.Errorf("cli: unknown method %q (valid: %s)", s, strings.Join(names, ", "))
+}
+
+// ParseRows parses a comma-separated row list ("3,7,20"). An empty spec
+// returns the single fallback row.
+func ParseRows(spec string, fallback int) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return []int{fallback}, nil
+	}
+	var rows []int
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad row %q: %w", f, err)
+		}
+		rows = append(rows, v)
+	}
+	return rows, nil
+}

@@ -1,0 +1,124 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func TestBuildMatrixGenerators(t *testing.T) {
+	cases := []struct {
+		spec  string
+		wantN int
+	}{
+		{"fd", 12},            // 3x4
+		{"fd3d", 24},          // 3x4x2
+		{"fd9", 12},           // 3x4
+		{"fe", 6},             // (3-1)*(4-1)
+		{"laplace1d", 3},      // nx
+		{"ring", 3},           // nx
+		{"aniso:0.1", 12},     // 3x4
+		{"stretched:1.2", 12}, // 3x4
+	}
+	for _, tc := range cases {
+		a, err := BuildMatrix(tc.spec, 3, 4, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if a.N != tc.wantN {
+			t.Fatalf("%s: n=%d want %d", tc.spec, a.N, tc.wantN)
+		}
+	}
+}
+
+func TestBuildMatrixSuite(t *testing.T) {
+	a, err := BuildMatrix("suite:parabolic_fem", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matgen.ParabolicFEMLike().A
+	if a.N != want.N || a.NNZ() != want.NNZ() {
+		t.Fatal("suite matrix mismatch")
+	}
+}
+
+func TestBuildMatrixFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteMatrixMarket(f, matgen.Laplace1D(5)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	a, err := BuildMatrix("file:"+path, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 5 {
+		t.Fatalf("n = %d", a.N)
+	}
+}
+
+func TestBuildMatrixErrors(t *testing.T) {
+	for _, spec := range []string{"nope", "aniso:xyz", "stretched:??", "suite:missing", "file:/no/such/file"} {
+		if _, err := BuildMatrix(spec, 3, 3, 3); err == nil {
+			t.Fatalf("%s accepted", spec)
+		}
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	for _, m := range Methods() {
+		got, err := ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Fatalf("roundtrip failed for %v", m)
+		}
+	}
+	if _, err := ParseMethod("sorcery"); err == nil {
+		t.Fatal("bad method accepted")
+	}
+	if !strings.Contains(ParseMethodErr(), "jacobi-sync") {
+		t.Fatal("error should list valid methods")
+	}
+}
+
+// ParseMethodErr returns the error text of a failed parse, for the
+// valid-list assertion above.
+func ParseMethodErr() string {
+	_, err := ParseMethod("no-such")
+	return err.Error()
+}
+
+func TestMethodsComplete(t *testing.T) {
+	if len(Methods()) != 10 {
+		t.Fatalf("expected 10 methods, got %d", len(Methods()))
+	}
+	seen := map[core.Method]bool{}
+	for _, m := range Methods() {
+		if seen[m] {
+			t.Fatal("duplicate method")
+		}
+		seen[m] = true
+	}
+}
+
+func TestParseRows(t *testing.T) {
+	rows, err := ParseRows(" 3, 7 ,20", 0)
+	if err != nil || len(rows) != 3 || rows[1] != 7 {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+	rows, err = ParseRows("", 42)
+	if err != nil || len(rows) != 1 || rows[0] != 42 {
+		t.Fatal("fallback failed")
+	}
+	if _, err := ParseRows("1,x", 0); err == nil {
+		t.Fatal("bad row accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matgen"
+)
+
+func BenchmarkSimulateAsync(b *testing.B) {
+	a := matgen.FD2D(32, 32)
+	rng := rand.New(rand.NewPCG(1, 1))
+	bb := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	cfg := baseConfig(16)
+	cfg.Async = true
+	cfg.Tol = 0
+	cfg.MaxSweeps = 50
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(a, bb, x0, cfg)
+	}
+}
+
+func BenchmarkSimulateSync(b *testing.B) {
+	a := matgen.FD2D(32, 32)
+	rng := rand.New(rand.NewPCG(2, 2))
+	bb := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	cfg := baseConfig(16)
+	cfg.Tol = 0
+	cfg.MaxSweeps = 50
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(a, bb, x0, cfg)
+	}
+}

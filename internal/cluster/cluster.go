@@ -1,0 +1,415 @@
+// Package cluster is a discrete-event simulator of synchronous and
+// asynchronous distributed Jacobi on a virtual machine with
+// configurable per-process compute speed, message latency, and
+// synchronization cost.
+//
+// This is the substitution for the paper's 128-node Cori runs: the host
+// here cannot run thousands of truly parallel processes, but the phenomena
+// of Figs 5, 7, 8 and 9 are driven by the *relative* costs of
+// computation, communication and barriers, and by which ghost values a
+// process sees when it relaxes — exactly what a discrete-event
+// simulation reproduces. Virtual time is reported in seconds.
+//
+// The simulator keeps a God's-eye copy of every owner's current values
+// (the model's "snapshots in time") for exact residual sampling, while
+// each simulated process reads neighbor values only through ghost
+// copies updated by messages that arrive MsgLatency after they are
+// sent — the RMA Put of the real implementation.
+package cluster
+
+import (
+	"container/heap"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// Config parameterizes a simulated run.
+type Config struct {
+	// Procs is the number of simulated processes.
+	Procs int
+	// Part maps rows to processes; nil means BFS partition (the METIS
+	// stand-in), matching the paper's distributed experiments.
+	Part *partition.Partition
+
+	// Async selects asynchronous execution; false simulates
+	// bulk-synchronous Jacobi with a barrier every iteration.
+	Async bool
+
+	// RelaxCostPerNNZ is the virtual seconds a process spends per
+	// matrix nonzero it owns, per iteration.
+	RelaxCostPerNNZ float64
+	// MsgLatency is the virtual time between sending a boundary update
+	// and the neighbor seeing it.
+	MsgLatency float64
+	// MsgCostPerNeighbor is per-iteration sender overhead for each
+	// neighbor message posted.
+	MsgCostPerNeighbor float64
+	// BarrierCost is the per-iteration synchronization cost of the
+	// synchronous method (barrier + allreduce); it typically grows with
+	// Procs, so callers set it from a model like c*log2(P).
+	BarrierCost float64
+
+	// SpeedJitter draws a persistent per-process speed factor in
+	// [1, 1+SpeedJitter] (hardware heterogeneity); IterJitter adds
+	// per-iteration multiplicative noise in [1, 1+IterJitter] (OS
+	// interference). Both apply to compute time only.
+	SpeedJitter float64
+	IterJitter  float64
+
+	// DelayProc, when >= 0, multiplies that process's compute time by
+	// DelayFactor — the paper's severely delayed process experiments.
+	DelayProc   int
+	DelayFactor float64
+
+	// MsgLossProb drops each asynchronous boundary message with this
+	// probability — failure injection. Asynchronous Jacobi tolerates
+	// loss (the next Put overwrites the same window slots); the
+	// synchronous method cannot lose messages without deadlocking, so
+	// loss applies to asynchronous runs only.
+	MsgLossProb float64
+
+	// MaxSweeps bounds the run: the simulation stops when total
+	// relaxations reach MaxSweeps*n.
+	MaxSweeps int
+	// MinIters, when positive, additionally keeps the run alive until
+	// every process has completed at least MinIters local iterations —
+	// the paper's Fig 5(b) measurement ("a thread only terminates once
+	// all threads have completed 100 iterations").
+	MinIters int
+	// Tol, when positive, stops the run once the sampled global
+	// relative residual 1-norm drops to Tol.
+	Tol float64
+	// SamplesPerSweep controls residual sampling density: a sample is
+	// taken every n/SamplesPerSweep relaxations; 0 means one sample per
+	// sweep-equivalent (n relaxations).
+	SamplesPerSweep int
+
+	Seed uint64
+}
+
+// Sample is one point of a simulated convergence history.
+type Sample struct {
+	Time      float64 // virtual seconds
+	RelaxPerN float64 // cumulative relaxations / n (the Fig 7 x-axis)
+	RelRes    float64 // global relative residual 1-norm
+}
+
+// Result reports a simulated run.
+type Result struct {
+	History   []Sample
+	Converged bool
+	// FinalTime is the virtual time at which the run stopped.
+	FinalTime float64
+	// TotalRelaxations counts row relaxations performed.
+	TotalRelaxations int
+	// IterationsPerProc is each process's local iteration count.
+	IterationsPerProc []int
+}
+
+// event is a process finishing one local iteration (compute phase).
+type event struct {
+	time float64
+	proc int
+	seq  int // tie-break for determinism
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() event   { return h[0] }
+
+// ghostMsg is boundary data in flight.
+type ghostMsg struct {
+	arrive float64
+	proc   int // destination
+	from   int
+	vals   []float64
+	seq    int
+}
+
+type msgHeap []ghostMsg
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].arrive != h[j].arrive {
+		return h[i].arrive < h[j].arrive
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)   { *h = append(*h, x.(ghostMsg)) }
+func (h *msgHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Simulate runs the discrete-event simulation.
+func Simulate(a *sparse.CSR, b, x0 []float64, cfg Config) *Result {
+	n := a.N
+	if len(b) != n || len(x0) != n {
+		panic("cluster: dimension mismatch")
+	}
+	if cfg.Procs <= 0 || cfg.MaxSweeps <= 0 {
+		panic("cluster: Procs and MaxSweeps must be positive")
+	}
+	if cfg.RelaxCostPerNNZ <= 0 {
+		panic("cluster: RelaxCostPerNNZ must be positive")
+	}
+	part := cfg.Part
+	if part == nil {
+		part = partition.BFS(a, cfg.Procs)
+	}
+	if part.P != cfg.Procs {
+		panic("cluster: partition part count != Procs")
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xc1a5))
+
+	subs := partition.BuildSubdomains(a, part)
+	// ghost[j] for each proc: position of global index j in its ghost
+	// view; views are dense maps global->value for simplicity.
+	// x is the owner's authoritative value (God's-eye view).
+	x := vec.Clone(x0)
+	// ghostView[p][j] = what proc p currently believes x_j is, for each
+	// ghost j it needs.
+	ghostView := make([]map[int]float64, cfg.Procs)
+	for p, sub := range subs {
+		gv := map[int]float64{}
+		for _, idx := range sub.Recv {
+			for _, j := range idx {
+				gv[j] = x0[j]
+			}
+		}
+		ghostView[p] = gv
+	}
+	// Per-proc compute cost.
+	nnzOf := make([]int, cfg.Procs)
+	for p, sub := range subs {
+		for _, i := range sub.Rows {
+			nnzOf[p] += a.RowNNZ(i)
+		}
+	}
+	speed := make([]float64, cfg.Procs)
+	for p := range speed {
+		speed[p] = 1 + rng.Float64()*cfg.SpeedJitter
+	}
+	iterCost := func(p int) float64 {
+		c := cfg.RelaxCostPerNNZ * float64(nnzOf[p]) * speed[p]
+		if cfg.IterJitter > 0 {
+			c *= 1 + rng.Float64()*cfg.IterJitter
+		}
+		c += cfg.MsgCostPerNeighbor * float64(len(subs[p].Send))
+		if p == cfg.DelayProc && cfg.DelayFactor > 1 {
+			c *= cfg.DelayFactor
+		}
+		if c <= 0 {
+			c = 1e-12
+		}
+		return c
+	}
+
+	nb := vec.Norm1(b)
+	if nb == 0 {
+		nb = 1
+	}
+	samplesPerSweep := cfg.SamplesPerSweep
+	if samplesPerSweep <= 0 {
+		samplesPerSweep = 1
+	}
+	sampleInterval := n / samplesPerSweep
+	if sampleInterval == 0 {
+		sampleInterval = 1
+	}
+
+	res := &Result{IterationsPerProc: make([]int, cfg.Procs)}
+	r := make([]float64, n)
+	recordSample := func(t float64) float64 {
+		a.Residual(r, b, x)
+		rel := vec.Norm1(r) / nb
+		res.History = append(res.History, Sample{
+			Time:      t,
+			RelaxPerN: float64(res.TotalRelaxations) / float64(n),
+			RelRes:    rel,
+		})
+		return rel
+	}
+	recordSample(0)
+
+	maxRelax := cfg.MaxSweeps * n
+	nextSample := sampleInterval
+
+	relaxProc := func(p int) {
+		sub := subs[p]
+		gv := ghostView[p]
+		// Residual for owned rows against owner values + ghost view,
+		// then in-place correction (two-pass like the real solvers).
+		deltas := make([]float64, len(sub.Rows))
+		for s, i := range sub.Rows {
+			sum := b[i]
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				j := a.Col[k]
+				if part.Part[j] == p {
+					sum -= a.Val[k] * x[j]
+				} else {
+					sum -= a.Val[k] * gv[j]
+				}
+			}
+			deltas[s] = sum
+		}
+		for s, i := range sub.Rows {
+			x[i] += deltas[s]
+		}
+		res.TotalRelaxations += len(sub.Rows)
+		res.IterationsPerProc[p]++
+	}
+
+	if !cfg.Async {
+		// Bulk-synchronous: rounds of compute + barrier; the round time
+		// is the slowest process plus barrier cost; ghosts refresh
+		// exactly each round (latency is covered by the barrier).
+		t := 0.0
+		for res.TotalRelaxations < maxRelax || (cfg.MinIters > 0 && res.IterationsPerProc[0] < cfg.MinIters) {
+			var slowest float64
+			for p := 0; p < cfg.Procs; p++ {
+				if c := iterCost(p); c > slowest {
+					slowest = c
+				}
+			}
+			for p := 0; p < cfg.Procs; p++ {
+				relaxProc(p)
+			}
+			t += slowest + cfg.BarrierCost + cfg.MsgLatency
+			// Refresh every ghost view with current owner values.
+			for p := 0; p < cfg.Procs; p++ {
+				for j := range ghostView[p] {
+					ghostView[p][j] = x[j]
+				}
+			}
+			if res.TotalRelaxations >= nextSample {
+				nextSample += sampleInterval
+				rel := recordSample(t)
+				if cfg.Tol > 0 && rel <= cfg.Tol {
+					res.Converged = true
+					break
+				}
+				if math.IsNaN(rel) || math.IsInf(rel, 0) {
+					break
+				}
+			}
+		}
+		res.FinalTime = t
+		return res
+	}
+
+	// Asynchronous: event-driven.
+	seq := 0
+	var evq eventHeap
+	var msgq msgHeap
+	for p := 0; p < cfg.Procs; p++ {
+		heap.Push(&evq, event{time: iterCost(p), proc: p, seq: seq})
+		seq++
+	}
+	minItersMet := func() bool {
+		if cfg.MinIters <= 0 {
+			return true
+		}
+		for _, it := range res.IterationsPerProc {
+			if it < cfg.MinIters {
+				return false
+			}
+		}
+		return true
+	}
+	t := 0.0
+	for (res.TotalRelaxations < maxRelax || !minItersMet()) && evq.Len() > 0 {
+		// Deliver any messages arriving before the next compute event.
+		for msgq.Len() > 0 && msgq[0].arrive <= evq.Peek().time {
+			m := heap.Pop(&msgq).(ghostMsg)
+			gv := ghostView[m.proc]
+			for t2, j := range subs[m.proc].Recv[m.from] {
+				gv[j] = m.vals[t2]
+			}
+		}
+		ev := heap.Pop(&evq).(event)
+		t = ev.time
+		p := ev.proc
+		relaxProc(p)
+		// Post boundary updates (RMA Puts) to each neighbor.
+		for q, idx := range subs[p].Send {
+			if cfg.MsgLossProb > 0 && rng.Float64() < cfg.MsgLossProb {
+				continue // dropped on the wire
+			}
+			vals := make([]float64, len(idx))
+			for t2, j := range idx {
+				vals[t2] = x[j]
+			}
+			heap.Push(&msgq, ghostMsg{
+				arrive: t + cfg.MsgLatency, proc: q, from: p, vals: vals, seq: seq,
+			})
+			seq++
+		}
+		heap.Push(&evq, event{time: t + iterCost(p), proc: p, seq: seq})
+		seq++
+		if res.TotalRelaxations >= nextSample {
+			nextSample += sampleInterval
+			rel := recordSample(t)
+			if cfg.Tol > 0 && rel <= cfg.Tol {
+				res.Converged = true
+				break
+			}
+			if math.IsNaN(rel) || math.IsInf(rel, 0) {
+				break
+			}
+		}
+	}
+	res.FinalTime = t
+	return res
+}
+
+// TimeToRelRes returns the virtual time at which the history first
+// reaches the target relative residual, using linear interpolation on
+// log10 of the residual between samples (the paper's Section VII-C
+// measurement technique). It returns ok=false when the target is never
+// reached.
+func (r *Result) TimeToRelRes(target float64) (float64, bool) {
+	return interpolateAt(r.History, target, func(s Sample) float64 { return s.Time })
+}
+
+// RelaxPerNToRelRes is TimeToRelRes with relaxations/n as the abscissa.
+func (r *Result) RelaxPerNToRelRes(target float64) (float64, bool) {
+	return interpolateAt(r.History, target, func(s Sample) float64 { return s.RelaxPerN })
+}
+
+func interpolateAt(hist []Sample, target float64, axis func(Sample) float64) (float64, bool) {
+	if len(hist) == 0 || target <= 0 {
+		return 0, false
+	}
+	lt := math.Log10(target)
+	for k := 1; k < len(hist); k++ {
+		prev, cur := hist[k-1], hist[k]
+		if cur.RelRes > target || math.IsNaN(cur.RelRes) {
+			continue
+		}
+		// cur reached the target; prev did not (or is the start).
+		if prev.RelRes <= target {
+			return axis(prev), true
+		}
+		lp := math.Log10(prev.RelRes)
+		lc := math.Log10(cur.RelRes)
+		if lc == lp {
+			return axis(cur), true
+		}
+		f := (lt - lp) / (lc - lp)
+		return axis(prev) + f*(axis(cur)-axis(prev)), true
+	}
+	return 0, false
+}

@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+func randomVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+func baseConfig(procs int) Config {
+	return Config{
+		Procs:           procs,
+		RelaxCostPerNNZ: 1e-7,
+		MsgLatency:      2e-6,
+		BarrierCost:     5e-6,
+		MaxSweeps:       20000,
+		Tol:             1e-4,
+		DelayProc:       -1,
+		Seed:            7,
+	}
+}
+
+// The synchronous simulation is exactly Jacobi: its iterates (and hence
+// its residual history per sweep) must match the sequential model.
+func TestSyncSimMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+
+	cfg := baseConfig(4)
+	cfg.Tol = 0
+	cfg.MaxSweeps = 30
+	sim := Simulate(a, b, x0, cfg)
+
+	h := model.Run(a, b, x0, model.NewSyncSchedule(a.N), model.Options{MaxSteps: 30})
+	if len(sim.History) != len(h.RelRes) {
+		t.Fatalf("history lengths differ: %d vs %d", len(sim.History), len(h.RelRes))
+	}
+	for k := range sim.History {
+		if math.Abs(sim.History[k].RelRes-h.RelRes[k]) > 1e-12 {
+			t.Fatalf("sweep %d: sim %g model %g", k, sim.History[k].RelRes, h.RelRes[k])
+		}
+	}
+}
+
+func TestSyncSimConverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := matgen.FD2D(10, 10)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Simulate(a, b, x0, baseConfig(8))
+	if !res.Converged {
+		t.Fatalf("sync sim did not converge: %+v", res.History[len(res.History)-1])
+	}
+	if res.FinalTime <= 0 {
+		t.Fatal("virtual time did not advance")
+	}
+}
+
+func TestAsyncSimConverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := matgen.FD2D(10, 10)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	cfg := baseConfig(8)
+	cfg.Async = true
+	cfg.IterJitter = 0.3
+	res := Simulate(a, b, x0, cfg)
+	if !res.Converged {
+		t.Fatalf("async sim did not converge: final %g",
+			res.History[len(res.History)-1].RelRes)
+	}
+	// Every proc iterated.
+	for p, it := range res.IterationsPerProc {
+		if it == 0 {
+			t.Fatalf("proc %d never iterated", p)
+		}
+	}
+}
+
+// Determinism: same config, same history.
+func TestSimDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	cfg := baseConfig(6)
+	cfg.Async = true
+	cfg.IterJitter = 0.5
+	r1 := Simulate(a, b, x0, cfg)
+	r2 := Simulate(a, b, x0, cfg)
+	if len(r1.History) != len(r2.History) {
+		t.Fatal("histories differ in length")
+	}
+	for k := range r1.History {
+		if r1.History[k] != r2.History[k] {
+			t.Fatalf("histories differ at %d", k)
+		}
+	}
+}
+
+// With a severely delayed process, the asynchronous machine reaches the
+// tolerance in far less virtual time than the synchronous one — the
+// Fig 3 speedup, now on the simulated cluster.
+func TestAsyncBeatsSyncUnderDelay(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	a := matgen.FD2D(4, 17)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+
+	mk := func(async bool) Config {
+		cfg := baseConfig(17)
+		cfg.Async = async
+		cfg.Tol = 1e-3
+		cfg.DelayProc = 8
+		cfg.DelayFactor = 30
+		return cfg
+	}
+	sres := Simulate(a, b, x0, mk(false))
+	ares := Simulate(a, b, x0, mk(true))
+	if !sres.Converged || !ares.Converged {
+		t.Fatal("sim runs did not converge")
+	}
+	ts, ok1 := sres.TimeToRelRes(1e-3)
+	ta, ok2 := ares.TimeToRelRes(1e-3)
+	if !ok1 || !ok2 {
+		t.Fatal("interpolation failed")
+	}
+	if ta >= ts {
+		t.Fatalf("async virtual time %g not faster than sync %g", ta, ts)
+	}
+	if ts/ta < 3 {
+		t.Fatalf("speedup %g too small for delay factor 30", ts/ta)
+	}
+}
+
+// The Fig 9 phenomenon on the simulated cluster: sync diverges on the
+// Dubcova2 analogue, async with enough processes converges, and more
+// processes converge in fewer relaxations/n.
+func TestAsyncConvergesWhereSyncDivergesSim(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	a := matgen.FE2D(matgen.DefaultFEOptions(25, 25))
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+
+	cfg := baseConfig(8)
+	cfg.Tol = 0
+	cfg.MaxSweeps = 300
+	sres := Simulate(a, b, x0, cfg)
+	if last := sres.History[len(sres.History)-1].RelRes; last < sres.History[0].RelRes {
+		t.Fatalf("sync should diverge on FE analogue: %g -> %g", sres.History[0].RelRes, last)
+	}
+
+	acfg := baseConfig(128)
+	acfg.Async = true
+	acfg.IterJitter = 0.5
+	acfg.Tol = 1e-3
+	acfg.MaxSweeps = 5000
+	ares := Simulate(a, b, x0, acfg)
+	if !ares.Converged {
+		t.Fatalf("async sim with 128 procs should converge: final %g",
+			ares.History[len(ares.History)-1].RelRes)
+	}
+}
+
+// Increasing concurrency improves asynchronous convergence per
+// relaxation (Fig 7's green-to-blue trend) on a divergence-prone
+// matrix.
+func TestMoreProcsImproveAsyncConvergence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	a := matgen.Dubcova2Like().A
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+
+	run := func(procs int) (float64, bool) {
+		cfg := baseConfig(procs)
+		cfg.Async = true
+		cfg.IterJitter = 0.5
+		cfg.Tol = 1e-2
+		cfg.MaxSweeps = 4000
+		res := Simulate(a, b, x0, cfg)
+		return res.RelaxPerNToRelRes(1e-2)
+	}
+	few, okFew := run(8)
+	many, okMany := run(128)
+	if !okMany {
+		t.Fatal("128-proc async failed to reach 1e-2 on Dubcova2 analogue")
+	}
+	if okFew && many >= few {
+		t.Fatalf("more procs did not improve convergence: %g vs %g relax/n", many, few)
+	}
+}
+
+func TestInterpolation(t *testing.T) {
+	hist := []Sample{
+		{Time: 0, RelaxPerN: 0, RelRes: 1},
+		{Time: 1, RelaxPerN: 1, RelRes: 0.1},
+		{Time: 2, RelaxPerN: 2, RelRes: 0.01},
+	}
+	r := &Result{History: hist}
+	// Exact sample point.
+	tt, ok := r.TimeToRelRes(0.1)
+	if !ok || math.Abs(tt-1) > 1e-12 {
+		t.Fatalf("TimeToRelRes(0.1) = %g ok=%v", tt, ok)
+	}
+	// Between samples: log-linear halfway between 0.1 and 0.01 is
+	// ~0.0316 at t=1.5.
+	tt, ok = r.TimeToRelRes(math.Sqrt(0.1 * 0.01))
+	if !ok || math.Abs(tt-1.5) > 1e-9 {
+		t.Fatalf("log interpolation = %g ok=%v", tt, ok)
+	}
+	// Unreached target.
+	if _, ok := r.TimeToRelRes(1e-9); ok {
+		t.Fatal("unreached target must report ok=false")
+	}
+	// Start already below target.
+	if tt, ok := r.TimeToRelRes(2); !ok || tt != 0 {
+		t.Fatalf("start-below-target: %g %v", tt, ok)
+	}
+}
+
+func TestSimWithExplicitPartition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	a := matgen.FD2D(6, 6)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	cfg := baseConfig(4)
+	cfg.Part = partition.Contiguous(a.N, 4)
+	res := Simulate(a, b, x0, cfg)
+	if !res.Converged {
+		t.Fatal("explicit-partition sim failed")
+	}
+}
+
+func TestSimPanics(t *testing.T) {
+	a := matgen.Laplace1D(4)
+	v := make([]float64, 4)
+	bad := []Config{
+		{Procs: 0, MaxSweeps: 1, RelaxCostPerNNZ: 1},
+		{Procs: 1, MaxSweeps: 0, RelaxCostPerNNZ: 1},
+		{Procs: 1, MaxSweeps: 1, RelaxCostPerNNZ: 0},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %+v", cfg)
+				}
+			}()
+			Simulate(a, v, v, cfg)
+		}()
+	}
+}
+
+func TestMsgLossAsyncStillConverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	a := matgen.FD2D(10, 10)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	cfg := baseConfig(8)
+	cfg.Async = true
+	cfg.MsgLossProb = 0.3
+	cfg.IterJitter = 0.3
+	res := Simulate(a, b, x0, cfg)
+	if !res.Converged {
+		t.Fatalf("async with 30%% message loss did not converge: %g",
+			res.History[len(res.History)-1].RelRes)
+	}
+}
+
+func TestMinItersHonoured(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 20))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	cfg := baseConfig(5)
+	cfg.Async = true
+	cfg.IterJitter = 0.5
+	cfg.Tol = 0
+	cfg.MaxSweeps = 40
+	cfg.MinIters = 40
+	res := Simulate(a, b, x0, cfg)
+	for p, it := range res.IterationsPerProc {
+		if it < 40 {
+			t.Fatalf("proc %d stopped at %d iterations, want >= 40", p, it)
+		}
+	}
+}

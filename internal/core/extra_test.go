@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matgen"
+)
+
+func TestExtraMethodsConverge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	a := matgen.FD2D(10, 10)
+	b := randomVec(rng, a.N)
+	for _, m := range []Method{JacobiDamped, SymmetricGS, CG} {
+		res, err := Solve(a, b, Options{Method: m, Tol: 1e-8, MaxSweeps: 200000})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v did not converge: %g", m, res.RelRes)
+		}
+	}
+}
+
+func TestExtraMethodNames(t *testing.T) {
+	if JacobiDamped.String() != "jacobi-damped" ||
+		SymmetricGS.String() != "symmetric-gs" ||
+		CG.String() != "cg" {
+		t.Fatal("extended method names wrong")
+	}
+}
+
+// CG must need dramatically fewer sweeps than Jacobi on the FD problem
+// (O(sqrt(kappa)) vs O(kappa)).
+func TestCGBeatsStationary(t *testing.T) {
+	rng := rand.New(rand.NewPCG(73, 74))
+	a := matgen.FD2D(20, 20)
+	b := randomVec(rng, a.N)
+	cg, err := Solve(a, b, Options{Method: CG, Tol: 1e-8, MaxSweeps: 100000})
+	if err != nil || !cg.Converged {
+		t.Fatalf("CG failed: %v", err)
+	}
+	j, err := Solve(a, b, Options{Method: JacobiSync, Tol: 1e-8, MaxSweeps: 100000})
+	if err != nil || !j.Converged {
+		t.Fatalf("Jacobi failed: %v", err)
+	}
+	if cg.Sweeps*10 > j.Sweeps {
+		t.Fatalf("CG sweeps %d not << Jacobi %d", cg.Sweeps, j.Sweeps)
+	}
+}
+
+// Damped Jacobi with omega < 1 converges on the FE matrix when the
+// divergence comes from lambda_max(A) slightly above 2:
+// rho(I - omega A) = max(|1-omega*lmin|, |1-omega*lmax|) < 1 for
+// suitable omega. This is the classical smoother fix for exactly the
+// matrices where plain Jacobi fails.
+func TestDampedJacobiFixesFEDivergence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(75, 76))
+	a := matgen.FE2D(matgen.DefaultFEOptions(15, 15))
+	b := randomVec(rng, a.N)
+	plain, err := Solve(a, b, Options{Method: JacobiSync, Tol: 1e-6, MaxSweeps: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Converged {
+		t.Fatal("plain Jacobi should diverge on FE matrix")
+	}
+	damped, err := Solve(a, b, Options{Method: JacobiDamped, Omega: 0.6, Tol: 1e-6, MaxSweeps: 200000})
+	if err != nil || !damped.Converged {
+		t.Fatalf("damped Jacobi should converge: %v, res %+v", err, damped)
+	}
+}
+
+// Symmetric GS converges at least as fast as forward GS per sweep in
+// terms of residual reduction (it does twice the work; check it at
+// least halves the sweep count on the model problem).
+func TestSymmetricGSFewerSweeps(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 78))
+	a := matgen.FD2D(12, 12)
+	b := randomVec(rng, a.N)
+	sgs, err := Solve(a, b, Options{Method: SymmetricGS, Tol: 1e-8, MaxSweeps: 200000})
+	if err != nil || !sgs.Converged {
+		t.Fatal("SGS failed")
+	}
+	gs, err := Solve(a, b, Options{Method: GaussSeidel, Tol: 1e-8, MaxSweeps: 200000})
+	if err != nil || !gs.Converged {
+		t.Fatal("GS failed")
+	}
+	if sgs.Sweeps > gs.Sweeps*3/4 {
+		t.Fatalf("SGS sweeps %d vs GS %d: expected clearly fewer", sgs.Sweeps, gs.Sweeps)
+	}
+}
+
+func TestDampedJacobiOmegaValidation(t *testing.T) {
+	a := matgen.FD2D(4, 4)
+	b := make([]float64, a.N)
+	if _, err := Solve(a, b, Options{Method: JacobiDamped, Omega: 1.4}); err == nil {
+		t.Fatal("omega > 1 accepted for damped Jacobi")
+	}
+}
+
+// CG reports history and the exact final residual consistently.
+func TestCGHistory(t *testing.T) {
+	rng := rand.New(rand.NewPCG(79, 80))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	res, err := Solve(a, b, Options{Method: CG, Tol: 1e-10, MaxSweeps: 10000, RecordHistory: true})
+	if err != nil || !res.Converged {
+		t.Fatal("CG failed")
+	}
+	if len(res.History) < 2 || res.History[0] != 1 {
+		t.Fatalf("history wrong: %v", res.History[:min(3, len(res.History))])
+	}
+	if math.Abs(res.History[len(res.History)-1]-res.RelRes) > 1e-12 {
+		// History's last entry is the recurrence residual; RelRes is
+		// recomputed — they must agree to rounding at convergence.
+		if res.History[len(res.History)-1] > 10*res.RelRes {
+			t.Fatalf("recurrence residual %g far from true %g",
+				res.History[len(res.History)-1], res.RelRes)
+		}
+	}
+}
+
+func TestOverlapBlockJacobiValidation(t *testing.T) {
+	a := matgen.FD2D(4, 4)
+	b := make([]float64, a.N)
+	if _, err := Solve(a, b, Options{Method: OverlapBlockJacobi, BlockSize: -1}); err == nil {
+		t.Fatal("negative block size accepted")
+	}
+}
+
+func TestOverlapBlockJacobiSmallBlocks(t *testing.T) {
+	// BlockSize 4 exercises the ov=1 clamp and many boundary blocks.
+	rng := rand.New(rand.NewPCG(83, 84))
+	a := matgen.FD2D(7, 9)
+	b := randomVec(rng, a.N)
+	res, err := Solve(a, b, Options{Method: OverlapBlockJacobi, BlockSize: 4, Tol: 1e-8, MaxSweeps: 200000})
+	if err != nil || !res.Converged {
+		t.Fatalf("small-block overlap solve failed: %v %+v", err, res)
+	}
+}
+
+func TestUnknownExtraMethod(t *testing.T) {
+	a := matgen.FD2D(3, 3)
+	b := make([]float64, a.N)
+	if _, err := Solve(a, b, Options{Method: Method(150)}); err == nil {
+		t.Fatal("unknown extended method accepted")
+	}
+}
+
+func TestExtraMethodsHistory(t *testing.T) {
+	rng := rand.New(rand.NewPCG(85, 86))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	for _, m := range []Method{JacobiDamped, SymmetricGS, OverlapBlockJacobi} {
+		res, err := Solve(a, b, Options{Method: m, Tol: 1e-6, MaxSweeps: 100000, RecordHistory: true})
+		if err != nil || !res.Converged {
+			t.Fatalf("%v failed", m)
+		}
+		if len(res.History) < 2 || res.History[0] != 1 {
+			t.Fatalf("%v: bad history", m)
+		}
+	}
+}
+
+func BenchmarkSolveGaussSeidel(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	a := matgen.FD2D(32, 32)
+	rhs := randomVec(rng, a.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(a, rhs, Options{Method: GaussSeidel, Tol: 1e-6, MaxSweeps: 100000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveCG(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	a := matgen.FD2D(32, 32)
+	rhs := randomVec(rng, a.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(a, rhs, Options{Method: CG, Tol: 1e-6, MaxSweeps: 100000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package core is the user-facing solver API of the library. It wraps
+// the paper's synchronous and asynchronous Jacobi implementations and
+// the classical stationary baselines (Gauss-Seidel, SOR, multicolor
+// Gauss-Seidel, inexact block Jacobi) behind one Solve call on
+// unit-diagonal symmetric systems.
+//
+// Systems that are not yet in unit-diagonal form are brought there with
+// Prepare, which performs the symmetric scaling D^{-1/2} A D^{-1/2} the
+// paper assumes throughout.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/shm"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// Method selects the iteration.
+type Method int
+
+const (
+	// JacobiSync is synchronous Jacobi: x <- (I-A)x + b each sweep.
+	JacobiSync Method = iota
+	// JacobiAsync is the racy asynchronous Jacobi of Section V, run on
+	// goroutine workers over shared atomically-accessed arrays.
+	JacobiAsync
+	// GaussSeidel is forward Gauss-Seidel with natural ordering.
+	GaussSeidel
+	// SOR is successive over-relaxation with parameter Omega.
+	SOR
+	// MulticolorGS relaxes greedy-coloring independent sets in
+	// sequence — the parallel-friendly multiplicative method of
+	// Section IV-B.
+	MulticolorGS
+	// BlockJacobi is inexact block Jacobi: blocks are relaxed
+	// additively, each by a single forward Gauss-Seidel pass (the
+	// scheme of Jager and Bradley discussed in Section III).
+	BlockJacobi
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case JacobiSync:
+		return "jacobi-sync"
+	case JacobiAsync:
+		return "jacobi-async"
+	case GaussSeidel:
+		return "gauss-seidel"
+	case SOR:
+		return "sor"
+	case MulticolorGS:
+		return "multicolor-gs"
+	case BlockJacobi:
+		return "block-jacobi"
+	}
+	if name, ok := extraString(m); ok {
+		return name
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// Options configure Solve.
+type Options struct {
+	Method Method
+	// Tol is the relative residual 1-norm tolerance (default 1e-6).
+	Tol float64
+	// MaxSweeps bounds the number of sweeps (default 10000). A sweep
+	// relaxes every row once (for JacobiAsync: every worker completes
+	// one local iteration).
+	MaxSweeps int
+	// Threads is the worker count for JacobiAsync (default 8; others
+	// run sequentially, which is the reference semantics).
+	Threads int
+	// Omega is the SOR relaxation factor (default 1.5).
+	Omega float64
+	// BlockSize is the BlockJacobi block size (default 32).
+	BlockSize int
+	// X0 is the starting iterate; nil means zero.
+	X0 []float64
+	// RecordHistory captures the relative residual after every sweep.
+	RecordHistory bool
+}
+
+// Result reports a solve.
+type Result struct {
+	X      []float64
+	Sweeps int
+	// RelRes is the exact final relative residual 1-norm.
+	RelRes    float64
+	Converged bool
+	// History[k] is the relative residual after sweep k (History[0] is
+	// the starting residual); filled when RecordHistory is set.
+	History []float64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Tol == 0 {
+		out.Tol = 1e-6
+	}
+	if out.MaxSweeps == 0 {
+		out.MaxSweeps = 10000
+	}
+	if out.Threads == 0 {
+		out.Threads = 8
+	}
+	if out.Omega == 0 {
+		out.Omega = 1.5
+		if out.Method == JacobiDamped {
+			out.Omega = 0.8
+		}
+	}
+	if out.BlockSize == 0 {
+		out.BlockSize = 32
+	}
+	return out
+}
+
+// Prepare brings a symmetric positive-definite system Ax = b into the
+// unit-diagonal form the solvers require. It returns the scaled matrix
+// and right-hand side plus an unscale function mapping a solution of
+// the scaled system back to the original variables.
+func Prepare(a *sparse.CSR, b []float64) (*sparse.CSR, []float64, func([]float64) []float64, error) {
+	scaled, d, err := sparse.ScaleUnitDiagonal(a)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bs := sparse.ScaleVector(d, b)
+	unscale := func(x []float64) []float64 { return sparse.UnscaleVector(d, x) }
+	return scaled, bs, unscale, nil
+}
+
+// Solve runs the selected method on a unit-diagonal system.
+func Solve(a *sparse.CSR, b []float64, opt Options) (*Result, error) {
+	if !a.IsSquare() {
+		return nil, fmt.Errorf("core: matrix must be square, got %dx%d", a.N, a.M)
+	}
+	if len(b) != a.N {
+		return nil, fmt.Errorf("core: len(b)=%d != n=%d", len(b), a.N)
+	}
+	if !a.HasUnitDiagonal(1e-8) {
+		return nil, fmt.Errorf("core: matrix does not have unit diagonal; call Prepare first")
+	}
+	o := opt.withDefaults()
+	n := a.N
+	x := make([]float64, n)
+	if o.X0 != nil {
+		if len(o.X0) != n {
+			return nil, fmt.Errorf("core: len(X0)=%d != n=%d", len(o.X0), n)
+		}
+		copy(x, o.X0)
+	}
+
+	if o.Method == JacobiAsync {
+		return solveAsync(a, b, x, o)
+	}
+	if o.Method == CG {
+		return solveCG(a, b, x, o)
+	}
+
+	nb := vec.Norm1(b)
+	if nb == 0 {
+		nb = 1
+	}
+	r := make([]float64, n)
+	relres := func() float64 {
+		a.Residual(r, b, x)
+		return vec.Norm1(r) / nb
+	}
+
+	res := &Result{X: x}
+	if o.RecordHistory {
+		res.History = append(res.History, relres())
+	}
+
+	sweep, err := sweeper(a, b, o)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < o.MaxSweeps; k++ {
+		sweep(x)
+		res.Sweeps = k + 1
+		rr := relres()
+		if o.RecordHistory {
+			res.History = append(res.History, rr)
+		}
+		if rr <= o.Tol {
+			res.Converged = true
+			break
+		}
+		if math.IsNaN(rr) || math.IsInf(rr, 0) {
+			break
+		}
+	}
+	res.RelRes = relres()
+	res.Converged = res.RelRes <= o.Tol
+	return res, nil
+}
+
+// sweeper builds the per-sweep kernel for the sequential methods.
+func sweeper(a *sparse.CSR, b []float64, o Options) (func(x []float64), error) {
+	n := a.N
+	switch o.Method {
+	case JacobiSync:
+		scratch := make([]float64, n)
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return func(x []float64) {
+			model.Step(a, x, b, all, scratch)
+		}, nil
+
+	case GaussSeidel:
+		return func(x []float64) {
+			model.GaussSeidelSweep(a, x, b)
+		}, nil
+
+	case SOR:
+		if o.Omega <= 0 || o.Omega >= 2 {
+			return nil, fmt.Errorf("core: SOR omega %g outside (0, 2)", o.Omega)
+		}
+		om := o.Omega
+		return func(x []float64) {
+			for i := 0; i < n; i++ {
+				s := b[i]
+				for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+					j := a.Col[k]
+					if j != i {
+						s -= a.Val[k] * x[j]
+					}
+				}
+				x[i] = (1-om)*x[i] + om*s
+			}
+		}, nil
+
+	case MulticolorGS:
+		masks := model.MulticolorMasks(a)
+		scratch := make([]float64, n)
+		return func(x []float64) {
+			for _, m := range masks {
+				model.Step(a, x, b, m, scratch)
+			}
+		}, nil
+
+	case BlockJacobi:
+		if o.BlockSize <= 0 {
+			return nil, fmt.Errorf("core: BlockSize must be positive")
+		}
+		bs := o.BlockSize
+		xOld := make([]float64, n)
+		return func(x []float64) {
+			// Additive across blocks: off-block reads see the sweep's
+			// starting values; within a block, one forward GS pass.
+			copy(xOld, x)
+			for lo := 0; lo < n; lo += bs {
+				hi := lo + bs
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					s := b[i]
+					for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+						j := a.Col[k]
+						if j == i {
+							continue
+						}
+						if j >= lo && j < i {
+							s -= a.Val[k] * x[j] // updated within block
+						} else {
+							s -= a.Val[k] * xOld[j]
+						}
+					}
+					x[i] = s
+				}
+			}
+		}, nil
+	}
+	return extraSweeper(a, b, o)
+}
+
+// solveAsync adapts the shared-memory asynchronous solver to the core
+// API.
+func solveAsync(a *sparse.CSR, b, x0 []float64, o Options) (*Result, error) {
+	sres := shm.Solve(a, b, x0, shm.Options{
+		Threads:       o.Threads,
+		MaxIters:      o.MaxSweeps,
+		Tol:           o.Tol,
+		Async:         true,
+		DelayThread:   -1,
+		RecordHistory: o.RecordHistory,
+	})
+	res := &Result{
+		X:         sres.X,
+		RelRes:    sres.RelRes,
+		Converged: sres.Converged,
+	}
+	for _, it := range sres.Iterations {
+		if it > res.Sweeps {
+			res.Sweeps = it
+		}
+	}
+	if o.RecordHistory {
+		for _, h := range sres.History {
+			res.History = append(res.History, h.RelRes)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+func randomVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+func methods() []Method {
+	return []Method{JacobiSync, JacobiAsync, GaussSeidel, SOR, MulticolorGS, BlockJacobi}
+}
+
+// Every method must solve the FD system to tolerance and the reported
+// residual must be exact.
+func TestAllMethodsConvergeOnFD(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := matgen.FD2D(10, 10)
+	b := randomVec(rng, a.N)
+	for _, m := range methods() {
+		res, err := Solve(a, b, Options{Method: m, Tol: 1e-8, MaxSweeps: 100000})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v did not converge: %g", m, res.RelRes)
+		}
+		r := make([]float64, a.N)
+		a.Residual(r, b, res.X)
+		exact := vec.Norm1(r) / vec.Norm1(b)
+		if math.Abs(exact-res.RelRes) > 1e-12*(1+exact) {
+			t.Fatalf("%v: reported residual %g, exact %g", m, res.RelRes, exact)
+		}
+	}
+}
+
+// All methods must agree on the solution (same system, same answer).
+func TestMethodsAgreeOnSolution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := matgen.FD2D(6, 7)
+	b := randomVec(rng, a.N)
+	var ref []float64
+	for _, m := range methods() {
+		res, err := Solve(a, b, Options{Method: m, Tol: 1e-10, MaxSweeps: 200000})
+		if err != nil || !res.Converged {
+			t.Fatalf("%v failed: %v", m, err)
+		}
+		if ref == nil {
+			ref = res.X
+			continue
+		}
+		for i := range ref {
+			if math.Abs(ref[i]-res.X[i]) > 1e-7 {
+				t.Fatalf("%v disagrees at %d: %g vs %g", m, i, res.X[i], ref[i])
+			}
+		}
+	}
+}
+
+// Convergence-rate ordering on the SPD W.D.D. model problem: SOR with a
+// good omega beats Gauss-Seidel, which beats Jacobi (in sweeps).
+func TestClassicalOrdering(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := matgen.FD2D(12, 12)
+	b := randomVec(rng, a.N)
+	sweepsOf := func(m Method, omega float64) int {
+		res, err := Solve(a, b, Options{Method: m, Omega: omega, Tol: 1e-8, MaxSweeps: 200000})
+		if err != nil || !res.Converged {
+			t.Fatalf("%v failed", m)
+		}
+		return res.Sweeps
+	}
+	j := sweepsOf(JacobiSync, 0)
+	g := sweepsOf(GaussSeidel, 0)
+	s := sweepsOf(SOR, 1.6)
+	if !(s < g && g < j) {
+		t.Fatalf("expected SOR < GS < Jacobi sweeps, got %d, %d, %d", s, g, j)
+	}
+	// Theory: GS converges about twice as fast as Jacobi for this
+	// class (rho_GS = rho_J^2).
+	if g > j*2/3 {
+		t.Fatalf("GS sweeps %d not clearly better than Jacobi %d", g, j)
+	}
+}
+
+// Gauss-Seidel and the asynchronous method converge on the FE matrix
+// where synchronous Jacobi diverges.
+func TestFEMatrixBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	a := matgen.FE2D(matgen.DefaultFEOptions(20, 20))
+	b := randomVec(rng, a.N)
+
+	js, err := Solve(a, b, Options{Method: JacobiSync, Tol: 1e-6, MaxSweeps: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Converged {
+		t.Fatal("synchronous Jacobi should not converge on the FE matrix")
+	}
+	gs, err := Solve(a, b, Options{Method: GaussSeidel, Tol: 1e-6, MaxSweeps: 200000})
+	if err != nil || !gs.Converged {
+		t.Fatalf("Gauss-Seidel should converge on SPD: %v %v", err, gs)
+	}
+	ja, err := Solve(a, b, Options{Method: JacobiAsync, Threads: 64, Tol: 1e-3, MaxSweeps: 20000})
+	if err != nil || !ja.Converged {
+		t.Fatalf("asynchronous Jacobi should converge on the FE matrix: %v, res %+v", err, ja)
+	}
+}
+
+func TestHistoryRecording(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	a := matgen.FD2D(5, 5)
+	b := randomVec(rng, a.N)
+	res, err := Solve(a, b, Options{Method: JacobiSync, Tol: 1e-6, MaxSweeps: 10000, RecordHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) < 2 {
+		t.Fatal("history not recorded")
+	}
+	if res.History[0] != 1 {
+		// zero start: residual = b, rel res = 1
+		t.Fatalf("starting rel res %g, want 1", res.History[0])
+	}
+	for k := 1; k < len(res.History); k++ {
+		if res.History[k] > res.History[k-1]*(1+1e-12) {
+			t.Fatal("Jacobi residual must decay monotonically on W.D.D. normal system")
+		}
+	}
+}
+
+func TestX0Respected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	a := matgen.FD2D(5, 5)
+	// Choose b = A*ones so x*=ones; start exactly at the solution.
+	xStar := make([]float64, a.N)
+	vec.Fill(xStar, 1)
+	b := make([]float64, a.N)
+	a.MulVec(b, xStar)
+	res, err := Solve(a, b, Options{Method: JacobiSync, Tol: 1e-12, MaxSweeps: 10, X0: xStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Sweeps > 1 {
+		t.Fatalf("starting at the solution should converge immediately: %+v", res)
+	}
+	_ = rng
+}
+
+func TestPrepare(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	// Unscaled 1-D Laplacian (diag 2).
+	n := 20
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 2)
+		if i > 0 {
+			c.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -1)
+		}
+	}
+	a := c.ToCSR()
+	xStar := randomVec(rng, n)
+	b := make([]float64, n)
+	a.MulVec(b, xStar)
+
+	as, bs, unscale, err := Prepare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(as, bs, Options{Method: GaussSeidel, Tol: 1e-12, MaxSweeps: 100000})
+	if err != nil || !res.Converged {
+		t.Fatalf("solve failed: %v", err)
+	}
+	x := unscale(res.X)
+	for i := range x {
+		if math.Abs(x[i]-xStar[i]) > 1e-8 {
+			t.Fatalf("unscaled solution wrong at %d: %g vs %g", i, x[i], xStar[i])
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	a := matgen.FD2D(4, 4)
+	b := randomVec(rng, a.N)
+
+	// Non-unit diagonal rejected.
+	c := sparse.NewCOO(3, 3)
+	c.Add(0, 0, 2)
+	c.Add(1, 1, 2)
+	c.Add(2, 2, 2)
+	if _, err := Solve(c.ToCSR(), make([]float64, 3), Options{}); err == nil {
+		t.Fatal("non-unit diagonal accepted")
+	}
+	// Non-square rejected.
+	c2 := sparse.NewCOO(2, 3)
+	c2.Add(0, 0, 1)
+	c2.Add(1, 1, 1)
+	if _, err := Solve(c2.ToCSR(), make([]float64, 2), Options{}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	// Dimension mismatch.
+	if _, err := Solve(a, make([]float64, 3), Options{}); err == nil {
+		t.Fatal("short b accepted")
+	}
+	// Bad X0.
+	if _, err := Solve(a, b, Options{X0: make([]float64, 2)}); err == nil {
+		t.Fatal("short X0 accepted")
+	}
+	// Bad omega.
+	if _, err := Solve(a, b, Options{Method: SOR, Omega: 2.5}); err == nil {
+		t.Fatal("omega >= 2 accepted")
+	}
+	// Unknown method.
+	if _, err := Solve(a, b, Options{Method: Method(99)}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	names := map[Method]string{
+		JacobiSync:   "jacobi-sync",
+		JacobiAsync:  "jacobi-async",
+		GaussSeidel:  "gauss-seidel",
+		SOR:          "sor",
+		MulticolorGS: "multicolor-gs",
+		BlockJacobi:  "block-jacobi",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q", int(m), m.String())
+		}
+	}
+	if Method(42).String() != "method(42)" {
+		t.Fatal("fallback name wrong")
+	}
+}
+
+func TestBlockJacobiBlockSizeOne(t *testing.T) {
+	// BlockSize 1 degenerates to plain (synchronous) Jacobi.
+	rng := rand.New(rand.NewPCG(17, 18))
+	a := matgen.FD2D(5, 4)
+	b := randomVec(rng, a.N)
+	r1, err := Solve(a, b, Options{Method: BlockJacobi, BlockSize: 1, Tol: 1e-9, MaxSweeps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Solve(a, b, Options{Method: JacobiSync, Tol: 1e-9, MaxSweeps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Sweeps != r2.Sweeps {
+		t.Fatalf("BlockJacobi(1) sweeps %d != Jacobi %d", r1.Sweeps, r2.Sweeps)
+	}
+}

@@ -1,0 +1,276 @@
+package dense
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func randSym(rng *rand.Rand, n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := randSym(rng, 5)
+	i5 := Identity(5)
+	b := Mul(a, i5)
+	c := Mul(i5, a)
+	for k := range a.Data {
+		if a.Data[k] != b.Data[k] || a.Data[k] != c.Data[k] {
+			t.Fatal("identity multiplication changed matrix")
+		}
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a, b, c := randSym(rng, 6), randSym(rng, 6), randSym(rng, 6)
+	lhs := Mul(Mul(a, b), c)
+	rhs := Mul(a, Mul(b, c))
+	if Sub(lhs, rhs).MaxAbs() > 1e-10 {
+		t.Fatal("matrix product not associative within tolerance")
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := randSym(rng, 7)
+	x := make([]float64, 7)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 7)
+	a.MulVec(y, x)
+	xm := New(7, 1)
+	copy(xm.Data, x)
+	ym := Mul(a, xm)
+	for i := range y {
+		if math.Abs(y[i]-ym.At(i, 0)) > 1e-12 {
+			t.Fatal("MulVec disagrees with Mul")
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 || mt.At(0, 1) != 4 || mt.At(2, 0) != 3 {
+		t.Fatal("transpose wrong")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}, {3, 4}})
+	if m.NormInf() != 7 {
+		t.Fatalf("NormInf = %g", m.NormInf())
+	}
+	if m.Norm1() != 6 {
+		t.Fatalf("Norm1 = %g", m.Norm1())
+	}
+	if math.Abs(m.NormFrob()-math.Sqrt(30)) > 1e-14 {
+		t.Fatalf("NormFrob = %g", m.NormFrob())
+	}
+	if m.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %g", m.MaxAbs())
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := m.Submatrix([]int{0, 2})
+	if s.At(0, 0) != 1 || s.At(0, 1) != 3 || s.At(1, 0) != 7 || s.At(1, 1) != 9 {
+		t.Fatal("Submatrix wrong")
+	}
+}
+
+// SymEig on the 1-D Laplacian has the analytic spectrum
+// 2 - 2 cos(k pi/(n+1)), k = 1..n.
+func TestSymEigLaplacian(t *testing.T) {
+	n := 12
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 2)
+		if i > 0 {
+			m.Set(i, i-1, -1)
+			m.Set(i-1, i, -1)
+		}
+	}
+	ev, err := SymEig(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if math.Abs(ev[k-1]-want) > 1e-10 {
+			t.Fatalf("eig[%d] = %.12f want %.12f", k-1, ev[k-1], want)
+		}
+	}
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	m := New(4, 4)
+	vals := []float64{3, -1, 7, 0}
+	for i, v := range vals {
+		m.Set(i, i, v)
+	}
+	ev, err := SymEig(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 0, 3, 7}
+	for i := range want {
+		if math.Abs(ev[i]-want[i]) > 1e-12 {
+			t.Fatalf("ev = %v", ev)
+		}
+	}
+}
+
+func TestSymEigRejectsAsymmetric(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := SymEig(m); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+}
+
+// Property: trace(A) == sum of eigenvalues; Frobenius norm squared ==
+// sum of squared eigenvalues (both for symmetric A).
+func TestSymEigTraceProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.IntN(14)
+		a := randSym(rng, n)
+		ev, err := SymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr, evs, ev2 float64
+		for i := 0; i < n; i++ {
+			tr += a.At(i, i)
+		}
+		for _, l := range ev {
+			evs += l
+			ev2 += l * l
+		}
+		if math.Abs(tr-evs) > 1e-9*(1+math.Abs(tr)) {
+			t.Fatalf("trace %.12g != eig sum %.12g", tr, evs)
+		}
+		f2 := a.NormFrob()
+		if math.Abs(f2*f2-ev2) > 1e-8*(1+f2*f2) {
+			t.Fatalf("frob^2 %.12g != eig^2 sum %.12g", f2*f2, ev2)
+		}
+	}
+}
+
+// Cauchy interlacing: eigenvalues of principal submatrices interlace.
+func TestInterlacingProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.IntN(10)
+		a := randSym(rng, n)
+		lambda, err := SymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random index subset of size m.
+		m := 1 + rng.IntN(n-1)
+		perm := rng.Perm(n)[:m]
+		sub := a.Submatrix(perm)
+		mu, err := SymEig(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Interlaces(lambda, mu, 1e-8) {
+			t.Fatalf("interlacing violated: lambda=%v mu=%v", lambda, mu)
+		}
+	}
+}
+
+func TestInterlacesRejects(t *testing.T) {
+	if Interlaces([]float64{0, 1}, []float64{2}, 1e-12) {
+		t.Fatal("out-of-range mu accepted")
+	}
+	if Interlaces([]float64{0}, []float64{0, 1}, 1e-12) {
+		t.Fatal("m > n accepted")
+	}
+}
+
+func TestPowerIterationSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.IntN(10)
+		a := randSym(rng, n)
+		want, err := SpectralRadiusSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := PowerIteration(a, 20000, 1e-12)
+		if math.Abs(got-want) > 1e-5*(1+want) {
+			t.Fatalf("power iteration %.10f, eig %.10f", got, want)
+		}
+	}
+}
+
+func TestPowerIterationZeroMatrix(t *testing.T) {
+	got, _ := PowerIteration(New(4, 4), 100, 1e-10)
+	if got != 0 {
+		t.Fatalf("zero matrix radius = %g", got)
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(12)
+		a := New(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal boost keeps it comfortably nonsingular.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MulVec(b, xTrue)
+		x, err := LUSolve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				t.Fatalf("LUSolve x[%d] = %g want %g", i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestLUSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := LUSolve(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func BenchmarkSymEig64(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	a := randSym(rng, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SymEig(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEig computes all eigenvalues of a symmetric matrix, returned in
+// ascending order. It uses Householder reduction to tridiagonal form
+// followed by the implicit-shift QL algorithm — the classic dense
+// symmetric eigensolver. Eigenvectors are not computed (the model only
+// needs spectra for interlacing and norm arguments).
+func SymEig(a *Matrix) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("dense: SymEig needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if !a.IsSymmetric(1e-10 * (1 + a.MaxAbs())) {
+		return nil, fmt.Errorf("dense: SymEig called on non-symmetric matrix")
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, nil
+	}
+	d, e := tridiagonalize(a.Clone())
+	if err := tqli(d, e); err != nil {
+		return nil, err
+	}
+	sort.Float64s(d)
+	return d, nil
+}
+
+// tridiagonalize reduces symmetric a to tridiagonal form in place via
+// Householder reflections, returning the diagonal d and subdiagonal e
+// (e[0] unused). Follows the standard "tred2" formulation without
+// accumulating transforms.
+func tridiagonalize(a *Matrix) (d, e []float64) {
+	n := a.Rows
+	d = make([]float64, n)
+	e = make([]float64, n)
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		var h, scale float64
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(a.At(i, k))
+			}
+			if scale == 0 {
+				e[i] = a.At(i, l)
+			} else {
+				for k := 0; k <= l; k++ {
+					a.Set(i, k, a.At(i, k)/scale)
+					h += a.At(i, k) * a.At(i, k)
+				}
+				f := a.At(i, l)
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				a.Set(i, l, f-g)
+				var f2 float64
+				for j := 0; j <= l; j++ {
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += a.At(j, k) * a.At(i, k)
+					}
+					for k := j + 1; k <= l; k++ {
+						g += a.At(k, j) * a.At(i, k)
+					}
+					e[j] = g / h
+					f2 += e[j] * a.At(i, j)
+				}
+				hh := f2 / (h + h)
+				for j := 0; j <= l; j++ {
+					f = a.At(i, j)
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						a.Set(j, k, a.At(j, k)-f*e[k]-g*a.At(i, k))
+					}
+				}
+			}
+		} else {
+			e[i] = a.At(i, l)
+		}
+		d[i] = h
+	}
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		d[i] = a.At(i, i)
+	}
+	return d, e
+}
+
+// tqli runs the implicit-shift QL algorithm on a symmetric tridiagonal
+// matrix with diagonal d and subdiagonal e (e[0] unused). On return d
+// holds the eigenvalues (unsorted).
+func tqli(d, e []float64) error {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			if iter >= 50 {
+				return fmt.Errorf("dense: QL failed to converge at index %d", l)
+			}
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= math.SmallestNonzeroFloat64*dd || math.Abs(e[m])+dd == dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+// SpectralRadiusSym returns max |lambda| for a symmetric matrix, via
+// the full eigendecomposition.
+func SpectralRadiusSym(a *Matrix) (float64, error) {
+	ev, err := SymEig(a)
+	if err != nil {
+		return 0, err
+	}
+	var r float64
+	for _, l := range ev {
+		if x := math.Abs(l); x > r {
+			r = x
+		}
+	}
+	return r, nil
+}
+
+// PowerIteration estimates the spectral radius of a general square
+// matrix by power iteration from a deterministic pseudo-random start
+// vector. It returns the dominant |eigenvalue| estimate and the number
+// of iterations used. For matrices whose dominant eigenvalue is complex
+// or defective convergence may be slow; maxIter bounds the work and the
+// best estimate so far is returned.
+func PowerIteration(a *Matrix, maxIter int, tol float64) (float64, int) {
+	n := a.Rows
+	if n == 0 {
+		return 0, 0
+	}
+	x := make([]float64, n)
+	// Deterministic non-degenerate start: varies by index so it is not
+	// orthogonal to common dominant eigenvectors.
+	for i := range x {
+		x[i] = 1 + 0.5*math.Sin(float64(3*i+1))
+	}
+	y := make([]float64, n)
+	var lambda, prev float64
+	for it := 1; it <= maxIter; it++ {
+		a.MulVec(y, x)
+		// Normalize in infinity norm; the scale factor estimates |lambda|.
+		var mx float64
+		for _, v := range y {
+			if av := math.Abs(v); av > mx {
+				mx = av
+			}
+		}
+		if mx == 0 {
+			return 0, it // a x = 0: start vector in nullspace; radius 0 estimate
+		}
+		lambda = mx
+		for i := range y {
+			x[i] = y[i] / mx
+		}
+		if it > 1 && math.Abs(lambda-prev) <= tol*math.Abs(lambda) {
+			return lambda, it
+		}
+		prev = lambda
+	}
+	return lambda, maxIter
+}
+
+// LUSolve solves a x = b by Gaussian elimination with partial pivoting,
+// overwriting nothing (a and b are copied). Returns an error when the
+// matrix is singular to working precision.
+func LUSolve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("dense: LUSolve dimension mismatch")
+	}
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// partial pivot
+		p, pmax := k, math.Abs(m.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(m.At(i, k)); a > pmax {
+				p, pmax = i, a
+			}
+		}
+		if pmax == 0 {
+			return nil, fmt.Errorf("dense: singular matrix in LUSolve at column %d", k)
+		}
+		if p != k {
+			mi, mk := m.Row(p), m.Row(k)
+			for j := 0; j < n; j++ {
+				mi[j], mk[j] = mk[j], mi[j]
+			}
+			x[p], x[k] = x[k], x[p]
+		}
+		piv := m.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := m.At(i, k) / piv
+			if f == 0 {
+				continue
+			}
+			ri, rk := m.Row(i), m.Row(k)
+			for j := k; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		ri := m.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s / ri[i]
+	}
+	return x, nil
+}
+
+// Interlaces reports whether the eigenvalues mu of an m-by-m principal
+// submatrix interlace the eigenvalues lambda of the parent n-by-n
+// symmetric matrix per Cauchy's theorem:
+// lambda_i <= mu_i <= lambda_{i+n-m} (both ascending, 0-based), within
+// tolerance tol.
+func Interlaces(lambda, mu []float64, tol float64) bool {
+	n, m := len(lambda), len(mu)
+	if m > n {
+		return false
+	}
+	for i := 0; i < m; i++ {
+		if mu[i] < lambda[i]-tol || mu[i] > lambda[i+n-m]+tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEigVec computes all eigenvalues and orthonormal eigenvectors of a
+// symmetric matrix using the cyclic Jacobi rotation method — fittingly,
+// the eigensolver named after the same Jacobi as the iteration this
+// library studies. Eigenvalues are returned ascending; column k of the
+// returned matrix is the eigenvector of eigenvalue k.
+//
+// The QL-based SymEig is faster for eigenvalues only; use this when the
+// eigenvectors themselves matter (e.g. verifying that the residual
+// propagation matrix's unit-eigenvalue eigenvectors are the delayed
+// rows' unit basis vectors, Section IV-C).
+func SymEigVec(a *Matrix) ([]float64, *Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("dense: SymEigVec needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if !a.IsSymmetric(1e-10 * (1 + a.MaxAbs())) {
+		return nil, nil, fmt.Errorf("dense: SymEigVec called on non-symmetric matrix")
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, New(0, 0), nil
+	}
+	m := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius mass decides convergence.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off <= 1e-28*(1+m.NormFrob()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				// Stable rotation computation (Golub & Van Loan).
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				applyJacobiRotation(m, v, p, q, c, s)
+			}
+		}
+	}
+
+	// Extract and sort.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{m.At(i, i), i}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].val < pairs[b].val })
+	evals := make([]float64, n)
+	evecs := New(n, n)
+	for k, pr := range pairs {
+		evals[k] = pr.val
+		for i := 0; i < n; i++ {
+			evecs.Set(i, k, v.At(i, pr.idx))
+		}
+	}
+	return evals, evecs, nil
+}
+
+// applyJacobiRotation applies the rotation J(p, q, c, s) as m <- J^T m J
+// and accumulates v <- v J.
+func applyJacobiRotation(m, v *Matrix, p, q int, c, s float64) {
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		mip, miq := m.At(i, p), m.At(i, q)
+		m.Set(i, p, c*mip-s*miq)
+		m.Set(i, q, s*mip+c*miq)
+	}
+	for j := 0; j < n; j++ {
+		mpj, mqj := m.At(p, j), m.At(q, j)
+		m.Set(p, j, c*mpj-s*mqj)
+		m.Set(q, j, s*mpj+c*mqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+// Nullspace returns an orthonormal basis of the (numerical) nullspace
+// of a symmetric matrix: eigenvectors whose |eigenvalue| <= tol. Column
+// k of the returned matrix is one basis vector; the matrix has zero
+// columns when the matrix is nonsingular. Used to find the fixed-point
+// directions of propagation matrices (Theorem 1's v = null(Y)).
+func Nullspace(a *Matrix, tol float64) (*Matrix, error) {
+	evals, evecs, err := SymEigVec(a)
+	if err != nil {
+		return nil, err
+	}
+	var cols []int
+	for k, l := range evals {
+		if math.Abs(l) <= tol {
+			cols = append(cols, k)
+		}
+	}
+	out := New(a.Rows, len(cols))
+	for j, k := range cols {
+		for i := 0; i < a.Rows; i++ {
+			out.Set(i, j, evecs.At(i, k))
+		}
+	}
+	return out, nil
+}

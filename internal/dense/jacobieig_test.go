@@ -1,0 +1,122 @@
+package dense
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSymEigVecMatchesSymEig(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.IntN(12)
+		a := randSym(rng, n)
+		want, err := SymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := SymEigVec(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if math.Abs(got[k]-want[k]) > 1e-9*(1+math.Abs(want[k])) {
+				t.Fatalf("eig[%d] = %.12f, QL says %.12f", k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// A v_k = lambda_k v_k and V^T V = I.
+func TestSymEigVecResidualAndOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 64))
+	n := 10
+	a := randSym(rng, n)
+	evals, v, err := SymEigVec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = v.At(i, k)
+		}
+		av := make([]float64, n)
+		a.MulVec(av, col)
+		for i := 0; i < n; i++ {
+			if math.Abs(av[i]-evals[k]*col[i]) > 1e-9*(1+math.Abs(evals[k])) {
+				t.Fatalf("eigpair %d residual %g at row %d", k, av[i]-evals[k]*col[i], i)
+			}
+		}
+	}
+	vtv := Mul(v.T(), v)
+	if Sub(vtv, Identity(n)).MaxAbs() > 1e-10 {
+		t.Fatal("eigenvectors not orthonormal")
+	}
+}
+
+func TestSymEigVecRejectsAsymmetric(t *testing.T) {
+	if _, _, err := SymEigVec(FromRows([][]float64{{1, 2}, {3, 4}})); err == nil {
+		t.Fatal("asymmetric accepted")
+	}
+}
+
+func TestSymEigVecEmpty(t *testing.T) {
+	evals, v, err := SymEigVec(New(0, 0))
+	if err != nil || len(evals) != 0 || v.Rows != 0 {
+		t.Fatal("empty matrix mishandled")
+	}
+}
+
+func TestNullspace(t *testing.T) {
+	// Graph Laplacian of a path: nullspace = span(ones).
+	n := 6
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		deg := 0.0
+		if i > 0 {
+			m.Set(i, i-1, -1)
+			deg++
+		}
+		if i < n-1 {
+			m.Set(i, i+1, -1)
+			deg++
+		}
+		m.Set(i, i, deg)
+	}
+	ns, err := Nullspace(m, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Cols != 1 {
+		t.Fatalf("nullity = %d, want 1", ns.Cols)
+	}
+	// The basis vector is proportional to ones.
+	first := ns.At(0, 0)
+	if first == 0 {
+		t.Fatal("degenerate nullspace vector")
+	}
+	for i := 1; i < n; i++ {
+		if math.Abs(ns.At(i, 0)-first) > 1e-9 {
+			t.Fatalf("nullspace vector not constant: %g vs %g", ns.At(i, 0), first)
+		}
+	}
+	// Nonsingular matrix: empty nullspace.
+	id := Identity(4)
+	ns2, err := Nullspace(id, 1e-12)
+	if err != nil || ns2.Cols != 0 {
+		t.Fatalf("identity nullspace cols = %d", ns2.Cols)
+	}
+}
+
+func BenchmarkSymEigVec32(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := randSym(rng, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SymEigVec(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Eig computes all eigenvalues of a general real square matrix via
+// Householder reduction to upper Hessenberg form followed by the
+// Francis implicit double-shift QR iteration. Complex eigenvalues come
+// out in conjugate pairs. The result is unordered.
+//
+// The asynchronous propagation matrices Ĝ(k) and Ĥ(k) are genuinely
+// non-symmetric (delayed rows replace symmetric rows with unit basis
+// vectors), so verifying rho(Ĝ) exactly — not just by power iteration —
+// needs a general eigensolver.
+func Eig(a *Matrix) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("dense: Eig needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, nil
+	}
+	h := a.Clone()
+	hessenberg(h)
+	return hqr(h)
+}
+
+// SpectralRadius returns max |lambda| over the full (possibly complex)
+// spectrum of a general real matrix.
+func SpectralRadius(a *Matrix) (float64, error) {
+	ev, err := Eig(a)
+	if err != nil {
+		return 0, err
+	}
+	var r float64
+	for _, l := range ev {
+		if m := cmplx.Abs(l); m > r {
+			r = m
+		}
+	}
+	return r, nil
+}
+
+// hessenberg reduces m in place to upper Hessenberg form by Householder
+// reflections (similarity transforms, spectrum preserved).
+func hessenberg(m *Matrix) {
+	n := m.Rows
+	for k := 0; k < n-2; k++ {
+		// Build the reflector annihilating column k below row k+1.
+		var scale float64
+		for i := k + 1; i < n; i++ {
+			scale += math.Abs(m.At(i, k))
+		}
+		if scale == 0 {
+			continue
+		}
+		var h float64
+		v := make([]float64, n) // reflector, nonzero in rows k+1..n-1
+		for i := k + 1; i < n; i++ {
+			v[i] = m.At(i, k) / scale
+			h += v[i] * v[i]
+		}
+		g := math.Sqrt(h)
+		if v[k+1] > 0 {
+			g = -g
+		}
+		h -= v[k+1] * g
+		v[k+1] -= g
+		if h == 0 {
+			continue
+		}
+		// Apply (I - v v^T / h) from the left: rows k+1..n-1.
+		for j := 0; j < n; j++ {
+			var f float64
+			for i := k + 1; i < n; i++ {
+				f += v[i] * m.At(i, j)
+			}
+			f /= h
+			for i := k + 1; i < n; i++ {
+				m.Set(i, j, m.At(i, j)-f*v[i])
+			}
+		}
+		// Apply from the right: columns k+1..n-1.
+		for i := 0; i < n; i++ {
+			var f float64
+			for j := k + 1; j < n; j++ {
+				f += v[j] * m.At(i, j)
+			}
+			f /= h
+			for j := k + 1; j < n; j++ {
+				m.Set(i, j, m.At(i, j)-f*v[j])
+			}
+		}
+		m.Set(k+1, k, scale*g)
+		for i := k + 2; i < n; i++ {
+			m.Set(i, k, 0)
+		}
+	}
+}
+
+// hqr runs the Francis double-shift QR algorithm on an upper Hessenberg
+// matrix, returning its eigenvalues. Adapted from the classic "hqr"
+// formulation (Numerical Recipes / EISPACK lineage).
+func hqr(m *Matrix) ([]complex128, error) {
+	n := m.Rows
+	ev := make([]complex128, 0, n)
+	var anorm float64
+	for i := 0; i < n; i++ {
+		for j := max(i-1, 0); j < n; j++ {
+			anorm += math.Abs(m.At(i, j))
+		}
+	}
+	nn := n - 1
+	t := 0.0
+	for nn >= 0 {
+		its := 0
+		var l int
+		for {
+			// Look for a small subdiagonal element.
+			for l = nn; l >= 1; l-- {
+				s := math.Abs(m.At(l-1, l-1)) + math.Abs(m.At(l, l))
+				if s == 0 {
+					s = anorm
+				}
+				if math.Abs(m.At(l, l-1))+s == s {
+					m.Set(l, l-1, 0)
+					break
+				}
+			}
+			x := m.At(nn, nn)
+			if l == nn {
+				// One real eigenvalue.
+				ev = append(ev, complex(x+t, 0))
+				nn--
+				break
+			}
+			y := m.At(nn-1, nn-1)
+			w := m.At(nn, nn-1) * m.At(nn-1, nn)
+			if l == nn-1 {
+				// A 2x2 block: two eigenvalues.
+				p := 0.5 * (y - x)
+				q := p*p + w
+				z := math.Sqrt(math.Abs(q))
+				x += t
+				if q >= 0 {
+					if p >= 0 {
+						z = p + z
+					} else {
+						z = p - z
+					}
+					ev = append(ev, complex(x+z, 0))
+					if z != 0 {
+						ev = append(ev, complex(x-w/z, 0))
+					} else {
+						ev = append(ev, complex(x+z, 0))
+					}
+				} else {
+					ev = append(ev, complex(x+p, z), complex(x+p, -z))
+				}
+				nn -= 2
+				break
+			}
+			// No convergence yet: QR step.
+			if its == 60 {
+				return nil, fmt.Errorf("dense: QR failed to converge at block %d", nn)
+			}
+			if its == 10 || its == 20 {
+				// Exceptional shift.
+				t += x
+				for i := 0; i <= nn; i++ {
+					m.Set(i, i, m.At(i, i)-x)
+				}
+				s := math.Abs(m.At(nn, nn-1)) + math.Abs(m.At(nn-1, nn-2))
+				y = 0.75 * s
+				x = y
+				w = -0.4375 * s * s
+			}
+			its++
+			// Form shift and look for two consecutive small
+			// subdiagonal elements.
+			var mIdx int
+			var p, q, r float64
+			for mIdx = nn - 2; mIdx >= l; mIdx-- {
+				z := m.At(mIdx, mIdx)
+				rr := x - z
+				ss := y - z
+				p = (rr*ss-w)/m.At(mIdx+1, mIdx) + m.At(mIdx, mIdx+1)
+				q = m.At(mIdx+1, mIdx+1) - z - rr - ss
+				r = m.At(mIdx+2, mIdx+1)
+				ss = math.Abs(p) + math.Abs(q) + math.Abs(r)
+				p /= ss
+				q /= ss
+				r /= ss
+				if mIdx == l {
+					break
+				}
+				u := math.Abs(m.At(mIdx, mIdx-1)) * (math.Abs(q) + math.Abs(r))
+				v := math.Abs(p) * (math.Abs(m.At(mIdx-1, mIdx-1)) +
+					math.Abs(m.At(mIdx, mIdx)) + math.Abs(m.At(mIdx+1, mIdx+1)))
+				if u+v == v {
+					break
+				}
+			}
+			for i := mIdx + 2; i <= nn; i++ {
+				m.Set(i, i-2, 0)
+				if i != mIdx+2 {
+					m.Set(i, i-3, 0)
+				}
+			}
+			// Double QR step on rows l..nn and columns mIdx..nn.
+			for k := mIdx; k <= nn-1; k++ {
+				if k != mIdx {
+					p = m.At(k, k-1)
+					q = m.At(k+1, k-1)
+					r = 0
+					if k != nn-1 {
+						r = m.At(k+2, k-1)
+					}
+					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					if x != 0 {
+						p /= x
+						q /= x
+						r /= x
+					}
+				}
+				s := math.Sqrt(p*p + q*q + r*r)
+				if p < 0 {
+					s = -s
+				}
+				if s == 0 {
+					continue
+				}
+				if k == mIdx {
+					if l != mIdx {
+						m.Set(k, k-1, -m.At(k, k-1))
+					}
+				} else {
+					m.Set(k, k-1, -s*x)
+				}
+				p += s
+				x = p / s
+				y = q / s
+				z := r / s
+				q /= p
+				r /= p
+				// Row modification.
+				for j := k; j <= nn; j++ {
+					pp := m.At(k, j) + q*m.At(k+1, j)
+					if k != nn-1 {
+						pp += r * m.At(k+2, j)
+						m.Set(k+2, j, m.At(k+2, j)-pp*z)
+					}
+					m.Set(k+1, j, m.At(k+1, j)-pp*y)
+					m.Set(k, j, m.At(k, j)-pp*x)
+				}
+				// Column modification.
+				mmin := nn
+				if k+3 < nn {
+					mmin = k + 3
+				}
+				for i := l; i <= mmin; i++ {
+					pp := x*m.At(i, k) + y*m.At(i, k+1)
+					if k != nn-1 {
+						pp += z * m.At(i, k+2)
+						m.Set(i, k+2, m.At(i, k+2)-pp*r)
+					}
+					m.Set(i, k+1, m.At(i, k+1)-pp*q)
+					m.Set(i, k, m.At(i, k)-pp)
+				}
+			}
+		}
+	}
+	return ev, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,234 @@
+package dense
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func sortedReal(ev []complex128) []float64 {
+	out := make([]float64, len(ev))
+	for i, l := range ev {
+		out[i] = real(l)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func TestEigDiagonal(t *testing.T) {
+	m := New(4, 4)
+	want := []float64{-3, 0.5, 2, 7}
+	for i, v := range want {
+		m.Set(i, i, v)
+	}
+	ev, err := Eig(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedReal(ev)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("ev = %v want %v", got, want)
+		}
+	}
+}
+
+func TestEigUpperTriangular(t *testing.T) {
+	m := FromRows([][]float64{
+		{3, 1, 4},
+		{0, -2, 5},
+		{0, 0, 1.5},
+	})
+	ev, err := Eig(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedReal(ev)
+	want := []float64{-2, 1.5, 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("ev = %v want %v", got, want)
+		}
+	}
+}
+
+func TestEigRotationComplexPair(t *testing.T) {
+	// 2-D rotation by theta: eigenvalues e^{+-i theta}.
+	theta := 0.7
+	m := FromRows([][]float64{
+		{math.Cos(theta), -math.Sin(theta)},
+		{math.Sin(theta), math.Cos(theta)},
+	})
+	ev, err := Eig(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 2 {
+		t.Fatalf("got %d eigenvalues", len(ev))
+	}
+	for _, l := range ev {
+		if math.Abs(cmplx.Abs(l)-1) > 1e-12 {
+			t.Fatalf("|lambda| = %g want 1", cmplx.Abs(l))
+		}
+		if math.Abs(math.Abs(imag(l))-math.Sin(theta)) > 1e-12 {
+			t.Fatalf("imag part %g want +-%g", imag(l), math.Sin(theta))
+		}
+	}
+}
+
+// Companion matrix of x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3).
+func TestEigCompanion(t *testing.T) {
+	m := FromRows([][]float64{
+		{6, -11, 6},
+		{1, 0, 0},
+		{0, 1, 0},
+	})
+	ev, err := Eig(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedReal(ev)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("companion ev = %v", got)
+		}
+	}
+}
+
+// On symmetric matrices the general QR must agree with the symmetric
+// QL solver.
+func TestEigMatchesSymEig(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 92))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.IntN(12)
+		a := randSym(rng, n)
+		want, err := SymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := Eig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sortedReal(ev)
+		for k := range want {
+			if math.Abs(got[k]-want[k]) > 1e-8*(1+math.Abs(want[k])) {
+				t.Fatalf("trial %d: ev[%d] = %.12f want %.12f", trial, k, got[k], want[k])
+			}
+		}
+		// Imag parts must vanish for symmetric input.
+		for _, l := range ev {
+			if math.Abs(imag(l)) > 1e-8 {
+				t.Fatalf("symmetric matrix produced complex eigenvalue %v", l)
+			}
+		}
+	}
+}
+
+// Trace and determinant invariants for random matrices:
+// sum(lambda) == trace, and |prod(lambda)| is reproducible from LU.
+func TestEigTraceProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(93, 94))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.IntN(10)
+		a := New(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		ev, err := Eig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ev) != n {
+			t.Fatalf("got %d eigenvalues for n=%d", len(ev), n)
+		}
+		var tr float64
+		for i := 0; i < n; i++ {
+			tr += a.At(i, i)
+		}
+		var sum complex128
+		for _, l := range ev {
+			sum += l
+		}
+		if math.Abs(real(sum)-tr) > 1e-8*(1+math.Abs(tr)) || math.Abs(imag(sum)) > 1e-8 {
+			t.Fatalf("eig sum %v != trace %g", sum, tr)
+		}
+	}
+}
+
+// The non-symmetric propagation matrix use case: a Hessenberg-reducible
+// matrix with known spectral radius.
+func TestSpectralRadiusGeneral(t *testing.T) {
+	// [1 0; g G] block form with G = 0.5: eigenvalues {1, 0.5}.
+	m := FromRows([][]float64{
+		{1, 0},
+		{0.3, 0.5},
+	})
+	r, err := SpectralRadius(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("rho = %g want 1", r)
+	}
+}
+
+func TestEigEmptyAndErrors(t *testing.T) {
+	if ev, err := Eig(New(0, 0)); err != nil || len(ev) != 0 {
+		t.Fatal("empty matrix mishandled")
+	}
+	if _, err := Eig(New(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func BenchmarkEig32(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := New(32, 32)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eig(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: the spectrum is invariant under permutation similarity
+// P A P^T.
+func TestEigPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(95, 96))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.IntN(8)
+		a := New(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		perm := rng.Perm(n)
+		p := New(n, n)
+		for i, pi := range perm {
+			p.Set(pi, i, 1)
+		}
+		pap := Mul(Mul(p, a), p.T())
+		ev1, err := Eig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev2, err := Eig(pap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, s2 := sortedReal(ev1), sortedReal(ev2)
+		for k := range s1 {
+			if math.Abs(s1[k]-s2[k]) > 1e-7*(1+math.Abs(s1[k])) {
+				t.Fatalf("spectrum changed under permutation: %v vs %v", s1, s2)
+			}
+		}
+	}
+}

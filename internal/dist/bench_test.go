@@ -1,0 +1,32 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matgen"
+)
+
+func BenchmarkDistAsync(b *testing.B) {
+	a := matgen.FD2D(24, 24)
+	rng := rand.New(rand.NewPCG(1, 1))
+	bb := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(a, bb, x0, SolveOptions{Procs: 8, MaxIters: 50, Async: true})
+	}
+}
+
+func BenchmarkDistSync(b *testing.B) {
+	a := matgen.FD2D(24, 24)
+	rng := rand.New(rand.NewPCG(2, 2))
+	bb := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(a, bb, x0, SolveOptions{Procs: 8, MaxIters: 50})
+	}
+}

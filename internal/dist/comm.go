@@ -1,0 +1,244 @@
+// Package dist is the distributed-memory substrate (Section VI of the
+// paper): an MPI-like communication layer whose ranks are goroutines.
+//
+// Two communication styles are provided, matching the paper's two
+// implementations:
+//
+//   - Point-to-point: non-blocking Isend and blocking Recv over
+//     per-(source, destination, tag) mailboxes. The synchronous solver
+//     exchanges ghost values this way, just as the paper uses
+//     MPI_Isend/MPI_Recv.
+//
+//   - Remote memory access (RMA): each rank collectively allocates a
+//     window (WinAllocate); neighbors write into disjoint subarrays of
+//     the target's window with Put. Puts are atomic per float64 element
+//     but not per message — exactly the semantics the paper gets from
+//     MPI_Put under passive-target locking, and exactly what
+//     asynchronous Jacobi needs, since a row's information needs are
+//     independent of other rows. LockAll/UnlockAll are provided for API
+//     fidelity; the Go memory model makes them no-ops.
+//
+// A small Allreduce collective (sum) supports the synchronous solver's
+// global residual norm.
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/shm"
+)
+
+// World owns the shared state of a rank group.
+type World struct {
+	size  int
+	boxes sync.Map // mailKey -> *mailbox
+	wins  []*Win
+	winMu sync.Mutex
+}
+
+type mailKey struct {
+	src, dst, tag int
+}
+
+// mailbox is an unbounded FIFO channel substitute: Isend never blocks.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue [][]float64
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(data []float64) {
+	m.mu.Lock()
+	m.queue = append(m.queue, data)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) pop() []float64 {
+	m.mu.Lock()
+	for len(m.queue) == 0 {
+		m.cond.Wait()
+	}
+	data := m.queue[0]
+	m.queue = m.queue[1:]
+	m.mu.Unlock()
+	return data
+}
+
+func (m *mailbox) tryPop() ([]float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	data := m.queue[0]
+	m.queue = m.queue[1:]
+	return data, true
+}
+
+// Rank is one process's handle into the world.
+type Rank struct {
+	ID    int
+	Size  int
+	world *World
+}
+
+// Run spawns fn on p rank goroutines and blocks until all return.
+func Run(p int, fn func(*Rank)) {
+	if p <= 0 {
+		panic("dist: world size must be positive")
+	}
+	w := &World{size: p}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for id := 0; id < p; id++ {
+		go func(id int) {
+			defer wg.Done()
+			fn(&Rank{ID: id, Size: p, world: w})
+		}(id)
+	}
+	wg.Wait()
+}
+
+func (w *World) box(src, dst, tag int) *mailbox {
+	key := mailKey{src, dst, tag}
+	if b, ok := w.boxes.Load(key); ok {
+		return b.(*mailbox)
+	}
+	b, _ := w.boxes.LoadOrStore(key, newMailbox())
+	return b.(*mailbox)
+}
+
+// Isend posts data to rank `to` with the given tag and returns
+// immediately (the data slice is copied, so the caller may reuse its
+// buffer — the completion semantics of a buffered MPI_Isend).
+func (r *Rank) Isend(to, tag int, data []float64) {
+	if to < 0 || to >= r.Size {
+		panic(fmt.Sprintf("dist: Isend to invalid rank %d", to))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	r.world.box(r.ID, to, tag).push(cp)
+}
+
+// Recv blocks until a message from rank `from` with the given tag
+// arrives, and returns its payload.
+func (r *Rank) Recv(from, tag int) []float64 {
+	if from < 0 || from >= r.Size {
+		panic(fmt.Sprintf("dist: Recv from invalid rank %d", from))
+	}
+	return r.world.box(from, r.ID, tag).pop()
+}
+
+// TryRecv is a non-blocking receive (MPI_Iprobe+Recv): it returns the
+// newest pending message from `from`, discarding older ones, or
+// ok=false when none is pending. Asynchronous racy schemes use it to
+// drain ghost updates without waiting.
+func (r *Rank) TryRecv(from, tag int) ([]float64, bool) {
+	box := r.world.box(from, r.ID, tag)
+	var last []float64
+	ok := false
+	for {
+		data, got := box.tryPop()
+		if !got {
+			break
+		}
+		last, ok = data, true
+	}
+	return last, ok
+}
+
+// internal tags reserved by collectives; user tags must be >= 0.
+const (
+	tagReduce = -1
+	tagBcast  = -2
+)
+
+// Allreduce sums each rank's contribution and returns the global sum on
+// every rank. Implemented as a gather to rank 0 plus broadcast; the
+// call is collective and synchronizing.
+func (r *Rank) Allreduce(v float64) float64 {
+	if r.ID == 0 {
+		sum := v
+		for src := 1; src < r.Size; src++ {
+			m := r.Recv(src, tagReduce)
+			sum += m[0]
+		}
+		for dst := 1; dst < r.Size; dst++ {
+			r.Isend(dst, tagBcast, []float64{sum})
+		}
+		return sum
+	}
+	r.Isend(0, tagReduce, []float64{v})
+	return r.Recv(0, tagBcast)[0]
+}
+
+// Barrier synchronizes all ranks (an Allreduce of zero).
+func (r *Rank) Barrier() { r.Allreduce(0) }
+
+// Win is a remote-access memory window: one shared atomic array per
+// rank, allocated collectively. Writers use Put; the owner reads its
+// own window with Local().Load.
+type Win struct {
+	id      int
+	bufs    []shm.AtomicVector // per rank
+	world   *World
+	claimed []bool // which ranks have claimed this window slot
+}
+
+// WinAllocate collectively creates a window of n float64 slots on every
+// rank. All ranks must call it the same number of times in the same
+// order (as with MPI_Win_allocate); each rank passes its own size.
+func (r *Rank) WinAllocate(n int) *Win {
+	// First arrival allocates the window slot; everyone synchronizes
+	// through a barrier so the window is ready on return.
+	w := r.world
+	w.winMu.Lock()
+	// Windows are identified by allocation order. Count how many this
+	// rank has seen via a per-rank counter stored in the window list
+	// itself: the k-th call returns wins[k].
+	var win *Win
+	for _, cand := range w.wins {
+		if cand.claimed[r.ID] {
+			continue
+		}
+		win = cand
+		break
+	}
+	if win == nil {
+		win = &Win{id: len(w.wins), bufs: make([]shm.AtomicVector, w.size), world: w,
+			claimed: make([]bool, w.size)}
+		w.wins = append(w.wins, win)
+	}
+	win.claimed[r.ID] = true
+	win.bufs[r.ID] = shm.NewAtomicVector(n)
+	w.winMu.Unlock()
+	r.Barrier()
+	return win
+}
+
+// Put writes data into target's window starting at offset. Each
+// float64 element is stored atomically; the message as a whole is not
+// atomic (MPI_Put semantics, sufficient for row-independent Jacobi).
+func (win *Win) Put(target, offset int, data []float64) {
+	buf := win.bufs[target]
+	for i, v := range data {
+		buf.Store(offset+i, v)
+	}
+}
+
+// Local returns the caller-rank's window buffer for direct reading.
+func (win *Win) Local(rank int) shm.AtomicVector { return win.bufs[rank] }
+
+// LockAll and UnlockAll exist for fidelity with the paper's
+// MPI_Win_lock_all/unlock_all passive-target epoch; Go's atomic stores
+// need no epoch, so they are no-ops.
+func (win *Win) LockAll()   {}
+func (win *Win) UnlockAll() {}

@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPointToPoint(t *testing.T) {
+	Run(2, func(r *Rank) {
+		if r.ID == 0 {
+			r.Isend(1, 7, []float64{1, 2, 3})
+		} else {
+			data := r.Recv(0, 7)
+			if len(data) != 3 || data[2] != 3 {
+				t.Errorf("Recv got %v", data)
+			}
+		}
+	})
+}
+
+func TestIsendCopiesBuffer(t *testing.T) {
+	Run(2, func(r *Rank) {
+		if r.ID == 0 {
+			buf := []float64{42}
+			r.Isend(1, 0, buf)
+			buf[0] = -1 // must not affect the message
+			r.Barrier()
+		} else {
+			data := r.Recv(0, 0)
+			r.Barrier()
+			if data[0] != 42 {
+				t.Errorf("Isend aliased caller buffer: %v", data)
+			}
+		}
+	})
+}
+
+func TestMessagesOrderedPerChannel(t *testing.T) {
+	const k = 100
+	Run(2, func(r *Rank) {
+		if r.ID == 0 {
+			for i := 0; i < k; i++ {
+				r.Isend(1, 0, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				d := r.Recv(0, 0)
+				if d[0] != float64(i) {
+					t.Errorf("message %d out of order: got %g", i, d[0])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestTagsSeparateChannels(t *testing.T) {
+	Run(2, func(r *Rank) {
+		if r.ID == 0 {
+			r.Isend(1, 2, []float64{2})
+			r.Isend(1, 1, []float64{1})
+		} else {
+			if d := r.Recv(0, 1); d[0] != 1 {
+				t.Errorf("tag 1 got %g", d[0])
+			}
+			if d := r.Recv(0, 2); d[0] != 2 {
+				t.Errorf("tag 2 got %g", d[0])
+			}
+		}
+	})
+}
+
+func TestTryRecvDrainsToNewest(t *testing.T) {
+	Run(2, func(r *Rank) {
+		if r.ID == 0 {
+			for i := 1; i <= 5; i++ {
+				r.Isend(1, 0, []float64{float64(i)})
+			}
+			r.Barrier()
+		} else {
+			r.Barrier() // all five messages pending
+			d, ok := r.TryRecv(0, 0)
+			if !ok || d[0] != 5 {
+				t.Errorf("TryRecv got %v ok=%v, want newest (5)", d, ok)
+			}
+			if _, ok := r.TryRecv(0, 0); ok {
+				t.Error("mailbox should be drained")
+			}
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	const p = 7
+	Run(p, func(r *Rank) {
+		got := r.Allreduce(float64(r.ID + 1))
+		want := float64(p * (p + 1) / 2)
+		if got != want {
+			t.Errorf("rank %d: Allreduce = %g want %g", r.ID, got, want)
+		}
+		// Twice in a row: no tag leakage between collectives.
+		got2 := r.Allreduce(1)
+		if got2 != p {
+			t.Errorf("rank %d: second Allreduce = %g", r.ID, got2)
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const p = 5
+	var before, after atomic.Int64
+	Run(p, func(r *Rank) {
+		before.Add(1)
+		r.Barrier()
+		if before.Load() != p {
+			t.Errorf("rank %d passed barrier before all arrived", r.ID)
+		}
+		after.Add(1)
+	})
+	if after.Load() != p {
+		t.Fatal("not all ranks finished")
+	}
+}
+
+func TestWindowPut(t *testing.T) {
+	Run(3, func(r *Rank) {
+		win := r.WinAllocate(4)
+		win.LockAll()
+		defer win.UnlockAll()
+		// Every rank writes its ID+1 into slot ID of rank 0's window.
+		win.Put(0, r.ID, []float64{float64(r.ID + 1)})
+		r.Barrier()
+		if r.ID == 0 {
+			buf := win.Local(0)
+			for i := 0; i < 3; i++ {
+				if buf.Load(i) != float64(i+1) {
+					t.Errorf("window[%d] = %g", i, buf.Load(i))
+				}
+			}
+		}
+	})
+}
+
+func TestMultipleWindows(t *testing.T) {
+	Run(2, func(r *Rank) {
+		w1 := r.WinAllocate(1)
+		w2 := r.WinAllocate(1)
+		other := 1 - r.ID
+		w1.Put(other, 0, []float64{10})
+		w2.Put(other, 0, []float64{20})
+		r.Barrier()
+		if w1.Local(r.ID).Load(0) != 10 || w2.Local(r.ID).Load(0) != 20 {
+			t.Errorf("rank %d: windows mixed up: %g %g",
+				r.ID, w1.Local(r.ID).Load(0), w2.Local(r.ID).Load(0))
+		}
+	})
+}
+
+func TestRunPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(0, func(*Rank) {})
+}

@@ -1,0 +1,394 @@
+package dist
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// SolveOptions configure a distributed Jacobi solve.
+type SolveOptions struct {
+	// Procs is the number of ranks.
+	Procs int
+	// Part assigns rows to ranks; nil means contiguous blocks.
+	Part *partition.Partition
+	// MaxIters is each rank's local iteration budget.
+	MaxIters int
+	// Tol, when positive, enables residual-based termination. For the
+	// synchronous solver this is an exact Allreduce of the global
+	// relative residual 1-norm each iteration. For the asynchronous
+	// solver the paper uses naive fixed-iteration termination; when Tol
+	// is set we use a shared flag array (the shared-memory scheme of
+	// Section V carried over), which the paper leaves as future work.
+	Tol float64
+	// Async selects RMA-window communication and no barriers; false
+	// selects point-to-point synchronous Jacobi.
+	Async bool
+	// Eager selects the semi-synchronous scheme of Jager and Bradley
+	// discussed in Section III: an asynchronous process relaxes its
+	// rows only when it has received new ghost information since its
+	// last relaxation, avoiding "wasted" self-only updates. Implies
+	// point-to-point communication with non-blocking receives instead
+	// of RMA windows. Requires Async.
+	Eager bool
+	// Termination selects the asynchronous termination scheme when Tol
+	// is positive: FlagTree (default) or DijkstraSafra. With Tol == 0
+	// the paper's FixedIterations scheme always applies.
+	Termination TerminationMode
+	// DelayRank, when >= 0, makes that rank sleep Delay each iteration.
+	DelayRank int
+	Delay     time.Duration
+	// RecordHistory samples each rank's local residual 1-norm per local
+	// iteration; Result.History then carries the approximate global
+	// relative residual per (minimum) iteration count, assembled from
+	// the per-rank samples. This is what a production asynchronous
+	// solver could log without extra synchronization.
+	RecordHistory bool
+}
+
+// Result reports a distributed solve.
+type Result struct {
+	X                []float64
+	Iterations       []int // per-rank local iterations
+	TotalRelaxations int
+	RelRes           float64 // exact, recomputed after the run
+	Converged        bool
+	WallTime         time.Duration
+	// History[k] approximates the global relative residual 1-norm when
+	// every rank had completed k+1 local iterations (sum of per-rank
+	// local norms sampled at that iteration). Filled when
+	// SolveOptions.RecordHistory is set; its length is the minimum
+	// iteration count across ranks.
+	History []float64
+}
+
+// ghostPlan is one rank's communication plan, derived from the
+// partition and sparsity (Section VI: neighbors are found "by
+// inspecting the nonzero values of the matrix rows").
+type ghostPlan struct {
+	rows []int // owned global rows
+	// neighbors in deterministic order
+	recvFrom []int         // neighbor ranks we receive ghosts from
+	recvIdx  map[int][]int // global indices received from each neighbor
+	sendTo   []int         // neighbor ranks we send boundary values to
+	sendIdx  map[int][]int // owned global indices sent to each neighbor
+	// local indexing: own rows first, then ghosts grouped by neighbor
+	// in recvFrom order.
+	localOf map[int]int // global index -> local slot
+	nLocal  int         // total local slots (own + ghosts)
+	// window layout for async: ghost slot offset of each recv neighbor.
+	winOff map[int]int
+	winLen int
+}
+
+func buildPlans(a *sparse.CSR, part *partition.Partition) []*ghostPlan {
+	subs := partition.BuildSubdomains(a, part)
+	plans := make([]*ghostPlan, part.P)
+	for p, sub := range subs {
+		gp := &ghostPlan{
+			rows:    sub.Rows,
+			recvIdx: map[int][]int{},
+			sendIdx: map[int][]int{},
+			localOf: map[int]int{},
+			winOff:  map[int]int{},
+		}
+		for q := range sub.Recv {
+			gp.recvFrom = append(gp.recvFrom, q)
+		}
+		sort.Ints(gp.recvFrom)
+		for q := range sub.Send {
+			gp.sendTo = append(gp.sendTo, q)
+		}
+		sort.Ints(gp.sendTo)
+		for _, q := range gp.recvFrom {
+			gp.recvIdx[q] = sub.Recv[q]
+		}
+		for _, q := range gp.sendTo {
+			gp.sendIdx[q] = sub.Send[q]
+		}
+		slot := 0
+		for _, i := range sub.Rows {
+			gp.localOf[i] = slot
+			slot++
+		}
+		off := 0
+		for _, q := range gp.recvFrom {
+			gp.winOff[q] = off
+			for _, j := range gp.recvIdx[q] {
+				gp.localOf[j] = slot
+				slot++
+				off++
+			}
+		}
+		gp.nLocal = slot
+		gp.winLen = off
+		plans[p] = gp
+	}
+	return plans
+}
+
+// Solve runs distributed Jacobi. The returned X is gathered from all
+// ranks; RelRes is recomputed exactly from X.
+func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
+	n := a.N
+	if len(b) != n || len(x0) != n {
+		panic("dist: dimension mismatch")
+	}
+	if opt.Procs <= 0 || opt.MaxIters <= 0 {
+		panic("dist: Procs and MaxIters must be positive")
+	}
+	part := opt.Part
+	if part == nil {
+		part = partition.Contiguous(n, opt.Procs)
+	}
+	if part.P != opt.Procs {
+		panic("dist: partition part count != Procs")
+	}
+	t0 := time.Now()
+	plans := buildPlans(a, part)
+
+	nb := vec.Norm1(b)
+	if nb == 0 {
+		nb = 1
+	}
+
+	finalX := make([]float64, n)
+	var finalMu sync.Mutex
+	iters := make([]int, opt.Procs)
+	localHist := make([][]float64, opt.Procs)
+	board := newFlagBoard(opt.Procs) // async termination extension
+	var safraDecided atomic.Bool
+
+	Run(opt.Procs, func(r *Rank) {
+		gp := plans[r.ID]
+		nown := len(gp.rows)
+		// Local state: own values then ghosts.
+		xl := make([]float64, gp.nLocal)
+		for s, i := range gp.rows {
+			xl[s] = x0[i]
+		}
+		for _, q := range gp.recvFrom {
+			for _, j := range gp.recvIdx[q] {
+				xl[gp.localOf[j]] = x0[j]
+			}
+		}
+		rl := make([]float64, nown)
+
+		// Local CSR with remapped columns for cache-friendly SpMV.
+		lrp := make([]int, nown+1)
+		var lcol []int
+		var lval []float64
+		for s, i := range gp.rows {
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				lcol = append(lcol, gp.localOf[a.Col[k]])
+				lval = append(lval, a.Val[k])
+			}
+			lrp[s+1] = len(lcol)
+		}
+
+		eager := opt.Async && opt.Eager
+		var win *Win
+		if opt.Async && !eager {
+			win = r.WinAllocate(gp.winLen)
+			win.LockAll()
+			defer win.UnlockAll()
+		}
+
+		sendBufs := map[int][]float64{}
+		for _, q := range gp.sendTo {
+			sendBufs[q] = make([]float64, len(gp.sendIdx[q]))
+		}
+		// Async: precompute (targetRank, targetOffset) of our boundary
+		// values inside each neighbor's window.
+		putOff := map[int]int{}
+		if opt.Async {
+			for _, q := range gp.sendTo {
+				// Our values land in q's window at q's offset for
+				// neighbor r.ID, which q computed as winOff[r.ID].
+				putOff[q] = plans[q].winOff[r.ID]
+			}
+		}
+
+		iter := 0
+		idle := 0
+		var safra *safraState
+		if opt.Async && opt.Tol > 0 && opt.Termination == DijkstraSafra {
+			safra = newSafra(r, &safraDecided)
+		}
+		for {
+			if opt.DelayRank == r.ID && opt.Delay > 0 {
+				time.Sleep(opt.Delay)
+			}
+			gotNew := iter == 0 || len(gp.recvFrom) == 0
+			if opt.Async && win != nil {
+				// Refresh ghosts from the local window (neighbors Put
+				// whenever they finish an iteration).
+				wbuf := win.Local(r.ID)
+				base := nown
+				for s := 0; s < gp.winLen; s++ {
+					xl[base+s] = wbuf.Load(s)
+				}
+			}
+			if eager {
+				// Drain pending ghost messages; remember whether any
+				// neighbor supplied fresh information.
+				for _, q := range gp.recvFrom {
+					if data, ok := r.TryRecv(q, 0); ok {
+						for t, j := range gp.recvIdx[q] {
+							xl[gp.localOf[j]] = data[t]
+						}
+						gotNew = true
+					}
+				}
+				if !gotNew {
+					// Nothing new: poll termination and idle.
+					if opt.Tol > 0 {
+						localConv := iter >= opt.MaxIters ||
+							vec.Norm1(rl)/nb <= opt.Tol/float64(r.Size)
+						stop := false
+						if safra != nil {
+							stop = safra.poll(r, localConv)
+						} else {
+							board.set(r.ID, localConv)
+							stop = board.check()
+						}
+						if stop {
+							break
+						}
+					} else if iter >= opt.MaxIters {
+						break
+					}
+					idle++
+					if idle >= 1000*opt.MaxIters {
+						break
+					}
+					yield()
+					continue
+				}
+				idle = 0
+			}
+			// Step 1: local residual.
+			for s := 0; s < nown; s++ {
+				sum := b[gp.rows[s]]
+				for k := lrp[s]; k < lrp[s+1]; k++ {
+					sum -= lval[k] * xl[lcol[k]]
+				}
+				rl[s] = sum
+			}
+			// Step 2: correct own values.
+			for s := 0; s < nown; s++ {
+				xl[s] += rl[s]
+			}
+			iter++
+			if opt.RecordHistory {
+				localHist[r.ID] = append(localHist[r.ID], vec.Norm1(rl))
+			}
+			// Communicate boundary values.
+			for _, q := range gp.sendTo {
+				buf := sendBufs[q]
+				for t, j := range gp.sendIdx[q] {
+					buf[t] = xl[gp.localOf[j]]
+				}
+				if opt.Async && !eager {
+					win.Put(q, putOff[q], buf)
+				} else {
+					r.Isend(q, 0, buf)
+				}
+			}
+			if !opt.Async {
+				// Synchronous ghost exchange: blocking receives from
+				// every neighbor.
+				for _, q := range gp.recvFrom {
+					data := r.Recv(q, 0)
+					for t, j := range gp.recvIdx[q] {
+						xl[gp.localOf[j]] = data[t]
+					}
+				}
+			}
+			// Termination.
+			if !opt.Async {
+				stop := iter >= opt.MaxIters
+				if opt.Tol > 0 {
+					grn := r.Allreduce(vec.Norm1(rl))
+					if grn/nb <= opt.Tol {
+						stop = true
+					}
+				}
+				if stop {
+					break
+				}
+			} else {
+				if opt.Tol <= 0 {
+					// The paper's naive scheme: stop after MaxIters.
+					if iter >= opt.MaxIters {
+						break
+					}
+				} else {
+					// Local predicate: own residual share below tol/P
+					// (additive in the 1-norm), or budget exhausted.
+					localConv := iter >= opt.MaxIters ||
+						vec.Norm1(rl)/nb <= opt.Tol/float64(r.Size)
+					stop := false
+					if safra != nil {
+						stop = safra.poll(r, localConv)
+					} else {
+						board.set(r.ID, localConv)
+						stop = board.check()
+					}
+					if stop || iter >= 100*opt.MaxIters {
+						break
+					}
+				}
+				yield()
+			}
+		}
+		iters[r.ID] = iter
+		finalMu.Lock()
+		for s, i := range gp.rows {
+			finalX[i] = xl[s]
+		}
+		finalMu.Unlock()
+	})
+
+	res := &Result{
+		X:          finalX,
+		Iterations: iters,
+		WallTime:   time.Since(t0),
+	}
+	for p := 0; p < opt.Procs; p++ {
+		res.TotalRelaxations += iters[p] * len(plans[p].rows)
+	}
+	rr := make([]float64, n)
+	a.Residual(rr, b, finalX)
+	res.RelRes = vec.Norm1(rr) / nb
+	res.Converged = opt.Tol > 0 && res.RelRes <= opt.Tol
+	if opt.RecordHistory {
+		minIter := iters[0]
+		for _, it := range iters {
+			if it < minIter {
+				minIter = it
+			}
+		}
+		for k := 0; k < minIter; k++ {
+			var sum float64
+			for p := 0; p < opt.Procs; p++ {
+				if k < len(localHist[p]) {
+					sum += localHist[p][k]
+				}
+			}
+			res.History = append(res.History, sum/nb)
+		}
+	}
+	return res
+}
+
+// yield lets other rank goroutines run between asynchronous iterations,
+// which is what makes oversubscribed (ranks >> cores) executions
+// interleave like a real machine.
+func yield() { runtime.Gosched() }

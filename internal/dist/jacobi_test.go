@@ -1,0 +1,228 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+func randomVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+// Synchronous distributed Jacobi must reproduce the sequential model
+// exactly, for both contiguous and BFS partitions.
+func TestDistSyncMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := matgen.FD2D(8, 8)
+	n := a.N
+	b := randomVec(rng, n)
+	x0 := randomVec(rng, n)
+	const iters = 30
+	h := model.Run(a, b, x0, model.NewSyncSchedule(n), model.Options{MaxSteps: iters})
+
+	for _, procs := range []int{1, 3, 7} {
+		for _, useBFS := range []bool{false, true} {
+			opt := SolveOptions{Procs: procs, MaxIters: iters}
+			if useBFS {
+				opt.Part = partition.BFS(a, procs)
+			}
+			res := Solve(a, b, x0, opt)
+			for i := 0; i < n; i++ {
+				if math.Abs(res.X[i]-h.X[i]) > 1e-12 {
+					t.Fatalf("procs=%d bfs=%v: x[%d] = %.15g model %.15g",
+						procs, useBFS, i, res.X[i], h.X[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDistSyncToleranceTermination(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := matgen.FD2D(4, 17)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, SolveOptions{Procs: 4, MaxIters: 100000, Tol: 1e-3})
+	if !res.Converged {
+		t.Fatalf("sync did not converge: %g", res.RelRes)
+	}
+	// All ranks must stop at the same iteration.
+	for _, it := range res.Iterations {
+		if it != res.Iterations[0] {
+			t.Fatalf("sync ranks stopped at different iterations: %v", res.Iterations)
+		}
+	}
+}
+
+func TestDistAsyncConverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, SolveOptions{Procs: 8, MaxIters: 100000, Tol: 1e-4, Async: true})
+	if !res.Converged {
+		t.Fatalf("async did not converge: %g", res.RelRes)
+	}
+}
+
+func TestDistAsyncFixedIterations(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	a := matgen.FD2D(6, 6)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, SolveOptions{Procs: 4, MaxIters: 200, Async: true})
+	for p, it := range res.Iterations {
+		if it != 200 {
+			t.Fatalf("rank %d did %d iterations, want exactly 200 (naive scheme)", p, it)
+		}
+	}
+	if res.RelRes > 1e-3 {
+		t.Fatalf("200 async iterations left residual %g", res.RelRes)
+	}
+}
+
+// The Fig 6/9 phenomenon on the distributed substrate: sync diverges on
+// the FE matrix, async with many ranks converges.
+func TestDistAsyncConvergesWhereSyncDiverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	a := matgen.FE2D(matgen.DefaultFEOptions(25, 25))
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+
+	syncRes := Solve(a, b, x0, SolveOptions{Procs: 8, MaxIters: 400})
+	if syncRes.RelRes < 1 {
+		t.Fatalf("sync should diverge on FE matrix: %g", syncRes.RelRes)
+	}
+	asyncRes := Solve(a, b, x0, SolveOptions{Procs: 64, MaxIters: 4000, Tol: 1e-3, Async: true})
+	if !asyncRes.Converged {
+		t.Fatalf("async should converge on FE matrix: %g", asyncRes.RelRes)
+	}
+}
+
+func TestDistDelayedRankStillConverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	a := matgen.FD2D(4, 17)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, SolveOptions{
+		Procs: 4, MaxIters: 100000, Tol: 1e-3, Async: true,
+		DelayRank: 1, Delay: 100000, // 100us in time.Duration units
+	})
+	if !res.Converged {
+		t.Fatalf("async with delayed rank did not converge: %g", res.RelRes)
+	}
+	// The delayed rank should have iterated less than the others.
+	if res.Iterations[1] >= res.Iterations[0] {
+		t.Logf("note: delayed rank iterations %v (scheduling-dependent)", res.Iterations)
+	}
+}
+
+func TestDistSingleProc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	a := matgen.FD2D(5, 5)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, SolveOptions{Procs: 1, MaxIters: 100000, Tol: 1e-6, Async: true})
+	if !res.Converged {
+		t.Fatalf("single-proc async failed: %g", res.RelRes)
+	}
+}
+
+func TestDistMoreProcsThanRows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	a := matgen.Laplace1D(6)
+	b := randomVec(rng, 6)
+	x0 := randomVec(rng, 6)
+	res := Solve(a, b, x0, SolveOptions{Procs: 10, MaxIters: 3000, Tol: 1e-6, Async: true})
+	if !res.Converged {
+		t.Fatalf("oversubscribed dist solve failed: %g", res.RelRes)
+	}
+}
+
+func TestBuildPlansConsistency(t *testing.T) {
+	a := matgen.FD2D(10, 7)
+	part := partition.BFS(a, 6)
+	plans := buildPlans(a, part)
+	// Window offsets: rank p's slot for neighbor q must match what q
+	// computes when Putting (plans[q] sends into plans[p].winOff[q]).
+	for p, gp := range plans {
+		for _, q := range gp.sendTo {
+			if _, ok := plans[q].winOff[p]; !ok {
+				t.Fatalf("rank %d sends to %d but %d has no window offset for %d", p, q, q, p)
+			}
+			if len(gp.sendIdx[q]) != len(plans[q].recvIdx[p]) {
+				t.Fatalf("send/recv length mismatch %d->%d", p, q)
+			}
+		}
+		// Local numbering covers own rows + ghosts without collision.
+		seen := map[int]bool{}
+		for _, s := range gp.localOf {
+			if seen[s] {
+				t.Fatal("local slot collision")
+			}
+			seen[s] = true
+		}
+		if len(gp.localOf) != gp.nLocal {
+			t.Fatal("nLocal mismatch")
+		}
+	}
+}
+
+func TestDistPanics(t *testing.T) {
+	a := matgen.Laplace1D(4)
+	v := make([]float64, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic: zero procs")
+			}
+		}()
+		Solve(a, v, v, SolveOptions{Procs: 0, MaxIters: 1})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic: partition mismatch")
+			}
+		}()
+		Solve(a, v, v, SolveOptions{Procs: 2, MaxIters: 1, Part: partition.Contiguous(4, 3)})
+	}()
+}
+
+func TestDistRecordHistory(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, SolveOptions{
+		Procs: 4, MaxIters: 60, RecordHistory: true,
+	})
+	if len(res.History) != 60 {
+		t.Fatalf("history length %d, want 60 (sync lockstep)", len(res.History))
+	}
+	// Sync history must decay monotonically on the W.D.D. problem.
+	for k := 1; k < len(res.History); k++ {
+		if res.History[k] > res.History[k-1]*(1+1e-12) {
+			t.Fatalf("sync residual history increased at %d", k)
+		}
+	}
+	// Async history exists and ends low.
+	ares := Solve(a, b, x0, SolveOptions{
+		Procs: 4, MaxIters: 200, Async: true, RecordHistory: true,
+	})
+	if len(ares.History) == 0 {
+		t.Fatal("async history empty")
+	}
+	if last := ares.History[len(ares.History)-1]; last > 1e-3 {
+		t.Fatalf("async history ends high: %g", last)
+	}
+}

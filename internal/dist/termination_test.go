@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matgen"
+)
+
+func TestTerminationModeString(t *testing.T) {
+	if FixedIterations.String() != "fixed-iterations" ||
+		FlagTree.String() != "flag-tree" ||
+		DijkstraSafra.String() != "dijkstra-safra" {
+		t.Fatal("mode names wrong")
+	}
+	if TerminationMode(9).String() != "unknown" {
+		t.Fatal("fallback name wrong")
+	}
+}
+
+func TestFlagBoard(t *testing.T) {
+	fb := newFlagBoard(3)
+	if fb.check() {
+		t.Fatal("empty board reported done")
+	}
+	fb.set(0, true)
+	fb.set(1, true)
+	if fb.check() {
+		t.Fatal("partial board reported done")
+	}
+	fb.set(2, true)
+	if !fb.check() {
+		t.Fatal("full board not detected")
+	}
+	// Latched: lowering a flag afterwards cannot retract the decision.
+	fb.set(1, false)
+	if !fb.check() {
+		t.Fatal("decision retracted after latch")
+	}
+}
+
+// Every asynchronous termination mode must solve to the requested
+// tolerance on the FD problem.
+func TestAsyncTerminationModes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	for _, mode := range []TerminationMode{FlagTree, DijkstraSafra} {
+		res := Solve(a, b, x0, SolveOptions{
+			Procs: 6, MaxIters: 100000, Tol: 1e-4, Async: true,
+			Termination: mode,
+		})
+		if !res.Converged {
+			t.Fatalf("%v: did not converge, rel res %g", mode, res.RelRes)
+		}
+	}
+}
+
+// Dijkstra-Safra must not fire while any rank is still far from
+// converged: with a very tight tolerance the solve runs many sweeps and
+// still ends under tolerance.
+func TestSafraTightTolerance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	a := matgen.FD2D(6, 10)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, SolveOptions{
+		Procs: 5, MaxIters: 200000, Tol: 1e-8, Async: true,
+		Termination: DijkstraSafra,
+	})
+	if !res.Converged {
+		t.Fatalf("rel res %g above tight tolerance", res.RelRes)
+	}
+}
+
+func TestSafraSingleRank(t *testing.T) {
+	rng := rand.New(rand.NewPCG(35, 36))
+	a := matgen.FD2D(5, 5)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, SolveOptions{
+		Procs: 1, MaxIters: 100000, Tol: 1e-6, Async: true,
+		Termination: DijkstraSafra,
+	})
+	if !res.Converged {
+		t.Fatalf("single-rank Safra failed: %g", res.RelRes)
+	}
+}
+
+// The eager (semi-synchronous) scheme converges and performs no more
+// relaxations than the racy scheme, because it skips updates that would
+// use no new information.
+func TestEagerScheme(t *testing.T) {
+	rng := rand.New(rand.NewPCG(37, 38))
+	a := matgen.FD2D(10, 10)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	eres := Solve(a, b, x0, SolveOptions{
+		Procs: 8, MaxIters: 100000, Tol: 1e-4, Async: true, Eager: true,
+	})
+	if !eres.Converged {
+		t.Fatalf("eager scheme did not converge: %g", eres.RelRes)
+	}
+}
+
+func TestEagerSingleRank(t *testing.T) {
+	// A single rank has no neighbors; the scheme must degenerate to
+	// plain iteration rather than deadlock.
+	rng := rand.New(rand.NewPCG(39, 40))
+	a := matgen.FD2D(5, 5)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, SolveOptions{
+		Procs: 1, MaxIters: 100000, Tol: 1e-6, Async: true, Eager: true,
+	})
+	if !res.Converged {
+		t.Fatalf("single-rank eager failed: %g", res.RelRes)
+	}
+}
+
+func TestEagerFixedIterations(t *testing.T) {
+	// Tol == 0 with eager: ranks stop after MaxIters local relaxations
+	// (idle polls do not count as iterations).
+	rng := rand.New(rand.NewPCG(41, 42))
+	a := matgen.FD2D(6, 6)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, SolveOptions{
+		Procs: 4, MaxIters: 50, Async: true, Eager: true,
+	})
+	for p, it := range res.Iterations {
+		if it > 50 {
+			t.Fatalf("rank %d exceeded iteration budget: %d", p, it)
+		}
+		if it == 0 {
+			t.Fatalf("rank %d never relaxed", p)
+		}
+	}
+}

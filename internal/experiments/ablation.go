@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/matgen"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// Ablations probes the design choices DESIGN.md calls out, one table
+// per question:
+//
+//	A1  partitioner: BFS (METIS stand-in) vs contiguous vs round-robin —
+//	    cut size and asynchronous time-to-tolerance on the simulated
+//	    cluster (including the anisotropic case where orientation
+//	    dominates).
+//	A2  message latency: how the async/sync advantage scales as the
+//	    network slows down.
+//	A3  worker skew: the paper's mechanism test — lockstep asynchronous
+//	    blocks (jitter 0) stay effectively synchronous and diverge on
+//	    the FE matrix, skewed blocks converge.
+//	A4  termination detection: fixed iterations vs flag tree vs
+//	    Dijkstra-Safra token ring — achieved residual and iteration
+//	    overshoot on the real distributed substrate.
+//	A5  eager vs racy communication: relaxations spent to tolerance.
+func Ablations(w io.Writer, cfg Config) error {
+	if err := ablationPartitioner(w, cfg); err != nil {
+		return err
+	}
+	if err := ablationLatency(w, cfg); err != nil {
+		return err
+	}
+	if err := ablationSkew(w, cfg); err != nil {
+		return err
+	}
+	if err := ablationTermination(w, cfg); err != nil {
+		return err
+	}
+	return ablationEager(w, cfg)
+}
+
+func ablationPartitioner(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "== Ablation A1: partitioner quality (async, simulated cluster) ==")
+	rng := cfg.NewRNG(0xAB1)
+	grid := 40
+	if cfg.Quick {
+		grid = 24
+	}
+	workloads := []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"isotropic FD", matgen.FD2D(grid, grid)},
+		{"anisotropic FD (eps=0.01)", matgen.FD2DAniso(grid, grid, 0.01)},
+	}
+	procs := 16
+	budget := 4000
+	if cfg.Quick {
+		budget = 1500
+	}
+	for _, wl := range workloads {
+		a := wl.a
+		b := RandomVec(rng, a.N)
+		x0 := RandomVec(rng, a.N)
+		start := startRelRes(a, b, x0)
+		target := start / 100
+		fmt.Fprintf(w, " %s (n=%d):\n", wl.name, a.N)
+		fmt.Fprintf(w, "    %-12s %10s %12s %14s\n", "partition", "cut nnz", "cut weight", "time to 1e-2x")
+		refined := partition.BFS(a, procs)
+		partition.Refine(a, refined, 20, 0.15)
+		parts := []struct {
+			name string
+			pt   *partition.Partition
+		}{
+			{"bfs", partition.BFS(a, procs)},
+			{"bfs+refine", refined},
+			{"contiguous", partition.Contiguous(a.N, procs)},
+			{"round-robin", roundRobin(a.N, procs)},
+		}
+		for _, p := range parts {
+			c := suiteSimConfig(procs, true, budget, target, cfg.Seed+21)
+			c.Part = p.pt
+			res := cluster.Simulate(a, b, x0, c)
+			tt, ok := res.TimeToRelRes(target)
+			ts := "-"
+			if ok {
+				ts = fmt.Sprintf("%.6g", tt)
+			}
+			fmt.Fprintf(w, "    %-12s %10d %12.4g %14s\n",
+				p.name, p.pt.CutEdges(a), p.pt.WeightedCut(a), ts)
+		}
+	}
+	fmt.Fprintln(w, "  (round-robin's huge cut is always worst; between BFS and contiguous the")
+	fmt.Fprintln(w, "   WEIGHTED cut decides — on the anisotropic problem contiguous strips cut")
+	fmt.Fprintln(w, "   only weak couplings and win despite a larger raw cut count)")
+	fmt.Fprintln(w)
+	return nil
+}
+
+func ablationLatency(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "== Ablation A2: async advantage vs message latency (FD, 32 procs) ==")
+	rng := cfg.NewRNG(0xAB2)
+	grid := 40
+	budget := 4000
+	if cfg.Quick {
+		grid, budget = 24, 1500
+	}
+	a := matgen.FD2D(grid, grid)
+	b := RandomVec(rng, a.N)
+	x0 := RandomVec(rng, a.N)
+	start := startRelRes(a, b, x0)
+	target := start / 100
+	fmt.Fprintf(w, "    %12s %14s %14s %10s\n", "latency", "sync time", "async time", "speedup")
+	lats := []float64{1e-7, 1e-6, 1e-5, 1e-4}
+	if cfg.Quick {
+		lats = []float64{1e-6, 1e-4}
+	}
+	for _, lat := range lats {
+		mk := func(async bool) cluster.Config {
+			c := suiteSimConfig(32, async, budget, target, cfg.Seed+23)
+			c.MsgLatency = lat
+			return c
+		}
+		sres := cluster.Simulate(a, b, x0, mk(false))
+		ares := cluster.Simulate(a, b, x0, mk(true))
+		ts, ok1 := sres.TimeToRelRes(target)
+		ta, ok2 := ares.TimeToRelRes(target)
+		if !ok1 || !ok2 {
+			fmt.Fprintf(w, "    %12.3g %14s %14s %10s\n", lat, "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "    %12.3g %14.6g %14.6g %9.2fx\n", lat, ts, ta, ts/ta)
+	}
+	fmt.Fprintln(w, "  (expected: async advantage grows with latency — barriers pay it every sweep)")
+	fmt.Fprintln(w)
+	return nil
+}
+
+func ablationSkew(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "== Ablation A3: worker skew is the convergence mechanism (FE matrix, model) ==")
+	rng := cfg.NewRNG(0xAB3)
+	var a = matgen.FE2D(matgen.DefaultFEOptions(25, 25))
+	steps := 3000
+	threads := 96
+	if cfg.Quick {
+		steps = 1500
+	}
+	b := RandomVec(rng, a.N)
+	x0 := RandomVec(rng, a.N)
+	fmt.Fprintf(w, "    %8s %14s %12s\n", "jitter", "final rel res", "converged")
+	for _, jit := range []int{0, 1, 2, 3} {
+		sched := model.NewBlockSkewSchedule(model.BlockSkewOptions{
+			N: a.N, T: threads, Jitter: jit, Seed: 5,
+		})
+		h := model.Run(a, b, x0, sched, model.Options{MaxSteps: steps, Tol: 1e-3, SampleEvery: 25})
+		fmt.Fprintf(w, "    %8d %14.4g %12v\n", jit, h.FinalRelRes(), h.Converged)
+	}
+	fmt.Fprintln(w, "  (expected: jitter 0 = lockstep = synchronous-like divergence; skew converges)")
+	fmt.Fprintln(w)
+	return nil
+}
+
+func ablationTermination(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "== Ablation A4: asynchronous termination detection (dist substrate) ==")
+	rng := cfg.NewRNG(0xAB4)
+	grid := 12
+	a := matgen.FD2D(grid, grid)
+	b := RandomVec(rng, a.N)
+	x0 := RandomVec(rng, a.N)
+	const tol = 1e-4
+	fmt.Fprintf(w, "    %-18s %12s %12s %12s\n", "scheme", "rel res", "max iters", "min iters")
+	for _, mode := range []dist.TerminationMode{dist.FlagTree, dist.DijkstraSafra} {
+		res := dist.Solve(a, b, x0, dist.SolveOptions{
+			Procs: 8, MaxIters: 100000, Tol: tol, Async: true, Termination: mode,
+		})
+		fmt.Fprintf(w, "    %-18s %12.3g %12d %12d\n",
+			mode, res.RelRes, maxInt(res.Iterations), minInt(res.Iterations))
+	}
+	// Fixed iterations for reference: run the sync-equivalent count.
+	res := dist.Solve(a, b, x0, dist.SolveOptions{
+		Procs: 8, MaxIters: 500, Async: true,
+	})
+	fmt.Fprintf(w, "    %-18s %12.3g %12d %12d\n",
+		dist.FixedIterations, res.RelRes, maxInt(res.Iterations), minInt(res.Iterations))
+	fmt.Fprintln(w, "  (both detectors stop at the requested tolerance; fixed iterations needs the")
+	fmt.Fprintln(w, "   budget guessed in advance — the paper's motivation for future work)")
+	fmt.Fprintln(w)
+	return nil
+}
+
+func ablationEager(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "== Ablation A5: racy (RMA) vs eager (semi-synchronous) communication ==")
+	rng := cfg.NewRNG(0xAB5)
+	a := matgen.FD2D(16, 16)
+	b := RandomVec(rng, a.N)
+	x0 := RandomVec(rng, a.N)
+	const tol = 1e-4
+	fmt.Fprintf(w, "    %-8s %12s %14s\n", "scheme", "rel res", "relaxations/n")
+	for _, eager := range []bool{false, true} {
+		res := dist.Solve(a, b, x0, dist.SolveOptions{
+			Procs: 8, MaxIters: 100000, Tol: tol, Async: true, Eager: eager,
+		})
+		name := "racy"
+		if eager {
+			name = "eager"
+		}
+		fmt.Fprintf(w, "    %-8s %12.3g %14.1f\n",
+			name, res.RelRes, float64(res.TotalRelaxations)/float64(a.N))
+	}
+	fmt.Fprintln(w, "  (eager skips relaxations that would use no new information; with")
+	fmt.Fprintln(w, "   homogeneous ranks nothing is wasted and the schemes tie — its value")
+	fmt.Fprintln(w, "   appears when ranks run at different speeds, as Jager and Bradley found)")
+	fmt.Fprintln(w)
+	return nil
+}
+
+func roundRobin(n, p int) *partition.Partition {
+	pt := &partition.Partition{P: p, Part: make([]int, n)}
+	for i := range pt.Part {
+		pt.Part[i] = i % p
+	}
+	return pt
+}
+
+func maxInt(v []int) int {
+	m := v[0]
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minInt(v []int) int {
+	m := v[0]
+	for _, x := range v {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

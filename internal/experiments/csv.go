@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RunCSV runs one experiment and emits its data as CSV instead of the
+// aligned-text report — the machine-readable path for external plotting
+// (ajexp -format csv <name>).
+func RunCSV(name string, w io.Writer, cfg Config) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	switch name {
+	case "table1":
+		rows, err := RunTableI(cfg)
+		if err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"matrix", "paper_n", "paper_nnz", "n", "nnz",
+			"wdd_fraction", "rho_g", "jacobi_converges"}); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := cw.Write([]string{
+				r.Name, itoa(r.PaperN), itoa(r.PaperNNZ), itoa(r.N), itoa(r.NNZ),
+				ftoa(r.WDDFraction), ftoa(r.RhoG), strconv.FormatBool(r.JacobiConverges),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "fig2":
+		points, err := RunFig2(cfg)
+		if err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"platform", "threads", "events", "fraction"}); err != nil {
+			return err
+		}
+		for _, p := range points {
+			if err := cw.Write([]string{p.Platform, itoa(p.Threads), itoa(p.Events), ftoa(p.Fraction)}); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "fig3":
+		points, err := RunFig3(cfg)
+		if err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"delay", "model_speedup", "sim_speedup"}); err != nil {
+			return err
+		}
+		for _, p := range points {
+			if err := cw.Write([]string{itoa(p.Delay), ftoa(p.ModelSpeedup), ftoa(p.SimSpeedup)}); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "fig4":
+		data, err := RunFig4(cfg)
+		if err != nil {
+			return err
+		}
+		return writeSeriesCSV(cw, "model_time", data.Series)
+
+	case "fig5":
+		points, err := RunFig5(cfg)
+		if err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"threads", "sync_time_tol", "async_time_tol",
+			"sync_time_100", "async_time_100"}); err != nil {
+			return err
+		}
+		for _, p := range points {
+			if err := cw.Write([]string{itoa(p.Threads), ftoa(p.SyncTimeTol), ftoa(p.AsyncTimeTol),
+				ftoa(p.SyncTime100), ftoa(p.AsyncTime100)}); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "fig6":
+		data, err := RunFig6(cfg)
+		if err != nil {
+			return err
+		}
+		all := append(append([]Series{}, data.Series...), data.ModelSeries...)
+		all = append(all, data.LongRun)
+		return writeSeriesCSV(cw, "iterations", all)
+
+	case "fig7", "fig8":
+		data, err := RunSuiteSims(cfg)
+		if err != nil {
+			return err
+		}
+		if name == "fig7" {
+			if err := cw.Write([]string{"problem", "scheme", "procs", "relax_per_n", "rel_res"}); err != nil {
+				return err
+			}
+			for _, run := range data.Runs {
+				scheme := "sync"
+				if run.Async {
+					scheme = "async"
+				}
+				for _, smp := range run.Result.History {
+					if err := cw.Write([]string{run.Problem, scheme, itoa(run.Procs),
+						ftoa(smp.RelaxPerN), ftoa(smp.RelRes)}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		if err := cw.Write([]string{"problem", "scheme", "procs", "time_to_10x"}); err != nil {
+			return err
+		}
+		for _, run := range data.Runs {
+			scheme := "sync"
+			if run.Async {
+				scheme = "async"
+			}
+			t, ok := run.Result.TimeToRelRes(run.StartRelRes / 10)
+			ts := ""
+			if ok {
+				ts = ftoa(t)
+			}
+			if err := cw.Write([]string{run.Problem, scheme, itoa(run.Procs), ts}); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "fig9":
+		data, err := RunFig9(cfg)
+		if err != nil {
+			return err
+		}
+		return writeSeriesCSV(cw, "relax_per_n", data.Series)
+	}
+	return fmt.Errorf("experiments: no CSV emitter for %q (text-only: fig1, ablation)", name)
+}
+
+func writeSeriesCSV(cw *csv.Writer, xName string, series []Series) error {
+	if err := cw.Write([]string{"series", xName, "value"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if err := cw.Write([]string{s.Label, ftoa(s.X[i]), ftoa(s.Y[i])}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }

@@ -1,0 +1,175 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section VII) from this library's implementations:
+// the same workloads, the same parameter sweeps, the same reported
+// series. Each experiment has a Run function returning structured data
+// plus a text printer; the cmd/ajexp tool and the repository benchmarks
+// drive them.
+//
+// Scale note: shared-memory runs use goroutine workers, distributed
+// runs use the discrete-event cluster simulator, and "time" for
+// anything latency-sensitive is the paper's own model time or the
+// simulator's virtual seconds (the host machine has no parallel
+// hardware to time against). EXPERIMENTS.md records the
+// paper-vs-measured comparison for every entry here.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks sweeps and problem sizes so the full suite runs in
+	// seconds — used by tests; the defaults reproduce the paper-scale
+	// analogues.
+	Quick bool
+	// Seed drives all random vectors (the paper uses random x0 and b in
+	// [-1, 1]).
+	Seed uint64
+	// Repeats averages jitter-sensitive measurements (Fig 8's
+	// time-to-target) over this many simulator seeds, echoing the
+	// paper's "200 runs per configuration, mean wall-clock time".
+	// 0 or 1 means a single run.
+	Repeats int
+}
+
+// RandomVec returns a vector with entries uniform in [-1, 1], the
+// paper's initial-guess and right-hand-side distribution.
+func RandomVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+// NewRNG builds the deterministic generator for an experiment.
+func (c Config) NewRNG(salt uint64) *rand.Rand {
+	seed := c.Seed
+	if seed == 0 {
+		seed = 2018 // the paper's year; an arbitrary fixed default
+	}
+	return rand.New(rand.NewPCG(seed, salt))
+}
+
+// Series is a labelled (x, y) curve, the unit of figure output.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Downsample returns at most k points of the series, always keeping the
+// first and last.
+func (s Series) Downsample(k int) Series {
+	n := len(s.X)
+	if k <= 2 || n <= k {
+		return s
+	}
+	out := Series{Label: s.Label}
+	for i := 0; i < k; i++ {
+		idx := i * (n - 1) / (k - 1)
+		out.X = append(out.X, s.X[idx])
+		out.Y = append(out.Y, s.Y[idx])
+	}
+	return out
+}
+
+// printSeries writes a compact aligned table of one or more series
+// sharing the x semantics.
+func printSeries(w io.Writer, xName, yName string, series []Series, points int) {
+	for _, s := range series {
+		d := s.Downsample(points)
+		fmt.Fprintf(w, "  %s:\n", s.Label)
+		fmt.Fprintf(w, "    %14s  %14s\n", xName, yName)
+		for i := range d.X {
+			fmt.Fprintf(w, "    %14.6g  %14.6g\n", d.X[i], d.Y[i])
+		}
+	}
+}
+
+// Names lists the runnable experiments in paper order.
+func Names() []string {
+	return []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation", "rates", "staleness", "stalemodel"}
+}
+
+// Run dispatches one experiment by name, writing its report to w.
+func Run(name string, w io.Writer, cfg Config) error {
+	switch name {
+	case "table1":
+		return TableI(w, cfg)
+	case "fig1":
+		return Fig1(w)
+	case "fig2":
+		return Fig2(w, cfg)
+	case "fig3":
+		return Fig3(w, cfg)
+	case "fig4":
+		return Fig4(w, cfg)
+	case "fig5":
+		return Fig5(w, cfg)
+	case "fig6":
+		return Fig6(w, cfg)
+	case "fig7":
+		d, err := RunSuiteSims(cfg)
+		if err != nil {
+			return err
+		}
+		return d.PrintFig7(w)
+	case "fig8":
+		d, err := RunSuiteSims(cfg)
+		if err != nil {
+			return err
+		}
+		return d.PrintFig8(w)
+	case "fig9":
+		return Fig9(w, cfg)
+	case "ablation":
+		return Ablations(w, cfg)
+	case "rates":
+		return Rates(w, cfg)
+	case "staleness":
+		return Staleness(w, cfg)
+	case "stalemodel":
+		return StaleModel(w, cfg)
+	}
+	valid := Names()
+	sort.Strings(valid)
+	return fmt.Errorf("experiments: unknown experiment %q (valid: %v)", name, valid)
+}
+
+// RunAll executes every experiment in paper order. The suite
+// simulations behind Figs 7 and 8 run once and feed both printers.
+func RunAll(w io.Writer, cfg Config) error {
+	for _, name := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6"} {
+		if err := Run(name, w, cfg); err != nil {
+			return err
+		}
+	}
+	d, err := RunSuiteSims(cfg)
+	if err != nil {
+		return err
+	}
+	if err := d.PrintFig7(w); err != nil {
+		return err
+	}
+	if err := d.PrintFig8(w); err != nil {
+		return err
+	}
+	if err := Fig9(w, cfg); err != nil {
+		return err
+	}
+	if err := Ablations(w, cfg); err != nil {
+		return err
+	}
+	if err := Rates(w, cfg); err != nil {
+		return err
+	}
+	if err := Staleness(w, cfg); err != nil {
+		return err
+	}
+	return StaleModel(w, cfg)
+}

@@ -1,0 +1,447 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 1} }
+
+func TestDownsample(t *testing.T) {
+	s := Series{X: []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, Y: make([]float64, 10)}
+	d := s.Downsample(4)
+	if len(d.X) != 4 || d.X[0] != 0 || d.X[3] != 9 {
+		t.Fatalf("Downsample = %v", d.X)
+	}
+	// Short series unchanged.
+	if got := s.Downsample(20); len(got.X) != 10 {
+		t.Fatal("short series should be unchanged")
+	}
+}
+
+func TestNamesAndDispatch(t *testing.T) {
+	if len(Names()) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(Names()))
+	}
+	var buf bytes.Buffer
+	if err := Run("no-such", &buf, quickCfg()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableI(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"thermal2", "G3_circuit", "ecology2", "apache2",
+		"parabolic_fem", "thermomech_dm", "Dubcova2"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table I output missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "diverges") {
+		t.Fatal("Dubcova2 must be reported divergent")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4/4") || !strings.Contains(out, "3/4") {
+		t.Fatalf("Fig 1 output wrong:\n%s", out)
+	}
+}
+
+func TestFig2QuickTrend(t *testing.T) {
+	points, err := RunFig2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no Fig 2 points")
+	}
+	// Majority propagated at the largest thread count of each platform,
+	// and the fraction must increase from the smallest to the largest
+	// thread count (the paper's headline trend).
+	byPlat := map[string][]Fig2Point{}
+	for _, p := range points {
+		if p.Fraction < 0 || p.Fraction > 1 {
+			t.Fatalf("fraction out of range: %+v", p)
+		}
+		byPlat[p.Platform] = append(byPlat[p.Platform], p)
+	}
+	for plat, ps := range byPlat {
+		first, last := ps[0], ps[len(ps)-1]
+		if last.Fraction <= first.Fraction {
+			t.Fatalf("%s: fraction did not increase with threads: %+v", plat, ps)
+		}
+		if last.Fraction < 0.5 {
+			t.Fatalf("%s: majority not propagated at max threads: %+v", plat, last)
+		}
+	}
+}
+
+func TestFig3QuickSpeedupGrows(t *testing.T) {
+	points, err := RunFig3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 {
+		t.Fatal("too few Fig 3 points")
+	}
+	first, last := points[0], points[len(points)-1]
+	if last.ModelSpeedup <= first.ModelSpeedup {
+		t.Fatalf("model speedup did not grow with delay: %+v -> %+v", first, last)
+	}
+	if last.ModelSpeedup < 5 {
+		t.Fatalf("model speedup at delay %d only %g", last.Delay, last.ModelSpeedup)
+	}
+	if last.SimSpeedup <= 1 {
+		t.Fatalf("sim speedup at delay %d is %g, want > 1", last.Delay, last.SimSpeedup)
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	data, err := RunFig4(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Series) == 0 {
+		t.Fatal("no Fig 4 series")
+	}
+	// Async curves never increase (W.D.D. matrix, Theorem 1).
+	for _, s := range data.Series {
+		if !strings.HasPrefix(s.Label, "async") {
+			continue
+		}
+		for k := 1; k < len(s.Y); k++ {
+			// Absolute slack covers roundoff fluctuation once the
+			// residual stagnates at machine precision.
+			if s.Y[k] > s.Y[k-1]*(1+1e-12)+1e-14 {
+				t.Fatalf("%s: residual increased", s.Label)
+			}
+		}
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	points, err := RunFig5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if !p.SyncReached || !p.AsyncReached {
+			t.Fatalf("threads=%d: tolerance not reached (sync %v async %v)",
+				p.Threads, p.SyncReached, p.AsyncReached)
+		}
+		if p.SyncTime100 <= 0 || p.AsyncTime100 <= 0 {
+			t.Fatalf("threads=%d: non-positive sweep times", p.Threads)
+		}
+	}
+	// At the largest thread count async must win on both measures.
+	last := points[len(points)-1]
+	if last.AsyncTimeTol >= last.SyncTimeTol {
+		t.Fatalf("async not faster at %d threads: %g vs %g",
+			last.Threads, last.AsyncTimeTol, last.SyncTimeTol)
+	}
+	if last.AsyncTime100 >= last.SyncTime100 {
+		t.Fatalf("async 100-sweep time not faster at %d threads", last.Threads)
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	data, err := RunFig6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sync curves end higher than they start (divergence); the largest
+	// async run converges.
+	var sawSyncDiverge bool
+	for _, s := range data.Series {
+		if strings.HasPrefix(s.Label, "sync") && len(s.Y) >= 2 {
+			if s.Y[len(s.Y)-1] > s.Y[0] {
+				sawSyncDiverge = true
+			}
+		}
+	}
+	if !sawSyncDiverge {
+		t.Fatal("no synchronous divergence observed on the FE matrix")
+	}
+	if data.LongRunFinal > 1e-3 {
+		t.Fatalf("long async run did not converge: %g", data.LongRunFinal)
+	}
+	// The model's concurrency threshold: the lowest thread count fails
+	// to converge, the highest converges.
+	if len(data.ModelSeries) < 2 {
+		t.Fatal("missing model series")
+	}
+	low := data.ModelSeries[0]
+	high := data.ModelSeries[len(data.ModelSeries)-1]
+	if final := low.Y[len(low.Y)-1]; final < 1e-2 {
+		t.Fatalf("low-concurrency model run unexpectedly converged: %g", final)
+	}
+	if final := high.Y[len(high.Y)-1]; final > 1e-2 {
+		t.Fatalf("high-concurrency model run did not converge: %g", final)
+	}
+}
+
+func TestSuiteSimsQuick(t *testing.T) {
+	data, err := RunSuiteSims(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Runs) == 0 {
+		t.Fatal("no suite runs")
+	}
+	// For each problem and proc count: a factor-10 reduction must be
+	// reachable, and async must be at least as fast as sync in virtual
+	// time at the largest proc count.
+	type key struct {
+		problem string
+		procs   int
+	}
+	syncT := map[key]float64{}
+	asyncT := map[key]float64{}
+	for _, run := range data.Runs {
+		tt, ok := run.Result.TimeToRelRes(run.StartRelRes / 10)
+		if !ok {
+			t.Fatalf("%s procs=%d async=%v: factor-10 not reached",
+				run.Problem, run.Procs, run.Async)
+		}
+		if run.Async {
+			asyncT[key{run.Problem, run.Procs}] = tt
+		} else {
+			syncT[key{run.Problem, run.Procs}] = tt
+		}
+	}
+	big := data.ProcCounts[len(data.ProcCounts)-1]
+	for k, st := range syncT {
+		if k.procs != big {
+			continue
+		}
+		at := asyncT[k]
+		if at > st {
+			t.Fatalf("%s at %d procs: async %g slower than sync %g", k.problem, k.procs, at, st)
+		}
+	}
+	// Printers run clean.
+	var buf bytes.Buffer
+	if err := data.PrintFig7(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := data.PrintFig8(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into Fig 7/8 output")
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	data, err := RunFig9(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syncS, bigAsync *Series
+	for i := range data.Series {
+		s := &data.Series[i]
+		if s.Label == "sync" {
+			syncS = s
+		}
+		if strings.HasPrefix(s.Label, "async") {
+			bigAsync = s // last async series has the most procs
+		}
+	}
+	if syncS == nil || bigAsync == nil {
+		t.Fatal("missing series")
+	}
+	// Sync diverges: final >= initial (or went non-finite and the
+	// history was truncated while rising).
+	if len(syncS.Y) >= 2 {
+		last := syncS.Y[len(syncS.Y)-1]
+		if !math.IsNaN(last) && !math.IsInf(last, 0) && last < syncS.Y[0] {
+			t.Fatalf("sync unexpectedly converging on Dubcova2 analogue: %g -> %g",
+				syncS.Y[0], last)
+		}
+	}
+	// Async at the largest proc count converges well below start.
+	if bigAsync.Y[len(bigAsync.Y)-1] > bigAsync.Y[0]*0.05 {
+		t.Fatalf("async did not converge on Dubcova2 analogue: %g -> %g",
+			bigAsync.Y[0], bigAsync.Y[len(bigAsync.Y)-1])
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Ablations(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, marker := range []string{"Ablation A1", "Ablation A2", "Ablation A3",
+		"Ablation A4", "Ablation A5", "dijkstra-safra"} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("ablation output missing %q", marker)
+		}
+	}
+	// A3 must show the lockstep (jitter 0) run NOT converging and a
+	// skewed run converging.
+	if !strings.Contains(out, "false") || !strings.Contains(out, "true") {
+		t.Fatal("skew ablation did not show both outcomes")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	for _, name := range []string{"table1", "fig2", "fig3"} {
+		var buf bytes.Buffer
+		if err := RunCSV(name, &buf, quickCfg()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s: CSV has no data rows", name)
+		}
+		cols := strings.Count(lines[0], ",")
+		for i, ln := range lines {
+			if strings.Count(ln, ",") != cols {
+				t.Fatalf("%s: ragged CSV at line %d", name, i)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := RunCSV("fig1", &buf, quickCfg()); err == nil {
+		t.Fatal("fig1 should have no CSV emitter")
+	}
+}
+
+func TestRatesQuick(t *testing.T) {
+	rows, err := RunRates(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rate rows")
+	}
+	for _, r := range rows {
+		if r.Measured == 0 {
+			t.Fatalf("%s: no measured factor", r.Name)
+		}
+		if math.Abs(r.Measured-r.RhoG) > 0.05*(1+r.RhoG) {
+			t.Fatalf("%s: measured sync factor %.5f far from rho(G) %.5f",
+				r.Name, r.Measured, r.RhoG)
+		}
+		if r.AsyncF > r.RhoG*1.05 {
+			t.Fatalf("%s: async factor %.5f worse than rho(G) %.5f",
+				r.Name, r.AsyncF, r.RhoG)
+		}
+	}
+}
+
+func TestStalenessQuick(t *testing.T) {
+	rows, err := RunStaleness(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no staleness rows")
+	}
+	for _, r := range rows {
+		if r.FracFresh <= 0 || r.FracFresh > 1 {
+			t.Fatalf("fresh fraction out of range: %+v", r)
+		}
+		if r.Mean < 0 || r.P95 > r.Max {
+			t.Fatalf("inconsistent staleness row: %+v", r)
+		}
+	}
+}
+
+func TestRunPlot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunPlot("fig3", &buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "model") {
+		t.Fatalf("plot output missing labels:\n%s", out)
+	}
+	if err := RunPlot("table1", &buf, quickCfg()); err == nil {
+		t.Fatal("table1 should have no plot")
+	}
+}
+
+func TestStaleModelQuick(t *testing.T) {
+	rows, err := RunStaleModel(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("too few rows: %d", len(rows))
+	}
+	// FD rows all converge (Chazan-Miranker).
+	var fdSteps []int
+	for _, r := range rows {
+		if strings.HasPrefix(r.Matrix, "FD") {
+			if !r.Converged {
+				t.Fatalf("FD stale=%d did not converge", r.MaxStale)
+			}
+			fdSteps = append(fdSteps, r.Steps)
+		}
+	}
+	if len(fdSteps) >= 2 && fdSteps[len(fdSteps)-1] <= fdSteps[0] {
+		t.Fatal("staleness did not slow the FD solve")
+	}
+	// FE: fresh GS converges; adversarial staleness leaves the worst
+	// final residual of the FE rows.
+	var fresh, adv float64
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Matrix, "FE") {
+			continue
+		}
+		if r.MaxStale == 0 {
+			if !r.Converged {
+				t.Fatal("fresh GS on FE must converge")
+			}
+			fresh = r.FinalRelRes
+		}
+		if r.Adversarial {
+			adv = r.FinalRelRes
+		}
+	}
+	if adv <= fresh*100 {
+		t.Fatalf("adversarial staleness not clearly worse: fresh %g adv %g", fresh, adv)
+	}
+}
+
+// Full-scale smoke: the cheapest experiments also run at paper scale
+// (covering the non-quick parameter branches). Heavier full-scale
+// experiments are exercised by `ajexp all` (see full_run.txt).
+func TestFullScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale smoke skipped in -short mode")
+	}
+	full := Config{Seed: 1}
+	var buf bytes.Buffer
+	if err := TableI(&buf, full); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Dubcova2") {
+		t.Fatal("full-scale Table I incomplete")
+	}
+	points, err := RunFig3(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 9 {
+		t.Fatalf("full-scale Fig 3 has %d delays, want 9", len(points))
+	}
+	last := points[len(points)-1]
+	if last.ModelSpeedup < 10 {
+		t.Fatalf("full-scale plateau speedup %g below expectation", last.ModelSpeedup)
+	}
+}

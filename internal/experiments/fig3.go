@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/matgen"
+	"repro/internal/model"
+)
+
+// Fig3Point is one delay setting's speedup measurement.
+type Fig3Point struct {
+	Delay        int     // model-time delay delta of the slow worker
+	ModelSpeedup float64 // sync model time / async model time to tol
+	SimSpeedup   float64 // same ratio on the simulated machine
+}
+
+// fig3Matrix is the paper's Fig 3/4 test problem: FD with 68 rows and
+// 298 nonzeros, one row per worker (68 workers on the KNL platform).
+func fig3Matrix() (nx, ny int) { return 4, 17 }
+
+// RunFig3 reproduces Figure 3: the speedup of asynchronous over
+// synchronous Jacobi as a function of the delay experienced by one
+// worker, at a relative residual tolerance of 1e-3.
+//
+// Two curves are produced: the paper's model (unit model time; the
+// delayed row relaxes every delta steps, synchronous waits delta per
+// sweep) and a simulated-machine curve standing in for the paper's
+// OpenMP measurements (discrete-event simulation with the delayed
+// process's compute time multiplied by delta).
+func RunFig3(cfg Config) ([]Fig3Point, error) {
+	nx, ny := fig3Matrix()
+	a := matgen.FD2D(nx, ny)
+	n := a.N
+	rng := cfg.NewRNG(0xF163)
+	b := RandomVec(rng, n)
+	x0 := RandomVec(rng, n)
+	const tol = 1e-3
+
+	delays := []int{1, 2, 5, 10, 20, 30, 50, 75, 100}
+	if cfg.Quick {
+		delays = []int{1, 10, 50}
+	}
+	delayedRow := n / 2
+	var points []Fig3Point
+	for _, d := range delays {
+		// Model curve.
+		hs := model.Run(a, b, x0, model.NewSyncDelaySchedule(n, d),
+			model.Options{MaxSteps: 200000, Tol: tol})
+		ha := model.Run(a, b, x0, model.NewAsyncDelaySchedule(n, []int{delayedRow}, d),
+			model.Options{MaxSteps: 200000, Tol: tol})
+		ts, ta := hs.TimeToTol(tol), ha.TimeToTol(tol)
+		msp := 0.0
+		if ts > 0 && ta > 0 {
+			msp = float64(ts) / float64(ta)
+		}
+
+		// Simulated machine: one row per process, process n/2 slowed by
+		// a factor of d.
+		mk := func(async bool) cluster.Config {
+			return cluster.Config{
+				Procs:           n,
+				Async:           async,
+				RelaxCostPerNNZ: 1e-7,
+				MsgLatency:      5e-8,
+				BarrierCost:     2e-7,
+				IterJitter:      0.05,
+				DelayProc:       delayedRow,
+				DelayFactor:     float64(d),
+				MaxSweeps:       200000,
+				Tol:             tol,
+				SamplesPerSweep: 1,
+				Seed:            cfg.Seed + 3,
+			}
+		}
+		ssim := cluster.Simulate(a, b, x0, mk(false))
+		asim := cluster.Simulate(a, b, x0, mk(true))
+		tss, ok1 := ssim.TimeToRelRes(tol)
+		tas, ok2 := asim.TimeToRelRes(tol)
+		ssp := 0.0
+		if ok1 && ok2 && tas > 0 {
+			ssp = tss / tas
+		}
+		points = append(points, Fig3Point{Delay: d, ModelSpeedup: msp, SimSpeedup: ssp})
+	}
+	return points, nil
+}
+
+// Fig3 prints the delay-speedup sweep.
+func Fig3(w io.Writer, cfg Config) error {
+	points, err := RunFig3(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Fig 3: async/sync speedup vs delay of one worker (FD n=68, 68 workers, tol 1e-3) ==")
+	fmt.Fprintf(w, "%8s %16s %16s\n", "Delay", "Model speedup", "Sim speedup")
+	for _, p := range points {
+		fmt.Fprintf(w, "%8d %16.2f %16.2f\n", p.Delay, p.ModelSpeedup, p.SimSpeedup)
+	}
+	fmt.Fprintln(w, "  (paper: both model and OpenMP speedups rise with delay and plateau above 40)")
+	fmt.Fprintln(w)
+	return nil
+}

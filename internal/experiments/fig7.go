@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// SuiteSimRun is one (problem, method, procs) simulated run.
+type SuiteSimRun struct {
+	Problem string
+	Async   bool
+	Procs   int
+	Result  *cluster.Result
+	// StartRelRes is the initial relative residual (for the factor-10
+	// reduction target of Fig 8).
+	StartRelRes float64
+	// MeanTimeTo10x is the factor-10 reduction time averaged over
+	// Config.Repeats simulator seeds (paper Section VII-C: mean over
+	// repeated runs); NaN when never reached.
+	MeanTimeTo10x float64
+}
+
+// SuiteSimData holds every simulated run behind Figures 7 and 8.
+type SuiteSimData struct {
+	Runs []SuiteSimRun
+	// ProcCounts is the sweep used for asynchronous runs (the paper's 1
+	// to 128 nodes, i.e. 32 to 4096 MPI ranks, scaled to the analogue
+	// problem sizes).
+	ProcCounts []int
+}
+
+// suiteSimConfig is the distributed-machine cost model: network
+// latency far above per-row compute, barrier/allreduce cost growing
+// with the process count.
+func suiteSimConfig(procs int, async bool, maxSweeps int, tol float64, seed uint64) cluster.Config {
+	return cluster.Config{
+		Procs:              procs,
+		Async:              async,
+		RelaxCostPerNNZ:    1e-8,
+		MsgLatency:         1e-5,
+		MsgCostPerNeighbor: 5e-7,
+		BarrierCost:        2e-6 * math.Log2(float64(procs)+1),
+		IterJitter:         0.3,
+		SpeedJitter:        0.1,
+		DelayProc:          -1,
+		MaxSweeps:          maxSweeps,
+		Tol:                tol,
+		SamplesPerSweep:    1,
+		Seed:               seed,
+	}
+}
+
+// sweepBudget returns the sweep budget for a problem, scaled to its
+// Jacobi convergence rate so that each run covers a comparable residual
+// range.
+func sweepBudget(name string, quick bool) int {
+	budget := map[string]int{
+		"thermal2":      6000,
+		"G3_circuit":    1500,
+		"ecology2":      6000,
+		"apache2":       1200,
+		"parabolic_fem": 200,
+		"thermomech_dm": 400,
+		"Dubcova2":      4000,
+	}
+	b, ok := budget[name]
+	if !ok {
+		b = 2000
+	}
+	if quick {
+		b /= 10
+		if b < 100 {
+			b = 100
+		}
+	}
+	return b
+}
+
+// RunSuiteSims simulates synchronous and asynchronous Jacobi for the
+// six convergent Table I analogues over the process-count sweep. Runs
+// feed both Fig 7 (residual vs relaxations/n) and Fig 8 (virtual time
+// to a factor-10 residual reduction vs processes).
+func RunSuiteSims(cfg Config) (*SuiteSimData, error) {
+	procCounts := []int{8, 16, 32, 64, 128, 256}
+	probs := matgen.ConvergentSuiteProblems()
+	if cfg.Quick {
+		procCounts = []int{8, 64}
+		probs = probs[3:5] // apache2, parabolic_fem: the fast ones
+	}
+	data := &SuiteSimData{ProcCounts: procCounts}
+	rng := cfg.NewRNG(0xF167)
+	for _, p := range probs {
+		a := p.A
+		b := RandomVec(rng, a.N)
+		x0 := RandomVec(rng, a.N)
+		start := startRelRes(a, b, x0)
+		budget := sweepBudget(p.Name, cfg.Quick)
+		tol := start * 1e-3 // always cover well past the factor-10 mark
+
+		repeats := cfg.Repeats
+		if repeats < 1 {
+			repeats = 1
+		}
+		// Synchronous reference at the mid process count (convergence
+		// per relaxation is identical at any count; time differs, so
+		// Fig 8 sync runs at every count below).
+		for _, procs := range procCounts {
+			for _, async := range []bool{false, true} {
+				base := cfg.Seed + 11
+				if async {
+					base = cfg.Seed + 13
+				}
+				var primary *cluster.Result
+				sum, hit := 0.0, 0
+				for rep := 0; rep < repeats; rep++ {
+					res := cluster.Simulate(a, b, x0,
+						suiteSimConfig(procs, async, budget, tol, base+uint64(rep)*101))
+					if rep == 0 {
+						primary = res
+					}
+					if tt, ok := res.TimeToRelRes(start / 10); ok {
+						sum += tt
+						hit++
+					}
+				}
+				mean := math.NaN()
+				if hit > 0 {
+					mean = sum / float64(hit)
+				}
+				data.Runs = append(data.Runs, SuiteSimRun{
+					Problem: p.Name, Async: async, Procs: procs, Result: primary,
+					StartRelRes: start, MeanTimeTo10x: mean,
+				})
+			}
+		}
+	}
+	return data, nil
+}
+
+func startRelRes(a *sparse.CSR, b, x0 []float64) float64 {
+	r := make([]float64, a.N)
+	a.Residual(r, b, x0)
+	var nr, nb float64
+	for i := range r {
+		nr += math.Abs(r[i])
+		nb += math.Abs(b[i])
+	}
+	if nb == 0 {
+		nb = 1
+	}
+	return nr / nb
+}
+
+// PrintFig7 emits residual-vs-relaxations/n curves: synchronous plus
+// asynchronous at increasing process counts (the paper's green-to-blue
+// gradient).
+func (d *SuiteSimData) PrintFig7(w io.Writer) error {
+	fmt.Fprintln(w, "== Fig 7: rel residual vs relaxations/n, sync vs async at growing process counts ==")
+	byProblem := map[string][]SuiteSimRun{}
+	var order []string
+	for _, run := range d.Runs {
+		if _, seen := byProblem[run.Problem]; !seen {
+			order = append(order, run.Problem)
+		}
+		byProblem[run.Problem] = append(byProblem[run.Problem], run)
+	}
+	for _, name := range order {
+		fmt.Fprintf(w, " %s:\n", name)
+		var series []Series
+		var syncDone bool
+		for _, run := range byProblem[name] {
+			if !run.Async {
+				// One sync curve suffices: per-relaxation convergence
+				// does not depend on the process count.
+				if syncDone {
+					continue
+				}
+				syncDone = true
+			}
+			label := "sync"
+			if run.Async {
+				label = fmt.Sprintf("async %4d procs", run.Procs)
+			}
+			s := Series{Label: label}
+			for _, smp := range run.Result.History {
+				s.X = append(s.X, smp.RelaxPerN)
+				s.Y = append(s.Y, smp.RelRes)
+			}
+			series = append(series, s)
+		}
+		printSeries(w, "relax/n", "rel res", series, 8)
+	}
+	fmt.Fprintln(w, "  (paper: async converges in fewer relaxations, improving with process count,")
+	fmt.Fprintln(w, "   most visibly on the smaller problems)")
+	fmt.Fprintln(w)
+	return nil
+}
+
+// PrintFig8 emits the virtual time to reduce the residual by a factor
+// of 10, versus process count, for sync and async — the paper's
+// strong-scaling comparison with log-interpolated measurement.
+func (d *SuiteSimData) PrintFig8(w io.Writer) error {
+	fmt.Fprintln(w, "== Fig 8: virtual time (s) to reduce residual 10x vs process count ==")
+	type key struct {
+		problem string
+		procs   int
+	}
+	syncT := map[key]float64{}
+	asyncT := map[key]float64{}
+	var order []string
+	seen := map[string]bool{}
+	for _, run := range d.Runs {
+		if !seen[run.Problem] {
+			order = append(order, run.Problem)
+			seen[run.Problem] = true
+		}
+		t := run.MeanTimeTo10x
+		if math.IsNaN(t) {
+			// Single-run fallback for callers that built Runs manually.
+			if tt, ok := run.Result.TimeToRelRes(run.StartRelRes / 10); ok {
+				t = tt
+			}
+		}
+		k := key{run.Problem, run.Procs}
+		if run.Async {
+			asyncT[k] = t
+		} else {
+			syncT[k] = t
+		}
+	}
+	for _, name := range order {
+		fmt.Fprintf(w, " %s:\n", name)
+		fmt.Fprintf(w, "    %8s %14s %14s\n", "procs", "sync time", "async time")
+		for _, procs := range d.ProcCounts {
+			fmt.Fprintf(w, "    %8d %14.6g %14.6g\n",
+				procs, syncT[key{name, procs}], asyncT[key{name, procs}])
+		}
+	}
+	fmt.Fprintln(w, "  (paper: async is generally faster; on the smallest problem the async time")
+	fmt.Fprintln(w, "   rises mid-sweep then falls again as added concurrency improves convergence)")
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/plot"
+)
+
+// RunPlot renders one figure as an ASCII chart (ajexp -format plot).
+// Only the series-shaped figures plot; the tabular experiments report
+// an error pointing at the text format.
+func RunPlot(name string, w io.Writer, cfg Config) error {
+	switch name {
+	case "fig2":
+		points, err := RunFig2(cfg)
+		if err != nil {
+			return err
+		}
+		c := plot.New("Fig 2: fraction of propagated relaxations vs threads")
+		c.XLabel = "threads"
+		c.YLabel = "fraction"
+		byPlat := map[string][][2]float64{}
+		var order []string
+		for _, p := range points {
+			if _, ok := byPlat[p.Platform]; !ok {
+				order = append(order, p.Platform)
+			}
+			byPlat[p.Platform] = append(byPlat[p.Platform], [2]float64{float64(p.Threads), p.Fraction})
+		}
+		for _, plat := range order {
+			var xs, ys []float64
+			for _, pt := range byPlat[plat] {
+				xs = append(xs, pt[0])
+				ys = append(ys, pt[1])
+			}
+			c.Add(plat, xs, ys)
+		}
+		return c.Render(w)
+
+	case "fig3":
+		points, err := RunFig3(cfg)
+		if err != nil {
+			return err
+		}
+		c := plot.New("Fig 3: async/sync speedup vs delay")
+		c.XLabel = "delay"
+		c.YLabel = "speedup"
+		var xs, ym, ys []float64
+		for _, p := range points {
+			xs = append(xs, float64(p.Delay))
+			ym = append(ym, p.ModelSpeedup)
+			ys = append(ys, p.SimSpeedup)
+		}
+		c.Add("model", xs, ym)
+		c.Add("simulated machine", xs, ys)
+		return c.Render(w)
+
+	case "fig4":
+		data, err := RunFig4(cfg)
+		if err != nil {
+			return err
+		}
+		c := plot.New("Fig 4: rel residual vs model time under delays")
+		c.XLabel = "model time"
+		c.YLabel = "rel res"
+		c.LogY = true
+		for _, s := range data.Series {
+			c.Add(s.Label, s.X, s.Y)
+		}
+		return c.Render(w)
+
+	case "fig5":
+		points, err := RunFig5(cfg)
+		if err != nil {
+			return err
+		}
+		c := plot.New("Fig 5(a): virtual time to 1e-3 vs threads")
+		c.XLabel = "threads"
+		c.YLabel = "virtual seconds"
+		c.LogY = true
+		var xs, sy, ay []float64
+		for _, p := range points {
+			xs = append(xs, float64(p.Threads))
+			sy = append(sy, p.SyncTimeTol)
+			ay = append(ay, p.AsyncTimeTol)
+		}
+		c.Add("sync", xs, sy)
+		c.Add("async", xs, ay)
+		return c.Render(w)
+
+	case "fig6":
+		data, err := RunFig6(cfg)
+		if err != nil {
+			return err
+		}
+		c := plot.New("Fig 6: FE matrix, sync diverges / async converges")
+		c.XLabel = "iterations"
+		c.YLabel = "rel res"
+		c.LogY = true
+		for _, s := range data.Series {
+			c.Add(s.Label, s.X, s.Y)
+		}
+		return c.Render(w)
+
+	case "fig9":
+		data, err := RunFig9(cfg)
+		if err != nil {
+			return err
+		}
+		c := plot.New("Fig 9: Dubcova2 analogue")
+		c.XLabel = "relax/n"
+		c.YLabel = "rel res"
+		c.LogY = true
+		for _, s := range data.Series {
+			c.Add(s.Label, s.X, s.Y)
+		}
+		return c.Render(w)
+	}
+	return fmt.Errorf("experiments: no plot for %q (series figures only: fig2-fig6, fig9)", name)
+}

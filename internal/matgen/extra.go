@@ -1,0 +1,172 @@
+package matgen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// FD2DAniso returns the unit-diagonal-scaled five-point discretization
+// of -(u_xx + eps*u_yy) on an nx-by-ny grid: the anisotropic model
+// problem. Point-Jacobi's spectral radius is famously insensitive to
+// eps (it stays cos(pi/(nx+1))-ish for square grids), but the coupling
+// becomes essentially one-dimensional along x, which makes partition
+// orientation matter: strip subdomains across the strong direction cut
+// heavy couplings, along it almost none. The matrix stays irreducibly
+// W.D.D. and SPD.
+func FD2DAniso(nx, ny int, eps float64) *sparse.CSR {
+	if nx < 1 || ny < 1 {
+		panic("matgen: FD2DAniso needs positive grid dimensions")
+	}
+	if eps <= 0 {
+		panic("matgen: anisotropy eps must be positive")
+	}
+	n := nx * ny
+	idx := func(i, j int) int { return j*nx + i }
+	diag := 2 + 2*eps
+	c := sparse.NewCOO(n, n)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			r := idx(i, j)
+			c.Add(r, r, 1)
+			if i > 0 {
+				c.Add(r, idx(i-1, j), -1/diag)
+			}
+			if i < nx-1 {
+				c.Add(r, idx(i+1, j), -1/diag)
+			}
+			if j > 0 {
+				c.Add(r, idx(i, j-1), -eps/diag)
+			}
+			if j < ny-1 {
+				c.Add(r, idx(i, j+1), -eps/diag)
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// FD2D9 returns the unit-diagonal-scaled nine-point (Moore stencil)
+// discretization of the Laplacian on an nx-by-ny grid: the compact
+// fourth-order stencil with weights -4 (edge neighbors) and -1 (corner
+// neighbors) against a 20 diagonal. W.D.D., SPD, denser coupling than
+// the five-point stencil (up to 8 off-diagonals per row), which stresses
+// ghost-layer construction with diagonal neighbor subdomains.
+func FD2D9(nx, ny int) *sparse.CSR {
+	if nx < 1 || ny < 1 {
+		panic("matgen: FD2D9 needs positive grid dimensions")
+	}
+	n := nx * ny
+	idx := func(i, j int) int { return j*nx + i }
+	c := sparse.NewCOO(n, n)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			r := idx(i, j)
+			c.Add(r, r, 1)
+			for dj := -1; dj <= 1; dj++ {
+				for di := -1; di <= 1; di++ {
+					if di == 0 && dj == 0 {
+						continue
+					}
+					i2, j2 := i+di, j+dj
+					if i2 < 0 || i2 >= nx || j2 < 0 || j2 >= ny {
+						continue
+					}
+					w := 4.0
+					if di != 0 && dj != 0 {
+						w = 1.0
+					}
+					c.Add(r, idx(i2, j2), -w/20)
+				}
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// RingLaplacian returns the unit-diagonal-scaled shifted Laplacian of
+// the n-cycle: diagonal 1, neighbors -1/(2+shift) (wrap-around). Its
+// Jacobi iteration matrix is a circulant with eigenvalues
+// 2*cos(2*pi*k/n)/(2+shift), known in closed form — handy for exact
+// spectral cross-checks.
+func RingLaplacian(n int, shift float64) *sparse.CSR {
+	if n < 3 {
+		panic("matgen: RingLaplacian needs n >= 3")
+	}
+	if shift < 0 {
+		panic("matgen: shift must be non-negative")
+	}
+	c := sparse.NewCOO(n, n)
+	w := -1 / (2 + shift)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 1)
+		c.Add(i, (i+1)%n, w)
+		c.Add(i, (i+n-1)%n, w)
+	}
+	return c.ToCSR()
+}
+
+// RingRhoG returns the exact spectral radius of the Jacobi iteration
+// matrix for RingLaplacian(n, shift): max_k |2 cos(2 pi k / n)| / (2+shift)
+// over k = 0..n-1, which is 2/(2+shift) (attained at k = 0).
+func RingRhoG(n int, shift float64) float64 {
+	_ = n
+	return 2 / (2 + shift)
+}
+
+// Stretched returns a unit-diagonal-scaled FD Laplacian on a grid whose
+// cell widths grow geometrically by factor g per column — a graded
+// mesh. SPD and W.D.D.; grading skews the off-diagonal weights the way
+// boundary-layer meshes do.
+func Stretched(nx, ny int, g float64) *sparse.CSR {
+	if nx < 1 || ny < 1 {
+		panic("matgen: Stretched needs positive grid dimensions")
+	}
+	if g <= 0 {
+		panic("matgen: grading factor must be positive")
+	}
+	// Cell widths along x: h_i = g^i; uniform along y.
+	hx := make([]float64, nx+1)
+	for i := range hx {
+		hx[i] = math.Pow(g, float64(i))
+	}
+	idx := func(i, j int) int { return j*nx + i }
+	n := nx * ny
+	c := sparse.NewCOO(n, n)
+	diag := make([]float64, n)
+	addSym := func(r, q int, w float64) {
+		c.AddSym(r, q, -w)
+		diag[r] += w
+		diag[q] += w
+	}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			r := idx(i, j)
+			if i < nx-1 {
+				addSym(r, idx(i+1, j), 2/(hx[i]+hx[i+1]))
+			}
+			if j < ny-1 {
+				addSym(r, idx(i, j+1), 1)
+			}
+			// Dirichlet boundary contributions keep A nonsingular.
+			if i == 0 {
+				diag[r] += 2 / (2 * hx[0])
+			}
+			if i == nx-1 {
+				diag[r] += 2 / (2 * hx[nx])
+			}
+			if j == 0 || j == ny-1 {
+				diag[r]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.Add(i, i, diag[i])
+	}
+	out, _, err := sparse.ScaleUnitDiagonal(c.ToCSR())
+	if err != nil {
+		panic(fmt.Sprintf("matgen: Stretched scaling: %v", err))
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package matgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+func TestFD2DAniso(t *testing.T) {
+	a := FD2DAniso(10, 8, 0.01)
+	if a.N != 80 || !a.IsSymmetric(1e-14) || !a.HasUnitDiagonal(1e-14) || !a.IsWDD() {
+		t.Fatal("anisotropic matrix properties violated")
+	}
+	// eps = 1 degenerates to the isotropic 5-point stencil.
+	iso := FD2DAniso(7, 6, 1)
+	fd := FD2D(7, 6)
+	for i := 0; i < iso.N; i++ {
+		for j := 0; j < iso.N; j++ {
+			if math.Abs(iso.At(i, j)-fd.At(i, j)) > 1e-15 {
+				t.Fatal("eps=1 does not match FD2D")
+			}
+		}
+	}
+	// The classical fact: point-Jacobi's rho(G) is insensitive to the
+	// anisotropy (eigenvalues (2cos(i pi h) + 2 eps cos(j pi h))/(2+2eps)
+	// peak at cos(pi h) for any eps).
+	r1 := spectral.JacobiRhoGLanczos(FD2DAniso(12, 12, 1), 80, 1e-11)
+	r2 := spectral.JacobiRhoGLanczos(FD2DAniso(12, 12, 0.01), 80, 1e-11)
+	if math.Abs(r2.Value-r1.Value) > 1e-6 {
+		t.Fatalf("rho(G) should not depend on eps: %g vs %g", r2.Value, r1.Value)
+	}
+	want := math.Cos(math.Pi / 13)
+	if math.Abs(r1.Value-want) > 1e-6 {
+		t.Fatalf("rho(G) = %.10f want cos(pi/13) = %.10f", r1.Value, want)
+	}
+}
+
+func TestFD2D9(t *testing.T) {
+	a := FD2D9(9, 7)
+	if !a.IsSymmetric(1e-14) || !a.HasUnitDiagonal(1e-14) || !a.IsWDD() {
+		t.Fatal("nine-point matrix properties violated")
+	}
+	// Interior rows have 8 neighbors.
+	mid := (7/2)*9 + 4
+	if a.RowNNZ(mid) != 9 {
+		t.Fatalf("interior row nnz = %d, want 9", a.RowNNZ(mid))
+	}
+	rho := spectral.JacobiRhoGLanczos(a, 60, 1e-11)
+	if rho.Value >= 1 {
+		t.Fatalf("rho(G) = %g", rho.Value)
+	}
+}
+
+func TestRingLaplacianAnalytic(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		shift float64
+	}{{8, 0.5}, {17, 1}, {64, 0.1}} {
+		a := RingLaplacian(tc.n, tc.shift)
+		if !a.IsSymmetric(1e-14) || !a.HasUnitDiagonal(1e-14) || !a.IsWDD() {
+			t.Fatal("ring Laplacian properties violated")
+		}
+		got := spectral.JacobiRhoGLanczos(a, tc.n, 1e-12)
+		want := RingRhoG(tc.n, tc.shift)
+		if math.Abs(got.Value-want) > 1e-7 {
+			t.Fatalf("n=%d shift=%g: rho = %.10f want %.10f", tc.n, tc.shift, got.Value, want)
+		}
+	}
+}
+
+func TestStretched(t *testing.T) {
+	a := Stretched(12, 8, 1.3)
+	if !a.IsSymmetric(1e-12) || !a.HasUnitDiagonal(1e-12) {
+		t.Fatal("stretched-grid matrix properties violated")
+	}
+	lo, _ := spectral.LanczosExtremes(a, 96, 1e-11)
+	if lo.Value <= 0 {
+		t.Fatalf("stretched matrix not SPD: lambda_min = %g", lo.Value)
+	}
+	rho := spectral.JacobiRhoGLanczos(a, 96, 1e-11)
+	if rho.Value >= 1 {
+		t.Fatalf("rho(G) = %g", rho.Value)
+	}
+}
+
+func TestExtraGeneratorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("aniso eps<=0", func() { FD2DAniso(3, 3, 0) })
+	mustPanic("aniso dims", func() { FD2DAniso(0, 3, 1) })
+	mustPanic("9pt dims", func() { FD2D9(3, 0) })
+	mustPanic("ring small", func() { RingLaplacian(2, 0) })
+	mustPanic("ring shift", func() { RingLaplacian(5, -1) })
+	mustPanic("stretched g", func() { Stretched(3, 3, 0) })
+}

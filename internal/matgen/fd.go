@@ -1,0 +1,301 @@
+// Package matgen generates the test matrices used throughout the
+// reproduction: finite-difference Laplacians (the paper's "FD"
+// matrices), P1 finite-element stiffness matrices on distorted
+// triangulations (the paper's "FE" matrix class), and synthetic
+// analogues of the seven SuiteSparse problems of Table I.
+//
+// All generators return symmetric positive (semi)definite matrices
+// already scaled to unit diagonal, matching the paper's convention that
+// the Jacobi iteration matrix is G = I - A. Generators are
+// deterministic: the same parameters always produce the same matrix.
+package matgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/sparse"
+)
+
+// Laplace1D returns the unit-diagonal-scaled 1-D three-point Laplacian
+// of size n: diagonal 1, off-diagonals -1/2. It is irreducibly weakly
+// diagonally dominant with rho(G) = cos(pi/(n+1)) < 1.
+func Laplace1D(n int) *sparse.CSR {
+	if n < 1 {
+		panic("matgen: Laplace1D needs n >= 1")
+	}
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 1)
+		if i > 0 {
+			c.Add(i, i-1, -0.5)
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -0.5)
+		}
+	}
+	return c.ToCSR()
+}
+
+// FD2D returns the unit-diagonal-scaled five-point centered-difference
+// discretization of the Laplace equation on an nx-by-ny rectangular
+// grid with uniform spacing and Dirichlet boundary (the paper's FD
+// matrices): diagonal 1, neighbor entries -1/4. The matrix has
+// n = nx*ny rows, is irreducibly W.D.D., SPD, and rho(G) < 1.
+func FD2D(nx, ny int) *sparse.CSR {
+	if nx < 1 || ny < 1 {
+		panic("matgen: FD2D needs positive grid dimensions")
+	}
+	n := nx * ny
+	idx := func(i, j int) int { return j*nx + i }
+	c := sparse.NewCOO(n, n)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			r := idx(i, j)
+			c.Add(r, r, 1)
+			if i > 0 {
+				c.Add(r, idx(i-1, j), -0.25)
+			}
+			if i < nx-1 {
+				c.Add(r, idx(i+1, j), -0.25)
+			}
+			if j > 0 {
+				c.Add(r, idx(i, j-1), -0.25)
+			}
+			if j < ny-1 {
+				c.Add(r, idx(i, j+1), -0.25)
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// FD2DRhoG returns the exact spectral radius of the Jacobi iteration
+// matrix for FD2D(nx, ny):
+// rho(G) = (cos(pi/(nx+1)) + cos(pi/(ny+1))) / 2.
+// Used as an analytic cross-check for the spectral estimators.
+func FD2DRhoG(nx, ny int) float64 {
+	return (math.Cos(math.Pi/float64(nx+1)) + math.Cos(math.Pi/float64(ny+1))) / 2
+}
+
+// FD3D returns the unit-diagonal-scaled seven-point discretization of
+// the 3-D Laplacian on an nx-by-ny-by-nz grid: diagonal 1, neighbor
+// entries -1/6. W.D.D., SPD.
+func FD3D(nx, ny, nz int) *sparse.CSR {
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic("matgen: FD3D needs positive grid dimensions")
+	}
+	n := nx * ny * nz
+	idx := func(i, j, k int) int { return (k*ny+j)*nx + i }
+	c := sparse.NewCOO(n, n)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				r := idx(i, j, k)
+				c.Add(r, r, 1)
+				if i > 0 {
+					c.Add(r, idx(i-1, j, k), -1.0/6)
+				}
+				if i < nx-1 {
+					c.Add(r, idx(i+1, j, k), -1.0/6)
+				}
+				if j > 0 {
+					c.Add(r, idx(i, j-1, k), -1.0/6)
+				}
+				if j < ny-1 {
+					c.Add(r, idx(i, j+1, k), -1.0/6)
+				}
+				if k > 0 {
+					c.Add(r, idx(i, j, k-1), -1.0/6)
+				}
+				if k < nz-1 {
+					c.Add(r, idx(i, j, k+1), -1.0/6)
+				}
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// FD2DHetero returns a unit-diagonal-scaled five-point discretization
+// of div(kappa grad u) with a smoothly varying positive coefficient
+// field kappa (log-uniform over [1, contrast]) on an nx-by-ny grid.
+// The unscaled assembly is irreducibly W.D.D. and SPD; after symmetric
+// unit-diagonal scaling most (not necessarily all) rows stay weakly
+// dominant and the matrix remains SPD with rho(G) < 1. Heterogeneous
+// coefficients shift the spectrum the way heterogeneous physical
+// problems (ecology2-like) do.
+func FD2DHetero(nx, ny int, contrast float64, seed uint64) *sparse.CSR {
+	if nx < 1 || ny < 1 {
+		panic("matgen: FD2DHetero needs positive grid dimensions")
+	}
+	if contrast < 1 {
+		panic("matgen: contrast must be >= 1")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	// Coefficient at cell centers; harmonic-mean face values couple
+	// neighboring unknowns.
+	kappa := make([]float64, nx*ny)
+	logC := math.Log(contrast)
+	// Smooth random field: a few random Fourier modes.
+	type mode struct{ ax, ay, ph, amp float64 }
+	modes := make([]mode, 6)
+	for m := range modes {
+		modes[m] = mode{
+			ax:  (1 + rng.Float64()*3) * math.Pi,
+			ay:  (1 + rng.Float64()*3) * math.Pi,
+			ph:  rng.Float64() * 2 * math.Pi,
+			amp: rng.Float64(),
+		}
+	}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			x := (float64(i) + 0.5) / float64(nx)
+			y := (float64(j) + 0.5) / float64(ny)
+			var s, tot float64
+			for _, m := range modes {
+				s += m.amp * math.Sin(m.ax*x+m.ph) * math.Cos(m.ay*y)
+				tot += m.amp
+			}
+			// s/tot in [-1, 1] -> kappa in [1, contrast]
+			kappa[j*nx+i] = math.Exp((s/tot + 1) / 2 * logC)
+		}
+	}
+	idx := func(i, j int) int { return j*nx + i }
+	face := func(a, b float64) float64 { return 2 * a * b / (a + b) } // harmonic mean
+	c := sparse.NewCOO(nx*ny, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			r := idx(i, j)
+			var diag float64
+			add := func(i2, j2 int) {
+				w := face(kappa[r], kappa[idx(i2, j2)])
+				c.Add(r, idx(i2, j2), -w)
+				diag += w
+			}
+			if i > 0 {
+				add(i-1, j)
+			}
+			if i < nx-1 {
+				add(i+1, j)
+			}
+			if j > 0 {
+				add(i, j-1)
+			}
+			if j < ny-1 {
+				add(i, j+1)
+			}
+			// Boundary faces contribute kappa itself (Dirichlet),
+			// keeping the matrix nonsingular and W.D.D. strictly at
+			// the boundary.
+			bnd := 0
+			if i == 0 || i == nx-1 {
+				bnd++
+			}
+			if j == 0 || j == ny-1 {
+				bnd++
+			}
+			diag += float64(bnd) * kappa[r]
+			c.Add(r, r, diag)
+		}
+	}
+	out, _, err := sparse.ScaleUnitDiagonal(c.ToCSR())
+	if err != nil {
+		panic(fmt.Sprintf("matgen: FD2DHetero scaling: %v", err))
+	}
+	return out
+}
+
+// ShiftedGridLaplacian returns a unit-diagonal-scaled matrix
+// A = L + shift*I where L is the graph Laplacian of the nx-by-ny grid
+// graph with unit weights. Strictly diagonally dominant for shift > 0,
+// hence SPD with rho(G) < 1. A building block for the parabolic
+// (FD + mass matrix) analogue.
+func ShiftedGridLaplacian(nx, ny int, shift float64) *sparse.CSR {
+	if shift <= 0 {
+		panic("matgen: shift must be positive")
+	}
+	n := nx * ny
+	idx := func(i, j int) int { return j*nx + i }
+	c := sparse.NewCOO(n, n)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			r := idx(i, j)
+			deg := 0
+			if i > 0 {
+				c.Add(r, idx(i-1, j), -1)
+				deg++
+			}
+			if i < nx-1 {
+				c.Add(r, idx(i+1, j), -1)
+				deg++
+			}
+			if j > 0 {
+				c.Add(r, idx(i, j-1), -1)
+				deg++
+			}
+			if j < ny-1 {
+				c.Add(r, idx(i, j+1), -1)
+				deg++
+			}
+			c.Add(r, r, float64(deg)+shift)
+		}
+	}
+	out, _, err := sparse.ScaleUnitDiagonal(c.ToCSR())
+	if err != nil {
+		panic(fmt.Sprintf("matgen: ShiftedGridLaplacian scaling: %v", err))
+	}
+	return out
+}
+
+// RandomWDD returns a random unit-diagonal weakly diagonally dominant
+// symmetric matrix of size n with roughly nnzPerRow off-diagonal
+// entries per row. Row i's off-diagonal magnitudes sum to exactly
+// dominance (<= 1), making the matrix W.D.D. (strictly if
+// dominance < 1). Used by property tests of Theorem 1.
+func RandomWDD(n, nnzPerRow int, dominance float64, seed uint64) *sparse.CSR {
+	if dominance < 0 || dominance > 1 {
+		panic("matgen: dominance must be in [0,1]")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xdeadbeef))
+	// Build a symmetric pattern: for each row pick partners > i.
+	type pair struct{ i, j int }
+	var edges []pair
+	for i := 0; i < n; i++ {
+		for e := 0; e < nnzPerRow; e++ {
+			j := rng.IntN(n)
+			if j != i {
+				if i < j {
+					edges = append(edges, pair{i, j})
+				} else {
+					edges = append(edges, pair{j, i})
+				}
+			}
+		}
+	}
+	// Assign random magnitudes and signs, then normalise each row's
+	// off-diagonal absolute sum to dominance by a symmetric scaling
+	// pass (divide each edge weight by the max of its two row sums
+	// times 1/dominance).
+	w := make([]float64, len(edges))
+	rowAbs := make([]float64, n)
+	for k, e := range edges {
+		w[k] = rng.NormFloat64()
+		rowAbs[e.i] += math.Abs(w[k])
+		rowAbs[e.j] += math.Abs(w[k])
+	}
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 1)
+	}
+	for k, e := range edges {
+		if w[k] == 0 {
+			continue
+		}
+		denom := math.Max(rowAbs[e.i], rowAbs[e.j])
+		v := w[k] / denom * dominance
+		c.AddSym(e.i, e.j, v)
+	}
+	return c.ToCSR()
+}

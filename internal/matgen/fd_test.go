@@ -1,0 +1,182 @@
+package matgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+func TestLaplace1D(t *testing.T) {
+	a := Laplace1D(10)
+	if a.N != 10 || !a.IsSymmetric(0) || !a.HasUnitDiagonal(0) || !a.IsWDD() {
+		t.Fatal("Laplace1D basic properties violated")
+	}
+	if a.At(0, 1) != -0.5 {
+		t.Fatalf("off-diagonal = %g", a.At(0, 1))
+	}
+	// rho(G) = cos(pi/(n+1))
+	rho := spectral.JacobiRhoGSym(a, 20000, 1e-12)
+	want := math.Cos(math.Pi / 11)
+	if math.Abs(rho.Value-want) > 1e-6 {
+		t.Fatalf("rho(G) = %.8f want %.8f", rho.Value, want)
+	}
+}
+
+func TestFD2DProperties(t *testing.T) {
+	a := FD2D(7, 5)
+	if a.N != 35 {
+		t.Fatalf("n = %d", a.N)
+	}
+	if !a.IsSymmetric(0) {
+		t.Fatal("FD2D not symmetric")
+	}
+	if !a.HasUnitDiagonal(0) {
+		t.Fatal("FD2D diagonal not unit")
+	}
+	if !a.IsWDD() {
+		t.Fatal("FD2D not W.D.D.")
+	}
+	// Interior row degree 4, nnz = 5n - 2*(nx+ny) boundary deficit
+	wantNNZ := 5*35 - 2*(7+5)
+	if a.NNZ() != wantNNZ {
+		t.Fatalf("nnz = %d want %d", a.NNZ(), wantNNZ)
+	}
+}
+
+func TestFD2DRhoGMatchesAnalytic(t *testing.T) {
+	for _, dims := range [][2]int{{4, 17}, {8, 5}, {17, 16}} {
+		a := FD2D(dims[0], dims[1])
+		got := spectral.JacobiRhoGSym(a, 50000, 1e-12)
+		want := FD2DRhoG(dims[0], dims[1])
+		if math.Abs(got.Value-want) > 1e-5 {
+			t.Fatalf("FD2D(%d,%d) rho = %.8f want %.8f", dims[0], dims[1], got.Value, want)
+		}
+		if want >= 1 {
+			t.Fatal("analytic rho must be < 1")
+		}
+	}
+}
+
+// The paper's shared-memory FD test matrices, reproduced exactly:
+// n=68 with 298 nonzeros (4x17 grid), n=40 with 174 nonzeros (5x8),
+// n=272 with 1294 nonzeros (16x17), n=4624 with 22848 (68x68).
+func TestPaperFDMatrixSizes(t *testing.T) {
+	a := FD2D(4, 17)
+	if a.N != 68 || a.NNZ() != 298 {
+		t.Fatalf("FD2D(4,17): n=%d nnz=%d, want 68/298", a.N, a.NNZ())
+	}
+	b := FD2D(5, 8)
+	if b.N != 40 || b.NNZ() != 174 {
+		t.Fatalf("FD2D(5,8): n=%d nnz=%d, want 40/174", b.N, b.NNZ())
+	}
+	c := FD2D(16, 17)
+	if c.N != 272 || c.NNZ() != 1294 {
+		t.Fatalf("FD2D(16,17): n=%d nnz=%d, want 272/1294", c.N, c.NNZ())
+	}
+	d := FD2D(68, 68)
+	if d.N != 4624 || d.NNZ() != 22848 {
+		t.Fatalf("FD2D(68,68): n=%d nnz=%d, want 4624/22848", d.N, d.NNZ())
+	}
+}
+
+func TestFD3DProperties(t *testing.T) {
+	a := FD3D(4, 3, 5)
+	if a.N != 60 {
+		t.Fatalf("n = %d", a.N)
+	}
+	if !a.IsSymmetric(0) || !a.HasUnitDiagonal(0) || !a.IsWDD() {
+		t.Fatal("FD3D properties violated")
+	}
+	rho := spectral.JacobiRhoGSym(a, 50000, 1e-12)
+	want := (math.Cos(math.Pi/5) + math.Cos(math.Pi/4) + math.Cos(math.Pi/6)) / 3
+	if math.Abs(rho.Value-want) > 1e-5 {
+		t.Fatalf("rho = %.8f want %.8f", rho.Value, want)
+	}
+}
+
+func TestFD2DHetero(t *testing.T) {
+	a := FD2DHetero(12, 9, 100, 5)
+	if a.N != 108 {
+		t.Fatalf("n = %d", a.N)
+	}
+	if !a.IsSymmetric(1e-12) {
+		t.Fatal("hetero matrix not symmetric")
+	}
+	if !a.HasUnitDiagonal(1e-12) {
+		t.Fatal("hetero matrix diagonal not unit")
+	}
+	// Symmetric unit-diagonal scaling does not preserve W.D.D. when
+	// the diagonal varies, but most rows should remain dominant.
+	if f := a.WDDFraction(); f < 0.5 {
+		t.Fatalf("W.D.D. fraction %g too low", f)
+	}
+	rho := spectral.JacobiRhoGSym(a, 50000, 1e-10)
+	if rho.Value >= 1 {
+		t.Fatalf("rho(G) = %g >= 1", rho.Value)
+	}
+	// Determinism
+	b := FD2DHetero(12, 9, 100, 5)
+	if b.NNZ() != a.NNZ() {
+		t.Fatal("generator not deterministic")
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] {
+			t.Fatal("generator not deterministic (values)")
+		}
+	}
+}
+
+func TestShiftedGridLaplacian(t *testing.T) {
+	a := ShiftedGridLaplacian(10, 10, 0.8)
+	if !a.IsSymmetric(1e-12) || !a.HasUnitDiagonal(1e-12) || !a.IsWDD() {
+		t.Fatal("shifted Laplacian properties violated")
+	}
+	// Interior rows: offdiag sum = 4/(4.8) < 1: strictly dominant
+	rho := spectral.JacobiRhoGSym(a, 20000, 1e-10)
+	if rho.Value >= 4.0/4.8+1e-6 {
+		t.Fatalf("rho = %g exceeds strict-dominance bound", rho.Value)
+	}
+}
+
+func TestRandomWDD(t *testing.T) {
+	for _, dom := range []float64{0.5, 0.9, 1.0} {
+		a := RandomWDD(60, 4, dom, 99)
+		if !a.IsSymmetric(1e-14) {
+			t.Fatal("RandomWDD not symmetric")
+		}
+		if !a.HasUnitDiagonal(1e-14) {
+			t.Fatal("RandomWDD diagonal not unit")
+		}
+		if !a.IsWDD() {
+			t.Fatalf("RandomWDD(dominance=%g) not W.D.D.", dom)
+		}
+	}
+}
+
+func TestRandomWDDGershgorin(t *testing.T) {
+	a := RandomWDD(40, 3, 0.7, 3)
+	if g := a.GershgorinRadius(); g > 0.7+1e-12 {
+		t.Fatalf("Gershgorin radius %g exceeds dominance budget", g)
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Laplace1D(0)", func() { Laplace1D(0) })
+	mustPanic("FD2D(0,1)", func() { FD2D(0, 1) })
+	mustPanic("FD3D neg", func() { FD3D(1, -1, 1) })
+	mustPanic("contrast<1", func() { FD2DHetero(3, 3, 0.5, 1) })
+	mustPanic("shift<=0", func() { ShiftedGridLaplacian(3, 3, 0) })
+	mustPanic("bad dominance", func() { RandomWDD(5, 2, 1.5, 1) })
+	mustPanic("FE tiny grid", func() { FE2D(FEOptions{NX: 1, NY: 5}) })
+	mustPanic("FE bad jitter", func() { FE2D(FEOptions{NX: 4, NY: 4, Jitter: 0.6}) })
+	mustPanic("FE neg shift", func() { FE2D(FEOptions{NX: 4, NY: 4, Shift: -0.1}) })
+}

@@ -1,0 +1,175 @@
+package matgen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/sparse"
+)
+
+// FEOptions controls the distorted-triangulation finite-element
+// generator. The paper's FE matrix is an unstructured P1 discretization
+// of the Laplace equation on a square: SPD, not weakly diagonally
+// dominant (about half the rows are W.D.D.), with rho(G) > 1 so that
+// synchronous Jacobi diverges.
+//
+// We reproduce that class by triangulating a structured
+// (nx+1)x(ny+1) point grid (two triangles per cell) and then jittering
+// the interior vertex positions. Distorted, obtuse triangles produce
+// positive off-diagonal stiffness entries, which destroys diagonal
+// dominance and pushes the largest eigenvalue of D^{-1}A above 2.
+type FEOptions struct {
+	NX, NY int     // cells per side; unknowns = (NX-1)*(NY-1) interior points
+	Jitter float64 // vertex displacement as a fraction of cell size, in [0, 0.5)
+	// Anisotropy stretches the y-coordinate jitter, producing thin
+	// obtuse triangles; 1 means isotropic.
+	Anisotropy float64
+	// Shift adds Shift*diag(A) to the assembled stiffness matrix (a
+	// lumped mass / reaction term) before unit-diagonal scaling. After
+	// scaling this maps eigenvalues lambda of the shift-free scaled
+	// system to (lambda+Shift)/(1+Shift), pulling rho(G) toward zero:
+	// it turns a divergent FE matrix into a convergent one while
+	// preserving the FE sparsity and sign structure.
+	Shift float64
+	Seed  uint64
+}
+
+// DefaultFEOptions mirror the paper's FE matrix regime: enough
+// distortion that the assembled matrix loses weak diagonal dominance on
+// roughly half its rows and rho(G) > 1 (moderately, rho(G) ~ 1.05, so
+// that asynchronous Jacobi at high concurrency can still converge as in
+// the paper's Fig 6).
+func DefaultFEOptions(nx, ny int) FEOptions {
+	return FEOptions{NX: nx, NY: ny, Jitter: 0.25, Anisotropy: 1.0, Seed: 2018}
+}
+
+// FE2D assembles the P1 stiffness matrix for -Laplace(u) = f with
+// homogeneous Dirichlet boundary on a jittered triangulation of the
+// unit square, eliminates boundary nodes, and returns the
+// unit-diagonal-scaled interior system. The result is SPD.
+func FE2D(opt FEOptions) *sparse.CSR {
+	nx, ny := opt.NX, opt.NY
+	if nx < 2 || ny < 2 {
+		panic("matgen: FE2D needs at least a 2x2 cell grid")
+	}
+	if opt.Jitter < 0 || opt.Jitter >= 0.5 {
+		panic("matgen: FE2D jitter must be in [0, 0.5)")
+	}
+	aniso := opt.Anisotropy
+	if aniso <= 0 {
+		aniso = 1
+	}
+	rng := rand.New(rand.NewPCG(opt.Seed, 0x5ca1ab1e))
+
+	// Vertex coordinates: structured grid + jitter on interior points.
+	np := (nx + 1) * (ny + 1)
+	px := make([]float64, np)
+	py := make([]float64, np)
+	pid := func(i, j int) int { return j*(nx+1) + i }
+	hx, hy := 1.0/float64(nx), 1.0/float64(ny)
+	for j := 0; j <= ny; j++ {
+		for i := 0; i <= nx; i++ {
+			p := pid(i, j)
+			px[p] = float64(i) * hx
+			py[p] = float64(j) * hy
+			if i > 0 && i < nx && j > 0 && j < ny {
+				px[p] += (rng.Float64()*2 - 1) * opt.Jitter * hx
+				jy := opt.Jitter * aniso
+				if jy > 0.49 {
+					jy = 0.49
+				}
+				py[p] += (rng.Float64()*2 - 1) * jy * hy
+			}
+		}
+	}
+
+	// Interior unknown numbering (Dirichlet boundary eliminated).
+	unk := make([]int, np)
+	for p := range unk {
+		unk[p] = -1
+	}
+	n := 0
+	for j := 1; j < ny; j++ {
+		for i := 1; i < nx; i++ {
+			unk[pid(i, j)] = n
+			n++
+		}
+	}
+
+	coo := sparse.NewCOO(n, n)
+	// Assemble each cell's two triangles. Alternate the diagonal
+	// direction per cell parity ("criss-cross"), which together with
+	// jitter produces a genuinely unstructured-looking connectivity.
+	addTri := func(p0, p1, p2 int) {
+		x0, y0 := px[p0], py[p0]
+		x1, y1 := px[p1], py[p1]
+		x2, y2 := px[p2], py[p2]
+		det := (x1-x0)*(y2-y0) - (x2-x0)*(y1-y0)
+		area2 := det // twice the signed area
+		if area2 < 0 {
+			area2 = -area2
+		}
+		if area2 == 0 {
+			panic("matgen: degenerate triangle in FE2D")
+		}
+		// Gradients of the barycentric basis functions.
+		bx := [3]float64{y1 - y2, y2 - y0, y0 - y1}
+		by := [3]float64{x2 - x1, x0 - x2, x1 - x0}
+		pidx := [3]int{p0, p1, p2}
+		for a := 0; a < 3; a++ {
+			ua := unk[pidx[a]]
+			if ua < 0 {
+				continue
+			}
+			for b := 0; b < 3; b++ {
+				ub := unk[pidx[b]]
+				if ub < 0 {
+					continue
+				}
+				k := (bx[a]*bx[b] + by[a]*by[b]) / (2 * area2)
+				coo.Add(ua, ub, k)
+			}
+		}
+	}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			p00 := pid(i, j)
+			p10 := pid(i+1, j)
+			p01 := pid(i, j+1)
+			p11 := pid(i+1, j+1)
+			if (i+j)%2 == 0 {
+				addTri(p00, p10, p11)
+				addTri(p00, p11, p01)
+			} else {
+				addTri(p00, p10, p01)
+				addTri(p10, p11, p01)
+			}
+		}
+	}
+	a := coo.ToCSR()
+	if opt.Shift != 0 {
+		if opt.Shift < 0 {
+			panic("matgen: FE2D shift must be non-negative")
+		}
+		for i := 0; i < a.N; i++ {
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				if a.Col[k] == i {
+					a.Val[k] *= 1 + opt.Shift
+				}
+			}
+		}
+	}
+	out, _, err := sparse.ScaleUnitDiagonal(a)
+	if err != nil {
+		panic(fmt.Sprintf("matgen: FE2D scaling: %v", err))
+	}
+	return out
+}
+
+// FEPaper returns an FE matrix in the regime of the paper's shared-
+// memory divergence experiment (Fig 6: n = 3081, about 21k nonzeros,
+// rho(G) > 1). A 57x57-cell distorted mesh yields n = 56*56 = 3136
+// interior unknowns, the closest square to the paper's 3081.
+func FEPaper() *sparse.CSR {
+	return FE2D(DefaultFEOptions(57, 57))
+}

@@ -1,0 +1,100 @@
+package matgen
+
+import (
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+func TestFE2DUndistortedIsFivePoint(t *testing.T) {
+	// With zero jitter the right-triangle P1 discretization reduces to
+	// the 5-point stencil (the diagonal couplings cancel), so the
+	// scaled matrix must equal FD2D on the interior grid.
+	fe := FE2D(FEOptions{NX: 6, NY: 6, Jitter: 0, Anisotropy: 1, Seed: 1})
+	fd := FD2D(5, 5)
+	if fe.N != fd.N {
+		t.Fatalf("n = %d want %d", fe.N, fd.N)
+	}
+	for i := 0; i < fe.N; i++ {
+		for j := 0; j < fe.N; j++ {
+			d := fe.At(i, j) - fd.At(i, j)
+			if d > 1e-12 || d < -1e-12 {
+				t.Fatalf("(%d,%d): fe=%g fd=%g", i, j, fe.At(i, j), fd.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFE2DBasicProperties(t *testing.T) {
+	a := FE2D(DefaultFEOptions(20, 20))
+	if a.N != 19*19 {
+		t.Fatalf("n = %d", a.N)
+	}
+	if !a.IsSymmetric(1e-10) {
+		t.Fatal("FE matrix not symmetric")
+	}
+	if !a.HasUnitDiagonal(1e-12) {
+		t.Fatal("FE matrix diagonal not unit")
+	}
+}
+
+// The paper's FE matrix: SPD, not W.D.D. (about half the rows W.D.D.),
+// rho(G) > 1. Verify the analogue reproduces all three.
+func TestFEPaperRegime(t *testing.T) {
+	a := FEPaper()
+	if a.N != 3136 {
+		t.Fatalf("n = %d, want 3136 (paper: 3081)", a.N)
+	}
+	if a.IsWDD() {
+		t.Fatal("FE matrix should not be W.D.D.")
+	}
+	f := a.WDDFraction()
+	if f < 0.2 || f > 0.8 {
+		t.Fatalf("W.D.D. fraction %g outside the paper's 'about half' regime", f)
+	}
+	rho := spectral.JacobiRhoGSym(a, 50000, 1e-10)
+	if rho.Value <= 1 {
+		t.Fatalf("rho(G) = %g, want > 1 (synchronous Jacobi must diverge)", rho.Value)
+	}
+	lo, _ := spectral.SymmetricExtremes(a, 50000, 1e-10)
+	if lo.Value <= 0 {
+		t.Fatalf("lambda_min = %g, matrix must be SPD", lo.Value)
+	}
+}
+
+func TestFE2DShiftPullsRhoDown(t *testing.T) {
+	base := FE2D(FEOptions{NX: 20, NY: 20, Jitter: 0.25, Anisotropy: 1, Seed: 7})
+	shifted := FE2D(FEOptions{NX: 20, NY: 20, Jitter: 0.25, Anisotropy: 1, Shift: 0.3, Seed: 7})
+	r0 := spectral.JacobiRhoGSym(base, 50000, 1e-10)
+	r1 := spectral.JacobiRhoGSym(shifted, 50000, 1e-10)
+	if r1.Value >= r0.Value {
+		t.Fatalf("shift did not reduce rho: %g -> %g", r0.Value, r1.Value)
+	}
+}
+
+func TestFE2DDeterminism(t *testing.T) {
+	a := FE2D(DefaultFEOptions(15, 15))
+	b := FE2D(DefaultFEOptions(15, 15))
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("nondeterministic pattern")
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] {
+			t.Fatal("nondeterministic values")
+		}
+	}
+}
+
+func BenchmarkFE2D(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FE2D(DefaultFEOptions(30, 30))
+	}
+}
+
+func BenchmarkFD2D(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FD2D(64, 64)
+	}
+}

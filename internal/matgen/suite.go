@@ -1,0 +1,203 @@
+package matgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/sparse"
+)
+
+// Problem bundles a generated test matrix with the Table I metadata of
+// the SuiteSparse problem it stands in for. PaperN and PaperNNZ are the
+// paper's reported equation and nonzero counts; A is the synthetic
+// analogue at laptop scale. JacobiConverges records whether synchronous
+// Jacobi is expected to converge (rho(G) < 1) — true for every Table I
+// problem except Dubcova2.
+type Problem struct {
+	Name            string
+	PaperN          int
+	PaperNNZ        int
+	A               *sparse.CSR
+	Description     string
+	JacobiConverges bool
+}
+
+// Thermal2Like stands in for SuiteSparse thermal2 (unstructured FE
+// steady-state thermal problem): a heterogeneous-conductivity diffusion
+// matrix, W.D.D., SPD, with slow Jacobi convergence.
+func Thermal2Like() Problem {
+	return Problem{
+		Name:     "thermal2",
+		PaperN:   1227087,
+		PaperNNZ: 8579355,
+		A:        FD2DHetero(45, 45, 100, 71),
+		Description: "heterogeneous-conductivity diffusion (contrast 100) on a " +
+			"45x45 grid; stands in for the unstructured FE thermal problem",
+		JacobiConverges: true,
+	}
+}
+
+// G3CircuitLike stands in for G3_circuit (circuit simulation): the
+// weighted Laplacian of a grid graph augmented with random long-range
+// connections, grounded through a small shift. W.D.D., SPD.
+func G3CircuitLike() Problem {
+	return Problem{
+		Name:     "G3_circuit",
+		PaperN:   1585478,
+		PaperNNZ: 7660826,
+		A:        circuitMatrix(45, 45, 600, 73),
+		Description: "grounded resistor-network Laplacian on a 45x45 grid " +
+			"with 600 extra random branches",
+		JacobiConverges: true,
+	}
+}
+
+// Ecology2Like stands in for ecology2 (landscape ecology circuit
+// model): 2-D five-point stencil with moderately heterogeneous
+// coefficients. W.D.D., SPD.
+func Ecology2Like() Problem {
+	return Problem{
+		Name:     "ecology2",
+		PaperN:   999999,
+		PaperNNZ: 4995991,
+		A:        FD2DHetero(45, 45, 10, 79),
+		Description: "heterogeneous 2-D five-point diffusion (contrast 10) on " +
+			"a 45x45 grid; ecology2 is a 2-D landscape conductance model",
+		JacobiConverges: true,
+	}
+}
+
+// Apache2Like stands in for apache2 (3-D structured finite-difference
+// problem): the 7-point Laplacian on a cube. W.D.D., SPD.
+func Apache2Like() Problem {
+	return Problem{
+		Name:            "apache2",
+		PaperN:          715176,
+		PaperNNZ:        4817870,
+		A:               FD3D(14, 14, 14),
+		Description:     "3-D seven-point Laplacian on a 14x14x14 grid",
+		JacobiConverges: true,
+	}
+}
+
+// ParabolicFEMLike stands in for parabolic_fem (implicit time step of a
+// parabolic PDE): diffusion plus a mass/time term that strengthens the
+// diagonal, giving the fastest Jacobi convergence of the suite.
+func ParabolicFEMLike() Problem {
+	return Problem{
+		Name:     "parabolic_fem",
+		PaperN:   525825,
+		PaperNNZ: 3674625,
+		A:        ShiftedGridLaplacian(50, 50, 0.8),
+		Description: "grid Laplacian plus mass term (shift 0.8) on a 50x50 grid, " +
+			"the implicit Euler step structure of a parabolic problem",
+		JacobiConverges: true,
+	}
+}
+
+// ThermomechDMLike stands in for thermomech_dm (thermo-mechanical FE
+// model): a mildly distorted P1 finite-element stiffness matrix - no
+// longer W.D.D. on every row, but still rho(G) < 1.
+func ThermomechDMLike() Problem {
+	return Problem{
+		Name:     "thermomech_dm",
+		PaperN:   204316,
+		PaperNNZ: 1423116,
+		A:        FE2D(FEOptions{NX: 50, NY: 50, Jitter: 0.25, Anisotropy: 1, Shift: 0.15, Seed: 83}),
+		Description: "P1 FE stiffness matrix on a mildly distorted 50x50-cell " +
+			"mesh (jitter 0.25, reaction shift 0.15): loses W.D.D. on some " +
+			"rows, keeps rho(G) < 1",
+		JacobiConverges: true,
+	}
+}
+
+// Dubcova2Like stands in for Dubcova2, the one Table I matrix on which
+// synchronous Jacobi diverges (rho(G) > 1): a strongly distorted,
+// anisotropic P1 FE stiffness matrix.
+func Dubcova2Like() Problem {
+	return Problem{
+		Name:     "Dubcova2",
+		PaperN:   65025,
+		PaperNNZ: 1030225,
+		A:        FE2D(FEOptions{NX: 40, NY: 40, Jitter: 0.25, Anisotropy: 1, Seed: 89}),
+		Description: "P1 FE stiffness matrix on a distorted anisotropic " +
+			"40x40-cell mesh: rho(G) > 1, synchronous Jacobi diverges",
+		JacobiConverges: false,
+	}
+}
+
+// SuiteProblems generates all seven Table I analogues, ordered as in
+// the paper (largest first, Dubcova2 last).
+func SuiteProblems() []Problem {
+	return []Problem{
+		Thermal2Like(),
+		G3CircuitLike(),
+		Ecology2Like(),
+		Apache2Like(),
+		ParabolicFEMLike(),
+		ThermomechDMLike(),
+		Dubcova2Like(),
+	}
+}
+
+// ConvergentSuiteProblems returns the six problems of Fig 7/8 (all of
+// Table I except Dubcova2).
+func ConvergentSuiteProblems() []Problem {
+	all := SuiteProblems()
+	out := all[:0:0]
+	for _, p := range all {
+		if p.JacobiConverges {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// circuitMatrix builds the grounded resistor-network Laplacian:
+// grid-graph branches with log-uniform conductances in [0.1, 10],
+// extra random long-range branches, and a small conductance to ground
+// at every node (keeping the matrix strictly diagonally dominant and
+// SPD). Returned unit-diagonal scaled.
+func circuitMatrix(nx, ny, extraEdges int, seed uint64) *sparse.CSR {
+	rng := rand.New(rand.NewPCG(seed, 0xc19c017))
+	n := nx * ny
+	idx := func(i, j int) int { return j*nx + i }
+	cond := func() float64 {
+		return math.Exp(rng.Float64()*math.Log(100) + math.Log(0.1)) // [0.1, 10]
+	}
+	diag := make([]float64, n)
+	c := sparse.NewCOO(n, n)
+	addBranch := func(a, b int) {
+		g := cond()
+		c.AddSym(a, b, -g)
+		diag[a] += g
+		diag[b] += g
+	}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			if i < nx-1 {
+				addBranch(idx(i, j), idx(i+1, j))
+			}
+			if j < ny-1 {
+				addBranch(idx(i, j), idx(i, j+1))
+			}
+		}
+	}
+	for e := 0; e < extraEdges; e++ {
+		a := rng.IntN(n)
+		b := rng.IntN(n)
+		if a != b {
+			addBranch(a, b)
+		}
+	}
+	const ground = 0.2
+	for i := 0; i < n; i++ {
+		c.Add(i, i, diag[i]+ground)
+	}
+	out, _, err := sparse.ScaleUnitDiagonal(c.ToCSR())
+	if err != nil {
+		panic(fmt.Sprintf("matgen: circuitMatrix scaling: %v", err))
+	}
+	return out
+}

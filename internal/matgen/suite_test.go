@@ -1,0 +1,76 @@
+package matgen
+
+import (
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+// Table I invariants: every analogue is symmetric, unit-diagonal, SPD,
+// and synchronous Jacobi converges exactly when the paper says it does
+// (all but Dubcova2).
+func TestSuiteProblemsProperties(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite generation is slow in -short mode")
+	}
+	probs := SuiteProblems()
+	if len(probs) != 7 {
+		t.Fatalf("expected 7 Table I problems, got %d", len(probs))
+	}
+	names := map[string]bool{}
+	for _, p := range probs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if names[p.Name] {
+				t.Fatal("duplicate problem name")
+			}
+			names[p.Name] = true
+			a := p.A
+			if a.N < 1000 {
+				t.Fatalf("problem too small: n=%d", a.N)
+			}
+			if !a.IsSymmetric(1e-10) {
+				t.Fatal("not symmetric")
+			}
+			if !a.HasUnitDiagonal(1e-10) {
+				t.Fatal("diagonal not unit")
+			}
+			lo, _ := spectral.LanczosExtremes(a, 400, 1e-11)
+			if lo.Value <= 0 {
+				t.Fatalf("lambda_min = %g: not SPD", lo.Value)
+			}
+			rho := spectral.JacobiRhoGLanczos(a, 400, 1e-11)
+			if p.JacobiConverges && rho.Value >= 1 {
+				t.Fatalf("rho(G) = %g >= 1 but problem marked convergent", rho.Value)
+			}
+			if !p.JacobiConverges && rho.Value <= 1 {
+				t.Fatalf("rho(G) = %g <= 1 but problem marked divergent", rho.Value)
+			}
+			if p.PaperN <= 0 || p.PaperNNZ <= 0 {
+				t.Fatal("missing Table I metadata")
+			}
+		})
+	}
+}
+
+func TestConvergentSuiteExcludesDubcova(t *testing.T) {
+	conv := ConvergentSuiteProblems()
+	if len(conv) != 6 {
+		t.Fatalf("expected 6 convergent problems, got %d", len(conv))
+	}
+	for _, p := range conv {
+		if p.Name == "Dubcova2" {
+			t.Fatal("Dubcova2 must not be in the convergent set")
+		}
+	}
+}
+
+// Paper Table I ordering: descending nonzero count.
+func TestSuiteOrderedLikeTableI(t *testing.T) {
+	probs := SuiteProblems()
+	for i := 1; i < len(probs); i++ {
+		if probs[i].PaperNNZ > probs[i-1].PaperNNZ {
+			t.Fatalf("Table I order violated at %s", probs[i].Name)
+		}
+	}
+}

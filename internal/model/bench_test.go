@@ -1,0 +1,82 @@
+package model
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matgen"
+)
+
+func BenchmarkStepFullMask(b *testing.B) {
+	a := matgen.FD2D(64, 64)
+	n := a.N
+	rng := rand.New(rand.NewPCG(1, 1))
+	x := randomVec(rng, n)
+	bb := randomVec(rng, n)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	scratch := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Step(a, x, bb, all, scratch)
+	}
+}
+
+func BenchmarkApplyHHat(b *testing.B) {
+	a := matgen.FD2D(64, 64)
+	n := a.N
+	rng := rand.New(rand.NewPCG(2, 2))
+	r := randomVec(rng, n)
+	out := make([]float64, n)
+	active := NewRandomSubsetSchedule(n, n/2, 3).Mask(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyHHat(a, active, out, r)
+	}
+}
+
+func BenchmarkTraceAnalyze(b *testing.B) {
+	// A moderately racy synthetic trace.
+	rng := rand.New(rand.NewPCG(3, 3))
+	n := 64
+	versions := make([]int, n)
+	var events []Event
+	for k := 0; k < 4000; k++ {
+		i := rng.IntN(n)
+		var reads []Read
+		for _, j := range []int{(i + 1) % n, (i + n - 1) % n} {
+			v := versions[j]
+			if v > 0 && rng.Float64() < 0.1 {
+				v--
+			}
+			reads = append(reads, Read{Row: j, Version: v})
+		}
+		versions[i]++
+		events = append(events, Event{Row: i, Count: versions[i], Reads: reads, Seq: k})
+	}
+	tr := &Trace{N: n, Events: events}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelRunBlockSkew(b *testing.B) {
+	a := matgen.FD2D(32, 32)
+	rng := rand.New(rand.NewPCG(4, 4))
+	bb := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched := NewBlockSkewSchedule(BlockSkewOptions{N: a.N, T: 32, Jitter: 2, Seed: 5})
+		Run(a, bb, x0, sched, Options{MaxSteps: 50, SampleEvery: 10})
+	}
+}

@@ -1,0 +1,171 @@
+// Package model implements the paper's primary contribution: the
+// propagation-matrix model of asynchronous Jacobi (Section IV).
+//
+// One model step relaxes the rows in a mask set Psi(k), applying
+//
+//	x^(k+1) = (I - D̂(k) A) x^(k) + D̂(k) b            (Eq. 6)
+//
+// where D̂(k) is the 0/1 diagonal indicator of Psi(k). The error and
+// residual evolve by the propagation matrices
+//
+//	Ĝ(k) = I - D̂(k) A        (error)
+//	Ĥ(k) = I - A D̂(k)        (residual)
+//
+// which generalize the fixed iteration matrix G = I - A of synchronous
+// Jacobi. A Schedule decides the mask at every model time step, which
+// is how delays, random subsets, and thread-block skew are expressed.
+// The executor records residual histories in model time, reproducing
+// the convergence curves of Figs 3, 4 and 6.
+package model
+
+import (
+	"math"
+
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// Step applies one model step in place: rows listed in active are
+// relaxed simultaneously (additively), all using the state of x at the
+// start of the step; other rows keep their values. scratch must have
+// length >= len(active) and is overwritten.
+//
+// For a unit-diagonal matrix, relaxing row i sets
+// x_i <- x_i + (b - A x)_i, which is exactly row i of Eq. 6.
+func Step(a *sparse.CSR, x, b []float64, active []int, scratch []float64) {
+	// Two passes so that simultaneously relaxed rows all read the
+	// start-of-step state, matching the matrix product semantics.
+	for t, i := range active {
+		scratch[t] = b[i] - a.RowDot(i, x)
+	}
+	for t, i := range active {
+		x[i] += scratch[t]
+	}
+}
+
+// History records the evolution of one model run.
+type History struct {
+	// Times[k] is the model time of sample k (unit steps since start).
+	Times []int
+	// RelRes[k] is the relative residual 1-norm ||b - Ax|| / ||b|| at
+	// sample k. RelRes[0] is the starting residual at time 0.
+	RelRes []float64
+	// Relaxations[k] is the cumulative number of row relaxations
+	// performed by sample k.
+	Relaxations []int
+	// ErrInf[k] is the infinity-norm error at sample k, filled when
+	// Options.XStar is provided.
+	ErrInf []float64
+	// Converged reports whether the tolerance was met before MaxSteps.
+	Converged bool
+	// Steps is the model time consumed (number of unit steps taken).
+	Steps int
+	// X is the final iterate.
+	X []float64
+}
+
+// Options configure a model run.
+type Options struct {
+	// MaxSteps bounds model time; the run stops after this many unit
+	// steps even if the tolerance was not met.
+	MaxSteps int
+	// Tol is the relative residual 1-norm tolerance; 0 disables the
+	// tolerance test (the run always uses MaxSteps).
+	Tol float64
+	// SampleEvery controls history density: a sample is recorded every
+	// SampleEvery steps (default 1). The initial and final states are
+	// always recorded.
+	SampleEvery int
+	// XStar, when non-nil, is the exact solution; each sample then also
+	// records the infinity-norm error (the norm Theorem 1 bounds for
+	// the error propagation matrices).
+	XStar []float64
+}
+
+// Run executes the model from iterate x0 (copied) under the given
+// schedule. The residual is recomputed exactly at every sample, as the
+// model has access to global snapshots (Section IV-C: "assuming the
+// error and residual at snapshots in time are available, as we do in
+// our model").
+func Run(a *sparse.CSR, b, x0 []float64, sched Schedule, opt Options) *History {
+	n := a.N
+	if len(b) != n || len(x0) != n {
+		panic("model: dimension mismatch")
+	}
+	if opt.XStar != nil && len(opt.XStar) != n {
+		panic("model: XStar dimension mismatch")
+	}
+	if opt.MaxSteps <= 0 {
+		panic("model: MaxSteps must be positive")
+	}
+	sample := opt.SampleEvery
+	if sample <= 0 {
+		sample = 1
+	}
+	x := vec.Clone(x0)
+	r := make([]float64, n)
+	scratch := make([]float64, n)
+	nb := vec.Norm1(b)
+	if nb == 0 {
+		nb = 1
+	}
+	h := &History{X: x}
+	relax := 0
+	record := func(k int) {
+		a.Residual(r, b, x)
+		h.Times = append(h.Times, k)
+		h.RelRes = append(h.RelRes, vec.Norm1(r)/nb)
+		h.Relaxations = append(h.Relaxations, relax)
+		if opt.XStar != nil {
+			h.ErrInf = append(h.ErrInf, vec.DistInf(opt.XStar, x))
+		}
+	}
+	record(0)
+	ra, residAware := sched.(ResidualAware)
+	for k := 0; k < opt.MaxSteps; k++ {
+		var active []int
+		if residAware {
+			a.Residual(r, b, x)
+			active = ra.MaskFromResidual(k, r)
+		} else {
+			active = sched.Mask(k)
+		}
+		if len(active) > 0 {
+			Step(a, x, b, active, scratch)
+			relax += len(active)
+		}
+		h.Steps = k + 1
+		if (k+1)%sample == 0 || k == opt.MaxSteps-1 {
+			record(k + 1)
+			last := h.RelRes[len(h.RelRes)-1]
+			if opt.Tol > 0 && last <= opt.Tol {
+				h.Converged = true
+				return h
+			}
+			if math.IsNaN(last) || math.IsInf(last, 0) {
+				// Diverged to overflow; keep the history truncated here.
+				return h
+			}
+		}
+	}
+	return h
+}
+
+// TimeToTol returns the first recorded model time at which the relative
+// residual dropped to tol or below, or -1 when it never did.
+func (h *History) TimeToTol(tol float64) int {
+	for k, r := range h.RelRes {
+		if r <= tol {
+			return h.Times[k]
+		}
+	}
+	return -1
+}
+
+// FinalRelRes returns the last recorded relative residual.
+func (h *History) FinalRelRes() float64 {
+	if len(h.RelRes) == 0 {
+		return math.NaN()
+	}
+	return h.RelRes[len(h.RelRes)-1]
+}

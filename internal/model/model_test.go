@@ -1,0 +1,300 @@
+package model
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+func randomVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1 // [-1, 1] as in the paper
+	}
+	return v
+}
+
+// One full-mask step must equal one synchronous Jacobi step
+// x1 = (I - A) x0 + b.
+func TestStepFullMaskIsJacobi(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := matgen.FD2D(5, 4)
+	n := a.N
+	x := randomVec(rng, n)
+	b := randomVec(rng, n)
+	want := make([]float64, n)
+	ax := make([]float64, n)
+	a.MulVec(ax, x)
+	for i := range want {
+		want[i] = x[i] - ax[i] + b[i]
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	scratch := make([]float64, n)
+	Step(a, x, b, all, scratch)
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-14 {
+			t.Fatalf("step[%d] = %g want %g", i, x[i], want[i])
+		}
+	}
+}
+
+// Masked rows must read start-of-step values of other masked rows
+// (additive semantics), not freshly written ones.
+func TestStepSimultaneousReadsOldState(t *testing.T) {
+	// 2x2 system with strong coupling: x0 and x1 both active.
+	c := sparse.NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(1, 1, 1)
+	c.AddSym(0, 1, 0.5)
+	a := c.ToCSR()
+	x := []float64{1, 2}
+	b := []float64{0, 0}
+	scratch := make([]float64, 2)
+	Step(a, x, b, []int{0, 1}, scratch)
+	// x0' = x0 + (0 - x0 - 0.5 x1) = -0.5*2 = -1
+	// x1' = x1 + (0 - 0.5 x0 - x1) = -0.5*1 = -0.5 (uses OLD x0)
+	if x[0] != -1 || x[1] != -0.5 {
+		t.Fatalf("got %v, want [-1 -0.5]", x)
+	}
+}
+
+// The model run with the synchronous schedule must converge at the
+// analytic Jacobi rate on an FD matrix.
+func TestRunSyncConverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := matgen.FD2D(4, 17) // the paper's 68-row matrix
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	h := Run(a, b, x0, NewSyncSchedule(a.N), Options{MaxSteps: 10000, Tol: 1e-10})
+	if !h.Converged {
+		t.Fatalf("sync Jacobi did not converge: final %g", h.FinalRelRes())
+	}
+	// Verify the solution: residual small.
+	r := make([]float64, a.N)
+	a.Residual(r, b, h.X)
+	if vec.Norm1(r)/vec.Norm1(b) > 1e-10 {
+		t.Fatal("converged flag but residual large")
+	}
+	// Monotone decay for W.D.D. symmetric system in 1-norm residual:
+	// rho(G) < 1 and G normal here.
+	for k := 1; k < len(h.RelRes); k++ {
+		if h.RelRes[k] > h.RelRes[k-1]*(1+1e-12) {
+			t.Fatalf("residual increased at sample %d", k)
+		}
+	}
+}
+
+// Asynchronous schedule with one severely delayed row must still reduce
+// the residual (Section IV-C) and never increase it (Theorem 1
+// consequence, W.D.D. matrix, 1-norm).
+func TestRunAsyncDelayedMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := matgen.FD2D(4, 17)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	delayed := a.N / 2
+	sched := NewAsyncDelaySchedule(a.N, []int{delayed}, 100)
+	h := Run(a, b, x0, sched, Options{MaxSteps: 400})
+	for k := 1; k < len(h.RelRes); k++ {
+		if h.RelRes[k] > h.RelRes[k-1]*(1+1e-12) {
+			t.Fatalf("1-norm residual increased at sample %d: %g -> %g",
+				k, h.RelRes[k-1], h.RelRes[k])
+		}
+	}
+	if h.FinalRelRes() >= h.RelRes[0]*0.5 {
+		t.Fatalf("delayed async made little progress: %g -> %g",
+			h.RelRes[0], h.FinalRelRes())
+	}
+}
+
+// Async with a delayed row must beat sync (which waits at barriers) in
+// model time — the Fig 3 speedup effect.
+func TestAsyncBeatsSyncUnderDelay(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	a := matgen.FD2D(4, 17)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	const delta = 20
+	const tol = 1e-3
+	hs := Run(a, b, x0, NewSyncDelaySchedule(a.N, delta), Options{MaxSteps: 100000, Tol: tol})
+	ha := Run(a, b, x0, NewAsyncDelaySchedule(a.N, []int{a.N / 2}, delta), Options{MaxSteps: 100000, Tol: tol})
+	if !hs.Converged || !ha.Converged {
+		t.Fatal("runs did not converge")
+	}
+	ts, ta := hs.TimeToTol(tol), ha.TimeToTol(tol)
+	if ta >= ts {
+		t.Fatalf("async model time %d not faster than sync %d", ta, ts)
+	}
+	speedup := float64(ts) / float64(ta)
+	if speedup < 5 {
+		t.Fatalf("speedup %g below expected (paper reaches ~40 at large delay)", speedup)
+	}
+}
+
+// Schedules: structural invariants.
+func TestSchedules(t *testing.T) {
+	n := 12
+	sync := NewSyncSchedule(n)
+	if len(sync.Mask(0)) != n || len(sync.Mask(5)) != n {
+		t.Fatal("sync mask must cover all rows")
+	}
+	sd := NewSyncDelaySchedule(n, 4)
+	fired := 0
+	for k := 0; k < 16; k++ {
+		if m := sd.Mask(k); len(m) > 0 {
+			fired++
+			if len(m) != n {
+				t.Fatal("sync-delay mask must be all rows")
+			}
+		}
+	}
+	if fired != 4 {
+		t.Fatalf("sync-delay fired %d times in 16 steps, want 4", fired)
+	}
+	ad := NewAsyncDelaySchedule(n, []int{3}, 5)
+	for k := 0; k < 10; k++ {
+		m := ad.Mask(k)
+		has3 := false
+		for _, i := range m {
+			if i == 3 {
+				has3 = true
+			}
+		}
+		wantHas3 := (k+1)%5 == 0
+		if has3 != wantHas3 {
+			t.Fatalf("delayed row firing wrong at step %d", k)
+		}
+		if !wantHas3 && len(m) != n-1 {
+			t.Fatalf("non-delayed rows missing at step %d", k)
+		}
+	}
+}
+
+func TestRandomSubsetSchedule(t *testing.T) {
+	s := NewRandomSubsetSchedule(20, 7, 42)
+	seen := map[int]bool{}
+	for k := 0; k < 50; k++ {
+		m := s.Mask(k)
+		if len(m) != 7 {
+			t.Fatalf("subset size %d", len(m))
+		}
+		dup := map[int]bool{}
+		for _, i := range m {
+			if dup[i] {
+				t.Fatal("duplicate row in subset")
+			}
+			dup[i] = true
+			if i < 0 || i >= 20 {
+				t.Fatal("row out of range")
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 20 {
+		t.Fatalf("only %d rows ever sampled", len(seen))
+	}
+}
+
+func TestBlockSkewSchedule(t *testing.T) {
+	s := NewBlockSkewSchedule(BlockSkewOptions{N: 30, T: 5, Jitter: 2, Seed: 9})
+	// Over enough steps, every row must fire, and each mask must be a
+	// union of whole blocks.
+	counts := make([]int, 30)
+	for k := 0; k < 60; k++ {
+		m := s.Mask(k)
+		for _, i := range m {
+			counts[i]++
+		}
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("row %d never fired", i)
+		}
+	}
+	// Rows within one block share fire counts.
+	for b := 0; b < 5; b++ {
+		lo, hi := b*6, (b+1)*6
+		for i := lo + 1; i < hi; i++ {
+			if counts[i] != counts[lo] {
+				t.Fatalf("block %d rows fired unevenly", b)
+			}
+		}
+	}
+}
+
+func TestBlockSkewDelayedBlock(t *testing.T) {
+	s := NewBlockSkewSchedule(BlockSkewOptions{
+		N: 20, T: 4, Jitter: 0, DelayedBlocks: []int{2}, Delta: 10, Seed: 1,
+	})
+	counts := make([]int, 20)
+	for k := 0; k < 100; k++ {
+		for _, i := range s.Mask(k) {
+			counts[i]++
+		}
+	}
+	if counts[0] != 100 {
+		t.Fatalf("undelayed block fired %d/100", counts[0])
+	}
+	if counts[10] != 10 { // block 2 covers rows 10-14
+		t.Fatalf("delayed block fired %d, want 10", counts[10])
+	}
+}
+
+func TestSequenceSchedule(t *testing.T) {
+	s := &SequenceSchedule{Masks: [][]int{{0}, {1, 2}}}
+	if len(s.Mask(0)) != 1 || len(s.Mask(1)) != 2 || s.Mask(2) != nil {
+		t.Fatal("sequence replay wrong")
+	}
+	s.Repeat = true
+	if len(s.Mask(2)) != 1 || len(s.Mask(3)) != 2 {
+		t.Fatal("repeat replay wrong")
+	}
+}
+
+func TestRunPanicsOnBadArgs(t *testing.T) {
+	a := matgen.Laplace1D(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(a, make([]float64, 3), make([]float64, 4), NewSyncSchedule(4), Options{MaxSteps: 1})
+}
+
+func TestHistoryTimeToTol(t *testing.T) {
+	h := &History{Times: []int{0, 1, 2, 3}, RelRes: []float64{1, 0.5, 0.1, 0.01}}
+	if h.TimeToTol(0.1) != 2 {
+		t.Fatalf("TimeToTol = %d", h.TimeToTol(0.1))
+	}
+	if h.TimeToTol(1e-9) != -1 {
+		t.Fatal("unreached tolerance must return -1")
+	}
+}
+
+// Divergent sync on the FE matrix, convergent async with fine blocks:
+// the Fig 6 phenomenon in the model.
+func TestModelFig6Phenomenon(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	a := matgen.FE2D(matgen.DefaultFEOptions(25, 25)) // n=576, rho(G)>1
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+
+	hs := Run(a, b, x0, NewSyncSchedule(a.N), Options{MaxSteps: 3000, SampleEvery: 10})
+	if hs.FinalRelRes() < hs.RelRes[0] {
+		t.Fatalf("sync Jacobi should diverge on FE matrix (rel res %g -> %g)",
+			hs.RelRes[0], hs.FinalRelRes())
+	}
+
+	sched := NewBlockSkewSchedule(BlockSkewOptions{N: a.N, T: 192, Jitter: 2, Seed: 5})
+	ha := Run(a, b, x0, sched, Options{MaxSteps: 3000, Tol: 1e-3, SampleEvery: 10})
+	if !ha.Converged {
+		t.Fatalf("async block-skew model did not converge on FE matrix: %g", ha.FinalRelRes())
+	}
+}

@@ -1,0 +1,363 @@
+package model
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+func TestGHatStructure(t *testing.T) {
+	a := matgen.Laplace1D(5)
+	g := GHat(a, []int{1, 3})
+	// Inactive rows are unit basis vectors.
+	for _, i := range []int{0, 2, 4} {
+		for j := 0; j < 5; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if g.At(i, j) != want {
+				t.Fatalf("inactive row %d not unit basis", i)
+			}
+		}
+	}
+	// Active rows are rows of G = I - A.
+	if g.At(1, 0) != 0.5 || g.At(1, 1) != 0 || g.At(1, 2) != 0.5 {
+		t.Fatalf("active row wrong: %v", g.Row(1))
+	}
+}
+
+func TestHHatStructure(t *testing.T) {
+	a := matgen.Laplace1D(5)
+	h := HHat(a, []int{1, 3})
+	// Inactive columns are unit basis vectors.
+	for _, j := range []int{0, 2, 4} {
+		for i := 0; i < 5; i++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if h.At(i, j) != want {
+				t.Fatalf("inactive column %d not unit basis", j)
+			}
+		}
+	}
+	// Active columns are columns of G.
+	if h.At(0, 1) != 0.5 || h.At(1, 1) != 0 || h.At(2, 1) != 0.5 {
+		t.Fatal("active column wrong")
+	}
+}
+
+// The defining property of the model: the error after a Step equals
+// Ĝ(k) e, and the residual equals Ĥ(k) r.
+func TestPropagationMatricesGovernStep(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	a := matgen.FD2D(4, 4)
+	n := a.N
+	b := randomVec(rng, n)
+	// Exact solution via dense LU for the error computation.
+	ad := dense.FromRows(a.Dense())
+	xStar, err := dense.LUSolve(ad, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomVec(rng, n)
+	active := []int{0, 3, 5, 6, 11, 12}
+
+	e0 := make([]float64, n)
+	vec.Sub(e0, xStar, x)
+	r0 := make([]float64, n)
+	a.Residual(r0, b, x)
+
+	scratch := make([]float64, n)
+	Step(a, x, b, active, scratch)
+
+	e1 := make([]float64, n)
+	vec.Sub(e1, xStar, x)
+	r1 := make([]float64, n)
+	a.Residual(r1, b, x)
+
+	// Compare to explicit propagation-matrix application.
+	ge := make([]float64, n)
+	GHat(a, active).MulVec(ge, e0)
+	hr := make([]float64, n)
+	HHat(a, active).MulVec(hr, r0)
+	for i := 0; i < n; i++ {
+		if math.Abs(e1[i]-ge[i]) > 1e-12 {
+			t.Fatalf("error propagation mismatch at %d: %g vs %g", i, e1[i], ge[i])
+		}
+		if math.Abs(r1[i]-hr[i]) > 1e-12 {
+			t.Fatalf("residual propagation mismatch at %d: %g vs %g", i, r1[i], hr[i])
+		}
+	}
+}
+
+func TestApplyMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	a := matgen.FD2D(5, 3)
+	n := a.N
+	active := []int{2, 7, 8, 14}
+	v := randomVec(rng, n)
+
+	out1 := make([]float64, n)
+	ApplyGHat(a, active, out1, v)
+	out2 := make([]float64, n)
+	GHat(a, active).MulVec(out2, v)
+	for i := range out1 {
+		if math.Abs(out1[i]-out2[i]) > 1e-13 {
+			t.Fatal("ApplyGHat mismatch")
+		}
+	}
+	ApplyHHat(a, active, out1, v)
+	HHat(a, active).MulVec(out2, v)
+	for i := range out1 {
+		if math.Abs(out1[i]-out2[i]) > 1e-13 {
+			t.Fatal("ApplyHHat mismatch")
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	c := Complement(5, []int{1, 3})
+	if len(c) != 3 || c[0] != 0 || c[1] != 2 || c[2] != 4 {
+		t.Fatalf("Complement = %v", c)
+	}
+}
+
+// Theorem 1: for W.D.D. A with at least one delayed process,
+// rho(Ĝ) = ||Ĝ||_inf = 1 and rho(Ĥ) = ||Ĥ||_1 = 1.
+func TestTheorem1OnFD(t *testing.T) {
+	a := matgen.FD2D(4, 5)
+	if !a.IsWDD() {
+		t.Fatal("precondition: FD matrix is W.D.D.")
+	}
+	// One delayed row.
+	active := Complement(a.N, []int{7})
+	res := Theorem1Check(a, active)
+	const tol = 1e-9
+	if math.Abs(res.GNormInf-1) > tol {
+		t.Fatalf("||Ghat||_inf = %.12f", res.GNormInf)
+	}
+	if math.Abs(res.HNorm1-1) > tol {
+		t.Fatalf("||Hhat||_1 = %.12f", res.HNorm1)
+	}
+	if math.Abs(res.GRho-1) > 1e-6 {
+		t.Fatalf("rho(Ghat) = %.12f", res.GRho)
+	}
+	if math.Abs(res.HRho-1) > 1e-6 {
+		t.Fatalf("rho(Hhat) = %.12f", res.HRho)
+	}
+}
+
+// Property test over random W.D.D. matrices and random delayed sets.
+func TestTheorem1Property(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.IntN(24)
+		a := matgen.RandomWDD(n, 3, 1.0, uint64(trial)+100)
+		// Delay between 1 and n-1 rows.
+		nd := 1 + rng.IntN(n-1)
+		perm := rng.Perm(n)
+		delayed := perm[:nd]
+		active := Complement(n, delayed)
+		res := Theorem1Check(a, active)
+		if res.GNormInf > 1+1e-9 {
+			t.Fatalf("||Ghat||_inf = %g > 1 for W.D.D. matrix", res.GNormInf)
+		}
+		if res.HNorm1 > 1+1e-9 {
+			t.Fatalf("||Hhat||_1 = %g > 1 for W.D.D. matrix", res.HNorm1)
+		}
+		// With dominance exactly 1, the delayed unit rows give norm
+		// exactly 1.
+		if math.Abs(res.GNormInf-1) > 1e-9 || math.Abs(res.HNorm1-1) > 1e-9 {
+			t.Fatalf("norms not exactly 1: %g, %g", res.GNormInf, res.HNorm1)
+		}
+	}
+}
+
+// The unit basis vector of a delayed row is an eigenvector of Ĥ with
+// eigenvalue 1 (used in the Theorem 1 proof).
+func TestHHatUnitBasisEigenvector(t *testing.T) {
+	a := matgen.FD2D(3, 4)
+	delayed := 5
+	active := Complement(a.N, []int{delayed})
+	h := HHat(a, active)
+	xi := make([]float64, a.N)
+	xi[delayed] = 1
+	out := make([]float64, a.N)
+	h.MulVec(out, xi)
+	for i := range out {
+		if math.Abs(out[i]-xi[i]) > 1e-15 {
+			t.Fatal("unit basis vector is not a fixed point of Hhat")
+		}
+	}
+}
+
+// 2x2 delayed case of Section IV-C: the propagation matrices have the
+// closed form of Eq. 11 and the iteration stalls after one application.
+func TestTwoByTwoStall(t *testing.T) {
+	// A = [1 beta; alpha 1] scaled; take symmetric alpha = beta = 0.5.
+	a := matgen.Laplace1D(2) // off-diagonals -0.5
+	active := []int{1}       // first process delayed
+	g := GHat(a, active)
+	// Ghat = [1 0; alpha 0] with alpha = -A_21 = 0.5
+	if g.At(0, 0) != 1 || g.At(0, 1) != 0 || g.At(1, 0) != 0.5 || g.At(1, 1) != 0 {
+		t.Fatalf("Ghat = %v", g)
+	}
+	// Applying twice changes nothing more: Ghat^2 = Ghat.
+	g2 := dense.Mul(g, g)
+	if dense.Sub(g2, g).MaxAbs() > 1e-15 {
+		t.Fatal("2x2 Ghat not idempotent")
+	}
+}
+
+// Residual reduction under a long single-row delay shows the plateau
+// behaviour: the residual converges to the component along the unit
+// basis vector of the delayed row (Section IV-C).
+func TestDelayedResidualPlateau(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 20))
+	a := matgen.FD2D(4, 17)
+	n := a.N
+	b := randomVec(rng, n)
+	x := randomVec(rng, n)
+	delayed := n / 2
+	active := Complement(n, []int{delayed})
+	r := make([]float64, n)
+	a.Residual(r, b, x)
+	tmp := make([]float64, n)
+	for k := 0; k < 3000; k++ {
+		ApplyHHat(a, active, tmp, r)
+		r, tmp = tmp, r
+	}
+	// All components except the delayed one decay to ~0.
+	for i := 0; i < n; i++ {
+		if i == delayed {
+			continue
+		}
+		if math.Abs(r[i]) > 1e-8 {
+			t.Fatalf("non-delayed residual component %d = %g did not decay", i, r[i])
+		}
+	}
+	if math.Abs(r[delayed]) < 1e-8 {
+		t.Fatal("delayed component should generically stay nonzero")
+	}
+}
+
+func TestMaskSetPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	maskSet(3, []int{5})
+}
+
+// Eq. 15/16 of the paper: permuting the delayed rows first turns the
+// error propagation matrix into the block form [I 0; g Gtilde], where
+// Gtilde is the principal submatrix of G on the active rows.
+func TestEq16BlockStructure(t *testing.T) {
+	a := matgen.FD2D(4, 5)
+	n := a.N
+	delayed := []int{2, 7, 11}
+	active := Complement(n, delayed)
+
+	// Permutation: delayed rows first (old -> new index).
+	perm := make([]int, n)
+	for k, i := range delayed {
+		perm[i] = k
+	}
+	for k, i := range active {
+		perm[i] = len(delayed) + k
+	}
+	pa := a.Permute(perm)
+	// In permuted numbering the delayed rows are 0..m-1.
+	pactive := make([]int, len(active))
+	for k := range active {
+		pactive[k] = len(delayed) + k
+	}
+	g := GHat(pa, pactive)
+
+	m := len(delayed)
+	// Top-left block: identity. Top-right: zero.
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-15 {
+				t.Fatalf("top block not [I 0] at (%d,%d): %g", i, j, g.At(i, j))
+			}
+		}
+	}
+	// Bottom-right block equals I - Atilde where Atilde is the active
+	// principal submatrix (in permuted order).
+	sub := a.Submatrix(active)
+	for bi := 0; bi < len(active); bi++ {
+		for bj := 0; bj < len(active); bj++ {
+			want := -sub.At(bi, bj)
+			if bi == bj {
+				want = 1 - sub.At(bi, bj)
+			}
+			got := g.At(m+bi, m+bj)
+			if math.Abs(got-want) > 1e-14 {
+				t.Fatalf("Gtilde mismatch at (%d,%d): %g want %g", bi, bj, got, want)
+			}
+		}
+	}
+}
+
+// Interlacing consequence of Eq. 16 (Section IV-C): rho(Gtilde) <=
+// rho(G) for the active-block submatrix of a convergent system, so the
+// active block converges at least as fast as full Jacobi.
+func TestActiveBlockRhoInterlaces(t *testing.T) {
+	a := matgen.FD2D(5, 5)
+	gd := dense.FromRows(sparse.JacobiIterationMatrix(a).Dense())
+	lambda, err := dense.SymEig(gd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhoG := math.Max(math.Abs(lambda[0]), math.Abs(lambda[len(lambda)-1]))
+	active := Complement(a.N, []int{3, 12, 17, 20})
+	sub := sparse.JacobiIterationMatrix(a).Submatrix(active)
+	mu, err := dense.SymEig(dense.FromRows(sub.Dense()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhoSub := math.Max(math.Abs(mu[0]), math.Abs(mu[len(mu)-1]))
+	if rhoSub > rhoG+1e-12 {
+		t.Fatalf("rho(Gtilde) = %g exceeds rho(G) = %g", rhoSub, rhoG)
+	}
+	if !dense.Interlaces(lambda, mu, 1e-10) {
+		t.Fatal("active-block eigenvalues do not interlace")
+	}
+}
+
+// The full QR spectrum of Ĝ and Ĥ: both share nonzero eigenvalues (they
+// are similar up to the zero/identity structure), and for a delayed
+// mask on a W.D.D. matrix the dominant eigenvalue is exactly 1.
+func TestPropagationSpectraAgree(t *testing.T) {
+	a := matgen.FD2D(4, 4)
+	active := Complement(a.N, []int{3, 9})
+	g := GHat(a, active)
+	h := HHat(a, active)
+	rg, err := dense.SpectralRadius(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := dense.SpectralRadius(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rg-rh) > 1e-9 {
+		t.Fatalf("rho(Ghat)=%g != rho(Hhat)=%g", rg, rh)
+	}
+	if math.Abs(rg-1) > 1e-9 {
+		t.Fatalf("rho = %g, Theorem 1 says exactly 1", rg)
+	}
+}

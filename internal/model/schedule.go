@@ -1,0 +1,244 @@
+package model
+
+import (
+	"math/rand/v2"
+)
+
+// A Schedule decides which rows relax at each model time step k. The
+// returned slice may be reused between calls; callers must not retain
+// it. An empty mask is a legal idle step (time passes, nothing
+// relaxes), which is how synchronous barrier waiting is modelled.
+type Schedule interface {
+	Mask(k int) []int
+}
+
+// SyncSchedule relaxes every row at every step: synchronous Jacobi with
+// model time equal to the iteration count.
+type SyncSchedule struct {
+	N   int
+	all []int
+}
+
+// NewSyncSchedule builds a synchronous schedule over n rows.
+func NewSyncSchedule(n int) *SyncSchedule {
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return &SyncSchedule{N: n, all: all}
+}
+
+// Mask returns all rows.
+func (s *SyncSchedule) Mask(int) []int { return s.all }
+
+// SyncDelaySchedule models synchronous Jacobi when one process is
+// delayed by Delta: the barrier makes everyone wait, so all rows relax
+// together only at model times that are multiples of Delta
+// (Section VII-B: "In the synchronous case, all rows relax at
+// multiples of delta to simulate waiting for the slowest process").
+// Delta = 1 (or 0) degenerates to plain synchronous Jacobi.
+type SyncDelaySchedule struct {
+	N     int
+	Delta int
+	all   []int
+}
+
+// NewSyncDelaySchedule builds the delayed synchronous schedule.
+func NewSyncDelaySchedule(n, delta int) *SyncDelaySchedule {
+	if delta < 1 {
+		delta = 1
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return &SyncDelaySchedule{N: n, Delta: delta, all: all}
+}
+
+// Mask returns all rows at multiples of Delta, nothing otherwise.
+func (s *SyncDelaySchedule) Mask(k int) []int {
+	if (k+1)%s.Delta == 0 {
+		return s.all
+	}
+	return nil
+}
+
+// AsyncDelaySchedule models asynchronous Jacobi with a set of delayed
+// rows: delayed rows relax only at multiples of Delta, all other rows
+// relax at every step (Section VII-B: "In the asynchronous case, row i
+// only relaxes at multiples of delta, while all other rows relax at
+// every time step"). Delta <= 1 means no delay.
+type AsyncDelaySchedule struct {
+	N       int
+	Delayed map[int]bool
+	Delta   int
+	buf     []int
+}
+
+// NewAsyncDelaySchedule builds an asynchronous schedule with the given
+// delayed rows.
+func NewAsyncDelaySchedule(n int, delayed []int, delta int) *AsyncDelaySchedule {
+	m := make(map[int]bool, len(delayed))
+	for _, d := range delayed {
+		if d < 0 || d >= n {
+			panic("model: delayed row out of range")
+		}
+		m[d] = true
+	}
+	if delta < 1 {
+		delta = 1
+	}
+	return &AsyncDelaySchedule{N: n, Delayed: m, Delta: delta, buf: make([]int, 0, n)}
+}
+
+// Mask returns non-delayed rows always, delayed rows at multiples of
+// Delta.
+func (s *AsyncDelaySchedule) Mask(k int) []int {
+	fire := (k+1)%s.Delta == 0
+	s.buf = s.buf[:0]
+	for i := 0; i < s.N; i++ {
+		if !s.Delayed[i] || fire {
+			s.buf = append(s.buf, i)
+		}
+	}
+	return s.buf
+}
+
+// RandomSubsetSchedule relaxes a uniformly random subset of M rows each
+// step — the "changing propagation matrices" regime of Section IV-D
+// where enough delayed rows per step let asynchronous Jacobi converge
+// even when rho(G) > 1.
+type RandomSubsetSchedule struct {
+	N, M int
+	rng  *rand.Rand
+	perm []int
+}
+
+// NewRandomSubsetSchedule builds the random-mask schedule with a
+// deterministic seed.
+func NewRandomSubsetSchedule(n, m int, seed uint64) *RandomSubsetSchedule {
+	if m < 0 || m > n {
+		panic("model: subset size out of range")
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	return &RandomSubsetSchedule{N: n, M: m, rng: rand.New(rand.NewPCG(seed, 0xa5c3)), perm: perm}
+}
+
+// Mask returns M rows drawn without replacement.
+func (s *RandomSubsetSchedule) Mask(int) []int {
+	// Partial Fisher-Yates: first M entries become the sample.
+	for i := 0; i < s.M; i++ {
+		j := i + s.rng.IntN(s.N-i)
+		s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+	}
+	return s.perm[:s.M]
+}
+
+// BlockSkewSchedule models T asynchronous workers each owning a
+// contiguous block of rows. Worker t fires its whole block every
+// period[t] steps with phase[t] offset; periods and phases are drawn
+// once with bounded jitter. Increasing T shrinks the blocks that relax
+// simultaneously, making the dynamics more multiplicative — the
+// mechanism behind the paper's "convergence improves with concurrency"
+// results (Figs 6, 7, 9).
+type BlockSkewSchedule struct {
+	blocks  [][]int
+	period  []int
+	phase   []int
+	delayed map[int]bool // blocks with an extra delay factor
+	delta   int
+	buf     []int
+}
+
+// BlockSkewOptions configure NewBlockSkewSchedule.
+type BlockSkewOptions struct {
+	N      int // rows
+	T      int // workers (blocks)
+	Jitter int // max extra period per worker (0 = lockstep workers)
+	// DelayedBlocks fire every Delta*period steps instead (optional).
+	DelayedBlocks []int
+	Delta         int
+	Seed          uint64
+}
+
+// NewBlockSkewSchedule builds the thread-block schedule.
+func NewBlockSkewSchedule(opt BlockSkewOptions) *BlockSkewSchedule {
+	if opt.T <= 0 || opt.N <= 0 {
+		panic("model: BlockSkew needs positive N and T")
+	}
+	rng := rand.New(rand.NewPCG(opt.Seed, 0xb10c))
+	s := &BlockSkewSchedule{
+		blocks:  make([][]int, opt.T),
+		period:  make([]int, opt.T),
+		phase:   make([]int, opt.T),
+		delayed: map[int]bool{},
+		delta:   opt.Delta,
+		buf:     make([]int, 0, opt.N),
+	}
+	for t := 0; t < opt.T; t++ {
+		lo := t * opt.N / opt.T
+		hi := (t + 1) * opt.N / opt.T
+		blk := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			blk = append(blk, i)
+		}
+		s.blocks[t] = blk
+		s.period[t] = 1
+		if opt.Jitter > 0 {
+			s.period[t] += rng.IntN(opt.Jitter + 1)
+			s.phase[t] = rng.IntN(s.period[t])
+		}
+	}
+	for _, d := range opt.DelayedBlocks {
+		if d < 0 || d >= opt.T {
+			panic("model: delayed block out of range")
+		}
+		s.delayed[d] = true
+	}
+	if s.delta < 1 {
+		s.delta = 1
+	}
+	return s
+}
+
+// Mask returns the union of the blocks firing at step k.
+func (s *BlockSkewSchedule) Mask(k int) []int {
+	s.buf = s.buf[:0]
+	for t, blk := range s.blocks {
+		p := s.period[t]
+		if s.delayed[t] {
+			p *= s.delta
+		}
+		if (k+s.phase[t]+1)%p == 0 {
+			s.buf = append(s.buf, blk...)
+		}
+	}
+	return s.buf
+}
+
+// SequenceSchedule replays an explicit list of masks, then yields empty
+// masks. Used to express Gauss-Seidel and multicolor sweeps as
+// propagation-matrix sequences (Section IV-B) and to replay recorded
+// traces.
+type SequenceSchedule struct {
+	Masks [][]int
+	// Repeat loops the sequence forever when true.
+	Repeat bool
+}
+
+// Mask returns the k-th mask of the sequence.
+func (s *SequenceSchedule) Mask(k int) []int {
+	if len(s.Masks) == 0 {
+		return nil
+	}
+	if k >= len(s.Masks) {
+		if !s.Repeat {
+			return nil
+		}
+		k %= len(s.Masks)
+	}
+	return s.Masks[k]
+}

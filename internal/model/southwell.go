@@ -1,0 +1,82 @@
+package model
+
+import (
+	"container/heap"
+	"math"
+)
+
+// ResidualAware is implemented by schedules whose mask depends on the
+// current residual. Run detects this interface and supplies the exact
+// residual at every step (the model has global snapshots). Such
+// schedules realize Section IV-D's "given appropriate sequences of
+// error and residual propagation matrices are chosen": an oracle
+// scheduler can converge where any oblivious synchronous schedule
+// cannot.
+type ResidualAware interface {
+	MaskFromResidual(k int, r []float64) []int
+}
+
+// SouthwellSchedule is the Gauss-Southwell rule generalized to masks:
+// at each step, relax the M rows with the largest absolute residual.
+// With M = 1 it is classical Gauss-Southwell — the greedy sequential
+// method asynchronous iterations are often compared to. It converges
+// on SPD systems even when rho(G) > 1, because every step is a
+// multiplicative single-row (or small-set) relaxation.
+type SouthwellSchedule struct {
+	M   int
+	buf []int
+}
+
+// NewSouthwellSchedule relaxes the m largest-residual rows per step.
+func NewSouthwellSchedule(m int) *SouthwellSchedule {
+	if m < 1 {
+		panic("model: Southwell needs m >= 1")
+	}
+	return &SouthwellSchedule{M: m}
+}
+
+// Mask satisfies Schedule but must not be used: the schedule requires
+// residual information.
+func (s *SouthwellSchedule) Mask(int) []int {
+	panic("model: SouthwellSchedule requires a residual-aware runner")
+}
+
+// residEntry pairs a row with its |residual| for top-M selection.
+type residEntry struct {
+	row int
+	abs float64
+}
+
+// residHeap is a min-heap of the current top-M candidates.
+type residHeap []residEntry
+
+func (h residHeap) Len() int           { return len(h) }
+func (h residHeap) Less(i, j int) bool { return h[i].abs < h[j].abs }
+func (h residHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *residHeap) Push(x any)        { *h = append(*h, x.(residEntry)) }
+func (h *residHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// MaskFromResidual selects the M rows of largest |r_i|.
+func (s *SouthwellSchedule) MaskFromResidual(_ int, r []float64) []int {
+	m := s.M
+	if m > len(r) {
+		m = len(r)
+	}
+	h := make(residHeap, 0, m+1)
+	for i, v := range r {
+		av := math.Abs(v)
+		if len(h) < m {
+			heap.Push(&h, residEntry{i, av})
+			continue
+		}
+		if av > h[0].abs {
+			h[0] = residEntry{i, av}
+			heap.Fix(&h, 0)
+		}
+	}
+	s.buf = s.buf[:0]
+	for _, e := range h {
+		s.buf = append(s.buf, e.row)
+	}
+	return s.buf
+}

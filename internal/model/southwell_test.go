@@ -1,0 +1,127 @@
+package model
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/matgen"
+	"repro/internal/vec"
+)
+
+// Gauss-Southwell (greedy single-row masks) converges on the SPD FE
+// matrix where synchronous Jacobi diverges — the "appropriate sequence
+// of propagation matrices" of Section IV-D made concrete.
+func TestSouthwellConvergesOnFE(t *testing.T) {
+	rng := rand.New(rand.NewPCG(81, 82))
+	a := matgen.FE2D(matgen.DefaultFEOptions(12, 12))
+	n := a.N
+	b := randomVec(rng, n)
+	x0 := randomVec(rng, n)
+
+	hs := Run(a, b, x0, NewSyncSchedule(n), Options{MaxSteps: 2000, SampleEvery: 20})
+	if hs.FinalRelRes() < hs.RelRes[0] {
+		t.Fatal("precondition: sync Jacobi should diverge")
+	}
+	// Budget in relaxations comparable to 200 Jacobi sweeps.
+	sw := Run(a, b, x0, NewSouthwellSchedule(1), Options{
+		MaxSteps: 200 * n, Tol: 1e-4, SampleEvery: n,
+	})
+	if !sw.Converged {
+		t.Fatalf("Southwell did not converge: %g", sw.FinalRelRes())
+	}
+}
+
+// On the W.D.D. FD problem, Southwell with m=1 needs no more
+// relaxations than Gauss-Seidel natural order needs for the same
+// tolerance (greedy choice can only do better in this metric on this
+// matrix class; allow a small tolerance for ties).
+func TestSouthwellEfficient(t *testing.T) {
+	rng := rand.New(rand.NewPCG(83, 84))
+	a := matgen.FD2D(8, 8)
+	n := a.N
+	b := randomVec(rng, n)
+	x0 := randomVec(rng, n)
+	const tol = 1e-6
+
+	gs := Run(a, b, x0, &SequenceSchedule{Masks: GaussSeidelMasks(n), Repeat: true},
+		Options{MaxSteps: 2000 * n, Tol: tol, SampleEvery: n})
+	sw := Run(a, b, x0, NewSouthwellSchedule(1), Options{
+		MaxSteps: 2000 * n, Tol: tol, SampleEvery: n,
+	})
+	if !gs.Converged || !sw.Converged {
+		t.Fatal("runs did not converge")
+	}
+	gsRelax := gs.Relaxations[len(gs.Relaxations)-1]
+	swRelax := sw.Relaxations[len(sw.Relaxations)-1]
+	if float64(swRelax) > 1.2*float64(gsRelax) {
+		t.Fatalf("Southwell relaxations %d much worse than GS %d", swRelax, gsRelax)
+	}
+}
+
+func TestSouthwellMaskSelection(t *testing.T) {
+	s := NewSouthwellSchedule(2)
+	mask := s.MaskFromResidual(0, []float64{0.1, -5, 0.3, 4, 0})
+	if len(mask) != 2 {
+		t.Fatalf("mask size %d", len(mask))
+	}
+	got := map[int]bool{}
+	for _, i := range mask {
+		got[i] = true
+	}
+	if !got[1] || !got[3] {
+		t.Fatalf("expected rows 1 and 3, got %v", mask)
+	}
+}
+
+func TestSouthwellMaskPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mask() on Southwell must panic")
+		}
+	}()
+	NewSouthwellSchedule(1).Mask(0)
+}
+
+func TestSouthwellMLargerThanN(t *testing.T) {
+	s := NewSouthwellSchedule(10)
+	mask := s.MaskFromResidual(0, []float64{1, 2})
+	if len(mask) != 2 {
+		t.Fatalf("mask size %d, want clamped to 2", len(mask))
+	}
+}
+
+// Error tracking: with XStar supplied, ErrInf is recorded and never
+// increases for a W.D.D. system under any mask schedule (Theorem 1's
+// infinity-norm bound on the error propagation matrices).
+func TestErrorTrackingMonotoneInfNorm(t *testing.T) {
+	rng := rand.New(rand.NewPCG(85, 86))
+	a := matgen.FD2D(5, 6)
+	n := a.N
+	xStar := randomVec(rng, n)
+	b := make([]float64, n)
+	a.MulVec(b, xStar)
+	x0 := randomVec(rng, n)
+
+	// Cross-check the exact solution with dense LU.
+	ad := dense.FromRows(a.Dense())
+	lu, err := dense.LUSolve(ad, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.DistInf(lu, xStar) > 1e-10 {
+		t.Fatal("LU disagrees with constructed solution")
+	}
+
+	sched := NewRandomSubsetSchedule(n, n/3, 7)
+	h := Run(a, b, x0, sched, Options{MaxSteps: 300, XStar: xStar})
+	if len(h.ErrInf) != len(h.Times) {
+		t.Fatal("ErrInf not recorded per sample")
+	}
+	for k := 1; k < len(h.ErrInf); k++ {
+		if h.ErrInf[k] > h.ErrInf[k-1]*(1+1e-12)+1e-15 {
+			t.Fatalf("infinity-norm error increased at sample %d: %g -> %g",
+				k, h.ErrInf[k-1], h.ErrInf[k])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package model
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// The propagation-matrix executor in Run assumes every relaxation reads
+// the current iterate ("processes always have exact information",
+// Section IV-A). Baudet's general asynchronous iteration — the paper's
+// Eq. 5 with nontrivial s_ij(k) — allows each read to be up to tau
+// steps old. StaleRun implements that bounded-staleness model: row i
+// relaxed at step k reads component j from the iterate at step
+// k - tau_ij(k), with tau_ij drawn uniformly from [0, MaxStale] per
+// read (fresh own-diagonal reads, as in practice).
+//
+// This is the regime where the Chazan-Miranker condition rho(|G|) < 1
+// becomes the right guarantee: staleness can combine error components
+// with mixed signs so that only the absolute iteration matrix bounds
+// the contraction.
+type StaleOptions struct {
+	MaxSteps int
+	Tol      float64
+	// MaxStale is the staleness bound: reads are 0..MaxStale steps old.
+	// 0 reproduces Run's exact-read semantics.
+	MaxStale int
+	// Adversarial makes every off-diagonal read exactly MaxStale steps
+	// old instead of uniformly random — the worst case the
+	// Chazan-Miranker necessity arguments build on. Maximal constant
+	// staleness makes any mask sequence behave like a delayed Jacobi
+	// iteration, destroying the multiplicative advantage of sequential
+	// masks.
+	Adversarial bool
+	// SampleEvery controls history density (default 1).
+	SampleEvery int
+	Seed        uint64
+}
+
+// StaleRun executes the bounded-staleness asynchronous model under the
+// given schedule and returns the same History type as Run.
+func StaleRun(a *sparse.CSR, b, x0 []float64, sched Schedule, opt StaleOptions) *History {
+	n := a.N
+	if len(b) != n || len(x0) != n {
+		panic("model: dimension mismatch")
+	}
+	if opt.MaxSteps <= 0 {
+		panic("model: MaxSteps must be positive")
+	}
+	if opt.MaxStale < 0 {
+		panic("model: negative staleness bound")
+	}
+	sample := opt.SampleEvery
+	if sample <= 0 {
+		sample = 1
+	}
+	rng := rand.New(rand.NewPCG(opt.Seed, 0x57a1e))
+
+	// Ring buffer of the last MaxStale+1 iterates.
+	depth := opt.MaxStale + 1
+	hist := make([][]float64, depth)
+	for d := range hist {
+		hist[d] = vec.Clone(x0)
+	}
+	cur := 0 // hist[cur] is the newest state
+
+	x := hist[cur]
+	r := make([]float64, n)
+	scratch := make([]float64, n)
+	nb := vec.Norm1(b)
+	if nb == 0 {
+		nb = 1
+	}
+	h := &History{}
+	relax := 0
+	record := func(k int) {
+		a.Residual(r, b, x)
+		h.Times = append(h.Times, k)
+		h.RelRes = append(h.RelRes, vec.Norm1(r)/nb)
+		h.Relaxations = append(h.Relaxations, relax)
+	}
+	record(0)
+	for k := 0; k < opt.MaxSteps; k++ {
+		active := sched.Mask(k)
+		// Compute updates against randomly stale views.
+		for t, i := range active {
+			s := b[i]
+			for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+				j := a.Col[kk]
+				var xj float64
+				if j == i || opt.MaxStale == 0 {
+					xj = x[j]
+				} else {
+					d := opt.MaxStale
+					if !opt.Adversarial {
+						d = rng.IntN(opt.MaxStale + 1)
+					}
+					xj = hist[(cur-d+depth*8)%depth][j]
+				}
+				s -= a.Val[kk] * xj
+			}
+			scratch[t] = s
+		}
+		// Advance the ring: next state starts as a copy of the current.
+		next := (cur + 1) % depth
+		if depth > 1 {
+			copy(hist[next], x)
+		}
+		nx := hist[next]
+		for t, i := range active {
+			nx[i] = x[i] + scratch[t]
+		}
+		cur = next
+		x = nx
+		relax += len(active)
+		h.Steps = k + 1
+		if (k+1)%sample == 0 || k == opt.MaxSteps-1 {
+			record(k + 1)
+			last := h.RelRes[len(h.RelRes)-1]
+			if opt.Tol > 0 && last <= opt.Tol {
+				h.Converged = true
+				h.X = vec.Clone(x)
+				return h
+			}
+			if math.IsNaN(last) || math.IsInf(last, 0) {
+				h.X = vec.Clone(x)
+				return h
+			}
+		}
+	}
+	h.X = vec.Clone(x)
+	return h
+}

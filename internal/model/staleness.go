@@ -1,0 +1,77 @@
+package model
+
+import "sort"
+
+// StalenessStats summarizes how old the information consumed by a
+// trace's relaxations was. Staleness of a read is the number of
+// relaxations of the source row that had *completed at the time of the
+// read* beyond the version actually consumed; because a trace records
+// only per-read versions, staleness is measured retrospectively against
+// the replay order produced by Analyze-style sequential scheduling:
+// for each event in Seq order, staleness = kappa_j(at execution) -
+// version(read). Zero means the read was current.
+type StalenessStats struct {
+	Reads      int     // total reads measured
+	Current    int     // reads with staleness 0
+	Mean       float64 // mean staleness over all reads
+	Max        int     // worst staleness observed
+	P95        int     // 95th percentile staleness
+	ByStale    map[int]int
+	FracFresh  float64 // Current / Reads
+	EventCount int
+}
+
+// Staleness replays the trace in Seq order and measures how far behind
+// each read was relative to the rows' completed relaxation counts at
+// that moment. A perfectly synchronous execution has every read exactly
+// one version behind the writer's NEXT relaxation — i.e. staleness 0
+// under this definition, since the consumed version equals the
+// currently completed count.
+func (t *Trace) Staleness() (*StalenessStats, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	events := make([]Event, len(t.Events))
+	copy(events, t.Events)
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].Seq != events[b].Seq {
+			return events[a].Seq < events[b].Seq
+		}
+		if events[a].Row != events[b].Row {
+			return events[a].Row < events[b].Row
+		}
+		return events[a].Count < events[b].Count
+	})
+	kappa := make([]int, t.N)
+	stats := &StalenessStats{ByStale: map[int]int{}, EventCount: len(events)}
+	var all []int
+	for _, e := range events {
+		for _, r := range e.Reads {
+			s := kappa[r.Row] - r.Version
+			if s < 0 {
+				// The read consumed a version written after this
+				// event's Seq stamp (stamps are taken at event start,
+				// writes land later): clamp to current.
+				s = 0
+			}
+			stats.Reads++
+			if s == 0 {
+				stats.Current++
+			}
+			stats.Mean += float64(s)
+			if s > stats.Max {
+				stats.Max = s
+			}
+			stats.ByStale[s]++
+			all = append(all, s)
+		}
+		kappa[e.Row] = e.Count
+	}
+	if stats.Reads > 0 {
+		stats.Mean /= float64(stats.Reads)
+		stats.FracFresh = float64(stats.Current) / float64(stats.Reads)
+		sort.Ints(all)
+		stats.P95 = all[(len(all)*95)/100]
+	}
+	return stats, nil
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// A synchronous trace has only current reads.
+func TestStalenessSynchronousTrace(t *testing.T) {
+	n, iters := 5, 4
+	var events []Event
+	seq := 0
+	for k := 1; k <= iters; k++ {
+		for i := 0; i < n; i++ {
+			events = append(events, Event{
+				Row: i, Count: k, Seq: seq,
+				Reads: []Read{
+					{Row: (i + 1) % n, Version: k - 1},
+					{Row: (i + n - 1) % n, Version: k - 1},
+				},
+			})
+			seq++
+		}
+	}
+	st, err := (&Trace{N: n, Events: events}).Staleness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within a sweep, rows processed earlier in Seq order have already
+	// advanced when later rows' events are replayed, so reads of
+	// earlier rows show staleness 1 and reads of later rows staleness
+	// 0; nothing worse.
+	if st.Max > 1 {
+		t.Fatalf("sync trace max staleness %d, want <= 1", st.Max)
+	}
+	if st.Reads != n*iters*2 {
+		t.Fatalf("reads = %d", st.Reads)
+	}
+}
+
+func TestStalenessDetectsOldReads(t *testing.T) {
+	// Row 1 relaxes 3 times; row 0 then reads version 0: staleness 3.
+	tr := &Trace{N: 2, Events: []Event{
+		{Row: 1, Count: 1, Seq: 0},
+		{Row: 1, Count: 2, Seq: 1},
+		{Row: 1, Count: 3, Seq: 2},
+		{Row: 0, Count: 1, Seq: 3, Reads: []Read{{Row: 1, Version: 0}}},
+	}}
+	st, err := tr.Staleness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Max != 3 || st.Reads != 1 || st.Current != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ByStale[3] != 1 {
+		t.Fatal("histogram wrong")
+	}
+}
+
+func TestStalenessEmptyTrace(t *testing.T) {
+	st, err := (&Trace{N: 3}).Staleness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reads != 0 || st.FracFresh != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestStalenessRandomTracesBounded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.IntN(6)
+		versions := make([]int, n)
+		var events []Event
+		for k := 0; k < 40; k++ {
+			i := rng.IntN(n)
+			var reads []Read
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				v := versions[j]
+				if v > 0 && rng.Float64() < 0.5 {
+					v -= rng.IntN(v + 1)
+				}
+				reads = append(reads, Read{Row: j, Version: v})
+			}
+			versions[i]++
+			events = append(events, Event{Row: i, Count: versions[i], Reads: reads, Seq: k})
+		}
+		st, err := (&Trace{N: n, Events: events}).Staleness()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Mean < 0 || st.P95 > st.Max || st.FracFresh < 0 || st.FracFresh > 1 {
+			t.Fatalf("inconsistent stats: %+v", st)
+		}
+		total := 0
+		for _, c := range st.ByStale {
+			total += c
+		}
+		if total != st.Reads {
+			t.Fatal("histogram does not sum to read count")
+		}
+	}
+}

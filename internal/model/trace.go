@@ -1,0 +1,265 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Read records that a relaxation used version Version of row Row (the
+// value written by that row's Version-th relaxation; version 0 is the
+// initial value). This is the s_ij(k) mapping of Eq. 5.
+type Read struct {
+	Row     int
+	Version int
+}
+
+// Event is one relaxation in an asynchronous execution: the Count-th
+// relaxation of Row (Count is 1-based), together with the versions of
+// the other rows it read. Seq is the global observation order from the
+// real execution and is used as a tie-break and as the fallback
+// execution order.
+type Event struct {
+	Row   int
+	Count int
+	Reads []Read
+	Seq   int
+}
+
+// Trace is a recorded history of asynchronous relaxations over n rows.
+type Trace struct {
+	N      int
+	Events []Event
+}
+
+// PropagationAnalysis is the outcome of scheduling a trace into
+// parallel steps of propagation matrices (Section IV-A).
+type PropagationAnalysis struct {
+	Total      int     // relaxations in the trace
+	Propagated int     // relaxations expressible via propagation matrices
+	Fraction   float64 // Propagated / Total
+	// Steps are the propagated parallel steps Phi(1), Phi(2), ... — the
+	// row masks whose propagation-matrix product reproduces the
+	// propagated part of the execution.
+	Steps [][]int
+}
+
+// Analyze schedules the trace into parallel steps. A pending relaxation
+// of row i is placed into the current step Phi(l) when
+//
+//  1. every read (j, v) matches the start-of-step version exactly
+//     (kappa_j == v): the information is available and current, and
+//  2. relaxing i does not strand another pending relaxation that still
+//     needs the current version of i — unless that relaxation joins the
+//     same step (simultaneous rows read start-of-step state).
+//
+// Condition 2 is enforced as a fixpoint: the candidate set from
+// condition 1 is shrunk until no member's execution would invalidate a
+// non-member's pending exact read. When that leaves no step but events
+// remain, condition 2 is ignored — the paper's move for Fig 1(b) — and
+// the earliest (by Seq) available event executes alone: it still counts
+// as propagated when its reads were exact, and as non-propagated when
+// it consumed stale information.
+func (t *Trace) Analyze() (*PropagationAnalysis, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	// Per-row queues sorted by Count.
+	queues := make([][]Event, t.N)
+	for _, e := range t.Events {
+		queues[e.Row] = append(queues[e.Row], e)
+	}
+	for i := range queues {
+		sort.Slice(queues[i], func(a, b int) bool { return queues[i][a].Count < queues[i][b].Count })
+	}
+	head := make([]int, t.N)  // next pending index into queues[i]
+	kappa := make([]int, t.N) // relaxations executed per row
+
+	// readers[i] enumerates rows whose *pending* event reads row i; it
+	// is recomputed lazily each step (traces are small: n <= a few
+	// hundred, events <= ~100k).
+	res := &PropagationAnalysis{Total: len(t.Events)}
+	remaining := len(t.Events)
+	inC := make([]bool, t.N)
+
+	for remaining > 0 {
+		// Condition 1: exact availability.
+		candidates := candidates1(queues, head, kappa, inC)
+		// Condition 2 fixpoint: drop i from C when some pending event
+		// of a row outside C reads (i, kappa_i).
+		changed := true
+		for changed && len(candidates) > 0 {
+			changed = false
+			for ci := 0; ci < len(candidates); ci++ {
+				i := candidates[ci]
+				if strands(queues, head, kappa, inC, i) {
+					inC[i] = false
+					candidates = append(candidates[:ci], candidates[ci+1:]...)
+					ci--
+					changed = true
+				}
+			}
+		}
+		if len(candidates) > 0 {
+			step := make([]int, len(candidates))
+			copy(step, candidates)
+			sort.Ints(step)
+			res.Steps = append(res.Steps, step)
+			for _, i := range step {
+				inC[i] = false
+				head[i]++
+				kappa[i]++
+				remaining--
+				res.Propagated++
+			}
+			continue
+		}
+		// Deadlock: every condition-1 candidate strands someone
+		// (condition 2 cannot be satisfied). Ignore condition 2, as the
+		// paper does for Fig 1(b): execute the earliest available event
+		// (all reads v <= kappa_j). It still counts as propagated when
+		// its reads were exact — it is applied via a (singleton)
+		// propagation matrix — and as non-propagated when any read was
+		// stale ("any subsequent relaxation that uses old information
+		// is not counted"). If nothing is even available (a corrupt
+		// trace), fall back to the globally earliest event.
+		pick := -1
+		pickSeq := int(^uint(0) >> 1)
+		pickExact := false
+		for i := 0; i < t.N; i++ {
+			if head[i] >= len(queues[i]) {
+				continue
+			}
+			e := queues[i][head[i]]
+			avail, exact := true, true
+			for _, r := range e.Reads {
+				if r.Version > kappa[r.Row] {
+					avail = false
+					break
+				}
+				if r.Version < kappa[r.Row] {
+					exact = false
+				}
+			}
+			if avail && e.Seq < pickSeq {
+				pick, pickSeq, pickExact = i, e.Seq, exact
+			}
+		}
+		if pick < 0 {
+			for i := 0; i < t.N; i++ {
+				if head[i] < len(queues[i]) && queues[i][head[i]].Seq < pickSeq {
+					pick, pickSeq = i, queues[i][head[i]].Seq
+				}
+			}
+			pickExact = false
+		}
+		if pickExact {
+			res.Steps = append(res.Steps, []int{pick})
+			res.Propagated++
+		}
+		head[pick]++
+		kappa[pick]++
+		remaining--
+	}
+	if res.Total > 0 {
+		res.Fraction = float64(res.Propagated) / float64(res.Total)
+	}
+	return res, nil
+}
+
+// candidates1 returns the rows whose pending event's reads all match
+// current versions exactly, setting inC membership flags.
+func candidates1(queues [][]Event, head, kappa []int, inC []bool) []int {
+	var out []int
+	for i := range queues {
+		inC[i] = false
+		if head[i] >= len(queues[i]) {
+			continue
+		}
+		ok := true
+		for _, r := range queues[i][head[i]].Reads {
+			if kappa[r.Row] != r.Version {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			inC[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// strands reports whether relaxing row i now would strand a pending
+// exact read (j reads (i, kappa_i)) of a row j outside the candidate
+// set.
+func strands(queues [][]Event, head, kappa []int, inC []bool, i int) bool {
+	for j := range queues {
+		if j == i || inC[j] || head[j] >= len(queues[j]) {
+			continue
+		}
+		for _, r := range queues[j][head[j]].Reads {
+			if r.Row == i && r.Version == kappa[i] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Validate checks per-row relaxation counts are contiguous from 1 and
+// reads are in range.
+func (t *Trace) Validate() error {
+	counts := make([]int, t.N)
+	perRow := make([][]int, t.N)
+	for _, e := range t.Events {
+		if e.Row < 0 || e.Row >= t.N {
+			return fmt.Errorf("model: trace row %d out of range", e.Row)
+		}
+		perRow[e.Row] = append(perRow[e.Row], e.Count)
+		for _, r := range e.Reads {
+			if r.Row < 0 || r.Row >= t.N {
+				return fmt.Errorf("model: trace read row %d out of range", r.Row)
+			}
+			if r.Version < 0 {
+				return fmt.Errorf("model: negative read version")
+			}
+		}
+	}
+	for i, cs := range perRow {
+		sort.Ints(cs)
+		for k, c := range cs {
+			if c != k+1 {
+				return fmt.Errorf("model: row %d relaxation counts not contiguous (have %v)", i, cs)
+			}
+		}
+		counts[i] = len(cs)
+	}
+	return nil
+}
+
+// Fig1aTrace reproduces example (a) of the paper's Figure 1: four
+// processes, one relaxation each, expressible as the propagation
+// sequence Phi = {4}, {1,2}, {3} (paper numbering; rows are 0-based
+// here). All four relaxations are propagated.
+func Fig1aTrace() *Trace {
+	return &Trace{N: 4, Events: []Event{
+		{Row: 0, Count: 1, Seq: 1, Reads: []Read{{Row: 1, Version: 0}, {Row: 2, Version: 0}}},
+		{Row: 1, Count: 1, Seq: 2, Reads: []Read{{Row: 0, Version: 0}, {Row: 3, Version: 1}}},
+		{Row: 2, Count: 1, Seq: 3, Reads: []Read{{Row: 0, Version: 1}, {Row: 3, Version: 1}}},
+		{Row: 3, Count: 1, Seq: 0, Reads: []Read{{Row: 1, Version: 0}, {Row: 2, Version: 0}}},
+	}}
+}
+
+// Fig1bTrace reproduces example (b): s_12(1) = 1 and s_34(1) = 0 create
+// a cyclic dependency, so only three of the four relaxations can be
+// expressed via propagation matrices (p3's relaxation is treated
+// separately).
+func Fig1bTrace() *Trace {
+	return &Trace{N: 4, Events: []Event{
+		{Row: 0, Count: 1, Seq: 3, Reads: []Read{{Row: 1, Version: 1}, {Row: 2, Version: 0}}},
+		{Row: 1, Count: 1, Seq: 2, Reads: []Read{{Row: 0, Version: 0}, {Row: 3, Version: 1}}},
+		{Row: 2, Count: 1, Seq: 1, Reads: []Read{{Row: 0, Version: 1}, {Row: 3, Version: 0}}},
+		{Row: 3, Count: 1, Seq: 0, Reads: []Read{{Row: 1, Version: 0}, {Row: 2, Version: 0}}},
+	}}
+}

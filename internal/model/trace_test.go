@@ -1,0 +1,221 @@
+package model
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// Figure 1(a): all four relaxations are expressible as a sequence of
+// propagation matrices.
+func TestFig1a(t *testing.T) {
+	res, err := Fig1aTrace().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 4 || res.Propagated != 4 {
+		t.Fatalf("Fig 1(a): propagated %d/%d, want 4/4", res.Propagated, res.Total)
+	}
+	if res.Fraction != 1 {
+		t.Fatalf("fraction %g", res.Fraction)
+	}
+	// The steps must form a valid schedule covering all rows once.
+	seen := map[int]int{}
+	for _, step := range res.Steps {
+		for _, i := range step {
+			seen[i]++
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("row %d scheduled %d times", i, seen[i])
+		}
+	}
+}
+
+// Figure 1(b): the cyclic dependency makes one relaxation (p3's)
+// inexpressible; exactly three of four are propagated.
+func TestFig1b(t *testing.T) {
+	res, err := Fig1bTrace().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 4 || res.Propagated != 3 {
+		t.Fatalf("Fig 1(b): propagated %d/%d, want 3/4", res.Propagated, res.Total)
+	}
+}
+
+// A perfectly synchronous trace (every row relaxes each iteration
+// reading the previous iteration of every neighbor) is fully
+// propagated: it is just the Jacobi iteration matrix sequence.
+func TestSynchronousTraceFullyPropagated(t *testing.T) {
+	n, iters := 6, 5
+	var events []Event
+	seq := 0
+	for k := 1; k <= iters; k++ {
+		for i := 0; i < n; i++ {
+			var reads []Read
+			// ring neighbors
+			reads = append(reads,
+				Read{Row: (i + 1) % n, Version: k - 1},
+				Read{Row: (i + n - 1) % n, Version: k - 1})
+			events = append(events, Event{Row: i, Count: k, Reads: reads, Seq: seq})
+			seq++
+		}
+	}
+	res, err := (&Trace{N: n, Events: events}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Propagated != n*iters {
+		t.Fatalf("propagated %d/%d", res.Propagated, res.Total)
+	}
+	if len(res.Steps) != iters {
+		t.Fatalf("expected %d parallel steps, got %d", iters, len(res.Steps))
+	}
+	for _, step := range res.Steps {
+		if len(step) != n {
+			t.Fatalf("synchronous step has %d rows, want %d", len(step), n)
+		}
+	}
+}
+
+// A trace with an explicitly stale read must lose exactly that event.
+func TestStaleReadNotPropagated(t *testing.T) {
+	tr := &Trace{N: 3, Events: []Event{
+		{Row: 0, Count: 1, Seq: 0, Reads: []Read{{Row: 1, Version: 0}}},
+		{Row: 1, Count: 1, Seq: 1, Reads: []Read{{Row: 0, Version: 1}}},
+		// Row 2 reads version 0 of row 0 after row 0 must already be at
+		// version 1 (it needs row 1 at version 1, which needs row 0 at
+		// version 1).
+		{Row: 2, Count: 1, Seq: 2, Reads: []Read{{Row: 0, Version: 0}, {Row: 1, Version: 1}}},
+	}}
+	res, err := tr.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Propagated != 2 {
+		t.Fatalf("propagated %d, want 2", res.Propagated)
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	bad := &Trace{N: 2, Events: []Event{{Row: 0, Count: 2}}}
+	if _, err := bad.Analyze(); err == nil {
+		t.Fatal("non-contiguous counts accepted")
+	}
+	bad2 := &Trace{N: 2, Events: []Event{{Row: 5, Count: 1}}}
+	if _, err := bad2.Analyze(); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	bad3 := &Trace{N: 2, Events: []Event{{Row: 0, Count: 1, Reads: []Read{{Row: 0, Version: -1}}}}}
+	if _, err := bad3.Analyze(); err == nil {
+		t.Fatal("negative version accepted")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	res, err := (&Trace{N: 3}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 0 || res.Propagated != 0 || res.Fraction != 0 {
+		t.Fatalf("empty trace: %+v", res)
+	}
+}
+
+// Random plausible traces must always terminate and produce a fraction
+// in [0, 1], with kappa bookkeeping consistent (every event executed
+// exactly once).
+func TestAnalyzeRandomTraces(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.IntN(8)
+		iters := 1 + rng.IntN(6)
+		// Simulate a racy execution: maintain actual versions; each
+		// event reads the current version of each neighbor with
+		// probability p, an older one otherwise.
+		versions := make([]int, n)
+		var events []Event
+		seq := 0
+		for k := 0; k < n*iters; k++ {
+			i := rng.IntN(n)
+			c := versions[i] + 1
+			var reads []Read
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				v := versions[j]
+				if rng.Float64() < 0.3 && v > 0 {
+					v-- // stale read
+				}
+				reads = append(reads, Read{Row: j, Version: v})
+			}
+			events = append(events, Event{Row: i, Count: c, Reads: reads, Seq: seq})
+			versions[i] = c
+			seq++
+		}
+		// Make counts contiguous: they are by construction.
+		res, err := (&Trace{N: n, Events: events}).Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Total != len(events) {
+			t.Fatal("total mismatch")
+		}
+		if res.Fraction < 0 || res.Fraction > 1 {
+			t.Fatalf("fraction %g", res.Fraction)
+		}
+		// Propagated events appear in steps exactly once each.
+		inSteps := 0
+		for _, s := range res.Steps {
+			inSteps += len(s)
+		}
+		if inSteps != res.Propagated {
+			t.Fatalf("steps contain %d events, propagated says %d", inSteps, res.Propagated)
+		}
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	orig := Fig1aTrace()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != orig.N || len(back.Events) != len(orig.Events) {
+		t.Fatal("roundtrip changed shape")
+	}
+	a1, err := orig.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := back.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Propagated != a2.Propagated || a1.Total != a2.Total {
+		t.Fatal("roundtrip changed analysis")
+	}
+}
+
+func TestReadTraceJSONErrors(t *testing.T) {
+	cases := []string{
+		"",
+		`{"kind":"something-else","n":2}`,
+		`{"kind":"async-jacobi-trace","n":-1}`,
+		`{"kind":"async-jacobi-trace","n":2}` + "\n" + `{"row":9,"count":1,"seq":0}`,
+		`{"kind":"async-jacobi-trace","n":2}` + "\n" + `not json`,
+	}
+	for i, src := range cases {
+		if _, err := ReadTraceJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package model
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Traces serialize as JSON Lines: a header object followed by one
+// object per event. The format is append-friendly (a recording solver
+// can stream events) and diff-friendly for archiving the raw material
+// behind Fig 2-style analyses.
+
+// traceHeader is the first JSONL record.
+type traceHeader struct {
+	Kind string `json:"kind"` // always "async-jacobi-trace"
+	N    int    `json:"n"`
+}
+
+// eventRecord is one serialized event.
+type eventRecord struct {
+	Row   int    `json:"row"`
+	Count int    `json:"count"`
+	Seq   int    `json:"seq"`
+	Reads []Read `json:"reads,omitempty"`
+}
+
+// WriteJSON streams the trace as JSON Lines.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Kind: "async-jacobi-trace", N: t.N}); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if err := enc.Encode(eventRecord{Row: e.Row, Count: e.Count, Seq: e.Seq, Reads: e.Reads}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraceJSON parses a JSON Lines trace produced by WriteJSON and
+// validates it.
+func ReadTraceJSON(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr traceHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("model: bad trace header: %w", err)
+	}
+	if hdr.Kind != "async-jacobi-trace" {
+		return nil, fmt.Errorf("model: unexpected trace kind %q", hdr.Kind)
+	}
+	if hdr.N < 0 {
+		return nil, fmt.Errorf("model: negative trace dimension")
+	}
+	tr := &Trace{N: hdr.N}
+	for {
+		var rec eventRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("model: bad trace event: %w", err)
+		}
+		tr.Events = append(tr.Events, Event{
+			Row: rec.Row, Count: rec.Count, Seq: rec.Seq, Reads: rec.Reads,
+		})
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,53 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matgen"
+)
+
+func BenchmarkBFS(b *testing.B) {
+	a := matgen.FD2D(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BFS(a, 32)
+	}
+}
+
+func BenchmarkBuildSubdomains(b *testing.B) {
+	a := matgen.FD2D(64, 64)
+	pt := BFS(a, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildSubdomains(a, pt)
+	}
+}
+
+// Property: Contiguous assigns every row to a valid, monotone part for
+// arbitrary sizes.
+func TestContiguousProperty(t *testing.T) {
+	f := func(rawN, rawP uint8) bool {
+		n := int(rawN)
+		p := int(rawP)%32 + 1
+		pt := Contiguous(n, p)
+		if pt.Validate() != nil {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if pt.Part[i] < pt.Part[i-1] {
+				return false
+			}
+		}
+		total := 0
+		for _, s := range pt.Sizes() {
+			total += s
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

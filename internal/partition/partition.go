@@ -1,0 +1,309 @@
+// Package partition assigns matrix rows to processes. The paper
+// partitions its distributed problems with METIS; the stand-in here is
+// a BFS/level-set growth partitioner over the matrix adjacency graph,
+// which produces the properties the experiments actually need:
+// balanced, connected, locality-preserving subdomains with small ghost
+// layers. A trivial contiguous-block partitioner is also provided for
+// structured problems (the paper's shared-memory experiments use
+// contiguous row blocks).
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Partition maps each of N rows to one of P parts.
+type Partition struct {
+	P    int   // number of parts
+	Part []int // Part[i] = owning part of row i, in [0, P)
+}
+
+// Validate checks structural consistency.
+func (p *Partition) Validate() error {
+	if p.P <= 0 {
+		return fmt.Errorf("partition: nonpositive part count %d", p.P)
+	}
+	for i, pt := range p.Part {
+		if pt < 0 || pt >= p.P {
+			return fmt.Errorf("partition: row %d assigned to invalid part %d", i, pt)
+		}
+	}
+	return nil
+}
+
+// Sizes returns the number of rows in each part.
+func (p *Partition) Sizes() []int {
+	s := make([]int, p.P)
+	for _, pt := range p.Part {
+		s[pt]++
+	}
+	return s
+}
+
+// Rows returns, for each part, the sorted list of rows it owns.
+func (p *Partition) Rows() [][]int {
+	out := make([][]int, p.P)
+	for i, pt := range p.Part {
+		out[pt] = append(out[pt], i)
+	}
+	return out
+}
+
+// Imbalance returns max part size divided by the ideal size N/P; 1.0 is
+// perfect balance.
+func (p *Partition) Imbalance() float64 {
+	sizes := p.Sizes()
+	mx := 0
+	for _, s := range sizes {
+		if s > mx {
+			mx = s
+		}
+	}
+	ideal := float64(len(p.Part)) / float64(p.P)
+	if ideal == 0 {
+		return 1
+	}
+	return float64(mx) / ideal
+}
+
+// CutEdges counts matrix nonzeros (i, j), i != j, whose endpoints lie in
+// different parts — the communication volume proxy (each cut nonzero
+// requires a ghost value).
+func (p *Partition) CutEdges(a *sparse.CSR) int {
+	cut := 0
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Col[k]
+			if j != i && p.Part[i] != p.Part[j] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// WeightedCut sums |a_ij| over cut nonzeros (i, j), i != j, with
+// endpoints in different parts. For anisotropic problems this — not
+// the plain cut count — predicts communication-induced convergence
+// loss: cutting strong couplings hurts, cutting weak ones barely
+// matters.
+func (p *Partition) WeightedCut(a *sparse.CSR) float64 {
+	var cut float64
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Col[k]
+			if j != i && p.Part[i] != p.Part[j] {
+				cut += math.Abs(a.Val[k])
+			}
+		}
+	}
+	return cut
+}
+
+// Contiguous splits n rows into p nearly equal consecutive blocks
+// (block b covers [b*n/p, (b+1)*n/p)). This matches the paper's
+// shared-memory implementation where each thread owns a contiguous row
+// range.
+func Contiguous(n, p int) *Partition {
+	if p <= 0 || n < 0 {
+		panic("partition: invalid Contiguous arguments")
+	}
+	part := make([]int, n)
+	for b := 0; b < p; b++ {
+		lo := b * n / p
+		hi := (b + 1) * n / p
+		for i := lo; i < hi; i++ {
+			part[i] = b
+		}
+	}
+	return &Partition{P: p, Part: part}
+}
+
+// ContiguousRange returns the row range [lo, hi) of block b under the
+// Contiguous partition of n rows into p blocks.
+func ContiguousRange(n, p, b int) (lo, hi int) {
+	return b * n / p, (b + 1) * n / p
+}
+
+// BFS partitions the adjacency graph of a square matrix into p parts by
+// repeated level-set growth: pick the unassigned vertex of minimum
+// degree (a peripheral vertex), grow a BFS region until the target size
+// is met, repeat. Disconnected leftovers join the smallest part.
+// This is the METIS stand-in: it yields connected, balanced,
+// low-cut subdomains on mesh-like graphs.
+func BFS(a *sparse.CSR, p int) *Partition {
+	if !a.IsSquare() {
+		panic("partition: BFS needs a square matrix")
+	}
+	if p <= 0 {
+		panic("partition: nonpositive part count")
+	}
+	n := a.N
+	part := make([]int, n)
+	for i := range part {
+		part[i] = -1
+	}
+	assigned := 0
+	queue := make([]int, 0, n)
+	for b := 0; b < p; b++ {
+		// Remaining rows spread over remaining parts.
+		target := (n - assigned) / (p - b)
+		if target == 0 && assigned < n {
+			target = 1
+		}
+		if target == 0 {
+			break
+		}
+		seed := pickSeed(a, part)
+		if seed < 0 {
+			break
+		}
+		count := 0
+		queue = queue[:0]
+		queue = append(queue, seed)
+		part[seed] = b
+		for len(queue) > 0 && count < target {
+			v := queue[0]
+			queue = queue[1:]
+			count++
+			for k := a.RowPtr[v]; k < a.RowPtr[v+1]; k++ {
+				w := a.Col[k]
+				if w != v && part[w] == -1 && count+len(queue) < target {
+					part[w] = b
+					queue = append(queue, w)
+				}
+			}
+			// Region ran out of frontier but is under target: jump to
+			// a new seed in another component.
+			if len(queue) == 0 && count < target {
+				s := pickSeed(a, part)
+				if s < 0 {
+					break
+				}
+				part[s] = b
+				queue = append(queue, s)
+			}
+		}
+		// Anything still queued was tentatively claimed; it stays in b.
+		count += len(queue)
+		assigned += count
+	}
+	// Leftovers (can happen with rounding): assign to the smallest part.
+	pt := &Partition{P: p, Part: part}
+	sizes := pt.Sizes()
+	for i := range part {
+		if part[i] == -1 {
+			smallest := 0
+			for b := 1; b < p; b++ {
+				if sizes[b] < sizes[smallest] {
+					smallest = b
+				}
+			}
+			part[i] = smallest
+			sizes[smallest]++
+		}
+	}
+	return pt
+}
+
+// pickSeed returns an unassigned vertex of minimum degree, or -1 when
+// all vertices are assigned.
+func pickSeed(a *sparse.CSR, part []int) int {
+	best, bestDeg := -1, int(^uint(0)>>1)
+	for i := range part {
+		if part[i] != -1 {
+			continue
+		}
+		d := a.RowNNZ(i)
+		if d < bestDeg {
+			best, bestDeg = i, d
+		}
+	}
+	return best
+}
+
+// Subdomain describes one part's view of the distributed system:
+// the rows it owns, the neighbor parts it exchanges ghost values with,
+// and exactly which values flow in each direction. This is the
+// structure Section VI of the paper derives "by inspecting the nonzero
+// values of the matrix rows".
+type Subdomain struct {
+	Part int
+	Rows []int // owned rows, ascending
+
+	// Neighbors[q] exists when this part reads values owned by part q
+	// or owns values read by q.
+	Recv map[int][]int // neighbor part -> global indices this part needs from it
+	Send map[int][]int // neighbor part -> global indices of owned rows it must send
+}
+
+// BuildSubdomains derives every part's subdomain from the sparsity
+// pattern: part p needs x_j from owner(j) for every nonzero (i, j) with
+// owner(i) = p != owner(j).
+func BuildSubdomains(a *sparse.CSR, pt *Partition) []*Subdomain {
+	if !a.IsSquare() {
+		panic("partition: BuildSubdomains needs a square matrix")
+	}
+	subs := make([]*Subdomain, pt.P)
+	for b := 0; b < pt.P; b++ {
+		subs[b] = &Subdomain{Part: b, Recv: map[int][]int{}, Send: map[int][]int{}}
+	}
+	for i, b := range pt.Part {
+		subs[b].Rows = append(subs[b].Rows, i)
+	}
+	// Collect needed ghost indices per (reader, owner) pair, dedup.
+	type pair struct{ reader, owner int }
+	need := map[pair]map[int]bool{}
+	for i := 0; i < a.N; i++ {
+		pi := pt.Part[i]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Col[k]
+			pj := pt.Part[j]
+			if pi == pj || i == j {
+				continue
+			}
+			key := pair{pi, pj}
+			if need[key] == nil {
+				need[key] = map[int]bool{}
+			}
+			need[key][j] = true
+		}
+	}
+	for key, set := range need {
+		idx := make([]int, 0, len(set))
+		for j := range set {
+			idx = append(idx, j)
+		}
+		sort.Ints(idx)
+		subs[key.reader].Recv[key.owner] = idx
+		subs[key.owner].Send[key.reader] = idx
+	}
+	return subs
+}
+
+// GhostCount returns the total number of ghost values this subdomain
+// receives each exchange.
+func (s *Subdomain) GhostCount() int {
+	total := 0
+	for _, idx := range s.Recv {
+		total += len(idx)
+	}
+	return total
+}
+
+// NeighborCount returns the number of distinct parts this subdomain
+// communicates with (in either direction).
+func (s *Subdomain) NeighborCount() int {
+	set := map[int]bool{}
+	for q := range s.Recv {
+		set[q] = true
+	}
+	for q := range s.Send {
+		set[q] = true
+	}
+	return len(set)
+}

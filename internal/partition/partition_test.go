@@ -1,0 +1,293 @@
+package partition
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matgen"
+)
+
+func TestContiguous(t *testing.T) {
+	p := Contiguous(10, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sizes := p.Sizes()
+	if sizes[0]+sizes[1]+sizes[2] != 10 {
+		t.Fatal("sizes do not sum to n")
+	}
+	for _, s := range sizes {
+		if s < 3 || s > 4 {
+			t.Fatalf("unbalanced contiguous sizes %v", sizes)
+		}
+	}
+	// Monotone assignment
+	for i := 1; i < 10; i++ {
+		if p.Part[i] < p.Part[i-1] {
+			t.Fatal("contiguous partition not monotone")
+		}
+	}
+}
+
+func TestContiguousRangeConsistent(t *testing.T) {
+	n, np := 97, 7
+	p := Contiguous(n, np)
+	for b := 0; b < np; b++ {
+		lo, hi := ContiguousRange(n, np, b)
+		for i := lo; i < hi; i++ {
+			if p.Part[i] != b {
+				t.Fatalf("row %d: range says %d, partition says %d", i, b, p.Part[i])
+			}
+		}
+	}
+}
+
+func TestContiguousMorePartsThanRows(t *testing.T) {
+	p := Contiguous(3, 8)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Part) != 3 {
+		t.Fatal("wrong length")
+	}
+}
+
+func TestBFSPartitionBalance(t *testing.T) {
+	a := matgen.FD2D(20, 20)
+	for _, np := range []int{2, 4, 8, 16} {
+		p := BFS(a, np)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("P=%d: %v", np, err)
+		}
+		total := 0
+		for _, s := range p.Sizes() {
+			total += s
+		}
+		if total != a.N {
+			t.Fatalf("P=%d: sizes sum %d != %d", np, total, a.N)
+		}
+		if imb := p.Imbalance(); imb > 1.5 {
+			t.Fatalf("P=%d: imbalance %g too high", np, imb)
+		}
+	}
+}
+
+// BFS should beat a random assignment on cut edges for mesh problems —
+// that is the whole point of locality-aware partitioning.
+func TestBFSLocality(t *testing.T) {
+	a := matgen.FD2D(24, 24)
+	np := 8
+	bfs := BFS(a, np)
+	// Round-robin is the worst-case locality strawman.
+	rr := &Partition{P: np, Part: make([]int, a.N)}
+	for i := range rr.Part {
+		rr.Part[i] = i % np
+	}
+	if BFSCut, rrCut := bfs.CutEdges(a), rr.CutEdges(a); BFSCut >= rrCut {
+		t.Fatalf("BFS cut %d not better than round-robin cut %d", BFSCut, rrCut)
+	}
+}
+
+func TestBFSSinglePart(t *testing.T) {
+	a := matgen.FD2D(5, 5)
+	p := BFS(a, 1)
+	for _, pt := range p.Part {
+		if pt != 0 {
+			t.Fatal("single part must own everything")
+		}
+	}
+	if p.CutEdges(a) != 0 {
+		t.Fatal("single part has no cut edges")
+	}
+}
+
+func TestBFSMorePartsThanRows(t *testing.T) {
+	a := matgen.FD2D(2, 2)
+	p := BFS(a, 9)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSubdomains(t *testing.T) {
+	a := matgen.FD2D(6, 6)
+	pt := Contiguous(a.N, 4)
+	subs := BuildSubdomains(a, pt)
+	if len(subs) != 4 {
+		t.Fatalf("got %d subdomains", len(subs))
+	}
+	totalRows := 0
+	for b, s := range subs {
+		if s.Part != b {
+			t.Fatal("part id mismatch")
+		}
+		totalRows += len(s.Rows)
+		// Send/Recv symmetry: if p receives list L from q, q must send
+		// exactly L to p.
+		for q, recv := range s.Recv {
+			send := subs[q].Send[s.Part]
+			if len(send) != len(recv) {
+				t.Fatalf("send/recv asymmetry between %d and %d", s.Part, q)
+			}
+			for i := range send {
+				if send[i] != recv[i] {
+					t.Fatal("send/recv index mismatch")
+				}
+			}
+			// Every received index is owned by q.
+			for _, j := range recv {
+				if pt.Part[j] != q {
+					t.Fatalf("ghost %d not owned by %d", j, q)
+				}
+			}
+		}
+	}
+	if totalRows != a.N {
+		t.Fatalf("subdomains own %d rows, want %d", totalRows, a.N)
+	}
+}
+
+// Every off-part coupling in the matrix must be covered by a Recv list.
+func TestSubdomainsCoverCouplings(t *testing.T) {
+	a := matgen.FD2D(8, 5)
+	pt := BFS(a, 5)
+	subs := BuildSubdomains(a, pt)
+	// index for quick lookup
+	recvSet := make([]map[int]bool, pt.P)
+	for b, s := range subs {
+		recvSet[b] = map[int]bool{}
+		for _, idx := range s.Recv {
+			for _, j := range idx {
+				recvSet[b][j] = true
+			}
+		}
+	}
+	for i := 0; i < a.N; i++ {
+		pi := pt.Part[i]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Col[k]
+			if j != i && pt.Part[j] != pi {
+				if !recvSet[pi][j] {
+					t.Fatalf("coupling (%d,%d) not covered by ghost exchange", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGhostAndNeighborCounts(t *testing.T) {
+	a := matgen.FD2D(10, 10)
+	pt := Contiguous(a.N, 4)
+	subs := BuildSubdomains(a, pt)
+	// Contiguous strips of a 10x10 grid: interior strips have 2
+	// neighbors, end strips 1.
+	if subs[0].NeighborCount() != 1 || subs[1].NeighborCount() != 2 {
+		t.Fatalf("neighbor counts: %d, %d", subs[0].NeighborCount(), subs[1].NeighborCount())
+	}
+	if subs[0].GhostCount() == 0 {
+		t.Fatal("strip subdomain must have ghosts")
+	}
+}
+
+func TestValidateCatchesBadPart(t *testing.T) {
+	p := &Partition{P: 2, Part: []int{0, 1, 2}}
+	if p.Validate() == nil {
+		t.Fatal("out-of-range part accepted")
+	}
+	p2 := &Partition{P: 0, Part: nil}
+	if p2.Validate() == nil {
+		t.Fatal("zero parts accepted")
+	}
+}
+
+func TestWeightedCut(t *testing.T) {
+	a := matgen.FD2D(10, 10)
+	p := Contiguous(a.N, 4)
+	// Uniform weights: weighted cut = 0.25 * cut count for the scaled
+	// 5-point stencil.
+	want := 0.25 * float64(p.CutEdges(a))
+	if got := p.WeightedCut(a); got < want*0.999 || got > want*1.001 {
+		t.Fatalf("WeightedCut = %g want %g", got, want)
+	}
+}
+
+// On the anisotropic problem, lexicographic strips cut only the weak
+// couplings: their weighted cut must be far below BFS's even though
+// their raw cut count can be larger.
+func TestWeightedCutAnisotropy(t *testing.T) {
+	a := matgen.FD2DAniso(24, 24, 0.01)
+	cont := Contiguous(a.N, 8)
+	bfs := BFS(a, 8)
+	if cw, bw := cont.WeightedCut(a), bfs.WeightedCut(a); cw >= bw/4 {
+		t.Fatalf("contiguous weighted cut %g not << BFS %g on anisotropic grid", cw, bw)
+	}
+}
+
+func TestRefineReducesCut(t *testing.T) {
+	a := matgen.FD2D(20, 20)
+	pt := BFS(a, 8)
+	before := pt.WeightedCut(a)
+	moves := Refine(a, pt, 10, 0.15)
+	after := pt.WeightedCut(a)
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if after > before {
+		t.Fatalf("refinement increased cut: %g -> %g (%d moves)", before, after, moves)
+	}
+	if imb := pt.Imbalance(); imb > 1.3 {
+		t.Fatalf("refinement destroyed balance: %g", imb)
+	}
+	// Total rows preserved.
+	total := 0
+	for _, s := range pt.Sizes() {
+		total += s
+	}
+	if total != a.N {
+		t.Fatal("refinement lost rows")
+	}
+}
+
+func TestRefineFixesRandomPartition(t *testing.T) {
+	// A random partition is badly cut; greedy refinement must improve
+	// it substantially. (Round-robin, by contrast, is a zero-gain local
+	// optimum for single moves — the classic KL limitation.)
+	a := matgen.FD2D(16, 16)
+	rng := rand.New(rand.NewPCG(7, 7))
+	pt := &Partition{P: 4, Part: make([]int, a.N)}
+	for i := range pt.Part {
+		pt.Part[i] = rng.IntN(4)
+	}
+	before := pt.WeightedCut(a)
+	Refine(a, pt, 50, 0.3)
+	after := pt.WeightedCut(a)
+	if after > before/2 {
+		t.Fatalf("refinement too weak on random partition: %g -> %g", before, after)
+	}
+}
+
+func TestRefineIdempotentAtFixpoint(t *testing.T) {
+	a := matgen.FD2D(12, 12)
+	pt := BFS(a, 4)
+	Refine(a, pt, 50, 0.15)
+	if moves := Refine(a, pt, 5, 0.15); moves != 0 {
+		t.Fatalf("second refinement still moved %d rows", moves)
+	}
+}
+
+func TestRowsListsOwnership(t *testing.T) {
+	pt := &Partition{P: 3, Part: []int{0, 2, 0, 1, 2}}
+	rows := pt.Rows()
+	if len(rows) != 3 {
+		t.Fatal("wrong part count")
+	}
+	if len(rows[0]) != 2 || rows[0][0] != 0 || rows[0][1] != 2 {
+		t.Fatalf("part 0 rows = %v", rows[0])
+	}
+	if len(rows[1]) != 1 || rows[1][0] != 3 {
+		t.Fatalf("part 1 rows = %v", rows[1])
+	}
+	if len(rows[2]) != 2 {
+		t.Fatalf("part 2 rows = %v", rows[2])
+	}
+}

@@ -1,0 +1,175 @@
+// Package plot renders ASCII line charts — the only display device
+// this environment has. Charts support log-scale Y axes (the natural
+// scale for residual histories), multiple series with distinct markers,
+// axis tick labels, and a legend. The experiment driver uses it to draw
+// the paper's figures directly in the terminal.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart is an ASCII line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY plots log10(y); non-positive values are skipped.
+	LogY bool
+	// Width and Height are the plotting-area dimensions in characters
+	// (defaults 72x20).
+	Width, Height int
+
+	series []series
+}
+
+type series struct {
+	label  string
+	marker byte
+	x, y   []float64
+}
+
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '$', '~'}
+
+// New creates a chart.
+func New(title string) *Chart {
+	return &Chart{Title: title, Width: 72, Height: 20}
+}
+
+// Add appends a series; x and y must have equal length.
+func (c *Chart) Add(label string, x, y []float64) {
+	if len(x) != len(y) {
+		panic("plot: series length mismatch")
+	}
+	m := markers[len(c.series)%len(markers)]
+	cx := make([]float64, len(x))
+	cy := make([]float64, len(y))
+	copy(cx, x)
+	copy(cy, y)
+	c.series = append(c.series, series{label: label, marker: m, x: cx, y: cy})
+}
+
+// usable reports whether a point participates in the plot.
+func (c *Chart) usable(y float64) bool {
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return false
+	}
+	if c.LogY && y <= 0 {
+		return false
+	}
+	return true
+}
+
+func (c *Chart) ty(y float64) float64 {
+	if c.LogY {
+		return math.Log10(y)
+	}
+	return y
+}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	// Data ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		for i := range s.x {
+			if !c.usable(s.y[i]) || math.IsNaN(s.x[i]) || math.IsInf(s.x[i], 0) {
+				continue
+			}
+			points++
+			xmin = math.Min(xmin, s.x[i])
+			xmax = math.Max(xmax, s.x[i])
+			ty := c.ty(s.y[i])
+			ymin = math.Min(ymin, ty)
+			ymax = math.Max(ymax, ty)
+		}
+	}
+	if points == 0 {
+		_, err := fmt.Fprintf(w, "%s\n  (no plottable points)\n", c.Title)
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.series {
+		for i := range s.x {
+			if !c.usable(s.y[i]) || math.IsNaN(s.x[i]) || math.IsInf(s.x[i], 0) {
+				continue
+			}
+			col := int(math.Round((s.x[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((c.ty(s.y[i]) - ymin) / (ymax - ymin) * float64(height-1)))
+			row = height - 1 - row // row 0 is the top
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[row][col] = s.marker
+		}
+	}
+
+	// Emit: title, rows with y tick labels on a few lines, x axis.
+	if c.Title != "" {
+		if _, err := fmt.Fprintln(w, c.Title); err != nil {
+			return err
+		}
+	}
+	yfmt := func(v float64) string {
+		if c.LogY {
+			return fmt.Sprintf("%9.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", 9)
+		// Ticks on top, middle, bottom rows.
+		if r == 0 {
+			label = yfmt(ymax)
+		} else if r == height-1 {
+			label = yfmt(ymin)
+		} else if r == height/2 {
+			label = yfmt(ymin + (ymax-ymin)*float64(height-1-r)/float64(height-1))
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*.6g%*.6g\n",
+		strings.Repeat(" ", 9), width/2, xmin, width-width/2, xmax); err != nil {
+		return err
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s  x: %s   y: %s\n",
+			strings.Repeat(" ", 9), c.XLabel, c.YLabel); err != nil {
+			return err
+		}
+	}
+	// Legend.
+	for _, s := range c.series {
+		if _, err := fmt.Fprintf(w, "%s  %c %s\n", strings.Repeat(" ", 9), s.marker, s.label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := New("test chart")
+	c.XLabel = "iterations"
+	c.YLabel = "residual"
+	c.Add("down", []float64{0, 1, 2, 3}, []float64{3, 2, 1, 0})
+	c.Add("up", []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test chart", "down", "up", "iterations", "residual", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The two series must use distinct markers; a crossing chart has
+	// both markers on the canvas.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Fatal("chart too short")
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	c := New("log chart")
+	c.LogY = true
+	xs := make([]float64, 10)
+	ys := make([]float64, 10)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = math.Pow(10, -float64(i))
+	}
+	c.Add("decay", xs, ys)
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Log decay is a straight line: every row of the plotting area
+	// should contain exactly one marker.
+	count := strings.Count(out, "*")
+	if count < 8 {
+		t.Fatalf("log-scale line has only %d markers:\n%s", count, out)
+	}
+}
+
+func TestRenderSkipsNonPositiveOnLog(t *testing.T) {
+	c := New("guarded")
+	c.LogY = true
+	c.Add("mixed", []float64{0, 1, 2}, []float64{1, 0, -5})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("positive point lost")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := New("empty")
+	c.Add("nothing", nil, nil)
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no plottable points") {
+		t.Fatal("empty chart not flagged")
+	}
+}
+
+func TestAddPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("x").Add("bad", []float64{1}, []float64{1, 2})
+}
+
+func TestConstantSeries(t *testing.T) {
+	c := New("flat")
+	c.Add("const", []float64{0, 1, 2}, []float64{5, 5, 5})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("flat series not drawn")
+	}
+}

@@ -1,0 +1,73 @@
+// Package shm implements the paper's shared-memory solvers (Section V)
+// with goroutine workers standing in for OpenMP threads.
+//
+// The iterate x and residual r live in shared arrays accessed through
+// 64-bit atomic loads and stores — the Go equivalent of the paper's
+// observation that "writing or reading a double precision word is
+// atomic on modern Intel processors if the array is aligned to a 64-bit
+// boundary". Each worker owns a contiguous block of rows and repeats
+//
+//  1. r_i = b_i - (A x)_i   for its rows (reading shared x)
+//  2. x_i = x_i + r_i       for its rows (unit diagonal)
+//  3. convergence check
+//
+// The synchronous solver inserts a barrier after steps 1 and 3; the
+// asynchronous solver just keeps going with whatever values are in
+// memory — the "racy" scheme of Bethune et al. that the paper adopts.
+// Termination uses the paper's shared flag array: a worker that has
+// converged (or exhausted its local iteration budget) raises its flag
+// and keeps relaxing until every flag is up.
+package shm
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AtomicVector is a float64 vector with atomic element access, stored
+// as raw IEEE-754 bits in atomic 64-bit words.
+type AtomicVector []atomic.Uint64
+
+// NewAtomicVector allocates an n-element atomic vector of zeros.
+func NewAtomicVector(n int) AtomicVector { return make(AtomicVector, n) }
+
+// Load atomically reads element i.
+func (v AtomicVector) Load(i int) float64 {
+	return math.Float64frombits(v[i].Load())
+}
+
+// Store atomically writes element i.
+func (v AtomicVector) Store(i int, x float64) {
+	v[i].Store(math.Float64bits(x))
+}
+
+// SetAll stores every element of src.
+func (v AtomicVector) SetAll(src []float64) {
+	if len(src) != len(v) {
+		panic("shm: SetAll length mismatch")
+	}
+	for i, x := range src {
+		v.Store(i, x)
+	}
+}
+
+// Snapshot copies the current contents into dst (element-wise atomic
+// reads; the snapshot is not globally consistent, matching what any
+// reader of the shared array can observe).
+func (v AtomicVector) Snapshot(dst []float64) {
+	if len(dst) != len(v) {
+		panic("shm: Snapshot length mismatch")
+	}
+	for i := range v {
+		dst[i] = v.Load(i)
+	}
+}
+
+// Norm1 returns the L1 norm of the current (racy) contents.
+func (v AtomicVector) Norm1() float64 {
+	var s float64
+	for i := range v {
+		s += math.Abs(v.Load(i))
+	}
+	return s
+}

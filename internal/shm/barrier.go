@@ -1,0 +1,42 @@
+package shm
+
+import "sync"
+
+// Barrier is a reusable cyclic barrier for a fixed party count,
+// equivalent to an OpenMP barrier. Wait blocks until all parties have
+// arrived, then releases the generation together.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+}
+
+// NewBarrier creates a barrier for n parties (n >= 1).
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("shm: barrier needs at least one party")
+	}
+	b := &Barrier{parties: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all parties arrive.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

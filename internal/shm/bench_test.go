@@ -1,0 +1,48 @@
+package shm
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matgen"
+)
+
+func BenchmarkAsyncSolve(b *testing.B) {
+	a := matgen.FD2D(32, 32)
+	rng := rand.New(rand.NewPCG(1, 1))
+	bb := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(a, bb, x0, Options{Threads: 8, MaxIters: 50, Async: true})
+	}
+}
+
+func BenchmarkSyncSolve(b *testing.B) {
+	a := matgen.FD2D(32, 32)
+	rng := rand.New(rand.NewPCG(2, 2))
+	bb := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(a, bb, x0, Options{Threads: 8, MaxIters: 50})
+	}
+}
+
+// Property: AtomicVector stores and loads arbitrary float64 bit
+// patterns exactly (including negative zero, subnormals, infinities).
+func TestAtomicVectorRoundTripProperty(t *testing.T) {
+	v := NewAtomicVector(1)
+	f := func(x float64) bool {
+		v.Store(0, x)
+		got := v.Load(0)
+		// NaN != NaN, so compare bit patterns via another store.
+		return got == x || (x != x && got != got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

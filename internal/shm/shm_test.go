@@ -1,0 +1,432 @@
+package shm
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/matgen"
+	"repro/internal/model"
+	"repro/internal/vec"
+)
+
+func randomVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+func TestAtomicVector(t *testing.T) {
+	v := NewAtomicVector(4)
+	v.Store(2, 3.25)
+	if v.Load(2) != 3.25 {
+		t.Fatal("Load/Store roundtrip failed")
+	}
+	v.SetAll([]float64{1, -2, 3, -4})
+	if v.Norm1() != 10 {
+		t.Fatalf("Norm1 = %g", v.Norm1())
+	}
+	dst := make([]float64, 4)
+	v.Snapshot(dst)
+	if dst[1] != -2 || dst[3] != -4 {
+		t.Fatal("Snapshot wrong")
+	}
+}
+
+func TestAtomicVectorConcurrentAccess(t *testing.T) {
+	v := NewAtomicVector(8)
+	var wg sync.WaitGroup
+	stop := atomic.Bool{}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 10000; k++ {
+			v.Store(k%8, float64(k))
+		}
+		stop.Store(true)
+	}()
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			_ = v.Norm1()
+		}
+	}()
+	wg.Wait()
+}
+
+func TestBarrier(t *testing.T) {
+	const parties = 5
+	const rounds = 50
+	b := NewBarrier(parties)
+	var phase atomic.Int64
+	var maxSkew atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(parties)
+	for p := 0; p < parties; p++ {
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				cur := phase.Add(1)
+				skew := cur - int64(r*parties)
+				if skew > maxSkew.Load() {
+					maxSkew.Store(skew)
+				}
+				b.Wait()
+				// After the barrier, all parties of round r have
+				// incremented: phase must be a multiple of parties.
+				if got := phase.Load(); got < int64((r+1)*parties) {
+					t.Errorf("barrier leaked: phase %d at round %d", got, r)
+					return
+				}
+				b.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSkew.Load() > parties {
+		t.Fatalf("phase skew %d exceeds party count", maxSkew.Load())
+	}
+}
+
+// Synchronous shm Jacobi with any thread count must match the
+// sequential model exactly: barriers make it the same iteration.
+func TestSyncMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := matgen.FD2D(4, 17)
+	n := a.N
+	b := randomVec(rng, n)
+	x0 := randomVec(rng, n)
+	const iters = 25
+
+	h := model.Run(a, b, x0, model.NewSyncSchedule(n), model.Options{MaxSteps: iters})
+
+	for _, threads := range []int{1, 3, 8} {
+		res := Solve(a, b, x0, Options{Threads: threads, MaxIters: iters})
+		for i := 0; i < n; i++ {
+			if math.Abs(res.X[i]-h.X[i]) > 1e-12 {
+				t.Fatalf("threads=%d: x[%d] = %.15g, model %.15g", threads, i, res.X[i], h.X[i])
+			}
+		}
+		for _, it := range res.Iterations {
+			if it != iters {
+				t.Fatalf("threads=%d: worker iterations %v", threads, res.Iterations)
+			}
+		}
+		if res.TotalRelaxations != iters*n {
+			t.Fatalf("TotalRelaxations = %d", res.TotalRelaxations)
+		}
+	}
+}
+
+func TestSyncConvergesToTolerance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := matgen.FD2D(4, 17)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, Options{Threads: 4, MaxIters: 100000, Tol: 1e-3})
+	if !res.Converged {
+		t.Fatalf("did not converge: rel res %g", res.RelRes)
+	}
+	if res.RelRes > 1e-3 {
+		t.Fatalf("rel res %g above tolerance", res.RelRes)
+	}
+}
+
+func TestAsyncConvergesToTolerance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := matgen.FD2D(4, 17)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, Options{Threads: 8, MaxIters: 100000, Tol: 1e-4, Async: true})
+	if !res.Converged {
+		t.Fatalf("async did not converge: rel res %g", res.RelRes)
+	}
+}
+
+// Asynchronous execution typically needs no more relaxations than
+// synchronous on a W.D.D. problem (multiplicative effect) — allow a
+// modest tolerance since scheduling is nondeterministic.
+func TestAsyncRelaxationsReasonable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	const tol = 1e-4
+	syncRes := Solve(a, b, x0, Options{Threads: 8, MaxIters: 100000, Tol: tol})
+	asyncRes := Solve(a, b, x0, Options{Threads: 8, MaxIters: 100000, Tol: tol, Async: true})
+	if !syncRes.Converged || !asyncRes.Converged {
+		t.Fatal("runs did not converge")
+	}
+	if float64(asyncRes.TotalRelaxations) > 1.5*float64(syncRes.TotalRelaxations) {
+		t.Fatalf("async used %d relaxations vs sync %d", asyncRes.TotalRelaxations, syncRes.TotalRelaxations)
+	}
+}
+
+// Fig 6 phenomenon, real shared-memory implementation: on the FE matrix
+// synchronous Jacobi diverges while asynchronous Jacobi with many
+// workers converges.
+func TestAsyncConvergesWhereSyncDiverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	a := matgen.FE2D(matgen.DefaultFEOptions(25, 25)) // n = 576
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+
+	syncRes := Solve(a, b, x0, Options{Threads: 8, MaxIters: 500})
+	if syncRes.RelRes < 1 {
+		t.Fatalf("sync Jacobi should diverge on FE matrix, rel res %g", syncRes.RelRes)
+	}
+	asyncRes := Solve(a, b, x0, Options{Threads: 64, MaxIters: 5000, Tol: 1e-3, Async: true})
+	if !asyncRes.Converged {
+		t.Fatalf("async should converge on FE matrix, rel res %g", asyncRes.RelRes)
+	}
+}
+
+// Sync-mode traces are fully propagated: every read is of the previous
+// iteration (the trace is literally the Jacobi matrix sequence).
+func TestSyncTraceFullyPropagated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	a := matgen.FD2D(5, 8) // paper's 40-row CPU matrix
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, Options{Threads: 5, MaxIters: 10, RecordTrace: true})
+	if res.Trace == nil {
+		t.Fatal("no trace recorded")
+	}
+	an, err := res.Trace.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Fraction != 1 {
+		t.Fatalf("sync trace propagated fraction %g, want 1", an.Fraction)
+	}
+	if an.Total != 10*a.N {
+		t.Fatalf("trace has %d events, want %d", an.Total, 10*a.N)
+	}
+}
+
+// Async traces must be valid and mostly propagated (the paper's Fig 2
+// finds fractions of 0.8-0.99).
+func TestAsyncTraceMostlyPropagated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	a := matgen.FD2D(5, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, Options{Threads: 8, MaxIters: 50, Async: true, RecordTrace: true})
+	an, err := res.Trace.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Fraction < 0.5 {
+		t.Fatalf("async trace propagated fraction %g unexpectedly low", an.Fraction)
+	}
+}
+
+func TestDelayedThreadStillConverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	a := matgen.FD2D(4, 17)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, Options{
+		Threads: 4, MaxIters: 100000, Tol: 1e-3, Async: true,
+		DelayThread: 2, Delay: 200 * time.Microsecond,
+	})
+	if !res.Converged {
+		t.Fatalf("async with delayed thread did not converge: %g", res.RelRes)
+	}
+}
+
+func TestRecordHistory(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	a := matgen.FD2D(4, 10)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, Options{Threads: 2, MaxIters: 20, RecordHistory: true})
+	if len(res.History) == 0 {
+		t.Fatal("no history recorded")
+	}
+	for k := 1; k < len(res.History); k++ {
+		if res.History[k].Iteration <= res.History[k-1].Iteration {
+			t.Fatal("history iterations not increasing")
+		}
+		if res.History[k].Elapsed < res.History[k-1].Elapsed {
+			t.Fatal("history times not monotone")
+		}
+	}
+}
+
+func TestMoreThreadsThanRows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 20))
+	a := matgen.Laplace1D(5)
+	b := randomVec(rng, 5)
+	x0 := randomVec(rng, 5)
+	res := Solve(a, b, x0, Options{Threads: 9, MaxIters: 2000, Tol: 1e-6, Async: true})
+	if !res.Converged {
+		t.Fatalf("oversubscribed solve failed: %g", res.RelRes)
+	}
+}
+
+func TestSolvePanics(t *testing.T) {
+	a := matgen.Laplace1D(4)
+	b := make([]float64, 4)
+	cases := []Options{
+		{Threads: 0, MaxIters: 1},
+		{Threads: 1, MaxIters: 0},
+	}
+	for _, opt := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %+v", opt)
+				}
+			}()
+			Solve(a, b, b, opt)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected dimension panic")
+			}
+		}()
+		Solve(a, make([]float64, 3), b, Options{Threads: 1, MaxIters: 1})
+	}()
+}
+
+// The final X must satisfy the reported residual: internal consistency
+// of the racy solver's exact post-run check.
+func TestResultConsistency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	a := matgen.FD2D(6, 6)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, Options{Threads: 6, MaxIters: 300, Async: true})
+	r := make([]float64, a.N)
+	a.Residual(r, b, res.X)
+	want := vec.Norm1(r) / vec.Norm1(b)
+	if math.Abs(res.RelRes-want) > 1e-15*(1+want) {
+		t.Fatalf("RelRes %g inconsistent with X (%g)", res.RelRes, want)
+	}
+}
+
+// Inner Gauss-Seidel block sweeps (Jager-Bradley inexact block Jacobi)
+// converge, and need no more relaxations than inner-Jacobi sweeps on
+// the W.D.D. problem thanks to the extra multiplicativity.
+func TestInnerGS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	a := matgen.FD2D(10, 10)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	const tol = 1e-5
+	gs := Solve(a, b, x0, Options{
+		Threads: 4, MaxIters: 100000, Tol: tol, Async: true, InnerGS: true,
+	})
+	if !gs.Converged {
+		t.Fatalf("inner-GS did not converge: %g", gs.RelRes)
+	}
+	jac := Solve(a, b, x0, Options{
+		Threads: 4, MaxIters: 100000, Tol: tol, Async: true,
+	})
+	if !jac.Converged {
+		t.Fatal("inner-Jacobi did not converge")
+	}
+	if float64(gs.TotalRelaxations) > 1.1*float64(jac.TotalRelaxations) {
+		t.Fatalf("inner-GS relaxations %d worse than inner-Jacobi %d",
+			gs.TotalRelaxations, jac.TotalRelaxations)
+	}
+}
+
+// Inner GS lets async converge on the FE matrix at low thread counts
+// where inner-Jacobi blocks are too synchronous.
+func TestInnerGSOnFE(t *testing.T) {
+	rng := rand.New(rand.NewPCG(25, 26))
+	a := matgen.FE2D(matgen.DefaultFEOptions(20, 20))
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, Options{
+		Threads: 4, MaxIters: 100000, Tol: 1e-4, Async: true, InnerGS: true,
+	})
+	if !res.Converged {
+		t.Fatalf("inner-GS on FE matrix did not converge: %g", res.RelRes)
+	}
+}
+
+// Damped asynchronous Jacobi (omega < 1) converges on the FE matrix at
+// low thread counts where undamped async diverges, mirroring the
+// classical damped-Jacobi fix inside the racy solver.
+func TestAsyncOmegaDamping(t *testing.T) {
+	rng := rand.New(rand.NewPCG(27, 28))
+	a := matgen.FE2D(matgen.DefaultFEOptions(20, 20))
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	damped := Solve(a, b, x0, Options{
+		Threads: 2, MaxIters: 100000, Tol: 1e-4, Async: true, Omega: 0.6,
+	})
+	if !damped.Converged {
+		t.Fatalf("damped async did not converge: %g", damped.RelRes)
+	}
+}
+
+// Omega defaults to 1: results identical to an unspecified Omega in
+// sync mode.
+func TestOmegaDefault(t *testing.T) {
+	rng := rand.New(rand.NewPCG(29, 30))
+	a := matgen.FD2D(5, 5)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	r1 := Solve(a, b, x0, Options{Threads: 2, MaxIters: 10})
+	r2 := Solve(a, b, x0, Options{Threads: 2, MaxIters: 10, Omega: 1})
+	for i := range r1.X {
+		if r1.X[i] != r2.X[i] {
+			t.Fatal("omega=1 differs from default")
+		}
+	}
+}
+
+// Multicolor Gauss-Seidel in shared memory: must match the sequential
+// multicolor sweep exactly (colors are independent sets, so parallel
+// relaxation within a color is exact), and converge on the FE matrix
+// where synchronous Jacobi diverges — at any worker count.
+func TestMulticolorMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	a := matgen.FD2D(6, 7)
+	n := a.N
+	b := randomVec(rng, n)
+	x0 := randomVec(rng, n)
+	const iters = 15
+
+	// Sequential reference: model masks.
+	xRef := make([]float64, n)
+	copy(xRef, x0)
+	masks := model.MulticolorMasks(a)
+	scratch := make([]float64, n)
+	for k := 0; k < iters; k++ {
+		for _, m := range masks {
+			model.Step(a, xRef, b, m, scratch)
+		}
+	}
+
+	for _, threads := range []int{1, 4} {
+		res := Solve(a, b, x0, Options{Threads: threads, MaxIters: iters, Multicolor: true})
+		for i := 0; i < n; i++ {
+			if math.Abs(res.X[i]-xRef[i]) > 1e-12 {
+				t.Fatalf("threads=%d: x[%d]=%.15g ref %.15g", threads, i, res.X[i], xRef[i])
+			}
+		}
+	}
+}
+
+func TestMulticolorConvergesOnFE(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	a := matgen.FE2D(matgen.DefaultFEOptions(20, 20))
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, Options{Threads: 8, MaxIters: 200000, Tol: 1e-5, Multicolor: true})
+	if !res.Converged {
+		t.Fatalf("multicolor GS did not converge on FE matrix: %g", res.RelRes)
+	}
+}

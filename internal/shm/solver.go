@@ -1,0 +1,353 @@
+package shm
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// Options configure a shared-memory solve.
+type Options struct {
+	// Threads is the number of goroutine workers; rows are split into
+	// contiguous blocks as in the paper's OpenMP code.
+	Threads int
+	// MaxIters bounds each worker's local iteration count: a worker
+	// raises its termination flag after MaxIters local iterations even
+	// if the tolerance was not met.
+	MaxIters int
+	// Tol is the relative residual 1-norm tolerance; 0 disables the
+	// tolerance test so every worker runs exactly MaxIters iterations.
+	Tol float64
+	// Async selects the asynchronous solver; false inserts barriers
+	// (synchronous Jacobi).
+	Async bool
+	// DelayThread, when >= 0, identifies a worker that sleeps Delay
+	// before each of its iterations — the Fig 3/4 slow-thread
+	// experiment. Under the synchronous solver the barrier makes every
+	// other worker wait too.
+	DelayThread int
+	Delay       time.Duration
+	// RecordTrace captures the read-version history needed by the
+	// propagated-relaxation analysis (Fig 2). Adds overhead.
+	RecordTrace bool
+	// RecordHistory samples (elapsed wall-clock, relative residual)
+	// once per local iteration of worker 0.
+	RecordHistory bool
+	// NoYield suppresses the runtime.Gosched each asynchronous worker
+	// performs after a local iteration. The default (yielding) is what
+	// makes execution genuinely interleave on hosts with fewer cores
+	// than workers, approximating a parallel machine; disable it only
+	// to study free-running scheduling.
+	NoYield bool
+	// Multicolor switches the synchronous solver to multicolor
+	// Gauss-Seidel (Section IV-B): a greedy coloring partitions the
+	// rows into independent sets; each iteration relaxes the sets in
+	// sequence with a barrier between them, workers handling their own
+	// rows of each set in parallel. Multiplicative like Gauss-Seidel,
+	// parallel like Jacobi — it converges on SPD systems where
+	// synchronous Jacobi diverges, at any worker count. Ignored when
+	// Async is set.
+	Multicolor bool
+	// Omega, when nonzero, under/over-relaxes every correction:
+	// x_i <- x_i + Omega * r_i (asynchronous weighted Jacobi). Values
+	// in (0, 1) damp the high-frequency error modes that make plain
+	// Jacobi diverge when rho(G) > 1; 1 (or 0) is the paper's scheme.
+	Omega float64
+	// InnerGS makes each worker relax its block with a forward
+	// Gauss-Seidel pass instead of a Jacobi pass: rows within the block
+	// immediately see earlier in-block updates. This is the
+	// asynchronous inexact block Jacobi of Jager and Bradley ("blocks
+	// are solved using a single iteration of Gauss-Seidel", Section III
+	// of the paper). Only meaningful with more than one row per worker.
+	InnerGS bool
+	// YieldProb, when positive, additionally yields the processor with
+	// this probability after each row relaxation inside an asynchronous
+	// iteration. On an oversubscribed host this injects the
+	// mid-iteration interleaving a truly parallel machine exhibits —
+	// without it, a cooperative scheduler executes every local
+	// iteration atomically and traces are trivially 100% propagated.
+	YieldProb float64
+}
+
+// HistoryPoint is one convergence sample of a running solve.
+type HistoryPoint struct {
+	Elapsed time.Duration
+	RelRes  float64
+	// Iteration is worker 0's local iteration at the sample.
+	Iteration int
+}
+
+// Result reports a finished shared-memory solve.
+type Result struct {
+	X []float64
+	// Iterations[t] is worker t's local iteration count.
+	Iterations []int
+	// TotalRelaxations counts every row relaxation performed.
+	TotalRelaxations int
+	// RelRes is the true relative residual 1-norm of X, recomputed
+	// sequentially after the run.
+	RelRes float64
+	// Converged reports whether the tolerance was met (always false
+	// when Tol is 0).
+	Converged bool
+	WallTime  time.Duration
+	History   []HistoryPoint
+	Trace     *model.Trace
+}
+
+// Solve runs synchronous or asynchronous Jacobi with goroutine workers
+// on a unit-diagonal system. Scheduling makes asynchronous runs
+// nondeterministic, as any racy shared-memory solver is; the returned
+// RelRes is always computed exactly from the final X.
+func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
+	n := a.N
+	if len(b) != n || len(x0) != n {
+		panic("shm: dimension mismatch")
+	}
+	if opt.Threads <= 0 {
+		panic("shm: Threads must be positive")
+	}
+	if opt.MaxIters <= 0 {
+		panic("shm: MaxIters must be positive")
+	}
+	t0 := time.Now()
+	omega := opt.Omega
+	if omega == 0 {
+		omega = 1
+	}
+
+	x := NewAtomicVector(n)
+	x.SetAll(x0)
+	r := NewAtomicVector(n)
+	nb := vec.Norm1(b)
+	if nb == 0 {
+		nb = 1
+	}
+
+	nt := opt.Threads
+	flags := make([]atomic.Bool, nt)
+	var barrier *Barrier
+	if !opt.Async {
+		barrier = NewBarrier(nt)
+	}
+	sync0 := func() {
+		if barrier != nil {
+			barrier.Wait()
+		}
+	}
+
+	// Multicolor preparation: per-worker row lists for each color.
+	var colorRows [][]int // colorRows[c] = rows of color c (global)
+	if opt.Multicolor && !opt.Async {
+		colorRows = model.MulticolorMasks(a)
+	}
+
+	// Versions back the trace recording: version[i] counts completed
+	// relaxations of row i, incremented after the value write, so a
+	// read attributing version v saw the value of relaxation >= v.
+	var version []atomic.Int64
+	traces := make([][]model.Event, nt)
+	var seq atomic.Int64
+	if opt.RecordTrace {
+		version = make([]atomic.Int64, n)
+	}
+
+	var hist []HistoryPoint
+	iters := make([]int, nt)
+	var wg sync.WaitGroup
+	wg.Add(nt)
+	for t := 0; t < nt; t++ {
+		go func(t int) {
+			defer wg.Done()
+			lo, hi := partition.ContiguousRange(n, nt, t)
+			local := make([]float64, hi-lo)
+			iter := 0
+			defer func() { iters[t] = iter }()
+			done := false
+			var yrng *rand.Rand
+			if opt.Async && opt.YieldProb > 0 {
+				yrng = rand.New(rand.NewPCG(uint64(t)+1, 0x51e1d))
+			}
+			microYield := func() {
+				if yrng != nil && yrng.Float64() < opt.YieldProb {
+					runtime.Gosched()
+				}
+			}
+			// Multicolor: this worker's slice of each color class.
+			var myColor [][]int
+			if colorRows != nil {
+				myColor = make([][]int, len(colorRows))
+				for c, rows := range colorRows {
+					for _, i := range rows {
+						if i >= lo && i < hi {
+							myColor[c] = append(myColor[c], i)
+						}
+					}
+				}
+			}
+			for {
+				if opt.DelayThread == t && opt.Delay > 0 {
+					time.Sleep(opt.Delay)
+				}
+				if myColor != nil {
+					// Multicolor Gauss-Seidel iteration: colors in
+					// sequence, barrier between them; within a color,
+					// rows are independent so parallel relaxation is
+					// exact.
+					for _, rows := range myColor {
+						for _, i := range rows {
+							s := b[i]
+							for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+								j := a.Col[k]
+								s -= a.Val[k] * x.Load(j)
+							}
+							r.Store(i, s)
+							x.Store(i, x.Load(i)+omega*s)
+						}
+						sync0() // color barrier
+					}
+					iter++
+					sync0()
+				} else if opt.InnerGS && opt.Async {
+					// Fused Gauss-Seidel block pass: each row's
+					// correction is written before the next row's
+					// residual is computed, so in-block couplings see
+					// fresh values (multiplicative within the block).
+					for i := lo; i < hi; i++ {
+						s := b[i]
+						var ev *model.Event
+						if opt.RecordTrace {
+							ev = &model.Event{Row: i, Count: iter + 1, Seq: int(seq.Add(1))}
+						}
+						for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+							j := a.Col[k]
+							if ev != nil && j != i {
+								ev.Reads = append(ev.Reads, model.Read{Row: j, Version: int(version[j].Load())})
+							}
+							s -= a.Val[k] * x.Load(j)
+						}
+						r.Store(i, s)
+						x.Store(i, x.Load(i)+omega*s)
+						if version != nil {
+							version[i].Add(1)
+						}
+						if ev != nil {
+							traces[t] = append(traces[t], *ev)
+						}
+						microYield()
+					}
+					iter++
+				} else {
+					// Step 1: local residual, reading shared x.
+					for i := lo; i < hi; i++ {
+						s := b[i]
+						var ev *model.Event
+						if opt.RecordTrace {
+							ev = &model.Event{Row: i, Count: iter + 1, Seq: int(seq.Add(1))}
+						}
+						for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+							j := a.Col[k]
+							if ev != nil && j != i {
+								ev.Reads = append(ev.Reads, model.Read{Row: j, Version: int(version[j].Load())})
+							}
+							s -= a.Val[k] * x.Load(j)
+						}
+						local[i-lo] = s
+						if ev != nil {
+							traces[t] = append(traces[t], *ev)
+						}
+						microYield()
+					}
+					sync0() // paper: barrier after step 1
+					// Step 2: correct the solution (unit diagonal) and
+					// publish the residual.
+					for i := lo; i < hi; i++ {
+						r.Store(i, local[i-lo])
+						x.Store(i, x.Load(i)+omega*local[i-lo])
+						if version != nil {
+							version[i].Add(1)
+						}
+						microYield()
+					}
+					iter++
+				}
+				sync0() // make step 3's norm a consistent reduction
+				// Step 3: convergence. Each worker computes the norm of
+				// the whole shared residual array (paper Section V) and
+				// raises its flag when converged or out of budget.
+				if !done {
+					conv := false
+					if opt.Tol > 0 {
+						conv = r.Norm1()/nb <= opt.Tol
+					}
+					if conv || iter >= opt.MaxIters {
+						flags[t].Store(true)
+						done = true
+					}
+				}
+				if opt.RecordHistory && t == 0 {
+					hist = append(hist, HistoryPoint{
+						Elapsed:   time.Since(t0),
+						RelRes:    r.Norm1() / nb,
+						Iteration: iter,
+					})
+				}
+				sync0() // paper: barrier after step 3; flags now stable
+				// A worker terminates only when every worker's flag is
+				// up (shared flag array, paper Section V). Under the
+				// barrier all workers observe the same flag state, so
+				// they exit together.
+				all := true
+				for q := range flags {
+					if !flags[q].Load() {
+						all = false
+						break
+					}
+				}
+				if all {
+					return
+				}
+				// Hard stop: never iterate unboundedly past the budget
+				// even if another worker's flag is slow to appear.
+				if iter >= 100*opt.MaxIters {
+					return
+				}
+				if opt.Async && !opt.NoYield {
+					runtime.Gosched()
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+
+	res := &Result{
+		X:          make([]float64, n),
+		Iterations: iters,
+		WallTime:   time.Since(t0),
+		History:    hist,
+	}
+	x.Snapshot(res.X)
+	for t := 0; t < nt; t++ {
+		lo, hi := partition.ContiguousRange(n, nt, t)
+		res.TotalRelaxations += iters[t] * (hi - lo)
+	}
+	rr := make([]float64, n)
+	a.Residual(rr, b, res.X)
+	res.RelRes = vec.Norm1(rr) / nb
+	res.Converged = opt.Tol > 0 && res.RelRes <= opt.Tol
+	if opt.RecordTrace {
+		var events []model.Event
+		for _, tr := range traces {
+			events = append(events, tr...)
+		}
+		res.Trace = &model.Trace{N: n, Events: events}
+	}
+	return res
+}

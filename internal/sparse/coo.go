@@ -1,0 +1,89 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format builder for sparse matrices. Generators
+// append entries in arbitrary order (duplicates are summed) and call
+// ToCSR once assembly is finished — the standard finite-element
+// assembly workflow.
+type COO struct {
+	N, M int
+	I, J []int
+	V    []float64
+}
+
+// NewCOO creates an empty n-by-m coordinate matrix.
+func NewCOO(n, m int) *COO { return &COO{N: n, M: m} }
+
+// Add appends entry (i, j) = v. Entries with the same coordinates are
+// summed during ToCSR.
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.N || j < 0 || j >= c.M {
+		panic(fmt.Sprintf("sparse: COO index (%d,%d) out of %dx%d", i, j, c.N, c.M))
+	}
+	c.I = append(c.I, i)
+	c.J = append(c.J, j)
+	c.V = append(c.V, v)
+}
+
+// AddSym appends (i, j) = v and, when i != j, (j, i) = v. Convenience
+// for symmetric assembly and for reading symmetric Matrix Market files
+// that store only one triangle.
+func (c *COO) AddSym(i, j int, v float64) {
+	c.Add(i, j, v)
+	if i != j {
+		c.Add(j, i, v)
+	}
+}
+
+// NNZ returns the number of appended entries (before duplicate
+// coalescing).
+func (c *COO) NNZ() int { return len(c.V) }
+
+// ToCSR sorts, coalesces duplicates (summing their values), drops
+// explicit zeros that result from cancellation, and produces a CSR
+// matrix.
+func (c *COO) ToCSR() *CSR {
+	n := len(c.V)
+	perm := make([]int, n)
+	for k := range perm {
+		perm[k] = k
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ka, kb := perm[a], perm[b]
+		if c.I[ka] != c.I[kb] {
+			return c.I[ka] < c.I[kb]
+		}
+		return c.J[ka] < c.J[kb]
+	})
+
+	rowPtr := make([]int, c.N+1)
+	col := make([]int, 0, n)
+	val := make([]float64, 0, n)
+	for p := 0; p < n; {
+		k := perm[p]
+		i, j := c.I[k], c.J[k]
+		s := c.V[k]
+		p++
+		for p < n {
+			k2 := perm[p]
+			if c.I[k2] != i || c.J[k2] != j {
+				break
+			}
+			s += c.V[k2]
+			p++
+		}
+		if s != 0 {
+			col = append(col, j)
+			val = append(val, s)
+			rowPtr[i+1]++
+		}
+	}
+	for i := 0; i < c.N; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	return &CSR{N: c.N, M: c.M, RowPtr: rowPtr, Col: col, Val: val}
+}

@@ -1,0 +1,284 @@
+// Package sparse implements the sparse-matrix substrate for the
+// asynchronous Jacobi library: compressed sparse row (CSR) and
+// coordinate (COO) storage, sparse matrix-vector products, structural
+// and numerical property checks (symmetry, weak diagonal dominance,
+// unit diagonal), Jacobi diagonal scaling, principal submatrix
+// extraction, and Matrix Market I/O.
+//
+// The paper's solvers assume A is symmetric and scaled to have unit
+// diagonal, so that the Jacobi iteration matrix is G = I - A. Matrices
+// produced by internal/matgen are already in that form; Scale provides
+// the symmetric diagonal scaling D^{-1/2} A D^{-1/2} for matrices that
+// are not.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed sparse row format.
+//
+// Row i occupies the half-open range [RowPtr[i], RowPtr[i+1]) of Col
+// and Val. Column indices within each row are strictly increasing,
+// which NewCSR enforces; several kernels (diagonal lookup, transpose,
+// symmetry checks) rely on this invariant.
+type CSR struct {
+	N      int // number of rows
+	M      int // number of columns
+	RowPtr []int
+	Col    []int
+	Val    []float64
+}
+
+// NewCSR validates and wraps raw CSR arrays. It verifies monotone row
+// pointers, in-range sorted column indices, and consistent lengths.
+func NewCSR(n, m int, rowPtr, col []int, val []float64) (*CSR, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("sparse: negative dimension %dx%d", n, m)
+	}
+	if len(rowPtr) != n+1 {
+		return nil, fmt.Errorf("sparse: len(rowPtr)=%d, want %d", len(rowPtr), n+1)
+	}
+	if rowPtr[0] != 0 {
+		return nil, fmt.Errorf("sparse: rowPtr[0]=%d, want 0", rowPtr[0])
+	}
+	if len(col) != len(val) {
+		return nil, fmt.Errorf("sparse: len(col)=%d != len(val)=%d", len(col), len(val))
+	}
+	if rowPtr[n] != len(col) {
+		return nil, fmt.Errorf("sparse: rowPtr[n]=%d != nnz=%d", rowPtr[n], len(col))
+	}
+	for i := 0; i < n; i++ {
+		if rowPtr[i+1] < rowPtr[i] {
+			return nil, fmt.Errorf("sparse: rowPtr not monotone at row %d", i)
+		}
+		prev := -1
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			c := col[k]
+			if c < 0 || c >= m {
+				return nil, fmt.Errorf("sparse: column %d out of range in row %d", c, i)
+			}
+			if c <= prev {
+				return nil, fmt.Errorf("sparse: columns not strictly increasing in row %d", i)
+			}
+			prev = c
+		}
+	}
+	return &CSR{N: n, M: m, RowPtr: rowPtr, Col: col, Val: val}, nil
+}
+
+// MustCSR is NewCSR that panics on error; used by generators whose
+// output is correct by construction.
+func MustCSR(n, m int, rowPtr, col []int, val []float64) *CSR {
+	a, err := NewCSR(n, m, rowPtr, col, val)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// RowNNZ returns the number of stored entries in row i.
+func (a *CSR) RowNNZ(i int) int { return a.RowPtr[i+1] - a.RowPtr[i] }
+
+// Row returns the column indices and values of row i as sub-slices of
+// the matrix storage (do not modify their length).
+func (a *CSR) Row(i int) ([]int, []float64) {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	return a.Col[lo:hi], a.Val[lo:hi]
+}
+
+// At returns element (i, j), using binary search within the row.
+func (a *CSR) At(i, j int) float64 {
+	cols, vals := a.Row(i)
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return vals[k]
+	}
+	return 0
+}
+
+// Diag extracts the main diagonal into a new slice. Missing diagonal
+// entries are zero.
+func (a *CSR) Diag() []float64 {
+	d := make([]float64, min(a.N, a.M))
+	for i := range d {
+		d[i] = a.At(i, i)
+	}
+	return d
+}
+
+// Clone returns a deep copy.
+func (a *CSR) Clone() *CSR {
+	rp := make([]int, len(a.RowPtr))
+	copy(rp, a.RowPtr)
+	col := make([]int, len(a.Col))
+	copy(col, a.Col)
+	val := make([]float64, len(a.Val))
+	copy(val, a.Val)
+	return &CSR{N: a.N, M: a.M, RowPtr: rp, Col: col, Val: val}
+}
+
+// MulVec computes y = A x.
+func (a *CSR) MulVec(y, x []float64) {
+	if len(x) != a.M || len(y) != a.N {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	for i := 0; i < a.N; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.Col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecRange computes y[i] = (A x)[i] for rows i in [lo, hi). Worker
+// threads and ranks each multiply only their own subdomain rows.
+func (a *CSR) MulVecRange(y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.Col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// RowDot returns the inner product of row i with x: (A x)[i].
+func (a *CSR) RowDot(i int, x []float64) float64 {
+	var s float64
+	for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+		s += a.Val[k] * x[a.Col[k]]
+	}
+	return s
+}
+
+// Residual computes r = b - A x.
+func (a *CSR) Residual(r, b, x []float64) {
+	if len(r) != a.N || len(b) != a.N {
+		panic("sparse: Residual dimension mismatch")
+	}
+	for i := 0; i < a.N; i++ {
+		r[i] = b[i] - a.RowDot(i, x)
+	}
+}
+
+// Transpose returns A^T in CSR form.
+func (a *CSR) Transpose() *CSR {
+	// Count entries per column.
+	cnt := make([]int, a.M+1)
+	for _, c := range a.Col {
+		cnt[c+1]++
+	}
+	for j := 0; j < a.M; j++ {
+		cnt[j+1] += cnt[j]
+	}
+	rp := make([]int, a.M+1)
+	copy(rp, cnt)
+	col := make([]int, len(a.Col))
+	val := make([]float64, len(a.Val))
+	next := make([]int, a.M)
+	copy(next, rp[:a.M])
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Col[k]
+			p := next[j]
+			next[j]++
+			col[p] = i
+			val[p] = a.Val[k]
+		}
+	}
+	// Rows of the transpose are built in increasing i, hence sorted.
+	return &CSR{N: a.M, M: a.N, RowPtr: rp, Col: col, Val: val}
+}
+
+// Submatrix extracts the principal submatrix with the given (sorted or
+// unsorted, duplicate-free) row/column index set. Used by the model to
+// form the active-block matrix G-tilde of Section IV-C.
+func (a *CSR) Submatrix(idx []int) *CSR {
+	if a.N != a.M {
+		panic("sparse: Submatrix requires a square matrix")
+	}
+	sorted := make([]int, len(idx))
+	copy(sorted, idx)
+	sort.Ints(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			panic("sparse: duplicate index in Submatrix")
+		}
+	}
+	// old index -> new index, or -1
+	remap := make(map[int]int, len(sorted))
+	for newI, oldI := range sorted {
+		if oldI < 0 || oldI >= a.N {
+			panic("sparse: Submatrix index out of range")
+		}
+		remap[oldI] = newI
+	}
+	n := len(sorted)
+	rp := make([]int, n+1)
+	var col []int
+	var val []float64
+	for newI, oldI := range sorted {
+		for k := a.RowPtr[oldI]; k < a.RowPtr[oldI+1]; k++ {
+			if newJ, ok := remap[a.Col[k]]; ok {
+				col = append(col, newJ)
+				val = append(val, a.Val[k])
+			}
+		}
+		rp[newI+1] = len(col)
+	}
+	return &CSR{N: n, M: n, RowPtr: rp, Col: col, Val: val}
+}
+
+// Dense converts to a dense row-major matrix; intended for tests and
+// small model problems only.
+func (a *CSR) Dense() [][]float64 {
+	d := make([][]float64, a.N)
+	buf := make([]float64, a.N*a.M)
+	for i := range d {
+		d[i] = buf[i*a.M : (i+1)*a.M]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			d[i][a.Col[k]] = a.Val[k]
+		}
+	}
+	return d
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Permute returns P A P^T for the permutation that maps old index i to
+// new index perm[i] — the symmetric reordering the paper applies in
+// Eq. 15 to sort delayed rows first. perm must be a permutation of
+// [0, n).
+func (a *CSR) Permute(perm []int) *CSR {
+	if !a.IsSquare() {
+		panic("sparse: Permute requires a square matrix")
+	}
+	if len(perm) != a.N {
+		panic("sparse: permutation length mismatch")
+	}
+	seen := make([]bool, a.N)
+	for _, p := range perm {
+		if p < 0 || p >= a.N || seen[p] {
+			panic("sparse: invalid permutation")
+		}
+		seen[p] = true
+	}
+	c := NewCOO(a.N, a.N)
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c.Add(perm[i], perm[a.Col[k]], a.Val[k])
+		}
+	}
+	return c.ToCSR()
+}

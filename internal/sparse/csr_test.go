@@ -1,0 +1,325 @@
+package sparse
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// laplace1D builds the 1-D three-point Laplacian [-1 2 -1] of size n
+// directly in CSR form; it is the simplest nontrivial test matrix.
+func laplace1D(n int) *CSR {
+	c := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 2)
+		if i > 0 {
+			c.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -1)
+		}
+	}
+	return c.ToCSR()
+}
+
+// randomSparse builds a random n-by-m matrix with about density*n*m
+// entries, reproducibly.
+func randomSparse(rng *rand.Rand, n, m int, density float64) *CSR {
+	c := NewCOO(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if rng.Float64() < density {
+				c.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+func TestNewCSRValidation(t *testing.T) {
+	// valid 2x2 identity
+	if _, err := NewCSR(2, 2, []int{0, 1, 2}, []int{0, 1}, []float64{1, 1}); err != nil {
+		t.Fatalf("valid CSR rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		n, m int
+		rp   []int
+		col  []int
+		val  []float64
+	}{
+		{"bad rowptr len", 2, 2, []int{0, 2}, []int{0, 1}, []float64{1, 1}},
+		{"rowptr not zero", 2, 2, []int{1, 1, 2}, []int{0, 1}, []float64{1, 1}},
+		{"len mismatch", 2, 2, []int{0, 1, 2}, []int{0, 1}, []float64{1}},
+		{"nnz mismatch", 2, 2, []int{0, 1, 3}, []int{0, 1}, []float64{1, 1}},
+		{"col out of range", 2, 2, []int{0, 1, 2}, []int{0, 2}, []float64{1, 1}},
+		{"cols unsorted", 2, 2, []int{0, 2, 2}, []int{1, 0}, []float64{1, 1}},
+		{"duplicate col", 2, 2, []int{0, 2, 2}, []int{1, 1}, []float64{1, 1}},
+		{"rowptr decreasing", 2, 2, []int{0, 2, 1}, []int{0, 1}, []float64{1, 1}},
+	}
+	for _, tc := range cases {
+		if _, err := NewCSR(tc.n, tc.m, tc.rp, tc.col, tc.val); err == nil {
+			t.Errorf("%s: invalid CSR accepted", tc.name)
+		}
+	}
+}
+
+func TestAtAndDiag(t *testing.T) {
+	a := laplace1D(4)
+	if a.At(0, 0) != 2 || a.At(0, 1) != -1 || a.At(0, 3) != 0 {
+		t.Fatal("At wrong values")
+	}
+	d := a.Diag()
+	for i, v := range d {
+		if v != 2 {
+			t.Fatalf("Diag[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(20)
+		m := 1 + rng.IntN(20)
+		a := randomSparse(rng, n, m, 0.3)
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, n)
+		a.MulVec(y, x)
+		dense := a.Dense()
+		for i := 0; i < n; i++ {
+			var want float64
+			for j := 0; j < m; j++ {
+				want += dense[i][j] * x[j]
+			}
+			if math.Abs(y[i]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("MulVec[%d] = %g want %g", i, y[i], want)
+			}
+		}
+	}
+}
+
+func TestMulVecRangePartition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	a := randomSparse(rng, 30, 30, 0.2)
+	x := make([]float64, 30)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	full := make([]float64, 30)
+	a.MulVec(full, x)
+	parts := make([]float64, 30)
+	a.MulVecRange(parts, x, 0, 10)
+	a.MulVecRange(parts, x, 10, 25)
+	a.MulVecRange(parts, x, 25, 30)
+	for i := range full {
+		if full[i] != parts[i] {
+			t.Fatalf("range partition differs at %d", i)
+		}
+	}
+}
+
+func TestResidual(t *testing.T) {
+	a := laplace1D(5)
+	x := []float64{1, 2, 3, 4, 5}
+	b := make([]float64, 5)
+	a.MulVec(b, x)
+	r := make([]float64, 5)
+	a.Residual(r, b, x)
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("residual[%d] = %g at exact solution", i, v)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 9))
+	for trial := 0; trial < 30; trial++ {
+		a := randomSparse(rng, 1+rng.IntN(15), 1+rng.IntN(15), 0.25)
+		att := a.Transpose().Transpose()
+		if att.N != a.N || att.M != a.M || att.NNZ() != a.NNZ() {
+			t.Fatal("transpose changed shape")
+		}
+		for i := 0; i < a.N; i++ {
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				if att.At(i, a.Col[k]) != a.Val[k] {
+					t.Fatal("double transpose changed values")
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeIdentity(t *testing.T) {
+	// (A^T x) . y == x . (A y)
+	rng := rand.New(rand.NewPCG(5, 5))
+	a := randomSparse(rng, 12, 8, 0.3)
+	at := a.Transpose()
+	x := make([]float64, 12)
+	y := make([]float64, 8)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	ay := make([]float64, 12)
+	a.MulVec(ay, y)
+	atx := make([]float64, 8)
+	at.MulVec(atx, x)
+	var lhs, rhs float64
+	for i := range x {
+		lhs += x[i] * ay[i]
+	}
+	for j := range y {
+		rhs += atx[j] * y[j]
+	}
+	if math.Abs(lhs-rhs) > 1e-10*(1+math.Abs(lhs)) {
+		t.Fatalf("adjoint identity violated: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	a := laplace1D(6)
+	// principal submatrix on rows/cols {1,2,4}
+	s := a.Submatrix([]int{1, 2, 4})
+	if s.N != 3 || s.M != 3 {
+		t.Fatalf("submatrix shape %dx%d", s.N, s.M)
+	}
+	// rows 1,2 are coupled (adjacent), row 4 decoupled from both
+	if s.At(0, 0) != 2 || s.At(0, 1) != -1 || s.At(1, 0) != -1 || s.At(2, 2) != 2 {
+		t.Fatal("submatrix values wrong")
+	}
+	if s.At(0, 2) != 0 || s.At(2, 0) != 0 {
+		t.Fatal("expected decoupled block")
+	}
+}
+
+func TestSubmatrixUnsortedIndices(t *testing.T) {
+	a := laplace1D(6)
+	s1 := a.Submatrix([]int{4, 1, 2})
+	s2 := a.Submatrix([]int{1, 2, 4})
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if s1.At(i, j) != s2.At(i, j) {
+				t.Fatal("unsorted index set changed submatrix")
+			}
+		}
+	}
+}
+
+func TestCOOCoalesce(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(0, 0, 2)
+	c.Add(1, 1, 5)
+	c.Add(1, 0, 3)
+	a := c.ToCSR()
+	if a.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 after coalescing", a.NNZ())
+	}
+	if a.At(0, 0) != 3 {
+		t.Fatalf("coalesced value = %g", a.At(0, 0))
+	}
+}
+
+func TestCOOCancellationDropsZero(t *testing.T) {
+	c := NewCOO(1, 1)
+	c.Add(0, 0, 1)
+	c.Add(0, 0, -1)
+	a := c.ToCSR()
+	if a.NNZ() != 0 {
+		t.Fatalf("cancelled entry kept: nnz = %d", a.NNZ())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := laplace1D(3)
+	b := a.Clone()
+	b.Val[0] = 99
+	if a.Val[0] == 99 {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func BenchmarkSpMVLaplace1D(b *testing.B) {
+	a := laplace1D(100000)
+	x := make([]float64, a.N)
+	y := make([]float64, a.N)
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x)
+	}
+}
+
+func TestPermute(t *testing.T) {
+	a := laplace1D(5)
+	// Reverse ordering: the 1-D Laplacian is symmetric under reversal.
+	perm := []int{4, 3, 2, 1, 0}
+	p := a.Permute(perm)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if p.At(i, j) != a.At(4-i, 4-j) {
+				t.Fatalf("Permute wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Identity permutation is a no-op.
+	id := a.Permute([]int{0, 1, 2, 3, 4})
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if id.At(i, j) != a.At(i, j) {
+				t.Fatal("identity permutation changed matrix")
+			}
+		}
+	}
+}
+
+func TestPermutePreservesSpectrumProxy(t *testing.T) {
+	// P A P^T has the same Frobenius norm, symmetry, and row-sum
+	// multiset as A.
+	rng := rand.New(rand.NewPCG(9, 9))
+	a := randomSparse(rng, 12, 12, 0.3)
+	// Symmetrize.
+	at := a.Transpose()
+	c := NewCOO(12, 12)
+	for i := 0; i < 12; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c.Add(i, a.Col[k], a.Val[k]/2)
+		}
+		for k := at.RowPtr[i]; k < at.RowPtr[i+1]; k++ {
+			c.Add(i, at.Col[k], at.Val[k]/2)
+		}
+	}
+	sym := c.ToCSR()
+	perm := rng.Perm(12)
+	p := sym.Permute(perm)
+	if !p.IsSymmetric(1e-12) {
+		t.Fatal("permutation broke symmetry")
+	}
+	if math.Abs(p.NormFrob()-sym.NormFrob()) > 1e-12 {
+		t.Fatal("permutation changed Frobenius norm")
+	}
+}
+
+func TestPermuteRejectsBad(t *testing.T) {
+	a := laplace1D(3)
+	for _, perm := range [][]int{{0, 1}, {0, 0, 1}, {0, 1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad permutation %v accepted", perm)
+				}
+			}()
+			a.Permute(perm)
+		}()
+	}
+}

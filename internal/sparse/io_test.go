@@ -1,0 +1,100 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	a := randomSparse(rng, 15, 12, 0.2)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != a.N || b.M != a.M || b.NNZ() != a.NNZ() {
+		t.Fatalf("shape changed: %dx%d nnz %d -> %dx%d nnz %d",
+			a.N, a.M, a.NNZ(), b.N, b.M, b.NNZ())
+	}
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if b.At(i, a.Col[k]) != a.Val[k] {
+				t.Fatalf("value (%d,%d) changed", i, a.Col[k])
+			}
+		}
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% 1-D Laplacian lower triangle
+3 3 5
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 2 -1.0
+3 3 2.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := laplace1D(3)
+	if a.NNZ() != want.NNZ() {
+		t.Fatalf("nnz = %d want %d", a.NNZ(), want.NNZ())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != want.At(i, j) {
+				t.Fatalf("(%d,%d) = %g want %g", i, j, a.At(i, j), want.At(i, j))
+			}
+		}
+	}
+	if !a.IsSymmetric(0) {
+		t.Fatal("expanded symmetric read is not symmetric")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"bad header", "%%MatrixMarket matrix array real general\n2 2\n"},
+		{"pattern field", "%%MatrixMarket matrix coordinate pattern general\n1 1 1\n1 1\n"},
+		{"bad symmetry", "%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 1\n1 1 1\n"},
+		{"missing entries", "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"},
+		{"out of range", "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"},
+		{"bad value", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 xyz\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestReadMatrixMarketSkipsComments(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% comment line
+
+% another
+2 2 1
+% entry comment
+1 2 3.5
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != 3.5 {
+		t.Fatal("comment handling corrupted entries")
+	}
+}

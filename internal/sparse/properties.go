@@ -1,0 +1,146 @@
+package sparse
+
+import "math"
+
+// IsSquare reports whether the matrix is square.
+func (a *CSR) IsSquare() bool { return a.N == a.M }
+
+// IsSymmetric reports whether A equals its transpose to within tol
+// (relative to the larger of the two paired entries).
+func (a *CSR) IsSymmetric(tol float64) bool {
+	if !a.IsSquare() {
+		return false
+	}
+	at := a.Transpose()
+	if len(at.Val) != len(a.Val) {
+		return false
+	}
+	for i := 0; i < a.N; i++ {
+		if a.RowPtr[i] != at.RowPtr[i] {
+			return false
+		}
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.Col[k] != at.Col[k] {
+				return false
+			}
+			d := math.Abs(a.Val[k] - at.Val[k])
+			scale := math.Max(math.Abs(a.Val[k]), math.Abs(at.Val[k]))
+			if d > tol*math.Max(1, scale) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HasUnitDiagonal reports whether every diagonal entry is 1 within tol.
+func (a *CSR) HasUnitDiagonal(tol float64) bool {
+	for i := 0; i < min(a.N, a.M); i++ {
+		if math.Abs(a.At(i, i)-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// RowWDD reports whether row i is weakly diagonally dominant:
+// |a_ii| >= sum_{j != i} |a_ij|.
+func (a *CSR) RowWDD(i int) bool {
+	var off, diag float64
+	for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+		if a.Col[k] == i {
+			diag = math.Abs(a.Val[k])
+		} else {
+			off += math.Abs(a.Val[k])
+		}
+	}
+	// Tiny relative slack absorbs roundoff from scaling.
+	return diag >= off*(1-1e-12)
+}
+
+// IsWDD reports whether every row is weakly diagonally dominant. For
+// such matrices (scaled to unit diagonal) Theorem 1 of the paper
+// applies: every asynchronous propagation matrix has infinity norm 1.
+func (a *CSR) IsWDD() bool {
+	for i := 0; i < a.N; i++ {
+		if !a.RowWDD(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// WDDFraction returns the fraction of rows that are weakly diagonally
+// dominant. The paper's FE matrix has roughly half of its rows W.D.D.
+func (a *CSR) WDDFraction() float64 {
+	if a.N == 0 {
+		return 1
+	}
+	cnt := 0
+	for i := 0; i < a.N; i++ {
+		if a.RowWDD(i) {
+			cnt++
+		}
+	}
+	return float64(cnt) / float64(a.N)
+}
+
+// NormInf returns the induced infinity norm: max row sum of absolute
+// values.
+func (a *CSR) NormInf() float64 {
+	var m float64
+	for i := 0; i < a.N; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += math.Abs(a.Val[k])
+		}
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Norm1 returns the induced 1-norm: max column sum of absolute values.
+func (a *CSR) Norm1() float64 {
+	colSum := make([]float64, a.M)
+	for k, c := range a.Col {
+		colSum[c] += math.Abs(a.Val[k])
+	}
+	var m float64
+	for _, s := range colSum {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// NormFrob returns the Frobenius norm.
+func (a *CSR) NormFrob() float64 {
+	var s float64
+	for _, v := range a.Val {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// GershgorinRadius returns max_i sum_{j != i} |a_ij|, the largest
+// Gershgorin disc radius. For a unit-diagonal matrix, every eigenvalue
+// of the Jacobi iteration matrix G = I - A lies within this radius of
+// the origin... more precisely |lambda(G)| <= GershgorinRadius(A).
+func (a *CSR) GershgorinRadius() float64 {
+	var m float64
+	for i := 0; i < a.N; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.Col[k] != i {
+				s += math.Abs(a.Val[k])
+			}
+		}
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}

@@ -1,0 +1,119 @@
+package sparse
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestIsSymmetric(t *testing.T) {
+	if !laplace1D(10).IsSymmetric(0) {
+		t.Fatal("Laplacian should be symmetric")
+	}
+	c := NewCOO(2, 2)
+	c.Add(0, 1, 1)
+	c.Add(1, 0, 2)
+	c.Add(0, 0, 1)
+	c.Add(1, 1, 1)
+	if c.ToCSR().IsSymmetric(1e-12) {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+	// Structural asymmetry
+	c2 := NewCOO(2, 2)
+	c2.Add(0, 0, 1)
+	c2.Add(0, 1, 1)
+	c2.Add(1, 1, 1)
+	if c2.ToCSR().IsSymmetric(1e-12) {
+		t.Fatal("structurally asymmetric matrix reported symmetric")
+	}
+	// Non-square never symmetric
+	c3 := NewCOO(2, 3)
+	c3.Add(0, 0, 1)
+	if c3.ToCSR().IsSymmetric(1e-12) {
+		t.Fatal("non-square matrix reported symmetric")
+	}
+}
+
+func TestWDD(t *testing.T) {
+	a := laplace1D(10) // |2| >= |-1| + |-1|: weakly dominant everywhere
+	if !a.IsWDD() {
+		t.Fatal("1-D Laplacian is W.D.D.")
+	}
+	if a.WDDFraction() != 1 {
+		t.Fatalf("WDDFraction = %g", a.WDDFraction())
+	}
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(0, 1, 2) // row 0 violates dominance
+	c.Add(1, 0, 0.5)
+	c.Add(1, 1, 1)
+	b := c.ToCSR()
+	if b.IsWDD() {
+		t.Fatal("non-dominant matrix reported W.D.D.")
+	}
+	if b.RowWDD(0) || !b.RowWDD(1) {
+		t.Fatal("per-row W.D.D. classification wrong")
+	}
+	if b.WDDFraction() != 0.5 {
+		t.Fatalf("WDDFraction = %g, want 0.5", b.WDDFraction())
+	}
+}
+
+func TestInducedNorms(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(0, 1, -2)
+	c.Add(1, 0, 3)
+	c.Add(1, 1, 4)
+	a := c.ToCSR()
+	if a.NormInf() != 7 { // row 1: 3+4
+		t.Fatalf("NormInf = %g", a.NormInf())
+	}
+	if a.Norm1() != 6 { // col 1: 2+4
+		t.Fatalf("Norm1 = %g", a.Norm1())
+	}
+	if math.Abs(a.NormFrob()-math.Sqrt(1+4+9+16)) > 1e-14 {
+		t.Fatalf("NormFrob = %g", a.NormFrob())
+	}
+}
+
+// Property: ||A||_1 == ||A^T||_inf for random sparse matrices.
+func TestNormDualityProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	for trial := 0; trial < 50; trial++ {
+		a := randomSparse(rng, 1+rng.IntN(25), 1+rng.IntN(25), 0.2)
+		n1 := a.Norm1()
+		ninf := a.Transpose().NormInf()
+		if math.Abs(n1-ninf) > 1e-12*(1+n1) {
+			t.Fatalf("norm duality violated: %g vs %g", n1, ninf)
+		}
+	}
+}
+
+func TestGershgorinRadiusBoundsIterationMatrix(t *testing.T) {
+	// For the scaled 1-D Laplacian, G = I - A has spectral radius
+	// cos(pi/(n+1)) < 1, and Gershgorin gives radius <= 1.
+	a := laplace1D(20)
+	scaled, _, err := ScaleUnitDiagonal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := scaled.GershgorinRadius()
+	if r > 1+1e-14 {
+		t.Fatalf("Gershgorin radius %g > 1 for W.D.D. matrix", r)
+	}
+}
+
+func TestHasUnitDiagonal(t *testing.T) {
+	a := laplace1D(5)
+	if a.HasUnitDiagonal(1e-12) {
+		t.Fatal("unscaled Laplacian has diagonal 2")
+	}
+	scaled, _, err := ScaleUnitDiagonal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scaled.HasUnitDiagonal(1e-12) {
+		t.Fatal("scaled matrix lacks unit diagonal")
+	}
+}

@@ -1,0 +1,110 @@
+package sparse
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// Property: COO assembly is order-independent — shuffling the entry
+// insertion order produces the identical CSR.
+func TestCOOOrderIndependenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 102))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.IntN(12)
+		type entry struct {
+			i, j int
+			v    float64
+		}
+		var entries []entry
+		cnt := rng.IntN(40)
+		for e := 0; e < cnt; e++ {
+			entries = append(entries, entry{rng.IntN(n), rng.IntN(n), rng.NormFloat64()})
+		}
+		build := func(perm []int) *CSR {
+			c := NewCOO(n, n)
+			for _, k := range perm {
+				c.Add(entries[k].i, entries[k].j, entries[k].v)
+			}
+			return c.ToCSR()
+		}
+		id := make([]int, len(entries))
+		for k := range id {
+			id[k] = k
+		}
+		a := build(id)
+		b := build(rng.Perm(len(entries)))
+		if a.NNZ() != b.NNZ() {
+			t.Fatal("shuffled assembly changed structure")
+		}
+		for i := 0; i < n; i++ {
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				if math.Abs(b.At(i, a.Col[k])-a.Val[k]) > 1e-12 {
+					t.Fatal("shuffled assembly changed values")
+				}
+			}
+		}
+	}
+}
+
+// Property: SpMV is linear: A(alpha x + y) == alpha Ax + Ay.
+func TestSpMVLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(103, 104))
+	a := randomSparse(rng, 20, 20, 0.25)
+	f := func(alphaRaw int8) bool {
+		alpha := float64(alphaRaw) / 16
+		x := make([]float64, 20)
+		y := make([]float64, 20)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		lhsArg := make([]float64, 20)
+		for i := range lhsArg {
+			lhsArg[i] = alpha*x[i] + y[i]
+		}
+		lhs := make([]float64, 20)
+		a.MulVec(lhs, lhsArg)
+		ax := make([]float64, 20)
+		ay := make([]float64, 20)
+		a.MulVec(ax, x)
+		a.MulVec(ay, y)
+		for i := range lhs {
+			want := alpha*ax[i] + ay[i]
+			if math.Abs(lhs[i]-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Permute by a random permutation then by its inverse
+// restores the matrix.
+func TestPermuteInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(105, 106))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.IntN(15)
+		a := randomSparse(rng, n, n, 0.3)
+		perm := rng.Perm(n)
+		inv := make([]int, n)
+		for i, p := range perm {
+			inv[p] = i
+		}
+		back := a.Permute(perm).Permute(inv)
+		if back.NNZ() != a.NNZ() {
+			t.Fatal("permutation roundtrip changed structure")
+		}
+		for i := 0; i < n; i++ {
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				if back.At(i, a.Col[k]) != a.Val[k] {
+					t.Fatal("permutation roundtrip changed values")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package sparse
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestScaleUnitDiagonal(t *testing.T) {
+	a := laplace1D(8)
+	s, d, err := ScaleUnitDiagonal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasUnitDiagonal(1e-14) {
+		t.Fatal("scaled matrix lacks unit diagonal")
+	}
+	if !s.IsSymmetric(1e-14) {
+		t.Fatal("scaling broke symmetry")
+	}
+	for i, di := range d {
+		if math.Abs(di-math.Sqrt2) > 1e-14 {
+			t.Fatalf("d[%d] = %g, want sqrt(2)", i, di)
+		}
+	}
+}
+
+func TestScaleRejectsNonPositiveDiagonal(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, -1)
+	c.Add(1, 1, 1)
+	if _, _, err := ScaleUnitDiagonal(c.ToCSR()); err == nil {
+		t.Fatal("negative diagonal accepted")
+	}
+	c2 := NewCOO(2, 2)
+	c2.Add(0, 1, 1)
+	c2.Add(1, 0, 1)
+	if _, _, err := ScaleUnitDiagonal(c2.ToCSR()); err == nil {
+		t.Fatal("zero diagonal accepted")
+	}
+}
+
+// Scaled-system solutions must back-transform to original solutions.
+func TestScaleSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	a := laplace1D(10)
+	xTrue := make([]float64, 10)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, 10)
+	a.MulVec(b, xTrue)
+
+	s, d, err := ScaleUnitDiagonal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := ScaleVector(d, b)
+	// The scaled system's exact solution is D^{1/2} xTrue.
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = xTrue[i] * d[i]
+	}
+	r := make([]float64, 10)
+	s.Residual(r, bs, xs)
+	for i, v := range r {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("scaled residual[%d] = %g", i, v)
+		}
+	}
+	back := UnscaleVector(d, xs)
+	for i := range back {
+		if math.Abs(back[i]-xTrue[i]) > 1e-12 {
+			t.Fatalf("back-transform differs at %d", i)
+		}
+	}
+}
+
+func TestJacobiIterationMatrix(t *testing.T) {
+	a := laplace1D(6)
+	s, _, err := ScaleUnitDiagonal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := JacobiIterationMatrix(s)
+	// G = I - A: diagonal should vanish, off-diagonals negate.
+	for i := 0; i < g.N; i++ {
+		if math.Abs(g.At(i, i)) > 1e-14 {
+			t.Fatalf("G diagonal %g at %d", g.At(i, i), i)
+		}
+		for j := 0; j < g.M; j++ {
+			if i == j {
+				continue
+			}
+			if math.Abs(g.At(i, j)+s.At(i, j)) > 1e-15 {
+				t.Fatalf("G(%d,%d) = %g, want %g", i, j, g.At(i, j), -s.At(i, j))
+			}
+		}
+	}
+	// G x + b reproduces one Jacobi step: x1 = (I-A)x0 + b.
+	x0 := []float64{1, -1, 2, 0, 1, 3}
+	b := []float64{1, 1, 1, 1, 1, 1}
+	gx := make([]float64, 6)
+	g.MulVec(gx, x0)
+	ax := make([]float64, 6)
+	s.MulVec(ax, x0)
+	for i := range gx {
+		step := x0[i] - ax[i] + b[i]
+		if math.Abs((gx[i]+b[i])-step) > 1e-13 {
+			t.Fatalf("iteration matrix inconsistent at %d", i)
+		}
+	}
+}
+
+func TestJacobiIterationMatrixMissingDiagonal(t *testing.T) {
+	// Matrix with no stored diagonal in row 0: G must gain a 1 there.
+	c := NewCOO(2, 2)
+	c.Add(0, 1, 0.5)
+	c.Add(1, 0, 0.5)
+	c.Add(1, 1, 1)
+	g := JacobiIterationMatrix(c.ToCSR())
+	if g.At(0, 0) != 1 {
+		t.Fatalf("G(0,0) = %g, want 1", g.At(0, 0))
+	}
+	if g.At(1, 1) != 0 {
+		t.Fatalf("G(1,1) = %g, want 0", g.At(1, 1))
+	}
+}
+
+func TestAbs(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, -3)
+	c.Add(1, 1, 4)
+	a := c.ToCSR().Abs()
+	if a.At(0, 0) != 3 || a.At(1, 1) != 4 {
+		t.Fatal("Abs wrong")
+	}
+}

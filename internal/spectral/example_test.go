@@ -1,0 +1,23 @@
+package spectral_test
+
+import (
+	"fmt"
+
+	"repro/internal/matgen"
+	"repro/internal/spectral"
+)
+
+// ExampleJacobiRhoGLanczos classifies a matrix by its Jacobi iteration
+// spectral radius: the FD Laplacian converges, the distorted FE matrix
+// does not.
+func ExampleJacobiRhoGLanczos() {
+	fd := matgen.FD2D(20, 20)
+	fe := matgen.FE2D(matgen.DefaultFEOptions(20, 20))
+	rFD := spectral.JacobiRhoGLanczos(fd, 200, 1e-10)
+	rFE := spectral.JacobiRhoGLanczos(fe, 400, 1e-10)
+	fmt.Println("FD converges:", rFD.Value < 1)
+	fmt.Println("FE converges:", rFE.Value < 1)
+	// Output:
+	// FD converges: true
+	// FE converges: false
+}

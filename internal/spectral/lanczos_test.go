@@ -1,0 +1,118 @@
+package spectral
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+func TestLanczosAnalyticLaplacian(t *testing.T) {
+	n := 64
+	a := scaledLaplace1D(n)
+	lo, hi := LanczosExtremes(a, 64, 1e-12)
+	wantLo := 1 - math.Cos(math.Pi/float64(n+1))
+	wantHi := 1 + math.Cos(math.Pi/float64(n+1))
+	if math.Abs(lo.Value-wantLo) > 1e-8 {
+		t.Fatalf("lambda_min = %.10f want %.10f", lo.Value, wantLo)
+	}
+	if math.Abs(hi.Value-wantHi) > 1e-8 {
+		t.Fatalf("lambda_max = %.10f want %.10f", hi.Value, wantHi)
+	}
+}
+
+func TestLanczosMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	for trial := 0; trial < 15; trial++ {
+		a := randomSymUnitDiag(rng, 5+rng.IntN(25), 0.4)
+		ev, err := dense.SymEig(denseOf(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := LanczosExtremes(a, a.N, 1e-13)
+		if math.Abs(lo.Value-ev[0]) > 1e-7*(1+math.Abs(ev[0])) {
+			t.Fatalf("lambda_min %.10f dense %.10f", lo.Value, ev[0])
+		}
+		if math.Abs(hi.Value-ev[len(ev)-1]) > 1e-7*(1+math.Abs(ev[len(ev)-1])) {
+			t.Fatalf("lambda_max %.10f dense %.10f", hi.Value, ev[len(ev)-1])
+		}
+	}
+}
+
+// Lanczos must agree with the power-iteration path and use far fewer
+// matrix-vector products on a slow-spectrum problem.
+func TestLanczosFasterThanPower(t *testing.T) {
+	n := 400
+	a := scaledLaplace1D(n) // rho(G) = cos(pi/401) ~ 0.99997: hard for power iteration
+	rl := JacobiRhoGLanczos(a, 200, 1e-10)
+	rp := JacobiRhoGSym(a, 200000, 1e-10)
+	if math.Abs(rl.Value-rp.Value) > 1e-5 {
+		t.Fatalf("Lanczos %.8f vs power %.8f", rl.Value, rp.Value)
+	}
+	if rl.Iterations*10 > rp.Iterations {
+		t.Fatalf("Lanczos used %d matvecs, power %d — expected >=10x fewer",
+			rl.Iterations, rp.Iterations)
+	}
+}
+
+func TestLanczosEmptyAndTiny(t *testing.T) {
+	empty := sparse.NewCOO(0, 0).ToCSR()
+	lo, hi := LanczosExtremes(empty, 10, 1e-10)
+	if !lo.Converged || !hi.Converged {
+		t.Fatal("empty matrix should converge trivially")
+	}
+	// 1x1 identity: both extremes are exactly 1 via invariant subspace.
+	c := sparse.NewCOO(1, 1)
+	c.Add(0, 0, 1)
+	lo, hi = LanczosExtremes(c.ToCSR(), 10, 1e-10)
+	if math.Abs(lo.Value-1) > 1e-14 || math.Abs(hi.Value-1) > 1e-14 {
+		t.Fatalf("1x1: lo=%g hi=%g", lo.Value, hi.Value)
+	}
+}
+
+func TestLanczosInvariantSubspaceEarlyExit(t *testing.T) {
+	// Diagonal matrix: Krylov space from any start vector with distinct
+	// diagonal values spans quickly; with repeated values it hits an
+	// invariant subspace and must still report correct extremes.
+	c := sparse.NewCOO(6, 6)
+	for i := 0; i < 6; i++ {
+		c.Add(i, i, float64(1+i%2)) // eigenvalues {1, 2}
+	}
+	lo, hi := LanczosExtremes(c.ToCSR(), 6, 1e-12)
+	if math.Abs(lo.Value-1) > 1e-10 || math.Abs(hi.Value-2) > 1e-10 {
+		t.Fatalf("extremes [%g, %g], want [1, 2]", lo.Value, hi.Value)
+	}
+}
+
+func BenchmarkLanczosRhoG(b *testing.B) {
+	a := scaledLaplace1D(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = JacobiRhoGLanczos(a, 150, 1e-10)
+	}
+}
+
+func TestConvergenceFactor(t *testing.T) {
+	// Synthetic geometric history with factor 0.9.
+	res := make([]float64, 60)
+	res[0] = 1
+	for k := 1; k < len(res); k++ {
+		res[k] = res[k-1] * 0.9
+	}
+	f, ok := ConvergenceFactor(res)
+	if !ok || math.Abs(f-0.9) > 1e-10 {
+		t.Fatalf("factor = %g ok=%v", f, ok)
+	}
+	// Too-short history.
+	if _, ok := ConvergenceFactor([]float64{1, 0.5}); ok {
+		t.Fatal("short history accepted")
+	}
+	// Non-finite tail entries are skipped.
+	res[40] = math.NaN()
+	if f, ok := ConvergenceFactor(res); !ok || math.Abs(f-0.9) > 1e-9 {
+		t.Fatalf("NaN-tolerant fit failed: %g %v", f, ok)
+	}
+}

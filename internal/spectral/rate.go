@@ -1,0 +1,50 @@
+package spectral
+
+import "math"
+
+// ConvergenceFactor estimates the asymptotic per-step residual
+// reduction factor from a convergence history by least-squares fitting
+// a line to log(residual) over the tail of the run (the second half,
+// where transients have died out). For a stationary method the fitted
+// factor approaches rho(G); comparing the two validates the spectral
+// estimates against actual solver behaviour.
+//
+// The fit uses only strictly positive, finite samples; ok is false when
+// fewer than three usable tail samples exist or the history is not
+// decreasing at all.
+func ConvergenceFactor(res []float64) (factor float64, ok bool) {
+	// Collect the usable tail: second half of finite positive entries.
+	var xs []float64
+	var ys []float64
+	start := len(res) / 2
+	for k := start; k < len(res); k++ {
+		v := res[k]
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		xs = append(xs, float64(k))
+		ys = append(ys, math.Log(v))
+	}
+	if len(xs) < 3 {
+		return 0, false
+	}
+	// Least squares slope of ys against xs.
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	nf := float64(len(xs))
+	den := nf*sxx - sx*sx
+	if den == 0 {
+		return 0, false
+	}
+	slope := (nf*sxy - sx*sy) / den
+	f := math.Exp(slope)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, false
+	}
+	return f, true
+}

@@ -1,0 +1,148 @@
+package spectral
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// scaled 1-D Laplacian: diag 1, off -1/2; rho(G) = cos(pi/(n+1)).
+func scaledLaplace1D(n int) *sparse.CSR {
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 1)
+		if i > 0 {
+			c.Add(i, i-1, -0.5)
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -0.5)
+		}
+	}
+	return c.ToCSR()
+}
+
+func randomSymUnitDiag(rng *rand.Rand, n int, off float64) *sparse.CSR {
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 1)
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				c.AddSym(i, j, off*rng.NormFloat64())
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+func denseOf(a *sparse.CSR) *dense.Matrix {
+	return dense.FromRows(a.Dense())
+}
+
+func TestJacobiRhoGAnalytic(t *testing.T) {
+	n := 25
+	a := scaledLaplace1D(n)
+	want := math.Cos(math.Pi / float64(n+1))
+	got := JacobiRhoG(a, 100000, 1e-12)
+	if math.Abs(got.Value-want) > 1e-5 {
+		t.Fatalf("JacobiRhoG = %.8f want %.8f", got.Value, want)
+	}
+	got2 := JacobiRhoGSym(a, 100000, 1e-12)
+	if math.Abs(got2.Value-want) > 1e-5 {
+		t.Fatalf("JacobiRhoGSym = %.8f want %.8f", got2.Value, want)
+	}
+}
+
+func TestSpectralRadiusMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 10; trial++ {
+		a := randomSymUnitDiag(rng, 3+rng.IntN(20), 0.3)
+		want, err := dense.SpectralRadiusSym(denseOf(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := SpectralRadius(a, 100000, 1e-12)
+		if math.Abs(got.Value-want) > 1e-4*(1+want) {
+			t.Fatalf("SpectralRadius = %.8f dense %.8f", got.Value, want)
+		}
+	}
+}
+
+func TestSymmetricExtremesMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 10; trial++ {
+		a := randomSymUnitDiag(rng, 4+rng.IntN(16), 0.4)
+		ev, err := dense.SymEig(denseOf(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := SymmetricExtremes(a, 200000, 1e-13)
+		if math.Abs(lo.Value-ev[0]) > 1e-4*(1+math.Abs(ev[0])) {
+			t.Fatalf("lambda_min = %.8f dense %.8f", lo.Value, ev[0])
+		}
+		if math.Abs(hi.Value-ev[len(ev)-1]) > 1e-4*(1+math.Abs(ev[len(ev)-1])) {
+			t.Fatalf("lambda_max = %.8f dense %.8f", hi.Value, ev[len(ev)-1])
+		}
+	}
+}
+
+func TestChazanMiranker(t *testing.T) {
+	// For the scaled Laplacian, G has entries +1/2 off-diagonal after
+	// negation; |G| equals G in absolute value so rho(|G|) = rho(G).
+	n := 15
+	a := scaledLaplace1D(n)
+	want := math.Cos(math.Pi / float64(n+1))
+	got := ChazanMirankerRho(a, 100000, 1e-12)
+	if math.Abs(got.Value-want) > 1e-5 {
+		t.Fatalf("rho(|G|) = %.8f want %.8f", got.Value, want)
+	}
+}
+
+// rho(G) <= rho(|G|) always (the paper cites this in Section IV-D).
+func TestRhoGLeqRhoAbsG(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 15; trial++ {
+		a := randomSymUnitDiag(rng, 5+rng.IntN(15), 0.3)
+		rg := JacobiRhoGSym(a, 100000, 1e-11)
+		rabs := ChazanMirankerRho(a, 100000, 1e-11)
+		if rg.Value > rabs.Value+1e-6 {
+			t.Fatalf("rho(G)=%g > rho(|G|)=%g", rg.Value, rabs.Value)
+		}
+	}
+}
+
+func TestGershgorinBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 15; trial++ {
+		a := randomSymUnitDiag(rng, 5+rng.IntN(15), 0.2)
+		bound := GershgorinRhoGBound(a)
+		rho := JacobiRhoGSym(a, 100000, 1e-11)
+		if rho.Value > bound+1e-6 {
+			t.Fatalf("rho(G)=%g exceeds Gershgorin bound %g", rho.Value, bound)
+		}
+	}
+}
+
+func TestZeroDimension(t *testing.T) {
+	c := sparse.NewCOO(0, 0)
+	a := c.ToCSR()
+	r := SpectralRadius(a, 10, 1e-10)
+	if !r.Converged || r.Value != 0 {
+		t.Fatalf("empty matrix: %+v", r)
+	}
+}
+
+func TestIdentityMatrix(t *testing.T) {
+	c := sparse.NewCOO(5, 5)
+	for i := 0; i < 5; i++ {
+		c.Add(i, i, 1)
+	}
+	a := c.ToCSR()
+	// G = I - I = 0
+	r := JacobiRhoG(a, 100, 1e-10)
+	if r.Value > 1e-12 {
+		t.Fatalf("rho(G) for identity = %g", r.Value)
+	}
+}

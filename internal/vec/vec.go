@@ -1,0 +1,197 @@
+// Package vec provides dense vector kernels used throughout the
+// asynchronous Jacobi library: BLAS-1 style operations, norms, and
+// residual helpers.
+//
+// All functions operate on plain []float64 slices. Functions that write
+// into a destination take it as the first argument and panic if slice
+// lengths disagree, mirroring the convention of the standard library's
+// copy builtin (where mismatch is silent) but with explicit checking,
+// because silent truncation would corrupt solver state.
+package vec
+
+import "math"
+
+// checkLen panics when two vectors participating in an element-wise
+// operation have different lengths.
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic("vec: length mismatch")
+	}
+}
+
+// Copy copies src into dst. The two must have equal length.
+func Copy(dst, src []float64) {
+	checkLen(dst, src)
+	copy(dst, src)
+}
+
+// Clone returns a newly allocated copy of v.
+func Clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Fill sets every element of v to c.
+func Fill(v []float64, c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// Zero sets every element of v to zero.
+func Zero(v []float64) { Fill(v, 0) }
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	checkLen(x, y)
+	for i, xv := range x {
+		y[i] += alpha * xv
+	}
+}
+
+// Axpby computes y = alpha*x + beta*y.
+func Axpby(alpha float64, x []float64, beta float64, y []float64) {
+	checkLen(x, y)
+	for i, xv := range x {
+		y[i] = alpha*xv + beta*y[i]
+	}
+}
+
+// Add computes dst = a + b.
+func Add(dst, a, b []float64) {
+	checkLen(dst, a)
+	checkLen(a, b)
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst = a - b.
+func Sub(dst, a, b []float64) {
+	checkLen(dst, a)
+	checkLen(a, b)
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Scale multiplies every element of v by alpha.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// MulElem computes dst = a .* b (element-wise product).
+func MulElem(dst, a, b []float64) {
+	checkLen(dst, a)
+	checkLen(a, b)
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Norm1 returns the L1 norm sum |v_i|. The paper monitors the residual
+// in this norm because Theorem 1 bounds the residual propagation matrix
+// in the induced 1-norm.
+func Norm1(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm. The naive sum-of-squares is used:
+// solver vectors are well scaled (unit-diagonal systems, |x| ~ 1) so
+// overflow protection a la hypot is unnecessary and would slow the
+// inner loop.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute entry. The error propagation
+// matrix of Theorem 1 is bounded in the induced infinity norm.
+func NormInf(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm1Range returns sum |v_i| for i in [lo, hi). Worker threads in the
+// shared-memory solver each compute the norm of their own row range and
+// combine (Section V of the paper).
+func Norm1Range(v []float64, lo, hi int) float64 {
+	var s float64
+	for _, x := range v[lo:hi] {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Dist2 returns the Euclidean distance between a and b.
+func Dist2(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// DistInf returns the max-norm distance between a and b.
+func DistInf(a, b []float64) float64 {
+	checkLen(a, b)
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// RelResidual returns ||r|| / ||b|| in the given norm, guarding the
+// ||b|| = 0 case (where the residual itself is returned, since the
+// exact solution of Ax = 0 is x = 0 and any nonzero residual is
+// absolute error).
+func RelResidual(norm func([]float64) float64, r, b []float64) float64 {
+	nb := norm(b)
+	nr := norm(r)
+	if nb == 0 {
+		return nr
+	}
+	return nr / nb
+}
+
+// AllFinite reports whether every element is finite (no NaN/Inf).
+// Divergent synchronous Jacobi runs overflow quickly; histories are
+// truncated at the first non-finite entry.
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,260 @@
+package vec
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestCopyClone(t *testing.T) {
+	src := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	Copy(dst, src)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("Copy mismatch at %d", i)
+		}
+	}
+	c := Clone(src)
+	c[0] = 99
+	if src[0] == 99 {
+		t.Fatal("Clone aliases source")
+	}
+}
+
+func TestCopyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Copy(make([]float64, 2), make([]float64, 3))
+}
+
+func TestFillZero(t *testing.T) {
+	v := []float64{1, 2, 3}
+	Fill(v, 7)
+	for _, x := range v {
+		if x != 7 {
+			t.Fatal("Fill failed")
+		}
+	}
+	Zero(v)
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	Axpy(2, x, y)
+	want := []float64{12, 24, 36}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy[%d] = %g want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestAxpby(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{3, 4}
+	Axpby(2, x, -1, y)
+	if y[0] != -1 || y[1] != 0 {
+		t.Fatalf("Axpby got %v", y)
+	}
+}
+
+func TestAddSubScaleMulElem(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 5}
+	dst := make([]float64, 2)
+	Add(dst, a, b)
+	if dst[0] != 4 || dst[1] != 7 {
+		t.Fatalf("Add got %v", dst)
+	}
+	Sub(dst, a, b)
+	if dst[0] != -2 || dst[1] != -3 {
+		t.Fatalf("Sub got %v", dst)
+	}
+	Scale(2, dst)
+	if dst[0] != -4 || dst[1] != -6 {
+		t.Fatalf("Scale got %v", dst)
+	}
+	MulElem(dst, a, b)
+	if dst[0] != 3 || dst[1] != 10 {
+		t.Fatalf("MulElem got %v", dst)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Fatalf("Dot = %g", d)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := []float64{3, -4}
+	if Norm1(v) != 7 {
+		t.Fatalf("Norm1 = %g", Norm1(v))
+	}
+	if Norm2(v) != 5 {
+		t.Fatalf("Norm2 = %g", Norm2(v))
+	}
+	if NormInf(v) != 4 {
+		t.Fatalf("NormInf = %g", NormInf(v))
+	}
+}
+
+func TestNorm1Range(t *testing.T) {
+	v := []float64{1, -2, 3, -4}
+	if got := Norm1Range(v, 1, 3); got != 5 {
+		t.Fatalf("Norm1Range = %g", got)
+	}
+	// Ranges must partition the norm.
+	if got := Norm1Range(v, 0, 2) + Norm1Range(v, 2, 4); got != Norm1(v) {
+		t.Fatalf("partitioned ranges = %g, full = %g", got, Norm1(v))
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if Dist2(a, b) != 5 {
+		t.Fatalf("Dist2 = %g", Dist2(a, b))
+	}
+	if DistInf(a, b) != 4 {
+		t.Fatalf("DistInf = %g", DistInf(a, b))
+	}
+}
+
+func TestRelResidual(t *testing.T) {
+	r := []float64{1, 1}
+	b := []float64{2, 2}
+	if got := RelResidual(Norm1, r, b); got != 0.5 {
+		t.Fatalf("RelResidual = %g", got)
+	}
+	// zero b: absolute residual returned
+	if got := RelResidual(Norm1, r, []float64{0, 0}); got != 2 {
+		t.Fatalf("RelResidual zero-b = %g", got)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, 2}) {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Fatal("NaN not detected")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("Inf not detected")
+	}
+}
+
+// Property: norm inequalities ||v||_inf <= ||v||_2 <= ||v||_1 hold for
+// all vectors.
+func TestNormOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		v := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// bound magnitude to avoid overflow in Norm2 squaring
+			v = append(v, math.Mod(x, 1e100))
+		}
+		n1, n2, ni := Norm1(v), Norm2(v), NormInf(v)
+		return ni <= n2*(1+1e-12) && n2 <= n1*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot is symmetric and linear in its first argument.
+func TestDotLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(50)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+			c[i] = rng.NormFloat64()
+		}
+		alpha := rng.NormFloat64()
+		// dot(alpha*a + c, b) == alpha*dot(a,b) + dot(c,b)
+		lhsArg := make([]float64, n)
+		for i := range lhsArg {
+			lhsArg[i] = alpha*a[i] + c[i]
+		}
+		lhs := Dot(lhsArg, b)
+		rhs := alpha*Dot(a, b) + Dot(c, b)
+		if !almostEq(lhs, rhs, 1e-10) {
+			t.Fatalf("linearity violated: %g vs %g", lhs, rhs)
+		}
+		if !almostEq(Dot(a, b), Dot(b, a), 1e-12) {
+			t.Fatal("symmetry violated")
+		}
+	}
+}
+
+// Property: Axpy then Axpy with negated alpha restores y.
+func TestAxpyInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.IntN(64)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		orig := Clone(y)
+		alpha := rng.NormFloat64()
+		Axpy(alpha, x, y)
+		Axpy(-alpha, x, y)
+		for i := range y {
+			if !almostEq(y[i], orig[i], 1e-12) {
+				t.Fatalf("Axpy not invertible at %d: %g vs %g", i, y[i], orig[i])
+			}
+		}
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	n := 1 << 14
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i % 7)
+		y[i] = float64(i % 5)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, y)
+	}
+}
+
+func BenchmarkNorm1(b *testing.B) {
+	n := 1 << 14
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Norm1(x)
+	}
+}

@@ -1,0 +1,73 @@
+package repro_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro"
+)
+
+// The facade must expose a complete solve path: generate, solve with
+// every method constant, check convergence.
+func TestFacadeSolve(t *testing.T) {
+	a := repro.FD2D(12, 12)
+	rng := rand.New(rand.NewPCG(1, 1))
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = rng.Float64()*2 - 1
+	}
+	for _, m := range []repro.Method{
+		repro.JacobiSync, repro.JacobiAsync, repro.GaussSeidel,
+		repro.SOR, repro.MulticolorGS, repro.BlockJacobi,
+	} {
+		res, err := repro.Solve(a, b, repro.Options{Method: m, Tol: 1e-6, MaxSweeps: 100000, Threads: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v did not converge: %g", m, res.RelRes)
+		}
+	}
+}
+
+func TestFacadeFE(t *testing.T) {
+	a := repro.FE2D(20, 20)
+	if a.IsWDD() {
+		t.Fatal("FE matrix should not be W.D.D.")
+	}
+	b := make([]float64, a.N)
+	b[0] = 1
+	res, err := repro.Solve(a, b, repro.Options{Method: repro.JacobiSync, Tol: 1e-6, MaxSweeps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("synchronous Jacobi should not converge on the FE matrix")
+	}
+}
+
+func TestFacadePrepare(t *testing.T) {
+	// Unit-diagonal FD passes through Prepare unchanged in behaviour.
+	a := repro.FD2D(6, 6)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	as, bs, unscale, err := repro.Prepare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Solve(as, bs, repro.Options{Method: repro.GaussSeidel, Tol: 1e-10, MaxSweeps: 100000})
+	if err != nil || !res.Converged {
+		t.Fatalf("prepare+solve failed: %v", err)
+	}
+	x := unscale(res.X)
+	// Verify against the original system.
+	r := make([]float64, a.N)
+	a.Residual(r, b, x)
+	for i, v := range r {
+		if v > 1e-8 || v < -1e-8 {
+			t.Fatalf("original-system residual %g at %d", v, i)
+		}
+	}
+}
