@@ -9,12 +9,19 @@
 //	ajdist -gen suite:ecology2 -ranks 32 -async -term safra
 //	ajdist -gen fe -nx 40 -ny 40 -ranks 64 -async -history
 //	ajdist -gen fd -nx 20 -ny 20 -ranks 8 -async -eager
+//	ajdist -gen fd -nx 64 -ny 64 -ranks 16 -async -metrics-addr :9091
+//
+// With -metrics-addr the run is observable live: per-rank relaxation
+// and message counters, the ghost-read staleness histogram, and
+// termination-protocol transitions at /metrics, plus /debug/pprof.
+// -metrics-dump prints the same families to stdout after the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/dist"
@@ -35,12 +42,17 @@ func main() {
 	partKind := flag.String("part", "bfs", "partitioner: bfs | contiguous")
 	history := flag.Bool("history", false, "print the per-iteration residual history")
 	seed := flag.Uint64("seed", 2018, "seed for b and x0")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address during the solve")
+	metricsDump := flag.Bool("metrics-dump", false, "print a final Prometheus-format metrics snapshot to stdout")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics server alive this long after the solve finishes")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		cli.Usagef("ajdist", "unexpected arguments %v", flag.Args())
+	}
 
 	a, err := cli.BuildMatrix(*gen, *nx, *ny, 1)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ajdist: %v\n", err)
-		os.Exit(1)
+		cli.Usagef("ajdist", "%v", err)
 	}
 	var pt *partition.Partition
 	switch *partKind {
@@ -49,8 +61,11 @@ func main() {
 	case "contiguous":
 		pt = partition.Contiguous(a.N, *ranks)
 	default:
-		fmt.Fprintf(os.Stderr, "ajdist: unknown partitioner %q\n", *partKind)
-		os.Exit(1)
+		cli.Usagef("ajdist", "unknown partitioner %q", *partKind)
+	}
+	mx, err := cli.NewMetrics(*metricsAddr, *metricsDump, *metricsLinger)
+	if err != nil {
+		cli.Fatalf("ajdist", "%v", err)
 	}
 	opt := dist.SolveOptions{
 		Procs:         *ranks,
@@ -60,6 +75,7 @@ func main() {
 		Eager:         *eager,
 		DelayRank:     -1,
 		RecordHistory: *history,
+		Metrics:       mx.Handle(),
 	}
 	switch *term {
 	case "flags":
@@ -74,8 +90,7 @@ func main() {
 			opt.MaxIters = 1000
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "ajdist: unknown termination %q\n", *term)
-		os.Exit(1)
+		cli.Usagef("ajdist", "unknown termination %q", *term)
 	}
 
 	cfg := experiments.Config{Seed: *seed}
@@ -97,7 +112,7 @@ func main() {
 	fmt.Printf("mode:        %s, termination %s\n", mode, *term)
 	fmt.Printf("rel res:     %.6g (converged=%v)\n", res.RelRes, res.Converged)
 	fmt.Printf("relax/n:     %.1f\n", float64(res.TotalRelaxations)/float64(a.N))
-	fmt.Printf("wall time:   %v\n", res.WallTime)
+	fmt.Printf("wall time:   %v\n", res.WallTime.Round(time.Millisecond))
 	if *history {
 		stride := len(res.History) / 20
 		if stride < 1 {
@@ -107,6 +122,9 @@ func main() {
 		for k := 0; k < len(res.History); k += stride {
 			fmt.Printf("%10d %14.6g\n", k+1, res.History[k])
 		}
+	}
+	if err := mx.Finish(os.Stdout); err != nil {
+		cli.Fatalf("ajdist", "metrics: %v", err)
 	}
 	if opt.Tol > 0 && !res.Converged {
 		os.Exit(3)

@@ -16,6 +16,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
@@ -39,12 +40,10 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ajexp: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("ajexp", "%v", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "ajexp: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("ajexp", "%v", err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -53,7 +52,7 @@ func main() {
 		var err error
 		switch {
 		case name == "all" && *format == "csv":
-			err = fmt.Errorf("csv format is per-experiment; name one of %v", experiments.Names())
+			cli.Usagef("ajexp", "csv format is per-experiment; name one of %v", experiments.Names())
 		case name == "all":
 			err = experiments.RunAll(os.Stdout, cfg)
 		case *format == "csv":
@@ -64,8 +63,7 @@ func main() {
 			err = experiments.Run(name, os.Stdout, cfg)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ajexp: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("ajexp", "%v", err)
 		}
 	}
 }

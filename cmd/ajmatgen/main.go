@@ -39,8 +39,7 @@ func main() {
 
 	a, err := cli.BuildMatrix(*gen, *nx, *ny, *nz)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ajmatgen: %v\n", err)
-		os.Exit(1)
+		cli.Usagef("ajmatgen", "%v", err)
 	}
 
 	fmt.Printf("n=%d nnz=%d symmetric=%v unit-diagonal=%v wdd-fraction=%.3f\n",
@@ -58,13 +57,11 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ajmatgen: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("ajmatgen", "%v", err)
 		}
 		defer f.Close()
 		if err := sparse.WriteMatrixMarket(f, a); err != nil {
-			fmt.Fprintf(os.Stderr, "ajmatgen: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("ajmatgen", "%v", err)
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}

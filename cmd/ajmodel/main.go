@@ -63,8 +63,7 @@ func main() {
 
 	a, err := cli.BuildMatrix(*gen, *nx, *ny, 1)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ajmodel: %v\n", err)
-		os.Exit(1)
+		cli.Usagef("ajmodel", "%v", err)
 	}
 	n := a.N
 	fmt.Printf("matrix: %s n=%d nnz=%d wdd=%.2f\n", *gen, n, a.NNZ(), a.WDDFraction())
@@ -72,8 +71,7 @@ func main() {
 	if *theorem1 {
 		rows, err := cli.ParseRows(*delayed, n/2)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ajmodel: %v\n", err)
-			os.Exit(1)
+			cli.Usagef("ajmodel", "%v", err)
 		}
 		active := model.Complement(n, rows)
 		res := model.Theorem1Check(a, active)
@@ -88,8 +86,7 @@ func main() {
 
 	s, err := buildSchedule(*sched, n, *threads, *delay, *jitter, *m, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ajmodel: %v\n", err)
-		os.Exit(1)
+		cli.Usagef("ajmodel", "%v", err)
 	}
 	cfg := experiments.Config{Seed: *seed}
 	rng := cfg.NewRNG(0x0de1)

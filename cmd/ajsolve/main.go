@@ -4,15 +4,22 @@
 // Usage examples:
 //
 //	ajsolve -gen fd -nx 68 -ny 68 -method jacobi-async -threads 16 -tol 1e-6
+//	ajsolve -gen fd -nx 64 -ny 64 -threads 8 -async -metrics-addr :9090
 //	ajsolve -gen fe -nx 57 -ny 57 -method gauss-seidel
 //	ajsolve -gen suite:thermal2 -method jacobi-sync -maxsweeps 5000
 //	ajsolve -in matrix.mtx -method sor -omega 1.7
+//
+// With -metrics-addr the solve is observable live: Prometheus text at
+// /metrics, expvar-style JSON at /metrics.json, liveness at /healthz,
+// and runtime profiles at /debug/pprof/. -metrics-dump prints the same
+// metric families to stdout after the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
@@ -28,13 +35,20 @@ func main() {
 	method := flag.String("method", "jacobi-sync",
 		"jacobi-sync | jacobi-async | gauss-seidel | sor | multicolor-gs | block-jacobi | "+
 			"jacobi-damped | symmetric-gs | cg | overlap-block-jacobi")
+	async := flag.Bool("async", false, "shorthand for -method jacobi-async")
 	tol := flag.Float64("tol", 1e-6, "relative residual 1-norm tolerance")
 	maxSweeps := flag.Int("maxsweeps", 10000, "sweep budget")
 	threads := flag.Int("threads", 8, "workers for jacobi-async")
 	omega := flag.Float64("omega", 1.5, "SOR relaxation factor")
 	blockSize := flag.Int("blocksize", 32, "block size for block-jacobi")
 	seed := flag.Uint64("seed", 2018, "seed for the random right-hand side")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address during the solve")
+	metricsDump := flag.Bool("metrics-dump", false, "print a final Prometheus-format metrics snapshot to stdout")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics server alive this long after the solve finishes")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		cli.Usagef("ajsolve", "unexpected arguments %v", flag.Args())
+	}
 
 	spec := *gen
 	if *in != "" {
@@ -42,18 +56,14 @@ func main() {
 	}
 	a, err := cli.BuildMatrix(spec, *nx, *ny, *nz)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ajsolve: %v\n", err)
-		os.Exit(1)
+		cli.Usagef("ajsolve", "%v", err)
 	}
 	if !a.HasUnitDiagonal(1e-8) {
-		var unscale func([]float64) []float64
 		bDummy := make([]float64, a.N)
-		a, bDummy, unscale, err = core.Prepare(a, bDummy)
+		a, _, _, err = core.Prepare(a, bDummy)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ajsolve: prepare: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("ajsolve", "prepare: %v", err)
 		}
-		_, _ = bDummy, unscale
 	}
 	cfg := experiments.Config{Seed: *seed}
 	rng := cfg.NewRNG(0xa15e)
@@ -61,9 +71,16 @@ func main() {
 
 	m, err := cli.ParseMethod(*method)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ajsolve: %v\n", err)
-		os.Exit(1)
+		cli.Usagef("ajsolve", "%v", err)
 	}
+	if *async {
+		m = core.JacobiAsync
+	}
+	mx, err := cli.NewMetrics(*metricsAddr, *metricsDump, *metricsLinger)
+	if err != nil {
+		cli.Fatalf("ajsolve", "%v", err)
+	}
+	t0 := time.Now()
 	res, err := core.Solve(a, b, core.Options{
 		Method:    m,
 		Tol:       *tol,
@@ -71,16 +88,20 @@ func main() {
 		Threads:   *threads,
 		Omega:     *omega,
 		BlockSize: *blockSize,
+		Metrics:   mx.Handle(),
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ajsolve: %v\n", err)
-		os.Exit(1)
+		cli.Fatalf("ajsolve", "%v", err)
 	}
 	fmt.Printf("matrix:     n=%d nnz=%d wdd=%.2f\n", a.N, a.NNZ(), a.WDDFraction())
 	fmt.Printf("method:     %s\n", m)
 	fmt.Printf("sweeps:     %d\n", res.Sweeps)
 	fmt.Printf("rel res:    %.6g\n", res.RelRes)
 	fmt.Printf("converged:  %v\n", res.Converged)
+	fmt.Printf("wall time:  %v\n", time.Since(t0).Round(time.Millisecond))
+	if err := mx.Finish(os.Stdout); err != nil {
+		cli.Fatalf("ajsolve", "metrics: %v", err)
+	}
 	if !res.Converged {
 		os.Exit(3)
 	}

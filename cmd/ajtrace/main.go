@@ -37,21 +37,18 @@ func main() {
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ajtrace: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("ajtrace", "%v", err)
 		}
 		trace, err = model.ReadTraceJSON(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ajtrace: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("ajtrace", "%v", err)
 		}
 		fmt.Printf("loaded trace: n=%d events=%d\n", trace.N, len(trace.Events))
 	} else {
 		a, err := cli.BuildMatrix(*gen, *nx, *ny, 1)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ajtrace: %v\n", err)
-			os.Exit(1)
+			cli.Usagef("ajtrace", "%v", err)
 		}
 		cfg := experiments.Config{Seed: *seed}
 		rng := cfg.NewRNG(0x7ace)
@@ -72,13 +69,11 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ajtrace: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("ajtrace", "%v", err)
 		}
 		if err := trace.WriteJSON(f); err != nil {
 			f.Close()
-			fmt.Fprintf(os.Stderr, "ajtrace: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("ajtrace", "%v", err)
 		}
 		f.Close()
 		fmt.Printf("wrote %s\n", *out)
@@ -86,13 +81,11 @@ func main() {
 
 	an, err := trace.Analyze()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ajtrace: analyze: %v\n", err)
-		os.Exit(1)
+		cli.Fatalf("ajtrace", "analyze: %v", err)
 	}
 	st, err := trace.Staleness()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ajtrace: staleness: %v\n", err)
-		os.Exit(1)
+		cli.Fatalf("ajtrace", "staleness: %v", err)
 	}
 	fmt.Printf("propagated:  %d/%d (%.1f%%) across %d parallel steps\n",
 		an.Propagated, an.Total, 100*an.Fraction, len(an.Steps))

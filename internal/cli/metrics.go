@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Fatalf reports a runtime error on stderr, prefixed by the tool name,
+// and exits with code 1. Every cmd/ main routes its fatal paths through
+// here (or Usagef) so error output and exit codes stay uniform.
+func Fatalf(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// Usagef reports a bad invocation (unknown flag value, missing
+// argument) on stderr and exits with code 2 — the same code the flag
+// package uses for parse failures.
+func Usagef(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	os.Exit(2)
+}
+
+// Metrics bundles the observability plumbing shared by the solver
+// commands: an optional live HTTP endpoint (-metrics-addr) and an
+// optional final snapshot (-metrics-dump). When both are off it is
+// inert and Handle returns nil, which the solvers treat as
+// metrics-disabled.
+type Metrics struct {
+	handle *obs.SolverMetrics
+	reg    *obs.Registry
+	server *obs.Server
+	dump   bool
+	linger time.Duration
+}
+
+// NewMetrics builds the command-level metrics plumbing. addr != ""
+// starts an HTTP server (announced on stderr) exposing /metrics,
+// /metrics.json, /healthz, and /debug/pprof for the duration of the
+// run; dump requests a final Prometheus text snapshot from Finish;
+// linger keeps the server alive that long after Finish so short runs
+// can still be scraped.
+func NewMetrics(addr string, dump bool, linger time.Duration) (*Metrics, error) {
+	m := &Metrics{dump: dump, linger: linger}
+	if addr == "" && !dump {
+		return m, nil
+	}
+	m.reg = obs.NewRegistry()
+	m.handle = obs.NewSolverMetrics(m.reg)
+	if addr != "" {
+		srv, err := obs.Serve(addr, m.reg)
+		if err != nil {
+			return nil, err
+		}
+		m.server = srv
+		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics (pprof at /debug/pprof/)\n",
+			srv.Addr())
+	}
+	return m, nil
+}
+
+// Handle returns the solver instrumentation handle (nil when metrics
+// are disabled; the solvers accept that).
+func (m *Metrics) Handle() *obs.SolverMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.handle
+}
+
+// Addr returns the bound metrics listen address, or "".
+func (m *Metrics) Addr() string {
+	if m == nil {
+		return ""
+	}
+	return m.server.Addr()
+}
+
+// Finish completes the metrics lifecycle after the solve: it writes the
+// Prometheus snapshot to w if dumping was requested, keeps the HTTP
+// server alive for the linger window, then shuts it down.
+func (m *Metrics) Finish(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	var err error
+	if m.dump && m.reg != nil {
+		err = m.reg.WritePrometheus(w)
+	}
+	if m.server != nil {
+		if m.linger > 0 {
+			fmt.Fprintf(os.Stderr, "metrics: lingering %v before shutdown\n", m.linger)
+			time.Sleep(m.linger)
+		}
+		if cerr := m.server.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

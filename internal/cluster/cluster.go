@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sparse"
 	"repro/internal/vec"
@@ -89,6 +90,11 @@ type Config struct {
 	SamplesPerSweep int
 
 	Seed uint64
+
+	// Metrics, when non-nil, streams the simulation into the
+	// observability layer: simulated relaxation/message/drop counters, a
+	// virtual-time gauge, and the sampled residual gauge. Nil disables.
+	Metrics *obs.SolverMetrics
 }
 
 // Sample is one point of a simulated convergence history.
@@ -230,6 +236,7 @@ func Simulate(a *sparse.CSR, b, x0 []float64, cfg Config) *Result {
 		sampleInterval = 1
 	}
 
+	cfg.Metrics.SetWorkers(cfg.Procs)
 	res := &Result{IterationsPerProc: make([]int, cfg.Procs)}
 	r := make([]float64, n)
 	recordSample := func(t float64) float64 {
@@ -240,6 +247,8 @@ func Simulate(a *sparse.CSR, b, x0 []float64, cfg Config) *Result {
 			RelaxPerN: float64(res.TotalRelaxations) / float64(n),
 			RelRes:    rel,
 		})
+		cfg.Metrics.SetResidual(rel)
+		cfg.Metrics.SetSimTime(t)
 		return rel
 	}
 	recordSample(0)
@@ -270,6 +279,7 @@ func Simulate(a *sparse.CSR, b, x0 []float64, cfg Config) *Result {
 		}
 		res.TotalRelaxations += len(sub.Rows)
 		res.IterationsPerProc[p]++
+		cfg.Metrics.SimRelaxations(len(sub.Rows))
 	}
 
 	if !cfg.Async {
@@ -346,8 +356,10 @@ func Simulate(a *sparse.CSR, b, x0 []float64, cfg Config) *Result {
 		// Post boundary updates (RMA Puts) to each neighbor.
 		for q, idx := range subs[p].Send {
 			if cfg.MsgLossProb > 0 && rng.Float64() < cfg.MsgLossProb {
+				cfg.Metrics.SimMessageDropped()
 				continue // dropped on the wire
 			}
+			cfg.Metrics.SimMessage()
 			vals := make([]float64, len(idx))
 			for t2, j := range idx {
 				vals[t2] = x[j]

@@ -12,8 +12,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/shm"
 	"repro/internal/sparse"
 	"repro/internal/vec"
@@ -84,6 +86,11 @@ type Options struct {
 	X0 []float64
 	// RecordHistory captures the relative residual after every sweep.
 	RecordHistory bool
+	// Metrics, when non-nil, streams live observability data (see
+	// internal/obs): for JacobiAsync the full per-worker instrumentation
+	// of the shm solver; for the sequential methods a residual gauge and
+	// sweep counter. Nil disables at the cost of a nil check.
+	Metrics *obs.SolverMetrics
 }
 
 // Result reports a solve.
@@ -182,10 +189,22 @@ func Solve(a *sparse.CSR, b []float64, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	o.Metrics.SetWorkers(1)
+	wm := o.Metrics.Worker(0)
 	for k := 0; k < o.MaxSweeps; k++ {
+		sweepStart := time.Time{}
+		if wm != nil {
+			sweepStart = time.Now()
+		}
 		sweep(x)
 		res.Sweeps = k + 1
 		rr := relres()
+		if wm != nil {
+			wm.ObserveSweep(time.Since(sweepStart))
+			wm.IncIteration()
+			wm.AddRelaxations(n)
+			wm.SetResidual(rr)
+		}
 		if o.RecordHistory {
 			res.History = append(res.History, rr)
 		}
@@ -199,6 +218,8 @@ func Solve(a *sparse.CSR, b []float64, opt Options) (*Result, error) {
 	}
 	res.RelRes = relres()
 	res.Converged = res.RelRes <= o.Tol
+	o.Metrics.SetResidual(res.RelRes)
+	o.Metrics.SetConverged(res.Converged)
 	return res, nil
 }
 
@@ -294,6 +315,7 @@ func solveAsync(a *sparse.CSR, b, x0 []float64, o Options) (*Result, error) {
 		Async:         true,
 		DelayThread:   -1,
 		RecordHistory: o.RecordHistory,
+		Metrics:       o.Metrics,
 	})
 	res := &Result{
 		X:         sres.X,

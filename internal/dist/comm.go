@@ -26,15 +26,17 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/shm"
 )
 
 // World owns the shared state of a rank group.
 type World struct {
-	size  int
-	boxes sync.Map // mailKey -> *mailbox
-	wins  []*Win
-	winMu sync.Mutex
+	size    int
+	boxes   sync.Map // mailKey -> *mailbox
+	wins    []*Win
+	winMu   sync.Mutex
+	metrics *obs.SolverMetrics
 }
 
 type mailKey struct {
@@ -88,20 +90,26 @@ type Rank struct {
 	ID    int
 	Size  int
 	world *World
+	rm    *obs.RankMetrics // nil unless the world is observed
 }
 
 // Run spawns fn on p rank goroutines and blocks until all return.
-func Run(p int, fn func(*Rank)) {
+func Run(p int, fn func(*Rank)) { RunObserved(p, nil, fn) }
+
+// RunObserved is Run with message-level instrumentation: every Isend,
+// Recv, and successful TryRecv is counted per rank on m. A nil m makes
+// it identical to Run.
+func RunObserved(p int, m *obs.SolverMetrics, fn func(*Rank)) {
 	if p <= 0 {
 		panic("dist: world size must be positive")
 	}
-	w := &World{size: p}
+	w := &World{size: p, metrics: m}
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for id := 0; id < p; id++ {
 		go func(id int) {
 			defer wg.Done()
-			fn(&Rank{ID: id, Size: p, world: w})
+			fn(&Rank{ID: id, Size: p, world: w, rm: m.Rank(id)})
 		}(id)
 	}
 	wg.Wait()
@@ -125,6 +133,7 @@ func (r *Rank) Isend(to, tag int, data []float64) {
 	}
 	cp := make([]float64, len(data))
 	copy(cp, data)
+	r.rm.IncSent()
 	r.world.box(r.ID, to, tag).push(cp)
 }
 
@@ -134,7 +143,9 @@ func (r *Rank) Recv(from, tag int) []float64 {
 	if from < 0 || from >= r.Size {
 		panic(fmt.Sprintf("dist: Recv from invalid rank %d", from))
 	}
-	return r.world.box(from, r.ID, tag).pop()
+	data := r.world.box(from, r.ID, tag).pop()
+	r.rm.IncReceived()
+	return data
 }
 
 // TryRecv is a non-blocking receive (MPI_Iprobe+Recv): it returns the
@@ -150,6 +161,7 @@ func (r *Rank) TryRecv(from, tag int) ([]float64, bool) {
 		if !got {
 			break
 		}
+		r.rm.IncReceived()
 		last, ok = data, true
 	}
 	return last, ok

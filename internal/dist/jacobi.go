@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sparse"
 	"repro/internal/vec"
@@ -50,6 +51,13 @@ type SolveOptions struct {
 	// the per-rank samples. This is what a production asynchronous
 	// solver could log without extra synchronization.
 	RecordHistory bool
+	// Metrics, when non-nil, streams live observability data: per-rank
+	// relaxations and messages/window-puts, a ghost-read staleness
+	// histogram (how many neighbor iterations each refresh skipped — the
+	// live counterpart of the paper's Fig 2 propagation statistic),
+	// per-rank local residual gauges, and termination-protocol
+	// transitions. A nil handle costs a nil check per iteration.
+	Metrics *obs.SolverMetrics
 }
 
 // Result reports a distributed solve.
@@ -83,8 +91,14 @@ type ghostPlan struct {
 	localOf map[int]int // global index -> local slot
 	nLocal  int         // total local slots (own + ghosts)
 	// window layout for async: ghost slot offset of each recv neighbor.
-	winOff map[int]int
-	winLen int
+	// The window holds ghostLen data slots followed by one iteration
+	// stamp slot per recv neighbor (stampOff): senders Put their local
+	// iteration count alongside the data, which is what lets a receiver
+	// measure ghost-read staleness without any extra synchronization.
+	winOff   map[int]int
+	stampOff map[int]int
+	ghostLen int // data slots
+	winLen   int // data + stamp slots
 }
 
 func buildPlans(a *sparse.CSR, part *partition.Partition) []*ghostPlan {
@@ -92,11 +106,12 @@ func buildPlans(a *sparse.CSR, part *partition.Partition) []*ghostPlan {
 	plans := make([]*ghostPlan, part.P)
 	for p, sub := range subs {
 		gp := &ghostPlan{
-			rows:    sub.Rows,
-			recvIdx: map[int][]int{},
-			sendIdx: map[int][]int{},
-			localOf: map[int]int{},
-			winOff:  map[int]int{},
+			rows:     sub.Rows,
+			recvIdx:  map[int][]int{},
+			sendIdx:  map[int][]int{},
+			localOf:  map[int]int{},
+			winOff:   map[int]int{},
+			stampOff: map[int]int{},
 		}
 		for q := range sub.Recv {
 			gp.recvFrom = append(gp.recvFrom, q)
@@ -127,7 +142,11 @@ func buildPlans(a *sparse.CSR, part *partition.Partition) []*ghostPlan {
 			}
 		}
 		gp.nLocal = slot
-		gp.winLen = off
+		gp.ghostLen = off
+		for qi, q := range gp.recvFrom {
+			gp.stampOff[q] = off + qi
+		}
+		gp.winLen = off + len(gp.recvFrom)
 		plans[p] = gp
 	}
 	return plans
@@ -162,10 +181,12 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 	var finalMu sync.Mutex
 	iters := make([]int, opt.Procs)
 	localHist := make([][]float64, opt.Procs)
-	board := newFlagBoard(opt.Procs) // async termination extension
+	board := newFlagBoard(opt.Procs, opt.Metrics) // async termination extension
 	var safraDecided atomic.Bool
+	opt.Metrics.SetWorkers(opt.Procs)
 
-	Run(opt.Procs, func(r *Rank) {
+	RunObserved(opt.Procs, opt.Metrics, func(r *Rank) {
+		rm := opt.Metrics.Rank(r.ID)
 		gp := plans[r.ID]
 		nown := len(gp.rows)
 		// Local state: own values then ghosts.
@@ -202,27 +223,43 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 
 		sendBufs := map[int][]float64{}
 		for _, q := range gp.sendTo {
-			sendBufs[q] = make([]float64, len(gp.sendIdx[q]))
+			buflen := len(gp.sendIdx[q])
+			if eager {
+				buflen++ // room for the iteration stamp
+			}
+			sendBufs[q] = make([]float64, buflen)
 		}
 		// Async: precompute (targetRank, targetOffset) of our boundary
-		// values inside each neighbor's window.
+		// values inside each neighbor's window, plus the slot where our
+		// iteration stamp goes.
 		putOff := map[int]int{}
+		stampPutOff := map[int]int{}
 		if opt.Async {
 			for _, q := range gp.sendTo {
 				// Our values land in q's window at q's offset for
 				// neighbor r.ID, which q computed as winOff[r.ID].
 				putOff[q] = plans[q].winOff[r.ID]
+				stampPutOff[q] = plans[q].stampOff[r.ID]
 			}
 		}
+		// lastStamp[qi] is the newest iteration stamp seen from
+		// gp.recvFrom[qi]; the gap between consecutive stamps minus one
+		// is how many of that neighbor's updates this rank never saw.
+		var lastStamp []int64
+		if rm != nil {
+			lastStamp = make([]int64, len(gp.recvFrom))
+		}
+		stampBuf := make([]float64, 1)
 
 		iter := 0
 		idle := 0
 		var safra *safraState
 		if opt.Async && opt.Tol > 0 && opt.Termination == DijkstraSafra {
-			safra = newSafra(r, &safraDecided)
+			safra = newSafra(r, &safraDecided, opt.Metrics)
 		}
 		for {
 			if opt.DelayRank == r.ID && opt.Delay > 0 {
+				rm.IncDelay()
 				time.Sleep(opt.Delay)
 			}
 			gotNew := iter == 0 || len(gp.recvFrom) == 0
@@ -231,17 +268,37 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 				// whenever they finish an iteration).
 				wbuf := win.Local(r.ID)
 				base := nown
-				for s := 0; s < gp.winLen; s++ {
+				for s := 0; s < gp.ghostLen; s++ {
 					xl[base+s] = wbuf.Load(s)
+				}
+				if rm != nil {
+					// Ghost-read staleness: each neighbor stamps its
+					// Puts with its iteration count; the jump between
+					// consecutive stamps counts the updates this rank
+					// skipped over.
+					for qi := range gp.recvFrom {
+						stamp := int64(wbuf.Load(gp.ghostLen + qi))
+						if stamp > lastStamp[qi] {
+							rm.ObserveStaleness(int(stamp - lastStamp[qi] - 1))
+							lastStamp[qi] = stamp
+						}
+					}
 				}
 			}
 			if eager {
 				// Drain pending ghost messages; remember whether any
 				// neighbor supplied fresh information.
-				for _, q := range gp.recvFrom {
+				for qi, q := range gp.recvFrom {
 					if data, ok := r.TryRecv(q, 0); ok {
 						for t, j := range gp.recvIdx[q] {
 							xl[gp.localOf[j]] = data[t]
+						}
+						if rm != nil && len(data) > len(gp.recvIdx[q]) {
+							stamp := int64(data[len(data)-1])
+							if stamp > lastStamp[qi] {
+								rm.ObserveStaleness(int(stamp - lastStamp[qi] - 1))
+								lastStamp[qi] = stamp
+							}
 						}
 						gotNew = true
 					}
@@ -289,14 +346,26 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 			if opt.RecordHistory {
 				localHist[r.ID] = append(localHist[r.ID], vec.Norm1(rl))
 			}
+			if rm != nil {
+				rm.IncIteration()
+				rm.AddRelaxations(nown)
+				rm.SetLocalResidual(vec.Norm1(rl) / nb)
+			}
 			// Communicate boundary values.
 			for _, q := range gp.sendTo {
 				buf := sendBufs[q]
 				for t, j := range gp.sendIdx[q] {
 					buf[t] = xl[gp.localOf[j]]
 				}
+				if eager {
+					buf[len(buf)-1] = float64(iter) // iteration stamp
+				}
 				if opt.Async && !eager {
 					win.Put(q, putOff[q], buf)
+					stampBuf[0] = float64(iter)
+					win.Put(q, stampPutOff[q], stampBuf)
+					rm.IncPut()
+					rm.IncPut()
 				} else {
 					r.Isend(q, 0, buf)
 				}
@@ -368,6 +437,8 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 	a.Residual(rr, b, finalX)
 	res.RelRes = vec.Norm1(rr) / nb
 	res.Converged = opt.Tol > 0 && res.RelRes <= opt.Tol
+	opt.Metrics.SetResidual(res.RelRes)
+	opt.Metrics.SetConverged(res.Converged)
 	if opt.RecordHistory {
 		minIter := iters[0]
 		for _, it := range iters {

@@ -37,6 +37,8 @@ package dist
 
 import (
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // TerminationMode selects the asynchronous termination scheme.
@@ -73,15 +75,23 @@ func (m TerminationMode) String() string {
 type flagBoard struct {
 	flags []atomic.Bool
 	done  atomic.Bool
+	m     *obs.SolverMetrics // nil-safe transition counters
 }
 
-func newFlagBoard(p int) *flagBoard {
-	return &flagBoard{flags: make([]atomic.Bool, p)}
+func newFlagBoard(p int, m *obs.SolverMetrics) *flagBoard {
+	return &flagBoard{flags: make([]atomic.Bool, p), m: m}
 }
 
-// set publishes rank's local convergence state.
+// set publishes rank's local convergence state, counting raise/lower
+// transitions.
 func (fb *flagBoard) set(rank int, converged bool) {
-	fb.flags[rank].Store(converged)
+	if fb.flags[rank].Swap(converged) != converged {
+		if converged {
+			fb.m.TermFlagRaise()
+		} else {
+			fb.m.TermFlagLower()
+		}
+	}
 }
 
 // check returns true once all flags have been seen up; the first
@@ -95,7 +105,10 @@ func (fb *flagBoard) check() bool {
 			return false
 		}
 	}
-	fb.done.Store(true)
+	if !fb.done.Swap(true) {
+		fb.m.TermLatch()
+		fb.m.TermDecided()
+	}
 	return true
 }
 
@@ -117,9 +130,10 @@ type safraState struct {
 	haveToken  bool
 	tokenColor float64
 	decided    *atomic.Bool
+	m          *obs.SolverMetrics
 }
 
-func newSafra(r *Rank, decided *atomic.Bool) *safraState {
+func newSafra(r *Rank, decided *atomic.Bool, m *obs.SolverMetrics) *safraState {
 	return &safraState{
 		rank:       r.ID,
 		size:       r.Size,
@@ -127,6 +141,7 @@ func newSafra(r *Rank, decided *atomic.Bool) *safraState {
 		tokenColor: tokenWhite,
 		dirty:      true, // conservative: not converged yet
 		decided:    decided,
+		m:          m,
 	}
 }
 
@@ -139,8 +154,11 @@ func (s *safraState) poll(r *Rank, converged bool) bool {
 	}
 	// Receive a halt broadcast?
 	if _, ok := r.TryRecv((s.rank+s.size-1)%s.size, tagHalt); ok {
-		s.decided.Store(true)
+		if s.decided.CompareAndSwap(false, true) {
+			s.m.TermDecided()
+		}
 		// forward the halt around the ring
+		s.m.TermHalt()
 		r.Isend((s.rank+1)%s.size, tagHalt, []float64{1})
 		return true
 	}
@@ -162,7 +180,10 @@ func (s *safraState) poll(r *Rank, converged bool) bool {
 		// A white token completing a lap while rank 0 stayed clean
 		// proves stable global convergence.
 		if s.tokenColor == tokenWhite && !s.dirty {
-			s.decided.Store(true)
+			if s.decided.CompareAndSwap(false, true) {
+				s.m.TermDecided()
+			}
+			s.m.TermHalt()
 			r.Isend((s.rank+1)%s.size, tagHalt, []float64{1})
 			return true
 		}
@@ -170,6 +191,7 @@ func (s *safraState) poll(r *Rank, converged bool) bool {
 		s.tokenColor = tokenWhite
 		s.dirty = false
 		s.haveToken = false
+		s.m.TermTokenPass()
 		r.Isend(1%s.size, tagToken, []float64{tokenWhite})
 		return false
 	}
@@ -177,9 +199,11 @@ func (s *safraState) poll(r *Rank, converged bool) bool {
 	color := s.tokenColor
 	if s.dirty {
 		color = tokenBlack
+		s.m.TermTokenBlacken()
 	}
 	s.dirty = false
 	s.haveToken = false
+	s.m.TermTokenPass()
 	r.Isend((s.rank+1)%s.size, tagToken, []float64{color})
 	return false
 }

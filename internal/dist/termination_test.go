@@ -19,7 +19,7 @@ func TestTerminationModeString(t *testing.T) {
 }
 
 func TestFlagBoard(t *testing.T) {
-	fb := newFlagBoard(3)
+	fb := newFlagBoard(3, nil)
 	if fb.check() {
 		t.Fatal("empty board reported done")
 	}

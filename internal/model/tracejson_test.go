@@ -1,0 +1,111 @@
+package model
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, tr *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadTraceJSON: %v", err)
+	}
+	return got
+}
+
+func TestTraceJSONRoundTripDeepEqual(t *testing.T) {
+	tr := Fig1aTrace()
+	got := roundTrip(t, tr)
+	if got.N != tr.N || !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Fatalf("round trip changed the trace:\nwant %+v\ngot  %+v", tr, got)
+	}
+}
+
+func TestTraceJSONRoundTripZeroEvents(t *testing.T) {
+	tr := &Trace{N: 7}
+	got := roundTrip(t, tr)
+	if got.N != 7 || len(got.Events) != 0 {
+		t.Fatalf("zero-event round trip: %+v", got)
+	}
+}
+
+func TestTraceJSONRoundTripEmptyTrace(t *testing.T) {
+	// The degenerate zero-row trace is still a valid document.
+	got := roundTrip(t, &Trace{})
+	if got.N != 0 || len(got.Events) != 0 {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+}
+
+func TestTraceJSONRoundTripEventWithoutReads(t *testing.T) {
+	// Reads is omitempty on the wire; it must come back as nil, not [].
+	tr := &Trace{N: 1, Events: []Event{{Row: 0, Count: 1, Seq: 1}}}
+	got := roundTrip(t, tr)
+	if got.Events[0].Reads != nil {
+		t.Fatalf("Reads = %#v, want nil", got.Events[0].Reads)
+	}
+}
+
+func TestReadTraceJSONEmptyInput(t *testing.T) {
+	_, err := ReadTraceJSON(strings.NewReader(""))
+	if err == nil {
+		t.Fatalf("empty input accepted")
+	}
+	if !strings.Contains(err.Error(), "bad trace header") {
+		t.Fatalf("empty input error %q lacks header context", err)
+	}
+}
+
+func TestReadTraceJSONWrongKind(t *testing.T) {
+	_, err := ReadTraceJSON(strings.NewReader(`{"kind":"not-a-trace","n":3}` + "\n"))
+	if err == nil || !strings.Contains(err.Error(), "unexpected trace kind") {
+		t.Fatalf("wrong kind error = %v", err)
+	}
+}
+
+func TestReadTraceJSONNegativeDimension(t *testing.T) {
+	_, err := ReadTraceJSON(strings.NewReader(`{"kind":"async-jacobi-trace","n":-1}` + "\n"))
+	if err == nil || !strings.Contains(err.Error(), "negative trace dimension") {
+		t.Fatalf("negative n error = %v", err)
+	}
+}
+
+func TestReadTraceJSONTruncatedEvent(t *testing.T) {
+	in := `{"kind":"async-jacobi-trace","n":2}` + "\n" +
+		`{"row":0,"count":1,"seq":1}` + "\n" +
+		`{"row":1,"cou` // cut mid-record
+	_, err := ReadTraceJSON(strings.NewReader(in))
+	if err == nil {
+		t.Fatalf("truncated JSONL accepted")
+	}
+	if !strings.Contains(err.Error(), "bad trace event") {
+		t.Fatalf("truncation error %q lacks event context", err)
+	}
+}
+
+func TestReadTraceJSONCorruptEvent(t *testing.T) {
+	in := `{"kind":"async-jacobi-trace","n":2}` + "\n" +
+		`{"row":"zero","count":1}` + "\n"
+	_, err := ReadTraceJSON(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "bad trace event") {
+		t.Fatalf("corrupt event error = %v", err)
+	}
+}
+
+func TestReadTraceJSONValidates(t *testing.T) {
+	// Structurally fine JSONL whose content violates trace invariants
+	// (row out of range) must be rejected by the post-parse Validate.
+	in := `{"kind":"async-jacobi-trace","n":1}` + "\n" +
+		`{"row":5,"count":1,"seq":1}` + "\n"
+	_, err := ReadTraceJSON(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("invalid trace error = %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server serves a registry over HTTP:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   expvar-style flat JSON
+//	/healthz        liveness JSON ({"status":"ok","uptime":...})
+//	/debug/pprof/   the standard runtime profiles
+//
+// pprof is wired onto the same mux (not http.DefaultServeMux) so a
+// long-running asynchronous solve can be CPU- or block-profiled live —
+// the slow-thread experiments of Fig 3/4 are exactly the situation
+// where you want `go tool pprof http://host/debug/pprof/profile`.
+type Server struct {
+	reg   *Registry
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Handler returns the HTTP handler serving the registry, usable when
+// the caller owns the server (tests, embedding into an existing mux).
+func Handler(reg *Registry) http.Handler {
+	s := &Server{reg: reg, start: time.Now()}
+	return s.mux()
+}
+
+func (s *Server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		s.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.3f}\n",
+			time.Since(s.start).Seconds())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for reg on addr (":9090", "127.0.0.1:0",
+// ...) and returns once the listener is bound, serving in the
+// background. Close shuts it down.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, ln: ln, start: time.Now()}
+	s.srv = &http.Server{Handler: s.mux()}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

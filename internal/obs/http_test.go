@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestRegistry() *Registry {
+	r := NewRegistry()
+	r.NewCounter("aj_relaxations_total", "relaxations", "worker").With("0").Add(3)
+	r.NewGauge("aj_residual", "residual").With().Set(0.5)
+	return r
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Header().Get("Content-Type"), rec.Body.String()
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	h := Handler(newTestRegistry())
+	code, ct, body := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, `aj_relaxations_total{worker="0"} 3`) {
+		t.Fatalf("/metrics body missing counter:\n%s", body)
+	}
+}
+
+func TestHandlerMetricsJSON(t *testing.T) {
+	code, ct, body := get(t, Handler(newTestRegistry()), "/metrics.json")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/metrics.json status %d content type %q", code, ct)
+	}
+	if !strings.Contains(body, `"aj_residual": 0.5`) {
+		t.Fatalf("/metrics.json body:\n%s", body)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	code, _, body := get(t, Handler(newTestRegistry()), "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz status %d body %q", code, body)
+	}
+	if !strings.Contains(body, "uptime_seconds") {
+		t.Fatalf("/healthz missing uptime: %q", body)
+	}
+}
+
+func TestHandlerPprofIndex(t *testing.T) {
+	code, _, body := get(t, Handler(newTestRegistry()), "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index does not list profiles:\n%s", body)
+	}
+}
+
+func TestServe(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", newTestRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() == "" {
+		t.Fatalf("Addr() empty after Serve")
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "aj_relaxations_total") {
+		t.Fatalf("live /metrics status %d body:\n%s", resp.StatusCode, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestServerNilSafe(t *testing.T) {
+	var s *Server
+	if s.Addr() != "" {
+		t.Fatalf("nil Server Addr() non-empty")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil Server Close: %v", err)
+	}
+}

@@ -1,0 +1,182 @@
+package obs_test
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/matgen"
+	"repro/internal/obs"
+	"repro/internal/shm"
+)
+
+// promValues parses a Prometheus text exposition into series -> value,
+// skipping comment lines. Series names keep their label sets.
+func promValues(t *testing.T, reg *obs.Registry) map[string]float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad exposition line %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// sumSeries adds up every series of one family (any label values).
+func sumSeries(vals map[string]float64, family string) float64 {
+	var s float64
+	for k, v := range vals {
+		if k == family || strings.HasPrefix(k, family+"{") {
+			s += v
+		}
+	}
+	return s
+}
+
+// TestShmSolveMetrics runs the shared-memory asynchronous solver with
+// metrics enabled and checks the exposition agrees with the solver's
+// own accounting.
+func TestShmSolveMetrics(t *testing.T) {
+	a := matgen.FD2D(24, 24)
+	n := a.N
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	reg := obs.NewRegistry()
+	m := obs.NewSolverMetrics(reg)
+	res := shm.Solve(a, b, make([]float64, n), shm.Options{
+		Threads:     4,
+		MaxIters:    2000,
+		Tol:         1e-6,
+		Async:       true,
+		DelayThread: -1,
+		Metrics:     m,
+	})
+	if !res.Converged {
+		t.Fatalf("solve did not converge: relres %g", res.RelRes)
+	}
+	vals := promValues(t, reg)
+
+	if got := sumSeries(vals, "aj_relaxations_total"); got != float64(res.TotalRelaxations) {
+		t.Fatalf("aj_relaxations_total sums to %g, solver counted %d", got, res.TotalRelaxations)
+	}
+	var iterSum int
+	for _, it := range res.Iterations {
+		iterSum += it
+	}
+	if got := sumSeries(vals, "aj_iterations_total"); got != float64(iterSum) {
+		t.Fatalf("aj_iterations_total sums to %g, solver counted %d", got, iterSum)
+	}
+	if vals["aj_workers"] != 4 {
+		t.Fatalf("aj_workers = %g", vals["aj_workers"])
+	}
+	if vals["aj_converged"] != 1 {
+		t.Fatalf("aj_converged = %g", vals["aj_converged"])
+	}
+	if got := vals["aj_residual"]; got != res.RelRes {
+		t.Fatalf("aj_residual = %g, want exact final %g", got, res.RelRes)
+	}
+	// Workers sample every neighbor once per iteration, so the
+	// staleness histogram must have observations on any multi-worker
+	// async run.
+	if vals["aj_staleness_count"] == 0 {
+		t.Fatalf("aj_staleness histogram is empty")
+	}
+	if got := sumSeries(vals, "aj_sweep_seconds_count"); got != float64(iterSum) {
+		t.Fatalf("aj_sweep_seconds counts %g sweeps, want %d", got, iterSum)
+	}
+}
+
+// TestDistSolveMetricsAsync runs the distributed RMA solver with
+// metrics enabled and checks relaxation totals, window traffic, the
+// ghost staleness histogram, and termination-protocol events.
+func TestDistSolveMetricsAsync(t *testing.T) {
+	a := matgen.FD2D(16, 16)
+	n := a.N
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	reg := obs.NewRegistry()
+	m := obs.NewSolverMetrics(reg)
+	res := dist.Solve(a, b, make([]float64, n), dist.SolveOptions{
+		Procs:       4,
+		MaxIters:    5000,
+		Tol:         1e-4,
+		Async:       true,
+		Termination: dist.FlagTree,
+		DelayRank:   -1,
+		Metrics:     m,
+	})
+	if !res.Converged {
+		t.Fatalf("solve did not converge: relres %g", res.RelRes)
+	}
+	vals := promValues(t, reg)
+
+	if got := sumSeries(vals, "aj_relaxations_total"); got != float64(res.TotalRelaxations) {
+		t.Fatalf("aj_relaxations_total sums to %g, solver counted %d", got, res.TotalRelaxations)
+	}
+	if sumSeries(vals, "aj_window_puts_total") == 0 {
+		t.Fatalf("async RMA run recorded no window puts")
+	}
+	if vals["aj_staleness_count"] == 0 {
+		t.Fatalf("ghost-read staleness histogram is empty")
+	}
+	if vals[`aj_termination_events_total{event="flag_raise"}`] < 4 {
+		t.Fatalf("expected every rank to raise its flag at least once: %g",
+			vals[`aj_termination_events_total{event="flag_raise"}`])
+	}
+	if vals[`aj_termination_events_total{event="latch"}`] != 1 {
+		t.Fatalf("termination latch fired %g times, want once",
+			vals[`aj_termination_events_total{event="latch"}`])
+	}
+	if sumSeries(vals, "aj_local_residual") < 0 {
+		t.Fatalf("negative local residual")
+	}
+}
+
+// TestDistSolveMetricsSync checks point-to-point message accounting:
+// the synchronous solver's sends and receives must balance exactly.
+func TestDistSolveMetricsSync(t *testing.T) {
+	a := matgen.FD2D(12, 12)
+	n := a.N
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	reg := obs.NewRegistry()
+	m := obs.NewSolverMetrics(reg)
+	res := dist.Solve(a, b, make([]float64, n), dist.SolveOptions{
+		Procs:     3,
+		MaxIters:  5000,
+		Tol:       1e-4,
+		DelayRank: -1,
+		Metrics:   m,
+	})
+	if !res.Converged {
+		t.Fatalf("solve did not converge: relres %g", res.RelRes)
+	}
+	vals := promValues(t, reg)
+	sent := sumSeries(vals, "aj_messages_sent_total")
+	recv := sumSeries(vals, "aj_messages_received_total")
+	if sent == 0 {
+		t.Fatalf("synchronous run sent no messages")
+	}
+	if sent != recv {
+		t.Fatalf("messages sent %g != received %g", sent, recv)
+	}
+}

@@ -1,0 +1,193 @@
+// Package obs is a zero-dependency (stdlib-only) metrics and runtime
+// introspection layer for the asynchronous solvers. It provides
+// lock-free atomic Counter, Gauge, and Histogram primitives, a Registry
+// of labeled metric families with Prometheus text-format and
+// expvar-style JSON exposition, and an optional HTTP server exposing
+// /metrics, /healthz, and net/http/pprof.
+//
+// The design goal is an always-on observability surface whose disabled
+// path costs a nil check only: the solvers accept a nil-safe
+// *SolverMetrics handle and every method on it (and on the per-worker
+// and per-rank sub-handles) no-ops on a nil receiver. The enabled path
+// is atomic adds on uncontended (per-worker-labeled) counters — no
+// locks anywhere near a relaxation loop.
+//
+// The metric families mirror the quantities the paper reasons about:
+// per-row relaxation counts (§V), staleness of read values (the live
+// counterpart of the Fig 2 propagated-relaxation statistic), residual
+// trajectories under delay (Fig 3–5), and message/window traffic of the
+// distributed substrate (§VI).
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative n panics: counters only go up).
+func (c *Counter) Add(n int) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		panic("obs: Counter.Add of negative value")
+	}
+	c.v.Add(uint64(n))
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down, stored as IEEE-754
+// bits in one atomic word (the same trick the shm solver uses for its
+// shared iterate).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds delta via a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts.
+// Buckets are defined by their upper bounds (ascending); an implicit
+// +Inf bucket catches the rest. Observations also maintain an atomic
+// sum (CAS on float bits) and total count, so the Prometheus exposition
+// can emit cumulative _bucket, _sum, and _count series.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. The bounds slice is copied.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+// ExpBuckets returns n log-scale upper bounds start, start*factor,
+// start*factor^2, ... — the shape staleness counts and latency
+// distributions want (most mass near zero, rare long tails).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets requires start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// StalenessBuckets are the default buckets for staleness histograms:
+// integer counts of missed sender updates, 0 through 2^14.
+func StalenessBuckets() []float64 {
+	b := []float64{0}
+	return append(b, ExpBuckets(1, 2, 15)...)
+}
+
+// LatencyBuckets are the default buckets for sweep/latency histograms
+// in seconds: 1µs up to ~4s in factor-4 steps.
+func LatencyBuckets() []float64 {
+	return ExpBuckets(1e-6, 4, 12)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Snapshot returns the bucket upper bounds and the (non-cumulative)
+// per-bucket counts, including the final +Inf bucket.
+func (h *Histogram) Snapshot() (bounds []float64, counts []uint64) {
+	bounds = append([]float64(nil), h.bounds...)
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value() = %d, want 42", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Add(-1) did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil Counter Value() = %d, want 0", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value() = %g, want 1.5", got)
+	}
+	g.Add(-2.25)
+	if got := g.Value(); got != -0.75 {
+		t.Fatalf("after Add, Value() = %g, want -0.75", got)
+	}
+	var nilG *Gauge
+	nilG.Set(3)
+	nilG.Add(1)
+	if got := nilG.Value(); got != 0 {
+		t.Fatalf("nil Gauge Value() = %g, want 0", got)
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 100, 1e6} {
+		h.Observe(v)
+	}
+	// Prometheus semantics: an observation lands in the first bucket
+	// whose upper bound is >= value, so exact bound hits count low.
+	_, counts := h.Snapshot()
+	want := []uint64{2, 2, 2, 1} // (<=1)=2, (<=10)=2, (<=100)=2, +Inf=1
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count() = %d, want 7", h.Count())
+	}
+	wantSum := 0.5 + 1 + 5 + 10 + 50 + 100 + 1e6
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Fatalf("Sum() = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil Histogram observed something")
+	}
+}
+
+func TestNewHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewHistogram with unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	if sb := StalenessBuckets(); sb[0] != 0 || sb[1] != 1 || len(sb) != 16 {
+		t.Fatalf("StalenessBuckets() = %v", sb)
+	}
+	if lb := LatencyBuckets(); len(lb) != 12 || lb[0] != 1e-6 {
+		t.Fatalf("LatencyBuckets() = %v", lb)
+	}
+}
+
+func TestPrimitivesConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 1000
+	var c Counter
+	var g Gauge
+	h := NewHistogram(StalenessBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 3))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Fatalf("Counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Fatalf("Gauge = %g, want %d", g.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Fatalf("Histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	relax := r.NewCounter("test_relax_total", "Relaxations.", "worker")
+	relax.With("0").Add(10)
+	relax.With("1").Add(20)
+	r.NewGauge("test_residual", "Residual.").With().Set(0.125)
+	h := r.NewHistogram("test_lat", "Latency.", []float64{1, 2}).With()
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP test_relax_total Relaxations.\n# TYPE test_relax_total counter\n",
+		`test_relax_total{worker="0"} 10`,
+		`test_relax_total{worker="1"} 20`,
+		"# TYPE test_residual gauge",
+		"test_residual 0.125",
+		"# TYPE test_lat histogram",
+		`test_lat_bucket{le="1"} 1`,
+		`test_lat_bucket{le="2"} 2`,
+		`test_lat_bucket{le="+Inf"} 3`,
+		"test_lat_sum 101",
+		"test_lat_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families render in registration order; children sorted.
+	if strings.Index(out, "test_relax_total") > strings.Index(out, "test_residual") {
+		t.Fatalf("families out of registration order:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("c_total", "c", "rank").With("3").Add(7)
+	r.NewGauge("g", "g").With().Set(2.5)
+	h := r.NewHistogram("h", "h", []float64{1}).With()
+	h.Observe(0.5)
+	h.Observe(42)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if string(got[`c_total{rank="3"}`]) != "7" {
+		t.Fatalf("counter series = %s", got[`c_total{rank="3"}`])
+	}
+	if string(got["g"]) != "2.5" {
+		t.Fatalf("gauge series = %s", got["g"])
+	}
+	var hj struct {
+		Count   uint64            `json:"count"`
+		Sum     float64           `json:"sum"`
+		Buckets map[string]uint64 `json:"buckets"`
+	}
+	if err := json.Unmarshal(got["h"], &hj); err != nil {
+		t.Fatal(err)
+	}
+	if hj.Count != 2 || hj.Sum != 42.5 || hj.Buckets["1"] != 1 || hj.Buckets["+Inf"] != 2 {
+		t.Fatalf("histogram JSON = %+v", hj)
+	}
+}
+
+func TestRegistryReRegister(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("dup_total", "first", "l")
+	b := r.NewCounter("dup_total", "second", "l")
+	a.With("x").Inc()
+	if b.With("x").Value() != 1 {
+		t.Fatalf("re-registration did not return the same family")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering with a different shape did not panic")
+		}
+	}()
+	r.NewGauge("dup_total", "bad")
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.125:        "0.125",
+		1e-06:        "1e-06",
+		10:           "10",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Fatalf("formatValue(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MetricType tags a family for exposition.
+type MetricType int
+
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is the shared bookkeeping of a labeled metric family: children
+// are keyed by their joined label values and created on first use. The
+// child map is read-mostly; a RWMutex guards creation while the hot
+// path (With on an existing child) takes only the read lock. Solvers
+// resolve their children once, outside the relaxation loop, so even
+// that read lock is off the hot path.
+type family struct {
+	name   string
+	help   string
+	typ    MetricType
+	labels []string
+	bounds []float64 // histogram families only
+
+	mu       sync.RWMutex
+	children map[string]any // joined label values -> *Counter | *Gauge | *Histogram
+}
+
+func (f *family) child(values []string, make func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = make()
+	f.children[key] = c
+	return c
+}
+
+// sortedKeys returns child keys in deterministic order for exposition.
+func (f *family) sortedKeys() []string {
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// labelString renders {a="x",b="y"} for a child key, or "" when the
+// family is unlabeled.
+func (f *family) labelString(key string, extra ...string) string {
+	var parts []string
+	if len(f.labels) > 0 {
+		values := strings.Split(key, "\x00")
+		for i, name := range f.labels {
+			parts = append(parts, fmt.Sprintf("%s=%q", name, values[i]))
+		}
+	}
+	parts = append(parts, extra...)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ f *family }
+
+// With returns (creating on first use) the counter for the given label
+// values.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a family of gauges.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a family of histograms sharing one bucket layout.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func() any { return NewHistogram(v.f.bounds) }).(*Histogram)
+}
+
+// Registry holds metric families in registration order.
+type Registry struct {
+	mu     sync.RWMutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) register(name, help string, typ MetricType, labels []string, bounds []float64) *family {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[name]; ok {
+		if prev.typ != typ || len(prev.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different shape", name))
+		}
+		return prev
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:   append([]string(nil), labels...),
+		bounds:   append([]float64(nil), bounds...),
+		children: map[string]any{},
+	}
+	r.fams = append(r.fams, f)
+	r.byName[name] = f
+	return f
+}
+
+// NewCounter registers (or retrieves) a counter family.
+func (r *Registry) NewCounter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, TypeCounter, labels, nil)}
+}
+
+// NewGauge registers (or retrieves) a gauge family.
+func (r *Registry) NewGauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, TypeGauge, labels, nil)}
+}
+
+// NewHistogram registers (or retrieves) a histogram family with the
+// given bucket upper bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, TypeHistogram, labels, bounds)}
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4), with deterministic family and
+// label ordering.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.RUnlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		f.mu.RLock()
+		keys := f.sortedKeys()
+		for _, key := range keys {
+			switch m := f.children[key].(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, f.labelString(key), m.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, f.labelString(key), formatValue(m.Value()))
+			case *Histogram:
+				bounds, counts := m.Snapshot()
+				var cum uint64
+				for i, b := range bounds {
+					cum += counts[i]
+					fmt.Fprintf(w, "%s_bucket%s %d\n",
+						f.name, f.labelString(key, fmt.Sprintf("le=%q", formatValue(b))), cum)
+				}
+				cum += counts[len(bounds)]
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, f.labelString(key, `le="+Inf"`), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, f.labelString(key), formatValue(m.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, f.labelString(key), m.Count())
+			}
+		}
+		f.mu.RUnlock()
+	}
+	return nil
+}
+
+// histogramJSON is the JSON shape of one histogram child.
+type histogramJSON struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+// WriteJSON renders the registry as one flat JSON object in the expvar
+// style: fully qualified series name (including labels) to value.
+// Counters and gauges map to numbers, histograms to
+// {count, sum, buckets} objects keyed by upper bound.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.RUnlock()
+	out := map[string]any{}
+	for _, f := range fams {
+		f.mu.RLock()
+		for _, key := range f.sortedKeys() {
+			series := f.name + f.labelString(key)
+			switch m := f.children[key].(type) {
+			case *Counter:
+				out[series] = m.Value()
+			case *Gauge:
+				out[series] = m.Value()
+			case *Histogram:
+				bounds, counts := m.Snapshot()
+				hj := histogramJSON{Count: m.Count(), Sum: m.Sum(), Buckets: map[string]uint64{}}
+				var cum uint64
+				for i, b := range bounds {
+					cum += counts[i]
+					hj.Buckets[formatValue(b)] = cum
+				}
+				cum += counts[len(bounds)]
+				hj.Buckets["+Inf"] = cum
+				out[series] = hj
+			}
+		}
+		f.mu.RUnlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

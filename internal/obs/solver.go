@@ -1,0 +1,384 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// SolverMetrics is the instrumentation handle the solvers thread
+// through their hot paths. A nil *SolverMetrics is fully functional and
+// free: every method (and every method of the Worker/Rank sub-handles)
+// no-ops on a nil receiver, so the disabled path costs one pointer
+// comparison. Construct one with NewSolverMetrics to enable.
+//
+// One handle serves all three execution substrates; each family maps to
+// a quantity from the paper:
+//
+//	aj_relaxations_total{worker}   per-process relaxation counts (§V)
+//	aj_staleness                   missed sender updates per read — the
+//	                               live Fig 2 propagated-relaxation view
+//	aj_residual                    residual trajectory (Fig 3–5)
+//	aj_sweep_seconds{worker}       per-process iteration latency (the
+//	                               slow-thread experiments)
+//	aj_messages_*, aj_window_puts  §VI communication traffic
+//	aj_termination_events_total    termination-protocol transitions
+type SolverMetrics struct {
+	reg *Registry
+
+	relax  *CounterVec
+	iters  *CounterVec
+	yields *CounterVec
+	sweep  *HistogramVec
+
+	residual  *Gauge
+	converged *Gauge
+	workers   *Gauge
+	delays    *Counter
+	staleness *Histogram
+
+	localResidual *GaugeVec
+	msgsSent      *CounterVec
+	msgsRecv      *CounterVec
+	puts          *CounterVec
+
+	termRaise, termLower, termLatch *Counter
+	termTokenPass, termTokenBlacken *Counter
+	termHalt, termDecided           *Counter
+
+	simRelax, simMsgs, simDropped *Counter
+	simTime                       *Gauge
+}
+
+// NewSolverMetrics registers the solver metric families on reg and
+// returns the live handle.
+func NewSolverMetrics(reg *Registry) *SolverMetrics {
+	m := &SolverMetrics{reg: reg}
+	m.relax = reg.NewCounter("aj_relaxations_total",
+		"Row relaxations performed, by worker (shm) or rank (dist).", "worker")
+	m.iters = reg.NewCounter("aj_iterations_total",
+		"Local iterations (sweeps) completed, by worker or rank.", "worker")
+	m.yields = reg.NewCounter("aj_yields_total",
+		"Scheduler yields performed by asynchronous workers.", "worker")
+	m.sweep = reg.NewHistogram("aj_sweep_seconds",
+		"Wall-clock latency of one local iteration, by worker.",
+		LatencyBuckets(), "worker")
+	m.residual = reg.NewGauge("aj_residual",
+		"Relative residual 1-norm: sampled live during the run, exact after it.").With()
+	m.converged = reg.NewGauge("aj_converged",
+		"1 once the tolerance was met, else 0.").With()
+	m.workers = reg.NewGauge("aj_workers",
+		"Configured worker/rank count of the current solve.").With()
+	m.delays = reg.NewCounter("aj_injected_delays_total",
+		"Injected delay sleeps (slow-thread / slow-rank experiments).").With()
+	m.staleness = reg.NewHistogram("aj_staleness",
+		"Sender updates missed between consecutive neighbor reads "+
+			"(0 = every published value was observed; the live counterpart "+
+			"of the paper's Fig 2 propagated-relaxation fraction).",
+		StalenessBuckets()).With()
+	m.localResidual = reg.NewGauge("aj_local_residual",
+		"Per-rank local residual 1-norm share (distributed solver).", "rank")
+	m.msgsSent = reg.NewCounter("aj_messages_sent_total",
+		"Point-to-point messages sent, by rank.", "rank")
+	m.msgsRecv = reg.NewCounter("aj_messages_received_total",
+		"Point-to-point messages received, by rank.", "rank")
+	m.puts = reg.NewCounter("aj_window_puts_total",
+		"RMA window puts posted, by rank.", "rank")
+	term := reg.NewCounter("aj_termination_events_total",
+		"Termination-protocol state transitions, by event.", "event")
+	m.termRaise = term.With("flag_raise")
+	m.termLower = term.With("flag_lower")
+	m.termLatch = term.With("latch")
+	m.termTokenPass = term.With("token_pass")
+	m.termTokenBlacken = term.With("token_blacken")
+	m.termHalt = term.With("halt")
+	m.termDecided = term.With("decided")
+	m.simRelax = reg.NewCounter("aj_sim_relaxations_total",
+		"Row relaxations performed by the cluster simulator.").With()
+	m.simMsgs = reg.NewCounter("aj_sim_messages_total",
+		"Boundary messages posted by the cluster simulator.").With()
+	m.simDropped = reg.NewCounter("aj_sim_messages_dropped_total",
+		"Simulated boundary messages lost to failure injection.").With()
+	m.simTime = reg.NewGauge("aj_sim_virtual_seconds",
+		"Virtual time of the cluster simulation.").With()
+	return m
+}
+
+// Registry returns the backing registry (nil on a nil handle).
+func (m *SolverMetrics) Registry() *Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// SetWorkers records the configured worker/rank count.
+func (m *SolverMetrics) SetWorkers(n int) {
+	if m == nil {
+		return
+	}
+	m.workers.Set(float64(n))
+}
+
+// SetResidual publishes a residual sample.
+func (m *SolverMetrics) SetResidual(v float64) {
+	if m == nil {
+		return
+	}
+	m.residual.Set(v)
+}
+
+// SetConverged latches the final convergence state.
+func (m *SolverMetrics) SetConverged(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.converged.Set(1)
+	} else {
+		m.converged.Set(0)
+	}
+}
+
+// IncDelay counts one injected delay sleep.
+func (m *SolverMetrics) IncDelay() {
+	if m == nil {
+		return
+	}
+	m.delays.Inc()
+}
+
+// ObserveStaleness records how many sender updates a reader skipped
+// since it last looked at that sender.
+func (m *SolverMetrics) ObserveStaleness(missed int) {
+	if m == nil {
+		return
+	}
+	if missed < 0 {
+		missed = 0
+	}
+	m.staleness.Observe(float64(missed))
+}
+
+// Termination-protocol transition counters (see internal/dist).
+
+func (m *SolverMetrics) TermFlagRaise() {
+	if m != nil {
+		m.termRaise.Inc()
+	}
+}
+
+func (m *SolverMetrics) TermFlagLower() {
+	if m != nil {
+		m.termLower.Inc()
+	}
+}
+
+func (m *SolverMetrics) TermLatch() {
+	if m != nil {
+		m.termLatch.Inc()
+	}
+}
+
+func (m *SolverMetrics) TermTokenPass() {
+	if m != nil {
+		m.termTokenPass.Inc()
+	}
+}
+
+func (m *SolverMetrics) TermTokenBlacken() {
+	if m != nil {
+		m.termTokenBlacken.Inc()
+	}
+}
+
+func (m *SolverMetrics) TermHalt() {
+	if m != nil {
+		m.termHalt.Inc()
+	}
+}
+
+func (m *SolverMetrics) TermDecided() {
+	if m != nil {
+		m.termDecided.Inc()
+	}
+}
+
+// Cluster-simulator hooks.
+
+func (m *SolverMetrics) SimRelaxations(n int) {
+	if m != nil {
+		m.simRelax.Add(n)
+	}
+}
+
+func (m *SolverMetrics) SimMessage() {
+	if m != nil {
+		m.simMsgs.Inc()
+	}
+}
+
+func (m *SolverMetrics) SimMessageDropped() {
+	if m != nil {
+		m.simDropped.Inc()
+	}
+}
+
+func (m *SolverMetrics) SetSimTime(t float64) {
+	if m != nil {
+		m.simTime.Set(t)
+	}
+}
+
+// WorkerMetrics is the per-worker hot-path handle: children are
+// resolved once (one map lookup each) at worker start, so the
+// relaxation loop sees only direct atomic operations.
+type WorkerMetrics struct {
+	relax, iters, yields *Counter
+	sweep                *Histogram
+	parent               *SolverMetrics
+}
+
+// Worker resolves the handle for worker id; nil-safe.
+func (m *SolverMetrics) Worker(id int) *WorkerMetrics {
+	if m == nil {
+		return nil
+	}
+	w := strconv.Itoa(id)
+	return &WorkerMetrics{
+		relax:  m.relax.With(w),
+		iters:  m.iters.With(w),
+		yields: m.yields.With(w),
+		sweep:  m.sweep.With(w),
+		parent: m,
+	}
+}
+
+// AddRelaxations counts n row relaxations.
+func (w *WorkerMetrics) AddRelaxations(n int) {
+	if w != nil {
+		w.relax.Add(n)
+	}
+}
+
+// IncIteration counts one completed local iteration.
+func (w *WorkerMetrics) IncIteration() {
+	if w != nil {
+		w.iters.Inc()
+	}
+}
+
+// IncYield counts one scheduler yield.
+func (w *WorkerMetrics) IncYield() {
+	if w != nil {
+		w.yields.Inc()
+	}
+}
+
+// ObserveSweep records the latency of one local iteration.
+func (w *WorkerMetrics) ObserveSweep(d time.Duration) {
+	if w != nil {
+		w.sweep.Observe(d.Seconds())
+	}
+}
+
+// ObserveStaleness forwards to the shared staleness histogram.
+func (w *WorkerMetrics) ObserveStaleness(missed int) {
+	if w != nil {
+		w.parent.ObserveStaleness(missed)
+	}
+}
+
+// SetResidual forwards a live residual sample.
+func (w *WorkerMetrics) SetResidual(v float64) {
+	if w != nil {
+		w.parent.SetResidual(v)
+	}
+}
+
+// IncDelay forwards one injected delay sleep.
+func (w *WorkerMetrics) IncDelay() {
+	if w != nil {
+		w.parent.IncDelay()
+	}
+}
+
+// RankMetrics is the per-rank handle of the distributed substrate.
+type RankMetrics struct {
+	relax, iters             *Counter
+	msgsSent, msgsRecv, puts *Counter
+	localResidual            *Gauge
+	parent                   *SolverMetrics
+}
+
+// Rank resolves the handle for the given rank; nil-safe.
+func (m *SolverMetrics) Rank(id int) *RankMetrics {
+	if m == nil {
+		return nil
+	}
+	w := strconv.Itoa(id)
+	return &RankMetrics{
+		relax:         m.relax.With(w),
+		iters:         m.iters.With(w),
+		msgsSent:      m.msgsSent.With(w),
+		msgsRecv:      m.msgsRecv.With(w),
+		puts:          m.puts.With(w),
+		localResidual: m.localResidual.With(w),
+		parent:        m,
+	}
+}
+
+// AddRelaxations counts n row relaxations.
+func (r *RankMetrics) AddRelaxations(n int) {
+	if r != nil {
+		r.relax.Add(n)
+	}
+}
+
+// IncIteration counts one completed local iteration.
+func (r *RankMetrics) IncIteration() {
+	if r != nil {
+		r.iters.Inc()
+	}
+}
+
+// IncSent counts one point-to-point message sent.
+func (r *RankMetrics) IncSent() {
+	if r != nil {
+		r.msgsSent.Inc()
+	}
+}
+
+// IncReceived counts one point-to-point message received.
+func (r *RankMetrics) IncReceived() {
+	if r != nil {
+		r.msgsRecv.Inc()
+	}
+}
+
+// IncPut counts one RMA window put.
+func (r *RankMetrics) IncPut() {
+	if r != nil {
+		r.puts.Inc()
+	}
+}
+
+// SetLocalResidual publishes this rank's local residual share.
+func (r *RankMetrics) SetLocalResidual(v float64) {
+	if r != nil {
+		r.localResidual.Set(v)
+	}
+}
+
+// ObserveStaleness records missed sender updates on a ghost read.
+func (r *RankMetrics) ObserveStaleness(missed int) {
+	if r != nil {
+		r.parent.ObserveStaleness(missed)
+	}
+}
+
+// IncDelay forwards one injected delay sleep.
+func (r *RankMetrics) IncDelay() {
+	if r != nil {
+		r.parent.IncDelay()
+	}
+}

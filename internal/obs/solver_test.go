@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSolverMetricsNil drives every method through a nil handle — the
+// metrics-disabled path the solvers run by default. None may panic.
+func TestSolverMetricsNil(t *testing.T) {
+	var m *SolverMetrics
+	if m.Registry() != nil {
+		t.Fatalf("nil handle has a registry")
+	}
+	m.SetWorkers(4)
+	m.SetResidual(0.5)
+	m.SetConverged(true)
+	m.IncDelay()
+	m.ObserveStaleness(3)
+	m.TermFlagRaise()
+	m.TermFlagLower()
+	m.TermLatch()
+	m.TermTokenPass()
+	m.TermTokenBlacken()
+	m.TermHalt()
+	m.TermDecided()
+	m.SimRelaxations(10)
+	m.SimMessage()
+	m.SimMessageDropped()
+	m.SetSimTime(1.5)
+
+	w := m.Worker(0)
+	if w != nil {
+		t.Fatalf("nil handle returned a non-nil WorkerMetrics")
+	}
+	w.AddRelaxations(5)
+	w.IncIteration()
+	w.IncYield()
+	w.ObserveSweep(time.Millisecond)
+	w.ObserveStaleness(1)
+	w.SetResidual(0.1)
+	w.IncDelay()
+
+	r := m.Rank(0)
+	if r != nil {
+		t.Fatalf("nil handle returned a non-nil RankMetrics")
+	}
+	r.AddRelaxations(5)
+	r.IncIteration()
+	r.IncSent()
+	r.IncReceived()
+	r.IncPut()
+	r.SetLocalResidual(0.2)
+	r.ObserveStaleness(2)
+	r.IncDelay()
+}
+
+// TestSolverMetricsExposition drives the live handle and checks every
+// family shows up in the Prometheus text with the recorded values.
+func TestSolverMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	m := NewSolverMetrics(reg)
+	m.SetWorkers(2)
+	m.SetConverged(true)
+	m.ObserveStaleness(5)
+	m.ObserveStaleness(-1) // clamps to 0
+	m.IncDelay()
+	m.TermFlagRaise()
+	m.TermLatch()
+	m.SimRelaxations(100)
+	m.SimMessage()
+	m.SetSimTime(2.5)
+
+	w := m.Worker(0)
+	w.AddRelaxations(64)
+	w.IncIteration()
+	w.IncYield()
+	w.ObserveSweep(2 * time.Millisecond)
+	w.SetResidual(0.25)
+
+	r := m.Rank(1)
+	r.AddRelaxations(32)
+	r.IncIteration()
+	r.IncSent()
+	r.IncReceived()
+	r.IncPut()
+	r.SetLocalResidual(0.125)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`aj_relaxations_total{worker="0"} 64`,
+		`aj_relaxations_total{worker="1"} 32`,
+		`aj_iterations_total{worker="0"} 1`,
+		`aj_yields_total{worker="0"} 1`,
+		`aj_sweep_seconds_count{worker="0"} 1`,
+		`aj_residual 0.25`,
+		`aj_converged 1`,
+		`aj_workers 2`,
+		`aj_injected_delays_total 1`,
+		`aj_staleness_bucket{le="0"} 1`,
+		`aj_staleness_count 2`,
+		`aj_local_residual{rank="1"} 0.125`,
+		`aj_messages_sent_total{rank="1"} 1`,
+		`aj_messages_received_total{rank="1"} 1`,
+		`aj_window_puts_total{rank="1"} 1`,
+		`aj_termination_events_total{event="flag_raise"} 1`,
+		`aj_termination_events_total{event="latch"} 1`,
+		`aj_termination_events_total{event="token_pass"} 0`,
+		`aj_sim_relaxations_total 100`,
+		`aj_sim_messages_total 1`,
+		`aj_sim_virtual_seconds 2.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSolverMetricsStalenessBuckets pins the bucket placement the dist
+// and shm staleness instrumentation relies on: 0 missed updates lands
+// in the le="0" bucket, large misses land in the tail.
+func TestSolverMetricsStalenessBuckets(t *testing.T) {
+	reg := NewRegistry()
+	m := NewSolverMetrics(reg)
+	m.ObserveStaleness(0)
+	m.ObserveStaleness(1)
+	m.ObserveStaleness(1 << 20) // beyond the last bound -> +Inf bucket
+	bounds, counts := m.staleness.Snapshot()
+	if bounds[0] != 0 || counts[0] != 1 {
+		t.Fatalf("le=0 bucket: bounds[0]=%g counts[0]=%d", bounds[0], counts[0])
+	}
+	if counts[1] != 1 {
+		t.Fatalf("le=1 bucket count = %d", counts[1])
+	}
+	if counts[len(counts)-1] != 1 {
+		t.Fatalf("+Inf bucket count = %d", counts[len(counts)-1])
+	}
+}

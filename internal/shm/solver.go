@@ -3,11 +3,13 @@ package shm
 import (
 	"math/rand/v2"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sparse"
 	"repro/internal/vec"
@@ -74,6 +76,13 @@ type Options struct {
 	// without it, a cooperative scheduler executes every local
 	// iteration atomically and traces are trivially 100% propagated.
 	YieldProb float64
+	// Metrics, when non-nil, streams live observability data: per-worker
+	// relaxation counts and sweep latencies, a live residual gauge
+	// (worker 0 samples the shared residual once per local iteration),
+	// a staleness histogram of missed neighbor updates, and yield/delay
+	// counters. A nil handle disables everything at the cost of a
+	// per-iteration nil check.
+	Metrics *obs.SolverMetrics
 }
 
 // HistoryPoint is one convergence sample of a running solve.
@@ -159,6 +168,21 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 		version = make([]atomic.Int64, n)
 	}
 
+	// Observability: each worker publishes its local iteration count;
+	// neighbors sample it once per iteration to measure how many of the
+	// publisher's updates they skipped (the live Fig 2 statistic). All
+	// of this is allocated and touched only when metrics are enabled.
+	opt.Metrics.SetWorkers(nt)
+	var progress []atomic.Int64
+	var rangeEnd []int
+	if opt.Metrics != nil {
+		progress = make([]atomic.Int64, nt)
+		rangeEnd = make([]int, nt)
+		for q := 0; q < nt; q++ {
+			_, rangeEnd[q] = partition.ContiguousRange(n, nt, q)
+		}
+	}
+
 	var hist []HistoryPoint
 	iters := make([]int, nt)
 	var wg sync.WaitGroup
@@ -175,8 +199,30 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 			if opt.Async && opt.YieldProb > 0 {
 				yrng = rand.New(rand.NewPCG(uint64(t)+1, 0x51e1d))
 			}
+			wm := opt.Metrics.Worker(t)
+			// Neighbor workers whose rows this worker reads, for
+			// staleness sampling.
+			var neighbors []int
+			var lastSeen []int64
+			if wm != nil {
+				owner := func(j int) int {
+					return sort.SearchInts(rangeEnd, j+1)
+				}
+				seen := map[int]bool{}
+				for i := lo; i < hi; i++ {
+					for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+						if u := owner(a.Col[k]); u != t && !seen[u] {
+							seen[u] = true
+							neighbors = append(neighbors, u)
+						}
+					}
+				}
+				sort.Ints(neighbors)
+				lastSeen = make([]int64, len(neighbors))
+			}
 			microYield := func() {
 				if yrng != nil && yrng.Float64() < opt.YieldProb {
+					wm.IncYield()
 					runtime.Gosched()
 				}
 			}
@@ -193,7 +239,12 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 				}
 			}
 			for {
+				var sweepStart time.Time
+				if wm != nil {
+					sweepStart = time.Now()
+				}
 				if opt.DelayThread == t && opt.Delay > 0 {
+					wm.IncDelay()
 					time.Sleep(opt.Delay)
 				}
 				if myColor != nil {
@@ -278,6 +329,26 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 					}
 					iter++
 				}
+				if wm != nil {
+					// One batch of atomic adds per local iteration — the
+					// relaxation loops themselves stay untouched.
+					wm.ObserveSweep(time.Since(sweepStart))
+					wm.IncIteration()
+					wm.AddRelaxations(hi - lo)
+					progress[t].Store(int64(iter))
+					for ni, u := range neighbors {
+						cur := progress[u].Load()
+						missed := cur - lastSeen[ni] - 1
+						if missed < 0 {
+							missed = 0
+						}
+						wm.ObserveStaleness(int(missed))
+						lastSeen[ni] = cur
+					}
+					if t == 0 {
+						wm.SetResidual(r.Norm1() / nb)
+					}
+				}
 				sync0() // make step 3's norm a consistent reduction
 				// Step 3: convergence. Each worker computes the norm of
 				// the whole shared residual array (paper Section V) and
@@ -320,6 +391,7 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 					return
 				}
 				if opt.Async && !opt.NoYield {
+					wm.IncYield()
 					runtime.Gosched()
 				}
 			}
@@ -342,6 +414,8 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 	a.Residual(rr, b, res.X)
 	res.RelRes = vec.Norm1(rr) / nb
 	res.Converged = opt.Tol > 0 && res.RelRes <= opt.Tol
+	opt.Metrics.SetResidual(res.RelRes)
+	opt.Metrics.SetConverged(res.Converged)
 	if opt.RecordTrace {
 		var events []model.Event
 		for _, tr := range traces {
