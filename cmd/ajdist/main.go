@@ -45,6 +45,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address during the solve")
 	metricsDump := flag.Bool("metrics-dump", false, "print a final Prometheus-format metrics snapshot to stdout")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics server alive this long after the solve finishes")
+	traceOut := flag.String("trace-out", "", "record per-rank execution events and write Chrome trace-event JSON here")
+	traceCap := flag.Int("trace-cap", 0, "trace ring-buffer capacity per rank (0 = default)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cli.Usagef("ajdist", "unexpected arguments %v", flag.Args())
@@ -67,6 +69,7 @@ func main() {
 	if err != nil {
 		cli.Fatalf("ajdist", "%v", err)
 	}
+	ts := cli.NewTraceSink(*traceOut, "dist", *ranks, *traceCap)
 	opt := dist.SolveOptions{
 		Procs:         *ranks,
 		Part:          pt,
@@ -76,6 +79,7 @@ func main() {
 		DelayRank:     -1,
 		RecordHistory: *history,
 		Metrics:       mx.Handle(),
+		Tracer:        ts.Recorder(),
 	}
 	switch *term {
 	case "flags":
@@ -125,6 +129,9 @@ func main() {
 	}
 	if err := mx.Finish(os.Stdout); err != nil {
 		cli.Fatalf("ajdist", "metrics: %v", err)
+	}
+	if err := ts.Finish(); err != nil {
+		cli.Fatalf("ajdist", "trace: %v", err)
 	}
 	if opt.Tol > 0 && !res.Converged {
 		os.Exit(3)

@@ -45,6 +45,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address during the solve")
 	metricsDump := flag.Bool("metrics-dump", false, "print a final Prometheus-format metrics snapshot to stdout")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics server alive this long after the solve finishes")
+	traceOut := flag.String("trace-out", "", "record a jacobi-async run and write Chrome trace-event JSON here")
+	traceCap := flag.Int("trace-cap", 0, "trace ring-buffer capacity per worker (0 = default)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cli.Usagef("ajsolve", "unexpected arguments %v", flag.Args())
@@ -80,6 +82,10 @@ func main() {
 	if err != nil {
 		cli.Fatalf("ajsolve", "%v", err)
 	}
+	if *traceOut != "" && m != core.JacobiAsync {
+		cli.Usagef("ajsolve", "-trace-out records the asynchronous solver; use -method jacobi-async")
+	}
+	ts := cli.NewTraceSink(*traceOut, "shm", *threads, *traceCap)
 	t0 := time.Now()
 	res, err := core.Solve(a, b, core.Options{
 		Method:    m,
@@ -89,6 +95,7 @@ func main() {
 		Omega:     *omega,
 		BlockSize: *blockSize,
 		Metrics:   mx.Handle(),
+		Tracer:    ts.Recorder(),
 	})
 	if err != nil {
 		cli.Fatalf("ajsolve", "%v", err)
@@ -101,6 +108,9 @@ func main() {
 	fmt.Printf("wall time:  %v\n", time.Since(t0).Round(time.Millisecond))
 	if err := mx.Finish(os.Stdout); err != nil {
 		cli.Fatalf("ajsolve", "metrics: %v", err)
+	}
+	if err := ts.Finish(); err != nil {
+		cli.Fatalf("ajsolve", "trace: %v", err)
 	}
 	if !res.Converged {
 		os.Exit(3)

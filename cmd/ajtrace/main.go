@@ -3,67 +3,121 @@
 // solution components that i read from other rows for each relaxation
 // of i").
 //
+// Recording now goes through the timestamped ring-buffer tracer
+// (internal/trace): a live shared-memory run is captured per worker,
+// bridged back into the event-trace model for the propagation analysis,
+// and optionally exported as Chrome trace-event JSON for
+// chrome://tracing or https://ui.perfetto.dev.
+//
 // Usage examples:
 //
 //	ajtrace -gen fd -nx 5 -ny 8 -threads 8 -iters 50 -out trace.jsonl
-//	ajtrace -in trace.jsonl                # analyze a saved trace
-//	ajtrace -gen fd -nx 16 -ny 17 -threads 272 -iters 30
+//	ajtrace -in trace.jsonl                 # analyze a saved trace
+//	ajtrace -chrome trace.json -summary     # timeline + per-row table
+//	ajtrace -verify                         # Theorem 1 on recorded masks
+//	ajtrace -dist -ranks 4 -chrome dist.json  # distributed timeline
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"text/tabwriter"
 
 	"repro/internal/cli"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/shm"
+	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 func main() {
 	gen := flag.String("gen", "fd", "matrix: fd | fe")
 	nx := flag.Int("nx", 5, "grid x dimension")
 	ny := flag.Int("ny", 8, "grid y dimension")
-	threads := flag.Int("threads", 8, "asynchronous workers")
+	threads := flag.Int("threads", 8, "asynchronous workers (shm mode)")
 	iters := flag.Int("iters", 50, "local iterations per worker")
-	yieldProb := flag.Float64("yieldprob", 0.02, "per-row mid-iteration yield probability")
-	out := flag.String("out", "", "write the raw trace as JSON Lines")
+	yieldProb := flag.Float64("yieldprob", 0.02, "per-row mid-iteration yield probability (shm mode)")
+	out := flag.String("out", "", "write the trace as JSON Lines (with timestamps)")
 	in := flag.String("in", "", "analyze a saved trace instead of recording one")
 	seed := flag.Uint64("seed", 2018, "seed for b and x0")
+	chrome := flag.String("chrome", "", "export the recording as Chrome trace-event JSON")
+	distMode := flag.Bool("dist", false, "record an in-process distributed run instead of shared-memory")
+	ranks := flag.Int("ranks", 4, "rank count (dist mode)")
+	summary := flag.Bool("summary", false, "print a per-row relaxation/staleness table")
+	verify := flag.Bool("verify", false, "check ‖Ĝ(k)‖∞ and ‖Ĥ(k)‖₁ on every recorded mask")
+	traceCap := flag.Int("trace-cap", 0, "ring-buffer capacity per worker (0 = default)")
 	flag.Parse()
 
-	var trace *model.Trace
-	if *in != "" {
+	var tr *model.Trace
+	var a = buildMatrix(*gen, *nx, *ny, *in == "")
+	switch {
+	case *in != "":
+		if *chrome != "" {
+			cli.Usagef("ajtrace", "-chrome requires a live recording, not -in")
+		}
+		if *distMode {
+			cli.Usagef("ajtrace", "-dist records a live run; it cannot be combined with -in")
+		}
 		f, err := os.Open(*in)
 		if err != nil {
 			cli.Fatalf("ajtrace", "%v", err)
 		}
-		trace, err = model.ReadTraceJSON(f)
+		tr, err = model.ReadTraceJSON(f)
 		f.Close()
 		if err != nil {
 			cli.Fatalf("ajtrace", "%v", err)
 		}
-		fmt.Printf("loaded trace: n=%d events=%d\n", trace.N, len(trace.Events))
-	} else {
-		a, err := cli.BuildMatrix(*gen, *nx, *ny, 1)
-		if err != nil {
-			cli.Usagef("ajtrace", "%v", err)
+		fmt.Printf("loaded trace: n=%d events=%d\n", tr.N, len(tr.Events))
+
+	case *distMode:
+		if *summary || *verify || *out != "" {
+			cli.Usagef("ajtrace", "-summary/-verify/-out need per-row read events; the distributed tracer records at rank granularity (use -chrome)")
 		}
 		cfg := experiments.Config{Seed: *seed}
 		rng := cfg.NewRNG(0x7ace)
 		b := experiments.RandomVec(rng, a.N)
 		x0 := experiments.RandomVec(rng, a.N)
-		res := shm.Solve(a, b, x0, shm.Options{
-			Threads:     *threads,
-			MaxIters:    *iters,
-			Async:       true,
-			RecordTrace: true,
-			YieldProb:   *yieldProb,
+		rec := trace.NewRecorder(*ranks, *traceCap)
+		res := dist.Solve(a, b, x0, dist.SolveOptions{
+			Procs:     *ranks,
+			MaxIters:  *iters,
+			Async:     true,
+			DelayRank: -1,
+			Tracer:    rec,
 		})
-		trace = res.Trace
+		fmt.Printf("recorded dist run: n=%d ranks=%d events=%d (final rel res %.3g)\n",
+			a.N, *ranks, rec.TotalEvents(), res.RelRes)
+		writeChrome(*chrome, rec, "dist")
+		return
+
+	default:
+		cfg := experiments.Config{Seed: *seed}
+		rng := cfg.NewRNG(0x7ace)
+		b := experiments.RandomVec(rng, a.N)
+		x0 := experiments.RandomVec(rng, a.N)
+		rec := trace.NewRecorder(*threads, *traceCap)
+		res := shm.Solve(a, b, x0, shm.Options{
+			Threads:   *threads,
+			MaxIters:  *iters,
+			Async:     true,
+			Tracer:    rec,
+			YieldProb: *yieldProb,
+		})
+		if d := rec.TotalDropped(); d > 0 {
+			fmt.Fprintf(os.Stderr,
+				"ajtrace: ring wraparound dropped %d events; the model replay covers the surviving window (raise -trace-cap for full coverage)\n", d)
+		}
+		var err error
+		tr, err = trace.ToModelTrace(rec, a.N)
+		if err != nil {
+			cli.Fatalf("ajtrace", "bridge: %v", err)
+		}
 		fmt.Printf("recorded trace: n=%d threads=%d events=%d (final rel res %.3g)\n",
-			a.N, *threads, len(trace.Events), res.RelRes)
+			a.N, *threads, len(tr.Events), res.RelRes)
+		writeChrome(*chrome, rec, "shm")
 	}
 
 	if *out != "" {
@@ -71,7 +125,7 @@ func main() {
 		if err != nil {
 			cli.Fatalf("ajtrace", "%v", err)
 		}
-		if err := trace.WriteJSON(f); err != nil {
+		if err := tr.WriteJSON(f); err != nil {
 			f.Close()
 			cli.Fatalf("ajtrace", "%v", err)
 		}
@@ -79,11 +133,11 @@ func main() {
 		fmt.Printf("wrote %s\n", *out)
 	}
 
-	an, err := trace.Analyze()
+	an, err := tr.Analyze()
 	if err != nil {
 		cli.Fatalf("ajtrace", "analyze: %v", err)
 	}
-	st, err := trace.Staleness()
+	st, err := tr.Staleness()
 	if err != nil {
 		cli.Fatalf("ajtrace", "staleness: %v", err)
 	}
@@ -94,7 +148,7 @@ func main() {
 	// Parallel-step width distribution: how many rows the propagation
 	// matrices relax at once.
 	if len(an.Steps) > 0 {
-		minW, maxW, sumW := trace.N+1, 0, 0
+		minW, maxW, sumW := tr.N+1, 0, 0
 		for _, s := range an.Steps {
 			if len(s) < minW {
 				minW = len(s)
@@ -107,4 +161,62 @@ func main() {
 		fmt.Printf("step widths: min %d, mean %.1f, max %d\n",
 			minW, float64(sumW)/float64(len(an.Steps)), maxW)
 	}
+
+	if *summary {
+		rows, err := tr.PerRowSummary()
+		if err != nil {
+			cli.Fatalf("ajtrace", "summary: %v", err)
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(w, "row\trelax\treads\tmin stale\tmean stale\tmax stale\t")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.3f\t%d\t\n",
+				r.Row, r.Relaxations, r.Reads, r.MinStale, r.MeanStale, r.MaxStale)
+		}
+		w.Flush()
+	}
+
+	if *verify {
+		if a == nil {
+			cli.Usagef("ajtrace", "-verify needs the system matrix; pass the -gen/-nx/-ny that produced the trace")
+		}
+		rep, err := trace.VerifyNorms(a, tr, 1e-9, 0)
+		if err != nil {
+			cli.Fatalf("ajtrace", "verify: %v", err)
+		}
+		fmt.Printf("verify:      %d masks, max ‖Ĝ(k)‖∞ = %.6f, max ‖Ĥ(k)‖₁ = %.6f, violations %d\n",
+			rep.MasksChecked, rep.MaxGNormInf, rep.MaxHNorm1, rep.Violations)
+		if rep.Violations > 0 {
+			cli.Fatalf("ajtrace", "Theorem 1 bound violated on %d recorded masks", rep.Violations)
+		}
+	}
+}
+
+// buildMatrix constructs the test system; required == false tolerates
+// a failure (the -in path only needs a matrix for -verify).
+func buildMatrix(gen string, nx, ny int, required bool) *sparse.CSR {
+	a, err := cli.BuildMatrix(gen, nx, ny, 1)
+	if err != nil {
+		if required {
+			cli.Usagef("ajtrace", "%v", err)
+		}
+		return nil
+	}
+	return a
+}
+
+func writeChrome(path string, rec *trace.Recorder, proc string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		cli.Fatalf("ajtrace", "%v", err)
+	}
+	if err := trace.WriteChrome(f, rec, proc); err != nil {
+		f.Close()
+		cli.Fatalf("ajtrace", "%v", err)
+	}
+	f.Close()
+	fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", path)
 }

@@ -1,0 +1,112 @@
+package cli
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsDisabled(t *testing.T) {
+	m, err := NewMetrics("", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Handle() != nil {
+		t.Fatal("disabled metrics returned a handle")
+	}
+	if m.Addr() != "" {
+		t.Fatalf("disabled metrics bound %q", m.Addr())
+	}
+	var buf bytes.Buffer
+	if err := m.Finish(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("disabled metrics dumped %q", buf.String())
+	}
+	var nilM *Metrics
+	if nilM.Handle() != nil || nilM.Addr() != "" || nilM.Finish(&buf) != nil {
+		t.Fatal("nil Metrics not inert")
+	}
+}
+
+func TestMetricsDumpOnly(t *testing.T) {
+	m, err := NewMetrics("", true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.Handle()
+	if h == nil {
+		t.Fatal("dump-only metrics has no handle")
+	}
+	if m.Addr() != "" {
+		t.Fatal("dump-only metrics started a server")
+	}
+	h.SetWorkers(2)
+	h.TraceCaptured(0, 100, 7)
+	var buf bytes.Buffer
+	if err := m.Finish(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"aj_workers",
+		"aj_trace_events_total",
+		"aj_trace_dropped_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsServerServes(t *testing.T) {
+	m, err := NewMetrics("127.0.0.1:0", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Addr()
+	if addr == "" {
+		t.Fatal("server did not report a bound address")
+	}
+	m.Handle().SetWorkers(3)
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "aj_workers") {
+		t.Fatalf("status %d body %q", resp.StatusCode, body)
+	}
+	if err := m.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// After Finish the server must be down.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still up after Finish")
+	}
+}
+
+func TestMetricsLingerDelaysShutdown(t *testing.T) {
+	m, err := NewMetrics("127.0.0.1:0", false, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := m.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("Finish returned after %v, before the linger window", elapsed)
+	}
+}
+
+func TestMetricsBadAddr(t *testing.T) {
+	if _, err := NewMetrics("256.256.256.256:99999", false, 0); err == nil {
+		t.Fatal("unbindable address accepted")
+	}
+}

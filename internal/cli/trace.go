@@ -1,0 +1,67 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+// TraceSink bundles the execution-tracing plumbing shared by the solver
+// commands: an optional ring-buffer recorder (-trace-out) whose capture
+// is exported as Chrome trace-event JSON when the run finishes. When
+// the path is empty it is inert and Recorder returns nil, which the
+// solvers treat as tracing-disabled.
+type TraceSink struct {
+	rec  *trace.Recorder
+	path string
+	proc string
+}
+
+// NewTraceSink builds the command-level tracing plumbing. path == ""
+// yields an inert sink. workers is the worker/rank count; capacity ≤ 0
+// selects trace.DefaultCapacity events per ring. proc names the
+// process track in the exported trace ("shm", "dist", ...).
+func NewTraceSink(path, proc string, workers, capacity int) *TraceSink {
+	s := &TraceSink{path: path, proc: proc}
+	if path == "" {
+		return s
+	}
+	s.rec = trace.NewRecorder(workers, capacity)
+	return s
+}
+
+// Recorder returns the solver recording handle (nil when tracing is
+// disabled; the solvers accept that).
+func (s *TraceSink) Recorder() *trace.Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
+}
+
+// Finish writes the Chrome trace-event file after the solve and
+// reports the capture totals on stderr, including how many events
+// were overwritten by ring wraparound.
+func (s *TraceSink) Finish() error {
+	if s == nil || s.rec == nil {
+		return nil
+	}
+	f, err := os.Create(s.path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, s.rec, s.proc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events", s.path, s.rec.TotalEvents())
+	if d := s.rec.TotalDropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, ", %d dropped by ring wraparound — raise -trace-cap", d)
+	}
+	fmt.Fprintln(os.Stderr, ")")
+	return nil
+}

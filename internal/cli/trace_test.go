@@ -1,0 +1,58 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTraceSinkInertWhenDisabled(t *testing.T) {
+	s := NewTraceSink("", "shm", 4, 0)
+	if s.Recorder() != nil {
+		t.Fatal("disabled sink returned a recorder")
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatalf("inert Finish errored: %v", err)
+	}
+	var nilSink *TraceSink
+	if nilSink.Recorder() != nil || nilSink.Finish() != nil {
+		t.Fatal("nil sink not inert")
+	}
+}
+
+func TestTraceSinkWritesChromeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	s := NewTraceSink(path, "shm", 2, 128)
+	rec := s.Recorder()
+	if rec == nil {
+		t.Fatal("enabled sink has no recorder")
+	}
+	rec.Worker(0).RelaxStart(0, 1)
+	rec.Worker(0).RelaxEnd(0, 1)
+	rec.Worker(1).Yield()
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("sink output is not valid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("sink wrote no events")
+	}
+}
+
+func TestTraceSinkFinishReportsCreateError(t *testing.T) {
+	s := NewTraceSink(filepath.Join(t.TempDir(), "no", "such", "dir", "t.json"), "shm", 1, 8)
+	s.Recorder().Worker(0).Yield()
+	if err := s.Finish(); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

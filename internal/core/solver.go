@@ -18,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/shm"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 	"repro/internal/vec"
 )
 
@@ -91,6 +92,10 @@ type Options struct {
 	// of the shm solver; for the sequential methods a residual gauge and
 	// sweep counter. Nil disables at the cost of a nil check.
 	Metrics *obs.SolverMetrics
+	// Tracer, when non-nil, records timestamped execution events for
+	// JacobiAsync into per-worker ring buffers (see internal/trace).
+	// Ignored by the sequential methods. Nil disables recording.
+	Tracer *trace.Recorder
 }
 
 // Result reports a solve.
@@ -316,6 +321,7 @@ func solveAsync(a *sparse.CSR, b, x0 []float64, o Options) (*Result, error) {
 		DelayThread:   -1,
 		RecordHistory: o.RecordHistory,
 		Metrics:       o.Metrics,
+		Tracer:        o.Tracer,
 	})
 	res := &Result{
 		X:         sres.X,

@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 	"repro/internal/vec"
 )
 
@@ -58,6 +59,13 @@ type SolveOptions struct {
 	// per-rank local residual gauges, and termination-protocol
 	// transitions. A nil handle costs a nil check per iteration.
 	Metrics *obs.SolverMetrics
+	// Tracer, when non-nil, records timestamped execution events into
+	// per-rank ring buffers: iteration start/end, message sends and RMA
+	// puts with iteration stamps, ghost arrivals with the stamp they
+	// carried (which is what lets the Chrome exporter draw send→receive
+	// flow arrows), injected delays, termination-flag transitions, and
+	// Safra token traffic. Nil costs one pointer test per site.
+	Tracer *trace.Recorder
 }
 
 // Result reports a distributed solve.
@@ -187,6 +195,7 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 
 	RunObserved(opt.Procs, opt.Metrics, func(r *Rank) {
 		rm := opt.Metrics.Rank(r.ID)
+		tw := opt.Tracer.Worker(r.ID)
 		gp := plans[r.ID]
 		nown := len(gp.rows)
 		// Local state: own values then ghosts.
@@ -245,8 +254,10 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 		// lastStamp[qi] is the newest iteration stamp seen from
 		// gp.recvFrom[qi]; the gap between consecutive stamps minus one
 		// is how many of that neighbor's updates this rank never saw.
+		// Both the staleness histogram and the tracer's ghost-arrival
+		// events key on it.
 		var lastStamp []int64
-		if rm != nil {
+		if rm != nil || tw != nil {
 			lastStamp = make([]int64, len(gp.recvFrom))
 		}
 		stampBuf := make([]float64, 1)
@@ -255,11 +266,12 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 		idle := 0
 		var safra *safraState
 		if opt.Async && opt.Tol > 0 && opt.Termination == DijkstraSafra {
-			safra = newSafra(r, &safraDecided, opt.Metrics)
+			safra = newSafra(r, &safraDecided, opt.Metrics, tw)
 		}
 		for {
 			if opt.DelayRank == r.ID && opt.Delay > 0 {
 				rm.IncDelay()
+				tw.Delay(iter + 1)
 				time.Sleep(opt.Delay)
 			}
 			gotNew := iter == 0 || len(gp.recvFrom) == 0
@@ -271,15 +283,16 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 				for s := 0; s < gp.ghostLen; s++ {
 					xl[base+s] = wbuf.Load(s)
 				}
-				if rm != nil {
+				if lastStamp != nil {
 					// Ghost-read staleness: each neighbor stamps its
 					// Puts with its iteration count; the jump between
 					// consecutive stamps counts the updates this rank
 					// skipped over.
-					for qi := range gp.recvFrom {
+					for qi, q := range gp.recvFrom {
 						stamp := int64(wbuf.Load(gp.ghostLen + qi))
 						if stamp > lastStamp[qi] {
 							rm.ObserveStaleness(int(stamp - lastStamp[qi] - 1))
+							tw.Recv(q, int(stamp))
 							lastStamp[qi] = stamp
 						}
 					}
@@ -293,10 +306,11 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 						for t, j := range gp.recvIdx[q] {
 							xl[gp.localOf[j]] = data[t]
 						}
-						if rm != nil && len(data) > len(gp.recvIdx[q]) {
+						if lastStamp != nil && len(data) > len(gp.recvIdx[q]) {
 							stamp := int64(data[len(data)-1])
 							if stamp > lastStamp[qi] {
 								rm.ObserveStaleness(int(stamp - lastStamp[qi] - 1))
+								tw.Recv(q, int(stamp))
 								lastStamp[qi] = stamp
 							}
 						}
@@ -312,10 +326,13 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 						if safra != nil {
 							stop = safra.poll(r, localConv)
 						} else {
-							board.set(r.ID, localConv)
+							if board.set(r.ID, localConv) {
+								tw.Flag(localConv, iter)
+							}
 							stop = board.check()
 						}
 						if stop {
+							tw.Decided(iter)
 							break
 						}
 					} else if iter >= opt.MaxIters {
@@ -325,12 +342,18 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 					if idle >= 1000*opt.MaxIters {
 						break
 					}
+					tw.Yield()
 					yield()
 					continue
 				}
 				idle = 0
 			}
-			// Step 1: local residual.
+			// Step 1: local residual. The tracer brackets the whole
+			// local iteration (residual + correction) as one slice; the
+			// per-read version sampling of the shm tracer has no
+			// counterpart here because ghost versions are only known at
+			// neighbor granularity (the iteration stamps).
+			tw.RelaxStart(-1, iter+1)
 			for s := 0; s < nown; s++ {
 				sum := b[gp.rows[s]]
 				for k := lrp[s]; k < lrp[s+1]; k++ {
@@ -343,6 +366,7 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 				xl[s] += rl[s]
 			}
 			iter++
+			tw.RelaxEnd(-1, iter)
 			if opt.RecordHistory {
 				localHist[r.ID] = append(localHist[r.ID], vec.Norm1(rl))
 			}
@@ -366,18 +390,23 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 					win.Put(q, stampPutOff[q], stampBuf)
 					rm.IncPut()
 					rm.IncPut()
+					tw.Put(q, iter)
 				} else {
 					r.Isend(q, 0, buf)
+					tw.Send(q, iter)
 				}
 			}
 			if !opt.Async {
 				// Synchronous ghost exchange: blocking receives from
-				// every neighbor.
+				// every neighbor. In lockstep the sender's iteration
+				// equals ours, which is the stamp the tracer records
+				// (and what pairs the send→receive flow arrows).
 				for _, q := range gp.recvFrom {
 					data := r.Recv(q, 0)
 					for t, j := range gp.recvIdx[q] {
 						xl[gp.localOf[j]] = data[t]
 					}
+					tw.Recv(q, iter)
 				}
 			}
 			// Termination.
@@ -407,13 +436,19 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 					if safra != nil {
 						stop = safra.poll(r, localConv)
 					} else {
-						board.set(r.ID, localConv)
+						if board.set(r.ID, localConv) {
+							tw.Flag(localConv, iter)
+						}
 						stop = board.check()
+					}
+					if stop {
+						tw.Decided(iter)
 					}
 					if stop || iter >= 100*opt.MaxIters {
 						break
 					}
 				}
+				tw.Yield()
 				yield()
 			}
 		}
@@ -424,6 +459,15 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 		}
 		finalMu.Unlock()
 	})
+
+	if opt.Tracer != nil {
+		// Trace loss is itself observable: per-rank capture and
+		// wraparound-drop counts flow into the metrics registry.
+		for p := 0; p < opt.Procs; p++ {
+			ring := opt.Tracer.Worker(p)
+			opt.Metrics.TraceCaptured(p, ring.Len(), ring.Dropped())
+		}
+	}
 
 	res := &Result{
 		X:          finalX,

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // TerminationMode selects the asynchronous termination scheme.
@@ -83,15 +84,18 @@ func newFlagBoard(p int, m *obs.SolverMetrics) *flagBoard {
 }
 
 // set publishes rank's local convergence state, counting raise/lower
-// transitions.
-func (fb *flagBoard) set(rank int, converged bool) {
+// transitions. It reports whether the call changed the flag, so the
+// caller can trace the transition on its own ring.
+func (fb *flagBoard) set(rank int, converged bool) bool {
 	if fb.flags[rank].Swap(converged) != converged {
 		if converged {
 			fb.m.TermFlagRaise()
 		} else {
 			fb.m.TermFlagLower()
 		}
+		return true
 	}
+	return false
 }
 
 // check returns true once all flags have been seen up; the first
@@ -131,9 +135,10 @@ type safraState struct {
 	tokenColor float64
 	decided    *atomic.Bool
 	m          *obs.SolverMetrics
+	tw         *trace.Ring // this rank's trace ring (nil-safe)
 }
 
-func newSafra(r *Rank, decided *atomic.Bool, m *obs.SolverMetrics) *safraState {
+func newSafra(r *Rank, decided *atomic.Bool, m *obs.SolverMetrics, tw *trace.Ring) *safraState {
 	return &safraState{
 		rank:       r.ID,
 		size:       r.Size,
@@ -142,6 +147,7 @@ func newSafra(r *Rank, decided *atomic.Bool, m *obs.SolverMetrics) *safraState {
 		dirty:      true, // conservative: not converged yet
 		decided:    decided,
 		m:          m,
+		tw:         tw,
 	}
 }
 
@@ -159,6 +165,8 @@ func (s *safraState) poll(r *Rank, converged bool) bool {
 		}
 		// forward the halt around the ring
 		s.m.TermHalt()
+		s.tw.Halt(0)
+		s.tw.Decided(0)
 		r.Isend((s.rank+1)%s.size, tagHalt, []float64{1})
 		return true
 	}
@@ -184,6 +192,8 @@ func (s *safraState) poll(r *Rank, converged bool) bool {
 				s.m.TermDecided()
 			}
 			s.m.TermHalt()
+			s.tw.Halt(0)
+			s.tw.Decided(0)
 			r.Isend((s.rank+1)%s.size, tagHalt, []float64{1})
 			return true
 		}
@@ -192,6 +202,7 @@ func (s *safraState) poll(r *Rank, converged bool) bool {
 		s.dirty = false
 		s.haveToken = false
 		s.m.TermTokenPass()
+		s.tw.TokenPass(0)
 		r.Isend(1%s.size, tagToken, []float64{tokenWhite})
 		return false
 	}
@@ -200,10 +211,12 @@ func (s *safraState) poll(r *Rank, converged bool) bool {
 	if s.dirty {
 		color = tokenBlack
 		s.m.TermTokenBlacken()
+		s.tw.TokenBlacken(0)
 	}
 	s.dirty = false
 	s.haveToken = false
 	s.m.TermTokenPass()
+	s.tw.TokenPass(0)
 	r.Isend((s.rank+1)%s.size, tagToken, []float64{color})
 	return false
 }

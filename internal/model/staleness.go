@@ -75,3 +75,65 @@ func (t *Trace) Staleness() (*StalenessStats, error) {
 	}
 	return stats, nil
 }
+
+// RowSummary aggregates one row's share of a trace: how often it was
+// relaxed and how stale the information it consumed was.
+type RowSummary struct {
+	Row         int
+	Relaxations int
+	Reads       int
+	MinStale    int
+	MaxStale    int
+	MeanStale   float64
+}
+
+// PerRowSummary replays the trace in Seq order (the same retrospective
+// measurement as Staleness) and returns one summary per row, so a
+// saved trace is inspectable without re-running the solver. Rows that
+// performed no reads report zero staleness.
+func (t *Trace) PerRowSummary() ([]RowSummary, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	events := make([]Event, len(t.Events))
+	copy(events, t.Events)
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].Seq != events[b].Seq {
+			return events[a].Seq < events[b].Seq
+		}
+		if events[a].Row != events[b].Row {
+			return events[a].Row < events[b].Row
+		}
+		return events[a].Count < events[b].Count
+	})
+	kappa := make([]int, t.N)
+	rows := make([]RowSummary, t.N)
+	for i := range rows {
+		rows[i].Row = i
+	}
+	for _, e := range events {
+		rs := &rows[e.Row]
+		rs.Relaxations++
+		for _, r := range e.Reads {
+			s := kappa[r.Row] - r.Version
+			if s < 0 {
+				s = 0
+			}
+			if rs.Reads == 0 || s < rs.MinStale {
+				rs.MinStale = s
+			}
+			if s > rs.MaxStale {
+				rs.MaxStale = s
+			}
+			rs.MeanStale += float64(s)
+			rs.Reads++
+		}
+		kappa[e.Row] = e.Count
+	}
+	for i := range rows {
+		if rows[i].Reads > 0 {
+			rows[i].MeanStale /= float64(rows[i].Reads)
+		}
+	}
+	return rows, nil
+}

@@ -106,3 +106,45 @@ func TestStalenessRandomTracesBounded(t *testing.T) {
 		}
 	}
 }
+
+func TestPerRowSummary(t *testing.T) {
+	// Row 0 relaxes twice; its second relaxation reads row 1 one
+	// version behind (staleness 1). Row 1 relaxes once with a fresh
+	// read. Row 2 never relaxes.
+	tr := &Trace{N: 3, Events: []Event{
+		{Row: 0, Count: 1, Seq: 0, Reads: []Read{{Row: 1, Version: 0}}},
+		{Row: 1, Count: 1, Seq: 1, Reads: []Read{{Row: 0, Version: 1}}},
+		{Row: 0, Count: 2, Seq: 2, Reads: []Read{{Row: 1, Version: 0}}},
+	}}
+	rows, err := tr.PerRowSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r0 := rows[0]
+	if r0.Relaxations != 2 || r0.Reads != 2 {
+		t.Fatalf("row 0 summary %+v", r0)
+	}
+	// First read: row 1 not yet relaxed, kappa 0, version 0 → stale 0.
+	// Second read: kappa 1, version 0 → stale 1.
+	if r0.MinStale != 0 || r0.MaxStale != 1 || r0.MeanStale != 0.5 {
+		t.Fatalf("row 0 staleness %+v", r0)
+	}
+	r1 := rows[1]
+	if r1.Relaxations != 1 || r1.Reads != 1 || r1.MaxStale != 0 {
+		t.Fatalf("row 1 summary %+v", r1)
+	}
+	r2 := rows[2]
+	if r2.Row != 2 || r2.Relaxations != 0 || r2.Reads != 0 {
+		t.Fatalf("row 2 summary %+v", r2)
+	}
+}
+
+func TestPerRowSummaryValidates(t *testing.T) {
+	tr := &Trace{N: 1, Events: []Event{{Row: 4, Count: 1, Seq: 0}}}
+	if _, err := tr.PerRowSummary(); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+}

@@ -23,6 +23,13 @@ type Event struct {
 	Count int
 	Reads []Read
 	Seq   int
+	// TimestampNs is an optional monotonic wall-clock stamp (nanoseconds
+	// relative to the recording run's start) of when the relaxation
+	// began. Zero means "not recorded" — traces captured before
+	// timestamped tracing existed, or synthetic ones. The propagation
+	// analysis keys on Seq; timestamps make the realized schedule
+	// inspectable and let exporters place events on a timeline.
+	TimestampNs int64
 }
 
 // Trace is a recorded history of asynchronous relaxations over n rows.

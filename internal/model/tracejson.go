@@ -11,11 +11,21 @@ import (
 // object per event. The format is append-friendly (a recording solver
 // can stream events) and diff-friendly for archiving the raw material
 // behind Fig 2-style analyses.
+//
+// Schema versions:
+//
+//	v1 (header without "v"): row/count/seq/reads per event.
+//	v2: adds the header "v" field and an optional per-event "ts_ns"
+//	    monotonic timestamp. ts_ns is omitempty, so v1 documents parse
+//	    unchanged and v2 documents without timestamps byte-match v1
+//	    except for the header.
+const traceSchemaVersion = 2
 
 // traceHeader is the first JSONL record.
 type traceHeader struct {
 	Kind string `json:"kind"` // always "async-jacobi-trace"
 	N    int    `json:"n"`
+	V    int    `json:"v,omitempty"` // schema version; 0 means v1
 }
 
 // eventRecord is one serialized event.
@@ -23,26 +33,29 @@ type eventRecord struct {
 	Row   int    `json:"row"`
 	Count int    `json:"count"`
 	Seq   int    `json:"seq"`
+	TS    int64  `json:"ts_ns,omitempty"`
 	Reads []Read `json:"reads,omitempty"`
 }
 
-// WriteJSON streams the trace as JSON Lines.
+// WriteJSON streams the trace as JSON Lines (schema v2).
 func (t *Trace) WriteJSON(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	if err := enc.Encode(traceHeader{Kind: "async-jacobi-trace", N: t.N}); err != nil {
+	if err := enc.Encode(traceHeader{Kind: "async-jacobi-trace", N: t.N, V: traceSchemaVersion}); err != nil {
 		return err
 	}
 	for _, e := range t.Events {
-		if err := enc.Encode(eventRecord{Row: e.Row, Count: e.Count, Seq: e.Seq, Reads: e.Reads}); err != nil {
+		if err := enc.Encode(eventRecord{
+			Row: e.Row, Count: e.Count, Seq: e.Seq, TS: e.TimestampNs, Reads: e.Reads,
+		}); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadTraceJSON parses a JSON Lines trace produced by WriteJSON and
-// validates it.
+// ReadTraceJSON parses a JSON Lines trace produced by WriteJSON (any
+// schema version up to the current one) and validates it.
 func ReadTraceJSON(r io.Reader) (*Trace, error) {
 	dec := json.NewDecoder(bufio.NewReader(r))
 	var hdr traceHeader
@@ -55,6 +68,9 @@ func ReadTraceJSON(r io.Reader) (*Trace, error) {
 	if hdr.N < 0 {
 		return nil, fmt.Errorf("model: negative trace dimension")
 	}
+	if hdr.V > traceSchemaVersion {
+		return nil, fmt.Errorf("model: trace schema v%d is newer than supported v%d", hdr.V, traceSchemaVersion)
+	}
 	tr := &Trace{N: hdr.N}
 	for {
 		var rec eventRecord
@@ -64,7 +80,7 @@ func ReadTraceJSON(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("model: bad trace event: %w", err)
 		}
 		tr.Events = append(tr.Events, Event{
-			Row: rec.Row, Count: rec.Count, Seq: rec.Seq, Reads: rec.Reads,
+			Row: rec.Row, Count: rec.Count, Seq: rec.Seq, TimestampNs: rec.TS, Reads: rec.Reads,
 		})
 	}
 	if err := tr.Validate(); err != nil {

@@ -109,3 +109,65 @@ func TestReadTraceJSONValidates(t *testing.T) {
 		t.Fatalf("invalid trace error = %v", err)
 	}
 }
+
+func TestTraceJSONSchemaV2WritesVersionAndTimestamps(t *testing.T) {
+	tr := &Trace{N: 2, Events: []Event{
+		{Row: 0, Count: 1, Seq: 0, TimestampNs: 1500,
+			Reads: []Read{{Row: 1, Version: 0}}},
+		{Row: 1, Count: 1, Seq: 1, TimestampNs: 2500},
+	}}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"v":2`) {
+		t.Fatalf("header lacks schema version:\n%s", out)
+	}
+	if !strings.Contains(out, `"ts_ns":1500`) {
+		t.Fatalf("events lack timestamps:\n%s", out)
+	}
+	got := roundTrip(t, tr)
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Fatalf("v2 round trip changed events:\nwant %+v\ngot  %+v", tr.Events, got.Events)
+	}
+}
+
+func TestTraceJSONReadsLegacyV1(t *testing.T) {
+	// A v1 document: no "v" in the header, no ts_ns on events. Must
+	// parse, with zero timestamps meaning "not recorded".
+	in := `{"kind":"async-jacobi-trace","n":2}` + "\n" +
+		`{"row":0,"count":1,"seq":0,"reads":[{"row":1,"version":0}]}` + "\n" +
+		`{"row":1,"count":1,"seq":1}` + "\n"
+	tr, err := ReadTraceJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("v1 document rejected: %v", err)
+	}
+	if len(tr.Events) != 2 {
+		t.Fatalf("got %d events", len(tr.Events))
+	}
+	for _, e := range tr.Events {
+		if e.TimestampNs != 0 {
+			t.Fatalf("v1 event grew a timestamp: %+v", e)
+		}
+	}
+}
+
+func TestTraceJSONTimestampOmittedWhenZero(t *testing.T) {
+	tr := &Trace{N: 1, Events: []Event{{Row: 0, Count: 1, Seq: 0}}}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "ts_ns") {
+		t.Fatalf("zero timestamp serialized:\n%s", buf.String())
+	}
+}
+
+func TestTraceJSONRejectsNewerSchema(t *testing.T) {
+	in := `{"kind":"async-jacobi-trace","n":2,"v":3}` + "\n"
+	_, err := ReadTraceJSON(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "newer than supported") {
+		t.Fatalf("future schema error = %v", err)
+	}
+}

@@ -47,6 +47,8 @@ type SolverMetrics struct {
 
 	simRelax, simMsgs, simDropped *Counter
 	simTime                       *Gauge
+
+	traceEvents, traceDropped *CounterVec
 }
 
 // NewSolverMetrics registers the solver metric families on reg and
@@ -100,7 +102,26 @@ func NewSolverMetrics(reg *Registry) *SolverMetrics {
 		"Simulated boundary messages lost to failure injection.").With()
 	m.simTime = reg.NewGauge("aj_sim_virtual_seconds",
 		"Virtual time of the cluster simulation.").With()
+	m.traceEvents = reg.NewCounter("aj_trace_events_total",
+		"Execution-trace events retained in the ring buffer, by worker.", "worker")
+	m.traceDropped = reg.NewCounter("aj_trace_dropped_total",
+		"Execution-trace events lost to ring-buffer wraparound, by worker. "+
+			"Nonzero means the recorded schedule is a suffix of the real one.", "worker")
 	return m
+}
+
+// TraceCaptured reports one worker's execution-trace capture totals
+// after a solve: events retained in its ring and events lost to
+// wraparound. Trace loss is an observability signal of its own — a
+// truncated ring silently turns "the realized schedule" into "the last
+// window of it".
+func (m *SolverMetrics) TraceCaptured(worker, events, dropped int) {
+	if m == nil {
+		return
+	}
+	w := strconv.Itoa(worker)
+	m.traceEvents.With(w).Add(events)
+	m.traceDropped.With(w).Add(dropped)
 }
 
 // Registry returns the backing registry (nil on a nil handle).

@@ -6,8 +6,12 @@ import (
 	"testing/quick"
 
 	"repro/internal/matgen"
+	"repro/internal/trace"
 )
 
+// BenchmarkAsyncSolve is the trace-disabled baseline: Options.Tracer is
+// nil, so the tracing instrumentation must cost only nil checks and the
+// result must stay within noise of the pre-tracing seed.
 func BenchmarkAsyncSolve(b *testing.B) {
 	a := matgen.FD2D(32, 32)
 	rng := rand.New(rand.NewPCG(1, 1))
@@ -17,6 +21,26 @@ func BenchmarkAsyncSolve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Solve(a, bb, x0, Options{Threads: 8, MaxIters: 50, Async: true})
+	}
+}
+
+// BenchmarkAsyncSolveTraced measures the enabled tracer: every
+// relaxation records start/end, per-read versions, and the write, into
+// per-worker rings sized to hold the whole run.
+func BenchmarkAsyncSolveTraced(b *testing.B) {
+	a := matgen.FD2D(32, 32)
+	rng := rand.New(rand.NewPCG(1, 1))
+	bb := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Sized to hold the whole run: 50 iterations x 128 rows/worker
+		// x ~7 events/relaxation stays under the default capacity.
+		rec := trace.NewRecorder(8, trace.DefaultCapacity)
+		b.StartTimer()
+		Solve(a, bb, x0, Options{Threads: 8, MaxIters: 50, Async: true, Tracer: rec})
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 	"repro/internal/vec"
 )
 
@@ -83,6 +84,14 @@ type Options struct {
 	// counters. A nil handle disables everything at the cost of a
 	// per-iteration nil check.
 	Metrics *obs.SolverMetrics
+	// Tracer, when non-nil, records timestamped execution events into
+	// per-worker ring buffers: relaxation start/end, neighbor reads
+	// with versions, solution writes, yields, injected delays, and
+	// termination-flag transitions. Unlike RecordTrace (unbounded,
+	// versions only) the tracer is bounded and timestamped; the trace
+	// package bridges its output back to a model.Trace. A nil handle
+	// costs one pointer test per recording site.
+	Tracer *trace.Recorder
 }
 
 // HistoryPoint is one convergence sample of a running solve.
@@ -161,10 +170,12 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 	// Versions back the trace recording: version[i] counts completed
 	// relaxations of row i, incremented after the value write, so a
 	// read attributing version v saw the value of relaxation >= v.
+	// The timestamped tracer needs them too — its read events carry
+	// the same s_ij(k) version samples.
 	var version []atomic.Int64
 	traces := make([][]model.Event, nt)
 	var seq atomic.Int64
-	if opt.RecordTrace {
+	if opt.RecordTrace || opt.Tracer != nil {
 		version = make([]atomic.Int64, n)
 	}
 
@@ -200,6 +211,7 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 				yrng = rand.New(rand.NewPCG(uint64(t)+1, 0x51e1d))
 			}
 			wm := opt.Metrics.Worker(t)
+			tw := opt.Tracer.Worker(t)
 			// Neighbor workers whose rows this worker reads, for
 			// staleness sampling.
 			var neighbors []int
@@ -223,6 +235,7 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 			microYield := func() {
 				if yrng != nil && yrng.Float64() < opt.YieldProb {
 					wm.IncYield()
+					tw.Yield()
 					runtime.Gosched()
 				}
 			}
@@ -245,6 +258,7 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 				}
 				if opt.DelayThread == t && opt.Delay > 0 {
 					wm.IncDelay()
+					tw.Delay(iter + 1)
 					time.Sleep(opt.Delay)
 				}
 				if myColor != nil {
@@ -277,10 +291,15 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 						if opt.RecordTrace {
 							ev = &model.Event{Row: i, Count: iter + 1, Seq: int(seq.Add(1))}
 						}
+						tw.RelaxStart(i, iter+1)
 						for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 							j := a.Col[k]
-							if ev != nil && j != i {
-								ev.Reads = append(ev.Reads, model.Read{Row: j, Version: int(version[j].Load())})
+							if version != nil && j != i {
+								v := int(version[j].Load())
+								if ev != nil {
+									ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
+								}
+								tw.ReadVersion(i, iter+1, j, v)
 							}
 							s -= a.Val[k] * x.Load(j)
 						}
@@ -289,6 +308,8 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 						if version != nil {
 							version[i].Add(1)
 						}
+						tw.Write(i, iter+1)
+						tw.RelaxEnd(i, iter+1)
 						if ev != nil {
 							traces[t] = append(traces[t], *ev)
 						}
@@ -303,14 +324,20 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 						if opt.RecordTrace {
 							ev = &model.Event{Row: i, Count: iter + 1, Seq: int(seq.Add(1))}
 						}
+						tw.RelaxStart(i, iter+1)
 						for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 							j := a.Col[k]
-							if ev != nil && j != i {
-								ev.Reads = append(ev.Reads, model.Read{Row: j, Version: int(version[j].Load())})
+							if version != nil && j != i {
+								v := int(version[j].Load())
+								if ev != nil {
+									ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
+								}
+								tw.ReadVersion(i, iter+1, j, v)
 							}
 							s -= a.Val[k] * x.Load(j)
 						}
 						local[i-lo] = s
+						tw.RelaxEnd(i, iter+1)
 						if ev != nil {
 							traces[t] = append(traces[t], *ev)
 						}
@@ -325,6 +352,7 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 						if version != nil {
 							version[i].Add(1)
 						}
+						tw.Write(i, iter+1)
 						microYield()
 					}
 					iter++
@@ -360,6 +388,7 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 					}
 					if conv || iter >= opt.MaxIters {
 						flags[t].Store(true)
+						tw.FlagRaise(iter)
 						done = true
 					}
 				}
@@ -383,6 +412,7 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 					}
 				}
 				if all {
+					tw.Decided(iter)
 					return
 				}
 				// Hard stop: never iterate unboundedly past the budget
@@ -392,6 +422,7 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 				}
 				if opt.Async && !opt.NoYield {
 					wm.IncYield()
+					tw.Yield()
 					runtime.Gosched()
 				}
 			}
@@ -416,6 +447,14 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 	res.Converged = opt.Tol > 0 && res.RelRes <= opt.Tol
 	opt.Metrics.SetResidual(res.RelRes)
 	opt.Metrics.SetConverged(res.Converged)
+	if opt.Tracer != nil {
+		// Trace loss is itself observable: per-worker capture and
+		// wraparound-drop counts flow into the metrics registry.
+		for t := 0; t < nt; t++ {
+			ring := opt.Tracer.Worker(t)
+			opt.Metrics.TraceCaptured(t, ring.Len(), ring.Dropped())
+		}
+	}
 	if opt.RecordTrace {
 		var events []model.Event
 		for _, tr := range traces {

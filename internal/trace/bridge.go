@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sparse"
+)
+
+// Bridge from a timestamped live trace to the propagation-matrix model
+// of Section IV: ToModelTrace reconstructs the (row, count, reads)
+// relaxation history that model.Analyze schedules into propagation
+// steps, and VerifyNorms closes the loop with Theorem 1 by checking
+// ||Ĝ(k)||_inf and ||Ĥ(k)||_1 on every recorded mask.
+
+// relaxation is one reconstructed row relaxation.
+type relaxation struct {
+	row, count int
+	ts         int64
+	reads      []model.Read
+}
+
+// ToModelTrace reconstructs a model.Trace from the recorder's rings
+// for an n-row system. Relaxations are rebuilt from
+// RelaxStart/Read/RelaxEnd groups; groups truncated by ring wraparound
+// are discarded, and when wraparound removed the early history of a
+// row the surviving counts are rebased to 1 (read versions of that row
+// rebase with it; reads of pre-window versions clamp to the initial
+// value 0). Event Seq order and TimestampNs both come from the
+// relaxation-start timestamps, so the model sees the schedule the
+// hardware actually executed.
+func ToModelTrace(rec *Recorder, n int) (*model.Trace, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("trace: nil recorder")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: system dimension must be positive")
+	}
+	var relaxes []relaxation
+	for id := 0; id < rec.Workers(); id++ {
+		pending := map[int32]*relaxation{}
+		for _, e := range rec.Worker(id).Events() {
+			if e.Row < 0 {
+				continue
+			}
+			if int(e.Row) >= n {
+				return nil, fmt.Errorf("trace: row %d out of range for n=%d", e.Row, n)
+			}
+			switch e.Kind {
+			case KindRelaxStart:
+				pending[e.Row] = &relaxation{row: int(e.Row), count: int(e.Iter), ts: e.TS}
+			case KindRead:
+				if p, ok := pending[e.Row]; ok && p.count == int(e.Iter) {
+					p.reads = append(p.reads, model.Read{Row: int(e.Peer), Version: int(e.Payload)})
+				}
+			case KindRelaxEnd:
+				if p, ok := pending[e.Row]; ok && p.count == int(e.Iter) {
+					relaxes = append(relaxes, *p)
+					delete(pending, e.Row)
+				}
+			}
+		}
+	}
+	if len(relaxes) == 0 {
+		return nil, fmt.Errorf("trace: no complete relaxation events recorded")
+	}
+	// Per-row base: wraparound drops the oldest prefix of each worker's
+	// stream, so the surviving counts of a row form a contiguous suffix
+	// [min..max]; rebase it to [1..max-min+1]. Non-contiguous counts
+	// mean the ring was corrupted (or two workers relaxed one row).
+	minCount := make([]int, n)
+	maxCount := make([]int, n)
+	seen := make([]int, n)
+	for _, rx := range relaxes {
+		if seen[rx.row] == 0 || rx.count < minCount[rx.row] {
+			minCount[rx.row] = rx.count
+		}
+		if seen[rx.row] == 0 || rx.count > maxCount[rx.row] {
+			maxCount[rx.row] = rx.count
+		}
+		seen[rx.row]++
+	}
+	base := make([]int, n)
+	for i := 0; i < n; i++ {
+		if seen[i] == 0 {
+			continue
+		}
+		if maxCount[i]-minCount[i]+1 != seen[i] {
+			return nil, fmt.Errorf("trace: row %d relaxation counts not contiguous (%d events spanning [%d,%d])",
+				i, seen[i], minCount[i], maxCount[i])
+		}
+		base[i] = minCount[i] - 1
+	}
+	sort.Slice(relaxes, func(a, b int) bool {
+		if relaxes[a].ts != relaxes[b].ts {
+			return relaxes[a].ts < relaxes[b].ts
+		}
+		if relaxes[a].row != relaxes[b].row {
+			return relaxes[a].row < relaxes[b].row
+		}
+		return relaxes[a].count < relaxes[b].count
+	})
+	tr := &model.Trace{N: n}
+	for seq, rx := range relaxes {
+		ev := model.Event{
+			Row:         rx.row,
+			Count:       rx.count - base[rx.row],
+			Seq:         seq,
+			TimestampNs: rx.ts,
+		}
+		for _, rd := range rx.reads {
+			v := rd.Version - base[rd.Row]
+			if v < 0 {
+				v = 0
+			}
+			ev.Reads = append(ev.Reads, model.Read{Row: rd.Row, Version: v})
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: reconstructed trace invalid: %w", err)
+	}
+	return tr, nil
+}
+
+// VerifyReport is the outcome of replaying a trace through the
+// propagation model and checking Theorem 1's norm bounds on the
+// recorded masks.
+type VerifyReport struct {
+	Analysis *model.PropagationAnalysis
+	// MasksChecked counts the step masks whose Ĝ/Ĥ norms were formed
+	// (≤ MaxMasks when capped).
+	MasksChecked int
+	// MaxGNormInf and MaxHNorm1 are the largest norms observed across
+	// the checked masks. Theorem 1: both equal 1 on a W.D.D.
+	// unit-diagonal matrix whenever a mask delays at least one row, and
+	// stay ≤ 1 for full masks.
+	MaxGNormInf float64
+	MaxHNorm1   float64
+	// Violations counts masks whose norm exceeded 1 + tol.
+	Violations int
+}
+
+// VerifyNorms runs the propagation analysis on tr and checks
+// ||Ĝ(k)||_inf ≤ 1+tol and ||Ĥ(k)||_1 ≤ 1+tol for each recorded step
+// mask (dense n² work per mask; maxMasks > 0 caps how many are
+// formed, 0 checks all).
+func VerifyNorms(a *sparse.CSR, tr *model.Trace, tol float64, maxMasks int) (*VerifyReport, error) {
+	if a.N != tr.N {
+		return nil, fmt.Errorf("trace: matrix dimension %d != trace dimension %d", a.N, tr.N)
+	}
+	an, err := tr.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	rep := &VerifyReport{Analysis: an}
+	for _, mask := range an.Steps {
+		if maxMasks > 0 && rep.MasksChecked >= maxMasks {
+			break
+		}
+		g := model.GHat(a, mask).NormInf()
+		h := model.HHat(a, mask).Norm1()
+		if g > rep.MaxGNormInf {
+			rep.MaxGNormInf = g
+		}
+		if h > rep.MaxHNorm1 {
+			rep.MaxHNorm1 = h
+		}
+		if g > 1+tol || h > 1+tol {
+			rep.Violations++
+		}
+		rep.MasksChecked++
+	}
+	return rep, nil
+}

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/matgen"
+)
+
+func TestToModelTraceSimple(t *testing.T) {
+	rec := NewRecorder(2, 64)
+	w0, w1 := rec.Worker(0), rec.Worker(1)
+	// Row 0 relaxes twice, row 1 once, interleaved so the timestamp
+	// order is (0,1), (1,1), (0,2).
+	w0.RelaxStart(0, 1)
+	w0.ReadVersion(0, 1, 1, 0)
+	w0.RelaxEnd(0, 1)
+	w1.RelaxStart(1, 1)
+	w1.ReadVersion(1, 1, 0, 1)
+	w1.RelaxEnd(1, 1)
+	w0.RelaxStart(0, 2)
+	w0.ReadVersion(0, 2, 1, 1)
+	w0.RelaxEnd(0, 2)
+
+	tr, err := ToModelTrace(rec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 3 || tr.N != 2 {
+		t.Fatalf("got %d events, n=%d", len(tr.Events), tr.N)
+	}
+	want := []struct{ row, count, readRow, readVer int }{
+		{0, 1, 1, 0}, {1, 1, 0, 1}, {0, 2, 1, 1},
+	}
+	for i, w := range want {
+		e := tr.Events[i]
+		if e.Row != w.row || e.Count != w.count || e.Seq != i {
+			t.Fatalf("event %d = %+v, want row %d count %d seq %d", i, e, w.row, w.count, i)
+		}
+		if len(e.Reads) != 1 || e.Reads[0].Row != w.readRow || e.Reads[0].Version != w.readVer {
+			t.Fatalf("event %d reads %+v", i, e.Reads)
+		}
+		if e.TimestampNs == 0 {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+		if i > 0 && e.TimestampNs < tr.Events[i-1].TimestampNs {
+			t.Fatalf("timestamps not ordered at %d", i)
+		}
+	}
+}
+
+func TestToModelTraceRebaseAfterWraparound(t *testing.T) {
+	// One worker owns both rows; 3 events per relaxation, ring of 12.
+	// 10 relaxations each of rows 0 and 1 (60 events) leave the last
+	// 12 = relaxations (0,9),(1,9),(0,10),(1,10) retained; the bridge
+	// must rebase counts to 1..2 and read versions with them.
+	rec := NewRecorder(1, 12)
+	w := rec.Worker(0)
+	for c := 1; c <= 10; c++ {
+		w.RelaxStart(0, c)
+		w.ReadVersion(0, c, 1, c-1)
+		w.RelaxEnd(0, c)
+		w.RelaxStart(1, c)
+		w.ReadVersion(1, c, 0, c)
+		w.RelaxEnd(1, c)
+	}
+	if w.Dropped() == 0 {
+		t.Fatal("test did not wrap the ring")
+	}
+	tr, err := ToModelTrace(rec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 4 {
+		t.Fatalf("got %d events, want 4", len(tr.Events))
+	}
+	// Rows 0 and 1 both survive with original counts 9, 10 → rebased
+	// 1, 2 (base 8). Row 0's count-9 read of (1, 8) rebases to (1, 0).
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("rebased trace invalid: %v", err)
+	}
+	e0 := tr.Events[0]
+	if e0.Row != 0 || e0.Count != 1 || e0.Reads[0].Row != 1 || e0.Reads[0].Version != 0 {
+		t.Fatalf("first rebased event %+v", e0)
+	}
+	e1 := tr.Events[1]
+	if e1.Row != 1 || e1.Count != 1 || e1.Reads[0].Version != 1 {
+		t.Fatalf("second rebased event %+v (read %+v)", e1, e1.Reads[0])
+	}
+}
+
+func TestToModelTraceClampsPreWindowReads(t *testing.T) {
+	// Row 1 wraps away its early history; row 0's read of a pre-window
+	// version of row 1 clamps to the initial value 0.
+	rec := NewRecorder(2, 6)
+	w0, w1 := rec.Worker(0), rec.Worker(1)
+	for c := 1; c <= 10; c++ { // wraps: keeps counts 9, 10
+		w1.RelaxStart(1, c)
+		w1.RelaxEnd(1, c)
+	}
+	w0.RelaxStart(0, 1)
+	w0.ReadVersion(0, 1, 1, 3) // version 3 predates row 1's window (base 8)
+	w0.RelaxEnd(0, 1)
+	tr, err := ToModelTrace(rec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Events {
+		if e.Row == 0 && e.Reads[0].Version != 0 {
+			t.Fatalf("pre-window read not clamped: %+v", e.Reads[0])
+		}
+	}
+}
+
+func TestToModelTraceErrors(t *testing.T) {
+	if _, err := ToModelTrace(nil, 2); err == nil {
+		t.Fatal("nil recorder accepted")
+	}
+	rec := NewRecorder(1, 8)
+	if _, err := ToModelTrace(rec, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := ToModelTrace(rec, 2); err == nil {
+		t.Fatal("empty recorder accepted")
+	}
+	rec.Worker(0).RelaxStart(5, 1)
+	rec.Worker(0).RelaxEnd(5, 1)
+	if _, err := ToModelTrace(rec, 2); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+}
+
+func TestVerifyNormsOnSyntheticSchedule(t *testing.T) {
+	// A W.D.D. Laplacian and a hand-built exact-read schedule: every
+	// recorded mask must satisfy Theorem 1's norm bounds.
+	a := matgen.Laplace1D(4)
+	rec := NewRecorder(1, 256)
+	w := rec.Worker(0)
+	for c := 1; c <= 3; c++ {
+		for i := 0; i < 4; i++ {
+			w.RelaxStart(i, c)
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				if j := a.Col[k]; j != i {
+					// Synchronous schedule: read last completed version.
+					w.ReadVersion(i, c, j, c-1)
+				}
+			}
+			w.RelaxEnd(i, c)
+		}
+	}
+	tr, err := ToModelTrace(rec, a.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyNorms(a, tr, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Analysis.Fraction != 1 {
+		t.Fatalf("synchronous schedule should be fully propagated, got %.2f", rep.Analysis.Fraction)
+	}
+	if rep.MasksChecked == 0 || rep.Violations != 0 {
+		t.Fatalf("masks=%d violations=%d", rep.MasksChecked, rep.Violations)
+	}
+	if rep.MaxGNormInf > 1+1e-9 || rep.MaxHNorm1 > 1+1e-9 {
+		t.Fatalf("norms exceed Theorem 1 bound: G=%.3g H=%.3g", rep.MaxGNormInf, rep.MaxHNorm1)
+	}
+}
+
+func TestVerifyNormsDimensionMismatch(t *testing.T) {
+	a := matgen.Laplace1D(4)
+	rec := NewRecorder(1, 8)
+	rec.Worker(0).RelaxStart(0, 1)
+	rec.Worker(0).RelaxEnd(0, 1)
+	tr, err := ToModelTrace(rec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyNorms(a, tr, 1e-9, 0); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestVerifyNormsMaskCap(t *testing.T) {
+	a := matgen.Laplace1D(3)
+	rec := NewRecorder(1, 256)
+	w := rec.Worker(0)
+	for c := 1; c <= 4; c++ {
+		for i := 0; i < 3; i++ {
+			w.RelaxStart(i, c)
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				if j := a.Col[k]; j != i {
+					w.ReadVersion(i, c, j, c-1)
+				}
+			}
+			w.RelaxEnd(i, c)
+		}
+	}
+	tr, err := ToModelTrace(rec, a.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyNorms(a, tr, 1e-9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MasksChecked != 2 {
+		t.Fatalf("mask cap ignored: checked %d", rep.MasksChecked)
+	}
+}

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: the recorded rings serialize to the JSON
+// object format understood by chrome://tracing and Perfetto
+// (https://ui.perfetto.dev). One track (tid) per worker/rank;
+// relaxations render as complete slices, everything else as instant
+// events, and message traffic as flow arrows connecting each send/put
+// to the receive that observed its iteration stamp.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// us converts a recorder-relative nanosecond stamp to the microsecond
+// float the trace-event format uses.
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// flowID identifies the send(src, iter) -> recv(dst) flow. Both sides
+// can compute it: the sender knows (itself, peer, iter); the receiver
+// knows (peer, itself, stamp). Bounded by P^2 * 2^32 < 2^53 for any
+// realistic worker count, so the value survives JSON number parsing.
+func flowID(src, dst, p int, iter int64) int64 {
+	return (int64(src)*int64(p)+int64(dst))<<32 | (iter & 0xffffffff)
+}
+
+// WriteChrome serializes the recorder's rings as Chrome trace-event
+// JSON. proc names the process track ("shm" / "dist").
+func WriteChrome(w io.Writer, rec *Recorder, proc string) error {
+	if rec == nil {
+		return fmt.Errorf("trace: nil recorder")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		first = false
+		_, err = bw.Write(data)
+		return err
+	}
+
+	if err := emit(chromeEvent{Name: "process_name", Ph: "M",
+		Args: map[string]any{"name": proc}}); err != nil {
+		return err
+	}
+	p := rec.Workers()
+	for id := 0; id < p; id++ {
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", TID: id,
+			Args: map[string]any{"name": fmt.Sprintf("%s %d", proc, id)}}); err != nil {
+			return err
+		}
+	}
+
+	type open struct {
+		ts    int64
+		count int32
+		reads int
+	}
+	for id := 0; id < p; id++ {
+		ring := rec.Worker(id)
+		pending := map[int32]open{}
+		for _, e := range ring.Events() {
+			switch e.Kind {
+			case KindRelaxStart:
+				pending[e.Row] = open{ts: e.TS, count: e.Iter}
+			case KindRead:
+				// Folded into the enclosing relax slice as a read count;
+				// the per-read versions feed the model bridge, where they
+				// matter, rather than the timeline, where they'd flood it.
+				if o, ok := pending[e.Row]; ok {
+					o.reads++
+					pending[e.Row] = o
+				}
+			case KindRelaxEnd:
+				o, ok := pending[e.Row]
+				if !ok || o.count != e.Iter {
+					// Orphaned end (its start was overwritten by ring
+					// wraparound): render as an instant.
+					if err := emit(chromeEvent{Name: "relax", Cat: "relax", Ph: "i",
+						TS: us(e.TS), TID: id, S: "t",
+						Args: map[string]any{"row": e.Row, "count": e.Iter}}); err != nil {
+						return err
+					}
+					continue
+				}
+				delete(pending, e.Row)
+				name := fmt.Sprintf("relax r%d", e.Row)
+				if e.Row < 0 {
+					// Rank-level slice: the whole local iteration.
+					name = fmt.Sprintf("iter %d", e.Iter)
+				}
+				if err := emit(chromeEvent{
+					Name: name, Cat: "relax", Ph: "X",
+					TS: us(o.ts), Dur: us(e.TS - o.ts), TID: id,
+					Args: map[string]any{"row": e.Row, "count": e.Iter, "reads": o.reads},
+				}); err != nil {
+					return err
+				}
+			case KindSend, KindPut:
+				name := "send"
+				if e.Kind == KindPut {
+					name = "put"
+				}
+				if err := emit(chromeEvent{Name: name, Cat: "comm", Ph: "X",
+					TS: us(e.TS), Dur: 1, TID: id,
+					Args: map[string]any{"to": e.Peer, "iter": e.Iter}}); err != nil {
+					return err
+				}
+				if e.Payload > 0 {
+					if err := emit(chromeEvent{Name: "ghost", Cat: "comm", Ph: "s",
+						TS: us(e.TS), TID: id,
+						ID: flowID(id, int(e.Peer), p, e.Payload)}); err != nil {
+						return err
+					}
+				}
+			case KindRecv:
+				if err := emit(chromeEvent{Name: "recv", Cat: "comm", Ph: "X",
+					TS: us(e.TS), Dur: 1, TID: id,
+					Args: map[string]any{"from": e.Peer, "stamp": e.Payload}}); err != nil {
+					return err
+				}
+				if e.Payload > 0 {
+					if err := emit(chromeEvent{Name: "ghost", Cat: "comm", Ph: "f", BP: "e",
+						TS: us(e.TS), TID: id,
+						ID: flowID(int(e.Peer), id, p, e.Payload)}); err != nil {
+						return err
+					}
+				}
+			default:
+				args := map[string]any{}
+				if e.Row >= 0 {
+					args["row"] = e.Row
+				}
+				if e.Iter != 0 {
+					args["iter"] = e.Iter
+				}
+				if e.Peer >= 0 {
+					args["peer"] = e.Peer
+				}
+				if err := emit(chromeEvent{Name: e.Kind.String(), Cat: "state", Ph: "i",
+					TS: us(e.TS), TID: id, S: "t", Args: args}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

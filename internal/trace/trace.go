@@ -1,0 +1,338 @@
+// Package trace is the timestamped execution-tracing subsystem: it
+// captures what the metrics of internal/obs deliberately aggregate
+// away — the realized update schedule itself. The paper's Fig 2
+// methodology is literally "print the solution components that i read
+// from other rows for each relaxation of i"; this package is that
+// printout made cheap (fixed-capacity per-worker ring buffers,
+// lock-free single-writer append, one 32-byte record per event) and
+// useful (a Chrome trace-event exporter for Perfetto timelines, and a
+// bridge that replays a live trace through the propagation-matrix
+// model of Section IV).
+//
+// Like obs.SolverMetrics, every handle is nil-safe: a nil *Recorder
+// yields nil *Ring handles whose methods no-op, so the disabled path
+// in a solver hot loop costs one pointer comparison.
+package trace
+
+import "time"
+
+// Kind classifies one trace event.
+type Kind uint8
+
+const (
+	// KindRelaxStart/KindRelaxEnd bracket the residual computation of
+	// one row relaxation (Row, Iter = 1-based relaxation count). In the
+	// two-phase solvers the write lands later, as a KindWrite event.
+	KindRelaxStart Kind = iota + 1
+	KindRelaxEnd
+	// KindRead is one neighbor read inside a relaxation: row Row's
+	// Iter-th relaxation consumed version Payload of row Peer — the
+	// s_ij(k) sample of Eq. 5.
+	KindRead
+	// KindWrite marks the solution write (and version increment) of
+	// row Row's Iter-th relaxation.
+	KindWrite
+	// KindYield is a scheduler yield by the recording worker.
+	KindYield
+	// KindDelay is an injected slow-worker sleep before iteration Iter.
+	KindDelay
+	// KindFlagRaise/KindFlagLower are termination-flag transitions of
+	// the recording worker/rank at local iteration Iter.
+	KindFlagRaise
+	KindFlagLower
+	// KindSend is a point-to-point boundary message to rank Peer
+	// stamped with local iteration Iter.
+	KindSend
+	// KindPut is an RMA window put to rank Peer stamped with local
+	// iteration Iter.
+	KindPut
+	// KindRecv is ghost-data arrival from rank Peer whose iteration
+	// stamp was Payload (message receive or window refresh observing a
+	// new stamp).
+	KindRecv
+	// Dijkstra-Safra token-ring events (see internal/dist).
+	KindTokenPass
+	KindTokenBlacken
+	KindHalt
+	// KindDecided marks the recording worker/rank observing the global
+	// termination decision.
+	KindDecided
+)
+
+// String names the kind for exporters and debugging.
+func (k Kind) String() string {
+	switch k {
+	case KindRelaxStart:
+		return "relax-start"
+	case KindRelaxEnd:
+		return "relax-end"
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	case KindYield:
+		return "yield"
+	case KindDelay:
+		return "delay"
+	case KindFlagRaise:
+		return "flag-raise"
+	case KindFlagLower:
+		return "flag-lower"
+	case KindSend:
+		return "send"
+	case KindPut:
+		return "put"
+	case KindRecv:
+		return "recv"
+	case KindTokenPass:
+		return "token-pass"
+	case KindTokenBlacken:
+		return "token-blacken"
+	case KindHalt:
+		return "halt"
+	case KindDecided:
+		return "decided"
+	}
+	return "unknown"
+}
+
+// Event is one fixed-size trace record: 8+8+4+4+4+1 bytes pad to 32,
+// so two events share a cache line and a ring of 2^16 events costs
+// 2 MiB. Fields not meaningful for a kind are -1 (Row, Peer) or 0.
+type Event struct {
+	// TS is a monotonic nanosecond timestamp relative to the
+	// recorder's start (all rings of one recorder share the epoch, so
+	// cross-worker ordering is meaningful).
+	TS int64
+	// Payload is kind-specific: the consumed version for KindRead, the
+	// observed iteration stamp for KindRecv.
+	Payload int64
+	// Row is the subject row, or -1 for worker-level events.
+	Row int32
+	// Iter is the 1-based relaxation count (row events) or local
+	// iteration (worker/rank events).
+	Iter int32
+	// Peer is the read source row (KindRead) or the other rank
+	// (message events), or -1.
+	Peer int32
+	Kind Kind
+}
+
+// Ring is one worker's fixed-capacity event buffer. Exactly one
+// goroutine — the owning worker — may append; when the buffer is full
+// new events overwrite the oldest (the tail of a long run is usually
+// the interesting part), and the overwritten count is reported by
+// Dropped. Readers must not call Events or Dropped until the owning
+// goroutine has finished (the solvers' WaitGroup join provides the
+// happens-before edge), which is what lets the append path stay free
+// of atomics entirely.
+type Ring struct {
+	buf  []Event
+	n    uint64 // total events appended (monotone)
+	base time.Time
+	id   int
+}
+
+// Record appends one raw event; nil-safe.
+func (r *Ring) Record(k Kind, row, iter, peer int32, payload int64) {
+	if r == nil {
+		return
+	}
+	i := r.n % uint64(len(r.buf))
+	r.buf[i] = Event{
+		TS:      int64(time.Since(r.base)),
+		Payload: payload,
+		Row:     row,
+		Iter:    iter,
+		Peer:    peer,
+		Kind:    k,
+	}
+	r.n++
+}
+
+// Typed helpers — all nil-safe, all one Record call.
+
+// RelaxStart marks the beginning of row's count-th relaxation.
+func (r *Ring) RelaxStart(row, count int) {
+	r.Record(KindRelaxStart, int32(row), int32(count), -1, 0)
+}
+
+// RelaxEnd marks the end of row's count-th relaxation (read phase).
+func (r *Ring) RelaxEnd(row, count int) {
+	r.Record(KindRelaxEnd, int32(row), int32(count), -1, 0)
+}
+
+// ReadVersion records that row's count-th relaxation read version of
+// row src.
+func (r *Ring) ReadVersion(row, count, src, version int) {
+	r.Record(KindRead, int32(row), int32(count), int32(src), int64(version))
+}
+
+// Write records the solution write of row's count-th relaxation.
+func (r *Ring) Write(row, count int) {
+	r.Record(KindWrite, int32(row), int32(count), -1, 0)
+}
+
+// Yield records a scheduler yield.
+func (r *Ring) Yield() { r.Record(KindYield, -1, 0, -1, 0) }
+
+// Delay records an injected slow-worker sleep before iteration iter.
+func (r *Ring) Delay(iter int) { r.Record(KindDelay, -1, int32(iter), -1, 0) }
+
+// FlagRaise records this worker raising its termination flag.
+func (r *Ring) FlagRaise(iter int) { r.Record(KindFlagRaise, -1, int32(iter), -1, 0) }
+
+// FlagLower records this worker lowering its termination flag.
+func (r *Ring) FlagLower(iter int) { r.Record(KindFlagLower, -1, int32(iter), -1, 0) }
+
+// Flag records a termination-flag transition in the given direction.
+func (r *Ring) Flag(up bool, iter int) {
+	if up {
+		r.FlagRaise(iter)
+	} else {
+		r.FlagLower(iter)
+	}
+}
+
+// Send records a boundary message to rank peer stamped iter.
+func (r *Ring) Send(peer, iter int) { r.Record(KindSend, -1, int32(iter), int32(peer), int64(iter)) }
+
+// Put records an RMA window put to rank peer stamped iter.
+func (r *Ring) Put(peer, iter int) { r.Record(KindPut, -1, int32(iter), int32(peer), int64(iter)) }
+
+// Recv records ghost data from rank peer carrying iteration stamp.
+func (r *Ring) Recv(peer, stamp int) { r.Record(KindRecv, -1, 0, int32(peer), int64(stamp)) }
+
+// TokenPass records forwarding the termination token at iteration iter.
+func (r *Ring) TokenPass(iter int) { r.Record(KindTokenPass, -1, int32(iter), -1, 0) }
+
+// TokenBlacken records dirtying the token at iteration iter.
+func (r *Ring) TokenBlacken(iter int) { r.Record(KindTokenBlacken, -1, int32(iter), -1, 0) }
+
+// Halt records sending/forwarding the halt broadcast.
+func (r *Ring) Halt(iter int) { r.Record(KindHalt, -1, int32(iter), -1, 0) }
+
+// Decided records observing the global termination decision.
+func (r *Ring) Decided(iter int) { r.Record(KindDecided, -1, int32(iter), -1, 0) }
+
+// ID returns the owning worker/rank id (-1 on nil).
+func (r *Ring) ID() int {
+	if r == nil {
+		return -1
+	}
+	return r.id
+}
+
+// Len reports how many events the ring currently holds.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.n < uint64(len(r.buf)) {
+		return int(r.n)
+	}
+	return len(r.buf)
+}
+
+// Total reports how many events were ever appended.
+func (r *Ring) Total() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.n)
+}
+
+// Dropped reports how many events were overwritten by wraparound.
+func (r *Ring) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	if d := int(r.n) - len(r.buf); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Events returns the retained events oldest-first. The returned slice
+// aliases the ring; callers must not append to the ring afterwards.
+func (r *Ring) Events() []Event {
+	if r == nil || r.n == 0 {
+		return nil
+	}
+	if r.n <= uint64(len(r.buf)) {
+		return r.buf[:r.n]
+	}
+	// Wrapped: oldest retained event sits at the write cursor.
+	cut := int(r.n % uint64(len(r.buf)))
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[cut:]...)
+	return append(out, r.buf[:cut]...)
+}
+
+// Recorder owns one ring per worker/rank, sharing a monotonic epoch.
+type Recorder struct {
+	rings []*Ring
+	base  time.Time
+}
+
+// DefaultCapacity is the per-worker ring size commands use unless told
+// otherwise: 2^16 events = 2 MiB per worker.
+const DefaultCapacity = 1 << 16
+
+// NewRecorder allocates rings for `workers` workers, each holding
+// `capacity` events (DefaultCapacity if capacity <= 0).
+func NewRecorder(workers, capacity int) *Recorder {
+	if workers <= 0 {
+		panic("trace: workers must be positive")
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	rec := &Recorder{base: time.Now(), rings: make([]*Ring, workers)}
+	for i := range rec.rings {
+		rec.rings[i] = &Ring{buf: make([]Event, capacity), base: rec.base, id: i}
+	}
+	return rec
+}
+
+// Worker returns the ring owned by worker id; nil-safe, and nil when
+// id is out of range (a solver may be asked for more workers than the
+// recorder was sized for — those workers simply go unrecorded).
+func (rec *Recorder) Worker(id int) *Ring {
+	if rec == nil || id < 0 || id >= len(rec.rings) {
+		return nil
+	}
+	return rec.rings[id]
+}
+
+// Workers reports the number of rings (0 on nil).
+func (rec *Recorder) Workers() int {
+	if rec == nil {
+		return 0
+	}
+	return len(rec.rings)
+}
+
+// TotalEvents sums retained events across rings.
+func (rec *Recorder) TotalEvents() int {
+	if rec == nil {
+		return 0
+	}
+	n := 0
+	for _, r := range rec.rings {
+		n += r.Len()
+	}
+	return n
+}
+
+// TotalDropped sums wraparound losses across rings.
+func (rec *Recorder) TotalDropped() int {
+	if rec == nil {
+		return 0
+	}
+	n := 0
+	for _, r := range rec.rings {
+		n += r.Dropped()
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package trace
+
+import "testing"
+
+func TestNilHandlesNoOp(t *testing.T) {
+	var rec *Recorder
+	if rec.Worker(0) != nil {
+		t.Fatal("nil recorder returned a ring")
+	}
+	if rec.Workers() != 0 || rec.TotalEvents() != 0 || rec.TotalDropped() != 0 {
+		t.Fatal("nil recorder reported nonzero totals")
+	}
+	var r *Ring
+	// Every recording method must be callable on a nil ring.
+	r.Record(KindRead, 0, 1, 2, 3)
+	r.RelaxStart(0, 1)
+	r.RelaxEnd(0, 1)
+	r.ReadVersion(0, 1, 1, 0)
+	r.Write(0, 1)
+	r.Yield()
+	r.Delay(1)
+	r.FlagRaise(1)
+	r.FlagLower(1)
+	r.Flag(true, 1)
+	r.Send(1, 1)
+	r.Put(1, 1)
+	r.Recv(1, 1)
+	r.TokenPass(1)
+	r.TokenBlacken(1)
+	r.Halt(1)
+	r.Decided(1)
+	if r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 || r.Events() != nil || r.ID() != -1 {
+		t.Fatal("nil ring reported recorded state")
+	}
+}
+
+func TestRingAppendOrder(t *testing.T) {
+	rec := NewRecorder(1, 8)
+	r := rec.Worker(0)
+	for i := 0; i < 5; i++ {
+		r.RelaxStart(i, 1)
+	}
+	evs := r.Events()
+	if len(evs) != 5 || r.Total() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d total=%d dropped=%d", len(evs), r.Total(), r.Dropped())
+	}
+	for i, e := range evs {
+		if int(e.Row) != i {
+			t.Fatalf("event %d has row %d", i, e.Row)
+		}
+		if i > 0 && e.TS < evs[i-1].TS {
+			t.Fatalf("timestamps not monotone: %d then %d", evs[i-1].TS, e.TS)
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	rec := NewRecorder(1, 4)
+	r := rec.Worker(0)
+	for i := 0; i < 10; i++ {
+		r.RelaxStart(i, 1)
+	}
+	if r.Len() != 4 || r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("len=%d total=%d dropped=%d", r.Len(), r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	// Oldest-first: rows 6, 7, 8, 9 survive.
+	for i, e := range evs {
+		if int(e.Row) != 6+i {
+			t.Fatalf("event %d has row %d, want %d", i, e.Row, 6+i)
+		}
+	}
+	if rec.TotalEvents() != 4 || rec.TotalDropped() != 6 {
+		t.Fatalf("recorder totals: events=%d dropped=%d", rec.TotalEvents(), rec.TotalDropped())
+	}
+}
+
+func TestWorkerOutOfRange(t *testing.T) {
+	rec := NewRecorder(2, 8)
+	if rec.Worker(-1) != nil || rec.Worker(2) != nil {
+		t.Fatal("out-of-range worker id returned a ring")
+	}
+	if rec.Worker(1) == nil || rec.Worker(1).ID() != 1 {
+		t.Fatal("in-range worker missing or misnumbered")
+	}
+}
+
+func TestSharedEpochOrdersAcrossRings(t *testing.T) {
+	rec := NewRecorder(2, 8)
+	rec.Worker(0).RelaxStart(0, 1)
+	rec.Worker(1).RelaxStart(1, 1)
+	rec.Worker(0).RelaxStart(0, 2)
+	a := rec.Worker(0).Events()
+	b := rec.Worker(1).Events()
+	if !(a[0].TS <= b[0].TS && b[0].TS <= a[1].TS) {
+		t.Fatalf("cross-ring timestamps out of order: %d, %d, %d", a[0].TS, b[0].TS, a[1].TS)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindRelaxStart; k <= KindDecided; k++ {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(0).String() != "unknown" || Kind(200).String() != "unknown" {
+		t.Fatal("invalid kinds must stringify as unknown")
+	}
+}
