@@ -47,6 +47,7 @@ func main() {
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics server alive this long after the solve finishes")
 	traceOut := flag.String("trace-out", "", "record per-rank execution events and write Chrome trace-event JSON here")
 	traceCap := flag.Int("trace-cap", 0, "trace ring-buffer capacity per rank (0 = default)")
+	ff := cli.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cli.Usagef("ajdist", "unexpected arguments %v", flag.Args())
@@ -70,6 +71,13 @@ func main() {
 		cli.Fatalf("ajdist", "%v", err)
 	}
 	ts := cli.NewTraceSink(*traceOut, "dist", *ranks, *traceCap)
+	plan, err := ff.Plan(*ranks)
+	if err != nil {
+		cli.Usagef("ajdist", "%v", err)
+	}
+	if plan != nil && !*async {
+		cli.Usagef("ajdist", "-fault-* flags apply to the asynchronous solver; add -async")
+	}
 	opt := dist.SolveOptions{
 		Procs:         *ranks,
 		Part:          pt,
@@ -80,6 +88,7 @@ func main() {
 		RecordHistory: *history,
 		Metrics:       mx.Handle(),
 		Tracer:        ts.Recorder(),
+		Fault:         plan,
 	}
 	switch *term {
 	case "flags":
@@ -116,6 +125,9 @@ func main() {
 	fmt.Printf("mode:        %s, termination %s\n", mode, *term)
 	fmt.Printf("rel res:     %.6g (converged=%v)\n", res.RelRes, res.Converged)
 	fmt.Printf("relax/n:     %.1f\n", float64(res.TotalRelaxations)/float64(a.N))
+	if res.Resumes > 0 {
+		fmt.Printf("resumes:     %d (termination latched on stale ghosts; solve continued)\n", res.Resumes)
+	}
 	fmt.Printf("wall time:   %v\n", res.WallTime.Round(time.Millisecond))
 	if *history {
 		stride := len(res.History) / 20

@@ -47,6 +47,7 @@ func main() {
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics server alive this long after the solve finishes")
 	traceOut := flag.String("trace-out", "", "record a jacobi-async run and write Chrome trace-event JSON here")
 	traceCap := flag.Int("trace-cap", 0, "trace ring-buffer capacity per worker (0 = default)")
+	ff := cli.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cli.Usagef("ajsolve", "unexpected arguments %v", flag.Args())
@@ -86,6 +87,13 @@ func main() {
 		cli.Usagef("ajsolve", "-trace-out records the asynchronous solver; use -method jacobi-async")
 	}
 	ts := cli.NewTraceSink(*traceOut, "shm", *threads, *traceCap)
+	plan, err := ff.Plan(*threads)
+	if err != nil {
+		cli.Usagef("ajsolve", "%v", err)
+	}
+	if plan != nil && m != core.JacobiAsync {
+		cli.Usagef("ajsolve", "-fault-* flags apply to the asynchronous solver; use -method jacobi-async")
+	}
 	t0 := time.Now()
 	res, err := core.Solve(a, b, core.Options{
 		Method:    m,
@@ -96,6 +104,7 @@ func main() {
 		BlockSize: *blockSize,
 		Metrics:   mx.Handle(),
 		Tracer:    ts.Recorder(),
+		Fault:     plan,
 	})
 	if err != nil {
 		cli.Fatalf("ajsolve", "%v", err)

@@ -1,0 +1,121 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// FaultFlags is the -fault-* command-line surface shared by the solver
+// tools. Register it on a FlagSet before Parse; after Parse, Plan
+// resolves the values into a fault.Plan (nil when every knob is at its
+// default, which the solvers treat as faults-disabled).
+type FaultFlags struct {
+	seed         *uint64
+	drop         *float64
+	dup          *float64
+	reorder      *float64
+	delayMean    *time.Duration
+	delayAlpha   *float64
+	delayProb    *float64
+	delayMax     *time.Duration
+	delayRanks   *string
+	stallRank    *int
+	stallIter    *int
+	stallFor     *time.Duration
+	crashRanks   *string
+	crashIter    *int
+	restart      *bool
+	restartAfter *time.Duration
+	termTimeout  *time.Duration
+}
+
+// RegisterFaultFlags installs the -fault-* flags on fs (use
+// flag.CommandLine from a main) and returns the handle Plan reads after
+// parsing.
+func RegisterFaultFlags(fs *flag.FlagSet) *FaultFlags {
+	ff := &FaultFlags{}
+	ff.seed = fs.Uint64("fault-seed", 1, "fault-injection RNG seed (decisions replay per rank)")
+	ff.drop = fs.Float64("fault-drop", 0, "per-message drop probability (async solvers only)")
+	ff.dup = fs.Float64("fault-dup", 0, "per-message duplication probability")
+	ff.reorder = fs.Float64("fault-reorder", 0, "per-message reordering probability (point-to-point links)")
+	ff.delayMean = fs.Duration("fault-delay-mean", 0, "mean of the heavy-tailed per-iteration delay (0 = off)")
+	ff.delayAlpha = fs.Float64("fault-delay-alpha", 0, "Pareto tail index of the delay distribution (0 = default 1.5)")
+	ff.delayProb = fs.Float64("fault-delay-prob", 0, "per-iteration probability of drawing a delay (0 = every iteration)")
+	ff.delayMax = fs.Duration("fault-delay-max", 0, "cap on a single delay draw (0 = 50x mean)")
+	ff.delayRanks = fs.String("fault-delay-ranks", "", "comma-separated ranks the delay applies to (empty = all)")
+	ff.stallRank = fs.Int("fault-stall-rank", -1, "rank that stalls once (-1 = none)")
+	ff.stallIter = fs.Int("fault-stall-iter", 0, "local iteration before which the stall fires")
+	ff.stallFor = fs.Duration("fault-stall-for", 0, "stall duration")
+	ff.crashRanks = fs.String("fault-crash-ranks", "", "comma-separated ranks that fail-stop (empty = none)")
+	ff.crashIter = fs.Int("fault-crash-iter", 0, "local iteration before which the crashes fire")
+	ff.restart = fs.Bool("fault-restart", false, "crashed ranks rejoin from their current iterate")
+	ff.restartAfter = fs.Duration("fault-restart-after", 0, "outage length before a restart (0 = 1ms)")
+	ff.termTimeout = fs.Duration("fault-term-timeout", 0,
+		"deadline before termination degrades to the surviving ranks after a crash (0 = 2s)")
+	return ff
+}
+
+// Plan resolves the parsed flags into a validated fault plan for a
+// procs-rank (or procs-thread) world. It returns (nil, nil) when no
+// fault knob was set.
+func (ff *FaultFlags) Plan(procs int) (*fault.Plan, error) {
+	if ff == nil {
+		return nil, nil
+	}
+	delayRanks, err := parseRankList(*ff.delayRanks)
+	if err != nil {
+		return nil, fmt.Errorf("cli: -fault-delay-ranks: %w", err)
+	}
+	crashRanks, err := parseRankList(*ff.crashRanks)
+	if err != nil {
+		return nil, fmt.Errorf("cli: -fault-crash-ranks: %w", err)
+	}
+	p := &fault.Plan{
+		Seed:         *ff.seed,
+		Drop:         *ff.drop,
+		Dup:          *ff.dup,
+		Reorder:      *ff.reorder,
+		DelayMean:    *ff.delayMean,
+		DelayAlpha:   *ff.delayAlpha,
+		DelayProb:    *ff.delayProb,
+		DelayMax:     *ff.delayMax,
+		DelayRanks:   delayRanks,
+		StallRank:    *ff.stallRank,
+		StallIter:    *ff.stallIter,
+		StallFor:     *ff.stallFor,
+		CrashRanks:   crashRanks,
+		CrashIter:    *ff.crashIter,
+		Restart:      *ff.restart,
+		RestartAfter: *ff.restartAfter,
+		TermTimeout:  *ff.termTimeout,
+	}
+	if !p.Enabled() {
+		return nil, nil
+	}
+	if err := p.Validate(procs); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseRankList parses a comma-separated rank list ("0,3,7"); empty
+// input yields nil.
+func parseRankList(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var ranks []int
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad rank %q: %w", f, err)
+		}
+		ranks = append(ranks, v)
+	}
+	return ranks, nil
+}

@@ -1,0 +1,176 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parseFaultFlags(t *testing.T, args ...string) *FaultFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	ff := RegisterFaultFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return ff
+}
+
+func TestFaultFlagsDisabledByDefault(t *testing.T) {
+	ff := parseFaultFlags(t)
+	plan, err := ff.Plan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil {
+		t.Fatal("default flags must yield a nil plan")
+	}
+}
+
+func TestFaultFlagsBuildPlan(t *testing.T) {
+	ff := parseFaultFlags(t,
+		"-fault-seed", "7",
+		"-fault-drop", "0.1",
+		"-fault-delay-mean", "2ms",
+		"-fault-delay-ranks", "1,3",
+		"-fault-crash-ranks", "2",
+		"-fault-crash-iter", "50",
+		"-fault-restart",
+		"-fault-term-timeout", "500ms",
+	)
+	plan, err := ff.Plan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil {
+		t.Fatal("expected a plan")
+	}
+	if plan.Seed != 7 || plan.Drop != 0.1 || plan.DelayMean != 2*time.Millisecond {
+		t.Fatalf("plan fields wrong: %+v", plan)
+	}
+	if len(plan.DelayRanks) != 2 || plan.DelayRanks[1] != 3 {
+		t.Fatalf("delay ranks wrong: %v", plan.DelayRanks)
+	}
+	if len(plan.CrashRanks) != 1 || plan.CrashRanks[0] != 2 || !plan.Restart {
+		t.Fatalf("crash config wrong: %+v", plan)
+	}
+	if plan.TermDeadline() != 500*time.Millisecond {
+		t.Fatalf("term deadline %v", plan.TermDeadline())
+	}
+}
+
+func TestFaultFlagsRejectBadInput(t *testing.T) {
+	// Bad rank list.
+	ff := parseFaultFlags(t, "-fault-crash-ranks", "2,x")
+	if _, err := ff.Plan(8); err == nil {
+		t.Fatal("bad rank list accepted")
+	}
+	// Out-of-range crash rank caught by Validate.
+	ff = parseFaultFlags(t, "-fault-crash-ranks", "9")
+	if _, err := ff.Plan(8); err == nil {
+		t.Fatal("out-of-range crash rank accepted")
+	}
+	// Probability outside [0,1].
+	ff = parseFaultFlags(t, "-fault-drop", "1.5")
+	if _, err := ff.Plan(8); err == nil {
+		t.Fatal("drop probability 1.5 accepted")
+	}
+}
+
+// captureExit replaces the process-exit hook for the duration of the
+// test and returns a pointer to the recorded exit code (-1 = not
+// called).
+func captureExit(t *testing.T) *int {
+	t.Helper()
+	code := -1
+	old := exit
+	exit = func(c int) { code = c }
+	t.Cleanup(func() { exit = old; exitHooks = nil })
+	return &code
+}
+
+func TestFatalfRunsExitHooks(t *testing.T) {
+	code := captureExit(t)
+	var order []string
+	OnExit(func() { order = append(order, "first") })
+	OnExit(func() { order = append(order, "second") })
+	Fatalf("test", "boom: %d", 42)
+	if *code != 1 {
+		t.Fatalf("exit code %d, want 1", *code)
+	}
+	// Hooks run newest-first, like defers, and only once.
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Fatalf("hook order %v", order)
+	}
+	Usagef("test", "again")
+	if len(order) != 2 {
+		t.Fatal("hooks ran twice")
+	}
+	if *code != 2 {
+		t.Fatalf("exit code %d, want 2", *code)
+	}
+}
+
+func TestTraceSinkFlushedByFatalf(t *testing.T) {
+	code := captureExit(t)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	ts := NewTraceSink(path, "shm", 2, 64)
+	ts.Recorder().Worker(0).RelaxStart(1, 1)
+	ts.Recorder().Worker(0).RelaxEnd(1, 1)
+	// A fatal error before the main's explicit ts.Finish() used to
+	// discard the capture; the exit hook must land it on disk.
+	Fatalf("test", "post-solve failure")
+	if *code != 1 {
+		t.Fatalf("exit code %d", *code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace not flushed by Fatalf: %v", err)
+	}
+	if !strings.Contains(string(data), "traceEvents") {
+		t.Fatal("flushed trace is not Chrome JSON")
+	}
+	// The explicit Finish on the happy path must now be a no-op rather
+	// than rewriting (and double-reporting) the file.
+	if err := ts.Finish(); err != nil {
+		t.Fatalf("idempotent Finish errored: %v", err)
+	}
+}
+
+func TestMetricsDumpFlushedByUsagef(t *testing.T) {
+	captureExit(t)
+	m, err := NewMetrics("", true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Handle().SetWorkers(3)
+	// Redirect the emergency dump (it writes to stdout).
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStdout := os.Stdout
+	os.Stdout = w
+	Usagef("test", "bad flag after metrics were live")
+	os.Stdout = oldStdout
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "aj_workers") {
+		t.Fatalf("metrics dump not flushed by Usagef, got %q", data)
+	}
+	var sb strings.Builder
+	if err := m.Finish(&sb); err != nil {
+		t.Fatalf("idempotent Finish errored: %v", err)
+	}
+	if sb.Len() != 0 {
+		t.Fatal("second Finish dumped again")
+	}
+}

@@ -9,20 +9,46 @@ import (
 	"repro/internal/obs"
 )
 
+// exit is swapped out by tests; the real thing never returns.
+var exit = os.Exit
+
+// exitHooks run (newest first) before Fatalf/Usagef terminate the
+// process. The trace and metrics sinks register their flushes here so a
+// fatal error after the solve still lands the captured data on disk —
+// previously a Fatalf between the solve and the explicit Finish calls
+// silently discarded the whole trace.
+var exitHooks []func()
+
+// OnExit registers fn to run before Fatalf or Usagef exit. Hooks run in
+// reverse registration order (like defers). They do not run on a normal
+// return from main; the happy path calls its Finish methods explicitly
+// (Finish is idempotent, so both firing is harmless).
+func OnExit(fn func()) { exitHooks = append(exitHooks, fn) }
+
+func runExitHooks() {
+	for i := len(exitHooks) - 1; i >= 0; i-- {
+		exitHooks[i]()
+	}
+	exitHooks = nil
+}
+
 // Fatalf reports a runtime error on stderr, prefixed by the tool name,
-// and exits with code 1. Every cmd/ main routes its fatal paths through
-// here (or Usagef) so error output and exit codes stay uniform.
+// runs the exit hooks, and exits with code 1. Every cmd/ main routes
+// its fatal paths through here (or Usagef) so error output and exit
+// codes stay uniform.
 func Fatalf(tool, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
-	os.Exit(1)
+	runExitHooks()
+	exit(1)
 }
 
 // Usagef reports a bad invocation (unknown flag value, missing
-// argument) on stderr and exits with code 2 — the same code the flag
-// package uses for parse failures.
+// argument) on stderr, runs the exit hooks, and exits with code 2 — the
+// same code the flag package uses for parse failures.
 func Usagef(tool, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
-	os.Exit(2)
+	runExitHooks()
+	exit(2)
 }
 
 // Metrics bundles the observability plumbing shared by the solver
@@ -36,6 +62,7 @@ type Metrics struct {
 	server *obs.Server
 	dump   bool
 	linger time.Duration
+	done   bool
 }
 
 // NewMetrics builds the command-level metrics plumbing. addr != ""
@@ -60,6 +87,10 @@ func NewMetrics(addr string, dump bool, linger time.Duration) (*Metrics, error) 
 		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics (pprof at /debug/pprof/)\n",
 			srv.Addr())
 	}
+	// Flush on the Fatalf/Usagef paths too, so a post-solve error does
+	// not discard a requested -metrics-dump. The emergency path skips
+	// the linger window: an erroring process should exit promptly.
+	OnExit(func() { _ = m.finish(os.Stdout, false) })
 	return m, nil
 }
 
@@ -82,17 +113,23 @@ func (m *Metrics) Addr() string {
 
 // Finish completes the metrics lifecycle after the solve: it writes the
 // Prometheus snapshot to w if dumping was requested, keeps the HTTP
-// server alive for the linger window, then shuts it down.
+// server alive for the linger window, then shuts it down. Idempotent —
+// the exit hooks may have already flushed.
 func (m *Metrics) Finish(w io.Writer) error {
-	if m == nil {
+	return m.finish(w, true)
+}
+
+func (m *Metrics) finish(w io.Writer, linger bool) error {
+	if m == nil || m.done {
 		return nil
 	}
+	m.done = true
 	var err error
 	if m.dump && m.reg != nil {
 		err = m.reg.WritePrometheus(w)
 	}
 	if m.server != nil {
-		if m.linger > 0 {
+		if linger && m.linger > 0 {
 			fmt.Fprintf(os.Stderr, "metrics: lingering %v before shutdown\n", m.linger)
 			time.Sleep(m.linger)
 		}

@@ -16,6 +16,7 @@ type TraceSink struct {
 	rec  *trace.Recorder
 	path string
 	proc string
+	done bool
 }
 
 // NewTraceSink builds the command-level tracing plumbing. path == ""
@@ -28,6 +29,14 @@ func NewTraceSink(path, proc string, workers, capacity int) *TraceSink {
 		return s
 	}
 	s.rec = trace.NewRecorder(workers, capacity)
+	// Flush on the Fatalf/Usagef paths too: a fatal error between the
+	// solve and the main's explicit Finish call used to discard the
+	// entire captured trace.
+	OnExit(func() {
+		if err := s.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		}
+	})
 	return s
 }
 
@@ -42,11 +51,13 @@ func (s *TraceSink) Recorder() *trace.Recorder {
 
 // Finish writes the Chrome trace-event file after the solve and
 // reports the capture totals on stderr, including how many events
-// were overwritten by ring wraparound.
+// were overwritten by ring wraparound. Idempotent — the exit hooks may
+// have already flushed.
 func (s *TraceSink) Finish() error {
-	if s == nil || s.rec == nil {
+	if s == nil || s.rec == nil || s.done {
 		return nil
 	}
+	s.done = true
 	f, err := os.Create(s.path)
 	if err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/shm"
@@ -96,6 +97,11 @@ type Options struct {
 	// JacobiAsync into per-worker ring buffers (see internal/trace).
 	// Ignored by the sequential methods. Nil disables recording.
 	Tracer *trace.Recorder
+	// Fault, when non-nil and enabled, injects deterministic adversity
+	// into JacobiAsync: heavy-tailed per-worker delays, stalls, and
+	// crashes with optional restart (see internal/fault). Ignored by
+	// the sequential methods, which have no concurrency to disturb.
+	Fault *fault.Plan
 }
 
 // Result reports a solve.
@@ -322,6 +328,7 @@ func solveAsync(a *sparse.CSR, b, x0 []float64, o Options) (*Result, error) {
 		RecordHistory: o.RecordHistory,
 		Metrics:       o.Metrics,
 		Tracer:        o.Tracer,
+		Fault:         o.Fault,
 	})
 	res := &Result{
 		X:         sres.X,

@@ -1,0 +1,217 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/matgen"
+	"repro/internal/obs"
+)
+
+// The headline acceptance scenario: a seeded run with 10% message drop
+// and one crashed-then-restarted rank still converges on a W.D.D.
+// Laplacian (Theorem 1 — faults are just delays; a restart resumes the
+// infinitely-delayed process).
+func TestDistFaultDropAndCrashConverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	a := matgen.FD2D(8, 8) // W.D.D. unit-diagonal after FD2D's scaling
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	const tol = 1e-4
+	reg := obs.NewRegistry()
+	m := obs.NewSolverMetrics(reg)
+	res := Solve(a, b, x0, SolveOptions{
+		Procs: 8, MaxIters: 100000, Tol: tol, Async: true,
+		Termination: FlagTree, DelayRank: -1, Metrics: m,
+		Fault: &fault.Plan{
+			Seed:         42,
+			Drop:         0.10,
+			StallRank:    -1,
+			CrashRanks:   []int{3},
+			CrashIter:    20,
+			Restart:      true,
+			RestartAfter: time.Millisecond,
+		},
+	})
+	if !res.Converged || res.RelRes > tol {
+		t.Fatalf("10%% drop + crash/restart did not converge: relres=%g converged=%v",
+			res.RelRes, res.Converged)
+	}
+	for p, it := range res.Iterations {
+		if it == 0 {
+			t.Fatalf("rank %d recorded zero iterations after restart", p)
+		}
+	}
+}
+
+// Injected message faults must show up in the metrics registry.
+func TestDistFaultMetricsCounted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	a := matgen.FD2D(6, 6)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	reg := obs.NewRegistry()
+	m := obs.NewSolverMetrics(reg)
+	Solve(a, b, x0, SolveOptions{
+		Procs: 4, MaxIters: 300, Async: true, DelayRank: -1, Metrics: m,
+		Fault: &fault.Plan{Seed: 1, Drop: 0.2, Dup: 0.1, StallRank: -1},
+	})
+	drops := m.FaultDropCount()
+	dups := m.FaultDupCount()
+	if drops == 0 || dups == 0 {
+		t.Fatalf("fault counters not incremented: drops=%d dups=%d", drops, dups)
+	}
+}
+
+// With every rank crashed and no restart, Solve must return promptly
+// (degraded, unconverged) instead of hanging or spinning resume passes.
+func TestDistAllRanksCrashedReturns(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	a := matgen.FD2D(6, 6)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	done := make(chan *Result, 1)
+	go func() {
+		done <- Solve(a, b, x0, SolveOptions{
+			Procs: 4, MaxIters: 100000, Tol: 1e-6, Async: true,
+			Termination: FlagTree, DelayRank: -1,
+			Fault: &fault.Plan{
+				Seed: 2, StallRank: -1,
+				CrashRanks: []int{0, 1, 2, 3}, CrashIter: 2,
+			},
+		})
+	}()
+	var res *Result
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("all-ranks-crashed solve hung")
+	}
+	if res.Converged {
+		t.Fatal("all ranks crashed but the solve claims convergence")
+	}
+	for p, it := range res.Iterations {
+		if it > 2 {
+			t.Fatalf("rank %d iterated %d times past its crash", p, it)
+		}
+	}
+	for i, v := range res.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("x[%d] = %g after total crash", i, v)
+		}
+	}
+}
+
+// A rank crashed before its first iteration must not zero out
+// Result.History: the assembly uses the minimum over ranks that
+// completed at least one iteration.
+func TestDistHistoryWithZeroIterationRank(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	a := matgen.FD2D(6, 6)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	res := Solve(a, b, x0, SolveOptions{
+		Procs: 4, MaxIters: 2000, Tol: 1e-6, Async: true,
+		Termination: FlagTree, DelayRank: -1, RecordHistory: true,
+		Fault: &fault.Plan{
+			Seed: 3, StallRank: -1,
+			CrashRanks: []int{1}, CrashIter: 0, // dead before iteration 1
+		},
+	})
+	if res.Iterations[1] != 0 {
+		t.Fatalf("crashed-at-0 rank iterated %d times", res.Iterations[1])
+	}
+	if len(res.History) == 0 {
+		t.Fatal("History empty despite three surviving ranks iterating")
+	}
+	for k, h := range res.History {
+		if math.IsNaN(h) || math.IsInf(h, 0) {
+			t.Fatalf("History[%d] = %g", k, h)
+		}
+	}
+}
+
+// Satellite regression for the early-termination race: under heavy
+// message loss the flag-tree local tests fire on stale ghost data, so a
+// detection can latch while the exact residual is still above
+// tolerance. The recheck-and-resume loop must guarantee the contract
+// Converged == (RelRes <= Tol) regardless.
+func TestDistRecheckResumeContract(t *testing.T) {
+	a := matgen.FD2D(8, 8)
+	const tol = 1e-4
+	for seed := uint64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		b := randomVec(rng, a.N)
+		x0 := randomVec(rng, a.N)
+		res := Solve(a, b, x0, SolveOptions{
+			Procs: 8, MaxIters: 200000, Tol: tol, Async: true,
+			Termination: FlagTree, DelayRank: -1,
+			Fault: &fault.Plan{Seed: seed, Drop: 0.9, StallRank: -1},
+		})
+		if res.Converged != (res.RelRes <= tol) {
+			t.Fatalf("seed %d: Converged=%v but RelRes=%g (tol %g)",
+				seed, res.Converged, res.RelRes, tol)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: 90%% drop exhausted the budget: relres=%g resumes=%d",
+				seed, res.RelRes, res.Resumes)
+		}
+	}
+}
+
+// A crashed rank must not hang Dijkstra-Safra: its mailbox can hold the
+// token forever, so after the deadline the surviving ranks decide over
+// the flag board instead.
+func TestDistSafraCrashDegrades(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 20))
+	a := matgen.FD2D(6, 6)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	done := make(chan *Result, 1)
+	go func() {
+		done <- Solve(a, b, x0, SolveOptions{
+			Procs: 4, MaxIters: 3000, Tol: 1e-6, Async: true,
+			Termination: DijkstraSafra, DelayRank: -1,
+			Fault: &fault.Plan{
+				Seed: 4, StallRank: -1,
+				CrashRanks: []int{2}, CrashIter: 10,
+				TermTimeout: 100 * time.Millisecond,
+			},
+		})
+	}()
+	var res *Result
+	select {
+	case res = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Safra run with a crashed rank hung")
+	}
+	// The dead block freezes, so the exact tolerance is unreachable;
+	// what matters is that the run ended and reported that honestly.
+	if res.Converged {
+		t.Fatalf("converged with a dead block: relres=%g", res.RelRes)
+	}
+	if res.Iterations[2] > 10 {
+		t.Fatalf("crashed rank kept iterating: %d", res.Iterations[2])
+	}
+}
+
+// Eager (point-to-point) async under drop/dup/reorder exercises the
+// held-message reordering path; the solve must still converge.
+func TestDistEagerFaultsConverge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	const tol = 1e-4
+	res := Solve(a, b, x0, SolveOptions{
+		Procs: 4, MaxIters: 200000, Tol: tol, Async: true, Eager: true,
+		Termination: FlagTree, DelayRank: -1,
+		Fault: &fault.Plan{Seed: 5, Drop: 0.1, Dup: 0.05, Reorder: 0.1, StallRank: -1},
+	})
+	if !res.Converged || res.RelRes > tol {
+		t.Fatalf("eager async under faults: relres=%g converged=%v", res.RelRes, res.Converged)
+	}
+}

@@ -1,12 +1,14 @@
 package dist
 
 import (
+	"math"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sparse"
@@ -46,6 +48,17 @@ type SolveOptions struct {
 	// DelayRank, when >= 0, makes that rank sleep Delay each iteration.
 	DelayRank int
 	Delay     time.Duration
+	// Fault, when non-nil and enabled, injects adversity at the
+	// communication points of the asynchronous solver: per-link message
+	// drop/duplication/reordering, heavy-tailed per-rank iteration
+	// delays, a one-shot stall, and rank crashes with optional restart
+	// from the current iterate. Crashed ranks mark themselves dead on
+	// the termination board, and a deadline wrapper degrades both the
+	// flag-tree and Dijkstra-Safra schemes to the surviving active
+	// block instead of hanging the run. Ignored by the synchronous
+	// solver (dropping a message a blocking Recv is waiting on would
+	// deadlock, not degrade). See internal/fault.
+	Fault *fault.Plan
 	// RecordHistory samples each rank's local residual 1-norm per local
 	// iteration; Result.History then carries the approximate global
 	// relative residual per (minimum) iteration count, assembled from
@@ -63,24 +76,32 @@ type SolveOptions struct {
 	// per-rank ring buffers: iteration start/end, message sends and RMA
 	// puts with iteration stamps, ghost arrivals with the stamp they
 	// carried (which is what lets the Chrome exporter draw send→receive
-	// flow arrows), injected delays, termination-flag transitions, and
-	// Safra token traffic. Nil costs one pointer test per site.
+	// flow arrows), injected delays and faults, termination-flag
+	// transitions, and Safra token traffic. Nil costs one pointer test
+	// per site.
 	Tracer *trace.Recorder
 }
 
 // Result reports a distributed solve.
 type Result struct {
 	X                []float64
-	Iterations       []int // per-rank local iterations
+	Iterations       []int // per-rank local iterations (summed over resume passes)
 	TotalRelaxations int
 	RelRes           float64 // exact, recomputed after the run
 	Converged        bool
 	WallTime         time.Duration
+	// Resumes counts recheck-and-resume passes: times the asynchronous
+	// termination detection latched on stale ghost data while the exact
+	// residual was still above tolerance, and the solve continued from
+	// the current iterate with the remaining budget.
+	Resumes int
 	// History[k] approximates the global relative residual 1-norm when
-	// every rank had completed k+1 local iterations (sum of per-rank
-	// local norms sampled at that iteration). Filled when
+	// every participating rank had completed k+1 local iterations (sum
+	// of per-rank local norms sampled at that iteration). Filled when
 	// SolveOptions.RecordHistory is set; its length is the minimum
-	// iteration count across ranks.
+	// iteration count across ranks that completed at least one
+	// iteration (a rank crashed before its first iteration does not
+	// zero out the whole history).
 	History []float64
 }
 
@@ -162,6 +183,16 @@ func buildPlans(a *sparse.CSR, part *partition.Partition) []*ghostPlan {
 
 // Solve runs distributed Jacobi. The returned X is gathered from all
 // ranks; RelRes is recomputed exactly from X.
+//
+// For the asynchronous solver with a positive tolerance, Solve runs a
+// recheck-and-resume loop: the flag-tree and Safra detectors test each
+// rank's *local* residual share, which is computed against possibly
+// stale ghost values, so a detection can latch while the exact global
+// residual is still above tolerance. After each pass Solve recomputes
+// the residual exactly; if it is above Tol and iteration budget
+// remains, the solve resumes from the current iterate. Converged=true
+// is therefore never reported with an exact RelRes > Tol, and an early
+// latch costs a resume pass rather than a failed run.
 func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 	n := a.N
 	if len(b) != n || len(x0) != n {
@@ -169,6 +200,9 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 	}
 	if opt.Procs <= 0 || opt.MaxIters <= 0 {
 		panic("dist: Procs and MaxIters must be positive")
+	}
+	if err := opt.Fault.Validate(opt.Procs); err != nil {
+		panic("dist: " + err.Error())
 	}
 	part := opt.Part
 	if part == nil {
@@ -185,7 +219,89 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 		nb = 1
 	}
 
-	finalX := make([]float64, n)
+	// Injectors persist across resume passes so a fail-stop crash stays
+	// fatal for the whole solve, not just the pass it fired in.
+	injs := opt.Fault.Injectors(opt.Procs)
+
+	res := &Result{
+		Iterations: make([]int, opt.Procs),
+		X:          append([]float64(nil), x0...),
+	}
+	budget := opt.MaxIters
+	rr := make([]float64, n)
+	relres := func() float64 {
+		a.Residual(rr, b, res.X)
+		return vec.Norm1(rr) / nb
+	}
+	prev := math.Inf(1)
+	for {
+		pass := solvePass(a, b, res.X, opt, plans, injs, budget, nb)
+		res.X = pass.x
+		maxIter := 0
+		for p := 0; p < opt.Procs; p++ {
+			res.Iterations[p] += pass.iters[p]
+			res.TotalRelaxations += pass.iters[p] * len(plans[p].rows)
+			if pass.iters[p] > maxIter {
+				maxIter = pass.iters[p]
+			}
+		}
+		res.History = append(res.History, pass.history...)
+		res.RelRes = relres()
+		if !opt.Async || opt.Tol <= 0 || res.RelRes <= opt.Tol {
+			break
+		}
+		budget -= maxIter
+		if budget <= 0 || maxIter == 0 {
+			// Budget exhausted, or no rank can make progress (all
+			// crashed): report the degraded result honestly.
+			break
+		}
+		if res.RelRes > 0.999*prev {
+			// No meaningful progress over the previous pass — a dead
+			// rank's frozen block pins the residual; further passes
+			// would only burn the budget in thousand-iteration slices.
+			break
+		}
+		prev = res.RelRes
+		// Early latch on stale ghosts: resume from the current iterate.
+		res.Resumes++
+		opt.Metrics.TermResume()
+	}
+
+	if opt.Tracer != nil {
+		// Trace loss is itself observable: per-rank capture and
+		// wraparound-drop counts flow into the metrics registry.
+		for p := 0; p < opt.Procs; p++ {
+			ring := opt.Tracer.Worker(p)
+			opt.Metrics.TraceCaptured(p, ring.Len(), ring.Dropped())
+		}
+	}
+
+	res.WallTime = time.Since(t0)
+	res.Converged = opt.Tol > 0 && res.RelRes <= opt.Tol
+	opt.Metrics.SetResidual(res.RelRes)
+	opt.Metrics.SetConverged(res.Converged)
+	return res
+}
+
+// passResult is one solvePass outcome: the gathered iterate, per-rank
+// iteration counts, and the assembled history samples of this pass.
+type passResult struct {
+	x       []float64
+	iters   []int
+	history []float64
+}
+
+// solvePass executes one full parallel solve attempt from x0 with the
+// given per-rank iteration budget. The caller owns the resume loop.
+func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostPlan,
+	injs []*fault.Injector, budget int, nb float64) passResult {
+	n := a.N
+	opt.MaxIters = budget
+
+	// Dead or crashed ranks may never write their block, so the gather
+	// target starts from the pass's initial iterate rather than zeros.
+	finalX := append([]float64(nil), x0...)
 	var finalMu sync.Mutex
 	iters := make([]int, opt.Procs)
 	localHist := make([][]float64, opt.Procs)
@@ -198,6 +314,14 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 		tw := opt.Tracer.Worker(r.ID)
 		gp := plans[r.ID]
 		nown := len(gp.rows)
+		var inj *fault.Injector
+		if injs != nil {
+			inj = injs[r.ID]
+		}
+		// Fault injection applies to the asynchronous solver only: the
+		// synchronous scheme's blocking receives and collectives would
+		// deadlock on a lost message rather than degrade.
+		faultsOn := opt.Async && inj != nil
 		// Local state: own values then ghosts.
 		xl := make([]float64, gp.nLocal)
 		for s, i := range gp.rows {
@@ -228,6 +352,25 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 			win = r.WinAllocate(gp.winLen)
 			win.LockAll()
 			defer win.UnlockAll()
+			// Seed our own ghost slots with the pass's starting iterate:
+			// the window is allocated zeroed on every pass, and the loop
+			// top refreshes ghosts from it unconditionally, so without
+			// the seed a resume pass would overwrite converged ghost
+			// values with zeros — destroying exactly the progress the
+			// resume loop exists to preserve. A neighbor racing ahead of
+			// the seed only reinstates values one Put older; asynchronous
+			// Jacobi tolerates that by construction.
+			wbuf := win.Local(r.ID)
+			for s := 0; s < gp.ghostLen; s++ {
+				wbuf.Store(s, xl[nown+s])
+			}
+		}
+		// A rank that fail-stopped in an earlier pass stays down; it
+		// still took part in the collective window allocation above so
+		// the survivors' setup barrier completes.
+		if faultsOn && inj.Dead() {
+			board.markDead(r.ID)
+			return
 		}
 
 		sendBufs := map[int][]float64{}
@@ -237,6 +380,12 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 				buflen++ // room for the iteration stamp
 			}
 			sendBufs[q] = make([]float64, buflen)
+		}
+		// Reordered point-to-point messages are held back here until
+		// the next send on the same link overtakes them.
+		var held map[int][]float64
+		if faultsOn {
+			held = map[int][]float64{}
 		}
 		// Async: precompute (targetRank, targetOffset) of our boundary
 		// values inside each neighbor's window, plus the slot where our
@@ -268,7 +417,67 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 		if opt.Async && opt.Tol > 0 && opt.Termination == DijkstraSafra {
 			safra = newSafra(r, &safraDecided, opt.Metrics, tw)
 		}
+		// Termination-degradation deadline: once a crash is visible on
+		// the board, a locally-converged rank waits at most this long
+		// for the regular protocol before deciding over the surviving
+		// active block (Safra's token may be parked forever in a dead
+		// rank's mailbox; the flag board skips dead ranks by itself).
+		termDeadline := opt.Fault.TermDeadline()
+		var deadSeen time.Time
+		pollTerm := func(localConv bool) bool {
+			if safra == nil {
+				if board.set(r.ID, localConv) {
+					tw.Flag(localConv, iter)
+				}
+				return board.check()
+			}
+			stop := safra.poll(r, localConv)
+			if !stop && faultsOn && board.anyDead() {
+				if deadSeen.IsZero() {
+					deadSeen = time.Now()
+				}
+				if board.set(r.ID, localConv) {
+					tw.Flag(localConv, iter)
+				}
+				if time.Since(deadSeen) > termDeadline && board.check() {
+					if safraDecided.CompareAndSwap(false, true) {
+						opt.Metrics.FaultTermTimeout()
+						opt.Metrics.TermDecided()
+						tw.TermTimeout(iter)
+					}
+					stop = true
+				}
+			}
+			return stop
+		}
 		for {
+			if faultsOn {
+				if inj.CrashNow(iter) {
+					opt.Metrics.FaultCrash()
+					tw.Crash(iter)
+					after, restart := inj.Restart()
+					if !restart {
+						board.markDead(r.ID)
+						break
+					}
+					// Restart-from-current-x: the rank rejoins after the
+					// outage with the iterate its window and local state
+					// already hold.
+					time.Sleep(after)
+					opt.Metrics.FaultRestart()
+					tw.Restart(iter)
+				}
+				if d := inj.StallFor(iter); d > 0 {
+					opt.Metrics.FaultStall()
+					tw.Stall(iter)
+					time.Sleep(d)
+				}
+				if d := inj.IterDelay(); d > 0 {
+					opt.Metrics.FaultDelay()
+					tw.Delay(iter + 1)
+					time.Sleep(d)
+				}
+			}
 			if opt.DelayRank == r.ID && opt.Delay > 0 {
 				rm.IncDelay()
 				tw.Delay(iter + 1)
@@ -322,16 +531,7 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 					if opt.Tol > 0 {
 						localConv := iter >= opt.MaxIters ||
 							vec.Norm1(rl)/nb <= opt.Tol/float64(r.Size)
-						stop := false
-						if safra != nil {
-							stop = safra.poll(r, localConv)
-						} else {
-							if board.set(r.ID, localConv) {
-								tw.Flag(localConv, iter)
-							}
-							stop = board.check()
-						}
-						if stop {
+						if pollTerm(localConv) {
 							tw.Decided(iter)
 							break
 						}
@@ -341,6 +541,33 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 					idle++
 					if idle >= 1000*opt.MaxIters {
 						break
+					}
+					if faultsOn && idle%1000 == 0 {
+						// Liveness under loss: an eager rank iterates only
+						// on fresh ghosts, so if the last message on a link
+						// is dropped both endpoints idle forever with their
+						// flags down. Periodically retransmit the current
+						// boundary values (each copy drawing its own fate)
+						// so delivery is eventual, the way a real
+						// at-least-once transport would retry.
+						for _, q := range gp.sendTo {
+							buf := sendBufs[q]
+							for t, j := range gp.sendIdx[q] {
+								buf[t] = xl[gp.localOf[j]]
+							}
+							buf[len(buf)-1] = float64(iter)
+							if inj.SendFate(q) == fault.Drop {
+								opt.Metrics.FaultDrop()
+								tw.FaultDrop(q, iter)
+								continue
+							}
+							r.Isend(q, 0, buf)
+							tw.Send(q, iter)
+							if old, ok := held[q]; ok {
+								delete(held, q)
+								r.Isend(q, 0, old)
+							}
+						}
 					}
 					tw.Yield()
 					yield()
@@ -375,7 +602,14 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 				rm.AddRelaxations(nown)
 				rm.SetLocalResidual(vec.Norm1(rl) / nb)
 			}
-			// Communicate boundary values.
+			// Communicate boundary values. Each message first draws its
+			// fate from the fault plan: dropped messages leave the
+			// receiver on stale ghosts, duplicates exercise
+			// at-least-once delivery, and a reordered point-to-point
+			// message is held back until the next send on the same link
+			// overtakes it (the receiver then installs the older values
+			// last). RMA windows have no inter-message ordering, so
+			// Reorder degrades to Deliver there.
 			for _, q := range gp.sendTo {
 				buf := sendBufs[q]
 				for t, j := range gp.sendIdx[q] {
@@ -384,6 +618,15 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 				if eager {
 					buf[len(buf)-1] = float64(iter) // iteration stamp
 				}
+				fate := fault.Deliver
+				if faultsOn {
+					fate = inj.SendFate(q)
+				}
+				if fate == fault.Drop {
+					opt.Metrics.FaultDrop()
+					tw.FaultDrop(q, iter)
+					continue
+				}
 				if opt.Async && !eager {
 					win.Put(q, putOff[q], buf)
 					stampBuf[0] = float64(iter)
@@ -391,9 +634,30 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 					rm.IncPut()
 					rm.IncPut()
 					tw.Put(q, iter)
+					if fate == fault.Dup {
+						win.Put(q, putOff[q], buf)
+						win.Put(q, stampPutOff[q], stampBuf)
+						opt.Metrics.FaultDup()
+						tw.FaultDup(q, iter)
+					}
 				} else {
+					if fate == fault.Reorder {
+						held[q] = append([]float64(nil), buf...)
+						opt.Metrics.FaultReorder()
+						tw.FaultReorder(q, iter)
+						continue
+					}
 					r.Isend(q, 0, buf)
 					tw.Send(q, iter)
+					if fate == fault.Dup {
+						r.Isend(q, 0, buf)
+						opt.Metrics.FaultDup()
+						tw.FaultDup(q, iter)
+					}
+					if old, ok := held[q]; ok {
+						delete(held, q)
+						r.Isend(q, 0, old) // the overtaken message lands late
+					}
 				}
 			}
 			if !opt.Async {
@@ -432,15 +696,7 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 					// (additive in the 1-norm), or budget exhausted.
 					localConv := iter >= opt.MaxIters ||
 						vec.Norm1(rl)/nb <= opt.Tol/float64(r.Size)
-					stop := false
-					if safra != nil {
-						stop = safra.poll(r, localConv)
-					} else {
-						if board.set(r.ID, localConv) {
-							tw.Flag(localConv, iter)
-						}
-						stop = board.check()
-					}
+					stop := pollTerm(localConv)
 					if stop {
 						tw.Decided(iter)
 					}
@@ -460,33 +716,14 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 		finalMu.Unlock()
 	})
 
-	if opt.Tracer != nil {
-		// Trace loss is itself observable: per-rank capture and
-		// wraparound-drop counts flow into the metrics registry.
-		for p := 0; p < opt.Procs; p++ {
-			ring := opt.Tracer.Worker(p)
-			opt.Metrics.TraceCaptured(p, ring.Len(), ring.Dropped())
-		}
-	}
-
-	res := &Result{
-		X:          finalX,
-		Iterations: iters,
-		WallTime:   time.Since(t0),
-	}
-	for p := 0; p < opt.Procs; p++ {
-		res.TotalRelaxations += iters[p] * len(plans[p].rows)
-	}
-	rr := make([]float64, n)
-	a.Residual(rr, b, finalX)
-	res.RelRes = vec.Norm1(rr) / nb
-	res.Converged = opt.Tol > 0 && res.RelRes <= opt.Tol
-	opt.Metrics.SetResidual(res.RelRes)
-	opt.Metrics.SetConverged(res.Converged)
+	pr := passResult{x: finalX, iters: iters}
 	if opt.RecordHistory {
-		minIter := iters[0]
+		// Assemble over ranks that completed at least one iteration, so
+		// a rank crashed before its first iteration does not zero out
+		// the whole history.
+		minIter := 0
 		for _, it := range iters {
-			if it < minIter {
+			if it > 0 && (minIter == 0 || it < minIter) {
 				minIter = it
 			}
 		}
@@ -497,10 +734,11 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 					sum += localHist[p][k]
 				}
 			}
-			res.History = append(res.History, sum/nb)
+			pr.history = append(pr.history, sum/nb)
 		}
 	}
-	return res
+	_ = n
+	return pr
 }
 
 // yield lets other rank goroutines run between asynchronous iterations,

@@ -73,15 +73,34 @@ func (m TerminationMode) String() string {
 // any rank, the latch fixes the decision so late flag-lowering cannot
 // retract a termination some rank already acted on (the standard
 // "commit" step that makes the unstable flag array safe).
+//
+// The board doubles as a fail-stop failure detector for the fault
+// substrate: a crashing rank marks itself dead before exiting, and the
+// all-up test then skips dead ranks, so the surviving active block can
+// still reach a decision instead of waiting forever on a flag that will
+// never rise (the degradation Theorem 1's arbitrary-delay model
+// permits — a crashed process is an infinitely delayed one).
 type flagBoard struct {
 	flags []atomic.Bool
+	dead  []atomic.Bool
+	nDead atomic.Int64
 	done  atomic.Bool
 	m     *obs.SolverMetrics // nil-safe transition counters
 }
 
 func newFlagBoard(p int, m *obs.SolverMetrics) *flagBoard {
-	return &flagBoard{flags: make([]atomic.Bool, p), m: m}
+	return &flagBoard{flags: make([]atomic.Bool, p), dead: make([]atomic.Bool, p), m: m}
 }
+
+// markDead records rank's fail-stop crash; one-way.
+func (fb *flagBoard) markDead(rank int) {
+	if !fb.dead[rank].Swap(true) {
+		fb.nDead.Add(1)
+	}
+}
+
+// anyDead reports whether any rank has fail-stopped.
+func (fb *flagBoard) anyDead() bool { return fb.nDead.Load() > 0 }
 
 // set publishes rank's local convergence state, counting raise/lower
 // transitions. It reports whether the call changed the flag, so the
@@ -98,14 +117,15 @@ func (fb *flagBoard) set(rank int, converged bool) bool {
 	return false
 }
 
-// check returns true once all flags have been seen up; the first
-// observer latches the decision.
+// check returns true once all live ranks' flags have been seen up (dead
+// ranks are vacuously converged — their block froze at its final
+// iterate); the first observer latches the decision.
 func (fb *flagBoard) check() bool {
 	if fb.done.Load() {
 		return true
 	}
 	for q := range fb.flags {
-		if !fb.flags[q].Load() {
+		if !fb.flags[q].Load() && !fb.dead[q].Load() {
 			return false
 		}
 	}

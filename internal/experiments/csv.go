@@ -144,6 +144,24 @@ func RunCSV(name string, w io.Writer, cfg Config) error {
 			return err
 		}
 		return writeSeriesCSV(cw, "relax_per_n", data.Series)
+
+	case "faults":
+		rows, err := RunFaultSweep(cfg)
+		if err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"drop", "crash", "rel_res", "converged",
+			"relax_per_n", "resumes"}); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := cw.Write([]string{ftoa(r.Drop), strconv.FormatBool(r.Crash),
+				ftoa(r.RelRes), strconv.FormatBool(r.Converged),
+				ftoa(r.RelaxPerN), itoa(r.Resumes)}); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	return fmt.Errorf("experiments: no CSV emitter for %q (text-only: fig1, ablation)", name)
 }

@@ -22,8 +22,8 @@ func TestDownsample(t *testing.T) {
 }
 
 func TestNamesAndDispatch(t *testing.T) {
-	if len(Names()) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(Names()))
+	if len(Names()) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(Names()))
 	}
 	var buf bytes.Buffer
 	if err := Run("no-such", &buf, quickCfg()); err == nil {
@@ -298,7 +298,7 @@ func TestAblationsQuick(t *testing.T) {
 }
 
 func TestRunCSV(t *testing.T) {
-	for _, name := range []string{"table1", "fig2", "fig3"} {
+	for _, name := range []string{"table1", "fig2", "fig3", "faults"} {
 		var buf bytes.Buffer
 		if err := RunCSV(name, &buf, quickCfg()); err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -415,6 +415,38 @@ func TestStaleModelQuick(t *testing.T) {
 	}
 	if adv <= fresh*100 {
 		t.Fatalf("adversarial staleness not clearly worse: fresh %g adv %g", fresh, adv)
+	}
+}
+
+func TestFaultSweepQuick(t *testing.T) {
+	rows, err := RunFaultSweep(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 drop rates x {no crash, crash}
+		t.Fatalf("expected 6 fault-sweep rows, got %d", len(rows))
+	}
+	var baseline *FaultSweepRow
+	for i := range rows {
+		r := &rows[i]
+		if r.Drop == 0 && !r.Crash {
+			baseline = r
+		}
+		// Theorem 1: faults cost work, never divergence.
+		if !r.Converged {
+			t.Fatalf("drop=%.2f crash=%v did not converge: relres=%g",
+				r.Drop, r.Crash, r.RelRes)
+		}
+	}
+	if baseline == nil {
+		t.Fatal("missing fault-free baseline row")
+	}
+	// The lossiest run must cost at least as many relaxations as the
+	// clean baseline (dropped updates are paid for in extra sweeps).
+	worst := rows[len(rows)-1]
+	if worst.RelaxPerN < baseline.RelaxPerN {
+		t.Fatalf("40%% drop cheaper than baseline: %.1f vs %.1f relax/n",
+			worst.RelaxPerN, baseline.RelaxPerN)
 	}
 }
 

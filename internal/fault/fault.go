@@ -1,0 +1,363 @@
+// Package fault is the deterministic fault-injection substrate for the
+// solver substrates. The paper proves (Theorem 1, §IV-C) that the
+// asynchronous Jacobi residual 1-norm never grows under *arbitrary*
+// delays, but the repository's original experiments only ever exercised
+// the benign single-slow-process case (DelayThread/DelayRank). A Plan
+// describes real adversity — per-link message loss, duplication and
+// reordering, heavy-tailed per-process delay distributions, and process
+// stall/crash (optionally followed by a restart from the current
+// iterate) — and the shm and dist solvers consult it at their existing
+// communication points.
+//
+// Everything is deterministic given (Seed, rank): each rank draws its
+// fault decisions from its own PCG stream, so the k-th send fate and
+// the k-th delay draw of rank r are pure functions of the plan. The
+// realized interleaving still depends on the scheduler (that is the
+// point of asynchronous execution), but the adversity itself replays.
+//
+// Like obs.SolverMetrics and trace.Recorder, every handle is nil-safe:
+// a nil *Plan yields nil *Injector handles whose methods report "no
+// fault" at the cost of one pointer test per site.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// Fate is the outcome drawn for one outbound message.
+type Fate uint8
+
+const (
+	// Deliver passes the message through unharmed.
+	Deliver Fate = iota
+	// Drop loses the message (the receiver keeps its stale ghosts).
+	Drop
+	// Dup delivers the message twice (at-least-once transports).
+	Dup
+	// Reorder holds the message back so a later one overtakes it; on a
+	// last-writer-wins ghost buffer the overtaken message then lands
+	// *after* fresher data, re-installing stale values.
+	Reorder
+)
+
+// String names the fate.
+func (f Fate) String() string {
+	switch f {
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	case Dup:
+		return "dup"
+	case Reorder:
+		return "reorder"
+	}
+	return "unknown"
+}
+
+// Link identifies a directed communication edge between two ranks.
+type Link struct{ Src, Dst int }
+
+// LinkProbs are per-link fault probabilities overriding the plan-wide
+// defaults for one directed edge.
+type LinkProbs struct {
+	Drop, Dup, Reorder float64
+}
+
+// Plan is a declarative fault schedule. The zero value injects nothing;
+// Enabled reports whether any knob is set. Plans are read-only after
+// construction and may be shared across ranks — all mutable state lives
+// in the per-rank Injector.
+type Plan struct {
+	// Seed drives every random draw. Two runs with the same plan see
+	// the same fault decisions per rank.
+	Seed uint64
+
+	// Drop, Dup, Reorder are plan-wide per-message probabilities,
+	// applied on the sending side of every asynchronous communication
+	// (RMA put or point-to-point send). Reorder is meaningful only for
+	// point-to-point links; RMA windows have no inter-message ordering
+	// to violate, so it degrades to Deliver there.
+	Drop, Dup, Reorder float64
+
+	// Links optionally overrides the probabilities on specific directed
+	// edges (e.g. one flaky cable between two racks).
+	Links map[Link]LinkProbs
+
+	// DelayMean, when positive, draws a heavy-tailed (Pareto) sleep
+	// before each local iteration: mean DelayMean, tail index
+	// DelayAlpha (default 1.5 — infinite variance, the "one process is
+	// sometimes very slow" regime the paper's delay model allows).
+	// DelayProb is the per-iteration probability of drawing a delay at
+	// all; 0 means every iteration. DelayMax caps a single draw
+	// (default 50x mean) so tests cannot sleep unboundedly.
+	DelayMean  time.Duration
+	DelayAlpha float64
+	DelayProb  float64
+	DelayMax   time.Duration
+	// DelayRanks restricts the delay distribution to these ranks; nil
+	// applies it to every rank.
+	DelayRanks []int
+
+	// StallRank, when >= 0, sleeps StallFor once, immediately before
+	// that rank's StallIter-th local iteration — a GC pause or
+	// preemption spike rather than a persistent slowdown.
+	StallRank int
+	StallIter int
+	StallFor  time.Duration
+
+	// CrashRanks lists ranks that fail-stop just before their
+	// CrashIter-th local iteration. Without Restart the rank is dead
+	// for the remainder of the solve (including any resume passes);
+	// with Restart it rejoins after RestartAfter (default 1ms),
+	// continuing from its current iterate ("restart-from-current-x" —
+	// the state a checkpointless restart inherits from shared memory or
+	// its own window).
+	CrashRanks   []int
+	CrashIter    int
+	Restart      bool
+	RestartAfter time.Duration
+
+	// TermTimeout bounds how long a locally-converged rank waits on the
+	// termination protocol once a crash has been observed before
+	// degrading to the surviving-ranks decision (the deadline that
+	// keeps a crashed rank from hanging Dijkstra-Safra's token ring).
+	// Zero selects DefaultTermTimeout.
+	TermTimeout time.Duration
+}
+
+// DefaultTermTimeout is the termination-degradation deadline used when
+// a plan schedules crashes but sets no explicit TermTimeout.
+const DefaultTermTimeout = 2 * time.Second
+
+// Validate checks probability ranges and index sanity against a world
+// of p ranks. It does not reject out-of-range crash/stall ranks when
+// p <= 0 (unknown world size).
+func (p *Plan) Validate(procs int) error {
+	if p == nil {
+		return nil
+	}
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{{"Drop", p.Drop}, {"Dup", p.Dup}, {"Reorder", p.Reorder}, {"DelayProb", p.DelayProb}} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: %s probability %g outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.Drop+p.Dup+p.Reorder > 1 {
+		return fmt.Errorf("fault: Drop+Dup+Reorder = %g exceeds 1", p.Drop+p.Dup+p.Reorder)
+	}
+	if p.DelayAlpha < 0 || (p.DelayAlpha > 0 && p.DelayAlpha <= 1) {
+		return fmt.Errorf("fault: DelayAlpha %g must be > 1 (finite mean) or 0 (default)", p.DelayAlpha)
+	}
+	if p.DelayMean < 0 || p.StallFor < 0 || p.RestartAfter < 0 || p.TermTimeout < 0 {
+		return fmt.Errorf("fault: negative duration in plan")
+	}
+	if procs > 0 {
+		for _, r := range p.CrashRanks {
+			if r < 0 || r >= procs {
+				return fmt.Errorf("fault: crash rank %d outside [0,%d)", r, procs)
+			}
+		}
+		if p.StallRank >= procs {
+			return fmt.Errorf("fault: stall rank %d outside [0,%d)", p.StallRank, procs)
+		}
+		for _, r := range p.DelayRanks {
+			if r < 0 || r >= procs {
+				return fmt.Errorf("fault: delay rank %d outside [0,%d)", r, procs)
+			}
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.Drop > 0 || p.Dup > 0 || p.Reorder > 0 || len(p.Links) > 0 ||
+		p.DelayMean > 0 || (p.StallRank >= 0 && p.StallFor > 0) ||
+		len(p.CrashRanks) > 0
+}
+
+// TermDeadline returns the termination-degradation deadline: the
+// configured TermTimeout, or DefaultTermTimeout when unset.
+func (p *Plan) TermDeadline() time.Duration {
+	if p == nil || p.TermTimeout <= 0 {
+		return DefaultTermTimeout
+	}
+	return p.TermTimeout
+}
+
+// Injector is one rank's live fault state: its private RNG stream plus
+// the crash latch. Exactly one goroutine — the owning rank — may call
+// its methods at a time; sequential solve passes (the dist solver's
+// recheck-and-resume loop) may reuse one injector so that a fail-stop
+// crash stays fatal across passes.
+type Injector struct {
+	plan *Plan
+	rank int
+	rng  *rand.Rand
+
+	delayed bool // this rank draws from the delay distribution
+	crashAt int  // -1: never
+	crashed bool // crash fired (one-shot)
+	xm      float64
+	alpha   float64
+	dprob   float64
+	dmax    time.Duration
+}
+
+// ForRank builds rank id's injector; nil-safe (a nil plan yields a nil
+// injector whose methods report no faults).
+func (p *Plan) ForRank(id int) *Injector {
+	if p == nil || !p.Enabled() {
+		return nil
+	}
+	in := &Injector{
+		plan: p,
+		rank: id,
+		// Distinct golden-ratio-spaced streams per rank; the plan seed
+		// picks the family.
+		rng:     rand.New(rand.NewPCG(p.Seed, uint64(id)*0x9e3779b97f4a7c15+0xfa01)),
+		crashAt: -1,
+	}
+	if p.DelayMean > 0 {
+		in.delayed = len(p.DelayRanks) == 0
+		for _, r := range p.DelayRanks {
+			if r == id {
+				in.delayed = true
+			}
+		}
+		in.alpha = p.DelayAlpha
+		if in.alpha == 0 {
+			in.alpha = 1.5
+		}
+		// Pareto scale x_m chosen so the mean alpha*x_m/(alpha-1)
+		// equals DelayMean.
+		in.xm = float64(p.DelayMean) * (in.alpha - 1) / in.alpha
+		in.dprob = p.DelayProb
+		if in.dprob == 0 {
+			in.dprob = 1
+		}
+		in.dmax = p.DelayMax
+		if in.dmax <= 0 {
+			in.dmax = 50 * p.DelayMean
+		}
+	}
+	for _, r := range p.CrashRanks {
+		if r == id {
+			in.crashAt = p.CrashIter
+		}
+	}
+	return in
+}
+
+// Injectors builds one injector per rank of a p-rank world; nil-safe
+// (returns nil for a nil or inert plan, which the solvers accept).
+func (p *Plan) Injectors(procs int) []*Injector {
+	if p == nil || !p.Enabled() {
+		return nil
+	}
+	injs := make([]*Injector, procs)
+	for i := range injs {
+		injs[i] = p.ForRank(i)
+	}
+	return injs
+}
+
+// SendFate draws the fate of the next message to rank dst; nil-safe.
+func (in *Injector) SendFate(dst int) Fate {
+	if in == nil {
+		return Deliver
+	}
+	drop, dup, reorder := in.plan.Drop, in.plan.Dup, in.plan.Reorder
+	if lp, ok := in.plan.Links[Link{Src: in.rank, Dst: dst}]; ok {
+		drop, dup, reorder = lp.Drop, lp.Dup, lp.Reorder
+	}
+	if drop == 0 && dup == 0 && reorder == 0 {
+		return Deliver
+	}
+	u := in.rng.Float64()
+	switch {
+	case u < drop:
+		return Drop
+	case u < drop+dup:
+		return Dup
+	case u < drop+dup+reorder:
+		return Reorder
+	}
+	return Deliver
+}
+
+// IterDelay draws this iteration's heavy-tailed delay (0 when the rank
+// is not delayed this iteration); nil-safe.
+func (in *Injector) IterDelay() time.Duration {
+	if in == nil || !in.delayed {
+		return 0
+	}
+	if in.dprob < 1 && in.rng.Float64() >= in.dprob {
+		return 0
+	}
+	// Pareto(x_m, alpha) via inverse transform; 1-U in (0,1].
+	d := time.Duration(in.xm * math.Pow(1/(1-in.rng.Float64()), 1/in.alpha))
+	if d > in.dmax {
+		d = in.dmax
+	}
+	return d
+}
+
+// StallFor returns the one-shot stall duration scheduled immediately
+// before local iteration iter (0 otherwise); nil-safe.
+func (in *Injector) StallFor(iter int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	p := in.plan
+	if p.StallRank == in.rank && p.StallIter == iter && p.StallFor > 0 {
+		return p.StallFor
+	}
+	return 0
+}
+
+// CrashNow reports whether the rank fail-stops before local iteration
+// iter. It fires at most once per injector; after a restart the rank
+// does not crash again. Nil-safe.
+func (in *Injector) CrashNow(iter int) bool {
+	if in == nil || in.crashed || in.crashAt < 0 || iter < in.crashAt {
+		return false
+	}
+	in.crashed = true
+	return true
+}
+
+// Restart reports whether a crashed rank rejoins, and after how long.
+func (in *Injector) Restart() (time.Duration, bool) {
+	if in == nil || !in.plan.Restart {
+		return 0, false
+	}
+	after := in.plan.RestartAfter
+	if after <= 0 {
+		after = time.Millisecond
+	}
+	return after, true
+}
+
+// Dead reports whether the rank has crashed without a restart — it must
+// not participate in the (or any resumed) solve. Nil-safe.
+func (in *Injector) Dead() bool {
+	return in != nil && in.crashed && !in.plan.Restart
+}
+
+// Rank returns the owning rank id (-1 on nil).
+func (in *Injector) Rank() int {
+	if in == nil {
+		return -1
+	}
+	return in.rank
+}

@@ -1,0 +1,282 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var p *Plan
+	if p.Enabled() {
+		t.Fatal("nil plan enabled")
+	}
+	if err := p.Validate(4); err != nil {
+		t.Fatalf("nil plan validate: %v", err)
+	}
+	if p.ForRank(0) != nil {
+		t.Fatal("nil plan yielded injector")
+	}
+	if p.Injectors(4) != nil {
+		t.Fatal("nil plan yielded injectors")
+	}
+	if p.TermDeadline() != DefaultTermTimeout {
+		t.Fatal("nil plan deadline")
+	}
+	var in *Injector
+	if in.SendFate(1) != Deliver {
+		t.Fatal("nil injector dropped")
+	}
+	if in.IterDelay() != 0 || in.StallFor(3) != 0 {
+		t.Fatal("nil injector delayed")
+	}
+	if in.CrashNow(0) || in.Dead() {
+		t.Fatal("nil injector crashed")
+	}
+	if _, ok := in.Restart(); ok {
+		t.Fatal("nil injector restarts")
+	}
+	if in.Rank() != -1 {
+		t.Fatal("nil injector rank")
+	}
+}
+
+func TestZeroPlanInert(t *testing.T) {
+	p := &Plan{}
+	if p.Enabled() {
+		t.Fatal("zero plan enabled")
+	}
+	if p.ForRank(2) != nil {
+		t.Fatal("zero plan yielded injector")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Plan{
+		{Drop: -0.1},
+		{Dup: 1.5},
+		{Drop: 0.6, Dup: 0.6},
+		{DelayMean: time.Millisecond, DelayAlpha: 0.5},
+		{DelayMean: -time.Second},
+		{CrashRanks: []int{4}},
+		{StallRank: 9, StallFor: time.Millisecond},
+		{DelayRanks: []int{-1}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(4); err == nil {
+			t.Fatalf("case %d: bad plan accepted", i)
+		}
+	}
+	good := &Plan{Seed: 1, Drop: 0.2, Dup: 0.1, Reorder: 0.1,
+		DelayMean: time.Millisecond, DelayAlpha: 2,
+		CrashRanks: []int{3}, StallRank: 0, StallFor: time.Microsecond}
+	if err := good.Validate(4); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Injector {
+		return (&Plan{Seed: 42, Drop: 0.3, Dup: 0.1, Reorder: 0.1,
+			DelayMean: time.Millisecond}).ForRank(2)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		if a.SendFate(0) != b.SendFate(0) {
+			t.Fatalf("fate diverged at draw %d", i)
+		}
+		if a.IterDelay() != b.IterDelay() {
+			t.Fatalf("delay diverged at draw %d", i)
+		}
+	}
+	// Different ranks see different streams.
+	c := (&Plan{Seed: 42, Drop: 0.5}).ForRank(0)
+	d := (&Plan{Seed: 42, Drop: 0.5}).ForRank(1)
+	same := true
+	for i := 0; i < 64; i++ {
+		if c.SendFate(1) != d.SendFate(0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("rank streams identical")
+	}
+}
+
+func TestSendFateRates(t *testing.T) {
+	in := (&Plan{Seed: 7, Drop: 0.25, Dup: 0.1}).ForRank(0)
+	const n = 20000
+	var drops, dups int
+	for i := 0; i < n; i++ {
+		switch in.SendFate(1) {
+		case Drop:
+			drops++
+		case Dup:
+			dups++
+		case Reorder:
+			t.Fatal("reorder drawn with probability 0")
+		}
+	}
+	if f := float64(drops) / n; f < 0.22 || f > 0.28 {
+		t.Fatalf("drop rate %.3f far from 0.25", f)
+	}
+	if f := float64(dups) / n; f < 0.07 || f > 0.13 {
+		t.Fatalf("dup rate %.3f far from 0.10", f)
+	}
+}
+
+func TestLinkOverride(t *testing.T) {
+	p := &Plan{Seed: 3, Drop: 0,
+		Links: map[Link]LinkProbs{{Src: 1, Dst: 2}: {Drop: 1}}}
+	in := p.ForRank(1)
+	for i := 0; i < 16; i++ {
+		if in.SendFate(2) != Drop {
+			t.Fatal("overridden link should always drop")
+		}
+		if in.SendFate(0) != Deliver {
+			t.Fatal("other links should deliver")
+		}
+	}
+	// The override only applies on the named source rank.
+	other := p.ForRank(0)
+	if other.SendFate(2) != Deliver {
+		t.Fatal("link override leaked to another source rank")
+	}
+}
+
+func TestIterDelayDistribution(t *testing.T) {
+	mean := 200 * time.Microsecond
+	in := (&Plan{Seed: 11, DelayMean: mean, DelayAlpha: 3}).ForRank(0)
+	const n = 20000
+	var sum time.Duration
+	var max time.Duration
+	for i := 0; i < n; i++ {
+		d := in.IterDelay()
+		if d < 0 {
+			t.Fatal("negative delay")
+		}
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	got := sum / n
+	if got < mean/2 || got > 2*mean {
+		t.Fatalf("empirical mean %v far from %v", got, mean)
+	}
+	// Heavy tail: the largest of 20k draws should dwarf the mean.
+	if max < 2*mean {
+		t.Fatalf("max draw %v shows no tail (mean %v)", max, mean)
+	}
+	if cap := 50 * mean; max > cap {
+		t.Fatalf("draw %v exceeded default cap %v", max, cap)
+	}
+}
+
+func TestIterDelayProb(t *testing.T) {
+	in := (&Plan{Seed: 5, DelayMean: time.Millisecond, DelayProb: 0.1}).ForRank(0)
+	const n = 10000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if in.IterDelay() > 0 {
+			hits++
+		}
+	}
+	if f := float64(hits) / n; f < 0.07 || f > 0.13 {
+		t.Fatalf("delay probability %.3f far from 0.10", f)
+	}
+}
+
+func TestDelayRanksRestrict(t *testing.T) {
+	p := &Plan{Seed: 9, DelayMean: time.Millisecond, DelayRanks: []int{1}}
+	if d := p.ForRank(0).IterDelay(); d != 0 {
+		t.Fatalf("undelayed rank slept %v", d)
+	}
+	if d := p.ForRank(1).IterDelay(); d == 0 {
+		t.Fatal("delayed rank never slept")
+	}
+}
+
+func TestStall(t *testing.T) {
+	p := &Plan{Seed: 1, StallRank: 2, StallIter: 5, StallFor: time.Millisecond}
+	in := p.ForRank(2)
+	for iter := 0; iter < 10; iter++ {
+		want := time.Duration(0)
+		if iter == 5 {
+			want = time.Millisecond
+		}
+		if got := in.StallFor(iter); got != want {
+			t.Fatalf("iter %d: stall %v want %v", iter, got, want)
+		}
+	}
+	if p.ForRank(1).StallFor(5) != 0 {
+		t.Fatal("stall leaked to another rank")
+	}
+}
+
+func TestCrashOneShotAndDead(t *testing.T) {
+	p := &Plan{Seed: 1, CrashRanks: []int{1}, CrashIter: 3}
+	in := p.ForRank(1)
+	if in.CrashNow(2) {
+		t.Fatal("crashed early")
+	}
+	if !in.CrashNow(3) {
+		t.Fatal("did not crash at the scheduled iteration")
+	}
+	if in.CrashNow(4) {
+		t.Fatal("crash fired twice")
+	}
+	if !in.Dead() {
+		t.Fatal("crashed rank without restart should be dead")
+	}
+	if _, ok := in.Restart(); ok {
+		t.Fatal("restart not configured")
+	}
+	if p.ForRank(0).CrashNow(100) {
+		t.Fatal("crash leaked to another rank")
+	}
+}
+
+func TestCrashRestart(t *testing.T) {
+	p := &Plan{Seed: 1, CrashRanks: []int{0}, CrashIter: 2,
+		Restart: true, RestartAfter: 5 * time.Millisecond}
+	in := p.ForRank(0)
+	if !in.CrashNow(2) {
+		t.Fatal("no crash")
+	}
+	after, ok := in.Restart()
+	if !ok || after != 5*time.Millisecond {
+		t.Fatalf("restart = (%v, %v)", after, ok)
+	}
+	if in.Dead() {
+		t.Fatal("restarting rank reported dead")
+	}
+	if in.CrashNow(10) {
+		t.Fatal("restarted rank crashed again")
+	}
+	// Default restart pause when unset.
+	q := &Plan{Seed: 1, CrashRanks: []int{0}, Restart: true}
+	qi := q.ForRank(0)
+	if after, ok := qi.Restart(); !ok || after <= 0 {
+		t.Fatalf("default restart pause = (%v, %v)", after, ok)
+	}
+}
+
+func TestTermDeadline(t *testing.T) {
+	if (&Plan{}).TermDeadline() != DefaultTermTimeout {
+		t.Fatal("default deadline")
+	}
+	if (&Plan{TermTimeout: time.Second}).TermDeadline() != time.Second {
+		t.Fatal("explicit deadline ignored")
+	}
+}
+
+func TestFateString(t *testing.T) {
+	for f, want := range map[Fate]string{
+		Deliver: "deliver", Drop: "drop", Dup: "dup", Reorder: "reorder",
+		Fate(99): "unknown",
+	} {
+		if f.String() != want {
+			t.Fatalf("%d.String() = %q", f, f.String())
+		}
+	}
+}

@@ -44,11 +44,17 @@ type SolverMetrics struct {
 	termRaise, termLower, termLatch *Counter
 	termTokenPass, termTokenBlacken *Counter
 	termHalt, termDecided           *Counter
+	termResume                      *Counter
 
 	simRelax, simMsgs, simDropped *Counter
 	simTime                       *Gauge
 
 	traceEvents, traceDropped *CounterVec
+
+	faultDrop, faultDup, faultReorder *Counter
+	faultDelay, faultStall            *Counter
+	faultCrash, faultRestart          *Counter
+	faultTermTimeout                  *Counter
 }
 
 // NewSolverMetrics registers the solver metric families on reg and
@@ -94,6 +100,7 @@ func NewSolverMetrics(reg *Registry) *SolverMetrics {
 	m.termTokenBlacken = term.With("token_blacken")
 	m.termHalt = term.With("halt")
 	m.termDecided = term.With("decided")
+	m.termResume = term.With("resume")
 	m.simRelax = reg.NewCounter("aj_sim_relaxations_total",
 		"Row relaxations performed by the cluster simulator.").With()
 	m.simMsgs = reg.NewCounter("aj_sim_messages_total",
@@ -107,7 +114,103 @@ func NewSolverMetrics(reg *Registry) *SolverMetrics {
 	m.traceDropped = reg.NewCounter("aj_trace_dropped_total",
 		"Execution-trace events lost to ring-buffer wraparound, by worker. "+
 			"Nonzero means the recorded schedule is a suffix of the real one.", "worker")
+	faults := reg.NewCounter("aj_fault_events_total",
+		"Injected faults realized during the solve, by event "+
+			"(internal/fault: message loss, duplication, reordering, "+
+			"heavy-tailed delays, stalls, crashes, restarts, and "+
+			"termination-deadline degradations).", "event")
+	m.faultDrop = faults.With("drop")
+	m.faultDup = faults.With("dup")
+	m.faultReorder = faults.With("reorder")
+	m.faultDelay = faults.With("delay")
+	m.faultStall = faults.With("stall")
+	m.faultCrash = faults.With("crash")
+	m.faultRestart = faults.With("restart")
+	m.faultTermTimeout = faults.With("term_timeout")
 	return m
+}
+
+// Fault-injection counters (see internal/fault). All nil-safe.
+
+// FaultDrop counts one injected message loss.
+func (m *SolverMetrics) FaultDrop() {
+	if m != nil {
+		m.faultDrop.Inc()
+	}
+}
+
+// FaultDup counts one injected message duplication.
+func (m *SolverMetrics) FaultDup() {
+	if m != nil {
+		m.faultDup.Inc()
+	}
+}
+
+// FaultReorder counts one injected message reordering.
+func (m *SolverMetrics) FaultReorder() {
+	if m != nil {
+		m.faultReorder.Inc()
+	}
+}
+
+// FaultDelay counts one heavy-tailed delay draw that slept.
+func (m *SolverMetrics) FaultDelay() {
+	if m != nil {
+		m.faultDelay.Inc()
+	}
+}
+
+// FaultStall counts one injected stall.
+func (m *SolverMetrics) FaultStall() {
+	if m != nil {
+		m.faultStall.Inc()
+	}
+}
+
+// FaultCrash counts one injected rank/worker crash.
+func (m *SolverMetrics) FaultCrash() {
+	if m != nil {
+		m.faultCrash.Inc()
+	}
+}
+
+// FaultRestart counts one crashed rank/worker rejoining.
+func (m *SolverMetrics) FaultRestart() {
+	if m != nil {
+		m.faultRestart.Inc()
+	}
+}
+
+// FaultTermTimeout counts one termination-deadline degradation (a
+// surviving rank deciding without the crashed ranks).
+func (m *SolverMetrics) FaultTermTimeout() {
+	if m != nil {
+		m.faultTermTimeout.Inc()
+	}
+}
+
+// FaultDropCount reads the injected-drop counter (0 on nil).
+func (m *SolverMetrics) FaultDropCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.faultDrop.Value()
+}
+
+// FaultDupCount reads the injected-duplication counter (0 on nil).
+func (m *SolverMetrics) FaultDupCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.faultDup.Value()
+}
+
+// FaultCrashCount reads the injected-crash counter (0 on nil).
+func (m *SolverMetrics) FaultCrashCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.faultCrash.Value()
 }
 
 // TraceCaptured reports one worker's execution-trace capture totals
@@ -221,6 +324,15 @@ func (m *SolverMetrics) TermHalt() {
 func (m *SolverMetrics) TermDecided() {
 	if m != nil {
 		m.termDecided.Inc()
+	}
+}
+
+// TermResume counts one recheck-and-resume pass: termination detection
+// latched on stale ghost data while the exact residual was still above
+// tolerance, and the solver resumed from the current iterate.
+func (m *SolverMetrics) TermResume() {
+	if m != nil {
+		m.termResume.Inc()
 	}
 }
 

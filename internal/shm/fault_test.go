@@ -1,0 +1,124 @@
+package shm
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/matgen"
+	"repro/internal/trace"
+)
+
+// The acceptance check for fault injection against the paper's theory:
+// a traced asynchronous solve with Pareto delays, a stall, and a
+// crash/restart is replayed through the propagation model, and
+// Theorem 1's norm bounds (||Ĝ||_inf <= 1, ||Ĥ||_1 <= 1 on a W.D.D.
+// unit-diagonal matrix) must hold for every recorded step mask —
+// injected faults are just delays, and delays never grow the residual.
+func TestShmFaultVerifyNorms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	// Sized to hold the whole run: 60 iterations x 16 rows/worker x
+	// ~7 events per relaxation plus fault events stays under 1<<16.
+	rec := trace.NewRecorder(4, 1<<16)
+	Solve(a, b, x0, Options{
+		Threads: 4, MaxIters: 60, Async: true, DelayThread: -1,
+		Tracer: rec,
+		Fault: &fault.Plan{
+			Seed:       7,
+			DelayMean:  20 * time.Microsecond,
+			DelayProb:  0.2,
+			StallRank:  1,
+			StallIter:  5,
+			StallFor:   200 * time.Microsecond,
+			CrashRanks: []int{2}, CrashIter: 10,
+			Restart: true, RestartAfter: 100 * time.Microsecond,
+		},
+	})
+	for w := 0; w < 4; w++ {
+		if d := rec.Worker(w).Dropped(); d != 0 {
+			t.Fatalf("worker %d ring dropped %d events; grow the capacity", w, d)
+		}
+	}
+	tr, err := trace.ToModelTrace(rec, a.N)
+	if err != nil {
+		t.Fatalf("ToModelTrace: %v", err)
+	}
+	rep, err := trace.VerifyNorms(a, tr, 1e-9, 200)
+	if err != nil {
+		t.Fatalf("VerifyNorms: %v", err)
+	}
+	if rep.MasksChecked == 0 {
+		t.Fatal("no step masks checked")
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("Theorem 1 violated under faults: %d of %d masks exceeded 1 (G=%g H=%g)",
+			rep.Violations, rep.MasksChecked, rep.MaxGNormInf, rep.MaxHNorm1)
+	}
+}
+
+// A worker crashed without restart must degrade the run, not hang it:
+// it raises its own flag on the way out so the shared flag array
+// terminates over the survivors, and its rows freeze at the iterate it
+// last wrote.
+func TestShmCrashNoRestartDegrades(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	done := make(chan *Result, 1)
+	go func() {
+		done <- Solve(a, b, x0, Options{
+			Threads: 4, MaxIters: 300, Tol: 1e-10, Async: true, DelayThread: -1,
+			Fault: &fault.Plan{
+				Seed: 8, StallRank: -1,
+				CrashRanks: []int{1}, CrashIter: 5,
+			},
+		})
+	}()
+	var res *Result
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("crash-no-restart solve hung")
+	}
+	if res.Iterations[1] > 5 {
+		t.Fatalf("crashed worker iterated %d times past its crash", res.Iterations[1])
+	}
+	if res.Converged {
+		t.Fatalf("converged to 1e-10 with a frozen block: relres=%g", res.RelRes)
+	}
+	for w, it := range res.Iterations {
+		if w != 1 && it == 0 {
+			t.Fatalf("surviving worker %d never iterated", w)
+		}
+	}
+}
+
+// A crash with restart-from-current-x is only an outage: the worker
+// rejoins with the shared iterate and the solve still converges.
+func TestShmCrashRestartConverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(35, 36))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	const tol = 1e-6
+	res := Solve(a, b, x0, Options{
+		Threads: 4, MaxIters: 5000, Tol: tol, Async: true, DelayThread: -1,
+		Fault: &fault.Plan{
+			Seed: 9, StallRank: -1,
+			CrashRanks: []int{1}, CrashIter: 10,
+			Restart: true, RestartAfter: time.Millisecond,
+		},
+	})
+	if !res.Converged || res.RelRes > tol {
+		t.Fatalf("crash/restart did not converge: relres=%g converged=%v",
+			res.RelRes, res.Converged)
+	}
+	if res.Iterations[1] <= 10 {
+		t.Fatalf("restarted worker never resumed: %d iterations", res.Iterations[1])
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/partition"
@@ -77,6 +78,19 @@ type Options struct {
 	// without it, a cooperative scheduler executes every local
 	// iteration atomically and traces are trivially 100% propagated.
 	YieldProb float64
+	// Fault, when non-nil and enabled, injects adversity into the
+	// asynchronous solver: heavy-tailed per-worker iteration delays, a
+	// one-shot stall, and worker crashes with optional restart from the
+	// current shared iterate. Shared memory has no messages, so the
+	// plan's drop/dup/reorder probabilities are ignored here (they
+	// apply to the dist substrate). A crashing worker raises its
+	// termination flag before exiting, so the shared flag array
+	// degrades to the surviving workers instead of spinning to the
+	// hard-stop bound; its rows simply freeze — exactly the
+	// infinitely-delayed process of the paper's Theorem 1 discussion.
+	// Ignored by the synchronous solver, whose barriers a crashed
+	// worker would deadlock.
+	Fault *fault.Plan
 	// Metrics, when non-nil, streams live observability data: per-worker
 	// relaxation counts and sweep latencies, a live residual gauge
 	// (worker 0 samples the shared residual once per local iteration),
@@ -135,6 +149,10 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 	if opt.MaxIters <= 0 {
 		panic("shm: MaxIters must be positive")
 	}
+	if err := opt.Fault.Validate(opt.Threads); err != nil {
+		panic("shm: " + err.Error())
+	}
+	injs := opt.Fault.Injectors(opt.Threads)
 	t0 := time.Now()
 	omega := opt.Omega
 	if omega == 0 {
@@ -212,6 +230,11 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 			}
 			wm := opt.Metrics.Worker(t)
 			tw := opt.Tracer.Worker(t)
+			var inj *fault.Injector
+			if injs != nil {
+				inj = injs[t]
+			}
+			faultsOn := opt.Async && inj != nil
 			// Neighbor workers whose rows this worker reads, for
 			// staleness sampling.
 			var neighbors []int
@@ -255,6 +278,34 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 				var sweepStart time.Time
 				if wm != nil {
 					sweepStart = time.Now()
+				}
+				if faultsOn {
+					if inj.CrashNow(iter) {
+						opt.Metrics.FaultCrash()
+						tw.Crash(iter)
+						after, restart := inj.Restart()
+						if !restart {
+							// Fail-stop: raise the flag so the others'
+							// all-up test skips this worker; its rows
+							// freeze at the current iterate.
+							flags[t].Store(true)
+							tw.FlagRaise(iter)
+							return
+						}
+						time.Sleep(after)
+						opt.Metrics.FaultRestart()
+						tw.Restart(iter)
+					}
+					if d := inj.StallFor(iter); d > 0 {
+						opt.Metrics.FaultStall()
+						tw.Stall(iter)
+						time.Sleep(d)
+					}
+					if d := inj.IterDelay(); d > 0 {
+						opt.Metrics.FaultDelay()
+						tw.Delay(iter + 1)
+						time.Sleep(d)
+					}
 				}
 				if opt.DelayThread == t && opt.Delay > 0 {
 					wm.IncDelay()

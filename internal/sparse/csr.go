@@ -139,6 +139,12 @@ func (a *CSR) MulVec(y, x []float64) {
 // MulVecRange computes y[i] = (A x)[i] for rows i in [lo, hi). Worker
 // threads and ranks each multiply only their own subdomain rows.
 func (a *CSR) MulVecRange(y, x []float64, lo, hi int) {
+	if len(x) != a.M || len(y) != a.N {
+		panic("sparse: MulVecRange dimension mismatch")
+	}
+	if lo < 0 || hi > a.N || lo > hi {
+		panic("sparse: MulVecRange row range out of bounds")
+	}
 	for i := lo; i < hi; i++ {
 		var s float64
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
@@ -150,6 +156,9 @@ func (a *CSR) MulVecRange(y, x []float64, lo, hi int) {
 
 // RowDot returns the inner product of row i with x: (A x)[i].
 func (a *CSR) RowDot(i int, x []float64) float64 {
+	if i < 0 || i >= a.N || len(x) != a.M {
+		panic("sparse: RowDot index or dimension out of bounds")
+	}
 	var s float64
 	for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 		s += a.Val[k] * x[a.Col[k]]

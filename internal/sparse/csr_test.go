@@ -323,3 +323,73 @@ func TestPermuteRejectsBad(t *testing.T) {
 		}()
 	}
 }
+
+// mustPanic asserts fn panics; the bounds checks below are contracts,
+// not recoverable errors.
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestMulVecRangeBounds(t *testing.T) {
+	a := laplace1D(5)
+	x := make([]float64, 5)
+	y := make([]float64, 5)
+	// Valid edge cases do not panic.
+	a.MulVecRange(y, x, 0, 0)
+	a.MulVecRange(y, x, 5, 5)
+	a.MulVecRange(y, x, 0, 5)
+	mustPanic(t, "short x", func() { a.MulVecRange(y, make([]float64, 4), 0, 5) })
+	mustPanic(t, "short y", func() { a.MulVecRange(make([]float64, 4), x, 0, 5) })
+	mustPanic(t, "lo negative", func() { a.MulVecRange(y, x, -1, 3) })
+	mustPanic(t, "hi past n", func() { a.MulVecRange(y, x, 0, 6) })
+	mustPanic(t, "lo > hi", func() { a.MulVecRange(y, x, 4, 2) })
+}
+
+func TestRowDotBounds(t *testing.T) {
+	a := laplace1D(5)
+	x := []float64{1, 1, 1, 1, 1}
+	if got := a.RowDot(0, x); got != 1 {
+		t.Fatalf("RowDot(0) = %g, want 1", got)
+	}
+	mustPanic(t, "row negative", func() { a.RowDot(-1, x) })
+	mustPanic(t, "row past n", func() { a.RowDot(5, x) })
+	mustPanic(t, "short x", func() { a.RowDot(0, make([]float64, 4)) })
+}
+
+func TestCOOToCSREmpty(t *testing.T) {
+	// No entries at all.
+	c := NewCOO(3, 3)
+	a := c.ToCSR()
+	if a.NNZ() != 0 || a.N != 3 || a.M != 3 || len(a.RowPtr) != 4 {
+		t.Fatalf("empty COO gave nnz=%d n=%d m=%d", a.NNZ(), a.N, a.M)
+	}
+	y := make([]float64, 3)
+	a.MulVec(y, []float64{1, 2, 3})
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("empty matrix MulVec[%d] = %g", i, v)
+		}
+	}
+	// Every entry cancels: the assembled matrix must be structurally
+	// empty too, with a consistent (all-zero) row pointer.
+	c2 := NewCOO(3, 3)
+	c2.Add(1, 2, 4)
+	c2.Add(1, 2, -4)
+	c2.Add(0, 0, 1)
+	c2.Add(0, 0, -1)
+	a2 := c2.ToCSR()
+	if a2.NNZ() != 0 {
+		t.Fatalf("all-cancelling COO kept %d entries", a2.NNZ())
+	}
+	for i, p := range a2.RowPtr {
+		if p != 0 {
+			t.Fatalf("RowPtr[%d] = %d after total cancellation", i, p)
+		}
+	}
+}

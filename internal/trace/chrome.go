@@ -156,6 +156,27 @@ func WriteChrome(w io.Writer, rec *Recorder, proc string) error {
 						return err
 					}
 				}
+			case KindFaultDrop, KindFaultDup, KindFaultReorder, KindStall,
+				KindCrash, KindRestart, KindTermTimeout:
+				// Fault events get their own category so a timeline can
+				// filter to injected adversity; a crash is scoped to the
+				// whole track (it ends the rank's activity until any
+				// restart instant).
+				scope := "t"
+				if e.Kind == KindCrash || e.Kind == KindRestart {
+					scope = "p"
+				}
+				args := map[string]any{}
+				if e.Iter != 0 {
+					args["iter"] = e.Iter
+				}
+				if e.Peer >= 0 {
+					args["to"] = e.Peer
+				}
+				if err := emit(chromeEvent{Name: e.Kind.String(), Cat: "fault", Ph: "i",
+					TS: us(e.TS), TID: id, S: scope, Args: args}); err != nil {
+					return err
+				}
 			default:
 				args := map[string]any{}
 				if e.Row >= 0 {

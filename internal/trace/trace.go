@@ -57,6 +57,22 @@ const (
 	// KindDecided marks the recording worker/rank observing the global
 	// termination decision.
 	KindDecided
+	// Fault-injection events (see internal/fault). KindFaultDrop,
+	// KindFaultDup, and KindFaultReorder record the fate drawn for a
+	// boundary message to rank Peer at local iteration Iter.
+	KindFaultDrop
+	KindFaultDup
+	KindFaultReorder
+	// KindStall is an injected one-shot stall before iteration Iter.
+	KindStall
+	// KindCrash is the recording rank fail-stopping before iteration
+	// Iter; KindRestart is it rejoining from its current iterate.
+	KindCrash
+	KindRestart
+	// KindTermTimeout marks a surviving rank degrading the termination
+	// decision after the fault plan's deadline expired with crashed
+	// ranks present.
+	KindTermTimeout
 )
 
 // String names the kind for exporters and debugging.
@@ -92,6 +108,20 @@ func (k Kind) String() string {
 		return "halt"
 	case KindDecided:
 		return "decided"
+	case KindFaultDrop:
+		return "fault-drop"
+	case KindFaultDup:
+		return "fault-dup"
+	case KindFaultReorder:
+		return "fault-reorder"
+	case KindStall:
+		return "stall"
+	case KindCrash:
+		return "crash"
+	case KindRestart:
+		return "restart"
+	case KindTermTimeout:
+		return "term-timeout"
 	}
 	return "unknown"
 }
@@ -214,6 +244,33 @@ func (r *Ring) Halt(iter int) { r.Record(KindHalt, -1, int32(iter), -1, 0) }
 
 // Decided records observing the global termination decision.
 func (r *Ring) Decided(iter int) { r.Record(KindDecided, -1, int32(iter), -1, 0) }
+
+// FaultDrop records an injected loss of the boundary message to peer.
+func (r *Ring) FaultDrop(peer, iter int) {
+	r.Record(KindFaultDrop, -1, int32(iter), int32(peer), 0)
+}
+
+// FaultDup records an injected duplication of the message to peer.
+func (r *Ring) FaultDup(peer, iter int) {
+	r.Record(KindFaultDup, -1, int32(iter), int32(peer), 0)
+}
+
+// FaultReorder records an injected reordering of the message to peer.
+func (r *Ring) FaultReorder(peer, iter int) {
+	r.Record(KindFaultReorder, -1, int32(iter), int32(peer), 0)
+}
+
+// Stall records an injected one-shot stall before iteration iter.
+func (r *Ring) Stall(iter int) { r.Record(KindStall, -1, int32(iter), -1, 0) }
+
+// Crash records the recording rank fail-stopping before iteration iter.
+func (r *Ring) Crash(iter int) { r.Record(KindCrash, -1, int32(iter), -1, 0) }
+
+// Restart records the recording rank rejoining after a crash.
+func (r *Ring) Restart(iter int) { r.Record(KindRestart, -1, int32(iter), -1, 0) }
+
+// TermTimeout records a termination-deadline degradation.
+func (r *Ring) TermTimeout(iter int) { r.Record(KindTermTimeout, -1, int32(iter), -1, 0) }
 
 // ID returns the owning worker/rank id (-1 on nil).
 func (r *Ring) ID() int {
