@@ -48,6 +48,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "record per-rank execution events and write Chrome trace-event JSON here")
 	traceCap := flag.Int("trace-cap", 0, "trace ring-buffer capacity per rank (0 = default)")
 	ff := cli.RegisterFaultFlags(flag.CommandLine)
+	rf := cli.RegisterRecoveryFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cli.Usagef("ajdist", "unexpected arguments %v", flag.Args())
@@ -78,6 +79,13 @@ func main() {
 	if plan != nil && !*async {
 		cli.Usagef("ajdist", "-fault-* flags apply to the asynchronous solver; add -async")
 	}
+	if rf.Supervise() {
+		cli.Usagef("ajdist", "-supervise applies to the shared-memory solver (ajsolve); ranks use the failure detector instead")
+	}
+	ck, err := rf.Load()
+	if err != nil {
+		cli.Fatalf("ajdist", "resume: %v", err)
+	}
 	opt := dist.SolveOptions{
 		Procs:         *ranks,
 		Part:          pt,
@@ -89,6 +97,9 @@ func main() {
 		Metrics:       mx.Handle(),
 		Tracer:        ts.Recorder(),
 		Fault:         plan,
+		MaxTime:       rf.MaxTime(),
+		Checkpoint:    rf.Spec(),
+		Resume:        ck,
 	}
 	switch *term {
 	case "flags":
@@ -110,6 +121,11 @@ func main() {
 	rng := cfg.NewRNG(0xd157)
 	b := experiments.RandomVec(rng, a.N)
 	x0 := experiments.RandomVec(rng, a.N)
+	if ck != nil {
+		// Restart from the checkpointed iterate; b is reproduced by the
+		// same -seed, so the resumed solve continues the original system.
+		x0 = ck.X
+	}
 
 	res := dist.Solve(a, b, x0, opt)
 	mode := "sync (point-to-point)"
@@ -124,11 +140,18 @@ func main() {
 		*partKind, *ranks, pt.Imbalance(), pt.CutEdges(a))
 	fmt.Printf("mode:        %s, termination %s\n", mode, *term)
 	fmt.Printf("rel res:     %.6g (converged=%v)\n", res.RelRes, res.Converged)
+	fmt.Printf("stopped:     %s\n", res.StopReason)
 	fmt.Printf("relax/n:     %.1f\n", float64(res.TotalRelaxations)/float64(a.N))
 	if res.Resumes > 0 {
 		fmt.Printf("resumes:     %d (termination latched on stale ghosts; solve continued)\n", res.Resumes)
 	}
 	fmt.Printf("wall time:   %v\n", res.WallTime.Round(time.Millisecond))
+	if res.Elapsed != res.WallTime {
+		fmt.Printf("elapsed:     %v (cumulative across restarts)\n", res.Elapsed.Round(time.Millisecond))
+	}
+	if res.CheckpointErr != nil {
+		fmt.Printf("checkpoint:  WRITE FAILED: %v\n", res.CheckpointErr)
+	}
 	if *history {
 		stride := len(res.History) / 20
 		if stride < 1 {

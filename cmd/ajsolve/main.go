@@ -48,6 +48,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "record a jacobi-async run and write Chrome trace-event JSON here")
 	traceCap := flag.Int("trace-cap", 0, "trace ring-buffer capacity per worker (0 = default)")
 	ff := cli.RegisterFaultFlags(flag.CommandLine)
+	rf := cli.RegisterRecoveryFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cli.Usagef("ajsolve", "unexpected arguments %v", flag.Args())
@@ -94,17 +95,29 @@ func main() {
 	if plan != nil && m != core.JacobiAsync {
 		cli.Usagef("ajsolve", "-fault-* flags apply to the asynchronous solver; use -method jacobi-async")
 	}
+	if rf.Supervise() && m != core.JacobiAsync {
+		cli.Usagef("ajsolve", "-supervise applies to the asynchronous solver; use -method jacobi-async")
+	}
+	ck, err := rf.Load()
+	if err != nil {
+		cli.Fatalf("ajsolve", "resume: %v", err)
+	}
 	t0 := time.Now()
 	res, err := core.Solve(a, b, core.Options{
-		Method:    m,
-		Tol:       *tol,
-		MaxSweeps: *maxSweeps,
-		Threads:   *threads,
-		Omega:     *omega,
-		BlockSize: *blockSize,
-		Metrics:   mx.Handle(),
-		Tracer:    ts.Recorder(),
-		Fault:     plan,
+		Method:         m,
+		Tol:            *tol,
+		MaxSweeps:      *maxSweeps,
+		Threads:        *threads,
+		Omega:          *omega,
+		BlockSize:      *blockSize,
+		Metrics:        mx.Handle(),
+		Tracer:         ts.Recorder(),
+		Fault:          plan,
+		MaxTime:        rf.MaxTime(),
+		Checkpoint:     rf.Spec(),
+		Resume:         ck,
+		Supervise:      rf.Supervise(),
+		StallThreshold: rf.StallThreshold(),
 	})
 	if err != nil {
 		cli.Fatalf("ajsolve", "%v", err)
@@ -114,7 +127,14 @@ func main() {
 	fmt.Printf("sweeps:     %d\n", res.Sweeps)
 	fmt.Printf("rel res:    %.6g\n", res.RelRes)
 	fmt.Printf("converged:  %v\n", res.Converged)
+	fmt.Printf("stopped:    %s\n", res.StopReason)
 	fmt.Printf("wall time:  %v\n", time.Since(t0).Round(time.Millisecond))
+	if ck != nil {
+		fmt.Printf("elapsed:    %v (cumulative across restarts)\n", res.Elapsed.Round(time.Millisecond))
+	}
+	if res.CheckpointErr != nil {
+		fmt.Printf("checkpoint: WRITE FAILED: %v\n", res.CheckpointErr)
+	}
 	if err := mx.Finish(os.Stdout); err != nil {
 		cli.Fatalf("ajsolve", "metrics: %v", err)
 	}

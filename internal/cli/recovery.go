@@ -1,0 +1,75 @@
+package cli
+
+import (
+	"flag"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// RecoveryFlags is the checkpoint/deadline/supervision command-line
+// surface shared by the solver tools. Register it on a FlagSet before
+// Parse; after Parse the accessors resolve the values into the solver
+// options.
+type RecoveryFlags struct {
+	checkpoint *string
+	interval   *time.Duration
+	resume     *string
+	maxTime    *time.Duration
+	supervise  *bool
+	stall      *time.Duration
+}
+
+// RegisterRecoveryFlags installs the recovery flags on fs (use
+// flag.CommandLine from a main) and returns the handle the accessors
+// read after parsing.
+func RegisterRecoveryFlags(fs *flag.FlagSet) *RecoveryFlags {
+	rf := &RecoveryFlags{}
+	rf.checkpoint = fs.String("checkpoint", "", "write checkpoints to this file (atomic replace) during the solve")
+	rf.interval = fs.Duration("checkpoint-interval", 5*time.Second, "interval between checkpoint writes (a final one is always written at exit)")
+	rf.resume = fs.String("resume", "", "restart from this checkpoint file (iterate, counts, fault streams, elapsed time)")
+	rf.maxTime = fs.Duration("max-time", 0, "wall-clock deadline for the solve (0 = none); a deadline stop is reported, not an error")
+	rf.supervise = fs.Bool("supervise", false, "watch worker heartbeats and reassign a stalled worker's rows to survivors (shared-memory async solver)")
+	rf.stall = fs.Duration("stall-threshold", 0, "progress silence before the supervisor declares a worker dead (0 = default)")
+	return rf
+}
+
+// Spec resolves -checkpoint/-checkpoint-interval into a checkpoint
+// spec, nil when checkpointing was not requested.
+func (rf *RecoveryFlags) Spec() *resilience.Spec {
+	if rf == nil || *rf.checkpoint == "" {
+		return nil
+	}
+	return &resilience.Spec{Path: *rf.checkpoint, Interval: *rf.interval}
+}
+
+// Load reads the -resume checkpoint; it returns (nil, nil) when the
+// flag was not set.
+func (rf *RecoveryFlags) Load() (*resilience.Checkpoint, error) {
+	if rf == nil || *rf.resume == "" {
+		return nil, nil
+	}
+	return resilience.Load(*rf.resume)
+}
+
+// MaxTime returns the -max-time deadline (zero = none).
+func (rf *RecoveryFlags) MaxTime() time.Duration {
+	if rf == nil {
+		return 0
+	}
+	return *rf.maxTime
+}
+
+// Supervise reports whether -supervise was set.
+func (rf *RecoveryFlags) Supervise() bool {
+	return rf != nil && *rf.supervise
+}
+
+// StallThreshold returns the -stall-threshold value (zero = solver
+// default).
+func (rf *RecoveryFlags) StallThreshold() time.Duration {
+	if rf == nil {
+		return 0
+	}
+	return *rf.stall
+}

@@ -1,0 +1,77 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+func parseRecoveryFlags(t *testing.T, args ...string) *RecoveryFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	rf := RegisterRecoveryFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return rf
+}
+
+func TestRecoveryFlagsDisabledByDefault(t *testing.T) {
+	rf := parseRecoveryFlags(t)
+	if rf.Spec() != nil {
+		t.Fatal("default flags must yield a nil checkpoint spec")
+	}
+	if ck, err := rf.Load(); ck != nil || err != nil {
+		t.Fatalf("default -resume must load nothing, got %v, %v", ck, err)
+	}
+	if rf.MaxTime() != 0 || rf.Supervise() || rf.StallThreshold() != 0 {
+		t.Fatal("default recovery flags not all off")
+	}
+}
+
+func TestRecoveryFlagsResolve(t *testing.T) {
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "solve.ajcp")
+	ck := &resilience.Checkpoint{Substrate: "seq", N: 3, X: []float64{1, 2, 3}}
+	if _, err := ck.Save(ckPath); err != nil {
+		t.Fatal(err)
+	}
+
+	rf := parseRecoveryFlags(t,
+		"-checkpoint", filepath.Join(dir, "out.ajcp"),
+		"-checkpoint-interval", "250ms",
+		"-resume", ckPath,
+		"-max-time", "30s",
+		"-supervise",
+		"-stall-threshold", "100ms",
+	)
+	spec := rf.Spec()
+	if spec == nil || spec.Interval != 250*time.Millisecond {
+		t.Fatalf("spec wrong: %+v", spec)
+	}
+	got, err := rf.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got == nil || got.N != 3 || got.X[2] != 3 {
+		t.Fatalf("resumed checkpoint wrong: %+v", got)
+	}
+	if rf.MaxTime() != 30*time.Second {
+		t.Fatalf("max-time %v", rf.MaxTime())
+	}
+	if !rf.Supervise() || rf.StallThreshold() != 100*time.Millisecond {
+		t.Fatal("supervision flags not resolved")
+	}
+}
+
+func TestRecoveryFlagsLoadErrors(t *testing.T) {
+	rf := parseRecoveryFlags(t, "-resume", filepath.Join(t.TempDir(), "missing.ajcp"))
+	if _, err := rf.Load(); err == nil {
+		t.Fatal("missing resume file accepted")
+	}
+}

@@ -19,11 +19,14 @@ package cluster
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"math/rand/v2"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/resilience"
 	"repro/internal/sparse"
 	"repro/internal/vec"
 )
@@ -91,6 +94,13 @@ type Config struct {
 
 	Seed uint64
 
+	// Ctx, when non-nil, cancels the simulation between events; MaxTime,
+	// when positive, bounds the *real* wall clock the simulation loop may
+	// consume (virtual time is unbounded by it). A stopped run reports
+	// StopReason accordingly and keeps the history gathered so far.
+	Ctx     context.Context
+	MaxTime time.Duration
+
 	// Metrics, when non-nil, streams the simulation into the
 	// observability layer: simulated relaxation/message/drop counters, a
 	// virtual-time gauge, and the sampled residual gauge. Nil disables.
@@ -114,6 +124,12 @@ type Result struct {
 	TotalRelaxations int
 	// IterationsPerProc is each process's local iteration count.
 	IterationsPerProc []int
+	// StopReason says why the simulation stopped (converged, deadline,
+	// canceled, or max-iter when the relaxation budget ran out).
+	StopReason resilience.StopReason
+	// Elapsed is the real wall-clock time the simulation loop consumed
+	// (distinct from FinalTime, which is virtual seconds).
+	Elapsed time.Duration
 }
 
 // event is a process finishing one local iteration (compute phase).
@@ -237,6 +253,19 @@ func Simulate(a *sparse.CSR, b, x0 []float64, cfg Config) *Result {
 	}
 
 	cfg.Metrics.SetWorkers(cfg.Procs)
+	stopper := resilience.NewStopper(cfg.Ctx, cfg.MaxTime)
+	wall0 := time.Now()
+	finish := func(res *Result) *Result {
+		res.StopReason = resilience.Resolve(res.Converged, stopper, false)
+		switch res.StopReason {
+		case resilience.StopDeadline:
+			cfg.Metrics.RecoveryDeadline()
+		case resilience.StopCanceled:
+			cfg.Metrics.RecoveryCancel()
+		}
+		res.Elapsed = time.Since(wall0)
+		return res
+	}
 	res := &Result{IterationsPerProc: make([]int, cfg.Procs)}
 	r := make([]float64, n)
 	recordSample := func(t float64) float64 {
@@ -315,9 +344,12 @@ func Simulate(a *sparse.CSR, b, x0 []float64, cfg Config) *Result {
 					break
 				}
 			}
+			if stopper.Check() != resilience.StopNone {
+				break
+			}
 		}
 		res.FinalTime = t
-		return res
+		return finish(res)
 	}
 
 	// Asynchronous: event-driven.
@@ -340,7 +372,14 @@ func Simulate(a *sparse.CSR, b, x0 []float64, cfg Config) *Result {
 		return true
 	}
 	t := 0.0
+	events := 0
 	for (res.TotalRelaxations < maxRelax || !minItersMet()) && evq.Len() > 0 {
+		// Poll the stopper only every few events: Check reads the real
+		// clock, which would dominate the per-event cost.
+		events++
+		if events%64 == 0 && stopper.Check() != resilience.StopNone {
+			break
+		}
 		// Deliver any messages arriving before the next compute event.
 		for msgq.Len() > 0 && msgq[0].arrive <= evq.Peek().time {
 			m := heap.Pop(&msgq).(ghostMsg)
@@ -384,7 +423,7 @@ func Simulate(a *sparse.CSR, b, x0 []float64, cfg Config) *Result {
 		}
 	}
 	res.FinalTime = t
-	return res
+	return finish(res)
 }
 
 // TimeToRelRes returns the virtual time at which the history first

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/matgen"
+	"repro/internal/resilience"
+)
+
+// A wall-clock deadline stops the simulator even though virtual time is
+// unbounded, and the result says so — for both the event-driven
+// asynchronous loop (periodic stopper poll) and the bulk-synchronous
+// round loop.
+func TestSimulateDeadlineStops(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 92))
+	a := matgen.FD2D(16, 16)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	for _, async := range []bool{true, false} {
+		name := "sync"
+		if async {
+			name = "async"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := baseConfig(4)
+			cfg.Async = async
+			cfg.MaxSweeps = 1 << 28
+			cfg.Tol = 1e-300
+			cfg.MaxTime = 5 * time.Millisecond
+			res := Simulate(a, b, x0, cfg)
+			if res.StopReason != resilience.StopDeadline {
+				t.Fatalf("stop reason %v, want deadline", res.StopReason)
+			}
+			if res.Converged {
+				t.Fatal("deadline-stopped simulation claims convergence")
+			}
+			if res.Elapsed <= 0 {
+				t.Fatal("Elapsed not recorded")
+			}
+		})
+	}
+}
+
+// Cancellation via context stops the event loop; a run that converges
+// on its own reports StopConverged.
+func TestSimulateStopReasons(t *testing.T) {
+	rng := rand.New(rand.NewPCG(93, 94))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := baseConfig(4)
+	cfg.Async = true
+	cfg.MaxSweeps = 1 << 28
+	cfg.Tol = 1e-300
+	cfg.Ctx = ctx
+	if res := Simulate(a, b, x0, cfg); res.StopReason != resilience.StopCanceled {
+		t.Fatalf("stop reason %v, want canceled", res.StopReason)
+	}
+
+	ok := baseConfig(4)
+	ok.Async = true
+	res := Simulate(a, b, x0, ok)
+	if !res.Converged || res.StopReason != resilience.StopConverged {
+		t.Fatalf("converged=%v reason=%v", res.Converged, res.StopReason)
+	}
+
+	budget := baseConfig(4)
+	budget.Async = true
+	budget.MaxSweeps = 3
+	budget.Tol = 1e-300
+	if res := Simulate(a, b, x0, budget); res.StopReason != resilience.StopMaxIter {
+		t.Fatalf("stop reason %v, want max-iter", res.StopReason)
+	}
+}

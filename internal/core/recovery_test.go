@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/matgen"
+	"repro/internal/resilience"
+)
+
+// A deadline-stopped sequential solve reports the deadline as its stop
+// reason and never claims a convergence its residual does not back.
+// Gauss-Seidel exercises the generic sweep loop; JacobiAsync routes
+// through the shm solver and must report identically.
+func TestCoreDeadlineStops(t *testing.T) {
+	rng := rand.New(rand.NewPCG(81, 82))
+	a := matgen.FD2D(16, 16)
+	b := randomVec(rng, a.N)
+	for _, m := range []Method{GaussSeidel, JacobiAsync} {
+		res, err := Solve(a, b, Options{
+			Method: m, Tol: 1e-300, MaxSweeps: 1 << 20,
+			MaxTime: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.StopReason != resilience.StopDeadline {
+			t.Fatalf("%v: stop reason %v, want deadline", m, res.StopReason)
+		}
+		if res.Converged {
+			t.Fatalf("%v: deadline-stopped run claims convergence", m)
+		}
+		if res.Converged != (res.RelRes <= 1e-300) {
+			t.Fatalf("%v: Converged contradicts RelRes", m)
+		}
+	}
+}
+
+// Cancellation stops the sequential loop between sweeps.
+func TestCoreCancelStops(t *testing.T) {
+	rng := rand.New(rand.NewPCG(83, 84))
+	a := matgen.FD2D(16, 16)
+	b := randomVec(rng, a.N)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Solve(a, b, Options{
+		Method: JacobiSync, Tol: 1e-300, MaxSweeps: 1 << 20, Ctx: ctx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != resilience.StopCanceled {
+		t.Fatalf("stop reason %v, want canceled", res.StopReason)
+	}
+}
+
+// Kill a sequential solve by deadline mid-run, reload its at-exit
+// checkpoint with ResumeFile, and finish: sweep counts and wall clock
+// must accumulate across the restart, and the final answer must
+// converge exactly as an uninterrupted run would.
+func TestCoreCheckpointResumeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(85, 86))
+	// Large enough that plain Jacobi cannot finish inside the 2ms first
+	// leg, so the resume path genuinely runs.
+	a := matgen.FD2D(48, 48)
+	b := randomVec(rng, a.N)
+	const tol = 1e-8
+	path := filepath.Join(t.TempDir(), "seq.ajcp")
+
+	res1, err := Solve(a, b, Options{
+		Method: JacobiSync, Tol: tol, MaxSweeps: 1 << 20,
+		MaxTime:    2 * time.Millisecond,
+		Checkpoint: &resilience.Spec{Path: path, Interval: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Converged {
+		t.Skip("first leg converged before the deadline; nothing to resume")
+	}
+	if res1.StopReason != resilience.StopDeadline {
+		t.Fatalf("stop reason %v, want deadline", res1.StopReason)
+	}
+	if res1.CheckpointErr != nil {
+		t.Fatalf("at-exit checkpoint failed: %v", res1.CheckpointErr)
+	}
+
+	res2, err := ResumeFile(a, b, path, Options{
+		Method: JacobiSync, Tol: tol, MaxSweeps: 1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("ResumeFile: %v", err)
+	}
+	if !res2.Converged || res2.StopReason != resilience.StopConverged {
+		t.Fatalf("resumed run: converged=%v reason=%v relres=%g",
+			res2.Converged, res2.StopReason, res2.RelRes)
+	}
+	if res2.Converged != (res2.RelRes <= tol) {
+		t.Fatal("Converged contradicts RelRes")
+	}
+	// Jacobi's trajectory is a deterministic function of the iterate, so
+	// total sweeps across both legs must match one uninterrupted run.
+	ref, err := Solve(a, b, Options{Method: JacobiSync, Tol: tol, MaxSweeps: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := resilience.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := ck.Sweeps + res2.Sweeps
+	if total != ref.Sweeps {
+		t.Fatalf("split run took %d sweeps (%d + %d), uninterrupted took %d",
+			total, ck.Sweeps, res2.Sweeps, ref.Sweeps)
+	}
+	if res2.Elapsed <= ck.Elapsed {
+		t.Fatalf("resumed Elapsed %v does not include checkpointed time %v",
+			res2.Elapsed, ck.Elapsed)
+	}
+}
+
+// Resume validates dimensions before touching the solver.
+func TestResumeRejectsMismatchedCheckpoint(t *testing.T) {
+	rng := rand.New(rand.NewPCG(87, 88))
+	a := matgen.FD2D(4, 4)
+	b := randomVec(rng, a.N)
+	ck := &resilience.Checkpoint{Substrate: "seq", N: 7, X: make([]float64, 7)}
+	if _, err := Resume(a, b, ck, Options{Method: JacobiSync}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := Resume(a, b, nil, Options{Method: JacobiSync}); err == nil {
+		t.Fatal("nil checkpoint accepted")
+	}
+}

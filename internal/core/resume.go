@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/resilience"
+	"repro/internal/sparse"
+)
+
+// Resume restarts a solve from a checkpoint taken by an earlier run.
+// The checkpointed iterate becomes the starting vector (unless opt.X0
+// overrides it), sweep counts and wall clock accumulate, and any saved
+// fault-injector streams continue where they left off. The system
+// (a, b) must be the same one the checkpoint was taken against — only
+// the dimension is checkable, and it is.
+func Resume(a *sparse.CSR, b []float64, ck *resilience.Checkpoint, opt Options) (*Result, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("core: nil checkpoint")
+	}
+	if err := ck.ValidateFor(a.N); err != nil {
+		return nil, err
+	}
+	opt.Resume = ck
+	return Solve(a, b, opt)
+}
+
+// ResumeFile loads a checkpoint from disk and resumes from it. The
+// load errors are resilience's sentinels (ErrTruncated, ErrChecksum,
+// ErrVersion, ...), so callers can distinguish a torn file from a
+// format skew.
+func ResumeFile(a *sparse.CSR, b []float64, path string, opt Options) (*Result, error) {
+	ck, err := resilience.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return Resume(a, b, ck, opt)
+}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/shm"
 	"repro/internal/sparse"
 	"repro/internal/trace"
@@ -102,6 +104,31 @@ type Options struct {
 	// crashes with optional restart (see internal/fault). Ignored by
 	// the sequential methods, which have no concurrency to disturb.
 	Fault *fault.Plan
+	// Ctx, when non-nil, cancels the solve cooperatively: sequential
+	// methods poll it once per sweep, JacobiAsync once per worker
+	// iteration. A canceled run returns its current iterate with
+	// StopReason canceled.
+	Ctx context.Context
+	// MaxTime, when positive, bounds wall-clock time; past it the solve
+	// stops with StopReason deadline.
+	MaxTime time.Duration
+	// Checkpoint, when non-nil with a Path, snapshots the solve to the
+	// path on the spec's interval (sequential methods check once per
+	// sweep; JacobiAsync runs the shm checkpointer goroutine) and once
+	// more at exit, atomically.
+	Checkpoint *resilience.Spec
+	// Resume, when non-nil, continues a checkpointed solve: X0 defaults
+	// to the checkpoint's iterate, sweep counts accumulate, fault
+	// streams restore, Elapsed offsets. See Resume/ResumeFile for the
+	// one-call path.
+	Resume *resilience.Checkpoint
+	// Supervise enables the shm failure detector for JacobiAsync:
+	// stalled workers are declared dead and their rows reassigned to
+	// the survivors in finer blocks. Ignored by sequential methods.
+	Supervise bool
+	// StallThreshold is the supervisor's heartbeat-stall cutoff
+	// (shm.DefaultStallThreshold when <= 0).
+	StallThreshold time.Duration
 }
 
 // Result reports a solve.
@@ -114,6 +141,16 @@ type Result struct {
 	// History[k] is the relative residual after sweep k (History[0] is
 	// the starting residual); filled when RecordHistory is set.
 	History []float64
+	// StopReason states why the solve returned: converged, deadline,
+	// canceled, max-iter, or crashed.
+	StopReason resilience.StopReason
+	// Elapsed is this run's wall-clock time plus, on a resumed solve,
+	// the checkpointed time of the run(s) before it.
+	Elapsed time.Duration
+	// CheckpointErr reports a failure of the final at-exit checkpoint
+	// write; interval-write failures only bump the checkpoint_error
+	// counter.
+	CheckpointErr error
 }
 
 func (o *Options) withDefaults() Options {
@@ -173,13 +210,44 @@ func Solve(a *sparse.CSR, b []float64, opt Options) (*Result, error) {
 		}
 		copy(x, o.X0)
 	}
+	t0 := time.Now()
+	var elapsed0 time.Duration
+	sweeps0 := 0
+	if o.Resume != nil {
+		if err := o.Resume.ValidateFor(n); err != nil {
+			return nil, err
+		}
+		if o.X0 == nil {
+			// The checkpointed iterate is the default restart point; an
+			// explicit X0 wins (e.g. to restart the fault schedule on a
+			// different vector).
+			copy(x, o.Resume.X)
+		}
+		elapsed0 = o.Resume.Elapsed
+		sweeps0 = o.Resume.Sweeps
+		if o.Method != JacobiAsync {
+			// The shm solver counts its own resume; counting here too
+			// would double the metric for the async path.
+			o.Metrics.RecoveryCheckpointLoad()
+			o.Metrics.RecoveryResume()
+		}
+	}
 
 	if o.Method == JacobiAsync {
 		return solveAsync(a, b, x, o)
 	}
 	if o.Method == CG {
-		return solveCG(a, b, x, o)
+		// CG runs its own loop (extra.go) without stopper plumbing; it
+		// still reports a truthful reason and wall clock.
+		res, err := solveCG(a, b, x, o)
+		if err == nil {
+			res.StopReason = resilience.Resolve(res.Converged, nil, false)
+			res.Elapsed = elapsed0 + time.Since(t0)
+		}
+		return res, err
 	}
+	stopper := resilience.NewStopper(o.Ctx, o.MaxTime)
+	writer := resilience.NewWriter(o.Checkpoint, o.Metrics)
 
 	nb := vec.Norm1(b)
 	if nb == 0 {
@@ -199,6 +267,15 @@ func Solve(a *sparse.CSR, b []float64, opt Options) (*Result, error) {
 	sweep, err := sweeper(a, b, o)
 	if err != nil {
 		return nil, err
+	}
+	snapshot := func() *resilience.Checkpoint {
+		return &resilience.Checkpoint{
+			Substrate: "seq",
+			N:         n,
+			X:         append([]float64(nil), x...),
+			Sweeps:    sweeps0 + res.Sweeps,
+			Elapsed:   elapsed0 + time.Since(t0),
+		}
 	}
 	o.Metrics.SetWorkers(1)
 	wm := o.Metrics.Worker(0)
@@ -226,11 +303,26 @@ func Solve(a *sparse.CSR, b []float64, opt Options) (*Result, error) {
 		if math.IsNaN(rr) || math.IsInf(rr, 0) {
 			break
 		}
+		if stopper.Check() != resilience.StopNone {
+			break
+		}
+		_, _ = writer.MaybeWrite(snapshot)
 	}
 	res.RelRes = relres()
 	res.Converged = res.RelRes <= o.Tol
 	o.Metrics.SetResidual(res.RelRes)
 	o.Metrics.SetConverged(res.Converged)
+	if writer != nil {
+		res.CheckpointErr = writer.Write(snapshot())
+	}
+	res.StopReason = resilience.Resolve(res.Converged, stopper, false)
+	switch res.StopReason {
+	case resilience.StopDeadline:
+		o.Metrics.RecoveryDeadline()
+	case resilience.StopCanceled:
+		o.Metrics.RecoveryCancel()
+	}
+	res.Elapsed = elapsed0 + time.Since(t0)
 	return res, nil
 }
 
@@ -320,20 +412,29 @@ func sweeper(a *sparse.CSR, b []float64, o Options) (func(x []float64), error) {
 // API.
 func solveAsync(a *sparse.CSR, b, x0 []float64, o Options) (*Result, error) {
 	sres := shm.Solve(a, b, x0, shm.Options{
-		Threads:       o.Threads,
-		MaxIters:      o.MaxSweeps,
-		Tol:           o.Tol,
-		Async:         true,
-		DelayThread:   -1,
-		RecordHistory: o.RecordHistory,
-		Metrics:       o.Metrics,
-		Tracer:        o.Tracer,
-		Fault:         o.Fault,
+		Threads:        o.Threads,
+		MaxIters:       o.MaxSweeps,
+		Tol:            o.Tol,
+		Async:          true,
+		DelayThread:    -1,
+		RecordHistory:  o.RecordHistory,
+		Metrics:        o.Metrics,
+		Tracer:         o.Tracer,
+		Fault:          o.Fault,
+		Ctx:            o.Ctx,
+		MaxTime:        o.MaxTime,
+		Checkpoint:     o.Checkpoint,
+		Resume:         o.Resume,
+		Supervise:      o.Supervise,
+		StallThreshold: o.StallThreshold,
 	})
 	res := &Result{
-		X:         sres.X,
-		RelRes:    sres.RelRes,
-		Converged: sres.Converged,
+		X:             sres.X,
+		RelRes:        sres.RelRes,
+		Converged:     sres.Converged,
+		StopReason:    sres.StopReason,
+		Elapsed:       sres.Elapsed,
+		CheckpointErr: sres.CheckpointErr,
 	}
 	for _, it := range sres.Iterations {
 		if it > res.Sweeps {

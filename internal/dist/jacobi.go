@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/resilience"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 	"repro/internal/vec"
@@ -80,6 +82,32 @@ type SolveOptions struct {
 	// transitions, and Safra token traffic. Nil costs one pointer test
 	// per site.
 	Tracer *trace.Recorder
+	// Ctx, when non-nil, cancels the solve cooperatively: asynchronous
+	// ranks poll it once per local iteration; synchronous ranks vote on
+	// it in an extra Allreduce per iteration (lockstep ranks must stop
+	// at the same iteration or a blocking Recv deadlocks).
+	Ctx context.Context
+	// MaxTime, when positive, bounds wall-clock time; past it the solve
+	// stops like a cancellation with StopReason deadline.
+	MaxTime time.Duration
+	// Checkpoint, when non-nil with a Path, snapshots the gathered
+	// iterate, cumulative per-rank iteration counts, and the fault RNG
+	// streams at pass boundaries (on the spec's interval) and once more
+	// at exit, atomically. Dist checkpoints are pass-grained, not
+	// iteration-grained: the gather that a snapshot needs already
+	// happens at each recheck-and-resume boundary.
+	Checkpoint *resilience.Spec
+	// Resume, when non-nil, continues a checkpointed solve: the caller
+	// passes the checkpoint's X as x0, while Resume restores the fault
+	// injectors' RNG streams and crash latches (a crash already spent
+	// does not replay), seeds the cumulative iteration counts, and
+	// offsets Elapsed. MaxIters is this run's fresh budget.
+	Resume *resilience.Checkpoint
+	// Retry bounds the eager scheme's loss-recovery retransmissions:
+	// an idle rank retransmits its boundary values with exponential
+	// backoff until the policy is exhausted, after which the link is
+	// given up as dead. Nil selects DefaultRetryPolicy.
+	Retry *resilience.RetryPolicy
 }
 
 // Result reports a distributed solve.
@@ -103,6 +131,16 @@ type Result struct {
 	// iteration (a rank crashed before its first iteration does not
 	// zero out the whole history).
 	History []float64
+	// StopReason states why the solve returned: converged, deadline,
+	// canceled, max-iter, or crashed.
+	StopReason resilience.StopReason
+	// Elapsed is this run's wall-clock time plus, on a resumed solve,
+	// the checkpointed time of the run(s) before it.
+	Elapsed time.Duration
+	// CheckpointErr reports a failure of the final at-exit checkpoint
+	// write (pass-boundary write failures only bump the
+	// checkpoint_error counter).
+	CheckpointErr error
 }
 
 // ghostPlan is one rank's communication plan, derived from the
@@ -227,6 +265,44 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 		Iterations: make([]int, opt.Procs),
 		X:          append([]float64(nil), x0...),
 	}
+	var elapsed0 time.Duration
+	if opt.Resume != nil {
+		if err := opt.Resume.ValidateFor(n); err != nil {
+			panic("dist: " + err.Error())
+		}
+		if err := fault.RestoreStates(injs, opt.Resume.FaultStates); err != nil {
+			panic("dist: " + err.Error())
+		}
+		if len(opt.Resume.Iters) == opt.Procs {
+			// Iteration counts stay cumulative across restarts, so the
+			// next checkpoint's Iters describe the whole solve.
+			for p := range res.Iterations {
+				res.Iterations[p] = int(opt.Resume.Iters[p])
+			}
+		}
+		elapsed0 = opt.Resume.Elapsed
+		opt.Metrics.RecoveryCheckpointLoad()
+		opt.Metrics.RecoveryResume()
+	}
+	stopper := resilience.NewStopper(opt.Ctx, opt.MaxTime)
+	writer := resilience.NewWriter(opt.Checkpoint, opt.Metrics)
+	ckpt := func() *resilience.Checkpoint {
+		c := &resilience.Checkpoint{
+			Substrate: "dist",
+			N:         n,
+			X:         append([]float64(nil), res.X...),
+			Iters:     make([]int64, opt.Procs),
+			Elapsed:   elapsed0 + time.Since(t0),
+		}
+		for p, it := range res.Iterations {
+			c.Iters[p] = int64(it)
+			if it > c.Sweeps {
+				c.Sweeps = it
+			}
+		}
+		c.FaultStates = fault.States(injs)
+		return c
+	}
 	budget := opt.MaxIters
 	rr := make([]float64, n)
 	relres := func() float64 {
@@ -235,7 +311,7 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 	}
 	prev := math.Inf(1)
 	for {
-		pass := solvePass(a, b, res.X, opt, plans, injs, budget, nb)
+		pass := solvePass(a, b, res.X, opt, plans, injs, budget, nb, stopper)
 		res.X = pass.x
 		maxIter := 0
 		for p := 0; p < opt.Procs; p++ {
@@ -247,6 +323,12 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 		}
 		res.History = append(res.History, pass.history...)
 		res.RelRes = relres()
+		// Pass boundaries are dist's checkpoint grain: the iterate was
+		// just gathered, so a snapshot costs only the write.
+		_, _ = writer.MaybeWrite(ckpt)
+		if stopper.Stopped() {
+			break
+		}
 		if !opt.Async || opt.Tol <= 0 || res.RelRes <= opt.Tol {
 			break
 		}
@@ -281,6 +363,32 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 	res.Converged = opt.Tol > 0 && res.RelRes <= opt.Tol
 	opt.Metrics.SetResidual(res.RelRes)
 	opt.Metrics.SetConverged(res.Converged)
+	if writer != nil {
+		// Final at-exit checkpoint: the restart point a later Resume
+		// continues from, so its failure is a first-class result field.
+		res.CheckpointErr = writer.Write(ckpt())
+		maxIter := 0
+		for _, it := range res.Iterations {
+			if it > maxIter {
+				maxIter = it
+			}
+		}
+		opt.Tracer.Worker(0).Checkpoint(maxIter)
+	}
+	crashed := false
+	for _, in := range injs {
+		if in.Dead() {
+			crashed = true
+		}
+	}
+	res.StopReason = resilience.Resolve(res.Converged, stopper, crashed)
+	switch res.StopReason {
+	case resilience.StopDeadline:
+		opt.Metrics.RecoveryDeadline()
+	case resilience.StopCanceled:
+		opt.Metrics.RecoveryCancel()
+	}
+	res.Elapsed = elapsed0 + res.WallTime
 	return res
 }
 
@@ -295,7 +403,7 @@ type passResult struct {
 // solvePass executes one full parallel solve attempt from x0 with the
 // given per-rank iteration budget. The caller owns the resume loop.
 func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostPlan,
-	injs []*fault.Injector, budget int, nb float64) passResult {
+	injs []*fault.Injector, budget int, nb float64, stopper *resilience.Stopper) passResult {
 	n := a.N
 	opt.MaxIters = budget
 
@@ -413,6 +521,16 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 
 		iter := 0
 		idle := 0
+		// Loss-recovery retransmission budget for the eager scheme:
+		// bounded retry with exponential backoff, reset whenever fresh
+		// ghost data arrives. Exhaustion gives the links up as dead
+		// rather than retransmitting forever.
+		retry := resilience.DefaultRetryPolicy()
+		if opt.Retry != nil {
+			retry = *opt.Retry
+		}
+		attempt := 0
+		var nextRetry time.Time
 		var safra *safraState
 		if opt.Async && opt.Tol > 0 && opt.Termination == DijkstraSafra {
 			safra = newSafra(r, &safraDecided, opt.Metrics, tw)
@@ -451,6 +569,13 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 			return stop
 		}
 		for {
+			// Cancellation / deadline: an asynchronous rank just leaves;
+			// the flag board and the other ranks' own stopper polls keep
+			// termination live without it. (Synchronous ranks instead
+			// vote below, in lockstep.)
+			if opt.Async && stopper.Check() != resilience.StopNone {
+				break
+			}
 			if faultsOn {
 				if inj.CrashNow(iter) {
 					opt.Metrics.FaultCrash()
@@ -526,6 +651,20 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 						gotNew = true
 					}
 				}
+				if !gotNew && faultsOn && board.anyDead() && len(gp.recvFrom) > 0 {
+					// Every neighbor fail-stopped: no fresh ghosts will ever
+					// arrive, so iterate on what we have rather than idling
+					// against dead links (their blocks are frozen; ours can
+					// still improve).
+					allDead := true
+					for _, q := range gp.recvFrom {
+						if !board.isDead(q) {
+							allDead = false
+							break
+						}
+					}
+					gotNew = allDead
+				}
 				if !gotNew {
 					// Nothing new: poll termination and idle.
 					if opt.Tol > 0 {
@@ -542,15 +681,23 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 					if idle >= 1000*opt.MaxIters {
 						break
 					}
-					if faultsOn && idle%1000 == 0 {
+					if faultsOn && !retry.Exhausted(attempt) && !time.Now().Before(nextRetry) {
 						// Liveness under loss: an eager rank iterates only
 						// on fresh ghosts, so if the last message on a link
 						// is dropped both endpoints idle forever with their
-						// flags down. Periodically retransmit the current
-						// boundary values (each copy drawing its own fate)
-						// so delivery is eventual, the way a real
-						// at-least-once transport would retry.
+						// flags down. Retransmit the current boundary values
+						// (each copy drawing its own fate) with exponential
+						// backoff, the way a real at-least-once transport
+						// retries — bounded, so a genuinely dead peer stops
+						// costing bandwidth once the policy is exhausted.
+						nextRetry = time.Now().Add(retry.Backoff(attempt))
+						attempt++
+						opt.Metrics.RecoveryRetransmit()
 						for _, q := range gp.sendTo {
+							if board.isDead(q) {
+								opt.Metrics.RecoveryExclude()
+								continue
+							}
 							buf := sendBufs[q]
 							for t, j := range gp.sendIdx[q] {
 								buf[t] = xl[gp.localOf[j]]
@@ -574,6 +721,10 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 					continue
 				}
 				idle = 0
+				if attempt != 0 {
+					attempt = 0
+					nextRetry = time.Time{}
+				}
 			}
 			// Step 1: local residual. The tracer brackets the whole
 			// local iteration (residual + correction) as one slice; the
@@ -611,6 +762,13 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 			// last). RMA windows have no inter-message ordering, so
 			// Reorder degrades to Deliver there.
 			for _, q := range gp.sendTo {
+				if faultsOn && board.isDead(q) {
+					// Rank exclusion: the failure detector already knows q
+					// fail-stopped, so sending to it is pure waste (and, for
+					// eager links, would count as a live retransmission).
+					opt.Metrics.RecoveryExclude()
+					continue
+				}
 				buf := sendBufs[q]
 				for t, j := range gp.sendIdx[q] {
 					buf[t] = xl[gp.localOf[j]]
@@ -679,6 +837,19 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 				if opt.Tol > 0 {
 					grn := r.Allreduce(vec.Norm1(rl))
 					if grn/nb <= opt.Tol {
+						stop = true
+					}
+				}
+				if stopper != nil {
+					// Stop vote: lockstep ranks must agree on the exact
+					// iteration they stop at, so the deadline/cancel poll
+					// goes through a collective. One extra Allreduce per
+					// iteration, paid only when a stopper exists.
+					vote := 0.0
+					if stopper.Check() != resilience.StopNone {
+						vote = 1
+					}
+					if r.Allreduce(vote) > 0 {
 						stop = true
 					}
 				}

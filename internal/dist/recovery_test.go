@@ -1,0 +1,202 @@
+package dist
+
+import (
+	"context"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/matgen"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// A deadline-stopped dist run must say so and never claim convergence
+// its exact residual does not back — for both the asynchronous solver
+// (per-iteration stopper poll) and the synchronous one (lockstep stop
+// vote through an extra Allreduce).
+func TestDistDeadlineStops(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	for _, async := range []bool{true, false} {
+		name := "sync"
+		if async {
+			name = "async"
+		}
+		t.Run(name, func(t *testing.T) {
+			res := Solve(a, b, x0, SolveOptions{
+				Procs: 4, MaxIters: 1 << 20, Tol: 1e-300, Async: async,
+				DelayRank: -1, MaxTime: 5 * time.Millisecond,
+			})
+			if res.StopReason != resilience.StopDeadline {
+				t.Fatalf("stop reason %v, want deadline", res.StopReason)
+			}
+			if res.Converged {
+				t.Fatalf("deadline-stopped run claims convergence (relres %g)", res.RelRes)
+			}
+			if res.Converged != (res.RelRes <= 1e-300) {
+				t.Fatal("Converged contradicts RelRes")
+			}
+			if res.Elapsed != res.WallTime {
+				t.Fatalf("fresh run elapsed %v != walltime %v", res.Elapsed, res.WallTime)
+			}
+		})
+	}
+}
+
+// Cancellation reaches every rank through the shared stopper latch.
+func TestDistCancelStops(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 64))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	res := Solve(a, b, x0, SolveOptions{
+		Procs: 4, MaxIters: 1 << 20, Tol: 1e-300, Async: true,
+		DelayRank: -1, Ctx: ctx,
+	})
+	if res.StopReason != resilience.StopCanceled {
+		t.Fatalf("stop reason %v, want canceled", res.StopReason)
+	}
+	if res.Converged {
+		t.Fatal("canceled run claims convergence")
+	}
+}
+
+// The dist acceptance scenario: a run degraded by an injected fail-stop
+// rank crash leaves its at-exit checkpoint; a new solve restarted from
+// it (fault latches restored, so the crash does not replay) converges,
+// with Converged == (RelRes <= Tol) and cumulative iteration counts.
+func TestDistKillRestartFromCheckpoint(t *testing.T) {
+	rng := rand.New(rand.NewPCG(65, 66))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	const tol = 1e-6
+	path := filepath.Join(t.TempDir(), "dist.ajcp")
+	plan := &fault.Plan{
+		Seed: 19, StallRank: -1,
+		CrashRanks: []int{2}, CrashIter: 10,
+	}
+
+	res1 := Solve(a, b, x0, SolveOptions{
+		Procs: 4, MaxIters: 400, Tol: tol, Async: true,
+		Termination: FlagTree, DelayRank: -1,
+		Fault:      plan,
+		Checkpoint: &resilience.Spec{Path: path, Interval: time.Hour},
+	})
+	if res1.Converged {
+		t.Fatal("crashed run converged with a frozen block; crash did not bite")
+	}
+	if res1.StopReason != resilience.StopCrashed {
+		t.Fatalf("stop reason %v, want crashed", res1.StopReason)
+	}
+	if res1.CheckpointErr != nil {
+		t.Fatalf("final checkpoint write failed: %v", res1.CheckpointErr)
+	}
+
+	ck, err := resilience.Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if ck.Substrate != "dist" {
+		t.Fatalf("substrate %q, want dist", ck.Substrate)
+	}
+	res2 := Solve(a, b, ck.X, SolveOptions{
+		Procs: 4, MaxIters: 100000, Tol: tol, Async: true,
+		Termination: FlagTree, DelayRank: -1,
+		Fault:  plan,
+		Resume: ck,
+	})
+	if !res2.Converged {
+		t.Fatalf("restarted run did not converge: relres %g, reason %v",
+			res2.RelRes, res2.StopReason)
+	}
+	if res2.Converged != (res2.RelRes <= tol) {
+		t.Fatal("Converged contradicts RelRes")
+	}
+	if res2.StopReason != resilience.StopConverged {
+		t.Fatalf("stop reason %v, want converged", res2.StopReason)
+	}
+	if res2.Elapsed <= res2.WallTime {
+		t.Fatalf("resumed Elapsed %v does not include checkpointed time", res2.Elapsed)
+	}
+	// Iteration counts accumulate across the restart, including the
+	// crashed rank's pre-crash work.
+	for p, it1 := range res1.Iterations {
+		if res2.Iterations[p] < it1 {
+			t.Fatalf("rank %d iterations went backwards across restart: %d -> %d",
+				p, it1, res2.Iterations[p])
+		}
+	}
+}
+
+// The eager scheme's loss recovery is a real retry policy now: idle
+// retransmissions are counted, backed off, and bounded — and a run with
+// a lossy link still converges inside the default budget.
+func TestDistEagerRetryPolicyConverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(67, 68))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	const tol = 1e-4
+	reg := obs.NewRegistry()
+	m := obs.NewSolverMetrics(reg)
+	res := Solve(a, b, x0, SolveOptions{
+		Procs: 4, MaxIters: 100000, Tol: tol, Async: true, Eager: true,
+		Termination: FlagTree, DelayRank: -1, Metrics: m,
+		Fault: &fault.Plan{Seed: 23, Drop: 0.3, StallRank: -1},
+		Retry: &resilience.RetryPolicy{
+			MaxAttempts: 30, Base: 50 * time.Microsecond, Max: 2 * time.Millisecond,
+		},
+	})
+	if !res.Converged || res.RelRes > tol {
+		t.Fatalf("eager + 30%% drop did not converge under the retry policy: relres=%g",
+			res.RelRes)
+	}
+	if m.RecoveryRetransmitCount() == 0 {
+		t.Fatal("no retransmissions counted under 30% drop")
+	}
+}
+
+// A crashed rank is excluded from further sends once the failure
+// detector has it: the exclude counter moves and the run still returns.
+func TestDistCrashedRankExcluded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(69, 70))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	reg := obs.NewRegistry()
+	m := obs.NewSolverMetrics(reg)
+	done := make(chan *Result, 1)
+	go func() {
+		done <- Solve(a, b, x0, SolveOptions{
+			Procs: 4, MaxIters: 2000, Tol: 1e-8, Async: true,
+			Termination: FlagTree, DelayRank: -1, Metrics: m,
+			Fault: &fault.Plan{
+				Seed: 29, StallRank: -1,
+				CrashRanks: []int{1}, CrashIter: 5,
+			},
+		})
+	}()
+	var res *Result
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("solve with crashed rank hung")
+	}
+	if res.StopReason != resilience.StopCrashed {
+		t.Fatalf("stop reason %v, want crashed", res.StopReason)
+	}
+	if m.RecoveryExcludeCount() == 0 {
+		t.Fatal("no sends excluded toward the dead rank")
+	}
+}

@@ -102,6 +102,11 @@ func (fb *flagBoard) markDead(rank int) {
 // anyDead reports whether any rank has fail-stopped.
 func (fb *flagBoard) anyDead() bool { return fb.nDead.Load() > 0 }
 
+// isDead reports whether rank q has fail-stopped — the failure
+// detector's read side, which survivors use to exclude dead ranks from
+// sends and retransmissions.
+func (fb *flagBoard) isDead(q int) bool { return fb.dead[q].Load() }
+
 // set publishes rank's local convergence state, counting raise/lower
 // transitions. It reports whether the call changed the flag, so the
 // caller can trace the transition on its own ring.

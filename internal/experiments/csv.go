@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"time"
 )
 
 // RunCSV runs one experiment and emits its data as CSV instead of the
@@ -158,6 +159,27 @@ func RunCSV(name string, w io.Writer, cfg Config) error {
 			if err := cw.Write([]string{ftoa(r.Drop), strconv.FormatBool(r.Crash),
 				ftoa(r.RelRes), strconv.FormatBool(r.Converged),
 				ftoa(r.RelaxPerN), itoa(r.Resumes)}); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "recover":
+		data, err := RunRecoverSweep(cfg)
+		if err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"interval_ms", "time_to_solution_ms",
+			"relax_per_n", "wasted_per_n", "checkpoint_age_ms", "converged"}); err != nil {
+			return err
+		}
+		for _, r := range data.Rows {
+			if err := cw.Write([]string{
+				ftoa(float64(r.Interval) / float64(time.Millisecond)),
+				ftoa(float64(r.TimeToSolution) / float64(time.Millisecond)),
+				ftoa(r.RelaxPerN), ftoa(r.WastedPerN),
+				ftoa(float64(r.CheckpointAge) / float64(time.Millisecond)),
+				strconv.FormatBool(r.Converged)}); err != nil {
 				return err
 			}
 		}

@@ -93,7 +93,7 @@ func printSeries(w io.Writer, xName, yName string, series []Series, points int) 
 
 // Names lists the runnable experiments in paper order.
 func Names() []string {
-	return []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation", "rates", "staleness", "stalemodel", "faults"}
+	return []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation", "rates", "staleness", "stalemodel", "faults", "recover"}
 }
 
 // Run dispatches one experiment by name, writing its report to w.
@@ -137,6 +137,8 @@ func Run(name string, w io.Writer, cfg Config) error {
 		return StaleModel(w, cfg)
 	case "faults":
 		return FaultSweep(w, cfg)
+	case "recover":
+		return Recover(w, cfg)
 	}
 	valid := Names()
 	sort.Strings(valid)
@@ -176,5 +178,8 @@ func RunAll(w io.Writer, cfg Config) error {
 	if err := StaleModel(w, cfg); err != nil {
 		return err
 	}
-	return FaultSweep(w, cfg)
+	if err := FaultSweep(w, cfg); err != nil {
+		return err
+	}
+	return Recover(w, cfg)
 }

@@ -22,8 +22,8 @@ func TestDownsample(t *testing.T) {
 }
 
 func TestNamesAndDispatch(t *testing.T) {
-	if len(Names()) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(Names()))
+	if len(Names()) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(Names()))
 	}
 	var buf bytes.Buffer
 	if err := Run("no-such", &buf, quickCfg()); err == nil {

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/matgen"
+	"repro/internal/resilience"
+	"repro/internal/shm"
+)
+
+// RecoverRow is one configuration of the checkpoint-interval sweep: an
+// asynchronous shared-memory solve that loses a worker to an injected
+// fail-stop crash and is then hard-killed mid-flight, restarted from
+// the last checkpoint that survived, and run to tolerance.
+type RecoverRow struct {
+	// Interval between checkpoint writes during the doomed first leg.
+	Interval time.Duration
+	// TimeToSolution is wall clock across both legs (kill + resume).
+	TimeToSolution time.Duration
+	// RelaxPerN is total relaxations across both legs divided by n.
+	RelaxPerN float64
+	// WastedPerN is RelaxPerN minus the uninterrupted baseline's — the
+	// work the crash+kill cost, which shrinks as checkpoints get
+	// fresher.
+	WastedPerN float64
+	// CheckpointAge is how stale the surviving checkpoint was at kill
+	// time (kill instant minus the checkpoint's recorded elapsed time).
+	CheckpointAge time.Duration
+	Converged     bool
+}
+
+// RecoverData is the sweep result plus its uninterrupted baseline.
+type RecoverData struct {
+	BaselineTime    time.Duration
+	BaselineRelaxPN float64
+	Rows            []RecoverRow
+}
+
+// RunRecoverSweep measures time-to-solution and relaxations wasted as
+// a function of the checkpoint interval.
+//
+// The scenario per interval: the async shm solver runs under a fault
+// plan that fail-stops one of its eight workers (the PR 3 crash plan),
+// so the run cannot converge on its own; checkpoints land every
+// Interval. Half a baseline-solve later the whole process is
+// hard-killed — simulated by loading the checkpoint file *before*
+// cancelling the run, so the at-exit checkpoint (which a real kill -9
+// would never produce) is ignored. A fresh solve resumes from that
+// surviving checkpoint — restoring the fault streams revives the
+// crashed worker, exactly as restarting the binary would — and runs to
+// tolerance. Stale checkpoints lose up to Interval of survivor work;
+// the sweep prices that staleness.
+func RunRecoverSweep(cfg Config) (*RecoverData, error) {
+	nx := 24
+	intervals := []time.Duration{
+		2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond,
+	}
+	if cfg.Quick {
+		nx = 16
+		intervals = []time.Duration{2 * time.Millisecond, 10 * time.Millisecond}
+	}
+	a := matgen.FD2D(nx, nx)
+	rng := cfg.NewRNG(0x4ec0)
+	b := RandomVec(rng, a.N)
+	x0 := RandomVec(rng, a.N)
+	const workers = 8
+	const tol = 1e-4
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 2018
+	}
+	// A per-iteration delay throttles the solve into the tens of
+	// milliseconds so millisecond checkpoint intervals resolve.
+	throttle := func() *fault.Plan {
+		return &fault.Plan{
+			Seed: seed, StallRank: -1,
+			DelayMean: 50 * time.Microsecond, DelayProb: 1,
+		}
+	}
+
+	base := shm.Solve(a, b, x0, shm.Options{
+		Threads: workers, MaxIters: 1 << 20, Tol: tol, Async: true,
+		DelayThread: -1, Fault: throttle(),
+	})
+	if !base.Converged {
+		return nil, fmt.Errorf("experiments: recover baseline did not converge (relres %g)", base.RelRes)
+	}
+	data := &RecoverData{
+		BaselineTime:    base.WallTime,
+		BaselineRelaxPN: float64(base.TotalRelaxations) / float64(a.N),
+	}
+	killAfter := base.WallTime / 2
+
+	dir, err := os.MkdirTemp("", "ajrecover")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	for _, interval := range intervals {
+		plan := throttle()
+		plan.CrashRanks = []int{workers / 2}
+		plan.CrashIter = 20
+		path := filepath.Join(dir, fmt.Sprintf("ck-%s.ajcp", interval))
+
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan *shm.Result, 1)
+		t0 := time.Now()
+		go func() {
+			done <- shm.Solve(a, b, x0, shm.Options{
+				Threads: workers, MaxIters: 1 << 20, Tol: tol, Async: true,
+				DelayThread: -1, Fault: plan, Ctx: ctx,
+				Checkpoint: &resilience.Spec{Path: path, Interval: interval},
+			})
+		}()
+		// The hard kill: capture the last on-disk checkpoint BEFORE
+		// cancelling, then ignore anything written at exit.
+		time.Sleep(killAfter)
+		var ck *resilience.Checkpoint
+		for {
+			raw, rerr := os.ReadFile(path)
+			if rerr == nil {
+				if ck, rerr = resilience.Decode(raw); rerr == nil {
+					break
+				}
+			}
+			// No tick has landed yet (interval > kill time): wait for
+			// the first write rather than fabricating a restart point.
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		res1 := <-done
+		leg1 := time.Since(t0)
+
+		res2 := shm.Solve(a, b, ck.X, shm.Options{
+			Threads: workers, MaxIters: 1 << 20, Tol: tol, Async: true,
+			DelayThread: -1, Fault: plan, Resume: ck,
+		})
+		totalRelax := res1.TotalRelaxations + res2.TotalRelaxations
+		row := RecoverRow{
+			Interval:       interval,
+			TimeToSolution: leg1 + res2.WallTime,
+			RelaxPerN:      float64(totalRelax) / float64(a.N),
+			CheckpointAge:  leg1 - ck.Elapsed,
+			Converged:      res2.Converged,
+		}
+		row.WastedPerN = row.RelaxPerN - data.BaselineRelaxPN
+		data.Rows = append(data.Rows, row)
+	}
+	return data, nil
+}
+
+// Recover prints the checkpoint-interval sweep table.
+func Recover(w io.Writer, cfg Config) error {
+	data, err := RunRecoverSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Recovery: checkpoint interval vs cost of a crash (async shm, FD2D, 8 workers) ==")
+	fmt.Fprintf(w, "baseline (no crash): %v, %.1f relax/n\n",
+		data.BaselineTime.Round(time.Millisecond), data.BaselineRelaxPN)
+	fmt.Fprintf(w, "%10s %12s %10s %10s %10s %10s\n",
+		"interval", "ttsolution", "relax/n", "wasted/n", "ck age", "converged")
+	for _, r := range data.Rows {
+		fmt.Fprintf(w, "%10s %12s %10.1f %10.1f %10s %10v\n",
+			r.Interval, r.TimeToSolution.Round(time.Millisecond),
+			r.RelaxPerN, r.WastedPerN, r.CheckpointAge.Round(time.Millisecond),
+			r.Converged)
+	}
+	fmt.Fprintln(w, "  (a fail-stopped worker plus a mid-flight hard kill; shorter intervals leave")
+	fmt.Fprintln(w, "   fresher checkpoints, so less survivor work is redone after the restart)")
+	fmt.Fprintln(w)
+	return nil
+}

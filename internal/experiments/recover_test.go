@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The quick recovery sweep must complete the crash → hard kill →
+// restart-from-checkpoint loop for every interval, converge each time,
+// and account for the work honestly: the interrupted runs cannot cost
+// less than the uninterrupted baseline.
+func TestRecoverSweepQuick(t *testing.T) {
+	data, err := RunRecoverSweep(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Rows) != 2 {
+		t.Fatalf("quick sweep has %d rows, want 2", len(data.Rows))
+	}
+	if data.BaselineRelaxPN <= 0 {
+		t.Fatal("baseline did not run")
+	}
+	for _, r := range data.Rows {
+		if !r.Converged {
+			t.Fatalf("interval %v: resumed run did not converge", r.Interval)
+		}
+		if r.WastedPerN < 0 {
+			t.Fatalf("interval %v: negative waste %.1f — a killed run out-performed the baseline",
+				r.Interval, r.WastedPerN)
+		}
+		if r.CheckpointAge < 0 {
+			t.Fatalf("interval %v: negative checkpoint age %v", r.Interval, r.CheckpointAge)
+		}
+	}
+
+	var sb strings.Builder
+	if err := Recover(&sb, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "checkpoint interval") {
+		t.Fatal("report missing header")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 	"time"
 )
 
@@ -195,18 +196,26 @@ func (p *Plan) TermDeadline() time.Duration {
 }
 
 // Injector is one rank's live fault state: its private RNG stream plus
-// the crash latch. Exactly one goroutine — the owning rank — may call
-// its methods at a time; sequential solve passes (the dist solver's
-// recheck-and-resume loop) may reuse one injector so that a fail-stop
-// crash stays fatal across passes.
+// the crash latch. The owning rank drives the fault draws; sequential
+// solve passes (the dist solver's recheck-and-resume loop) may reuse
+// one injector so that a fail-stop crash stays fatal across passes. A
+// small mutex guards the mutable state (the RNG position and the crash
+// latch) so a checkpointer goroutine can snapshot it mid-run with
+// State; the lock is uncontended on the fault hot path.
 type Injector struct {
 	plan *Plan
 	rank int
-	rng  *rand.Rand
+
+	mu  sync.Mutex
+	src *rand.PCG // retained for State/SetState serialization
+	rng *rand.Rand
 
 	delayed bool // this rank draws from the delay distribution
 	crashAt int  // -1: never
 	crashed bool // crash fired (one-shot)
+	revived bool // crash latch restored from a checkpoint: the process
+	// was restarted by the operator, so the rank is alive again while
+	// the spent crash still cannot replay
 	xm      float64
 	alpha   float64
 	dprob   float64
@@ -219,12 +228,14 @@ func (p *Plan) ForRank(id int) *Injector {
 	if p == nil || !p.Enabled() {
 		return nil
 	}
+	// Distinct golden-ratio-spaced streams per rank; the plan seed
+	// picks the family.
+	src := rand.NewPCG(p.Seed, uint64(id)*0x9e3779b97f4a7c15+0xfa01)
 	in := &Injector{
-		plan: p,
-		rank: id,
-		// Distinct golden-ratio-spaced streams per rank; the plan seed
-		// picks the family.
-		rng:     rand.New(rand.NewPCG(p.Seed, uint64(id)*0x9e3779b97f4a7c15+0xfa01)),
+		plan:    p,
+		rank:    id,
+		src:     src,
+		rng:     rand.New(src),
 		crashAt: -1,
 	}
 	if p.DelayMean > 0 {
@@ -283,7 +294,9 @@ func (in *Injector) SendFate(dst int) Fate {
 	if drop == 0 && dup == 0 && reorder == 0 {
 		return Deliver
 	}
+	in.mu.Lock()
 	u := in.rng.Float64()
+	in.mu.Unlock()
 	switch {
 	case u < drop:
 		return Drop
@@ -301,6 +314,8 @@ func (in *Injector) IterDelay() time.Duration {
 	if in == nil || !in.delayed {
 		return 0
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if in.dprob < 1 && in.rng.Float64() >= in.dprob {
 		return 0
 	}
@@ -329,7 +344,12 @@ func (in *Injector) StallFor(iter int) time.Duration {
 // iter. It fires at most once per injector; after a restart the rank
 // does not crash again. Nil-safe.
 func (in *Injector) CrashNow(iter int) bool {
-	if in == nil || in.crashed || in.crashAt < 0 || iter < in.crashAt {
+	if in == nil || in.crashAt < 0 || iter < in.crashAt {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
 		return false
 	}
 	in.crashed = true
@@ -349,9 +369,92 @@ func (in *Injector) Restart() (time.Duration, bool) {
 }
 
 // Dead reports whether the rank has crashed without a restart — it must
-// not participate in the (or any resumed) solve. Nil-safe.
+// not participate in the (or any resumed) solve. A rank whose crash
+// latch was restored from a checkpoint is not dead: restoring a
+// checkpoint is the operator restarting the process. Nil-safe.
 func (in *Injector) Dead() bool {
-	return in != nil && in.crashed && !in.plan.Restart
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed && !in.revived && !in.plan.Restart
+}
+
+// State serializes the injector's mutable state — the PCG stream
+// position and the crash latch — for a checkpoint. Safe to call from a
+// checkpointer goroutine while the owning rank keeps drawing. Nil-safe
+// (returns nil).
+func (in *Injector) State() []byte {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	pcg, err := in.src.MarshalBinary()
+	if err != nil {
+		// MarshalBinary on *rand.PCG cannot fail today; treat a future
+		// failure as "no snapshot" rather than corrupting a checkpoint.
+		return nil
+	}
+	flags := byte(0)
+	if in.crashed {
+		flags = 1
+	}
+	return append([]byte{flags}, pcg...)
+}
+
+// SetState restores a snapshot taken by State, so a resumed solve
+// faces the remainder of the planned adversity rather than a replay of
+// it: the RNG stream continues where it stopped, and a spent crash
+// latch stays spent — but the rank itself revives, because restoring a
+// checkpoint is precisely the operator restarting the crashed process.
+// Nil-safe; an empty state is a no-op.
+func (in *Injector) SetState(state []byte) error {
+	if in == nil || len(state) == 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if err := in.src.UnmarshalBinary(state[1:]); err != nil {
+		return fmt.Errorf("fault: restore injector %d rng: %w", in.rank, err)
+	}
+	in.crashed = state[0] == 1
+	in.revived = in.crashed
+	return nil
+}
+
+// States snapshots every injector of a world (nil entries yield nil
+// states); nil-safe on a nil slice.
+func States(injs []*Injector) [][]byte {
+	if injs == nil {
+		return nil
+	}
+	out := make([][]byte, len(injs))
+	for i, in := range injs {
+		out[i] = in.State()
+	}
+	return out
+}
+
+// RestoreStates restores a States snapshot onto a freshly built world
+// of injectors. A nil snapshot is a no-op; a size mismatch (the resumed
+// run changed its worker count) is an error, because per-rank streams
+// would no longer line up with the plan.
+func RestoreStates(injs []*Injector, states [][]byte) error {
+	if len(states) == 0 || injs == nil {
+		return nil
+	}
+	if len(states) != len(injs) {
+		return fmt.Errorf("fault: checkpoint has %d injector states, world has %d ranks",
+			len(states), len(injs))
+	}
+	for i, in := range injs {
+		if err := in.SetState(states[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Rank returns the owning rank id (-1 on nil).

@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// A restored injector must continue the fault stream exactly where the
+// snapshot was taken: the resumed run faces the remainder of the
+// planned adversity, not a replay of it.
+func TestInjectorStateRoundTripDeterministic(t *testing.T) {
+	plan := &Plan{
+		Seed: 99, Drop: 0.3, Dup: 0.2,
+		DelayMean: time.Millisecond, DelayProb: 0.5,
+		StallRank: -1,
+	}
+	in := plan.ForRank(2)
+	// Burn some draws so the stream is mid-flight.
+	for i := 0; i < 57; i++ {
+		in.SendFate(0)
+		in.IterDelay()
+	}
+	snap := in.State()
+	if len(snap) < 2 {
+		t.Fatalf("state too short: %d bytes", len(snap))
+	}
+
+	// Continue the original and record its future.
+	var fates []Fate
+	var delays []time.Duration
+	for i := 0; i < 40; i++ {
+		fates = append(fates, in.SendFate(1))
+		delays = append(delays, in.IterDelay())
+	}
+
+	// A fresh injector restored from the snapshot replays that future.
+	in2 := plan.ForRank(2)
+	if err := in2.SetState(snap); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		if f := in2.SendFate(1); f != fates[i] {
+			t.Fatalf("draw %d: fate %v, want %v", i, f, fates[i])
+		}
+		if d := in2.IterDelay(); d != delays[i] {
+			t.Fatalf("draw %d: delay %v, want %v", i, d, delays[i])
+		}
+	}
+}
+
+// Restoring a spent crash latch revives the rank without re-arming the
+// crash: a checkpoint restore is the operator restarting the process.
+func TestInjectorStateReviveSemantics(t *testing.T) {
+	plan := &Plan{Seed: 7, StallRank: -1, CrashRanks: []int{0}, CrashIter: 3}
+	in := plan.ForRank(0)
+	if in.CrashNow(2) {
+		t.Fatal("crashed before CrashIter")
+	}
+	if !in.CrashNow(3) {
+		t.Fatal("crash did not fire at CrashIter")
+	}
+	if !in.Dead() {
+		t.Fatal("fail-stopped rank not dead")
+	}
+	snap := in.State()
+
+	in2 := plan.ForRank(0)
+	if err := in2.SetState(snap); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	if in2.Dead() {
+		t.Fatal("restored rank still dead; restart-from-checkpoint must revive it")
+	}
+	if in2.CrashNow(10) {
+		t.Fatal("spent crash replayed after restore")
+	}
+
+	// A snapshot taken before the crash leaves it armed.
+	in3 := plan.ForRank(0)
+	pre := in3.State()
+	in4 := plan.ForRank(0)
+	if err := in4.SetState(pre); err != nil {
+		t.Fatal(err)
+	}
+	if !in4.CrashNow(3) {
+		t.Fatal("unspent crash disarmed by restore")
+	}
+}
+
+// States/RestoreStates are nil-safe and reject world-size mismatches.
+func TestStatesWorldRoundTrip(t *testing.T) {
+	if States(nil) != nil {
+		t.Fatal("States(nil) != nil")
+	}
+	if err := RestoreStates(nil, nil); err != nil {
+		t.Fatalf("nil restore: %v", err)
+	}
+	plan := &Plan{Seed: 3, Drop: 0.5, StallRank: -1}
+	injs := plan.Injectors(4)
+	states := States(injs)
+	if len(states) != 4 {
+		t.Fatalf("got %d states", len(states))
+	}
+	if err := RestoreStates(plan.Injectors(4), states); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if err := RestoreStates(plan.Injectors(3), states); err == nil {
+		t.Fatal("world-size mismatch accepted")
+	}
+}

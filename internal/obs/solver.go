@@ -55,6 +55,12 @@ type SolverMetrics struct {
 	faultDelay, faultStall            *Counter
 	faultCrash, faultRestart          *Counter
 	faultTermTimeout                  *Counter
+
+	recCkptWrite, recCkptError, recCkptLoad *Counter
+	recWorkerDead, recReassign              *Counter
+	recDeadline, recCancel, recResume       *Counter
+	recRetransmit, recExclude               *Counter
+	ckptBytes, ckptAge                      *Gauge
 }
 
 // NewSolverMetrics registers the solver metric families on reg and
@@ -127,7 +133,153 @@ func NewSolverMetrics(reg *Registry) *SolverMetrics {
 	m.faultCrash = faults.With("crash")
 	m.faultRestart = faults.With("restart")
 	m.faultTermTimeout = faults.With("term_timeout")
+	rec := reg.NewCounter("aj_recovery_events_total",
+		"Recovery-layer actions taken during the solve, by event "+
+			"(internal/resilience: checkpoint writes/loads, supervisor "+
+			"death declarations and row reassignments, deadline and "+
+			"cancellation stops, resumes, bounded retransmissions, and "+
+			"dead-rank send exclusions).", "event")
+	m.recCkptWrite = rec.With("checkpoint_write")
+	m.recCkptError = rec.With("checkpoint_error")
+	m.recCkptLoad = rec.With("checkpoint_load")
+	m.recWorkerDead = rec.With("worker_dead")
+	m.recReassign = rec.With("reassign")
+	m.recDeadline = rec.With("deadline")
+	m.recCancel = rec.With("cancel")
+	m.recResume = rec.With("resume")
+	m.recRetransmit = rec.With("retransmit")
+	m.recExclude = rec.With("exclude")
+	m.ckptBytes = reg.NewGauge("aj_checkpoint_bytes",
+		"Size of the most recently written checkpoint file.").With()
+	m.ckptAge = reg.NewGauge("aj_checkpoint_age_seconds",
+		"Wall-clock age of the last successful checkpoint write; how "+
+			"much progress a kill right now would lose.").With()
 	return m
+}
+
+// Recovery-layer counters (see internal/resilience). All nil-safe.
+
+// RecoveryCheckpointWrite counts one published checkpoint and updates
+// the size and age gauges.
+func (m *SolverMetrics) RecoveryCheckpointWrite(nbytes int) {
+	if m != nil {
+		m.recCkptWrite.Inc()
+		m.ckptBytes.Set(float64(nbytes))
+		m.ckptAge.Set(0)
+	}
+}
+
+// RecoveryCheckpointError counts one failed checkpoint write.
+func (m *SolverMetrics) RecoveryCheckpointError() {
+	if m != nil {
+		m.recCkptError.Inc()
+	}
+}
+
+// RecoveryCheckpointLoad counts one checkpoint restored into a solve.
+func (m *SolverMetrics) RecoveryCheckpointLoad() {
+	if m != nil {
+		m.recCkptLoad.Inc()
+	}
+}
+
+// SetCheckpointAge republishes the checkpoint-age gauge.
+func (m *SolverMetrics) SetCheckpointAge(seconds float64) {
+	if m != nil {
+		m.ckptAge.Set(seconds)
+	}
+}
+
+// RecoveryWorkerDead counts the supervisor declaring one worker dead
+// after a heartbeat stall.
+func (m *SolverMetrics) RecoveryWorkerDead() {
+	if m != nil {
+		m.recWorkerDead.Inc()
+	}
+}
+
+// RecoveryReassign counts one row-block reassignment to a survivor.
+func (m *SolverMetrics) RecoveryReassign() {
+	if m != nil {
+		m.recReassign.Inc()
+	}
+}
+
+// RecoveryDeadline counts a solve stopped by its wall-clock budget.
+func (m *SolverMetrics) RecoveryDeadline() {
+	if m != nil {
+		m.recDeadline.Inc()
+	}
+}
+
+// RecoveryCancel counts a solve stopped by context cancellation.
+func (m *SolverMetrics) RecoveryCancel() {
+	if m != nil {
+		m.recCancel.Inc()
+	}
+}
+
+// RecoveryResume counts a solve continued from a checkpoint.
+func (m *SolverMetrics) RecoveryResume() {
+	if m != nil {
+		m.recResume.Inc()
+	}
+}
+
+// RecoveryRetransmit counts one bounded-backoff retransmission of
+// boundary values on an idle lossy link.
+func (m *SolverMetrics) RecoveryRetransmit() {
+	if m != nil {
+		m.recRetransmit.Inc()
+	}
+}
+
+// RecoveryExclude counts one send suppressed because the target rank
+// was marked dead (rank exclusion).
+func (m *SolverMetrics) RecoveryExclude() {
+	if m != nil {
+		m.recExclude.Inc()
+	}
+}
+
+// RecoveryWorkerDeadCount reads the worker-death counter (0 on nil).
+func (m *SolverMetrics) RecoveryWorkerDeadCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.recWorkerDead.Value()
+}
+
+// RecoveryReassignCount reads the reassignment counter (0 on nil).
+func (m *SolverMetrics) RecoveryReassignCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.recReassign.Value()
+}
+
+// RecoveryCheckpointWriteCount reads the checkpoint-write counter.
+func (m *SolverMetrics) RecoveryCheckpointWriteCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.recCkptWrite.Value()
+}
+
+// RecoveryRetransmitCount reads the retransmission counter (0 on nil).
+func (m *SolverMetrics) RecoveryRetransmitCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.recRetransmit.Value()
+}
+
+// RecoveryExcludeCount reads the dead-rank exclusion counter.
+func (m *SolverMetrics) RecoveryExcludeCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.recExclude.Value()
 }
 
 // Fault-injection counters (see internal/fault). All nil-safe.

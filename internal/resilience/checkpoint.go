@@ -1,0 +1,176 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+)
+
+// Checkpoint is everything a solve needs to continue from where it
+// stopped: the iterate, the per-row relaxation counts (which keep a
+// resumed trace's version numbering contiguous with the first run's, so
+// the combined history still bridges to the propagation model), the
+// fault injector's RNG streams and crash latches (so a resumed run
+// replays the *remainder* of the planned adversity rather than
+// restarting it), and the termination-protocol flag state.
+//
+// Theorem 1 is what makes a racy snapshot legal: the X captured here is
+// some partially updated iterate, i.e. the result of applying a prefix
+// of relaxations under *some* delay mask — exactly the states the
+// theorem proves non-expansive.
+type Checkpoint struct {
+	// Substrate tags the producer: "shm", "dist", or "seq".
+	Substrate string
+	// N is the system dimension; Load-time validation against the
+	// matrix catches resuming the wrong problem.
+	N int
+	// X is the iterate at the snapshot.
+	X []float64
+	// Sweeps is the completed sweep count (sequential methods) or the
+	// maximum local iteration count (parallel substrates).
+	Sweeps int
+	// RelaxCounts[i] is the number of completed relaxations of row i at
+	// the snapshot (nil when the producer was not tracking versions).
+	RelaxCounts []int64
+	// Iters[t] is worker/rank t's local iteration count.
+	Iters []int64
+	// Flags[t] is worker t's termination flag (shm flag array).
+	Flags []bool
+	// FaultStates[t] is worker/rank t's injector state as produced by
+	// fault.Injector.State: the PCG stream plus the crash latch. Nil
+	// when the run had no fault plan.
+	FaultStates [][]byte
+	// Elapsed is the wall-clock time consumed up to the snapshot,
+	// accumulated across resumes so time-to-solution stays honest.
+	Elapsed time.Duration
+}
+
+// Checkpoint file framing: a fixed header in front of a gob payload.
+//
+//	magic   [4]byte  "AJCP"
+//	version uint32   format version (little-endian)
+//	length  uint64   payload byte count
+//	crc     uint32   CRC-32 (IEEE) of the payload
+//	payload []byte   gob-encoded Checkpoint
+const (
+	ckptMagic = "AJCP"
+	// CheckpointVersion is the current on-disk format version. Readers
+	// reject files written by a future version outright — a truncated
+	// read of a newer format must not be misparsed as corruption of the
+	// current one.
+	CheckpointVersion = 1
+	headerLen         = 4 + 4 + 8 + 4
+)
+
+// Distinct checkpoint-rejection causes, each wrapped into Load's error
+// so callers can errors.Is their way to the root cause.
+var (
+	// ErrNotCheckpoint: the file does not carry the checkpoint magic.
+	ErrNotCheckpoint = errors.New("resilience: not a checkpoint file")
+	// ErrTruncated: the file ends before the header or payload does.
+	ErrTruncated = errors.New("resilience: checkpoint truncated")
+	// ErrChecksum: the payload does not match its recorded CRC.
+	ErrChecksum = errors.New("resilience: checkpoint checksum mismatch")
+	// ErrVersion: the file was written by a newer format version.
+	ErrVersion = errors.New("resilience: checkpoint version unsupported")
+)
+
+// Encode frames the checkpoint into its on-disk byte form.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(c); err != nil {
+		return nil, fmt.Errorf("resilience: encode checkpoint: %w", err)
+	}
+	out := make([]byte, headerLen+payload.Len())
+	copy(out, ckptMagic)
+	binary.LittleEndian.PutUint32(out[4:], CheckpointVersion)
+	binary.LittleEndian.PutUint64(out[8:], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(out[16:], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(out[headerLen:], payload.Bytes())
+	return out, nil
+}
+
+// Decode parses a framed checkpoint, failing with a distinct wrapped
+// error for each corruption class: ErrNotCheckpoint (wrong magic),
+// ErrTruncated (short header or payload), ErrVersion (written by a
+// future format), ErrChecksum (payload does not match its CRC).
+func Decode(data []byte) (*Checkpoint, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header",
+			ErrTruncated, len(data), headerLen)
+	}
+	if string(data[:4]) != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrNotCheckpoint, data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v > CheckpointVersion {
+		return nil, fmt.Errorf("%w: file version %d, reader supports <= %d",
+			ErrVersion, v, CheckpointVersion)
+	}
+	length := binary.LittleEndian.Uint64(data[8:])
+	if uint64(len(data)-headerLen) < length {
+		return nil, fmt.Errorf("%w: header promises %d payload bytes, file holds %d",
+			ErrTruncated, length, len(data)-headerLen)
+	}
+	payload := data[headerLen : headerLen+int(length)]
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(data[16:]) {
+		return nil, fmt.Errorf("%w: computed %08x, recorded %08x",
+			ErrChecksum, crc, binary.LittleEndian.Uint32(data[16:]))
+	}
+	var c Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("resilience: decode checkpoint payload: %w", err)
+	}
+	return &c, nil
+}
+
+// Save writes the checkpoint atomically: the framed bytes land in a
+// sibling temp file which is then renamed over path, so a crash
+// mid-write leaves either the previous good checkpoint or a stray
+// .tmp — never a half-written file under the real name. Returns the
+// byte count written.
+func (c *Checkpoint) Save(path string) (int, error) {
+	data, err := c.Encode()
+	if err != nil {
+		return 0, err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return 0, fmt.Errorf("resilience: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("resilience: publish checkpoint: %w", err)
+	}
+	return len(data), nil
+}
+
+// Load reads and validates the checkpoint at path.
+func Load(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: read checkpoint: %w", err)
+	}
+	return Decode(data)
+}
+
+// ValidateFor checks the checkpoint against the system it is about to
+// restart.
+func (c *Checkpoint) ValidateFor(n int) error {
+	if c == nil {
+		return errors.New("resilience: nil checkpoint")
+	}
+	if c.N != n || len(c.X) != n {
+		return fmt.Errorf("resilience: checkpoint is for n=%d (len(X)=%d), system has n=%d",
+			c.N, len(c.X), n)
+	}
+	if c.RelaxCounts != nil && len(c.RelaxCounts) != n {
+		return fmt.Errorf("resilience: checkpoint has %d relaxation counts for n=%d",
+			len(c.RelaxCounts), n)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package resilience
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Substrate:   "shm",
+		N:           4,
+		X:           []float64{1.5, -2.25, 0, 3},
+		Sweeps:      17,
+		RelaxCounts: []int64{17, 17, 16, 17},
+		Iters:       []int64{17, 16},
+		Flags:       []bool{true, false},
+		FaultStates: [][]byte{{1, 0xde, 0xad}, nil},
+		Elapsed:     137 * time.Millisecond,
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.ajcp")
+	want := sampleCheckpoint()
+	nbytes, err := want.Save(path)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if fi, err := os.Stat(path); err != nil || int(fi.Size()) != nbytes {
+		t.Fatalf("Save reported %d bytes, file has %v (err=%v)", nbytes, fi, err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Substrate != want.Substrate || got.N != want.N || got.Sweeps != want.Sweeps ||
+		got.Elapsed != want.Elapsed {
+		t.Fatalf("scalar fields mismatch: %+v vs %+v", got, want)
+	}
+	for i := range want.X {
+		if got.X[i] != want.X[i] {
+			t.Fatalf("X[%d] = %g, want %g", i, got.X[i], want.X[i])
+		}
+	}
+	for i := range want.RelaxCounts {
+		if got.RelaxCounts[i] != want.RelaxCounts[i] {
+			t.Fatalf("RelaxCounts[%d] = %d, want %d", i, got.RelaxCounts[i], want.RelaxCounts[i])
+		}
+	}
+	if len(got.FaultStates) != 2 || string(got.FaultStates[0]) != string(want.FaultStates[0]) {
+		t.Fatalf("fault states mismatch: %v", got.FaultStates)
+	}
+	if err := got.ValidateFor(4); err != nil {
+		t.Fatalf("ValidateFor(4): %v", err)
+	}
+	if err := got.ValidateFor(5); err == nil {
+		t.Fatal("ValidateFor(5) accepted a 4-row checkpoint")
+	}
+}
+
+// The three corruption classes must each surface as their own wrapped
+// sentinel, so a resume path can distinguish "wrong file" from "partial
+// write" from "newer producer".
+func TestCheckpointTruncatedRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.ajcp")
+	if _, err := sampleCheckpoint().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+
+	for _, cut := range []int{0, 3, headerLen - 1, headerLen + 1, len(data) - 1} {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(path)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d bytes: got %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestCheckpointChecksumRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.ajcp")
+	if _, err := sampleCheckpoint().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	data[headerLen+5] ^= 0x40 // flip one payload bit
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v, want ErrChecksum", err)
+	}
+}
+
+func TestCheckpointFutureVersionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.ajcp")
+	if _, err := sampleCheckpoint().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	binary.LittleEndian.PutUint32(data[4:], CheckpointVersion+1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+	// A version bump must win over a checksum complaint: the CRC of a
+	// future format is meaningless to this reader.
+	if errors.Is(err, ErrChecksum) || errors.Is(err, ErrTruncated) {
+		t.Fatalf("future-version error leaked another sentinel: %v", err)
+	}
+}
+
+func TestCheckpointBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.ajcp")
+	if err := os.WriteFile(path, []byte("this is not a checkpoint at all....."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if !errors.Is(err, ErrNotCheckpoint) {
+		t.Fatalf("got %v, want ErrNotCheckpoint", err)
+	}
+}
+
+// A crash mid-write leaves garbage in the sibling .tmp file, never
+// under the real name: the previous good checkpoint must survive and a
+// subsequent Save must atomically replace it.
+func TestCheckpointTempCrashNeverClobbers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.ajcp")
+	good := sampleCheckpoint()
+	if _, err := good.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a writer killed mid-write: a half-written temp file.
+	if err := os.WriteFile(path+".tmp", []byte("AJCP\x01half-writ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("good checkpoint clobbered by temp-file crash: %v", err)
+	}
+	if got.Sweeps != good.Sweeps {
+		t.Fatalf("loaded sweeps %d, want %d", got.Sweeps, good.Sweeps)
+	}
+
+	// The next Save replaces the stray temp file and publishes cleanly.
+	good.Sweeps = 99
+	if _, err := good.Save(path); err != nil {
+		t.Fatalf("Save over stray temp: %v", err)
+	}
+	got, err = Load(path)
+	if err != nil || got.Sweeps != 99 {
+		t.Fatalf("replacement checkpoint not visible: sweeps=%v err=%v", got, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after successful publish: %v", err)
+	}
+}

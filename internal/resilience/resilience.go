@@ -1,0 +1,137 @@
+// Package resilience is the recovery layer of the solver substrates:
+// cooperative stopping (context cancellation and wall-clock deadlines),
+// versioned CRC-checksummed checkpoints written atomically, and a
+// bounded retry policy for lossy links.
+//
+// The theory makes all of this safe rather than heuristic. Theorem 1
+// (§IV-C of the paper) shows the asynchronous Jacobi residual never
+// grows under arbitrary delay masks, so any partially updated iterate —
+// the state a cancelled run checkpoints, or the state a restarted
+// worker inherits — is a legal starting point: resuming is just one
+// more (possibly very long) delay. A dead worker is the infinitely
+// delayed process of the Theorem 1 discussion, and reassigning its rows
+// to survivors merely refines the active blocks, the direction §IV-D
+// proves rate-improving.
+//
+// Like obs.SolverMetrics and trace.Recorder, the handles here are
+// nil-safe: a nil *Stopper never stops, a nil *Writer never writes, so
+// the disabled paths cost one pointer test per site.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// StopReason states why a solve returned. The zero value means the
+// solve is still running (or the reason was never resolved).
+type StopReason int
+
+const (
+	// StopNone is the zero value: no stop condition has fired.
+	StopNone StopReason = iota
+	// StopConverged: the tolerance was met.
+	StopConverged
+	// StopDeadline: the MaxTime wall-clock budget (or a context
+	// deadline) expired first.
+	StopDeadline
+	// StopCanceled: the caller's context was canceled.
+	StopCanceled
+	// StopMaxIter: the iteration budget ran out above tolerance.
+	StopMaxIter
+	// StopCrashed: an injected fail-stop crash degraded the run and the
+	// survivors could not reach tolerance.
+	StopCrashed
+)
+
+// String names the reason the way ajsolve/ajdist print it.
+func (s StopReason) String() string {
+	switch s {
+	case StopNone:
+		return "none"
+	case StopConverged:
+		return "converged"
+	case StopDeadline:
+		return "deadline"
+	case StopCanceled:
+		return "canceled"
+	case StopMaxIter:
+		return "max-iter"
+	case StopCrashed:
+		return "crashed"
+	}
+	return "unknown"
+}
+
+// Stopper turns a context and a wall-clock budget into a cooperative
+// stop signal the solver hot loops can poll. It owns no goroutine:
+// Check lazily inspects the context and the deadline, and latches the
+// first reason it observes so every later caller (and every worker)
+// agrees on why the run stopped. Safe for concurrent use; nil-safe.
+type Stopper struct {
+	ctx      context.Context
+	deadline time.Time
+	reason   atomic.Int32
+}
+
+// NewStopper builds a stopper for the given context (nil means
+// background) and wall-clock budget measured from now (maxTime <= 0
+// means unbounded). When neither source can fire it returns nil, which
+// Check treats as "never stop" at the cost of one pointer test.
+func NewStopper(ctx context.Context, maxTime time.Duration) *Stopper {
+	if ctx == nil && maxTime <= 0 {
+		return nil
+	}
+	s := &Stopper{ctx: ctx}
+	if maxTime > 0 {
+		s.deadline = time.Now().Add(maxTime)
+	}
+	return s
+}
+
+// Check reports the latched stop reason, first resolving the context
+// and the deadline. StopNone means keep going. Nil-safe.
+func (s *Stopper) Check() StopReason {
+	if s == nil {
+		return StopNone
+	}
+	if r := StopReason(s.reason.Load()); r != StopNone {
+		return r
+	}
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			r := StopCanceled
+			if errors.Is(err, context.DeadlineExceeded) {
+				r = StopDeadline
+			}
+			s.reason.CompareAndSwap(int32(StopNone), int32(r))
+			return StopReason(s.reason.Load())
+		}
+	}
+	if !s.deadline.IsZero() && !time.Now().Before(s.deadline) {
+		s.reason.CompareAndSwap(int32(StopNone), int32(StopDeadline))
+		return StopReason(s.reason.Load())
+	}
+	return StopNone
+}
+
+// Stopped reports whether a stop reason has fired. Nil-safe.
+func (s *Stopper) Stopped() bool { return s.Check() != StopNone }
+
+// Resolve picks the reason a finished solve reports, in precedence
+// order: convergence beats everything (a run that met tolerance on the
+// deadline still converged), then the stopper's latched reason, then a
+// fail-stop crash, then the iteration budget.
+func Resolve(converged bool, s *Stopper, crashed bool) StopReason {
+	switch {
+	case converged:
+		return StopConverged
+	case s.Check() != StopNone:
+		return s.Check()
+	case crashed:
+		return StopCrashed
+	}
+	return StopMaxIter
+}

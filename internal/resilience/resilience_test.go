@@ -1,0 +1,162 @@
+package resilience
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestStopReasonStrings(t *testing.T) {
+	want := map[StopReason]string{
+		StopNone: "none", StopConverged: "converged", StopDeadline: "deadline",
+		StopCanceled: "canceled", StopMaxIter: "max-iter", StopCrashed: "crashed",
+		StopReason(42): "unknown",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Fatalf("StopReason(%d).String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}
+
+func TestStopperNilNeverStops(t *testing.T) {
+	if s := NewStopper(nil, 0); s != nil {
+		t.Fatalf("no-source stopper should be nil, got %v", s)
+	}
+	var s *Stopper
+	if s.Check() != StopNone || s.Stopped() {
+		t.Fatal("nil stopper stopped")
+	}
+}
+
+func TestStopperCancelAndDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewStopper(ctx, 0)
+	if s.Check() != StopNone {
+		t.Fatal("stopped before cancel")
+	}
+	cancel()
+	if got := s.Check(); got != StopCanceled {
+		t.Fatalf("after cancel: %v, want canceled", got)
+	}
+
+	// Wall-clock budget: latches StopDeadline once elapsed.
+	s = NewStopper(nil, time.Millisecond)
+	if s.Check() != StopNone {
+		t.Fatal("deadline stopper fired immediately")
+	}
+	time.Sleep(3 * time.Millisecond)
+	if got := s.Check(); got != StopDeadline {
+		t.Fatalf("after budget: %v, want deadline", got)
+	}
+
+	// Context deadline maps to StopDeadline too.
+	ctx, cancel = context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	s = NewStopper(ctx, 0)
+	time.Sleep(3 * time.Millisecond)
+	if got := s.Check(); got != StopDeadline {
+		t.Fatalf("context deadline: %v, want deadline", got)
+	}
+}
+
+// The first reason to fire wins, even if another source fires later —
+// all workers must agree on why the run stopped.
+func TestStopperLatchesFirstReason(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewStopper(ctx, time.Millisecond)
+	time.Sleep(3 * time.Millisecond)
+	if got := s.Check(); got != StopDeadline {
+		t.Fatalf("got %v, want deadline", got)
+	}
+	cancel()
+	if got := s.Check(); got != StopDeadline {
+		t.Fatalf("cancel overwrote latched deadline: %v", got)
+	}
+}
+
+func TestResolvePrecedence(t *testing.T) {
+	s := NewStopper(nil, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	s.Check()
+	if got := Resolve(true, s, true); got != StopConverged {
+		t.Fatalf("converged run reported %v", got)
+	}
+	if got := Resolve(false, s, true); got != StopDeadline {
+		t.Fatalf("deadline-stopped run reported %v", got)
+	}
+	if got := Resolve(false, nil, true); got != StopCrashed {
+		t.Fatalf("crashed run reported %v", got)
+	}
+	if got := Resolve(false, nil, false); got != StopMaxIter {
+		t.Fatalf("budget-exhausted run reported %v", got)
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, Base: time.Millisecond, Max: 5 * time.Millisecond}
+	want := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		5 * time.Millisecond, 5 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if p.Exhausted(3) {
+		t.Fatal("attempt 3 of 4 reported exhausted")
+	}
+	if !p.Exhausted(4) {
+		t.Fatal("attempt 4 of 4 not exhausted")
+	}
+	// Zero-value policy fills defaults rather than spinning instantly.
+	var zero RetryPolicy
+	if zero.Backoff(0) <= 0 || !zero.Exhausted(10_000) {
+		t.Fatalf("zero policy: backoff=%v", zero.Backoff(0))
+	}
+}
+
+func TestWriterIntervalGateAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := obs.NewSolverMetrics(reg)
+	path := filepath.Join(t.TempDir(), "ck.ajcp")
+	w := NewWriter(&Spec{Path: path, Interval: time.Hour}, m)
+	if w.Interval() != time.Hour || w.Path() != path {
+		t.Fatalf("spec not retained: %v %v", w.Interval(), w.Path())
+	}
+	snaps := 0
+	snap := func() *Checkpoint { snaps++; return sampleCheckpoint() }
+	if wrote, err := w.MaybeWrite(snap); err != nil || !wrote {
+		t.Fatalf("first MaybeWrite: wrote=%v err=%v", wrote, err)
+	}
+	if wrote, _ := w.MaybeWrite(snap); wrote {
+		t.Fatal("second MaybeWrite inside the interval wrote")
+	}
+	if snaps != 1 {
+		t.Fatalf("snapshot closure ran %d times, want 1 (gated)", snaps)
+	}
+	// The final at-exit write bypasses the gate.
+	if err := w.Write(sampleCheckpoint()); err != nil {
+		t.Fatalf("forced Write: %v", err)
+	}
+	if w.Writes() != 2 {
+		t.Fatalf("writes = %d, want 2", w.Writes())
+	}
+	if got := m.RecoveryCheckpointWriteCount(); got != 2 {
+		t.Fatalf("checkpoint_write counter = %d, want 2", got)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("written checkpoint unreadable: %v", err)
+	}
+
+	// A nil writer (checkpointing disabled) is inert.
+	var nilw *Writer
+	if wrote, err := nilw.MaybeWrite(snap); wrote || err != nil {
+		t.Fatal("nil writer wrote")
+	}
+	nilw.RefreshAge()
+}

@@ -1,0 +1,65 @@
+package resilience
+
+import "time"
+
+// RetryPolicy is a bounded exponential-backoff schedule. PR 3's eager
+// solver retransmitted boundary values on a fixed spin-count heuristic
+// (every 1000 idle polls); this formalizes the failure handling into
+// the standard shape — attempt k waits Base<<k capped at Max, and after
+// MaxAttempts the sender gives up on the link (the receiving rank is
+// then handled by exclusion, not by retry).
+type RetryPolicy struct {
+	// MaxAttempts bounds retransmissions per idle episode; <= 0 selects
+	// the default.
+	MaxAttempts int
+	// Base is the first backoff step; doubling from here.
+	Base time.Duration
+	// Max caps a single backoff step.
+	Max time.Duration
+}
+
+// DefaultRetryPolicy matches the old heuristic's aggregate behavior
+// (eventual delivery under heavy loss) while bounding total retry work:
+// 20 attempts from 200µs doubling to a 50ms ceiling spans ~1s of
+// retransmission before the link is abandoned.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 20, Base: 200 * time.Microsecond, Max: 50 * time.Millisecond}
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.Base <= 0 {
+		p.Base = def.Base
+	}
+	if p.Max <= 0 {
+		p.Max = def.Max
+	}
+	return p
+}
+
+// Backoff returns the wait before retry attempt `attempt` (0-based),
+// growing exponentially from Base and capped at Max.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.Base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= p.Max {
+			return p.Max
+		}
+	}
+	if d > p.Max {
+		return p.Max
+	}
+	return d
+}
+
+// Exhausted reports whether attempt `attempt` (0-based) exceeds the
+// policy's budget.
+func (p RetryPolicy) Exhausted(attempt int) bool {
+	return attempt >= p.withDefaults().MaxAttempts
+}

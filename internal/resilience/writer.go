@@ -1,0 +1,133 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultCheckpointInterval is the snapshot cadence used when a Spec
+// names a path but no interval.
+const DefaultCheckpointInterval = time.Second
+
+// Spec asks a solver to checkpoint: where, and how often. A nil Spec
+// (or an empty Path) disables checkpointing.
+type Spec struct {
+	// Path is the checkpoint file; each write atomically replaces the
+	// previous one.
+	Path string
+	// Interval is the snapshot cadence (DefaultCheckpointInterval when
+	// <= 0). The final state at solve exit — convergence, deadline,
+	// cancellation, or crash degradation — is always written regardless
+	// of the interval, so a resume never loses the tail of the run.
+	Interval time.Duration
+}
+
+// Writer serializes checkpoint writes for one solve: it owns the
+// interval gate, the write mutex (the interval goroutine and the final
+// at-exit write may race), and the observability side effects
+// (aj_recovery_events_total{event="checkpoint_write"}, checkpoint size
+// and age gauges). Nil-safe: a nil Writer never writes.
+type Writer struct {
+	spec Spec
+	m    *obs.SolverMetrics
+
+	mu     sync.Mutex
+	last   time.Time
+	writes int
+}
+
+// NewWriter builds the writer for a spec; returns nil (a no-op writer)
+// when the spec is nil or has no path.
+func NewWriter(spec *Spec, m *obs.SolverMetrics) *Writer {
+	if spec == nil || spec.Path == "" {
+		return nil
+	}
+	w := &Writer{spec: *spec, m: m}
+	if w.spec.Interval <= 0 {
+		w.spec.Interval = DefaultCheckpointInterval
+	}
+	return w
+}
+
+// Interval reports the snapshot cadence (0 on nil).
+func (w *Writer) Interval() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.spec.Interval
+}
+
+// Path reports the checkpoint destination ("" on nil).
+func (w *Writer) Path() string {
+	if w == nil {
+		return ""
+	}
+	return w.spec.Path
+}
+
+// Due reports whether the interval has elapsed since the last write
+// (true for the first write). Nil-safe.
+func (w *Writer) Due() bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.last.IsZero() || time.Since(w.last) >= w.spec.Interval
+}
+
+// Write snapshots c to the spec path atomically and updates the
+// checkpoint metrics. Nil-safe (and a no-op on a nil checkpoint).
+func (w *Writer) Write(c *Checkpoint) error {
+	if w == nil || c == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	nbytes, err := c.Save(w.spec.Path)
+	if err != nil {
+		w.m.RecoveryCheckpointError()
+		return err
+	}
+	w.last = time.Now()
+	w.writes++
+	w.m.RecoveryCheckpointWrite(nbytes)
+	return nil
+}
+
+// MaybeWrite snapshots via snap and writes it only when the interval is
+// due; it reports whether a write happened. The snapshot closure runs
+// outside the lock-free hot path but only when actually needed, so an
+// interval-gated caller pays nothing between ticks.
+func (w *Writer) MaybeWrite(snap func() *Checkpoint) (bool, error) {
+	if w == nil || !w.Due() {
+		return false, nil
+	}
+	return true, w.Write(snap())
+}
+
+// RefreshAge republishes the checkpoint-age gauge; meant to be called
+// from the same ticker that drives interval snapshots. Nil-safe.
+func (w *Writer) RefreshAge() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	last := w.last
+	w.mu.Unlock()
+	if !last.IsZero() {
+		w.m.SetCheckpointAge(time.Since(last).Seconds())
+	}
+}
+
+// Writes reports how many checkpoints this writer has published.
+func (w *Writer) Writes() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes
+}

@@ -1,0 +1,294 @@
+package shm
+
+import (
+	"context"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/matgen"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/trace"
+)
+
+// A deadline-stopped run must say so, and must never claim convergence
+// its residual does not back: Converged == (RelRes <= Tol) always.
+func TestShmDeadlineStops(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	for _, async := range []bool{true, false} {
+		name := "sync"
+		if async {
+			name = "async"
+		}
+		t.Run(name, func(t *testing.T) {
+			res := Solve(a, b, x0, Options{
+				Threads: 4, MaxIters: 1 << 20, Tol: 1e-300, Async: async,
+				DelayThread: -1, MaxTime: 5 * time.Millisecond,
+			})
+			if res.StopReason != resilience.StopDeadline {
+				t.Fatalf("stop reason %v, want deadline", res.StopReason)
+			}
+			if res.Converged {
+				t.Fatalf("deadline-stopped run claims convergence (relres %g)", res.RelRes)
+			}
+			if res.Converged != (res.RelRes <= 1e-300) {
+				t.Fatal("Converged contradicts RelRes")
+			}
+			if res.Elapsed <= 0 || res.Elapsed != res.WallTime {
+				t.Fatalf("fresh run elapsed %v != walltime %v", res.Elapsed, res.WallTime)
+			}
+		})
+	}
+}
+
+// The acceptance scenario: an asynchronous solve is degraded mid-run by
+// an injected fail-stop crash, leaves a checkpoint at exit, and a new
+// solve restarted from that checkpoint converges — with the fault
+// latches restored, so the already-spent crash does not replay.
+func TestShmKillRestartFromCheckpoint(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 54))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	tol := 1e-10
+	path := filepath.Join(t.TempDir(), "kill.ajcp")
+	plan := &fault.Plan{
+		Seed: 11, StallRank: -1,
+		CrashRanks: []int{1}, CrashIter: 10,
+	}
+
+	res1 := Solve(a, b, x0, Options{
+		Threads: 4, MaxIters: 60, Tol: tol, Async: true, DelayThread: -1,
+		Fault:      plan,
+		Checkpoint: &resilience.Spec{Path: path, Interval: time.Hour},
+	})
+	if res1.Converged {
+		t.Fatal("crashed run converged to 1e-10 with a frozen block; crash did not bite")
+	}
+	if res1.StopReason != resilience.StopCrashed {
+		t.Fatalf("stop reason %v, want crashed", res1.StopReason)
+	}
+	if res1.CheckpointErr != nil {
+		t.Fatalf("final checkpoint write failed: %v", res1.CheckpointErr)
+	}
+
+	ck, err := resilience.Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if err := ck.ValidateFor(a.N); err != nil {
+		t.Fatalf("ValidateFor: %v", err)
+	}
+	res2 := Solve(a, b, ck.X, Options{
+		Threads: 4, MaxIters: 5000, Tol: tol, Async: true, DelayThread: -1,
+		Fault:  plan,
+		Resume: ck,
+	})
+	if !res2.Converged {
+		t.Fatalf("restarted run did not converge: relres %g", res2.RelRes)
+	}
+	if res2.Converged != (res2.RelRes <= tol) {
+		t.Fatal("Converged contradicts RelRes")
+	}
+	if res2.StopReason != resilience.StopConverged {
+		t.Fatalf("stop reason %v, want converged", res2.StopReason)
+	}
+	if res2.Elapsed <= res2.WallTime {
+		t.Fatalf("resumed Elapsed %v does not include checkpointed time (walltime %v)",
+			res2.Elapsed, res2.WallTime)
+	}
+}
+
+// Row reassignment: a worker crashed fail-stop mid-run is declared dead
+// by the supervisor, its block is split among the survivors in finer
+// blocks, and the run converges to a tolerance the frozen block would
+// have made unreachable — completion without restart.
+func TestShmSupervisorReassignsCrashedWorker(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 56))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	tol := 1e-8
+	reg := obs.NewRegistry()
+	m := obs.NewSolverMetrics(reg)
+	done := make(chan *Result, 1)
+	go func() {
+		done <- Solve(a, b, x0, Options{
+			Threads: 4, MaxIters: 20000, Tol: tol, Async: true, DelayThread: -1,
+			Fault: &fault.Plan{
+				Seed: 13, StallRank: -1,
+				// Pareto delays throttle the survivors so they are still
+				// iterating when the stall threshold elapses.
+				DelayMean: 100 * time.Microsecond, DelayProb: 1,
+				CrashRanks: []int{1}, CrashIter: 5,
+			},
+			Metrics:        m,
+			Supervise:      true,
+			StallThreshold: 20 * time.Millisecond,
+		})
+	}()
+	var res *Result
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("supervised solve hung")
+	}
+	if !res.Converged {
+		t.Fatalf("supervised run did not converge past the dead worker: relres %g, reason %v",
+			res.RelRes, res.StopReason)
+	}
+	if res.StopReason != resilience.StopConverged {
+		t.Fatalf("stop reason %v, want converged", res.StopReason)
+	}
+	if res.DeadWorkers != 1 {
+		t.Fatalf("DeadWorkers = %d, want 1", res.DeadWorkers)
+	}
+	if got := m.RecoveryWorkerDeadCount(); got != 1 {
+		t.Fatalf("worker_dead counter = %d, want 1", got)
+	}
+	if got := m.RecoveryReassignCount(); got < 1 {
+		t.Fatalf("reassign counter = %d, want >= 1", got)
+	}
+	if res.TotalRelaxations <= 0 {
+		t.Fatal("no relaxations counted")
+	}
+}
+
+// End-to-end recovery against the paper's theory: cancel a traced
+// asynchronous solve mid-flight, reload its at-exit checkpoint, resume
+// to convergence, and stitch both traces into one relaxation history —
+// which must satisfy Theorem 1's norm bounds with zero violations,
+// because a kill/resume is just one more delay pattern.
+func TestShmCancelCheckpointResumeVerifyNorms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(57, 58))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	tol := 1e-8
+	path := filepath.Join(t.TempDir(), "cancel.ajcp")
+	plan := &fault.Plan{
+		Seed: 17, StallRank: -1,
+		// Throttle so the cancellation lands mid-solve, not after it.
+		DelayMean: 50 * time.Microsecond, DelayProb: 1,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	rec1 := trace.NewRecorder(4, 1<<17)
+	res1 := Solve(a, b, x0, Options{
+		Threads: 4, MaxIters: 1 << 20, Tol: 0, Async: true, DelayThread: -1,
+		Fault:      plan,
+		Tracer:     rec1,
+		Ctx:        ctx,
+		Checkpoint: &resilience.Spec{Path: path, Interval: time.Hour},
+	})
+	if res1.StopReason != resilience.StopCanceled {
+		t.Fatalf("stop reason %v, want canceled", res1.StopReason)
+	}
+	if res1.CheckpointErr != nil {
+		t.Fatalf("final checkpoint write failed: %v", res1.CheckpointErr)
+	}
+	if res1.TotalRelaxations == 0 {
+		t.Fatal("canceled before any relaxation; nothing to resume")
+	}
+	for w := 0; w < 4; w++ {
+		if d := rec1.Worker(w).Dropped(); d != 0 {
+			t.Fatalf("run 1 worker %d dropped %d events; grow the ring", w, d)
+		}
+	}
+
+	ck, err := resilience.Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	rec2 := trace.NewRecorder(4, 1<<17)
+	res2 := Solve(a, b, ck.X, Options{
+		Threads: 4, MaxIters: 5000, Tol: tol, Async: true, DelayThread: -1,
+		Fault:  plan,
+		Tracer: rec2,
+		Resume: ck,
+	})
+	if !res2.Converged {
+		t.Fatalf("resumed run did not converge: relres %g, reason %v", res2.RelRes, res2.StopReason)
+	}
+	for w := 0; w < 4; w++ {
+		if d := rec2.Worker(w).Dropped(); d != 0 {
+			t.Fatalf("run 2 worker %d dropped %d events; grow the ring", w, d)
+		}
+	}
+
+	tr1, err := trace.ToModelTrace(rec1, a.N)
+	if err != nil {
+		t.Fatalf("ToModelTrace run 1: %v", err)
+	}
+	tr2, err := trace.ToModelTrace(rec2, a.N)
+	if err != nil {
+		t.Fatalf("ToModelTrace run 2: %v", err)
+	}
+	merged, err := trace.MergeModelTraces(tr1, tr2)
+	if err != nil {
+		t.Fatalf("MergeModelTraces: %v", err)
+	}
+	if len(merged.Events) != len(tr1.Events)+len(tr2.Events) {
+		t.Fatalf("merged %d events from %d + %d", len(merged.Events), len(tr1.Events), len(tr2.Events))
+	}
+	rep, err := trace.VerifyNorms(a, merged, 1e-9, 400)
+	if err != nil {
+		t.Fatalf("VerifyNorms: %v", err)
+	}
+	if rep.MasksChecked == 0 {
+		t.Fatal("no step masks checked")
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("Theorem 1 violated across the kill/resume boundary: %d of %d masks (G=%g H=%g)",
+			rep.Violations, rep.MasksChecked, rep.MaxGNormInf, rep.MaxHNorm1)
+	}
+}
+
+// splitRanges must cover every row exactly once across the pieces.
+func TestSplitRangesPartition(t *testing.T) {
+	cases := []struct {
+		ranges []rowRange
+		k      int
+	}{
+		{[]rowRange{{0, 16}}, 3},
+		{[]rowRange{{4, 7}, {20, 31}}, 4},
+		{[]rowRange{{0, 2}}, 5}, // more pieces than rows
+		{nil, 2},
+	}
+	for _, tc := range cases {
+		pieces := splitRanges(tc.ranges, tc.k)
+		if len(pieces) != tc.k {
+			t.Fatalf("got %d pieces, want %d", len(pieces), tc.k)
+		}
+		seen := map[int]int{}
+		for _, piece := range pieces {
+			for _, rg := range piece {
+				for i := rg.lo; i < rg.hi; i++ {
+					seen[i]++
+				}
+			}
+		}
+		want := 0
+		for _, rg := range tc.ranges {
+			for i := rg.lo; i < rg.hi; i++ {
+				want++
+				if seen[i] != 1 {
+					t.Fatalf("row %d covered %d times", i, seen[i])
+				}
+			}
+		}
+		if len(seen) != want {
+			t.Fatalf("covered %d rows, want %d", len(seen), want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package shm
 
 import (
+	"context"
 	"math/rand/v2"
 	"runtime"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/resilience"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 	"repro/internal/vec"
@@ -106,7 +108,54 @@ type Options struct {
 	// package bridges its output back to a model.Trace. A nil handle
 	// costs one pointer test per recording site.
 	Tracer *trace.Recorder
+	// Ctx, when non-nil, lets the caller cancel the solve; workers poll
+	// it once per local iteration and stop cooperatively through the
+	// shared flag array (raising a flag early is always legal — flags
+	// raised at different iterations are what the array tolerates by
+	// design), so cancellation never deadlocks the synchronous barriers
+	// either.
+	Ctx context.Context
+	// MaxTime, when positive, bounds the solve's wall-clock time; a run
+	// past the budget stops like a cancellation with StopReason
+	// deadline.
+	MaxTime time.Duration
+	// Checkpoint, when non-nil with a Path, snapshots the solve state
+	// (iterate, per-row relaxation counts, worker iteration counts and
+	// flags, fault RNG streams) to the path on the spec's interval and
+	// once more at exit, each write atomic (temp file + rename). The
+	// snapshot races the workers by design: any partially updated
+	// iterate is a legal restart point under Theorem 1, so no barrier
+	// is needed.
+	Checkpoint *resilience.Spec
+	// Resume, when non-nil, continues a checkpointed solve: the caller
+	// passes the checkpoint's X as x0, while Resume seeds the per-row
+	// version counters (keeping a resumed trace's numbering contiguous
+	// with the first run's), restores the fault injectors' RNG streams
+	// and crash latches, and offsets Elapsed. MaxIters is this run's
+	// fresh budget.
+	Resume *resilience.Checkpoint
+	// Supervise enables the shm failure detector (asynchronous solver
+	// only): a supervisor goroutine watches the per-worker progress
+	// counters as heartbeats, declares a worker dead after
+	// StallThreshold without progress, raises the dead worker's
+	// termination flag on its behalf, and reassigns its rows to the
+	// survivors in finer blocks (§IV-D: smaller active blocks improve
+	// the asynchronous rate, so redistribution is the theory-preferred
+	// recovery). A false positive — a stalled worker declared dead that
+	// later resumes — only means two workers relax the same rows for a
+	// while, which Theorem 1 tolerates like any other schedule.
+	Supervise bool
+	// StallThreshold is how long a worker's progress counter may stand
+	// still before the supervisor declares it dead
+	// (DefaultStallThreshold when <= 0).
+	StallThreshold time.Duration
 }
+
+// DefaultStallThreshold is the supervisor's heartbeat-stall cutoff when
+// Options leave it unset: long enough that scheduler hiccups and
+// injected Pareto delays (capped at 50x mean by default) do not trip
+// it, short enough that tests and real runs recover quickly.
+const DefaultStallThreshold = 250 * time.Millisecond
 
 // HistoryPoint is one convergence sample of a running solve.
 type HistoryPoint struct {
@@ -130,8 +179,20 @@ type Result struct {
 	// when Tol is 0).
 	Converged bool
 	WallTime  time.Duration
-	History   []HistoryPoint
-	Trace     *model.Trace
+	// StopReason states why the solve returned: converged, deadline,
+	// canceled, max-iter, or crashed.
+	StopReason resilience.StopReason
+	// Elapsed is the wall-clock time of this run plus, on a resumed
+	// solve, the checkpointed time of the run(s) before it.
+	Elapsed time.Duration
+	// DeadWorkers counts workers the supervisor declared dead.
+	DeadWorkers int
+	// CheckpointErr reports a failure of the final at-exit checkpoint
+	// write (interval-write failures only bump the
+	// aj_recovery_events_total{event="checkpoint_error"} counter).
+	CheckpointErr error
+	History       []HistoryPoint
+	Trace         *model.Trace
 }
 
 // Solve runs synchronous or asynchronous Jacobi with goroutine workers
@@ -153,6 +214,27 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 		panic("shm: " + err.Error())
 	}
 	injs := opt.Fault.Injectors(opt.Threads)
+	if opt.Resume != nil {
+		if err := opt.Resume.ValidateFor(n); err != nil {
+			panic("shm: " + err.Error())
+		}
+		// Restore the fault RNG streams and crash latches so the resumed
+		// run faces the remainder of the planned adversity, not a replay
+		// of it from the start.
+		if err := fault.RestoreStates(injs, opt.Resume.FaultStates); err != nil {
+			panic("shm: " + err.Error())
+		}
+		opt.Metrics.RecoveryCheckpointLoad()
+		opt.Metrics.RecoveryResume()
+	}
+	stopper := resilience.NewStopper(opt.Ctx, opt.MaxTime)
+	writer := resilience.NewWriter(opt.Checkpoint, opt.Metrics)
+	var elapsed0 time.Duration
+	sweeps0 := 0
+	if opt.Resume != nil {
+		elapsed0 = opt.Resume.Elapsed
+		sweeps0 = opt.Resume.Sweeps
+	}
 	t0 := time.Now()
 	omega := opt.Omega
 	if omega == 0 {
@@ -193,8 +275,16 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 	var version []atomic.Int64
 	traces := make([][]model.Event, nt)
 	var seq atomic.Int64
-	if opt.RecordTrace || opt.Tracer != nil {
+	if opt.RecordTrace || opt.Tracer != nil || writer != nil || opt.Resume != nil {
 		version = make([]atomic.Int64, n)
+		if opt.Resume != nil && opt.Resume.RelaxCounts != nil {
+			// Continue the relaxation numbering where the checkpoint left
+			// off: a resumed run's trace then merges with the first run's
+			// (trace.MergeModelTraces) into one verifiable history.
+			for i := range version {
+				version[i].Store(opt.Resume.RelaxCounts[i])
+			}
+		}
 	}
 
 	// Observability: each worker publishes its local iteration count;
@@ -202,15 +292,30 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 	// publisher's updates they skipped (the live Fig 2 statistic). All
 	// of this is allocated and touched only when metrics are enabled.
 	opt.Metrics.SetWorkers(nt)
+	supervising := opt.Supervise && opt.Async && nt > 1
 	var progress []atomic.Int64
 	var rangeEnd []int
-	if opt.Metrics != nil {
+	if opt.Metrics != nil || supervising || writer != nil {
+		// Progress counters double as supervisor heartbeats and as the
+		// checkpoint's per-worker iteration counts.
 		progress = make([]atomic.Int64, nt)
+	}
+	if opt.Metrics != nil {
 		rangeEnd = make([]int, nt)
 		for q := 0; q < nt; q++ {
 			_, rangeEnd[q] = partition.ContiguousRange(n, nt, q)
 		}
 	}
+
+	// Supervisor state: per-worker death latches and copy-on-write
+	// adoption lists the survivors poll at each iteration top.
+	var superDead []atomic.Bool
+	var reassign []atomic.Pointer[adoption]
+	if supervising {
+		superDead = make([]atomic.Bool, nt)
+		reassign = make([]atomic.Pointer[adoption], nt)
+	}
+	extras := make([]int64, nt) // adopted-row relaxations per worker
 
 	var hist []HistoryPoint
 	iters := make([]int, nt)
@@ -222,8 +327,10 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 			lo, hi := partition.ContiguousRange(n, nt, t)
 			local := make([]float64, hi-lo)
 			iter := 0
-			defer func() { iters[t] = iter }()
+			extraRel := int64(0)
+			defer func() { iters[t] = iter; extras[t] = extraRel }()
 			done := false
+			var myAdopt *adoption
 			var yrng *rand.Rand
 			if opt.Async && opt.YieldProb > 0 {
 				yrng = rand.New(rand.NewPCG(uint64(t)+1, 0x51e1d))
@@ -262,6 +369,55 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 					runtime.Gosched()
 				}
 			}
+			// relaxAdopted runs one immediate-write pass over the rows
+			// this worker adopted from supervisor-declared-dead workers.
+			// Counts derive from the shared version array so the trace
+			// numbering continues where the dead owner stopped.
+			relaxAdopted := func() {
+				if myAdopt == nil {
+					return
+				}
+				nrel := 0
+				for _, rg := range myAdopt.ranges {
+					for i := rg.lo; i < rg.hi; i++ {
+						cnt := iter + 1
+						if version != nil {
+							cnt = int(version[i].Load()) + 1
+						}
+						var ev *model.Event
+						if opt.RecordTrace {
+							ev = &model.Event{Row: i, Count: cnt, Seq: int(seq.Add(1))}
+						}
+						tw.RelaxStart(i, cnt)
+						s := b[i]
+						for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+							j := a.Col[k]
+							if version != nil && j != i {
+								v := int(version[j].Load())
+								if ev != nil {
+									ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
+								}
+								tw.ReadVersion(i, cnt, j, v)
+							}
+							s -= a.Val[k] * x.Load(j)
+						}
+						r.Store(i, s)
+						x.Store(i, x.Load(i)+omega*s)
+						if version != nil {
+							version[i].Add(1)
+						}
+						tw.Write(i, cnt)
+						tw.RelaxEnd(i, cnt)
+						if ev != nil {
+							traces[t] = append(traces[t], *ev)
+						}
+						nrel++
+						microYield()
+					}
+				}
+				extraRel += int64(nrel)
+				wm.AddRelaxations(nrel)
+			}
 			// Multicolor: this worker's slice of each color class.
 			var myColor [][]int
 			if colorRows != nil {
@@ -275,6 +431,16 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 				}
 			}
 			for {
+				// Adoption check: a new copy-on-write list means the
+				// supervisor reassigned a dead worker's rows here.
+				if reassign != nil {
+					if p := reassign[t].Load(); p != myAdopt {
+						myAdopt = p
+						if p != nil {
+							tw.Reassign(p.from, iter)
+						}
+					}
+				}
 				var sweepStart time.Time
 				if wm != nil {
 					sweepStart = time.Now()
@@ -338,11 +504,19 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 					// fresh values (multiplicative within the block).
 					for i := lo; i < hi; i++ {
 						s := b[i]
+						// Counts derive from the version array when it exists
+						// so a resumed run keeps numbering where the
+						// checkpoint left off (identical to iter+1 on a fresh
+						// run).
+						cnt := iter + 1
+						if version != nil {
+							cnt = int(version[i].Load()) + 1
+						}
 						var ev *model.Event
 						if opt.RecordTrace {
-							ev = &model.Event{Row: i, Count: iter + 1, Seq: int(seq.Add(1))}
+							ev = &model.Event{Row: i, Count: cnt, Seq: int(seq.Add(1))}
 						}
-						tw.RelaxStart(i, iter+1)
+						tw.RelaxStart(i, cnt)
 						for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 							j := a.Col[k]
 							if version != nil && j != i {
@@ -350,7 +524,7 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 								if ev != nil {
 									ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
 								}
-								tw.ReadVersion(i, iter+1, j, v)
+								tw.ReadVersion(i, cnt, j, v)
 							}
 							s -= a.Val[k] * x.Load(j)
 						}
@@ -359,23 +533,28 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 						if version != nil {
 							version[i].Add(1)
 						}
-						tw.Write(i, iter+1)
-						tw.RelaxEnd(i, iter+1)
+						tw.Write(i, cnt)
+						tw.RelaxEnd(i, cnt)
 						if ev != nil {
 							traces[t] = append(traces[t], *ev)
 						}
 						microYield()
 					}
 					iter++
+					relaxAdopted()
 				} else {
 					// Step 1: local residual, reading shared x.
 					for i := lo; i < hi; i++ {
 						s := b[i]
+						cnt := iter + 1
+						if version != nil {
+							cnt = int(version[i].Load()) + 1
+						}
 						var ev *model.Event
 						if opt.RecordTrace {
-							ev = &model.Event{Row: i, Count: iter + 1, Seq: int(seq.Add(1))}
+							ev = &model.Event{Row: i, Count: cnt, Seq: int(seq.Add(1))}
 						}
-						tw.RelaxStart(i, iter+1)
+						tw.RelaxStart(i, cnt)
 						for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 							j := a.Col[k]
 							if version != nil && j != i {
@@ -383,12 +562,12 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 								if ev != nil {
 									ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
 								}
-								tw.ReadVersion(i, iter+1, j, v)
+								tw.ReadVersion(i, cnt, j, v)
 							}
 							s -= a.Val[k] * x.Load(j)
 						}
 						local[i-lo] = s
-						tw.RelaxEnd(i, iter+1)
+						tw.RelaxEnd(i, cnt)
 						if ev != nil {
 							traces[t] = append(traces[t], *ev)
 						}
@@ -398,15 +577,25 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 					// Step 2: correct the solution (unit diagonal) and
 					// publish the residual.
 					for i := lo; i < hi; i++ {
+						cnt := iter + 1
+						if version != nil {
+							cnt = int(version[i].Load()) + 1
+						}
 						r.Store(i, local[i-lo])
 						x.Store(i, x.Load(i)+omega*local[i-lo])
 						if version != nil {
 							version[i].Add(1)
 						}
-						tw.Write(i, iter+1)
+						tw.Write(i, cnt)
 						microYield()
 					}
 					iter++
+					relaxAdopted()
+				}
+				if progress != nil {
+					// Heartbeat for the supervisor, iteration count for the
+					// checkpoint, staleness baseline for the metrics.
+					progress[t].Store(int64(iter))
 				}
 				if wm != nil {
 					// One batch of atomic adds per local iteration — the
@@ -414,7 +603,6 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 					wm.ObserveSweep(time.Since(sweepStart))
 					wm.IncIteration()
 					wm.AddRelaxations(hi - lo)
-					progress[t].Store(int64(iter))
 					for ni, u := range neighbors {
 						cur := progress[u].Load()
 						missed := cur - lastSeen[ni] - 1
@@ -437,7 +625,13 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 					if opt.Tol > 0 {
 						conv = r.Norm1()/nb <= opt.Tol
 					}
-					if conv || iter >= opt.MaxIters {
+					// Cancellation and the wall-clock deadline stop through
+					// the same flag array as convergence: the stopper latches
+					// one reason atomically, so every worker that polls it
+					// agrees, and the synchronous barriers stay deadlock-free
+					// because flags raised at different iterations are what
+					// the array tolerates by design.
+					if conv || iter >= opt.MaxIters || stopper.Check() != resilience.StopNone {
 						flags[t].Store(true)
 						tw.FlagRaise(iter)
 						done = true
@@ -479,7 +673,173 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 			}
 		}(t)
 	}
+
+	// Supervisor: poll the heartbeats, declare stalled workers dead,
+	// redistribute their rows in finer blocks among the survivors.
+	var supStop, supDone chan struct{}
+	if supervising {
+		supStop = make(chan struct{})
+		supDone = make(chan struct{})
+		thr := opt.StallThreshold
+		if thr <= 0 {
+			thr = DefaultStallThreshold
+		}
+		tick := thr / 4
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		go func() {
+			defer close(supDone)
+			// owned is the supervisor's private view of who currently
+			// relaxes which rows; it starts at the contiguous partition
+			// and follows every reassignment, so a second death
+			// redistributes the first dead worker's rows too.
+			owned := make([][]rowRange, nt)
+			for q := 0; q < nt; q++ {
+				qlo, qhi := partition.ContiguousRange(n, nt, q)
+				owned[q] = []rowRange{{qlo, qhi}}
+			}
+			lastVal := make([]int64, nt)
+			lastChange := make([]time.Time, nt)
+			start := time.Now()
+			for q := range lastChange {
+				lastChange[q] = start
+			}
+			ticker := time.NewTicker(tick)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-supStop:
+					return
+				case <-ticker.C:
+				}
+				allUp := true
+				for q := 0; q < nt; q++ {
+					if !flags[q].Load() {
+						allUp = false
+						break
+					}
+				}
+				if allUp {
+					// Termination is imminent; a death now changes nothing.
+					return
+				}
+				now := time.Now()
+				for d := 0; d < nt; d++ {
+					if superDead[d].Load() {
+						continue
+					}
+					if v := progress[d].Load(); v != lastVal[d] {
+						lastVal[d] = v
+						lastChange[d] = now
+						continue
+					}
+					if now.Sub(lastChange[d]) < thr {
+						continue
+					}
+					// Heartbeat stalled past the threshold: the worker is
+					// dead (or so slow it might as well be — Theorem 1 makes
+					// a false positive merely redundant work). Raise its
+					// flag on its behalf so the flag array degrades to the
+					// survivors, then hand its rows out in finer blocks.
+					superDead[d].Store(true)
+					flags[d].Store(true)
+					opt.Metrics.RecoveryWorkerDead()
+					var survivors []int
+					for q := 0; q < nt; q++ {
+						if q != d && !superDead[q].Load() {
+							survivors = append(survivors, q)
+						}
+					}
+					if len(survivors) == 0 {
+						continue
+					}
+					pieces := splitRanges(owned[d], len(survivors))
+					owned[d] = nil
+					for si, s := range survivors {
+						if len(pieces[si]) == 0 {
+							continue
+						}
+						owned[s] = append(owned[s], pieces[si]...)
+						next := &adoption{from: d}
+						if cur := reassign[s].Load(); cur != nil {
+							next.ranges = append(next.ranges, cur.ranges...)
+						}
+						next.ranges = append(next.ranges, pieces[si]...)
+						reassign[s].Store(next)
+						opt.Metrics.RecoveryReassign()
+					}
+				}
+			}
+		}()
+	}
+
+	// Checkpointer: snapshot the racing solve on the writer's interval.
+	// The snapshot needs no barrier — any partially updated iterate is a
+	// legal restart point under Theorem 1.
+	snapshot := func() *resilience.Checkpoint {
+		c := &resilience.Checkpoint{
+			Substrate: "shm",
+			N:         n,
+			X:         make([]float64, n),
+			Elapsed:   elapsed0 + time.Since(t0),
+		}
+		x.Snapshot(c.X)
+		if version != nil {
+			c.RelaxCounts = make([]int64, n)
+			for i := range c.RelaxCounts {
+				c.RelaxCounts[i] = version[i].Load()
+			}
+		}
+		if progress != nil {
+			c.Iters = make([]int64, nt)
+			for q := range c.Iters {
+				c.Iters[q] = progress[q].Load()
+				if int(c.Iters[q]) > c.Sweeps {
+					c.Sweeps = int(c.Iters[q])
+				}
+			}
+		}
+		c.Sweeps += sweeps0
+		c.Flags = make([]bool, nt)
+		for q := range c.Flags {
+			c.Flags[q] = flags[q].Load()
+		}
+		c.FaultStates = fault.States(injs)
+		return c
+	}
+	var ckStop, ckDone chan struct{}
+	if writer != nil {
+		ckStop = make(chan struct{})
+		ckDone = make(chan struct{})
+		go func() {
+			defer close(ckDone)
+			ticker := time.NewTicker(writer.Interval())
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ckStop:
+					return
+				case <-ticker.C:
+					// Interval-write failures surface only through the
+					// checkpoint_error counter; the at-exit write below
+					// reports through Result.CheckpointErr.
+					_ = writer.Write(snapshot())
+				}
+				writer.RefreshAge()
+			}
+		}()
+	}
+
 	wg.Wait()
+	if supStop != nil {
+		close(supStop)
+		<-supDone
+	}
+	if ckStop != nil {
+		close(ckStop)
+		<-ckDone
+	}
 
 	res := &Result{
 		X:          make([]float64, n),
@@ -490,7 +850,7 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 	x.Snapshot(res.X)
 	for t := 0; t < nt; t++ {
 		lo, hi := partition.ContiguousRange(n, nt, t)
-		res.TotalRelaxations += iters[t] * (hi - lo)
+		res.TotalRelaxations += iters[t]*(hi-lo) + int(extras[t])
 	}
 	rr := make([]float64, n)
 	a.Residual(rr, b, res.X)
@@ -498,6 +858,41 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 	res.Converged = opt.Tol > 0 && res.RelRes <= opt.Tol
 	opt.Metrics.SetResidual(res.RelRes)
 	opt.Metrics.SetConverged(res.Converged)
+	if writer != nil {
+		// Final at-exit checkpoint: the state a later Resume continues
+		// from, so its failure is a first-class result field.
+		res.CheckpointErr = writer.Write(snapshot())
+		maxIter := 0
+		for _, it := range iters {
+			if it > maxIter {
+				maxIter = it
+			}
+		}
+		// Workers are joined; appending to ring 0 from here is the same
+		// single-writer handoff the existing post-run reads rely on.
+		opt.Tracer.Worker(0).Checkpoint(maxIter)
+	}
+	if superDead != nil {
+		for q := range superDead {
+			if superDead[q].Load() {
+				res.DeadWorkers++
+			}
+		}
+	}
+	crashed := res.DeadWorkers > 0
+	for _, in := range injs {
+		if in.Dead() {
+			crashed = true
+		}
+	}
+	res.StopReason = resilience.Resolve(res.Converged, stopper, crashed)
+	switch res.StopReason {
+	case resilience.StopDeadline:
+		opt.Metrics.RecoveryDeadline()
+	case resilience.StopCanceled:
+		opt.Metrics.RecoveryCancel()
+	}
+	res.Elapsed = elapsed0 + res.WallTime
 	if opt.Tracer != nil {
 		// Trace loss is itself observable: per-worker capture and
 		// wraparound-drop counts flow into the metrics registry.
@@ -514,4 +909,57 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 		res.Trace = &model.Trace{N: n, Events: events}
 	}
 	return res
+}
+
+// rowRange is a half-open block of rows [lo, hi).
+type rowRange struct{ lo, hi int }
+
+// adoption is a survivor's copy-on-write list of row ranges it relaxes
+// on behalf of supervisor-declared-dead workers; from names the most
+// recently adopted-from worker, for the trace event.
+type adoption struct {
+	from   int
+	ranges []rowRange
+}
+
+// splitRanges cuts a dead worker's row ranges into k contiguous pieces
+// of near-equal row count — reassignment as finer blocks, the recovery
+// Section IV-D's block-size result favors.
+func splitRanges(ranges []rowRange, k int) [][]rowRange {
+	out := make([][]rowRange, k)
+	total := 0
+	for _, rg := range ranges {
+		total += rg.hi - rg.lo
+	}
+	if total == 0 {
+		return out
+	}
+	sizes := make([]int, k)
+	base, rem := total/k, total%k
+	for p := range sizes {
+		sizes[p] = base
+		if p < rem {
+			sizes[p]++
+		}
+	}
+	p := 0
+	for _, rg := range ranges {
+		lo := rg.lo
+		for lo < rg.hi {
+			for p < k && sizes[p] == 0 {
+				p++
+			}
+			if p == k {
+				return out
+			}
+			take := rg.hi - lo
+			if take > sizes[p] {
+				take = sizes[p]
+			}
+			out[p] = append(out[p], rowRange{lo, lo + take})
+			sizes[p] -= take
+			lo += take
+		}
+	}
+	return out
 }

@@ -156,6 +156,18 @@ func WriteChrome(w io.Writer, rec *Recorder, proc string) error {
 						return err
 					}
 				}
+			case KindCheckpoint, KindReassign:
+				// Recovery events: same filtering story as faults, their
+				// own category. A reassignment names the dead worker whose
+				// rows the recording track adopted.
+				args := map[string]any{"iter": e.Iter}
+				if e.Kind == KindReassign && e.Peer >= 0 {
+					args["from"] = e.Peer
+				}
+				if err := emit(chromeEvent{Name: e.Kind.String(), Cat: "recovery", Ph: "i",
+					TS: us(e.TS), TID: id, S: "t", Args: args}); err != nil {
+					return err
+				}
 			case KindFaultDrop, KindFaultDup, KindFaultReorder, KindStall,
 				KindCrash, KindRestart, KindTermTimeout:
 				// Fault events get their own category so a timeline can

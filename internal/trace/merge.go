@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// MergeModelTraces stitches the bridged trace of a resumed run onto the
+// bridged trace of the run it continued, producing one model.Trace over
+// the combined relaxation history — the object the end-to-end recovery
+// check (cancel → checkpoint → resume → VerifyNorms) needs.
+//
+// `first` is ToModelTrace of the interrupted run; `second` is
+// ToModelTrace of the run resumed from its checkpoint. ToModelTrace
+// rebases each row's counts to start at 1, so `second` arrives in
+// run-local coordinates; the merge shifts its counts and read versions
+// by the first run's final per-row counts, which — because shm resume
+// seeds the version array from the checkpoint's RelaxCounts — is
+// exactly the coordinate change that makes the histories line up. A
+// read in `second` of a row the resumed run never relaxed observed the
+// checkpointed value, i.e. the first run's final version of that row,
+// so it pins to that count rather than shifting.
+//
+// The merged events keep first-then-second order: `second`'s
+// timestamps are offset past `first`'s last event, and Seq is
+// renumbered over the concatenation.
+func MergeModelTraces(first, second *model.Trace) (*model.Trace, error) {
+	if first == nil || second == nil {
+		return nil, fmt.Errorf("trace: merge requires two traces")
+	}
+	if first.N != second.N {
+		return nil, fmt.Errorf("trace: merge dimension mismatch: %d vs %d", first.N, second.N)
+	}
+	n := first.N
+	final := make([]int, n) // first run's final count per row
+	var lastTS int64
+	for _, e := range first.Events {
+		if e.Count > final[e.Row] {
+			final[e.Row] = e.Count
+		}
+		if e.TimestampNs > lastTS {
+			lastTS = e.TimestampNs
+		}
+	}
+	relaxedInSecond := make([]bool, n)
+	var firstTS int64
+	for i, e := range second.Events {
+		relaxedInSecond[e.Row] = true
+		if i == 0 || e.TimestampNs < firstTS {
+			firstTS = e.TimestampNs
+		}
+	}
+	offset := lastTS - firstTS + 1
+
+	merged := &model.Trace{N: n}
+	merged.Events = append(merged.Events, first.Events...)
+	for _, e := range second.Events {
+		ev := model.Event{
+			Row:         e.Row,
+			Count:       e.Count + final[e.Row],
+			TimestampNs: e.TimestampNs + offset,
+		}
+		for _, rd := range e.Reads {
+			v := rd.Version
+			if relaxedInSecond[rd.Row] {
+				v += final[rd.Row]
+			} else {
+				// Frozen row: its value throughout the resumed run is the
+				// checkpointed one.
+				v = final[rd.Row]
+			}
+			ev.Reads = append(ev.Reads, model.Read{Row: rd.Row, Version: v})
+		}
+		merged.Events = append(merged.Events, ev)
+	}
+	sort.SliceStable(merged.Events, func(a, b int) bool {
+		return merged.Events[a].TimestampNs < merged.Events[b].TimestampNs
+	})
+	for i := range merged.Events {
+		merged.Events[i].Seq = i
+	}
+	if err := merged.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: merged trace invalid: %w", err)
+	}
+	return merged, nil
+}

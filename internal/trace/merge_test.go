@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Merging a resumed run's bridged trace onto the first run's must shift
+// counts and read versions into one contiguous history, pin reads of
+// frozen rows to their checkpointed version, and keep first-then-second
+// time order.
+func TestMergeModelTraces(t *testing.T) {
+	// First run: row 0 relaxed twice, row 1 once, row 2 never (its
+	// worker was slow) — final counts {2, 1, 0}.
+	first := &model.Trace{N: 3, Events: []model.Event{
+		{Row: 0, Count: 1, Seq: 0, TimestampNs: 10},
+		{Row: 1, Count: 1, Seq: 1, TimestampNs: 20,
+			Reads: []model.Read{{Row: 0, Version: 1}}},
+		{Row: 0, Count: 2, Seq: 2, TimestampNs: 30,
+			Reads: []model.Read{{Row: 1, Version: 1}}},
+	}}
+	// Resumed run (bridged, so counts rebased to 1): rows 0 and 1
+	// relax once each; row 1's relaxation reads row 0 (relaxed in this
+	// run: shift) and row 2 (frozen: pin to the checkpointed count 0).
+	second := &model.Trace{N: 3, Events: []model.Event{
+		{Row: 0, Count: 1, Seq: 0, TimestampNs: 5},
+		{Row: 1, Count: 1, Seq: 1, TimestampNs: 15,
+			Reads: []model.Read{{Row: 0, Version: 1}, {Row: 2, Version: 0}}},
+	}}
+	merged, err := MergeModelTraces(first, second)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if len(merged.Events) != 5 {
+		t.Fatalf("merged %d events, want 5", len(merged.Events))
+	}
+	// Events sorted by (offset) timestamps; second run's land after the
+	// first run's last stamp (30).
+	for i, e := range merged.Events {
+		if e.Seq != i {
+			t.Fatalf("Seq not renumbered: event %d has Seq %d", i, e.Seq)
+		}
+		if i > 0 && e.TimestampNs < merged.Events[i-1].TimestampNs {
+			t.Fatal("merged events out of time order")
+		}
+	}
+	e3, e4 := merged.Events[3], merged.Events[4]
+	if e3.Row != 0 || e3.Count != 3 {
+		t.Fatalf("resumed row 0 count = %d, want 3 (shifted by 2)", e3.Count)
+	}
+	if e4.Row != 1 || e4.Count != 2 {
+		t.Fatalf("resumed row 1 count = %d, want 2 (shifted by 1)", e4.Count)
+	}
+	for _, rd := range e4.Reads {
+		switch rd.Row {
+		case 0:
+			if rd.Version != 3 {
+				t.Fatalf("read of relaxed row 0 version %d, want 3 (shifted)", rd.Version)
+			}
+		case 2:
+			if rd.Version != 0 {
+				t.Fatalf("read of frozen row 2 version %d, want 0 (pinned)", rd.Version)
+			}
+		}
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+}
+
+func TestMergeModelTracesErrors(t *testing.T) {
+	ok := &model.Trace{N: 2}
+	if _, err := MergeModelTraces(nil, ok); err == nil {
+		t.Fatal("nil first accepted")
+	}
+	if _, err := MergeModelTraces(ok, nil); err == nil {
+		t.Fatal("nil second accepted")
+	}
+	if _, err := MergeModelTraces(ok, &model.Trace{N: 3}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}

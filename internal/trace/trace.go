@@ -73,6 +73,13 @@ const (
 	// decision after the fault plan's deadline expired with crashed
 	// ranks present.
 	KindTermTimeout
+	// Recovery events (see internal/resilience). KindCheckpoint marks a
+	// checkpoint publish observed at local iteration Iter; KindReassign
+	// marks the recording worker adopting rows of dead worker Peer after
+	// the supervisor's reassignment. Both are worker-level (Row = -1) so
+	// the model bridge skips them.
+	KindCheckpoint
+	KindReassign
 )
 
 // String names the kind for exporters and debugging.
@@ -122,6 +129,10 @@ func (k Kind) String() string {
 		return "restart"
 	case KindTermTimeout:
 		return "term-timeout"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindReassign:
+		return "reassign"
 	}
 	return "unknown"
 }
@@ -271,6 +282,15 @@ func (r *Ring) Restart(iter int) { r.Record(KindRestart, -1, int32(iter), -1, 0)
 
 // TermTimeout records a termination-deadline degradation.
 func (r *Ring) TermTimeout(iter int) { r.Record(KindTermTimeout, -1, int32(iter), -1, 0) }
+
+// Checkpoint records a checkpoint publish observed at iteration iter.
+func (r *Ring) Checkpoint(iter int) { r.Record(KindCheckpoint, -1, int32(iter), -1, 0) }
+
+// Reassign records this worker adopting rows of dead worker `from` at
+// local iteration iter (the supervisor's finer-block redistribution).
+func (r *Ring) Reassign(from, iter int) {
+	r.Record(KindReassign, -1, int32(iter), int32(from), 0)
+}
 
 // ID returns the owning worker/rank id (-1 on nil).
 func (r *Ring) ID() int {
