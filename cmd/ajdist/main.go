@@ -45,6 +45,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address during the solve")
 	metricsDump := flag.Bool("metrics-dump", false, "print a final Prometheus-format metrics snapshot to stdout")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics server alive this long after the solve finishes")
+	sampleEvery := flag.Duration("sample-interval", 0, "telemetry sampling interval for /stream and the analytics engine (0 = default, negative = every event)")
 	traceOut := flag.String("trace-out", "", "record per-rank execution events and write Chrome trace-event JSON here")
 	traceCap := flag.Int("trace-cap", 0, "trace ring-buffer capacity per rank (0 = default)")
 	ff := cli.RegisterFaultFlags(flag.CommandLine)
@@ -67,10 +68,14 @@ func main() {
 	default:
 		cli.Usagef("ajdist", "unknown partitioner %q", *partKind)
 	}
-	mx, err := cli.NewMetrics(*metricsAddr, *metricsDump, *metricsLinger)
+	mx, err := cli.NewMetricsConfig(cli.MetricsConfig{
+		Addr: *metricsAddr, Dump: *metricsDump, Linger: *metricsLinger,
+		SampleEvery: *sampleEvery,
+	})
 	if err != nil {
 		cli.Fatalf("ajdist", "%v", err)
 	}
+	mx.SetProblem(a.N, 0)
 	ts := cli.NewTraceSink(*traceOut, "dist", *ranks, *traceCap)
 	plan, err := ff.Plan(*ranks)
 	if err != nil {

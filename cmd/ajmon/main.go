@@ -1,0 +1,314 @@
+// Command ajmon is a terminal dashboard over the live convergence
+// analytics: residual sparkline, online rate estimate rho-hat with its
+// confidence band next to the model's prediction, per-worker progress
+// and staleness bars, and the typed alert feed (divergence / stall /
+// dead worker).
+//
+// Two sources feed the same analytics engine:
+//
+//	ajmon -attach http://localhost:9090        # a running ajsolve/ajdist
+//	ajmon -replay trace.jsonl -gen fd -nx 5 -ny 8 -threads 8
+//
+// Attach mode consumes the obs server's /stream Server-Sent Events
+// feed. Replay mode re-executes an ajtrace recording against the same
+// matrix and right-hand side (same -gen/-nx/-ny/-seed as the recording
+// run) and pushes the reconstructed telemetry through the engine — a
+// post-mortem gets the exact anomaly detectors a live run gets.
+//
+// On a TTY the dashboard repaints in place; otherwise it prints the
+// final frame once, which is what the CI smoke job captures.
+// -fail-on-divergence turns any divergence alert into exit code 4.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/cli"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/spectral"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+func main() {
+	attach := flag.String("attach", "", "base URL (or full /stream URL) of a running solver's metrics server")
+	replay := flag.String("replay", "", "replay an ajtrace JSONL recording through the analytics instead of attaching")
+	gen := flag.String("gen", "fd", "matrix generator of the recorded run (replay mode)")
+	nx := flag.Int("nx", 5, "grid x dimension of the recorded run (replay mode)")
+	ny := flag.Int("ny", 8, "grid y dimension of the recorded run (replay mode)")
+	threads := flag.Int("threads", 8, "worker count of the recorded run (replay mode)")
+	seed := flag.Uint64("seed", 2018, "seed of the recorded run's b and x0 (replay mode)")
+	refresh := flag.Duration("refresh", 500*time.Millisecond, "dashboard repaint interval")
+	predict := flag.Bool("predict", false, "estimate rho(G) of the system for the prediction row (replay mode)")
+	failOnDivergence := flag.Bool("fail-on-divergence", false, "exit 4 if any divergence alert fires")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cli.Usagef("ajmon", "unexpected arguments %v", flag.Args())
+	}
+	if (*attach == "") == (*replay == "") {
+		cli.Usagef("ajmon", "exactly one of -attach or -replay is required")
+	}
+
+	var eng *analytics.Engine
+	switch {
+	case *replay != "":
+		eng = runReplay(*replay, *gen, *nx, *ny, *threads, *seed, *predict, *refresh)
+	default:
+		eng = runAttach(*attach, *refresh)
+	}
+
+	render(os.Stdout, eng.Snapshot(), false)
+	if *failOnDivergence && eng.AlertCount(analytics.AlertDivergence) > 0 {
+		fmt.Fprintln(os.Stderr, "ajmon: divergence alert raised")
+		os.Exit(4)
+	}
+}
+
+// runReplay rebuilds the recorded system, replays the trace through
+// the analytics engine, and repaints while the replay runs.
+func runReplay(path, gen string, nx, ny, threads int, seed uint64, predict bool, refresh time.Duration) *analytics.Engine {
+	f, err := os.Open(path)
+	if err != nil {
+		cli.Fatalf("ajmon", "%v", err)
+	}
+	tr, err := model.ReadTraceJSON(f)
+	f.Close()
+	if err != nil {
+		cli.Fatalf("ajmon", "%v", err)
+	}
+	a, err := cli.BuildMatrix(gen, nx, ny, 1)
+	if err != nil {
+		cli.Usagef("ajmon", "%v", err)
+	}
+	if a.N != tr.N {
+		cli.Usagef("ajmon", "-gen %s -nx %d -ny %d gives n=%d but the trace covers n=%d; pass the recording run's geometry", gen, nx, ny, a.N, tr.N)
+	}
+	// Same derivation ajtrace used, so the replay faces the recorded
+	// system, not just a same-shaped one.
+	cfg := experiments.Config{Seed: seed}
+	rng := cfg.NewRNG(0x7ace)
+	b := experiments.RandomVec(rng, a.N)
+	x0 := experiments.RandomVec(rng, a.N)
+
+	var rho float64
+	if predict {
+		rho = spectral.JacobiRhoGSym(a, 20000, 1e-10).Value
+	}
+	eng := analytics.New(analytics.Config{N: a.N, PredictedRho: rho})
+	bus := stream.NewBus()
+	sub := bus.Subscribe(1 << 14)
+	pumped := make(chan struct{})
+	go func() {
+		eng.Pump(sub)
+		close(pumped)
+	}()
+	go repaint(eng, pumped, refresh)
+	if _, err := trace.Replay(a, b, tr, trace.ReplayOptions{
+		Workers: threads, X0: x0, Bus: bus,
+	}); err != nil {
+		cli.Fatalf("ajmon", "replay: %v", err)
+	}
+	<-pumped
+	sub.Close()
+	return eng
+}
+
+// runAttach consumes the SSE /stream feed of a running solve until the
+// done event or the server closes the stream.
+func runAttach(base string, refresh time.Duration) *analytics.Engine {
+	url := base
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/stream") {
+		url = strings.TrimSuffix(url, "/") + "/stream"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		cli.Fatalf("ajmon", "%v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		cli.Fatalf("ajmon", "%s: %s (is the solver running with -metrics-addr?)", url, resp.Status)
+	}
+	eng := analytics.New(analytics.Config{})
+	done := make(chan struct{})
+	go repaint(eng, done, refresh)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev stream.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			fmt.Fprintf(os.Stderr, "ajmon: bad event: %v\n", err)
+			continue
+		}
+		eng.Feed(ev)
+		if ev.Type == stream.TypeDone {
+			break
+		}
+	}
+	close(done)
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "ajmon: stream ended: %v\n", err)
+	}
+	return eng
+}
+
+// repaint redraws the dashboard on a TTY until done closes. Non-TTY
+// runs stay silent here; main prints the final frame.
+func repaint(eng *analytics.Engine, done <-chan struct{}, refresh time.Duration) {
+	if !isTTY(os.Stdout) {
+		return
+	}
+	t := time.NewTicker(refresh)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			fmt.Print("\x1b[H\x1b[2J")
+			render(os.Stdout, eng.Snapshot(), true)
+		}
+	}
+}
+
+func isTTY(f *os.File) bool {
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline maps the residual history onto log-scaled block glyphs.
+func sparkline(hist []float64, width int) string {
+	if len(hist) == 0 {
+		return "(no samples)"
+	}
+	if len(hist) > width {
+		hist = hist[len(hist)-width:]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range hist {
+		if v <= 0 {
+			continue
+		}
+		l := math.Log10(v)
+		lo, hi = math.Min(lo, l), math.Max(hi, l)
+	}
+	if math.IsInf(lo, 1) {
+		return "(no positive samples)"
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var sb strings.Builder
+	for _, v := range hist {
+		if v <= 0 {
+			sb.WriteRune(sparkRunes[0])
+			continue
+		}
+		idx := int((math.Log10(v) - lo) / span * float64(len(sparkRunes)-1))
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac * float64(width))
+	return strings.Repeat("█", n) + strings.Repeat("·", width-n)
+}
+
+// render draws one dashboard frame.
+func render(w *os.File, s analytics.Snapshot, live bool) {
+	state := "running"
+	switch {
+	case s.Done && s.Converged:
+		state = "converged"
+	case s.Done:
+		state = "finished (not converged)"
+	}
+	fmt.Fprintf(w, "ajmon — asynchronous Jacobi live analytics  [%s]\n\n", state)
+	resKind := ""
+	if s.ResEstimated {
+		resKind = " (estimated from worker shares)"
+	}
+	fmt.Fprintf(w, "residual   %.6g%s\n", s.Residual, resKind)
+	fmt.Fprintf(w, "           %s\n", sparkline(s.History, 72))
+	if s.Fit.OK {
+		fmt.Fprintf(w, "rho-hat    %.4f  [%.4f, %.4f]  over %d samples\n", s.Fit.Rho, s.Fit.Lo, s.Fit.Hi, s.Fit.N)
+	} else {
+		fmt.Fprintf(w, "rho-hat    (insufficient samples)\n")
+	}
+	if s.PredictedRho > 0 {
+		verdict := "live rate consistent with the model"
+		if s.Fit.OK && s.Fit.Hi < s.PredictedRho {
+			verdict = "live rate beats the synchronous bound (the paper's §VII effect)"
+		}
+		fmt.Fprintf(w, "rho(G)     %.4f predicted — %s\n", s.PredictedRho, verdict)
+	}
+	fmt.Fprintf(w, "progress   %.1f sweep-equivalents, skew %.0f%%, staleness p50 %.2f p95 %.2f\n\n",
+		s.RelaxPerN, 100*s.Skew, s.StaleP50, s.StaleP95)
+
+	if len(s.Workers) > 0 {
+		var maxStale float64
+		var maxRelax int64
+		for _, ws := range s.Workers {
+			maxStale = math.Max(maxStale, ws.StaleMean)
+			if ws.Relax > maxRelax {
+				maxRelax = ws.Relax
+			}
+		}
+		fmt.Fprintf(w, "%-8s %12s %10s %-24s %s\n", "worker", "relax", "stale", "staleness", "")
+		for _, ws := range s.Workers {
+			denom := maxStale
+			if denom == 0 {
+				denom = 1
+			}
+			status := ""
+			if ws.Dead {
+				status = "  DEAD"
+			}
+			fmt.Fprintf(w, "%-8d %12d %10.2f %-24s%s\n",
+				ws.ID, ws.Relax, ws.StaleMean, bar(ws.StaleMean/denom, 24), status)
+		}
+		fmt.Fprintln(w)
+	}
+
+	alerts := s.Alerts
+	if len(alerts) == 0 {
+		fmt.Fprintf(w, "alerts     none\n")
+	} else {
+		fmt.Fprintf(w, "alerts     %d\n", len(alerts))
+		sort.SliceStable(alerts, func(i, j int) bool { return alerts[i].TS < alerts[j].TS })
+		shown := alerts
+		if live && len(shown) > 5 {
+			shown = shown[len(shown)-5:]
+		}
+		for _, a := range shown {
+			fmt.Fprintf(w, "  [%s] t=%v %s\n", a.Type, a.TS.Round(time.Millisecond), a.Msg)
+		}
+	}
+}

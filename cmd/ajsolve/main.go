@@ -45,6 +45,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address during the solve")
 	metricsDump := flag.Bool("metrics-dump", false, "print a final Prometheus-format metrics snapshot to stdout")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics server alive this long after the solve finishes")
+	sampleEvery := flag.Duration("sample-interval", 0, "telemetry sampling interval for /stream and the analytics engine (0 = default, negative = every event)")
 	traceOut := flag.String("trace-out", "", "record a jacobi-async run and write Chrome trace-event JSON here")
 	traceCap := flag.Int("trace-cap", 0, "trace ring-buffer capacity per worker (0 = default)")
 	ff := cli.RegisterFaultFlags(flag.CommandLine)
@@ -80,10 +81,14 @@ func main() {
 	if *async {
 		m = core.JacobiAsync
 	}
-	mx, err := cli.NewMetrics(*metricsAddr, *metricsDump, *metricsLinger)
+	mx, err := cli.NewMetricsConfig(cli.MetricsConfig{
+		Addr: *metricsAddr, Dump: *metricsDump, Linger: *metricsLinger,
+		SampleEvery: *sampleEvery,
+	})
 	if err != nil {
 		cli.Fatalf("ajsolve", "%v", err)
 	}
+	mx.SetProblem(a.N, 0)
 	if *traceOut != "" && m != core.JacobiAsync {
 		cli.Usagef("ajsolve", "-trace-out records the asynchronous solver; use -method jacobi-async")
 	}

@@ -1,0 +1,347 @@
+package analytics
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand/v2"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// TestRateEstimatorRecoversGeometricDecay is the acceptance test for
+// the estimator: a clean geometric residual decay with factor rho per
+// sweep must recover ρ̂ within 2%, with the truth inside the band.
+func TestRateEstimatorRecoversGeometricDecay(t *testing.T) {
+	for _, rho := range []float64{0.5, 0.9, 0.99, 1.05} {
+		r := NewRateEstimator(64)
+		res := 1.0
+		for k := 0; k < 100; k++ {
+			r.Add(float64(k), res)
+			res *= rho
+		}
+		fit := r.Fit()
+		if !fit.OK {
+			t.Fatalf("rho=%v: fit not OK after 100 samples", rho)
+		}
+		if rel := math.Abs(fit.Rho-rho) / rho; rel > 0.02 {
+			t.Errorf("rho=%v: estimated %v (%.2f%% off, want <2%%)", rho, fit.Rho, 100*rel)
+		}
+		if fit.Lo > rho || fit.Hi < rho {
+			t.Errorf("rho=%v outside band [%v, %v]", rho, fit.Lo, fit.Hi)
+		}
+	}
+}
+
+func TestRateEstimatorNoisyDecay(t *testing.T) {
+	const rho = 0.93
+	rng := rand.New(rand.NewPCG(7, 7))
+	r := NewRateEstimator(128)
+	res := 1.0
+	for k := 0; k < 200; k++ {
+		noisy := res * math.Exp(0.05*(rng.Float64()*2-1))
+		r.Add(float64(k), noisy)
+		res *= rho
+	}
+	fit := r.Fit()
+	if !fit.OK {
+		t.Fatal("fit not OK")
+	}
+	if rel := math.Abs(fit.Rho-rho) / rho; rel > 0.02 {
+		t.Fatalf("noisy decay: estimated %v, want %v within 2%% (off %.2f%%)", fit.Rho, rho, 100*rel)
+	}
+	if fit.Lo >= fit.Hi || fit.Lo > fit.Rho || fit.Hi < fit.Rho {
+		t.Fatalf("malformed band [%v, %v] around %v", fit.Lo, fit.Hi, fit.Rho)
+	}
+}
+
+func TestRateEstimatorDegenerateInputs(t *testing.T) {
+	r := NewRateEstimator(16)
+	if r.Fit().OK {
+		t.Fatal("empty estimator reports OK")
+	}
+	r.Add(1, 0)              // zero residual skipped
+	r.Add(1, math.Inf(1))    // skipped
+	r.Add(1, math.NaN())     // skipped
+	for i := 0; i < 6; i++ { // constant x: no spread
+		r.Add(2, 0.5)
+	}
+	if fit := r.Fit(); fit.OK {
+		t.Fatalf("zero x-spread fit reported OK: %+v", fit)
+	}
+}
+
+func TestP2Quantiles(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 20000
+	cases := []struct {
+		name string
+		draw func() float64
+	}{
+		{"uniform", func() float64 { return rng.Float64() * 10 }},
+		{"exponential", func() float64 { return rng.ExpFloat64() * 3 }},
+	}
+	for _, tc := range cases {
+		p50, p95 := NewP2(0.50), NewP2(0.95)
+		all := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			v := tc.draw()
+			p50.Add(v)
+			p95.Add(v)
+			all = append(all, v)
+		}
+		sort.Float64s(all)
+		exact50, exact95 := all[n/2], all[n*95/100]
+		if rel := math.Abs(p50.Quantile()-exact50) / exact50; rel > 0.05 {
+			t.Errorf("%s p50: P2 %v vs exact %v (%.1f%% off)", tc.name, p50.Quantile(), exact50, 100*rel)
+		}
+		if rel := math.Abs(p95.Quantile()-exact95) / exact95; rel > 0.05 {
+			t.Errorf("%s p95: P2 %v vs exact %v (%.1f%% off)", tc.name, p95.Quantile(), exact95, 100*rel)
+		}
+		if p50.Count() != n {
+			t.Errorf("%s count %d", tc.name, p50.Count())
+		}
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	p := NewP2(0.5)
+	if p.Quantile() != 0 {
+		t.Fatal("empty quantile nonzero")
+	}
+	for _, v := range []float64{5, 1, 3} {
+		p.Add(v)
+	}
+	if got := p.Quantile(); got != 3 {
+		t.Fatalf("exact small-sample median = %v, want 3", got)
+	}
+}
+
+func resEvent(ts time.Duration, res float64) stream.Event {
+	return stream.Event{TS: ts, Type: stream.TypeResidual, Worker: -1, Residual: res}
+}
+
+func sampleEvent(ts time.Duration, worker int, iter, relax int64) stream.Event {
+	return stream.Event{TS: ts, Type: stream.TypeSample, Worker: worker, Iter: iter, Relax: relax}
+}
+
+// TestEngineDivergenceAlert feeds a synthetically growing residual —
+// impossible for W.D.D. A — and expects exactly one divergence alert;
+// a decaying stream must stay silent.
+func TestEngineDivergenceAlert(t *testing.T) {
+	var got []Alert
+	e := New(Config{N: 100, OnAlert: func(a Alert) { got = append(got, a) }})
+	res := 1e-3
+	for k := 0; k < 60; k++ {
+		e.Feed(resEvent(time.Duration(k+1)*time.Millisecond, res))
+		res *= 1.3
+	}
+	if n := e.AlertCount(AlertDivergence); n != 1 {
+		t.Fatalf("divergence alerts = %d, want 1 (latched)", n)
+	}
+	if len(got) != 1 || got[0].Type != AlertDivergence {
+		t.Fatalf("OnAlert got %v", got)
+	}
+	fit := e.Snapshot().Fit
+	if !fit.OK || fit.Rho <= 1 {
+		t.Fatalf("growing stream fit rho = %v, want > 1", fit.Rho)
+	}
+
+	quiet := New(Config{N: 100})
+	res = 1.0
+	for k := 0; k < 200; k++ {
+		quiet.Feed(resEvent(time.Duration(k+1)*time.Millisecond, res))
+		res *= 0.95
+	}
+	if n := len(quiet.Alerts()); n != 0 {
+		t.Fatalf("decaying stream raised %d alerts: %v", n, quiet.Alerts())
+	}
+}
+
+// TestEngineStallAlert: steady decay, then a flat plateau while event
+// time keeps advancing, must raise exactly one stall alert — and a
+// plateau at the numerical floor must not.
+func TestEngineStallAlert(t *testing.T) {
+	e := New(Config{N: 100, StallAfter: 50 * time.Millisecond})
+	ts := time.Millisecond
+	res := 1.0
+	for k := 0; k < 50; k++ {
+		e.Feed(resEvent(ts, res))
+		res *= 0.9
+		ts += time.Millisecond
+	}
+	if n := e.AlertCount(AlertStall); n != 0 {
+		t.Fatalf("stall fired during healthy decay (%d)", n)
+	}
+	for k := 0; k < 100; k++ { // rate collapse: flat residual, advancing clock
+		e.Feed(resEvent(ts, res))
+		ts += 2 * time.Millisecond
+	}
+	if n := e.AlertCount(AlertStall); n != 1 {
+		t.Fatalf("stall alerts = %d, want 1", n)
+	}
+
+	floor := New(Config{N: 100, StallAfter: 50 * time.Millisecond, MinResidual: 1e-13})
+	ts = time.Millisecond
+	res = 1e-10
+	for k := 0; k < 30; k++ {
+		floor.Feed(resEvent(ts, res))
+		res *= 0.5
+		ts += time.Millisecond
+	}
+	for k := 0; k < 100; k++ { // plateau below the floor: converged, not stalled
+		floor.Feed(resEvent(ts, 1e-14))
+		ts += 2 * time.Millisecond
+	}
+	if n := floor.AlertCount(AlertStall); n != 0 {
+		t.Fatalf("stall fired at the numerical floor (%d)", n)
+	}
+}
+
+// TestEngineDeadWorkerAlert: one of two workers goes silent while the
+// other keeps publishing.
+func TestEngineDeadWorkerAlert(t *testing.T) {
+	e := New(Config{N: 100, DeadAfter: 20 * time.Millisecond})
+	ts := time.Millisecond
+	for k := 0; k < 5; k++ {
+		e.Feed(sampleEvent(ts, 0, int64(k), int64(k*50)))
+		e.Feed(sampleEvent(ts, 1, int64(k), int64(k*50)))
+		ts += time.Millisecond
+	}
+	for k := 5; k < 40; k++ { // worker 1 vanishes
+		e.Feed(sampleEvent(ts, 0, int64(k), int64(k*50)))
+		ts += time.Millisecond
+	}
+	if n := e.AlertCount(AlertDeadWorker); n != 1 {
+		t.Fatalf("dead-worker alerts = %d, want 1", n)
+	}
+	snap := e.Snapshot()
+	var w1 *WorkerSnap
+	for i := range snap.Workers {
+		if snap.Workers[i].ID == 1 {
+			w1 = &snap.Workers[i]
+		}
+	}
+	if w1 == nil || !w1.Dead {
+		t.Fatalf("snapshot does not mark worker 1 dead: %+v", snap.Workers)
+	}
+	// It speaks again: the detector re-arms and can fire a second time.
+	e.Feed(sampleEvent(ts, 1, 6, 300))
+	for k := 0; k < 40; k++ {
+		ts += time.Millisecond
+		e.Feed(sampleEvent(ts, 0, int64(40+k), int64((40+k)*50)))
+	}
+	if n := e.AlertCount(AlertDeadWorker); n != 2 {
+		t.Fatalf("dead-worker alerts after revival+second silence = %d, want 2", n)
+	}
+}
+
+func TestEngineSnapshotSkewAndProgress(t *testing.T) {
+	e := New(Config{N: 100, PredictedRho: 0.95})
+	ts := time.Millisecond
+	e.Feed(stream.Event{TS: ts, Type: stream.TypeSample, Worker: 0, Iter: 100, Relax: 5000, Staleness: 2, StaleN: 10, MaxStale: 4})
+	e.Feed(stream.Event{TS: ts, Type: stream.TypeSample, Worker: 1, Iter: 50, Relax: 2500, Staleness: 6, StaleN: 10, MaxStale: 9})
+	snap := e.Snapshot()
+	if snap.RelaxPerN != 75 {
+		t.Fatalf("relax/n = %v, want 75", snap.RelaxPerN)
+	}
+	if snap.Skew != 0.5 {
+		t.Fatalf("skew = %v, want 0.5", snap.Skew)
+	}
+	if snap.PredictedRho != 0.95 {
+		t.Fatalf("predicted rho = %v", snap.PredictedRho)
+	}
+	if len(snap.Workers) != 2 || snap.Workers[0].ID != 0 || snap.Workers[1].ID != 1 {
+		t.Fatalf("workers = %+v", snap.Workers)
+	}
+	if snap.StaleP50 == 0 {
+		t.Fatal("staleness quantiles not fed")
+	}
+}
+
+func TestEngineEstimatedResidualFallback(t *testing.T) {
+	e := New(Config{N: 10})
+	e.Feed(stream.Event{TS: 1, Type: stream.TypeResidual, Worker: -1, Residual: 0.5, Estimated: true})
+	if s := e.Snapshot(); s.Residual != 0.5 || !s.ResEstimated {
+		t.Fatalf("estimated residual not used: %+v", s)
+	}
+	e.Feed(stream.Event{TS: 2, Type: stream.TypeResidual, Worker: -1, Residual: 0.4})
+	e.Feed(stream.Event{TS: 3, Type: stream.TypeResidual, Worker: -1, Residual: 9.9, Estimated: true})
+	if s := e.Snapshot(); s.Residual != 0.4 || s.ResEstimated {
+		t.Fatalf("estimated stream not ignored after exact samples: %+v", s)
+	}
+}
+
+func TestEngineDoneStopsDetectors(t *testing.T) {
+	e := New(Config{N: 10, StallAfter: 10 * time.Millisecond})
+	ts := time.Millisecond
+	res := 1.0
+	for k := 0; k < 20; k++ {
+		e.Feed(resEvent(ts, res))
+		res *= 0.5
+		ts += time.Millisecond
+	}
+	e.Feed(stream.Event{TS: ts, Type: stream.TypeDone, Worker: -1, Residual: res, Converged: true})
+	for k := 0; k < 50; k++ { // post-run samples must not alert
+		ts += 5 * time.Millisecond
+		e.Feed(resEvent(ts, res))
+	}
+	if n := len(e.Alerts()); n != 0 {
+		t.Fatalf("alerts after done: %v", e.Alerts())
+	}
+	s := e.Snapshot()
+	if !s.Done || !s.Converged {
+		t.Fatalf("done state lost: %+v", s)
+	}
+}
+
+func TestEnginePumpDrains(t *testing.T) {
+	bus := stream.NewBus()
+	sub := bus.Subscribe(128)
+	e := New(Config{N: 10})
+	doneCh := make(chan struct{})
+	go func() {
+		e.Pump(sub)
+		close(doneCh)
+	}()
+	res := 1.0
+	for k := 0; k < 20; k++ {
+		bus.Publish(resEvent(time.Duration(k+1)*time.Millisecond, res))
+		res *= 0.8
+	}
+	bus.Publish(stream.Event{TS: 21 * time.Millisecond, Type: stream.TypeDone, Worker: -1, Residual: res, Converged: true})
+	select {
+	case <-doneCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pump did not return after the done event")
+	}
+	if s := e.Snapshot(); !s.Done || s.Fit.Rho > 0.9 {
+		t.Fatalf("pumped state: %+v", s)
+	}
+}
+
+func TestAlertLogHandler(t *testing.T) {
+	e := New(Config{N: 10})
+	rec := httptest.NewRecorder()
+	e.ServeHTTP(rec, httptest.NewRequest("GET", "/alerts", nil))
+	if rec.Body.String() == "" || rec.Body.String()[0] != '[' {
+		t.Fatalf("empty alert log body: %q", rec.Body.String())
+	}
+	res := 1e-3
+	for k := 0; k < 60; k++ {
+		e.Feed(resEvent(time.Duration(k+1)*time.Millisecond, res))
+		res *= 1.5
+	}
+	rec = httptest.NewRecorder()
+	e.ServeHTTP(rec, httptest.NewRequest("GET", "/alerts", nil))
+	var alerts []Alert
+	if err := json.Unmarshal(rec.Body.Bytes(), &alerts); err != nil {
+		t.Fatalf("alert log not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(alerts) != 1 || alerts[0].Type != AlertDivergence {
+		t.Fatalf("alert log = %+v", alerts)
+	}
+}

@@ -1,0 +1,442 @@
+package analytics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// AlertType names an anomaly class.
+type AlertType string
+
+const (
+	// AlertDivergence: sustained residual growth. Theorem 1 makes
+	// this impossible for W.D.D. A under any admissible schedule, so
+	// it flags a bug or a non-W.D.D. matrix.
+	AlertDivergence AlertType = "divergence"
+	// AlertStall: the residual stopped improving against the trend
+	// the earlier samples fitted (rate collapse).
+	AlertStall AlertType = "stall"
+	// AlertDeadWorker: a worker/rank's event stream went silent while
+	// others kept publishing (starved link or dead rank).
+	AlertDeadWorker AlertType = "dead_worker"
+)
+
+// Alert is one typed anomaly report.
+type Alert struct {
+	TS     time.Duration `json:"ts_ns"`
+	Type   AlertType     `json:"type"`
+	Worker int           `json:"worker"` // -1 for global alerts
+	Value  float64       `json:"value,omitempty"`
+	Msg    string        `json:"msg"`
+}
+
+// Config tunes the engine. Zero values select the documented defaults.
+type Config struct {
+	// N is the problem size; progress is measured in relaxations/N
+	// (sweep-equivalents) so ρ̂ compares to ρ(G). 0 falls back to
+	// counting residual samples as sweeps.
+	N int
+	// Window is the rate-fit window in residual samples (default 64).
+	Window int
+	// PredictedRho is the model's ρ(G̃)/ρ(G) prediction, carried into
+	// snapshots for display next to ρ̂ (0 = unknown).
+	PredictedRho float64
+	// MinResidual disarms the stall/divergence detectors once the
+	// residual reaches the numerical floor (default 1e-13).
+	MinResidual float64
+	// DivergenceFactor × (best residual so far) is the growth level
+	// that counts toward divergence (default 10).
+	DivergenceFactor float64
+	// DivergenceCount consecutive grown samples raise the divergence
+	// alert (default 5).
+	DivergenceCount int
+	// StallAfter is how long the residual may fail to improve, in
+	// event time, before the stall alert fires (default 2s).
+	StallAfter time.Duration
+	// DeadAfter is how long a worker's stream may go silent, while
+	// others publish, before it is declared dead (default 2s).
+	DeadAfter time.Duration
+	// OnAlert, if set, is invoked (under the engine lock) for every
+	// alert raised — the CLI uses it to bump aj_alerts_total.
+	OnAlert func(Alert)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.MinResidual <= 0 {
+		c.MinResidual = 1e-13
+	}
+	if c.DivergenceFactor <= 1 {
+		c.DivergenceFactor = 10
+	}
+	if c.DivergenceCount <= 0 {
+		c.DivergenceCount = 5
+	}
+	if c.StallAfter <= 0 {
+		c.StallAfter = 2 * time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 2 * time.Second
+	}
+	return c
+}
+
+// workerState is what the engine remembers per worker/rank.
+type workerState struct {
+	iter, relax int64
+	share       float64
+	lastTS      time.Duration
+	samples     int64
+	staleMean   float64
+	dead        bool
+}
+
+// Engine consumes stream events and maintains the live analytics
+// state. Feed is cheap (O(window) only when a residual sample lands);
+// Snapshot returns a consistent copy for rendering.
+type Engine struct {
+	mu  sync.Mutex
+	cfg Config
+
+	rate               *RateEstimator
+	staleP50, staleP95 *P2
+
+	workers    map[int]*workerState
+	totalRelax int64
+
+	lastTS       time.Duration
+	res          float64
+	resEstimated bool
+	resSamples   int64
+	sawExact     bool
+	bestRes      float64
+	haveBest     bool
+	risingCount  int
+	divLatched   bool
+
+	lastImprove  time.Duration
+	improvements int64
+	stallLatched bool
+
+	history []float64 // recent residuals for the sparkline
+	alerts  []Alert
+
+	done      bool
+	converged bool
+}
+
+// New builds an engine with the given configuration.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:      cfg,
+		rate:     NewRateEstimator(cfg.Window),
+		staleP50: NewP2(0.50),
+		staleP95: NewP2(0.95),
+		workers:  map[int]*workerState{},
+	}
+}
+
+// SetProblem supplies the problem size (and, when positive, the
+// model's rate prediction) after construction — the CLI wires the
+// engine up before it has built the matrix. Zero arguments leave the
+// current values alone.
+func (e *Engine) SetProblem(n int, predictedRho float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n > 0 {
+		e.cfg.N = n
+	}
+	if predictedRho > 0 {
+		e.cfg.PredictedRho = predictedRho
+	}
+}
+
+// Feed consumes one bus event.
+func (e *Engine) Feed(ev stream.Event) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ev.TS > e.lastTS {
+		e.lastTS = ev.TS
+	}
+	switch ev.Type {
+	case stream.TypeSample:
+		e.feedSample(ev)
+	case stream.TypeResidual:
+		e.feedResidual(ev)
+	case stream.TypeDone:
+		e.done = true
+		e.converged = ev.Converged
+		if ev.Residual > 0 {
+			e.res = ev.Residual
+			e.resEstimated = false
+		}
+	}
+	if !e.done {
+		e.checkDead(ev)
+	}
+}
+
+func (e *Engine) feedSample(ev stream.Event) {
+	w := e.workers[ev.Worker]
+	if w == nil {
+		w = &workerState{}
+		e.workers[ev.Worker] = w
+	}
+	e.totalRelax += ev.Relax - w.relax
+	w.relax = ev.Relax
+	w.iter = ev.Iter
+	w.share = ev.Residual
+	w.lastTS = ev.TS
+	w.samples++
+	if w.dead {
+		w.dead = false // it spoke again; re-arm the detector
+	}
+	if ev.StaleN > 0 {
+		w.staleMean = ev.Staleness
+		e.staleP50.Add(ev.Staleness)
+		e.staleP95.Add(ev.Staleness)
+	}
+}
+
+func (e *Engine) feedResidual(ev stream.Event) {
+	if ev.Estimated {
+		// The sum-of-shares estimate is a fallback for substrates
+		// that never compute a global residual live (dist). Once an
+		// exact sample has been seen, ignore the estimated stream.
+		if e.sawExact {
+			return
+		}
+	} else {
+		e.sawExact = true
+	}
+	res := ev.Residual
+	e.res = res
+	e.resEstimated = ev.Estimated
+	e.resSamples++
+	e.history = append(e.history, res)
+	if len(e.history) > 240 {
+		e.history = e.history[len(e.history)-240:]
+	}
+
+	x := float64(e.resSamples)
+	if e.cfg.N > 0 && e.totalRelax > 0 {
+		x = float64(e.totalRelax) / float64(e.cfg.N)
+	}
+	e.rate.Add(x, res)
+
+	if e.done {
+		return
+	}
+
+	// Divergence: sustained growth well above the best level seen.
+	if e.haveBest && res > e.cfg.DivergenceFactor*e.bestRes && e.bestRes > e.cfg.MinResidual {
+		e.risingCount++
+		if e.risingCount >= e.cfg.DivergenceCount && !e.divLatched {
+			e.divLatched = true
+			e.raise(Alert{
+				TS: ev.TS, Type: AlertDivergence, Worker: -1, Value: res,
+				Msg: fmt.Sprintf("residual %.3g is %.0fx above best %.3g for %d consecutive samples — impossible for W.D.D. A (Theorem 1)",
+					res, e.cfg.DivergenceFactor, e.bestRes, e.risingCount),
+			})
+		}
+	} else {
+		e.risingCount = 0
+	}
+
+	// Stall: the trajectory was converging, but no improvement landed
+	// for StallAfter of event time while above the numerical floor.
+	// Checked before this sample's own improvement is credited so a
+	// one-shot stall (the solve freezes, then resumes and improves) is
+	// still visible in the gap the first post-stall sample carries.
+	if !e.stallLatched && e.improvements >= 3 && e.bestRes > e.cfg.MinResidual &&
+		ev.TS-e.lastImprove > e.cfg.StallAfter {
+		e.stallLatched = true
+		gap := ev.TS - e.lastImprove
+		e.raise(Alert{
+			TS: ev.TS, Type: AlertStall, Worker: -1, Value: gap.Seconds(),
+			Msg: fmt.Sprintf("no residual improvement for %v (still at %.3g) — rate collapsed against the fitted trend", gap.Round(time.Millisecond), e.res),
+		})
+	}
+
+	// Track improvement for the stall detector. Only a 0.1% relative
+	// drop counts, so numerical jitter at a plateau doesn't reset the
+	// stall clock.
+	switch {
+	case !e.haveBest:
+		e.haveBest = true
+		e.bestRes = res
+		e.lastImprove = ev.TS
+	case res < e.bestRes*(1-1e-3):
+		e.bestRes = res
+		e.improvements++
+		e.lastImprove = ev.TS
+		e.stallLatched = false
+	}
+}
+
+// checkDead scans for workers whose streams went silent while the
+// rest of the solve kept publishing.
+func (e *Engine) checkDead(ev stream.Event) {
+	if len(e.workers) < 2 {
+		return
+	}
+	for id, w := range e.workers {
+		if w.dead || w.samples < 2 {
+			continue
+		}
+		if e.lastTS-w.lastTS > e.cfg.DeadAfter {
+			w.dead = true
+			e.raise(Alert{
+				TS: e.lastTS, Type: AlertDeadWorker, Worker: id,
+				Value: (e.lastTS - w.lastTS).Seconds(),
+				Msg: fmt.Sprintf("worker %d silent for %v while others progressed (starved link or dead rank)",
+					id, (e.lastTS - w.lastTS).Round(time.Millisecond)),
+			})
+		}
+	}
+}
+
+func (e *Engine) raise(a Alert) {
+	e.alerts = append(e.alerts, a)
+	if e.cfg.OnAlert != nil {
+		e.cfg.OnAlert(a)
+	}
+}
+
+// Pump feeds every event from sub until the solve's done event
+// arrives or the subscription closes (draining what remains). Run it
+// on its own goroutine for live solves.
+func (e *Engine) Pump(sub *stream.Sub) {
+	if sub == nil {
+		return
+	}
+	for {
+		select {
+		case ev := <-sub.C():
+			e.Feed(ev)
+			if ev.Type == stream.TypeDone {
+				return
+			}
+		case <-sub.Done():
+			for {
+				select {
+				case ev := <-sub.C():
+					e.Feed(ev)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// WorkerSnap is one worker's row in a snapshot.
+type WorkerSnap struct {
+	ID        int           `json:"id"`
+	Iter      int64         `json:"iter"`
+	Relax     int64         `json:"relax"`
+	Share     float64       `json:"share"`
+	StaleMean float64       `json:"stale_mean"`
+	LastTS    time.Duration `json:"last_ts_ns"`
+	Dead      bool          `json:"dead,omitempty"`
+}
+
+// Snapshot is a consistent copy of the live analytics state.
+type Snapshot struct {
+	TS           time.Duration `json:"ts_ns"`
+	Residual     float64       `json:"residual"`
+	ResEstimated bool          `json:"residual_estimated,omitempty"`
+	Fit          RateFit       `json:"fit"`
+	PredictedRho float64       `json:"predicted_rho,omitempty"`
+	RelaxPerN    float64       `json:"relax_per_n"`
+	Skew         float64       `json:"skew"` // 1 - min/max worker iterations
+	StaleP50     float64       `json:"stale_p50"`
+	StaleP95     float64       `json:"stale_p95"`
+	Workers      []WorkerSnap  `json:"workers"`
+	History      []float64     `json:"history"`
+	Alerts       []Alert       `json:"alerts"`
+	Done         bool          `json:"done"`
+	Converged    bool          `json:"converged"`
+}
+
+// Snapshot captures the current state.
+func (e *Engine) Snapshot() Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Snapshot{
+		TS:           e.lastTS,
+		Residual:     e.res,
+		ResEstimated: e.resEstimated,
+		Fit:          e.rate.Fit(),
+		PredictedRho: e.cfg.PredictedRho,
+		StaleP50:     e.staleP50.Quantile(),
+		StaleP95:     e.staleP95.Quantile(),
+		History:      append([]float64(nil), e.history...),
+		Alerts:       append([]Alert(nil), e.alerts...),
+		Done:         e.done,
+		Converged:    e.converged,
+	}
+	if e.cfg.N > 0 {
+		s.RelaxPerN = float64(e.totalRelax) / float64(e.cfg.N)
+	}
+	var minIter, maxIter int64 = -1, 0
+	for id, w := range e.workers {
+		s.Workers = append(s.Workers, WorkerSnap{
+			ID: id, Iter: w.iter, Relax: w.relax, Share: w.share,
+			StaleMean: w.staleMean, LastTS: w.lastTS, Dead: w.dead,
+		})
+		if minIter < 0 || w.iter < minIter {
+			minIter = w.iter
+		}
+		if w.iter > maxIter {
+			maxIter = w.iter
+		}
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].ID < s.Workers[j].ID })
+	if maxIter > 0 && minIter >= 0 {
+		s.Skew = 1 - float64(minIter)/float64(maxIter)
+	}
+	return s
+}
+
+// Alerts returns a copy of every alert raised so far.
+func (e *Engine) Alerts() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Alert(nil), e.alerts...)
+}
+
+// AlertCount reports how many alerts of the given type have fired.
+func (e *Engine) AlertCount(t AlertType) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, a := range e.alerts {
+		if a.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// ServeHTTP implements the JSON alert log ("/alerts" on the obs
+// server): a JSON array of every alert raised so far.
+func (e *Engine) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	alerts := e.Alerts()
+	if alerts == nil {
+		alerts = []Alert{}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(alerts)
+}

@@ -1,0 +1,186 @@
+package analytics_test
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/fault"
+	"repro/internal/matgen"
+	"repro/internal/obs"
+	"repro/internal/shm"
+	"repro/internal/spectral"
+	"repro/internal/stream"
+)
+
+// runSolve wires a metrics handle to a bus, pumps every event into a
+// fresh engine while run executes, and returns the engine once the
+// solve's done event has drained.
+func runSolve(t *testing.T, cfg analytics.Config, run func(m *obs.SolverMetrics)) *analytics.Engine {
+	t.Helper()
+	m := obs.NewSolverMetrics(obs.NewRegistry())
+	bus := stream.NewBus()
+	m.AttachBus(bus, 0) // sample every instrumented call
+	sub := bus.Subscribe(1 << 14)
+	defer sub.Close()
+	eng := analytics.New(cfg)
+	pumped := make(chan struct{})
+	go func() {
+		eng.Pump(sub)
+		close(pumped)
+	}()
+	run(m)
+	select {
+	case <-pumped:
+	case <-time.After(30 * time.Second):
+		t.Fatal("engine pump did not see the done event")
+	}
+	return eng
+}
+
+func randomB(n int, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 0xb))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.Float64()*2 - 1
+	}
+	return b
+}
+
+// TestInjectedStallTripsDetector runs the real shm solver under an
+// internal/fault plan that freezes the only worker for 250ms mid-run;
+// the stall detector must flag the rate collapse, and the healthy
+// parts of the run must raise nothing else.
+func TestInjectedStallTripsDetector(t *testing.T) {
+	a := matgen.FD2D(24, 24)
+	b := randomB(a.N, 1)
+	eng := runSolve(t, analytics.Config{N: a.N, StallAfter: 100 * time.Millisecond},
+		func(m *obs.SolverMetrics) {
+			shm.Solve(a, b, make([]float64, a.N), shm.Options{
+				Threads: 1, Async: true, MaxIters: 400, Tol: 1e-14,
+				Fault:   &fault.Plan{Seed: 1, StallRank: 0, StallIter: 100, StallFor: 250 * time.Millisecond},
+				Metrics: m,
+			})
+		})
+	if n := eng.AlertCount(analytics.AlertStall); n < 1 {
+		t.Fatalf("injected 250ms stall raised %d stall alerts, want >= 1\nalerts: %+v", n, eng.Alerts())
+	}
+	if n := eng.AlertCount(analytics.AlertDivergence); n != 0 {
+		t.Fatalf("W.D.D. run raised divergence alerts: %+v", eng.Alerts())
+	}
+}
+
+// TestNonWDDMatrixTripsDivergence reproduces the paper's Fig 6 setup
+// through the analytics pipeline: synchronous Jacobi on the FE matrix
+// (rho(G) > 1, not W.D.D.) must trip the divergence alert, while the
+// asynchronous run on the same matrix — which per §IV-D behaves
+// multiplicatively and may converge — must not.
+func TestNonWDDMatrixTripsDivergence(t *testing.T) {
+	a := matgen.FE2D(matgen.DefaultFEOptions(20, 20))
+	rho := spectral.JacobiRhoGSym(a, 2000, 1e-8)
+	if rho.Value <= 1 {
+		t.Fatalf("FE test matrix has rho(G) = %v, expected > 1", rho.Value)
+	}
+	b := randomB(a.N, 2)
+
+	// Synchronous Jacobi (1 worker, sync mode): diverges.
+	sync := runSolve(t, analytics.Config{N: a.N, PredictedRho: rho.Value},
+		func(m *obs.SolverMetrics) {
+			shm.Solve(a, b, make([]float64, a.N), shm.Options{
+				Threads: 1, MaxIters: 800, Tol: 1e-6, Metrics: m,
+			})
+		})
+	if n := sync.AlertCount(analytics.AlertDivergence); n != 1 {
+		t.Fatalf("sync Jacobi with rho(G)=%.3f raised %d divergence alerts, want 1\nalerts: %+v",
+			rho.Value, n, sync.Alerts())
+	}
+	if fit := sync.Snapshot().Fit; fit.OK && fit.Rho <= 1 {
+		t.Fatalf("divergent run fitted rho = %v, want > 1", fit.Rho)
+	}
+
+	// Asynchronous on the same matrix: finer interleaving behaves
+	// multiplicatively (Gauss-Seidel-like) and must not alert.
+	async := runSolve(t, analytics.Config{N: a.N, PredictedRho: rho.Value},
+		func(m *obs.SolverMetrics) {
+			res := shm.Solve(a, b, make([]float64, a.N), shm.Options{
+				Threads: 8, Async: true, MaxIters: 3000, Tol: 1e-4, Metrics: m,
+			})
+			t.Logf("async on non-W.D.D. FE: converged=%v relres=%.3g", res.Converged, res.RelRes)
+		})
+	if n := async.AlertCount(analytics.AlertDivergence); n != 0 {
+		t.Fatalf("async run raised divergence alerts: %+v", async.Alerts())
+	}
+}
+
+// TestCrashedWorkerTripsDeadWorker fail-stops one of four workers and
+// expects the event-gap detector to declare exactly that worker dead.
+func TestCrashedWorkerTripsDeadWorker(t *testing.T) {
+	a := matgen.FD2D(32, 32)
+	b := randomB(a.N, 3)
+	eng := runSolve(t, analytics.Config{N: a.N, DeadAfter: 50 * time.Millisecond},
+		func(m *obs.SolverMetrics) {
+			// Tol 0 keeps the survivors relaxing (and publishing) well past
+			// the crash; MaxTime bounds the run so the race detector's
+			// slowdown does not stretch the test.
+			shm.Solve(a, b, make([]float64, a.N), shm.Options{
+				Threads: 4, Async: true, MaxIters: 50000, Tol: 0,
+				MaxTime: 400 * time.Millisecond,
+				Fault:   &fault.Plan{Seed: 5, CrashRanks: []int{2}, CrashIter: 200},
+				Metrics: m,
+			})
+		})
+	alerts := eng.Alerts()
+	dead := 0
+	for _, al := range alerts {
+		if al.Type == analytics.AlertDeadWorker {
+			dead++
+			if al.Worker != 2 {
+				t.Fatalf("dead-worker alert names worker %d, want 2: %+v", al.Worker, al)
+			}
+		}
+	}
+	if dead != 1 {
+		t.Fatalf("dead-worker alerts = %d, want 1\nalerts: %+v", dead, alerts)
+	}
+}
+
+// TestLiveRhoMatchesOfflineFit cross-checks the online windowed ρ̂
+// against the offline tail fit (spectral.ConvergenceFactor) on the
+// same recorded history of a converging asynchronous run.
+func TestLiveRhoMatchesOfflineFit(t *testing.T) {
+	a := matgen.FD2D(16, 16)
+	b := randomB(a.N, 4)
+	var hist []float64
+	eng := runSolve(t, analytics.Config{N: a.N, Window: 200},
+		func(m *obs.SolverMetrics) {
+			res := shm.Solve(a, b, make([]float64, a.N), shm.Options{
+				Threads: 1, Async: true, MaxIters: 300, Tol: 1e-12,
+				RecordHistory: true, Metrics: m,
+			})
+			for _, h := range res.History {
+				hist = append(hist, h.RelRes)
+			}
+		})
+	fit := eng.Snapshot().Fit
+	if !fit.OK {
+		t.Fatal("no rate fit after a 300-iteration run")
+	}
+	offline, ok := spectral.ConvergenceFactor(hist)
+	if !ok {
+		t.Fatal("offline fit failed")
+	}
+	if rel := abs(fit.Rho-offline) / offline; rel > 0.05 {
+		t.Fatalf("live rho %.5f vs offline %.5f (%.1f%% apart, want < 5%%)", fit.Rho, offline, 100*rel)
+	}
+	if fit.Lo > fit.Rho || fit.Hi < fit.Rho {
+		t.Fatalf("band [%v,%v] excludes the estimate %v", fit.Lo, fit.Hi, fit.Rho)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

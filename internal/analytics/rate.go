@@ -1,0 +1,107 @@
+// Package analytics turns the raw telemetry stream (internal/stream)
+// into live convergence analytics: an online convergence-rate
+// estimate ρ̂ with a confidence band, per-worker progress-skew and
+// staleness-quantile estimators, and anomaly detectors (divergence,
+// stall, dead worker) emitting typed alerts.
+//
+// The quantities estimated here are the live counterparts of the
+// paper's model quantities: ρ̂ estimates the asymptotic contraction
+// factor per sweep-equivalent (relaxations / n), directly comparable
+// to ρ(G) for synchronous Jacobi and to the propagation-matrix bound
+// ρ(G̃) of §IV for asynchronous runs; the staleness quantiles estimate
+// the delay distribution the model's G̃ construction consumes.
+package analytics
+
+import "math"
+
+// RateFit is one windowed log-linear fit of the residual trajectory.
+// Rho is the contraction factor per unit x (callers feed x in
+// sweep-equivalents, so Rho compares to ρ(G)); [Lo, Hi] is the 95%
+// confidence band from the slope's standard error.
+type RateFit struct {
+	Rho, Lo, Hi float64
+	Slope, SE   float64
+	N           int
+	OK          bool
+}
+
+// RateEstimator fits ln(residual) against progress x by least squares
+// over a sliding window of samples. O(window) memory, O(window) per
+// fit, no storage beyond the window.
+type RateEstimator struct {
+	window int
+	xs, ys []float64
+	head   int
+	n      int
+}
+
+// NewRateEstimator returns an estimator over the given window size
+// (minimum 8; 0 or negative selects a default of 64).
+func NewRateEstimator(window int) *RateEstimator {
+	if window <= 0 {
+		window = 64
+	}
+	if window < 8 {
+		window = 8
+	}
+	return &RateEstimator{window: window, xs: make([]float64, window), ys: make([]float64, window)}
+}
+
+// Add records one residual sample at progress x. Non-positive
+// residuals (exact zeros at the numerical floor) are skipped — their
+// logarithm would dominate the fit with -Inf.
+func (r *RateEstimator) Add(x, res float64) {
+	if res <= 0 || math.IsNaN(res) || math.IsInf(res, 0) {
+		return
+	}
+	r.xs[r.head] = x
+	r.ys[r.head] = math.Log(res)
+	r.head = (r.head + 1) % r.window
+	if r.n < r.window {
+		r.n++
+	}
+}
+
+// Len reports how many samples the window currently holds.
+func (r *RateEstimator) Len() int { return r.n }
+
+// Fit performs the windowed regression. OK is false until the window
+// holds at least 4 samples with nonzero x spread.
+func (r *RateEstimator) Fit() RateFit {
+	n := r.n
+	if n < 4 {
+		return RateFit{N: n}
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += r.xs[i]
+		sy += r.ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy float64
+	for i := 0; i < n; i++ {
+		dx := r.xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (r.ys[i] - my)
+	}
+	if sxx == 0 {
+		return RateFit{N: n}
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	var sse float64
+	for i := 0; i < n; i++ {
+		e := r.ys[i] - (intercept + slope*r.xs[i])
+		sse += e * e
+	}
+	se := math.Sqrt(sse / float64(n-2) / sxx)
+	return RateFit{
+		Rho:   math.Exp(slope),
+		Lo:    math.Exp(slope - 1.96*se),
+		Hi:    math.Exp(slope + 1.96*se),
+		Slope: slope,
+		SE:    se,
+		N:     n,
+		OK:    true,
+	}
+}

@@ -1,12 +1,15 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/obs"
+	"repro/internal/stream"
 )
 
 // exit is swapped out by tests; the real thing never returns.
@@ -52,39 +55,88 @@ func Usagef(tool, format string, args ...any) {
 }
 
 // Metrics bundles the observability plumbing shared by the solver
-// commands: an optional live HTTP endpoint (-metrics-addr) and an
-// optional final snapshot (-metrics-dump). When both are off it is
-// inert and Handle returns nil, which the solvers treat as
-// metrics-disabled.
+// commands: an optional live HTTP endpoint (-metrics-addr) with
+// streaming telemetry and analytics, and an optional final snapshot
+// (-metrics-dump). When both are off it is inert and Handle returns
+// nil, which the solvers treat as metrics-disabled.
 type Metrics struct {
 	handle *obs.SolverMetrics
 	reg    *obs.Registry
 	server *obs.Server
+	bus    *stream.Bus
+	engine *analytics.Engine
+	sub    *stream.Sub
+	pumped chan struct{}
 	dump   bool
 	linger time.Duration
 	done   bool
 }
 
-// NewMetrics builds the command-level metrics plumbing. addr != ""
-// starts an HTTP server (announced on stderr) exposing /metrics,
-// /metrics.json, /healthz, and /debug/pprof for the duration of the
-// run; dump requests a final Prometheus text snapshot from Finish;
-// linger keeps the server alive that long after Finish so short runs
-// can still be scraped.
+// MetricsConfig configures NewMetricsConfig.
+type MetricsConfig struct {
+	// Addr, when nonempty, serves /metrics, /metrics.json, /healthz,
+	// /debug/pprof, the /stream SSE telemetry feed, and the /alerts
+	// JSON log on this address for the duration of the run.
+	Addr string
+	// Dump requests a final Prometheus text snapshot from Finish.
+	Dump bool
+	// Linger keeps the server alive this long after Finish so short
+	// runs can still be scraped; shutdown then drains in-flight
+	// requests gracefully.
+	Linger time.Duration
+	// SampleEvery is the telemetry sampling interval
+	// (obs.DefaultSampleInterval when 0, every instrumented call when
+	// negative).
+	SampleEvery time.Duration
+}
+
+// NewMetrics builds the command-level metrics plumbing; see
+// MetricsConfig for the semantics of the three classic knobs.
 func NewMetrics(addr string, dump bool, linger time.Duration) (*Metrics, error) {
-	m := &Metrics{dump: dump, linger: linger}
-	if addr == "" && !dump {
+	return NewMetricsConfig(MetricsConfig{Addr: addr, Dump: dump, Linger: linger})
+}
+
+// NewMetricsConfig builds the command-level metrics plumbing. With an
+// address it also wires the live-analytics pipeline: solver telemetry
+// flows through a stream bus into an analytics engine whose alerts
+// land both on the aj_alerts_total counter and the /alerts endpoint,
+// while /stream exposes the raw events as Server-Sent Events.
+func NewMetricsConfig(c MetricsConfig) (*Metrics, error) {
+	m := &Metrics{dump: c.Dump, linger: c.Linger}
+	if c.Addr == "" && !c.Dump {
 		return m, nil
 	}
 	m.reg = obs.NewRegistry()
 	m.handle = obs.NewSolverMetrics(m.reg)
-	if addr != "" {
-		srv, err := obs.Serve(addr, m.reg)
-		if err != nil {
+	if c.Addr != "" {
+		every := c.SampleEvery
+		if every == 0 {
+			every = obs.DefaultSampleInterval
+		} else if every < 0 {
+			every = 0 // publish every instrumented call
+		}
+		m.bus = stream.NewBus()
+		m.handle.AttachBus(m.bus, every)
+		m.engine = analytics.New(analytics.Config{
+			OnAlert: func(a analytics.Alert) {
+				m.handle.IncAlert(string(a.Type))
+				fmt.Fprintf(os.Stderr, "alert: [%s] %s\n", a.Type, a.Msg)
+			},
+		})
+		m.sub = m.bus.Subscribe(1 << 13)
+		m.pumped = make(chan struct{})
+		go func() {
+			m.engine.Pump(m.sub)
+			close(m.pumped)
+		}()
+		srv := obs.NewServer(m.reg)
+		srv.AttachBus(m.bus)
+		srv.AttachAlerts(m.engine)
+		if err := srv.Start(c.Addr); err != nil {
 			return nil, err
 		}
 		m.server = srv
-		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics (pprof at /debug/pprof/)\n",
+		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics (live telemetry at /stream, alerts at /alerts, pprof at /debug/pprof/)\n",
 			srv.Addr())
 	}
 	// Flush on the Fatalf/Usagef paths too, so a post-solve error does
@@ -92,6 +144,25 @@ func NewMetrics(addr string, dump bool, linger time.Duration) (*Metrics, error) 
 	// the linger window: an erroring process should exit promptly.
 	OnExit(func() { _ = m.finish(os.Stdout, false) })
 	return m, nil
+}
+
+// SetProblem forwards the problem size (and an optional predicted
+// rate) to the analytics engine once the matrix exists, so progress is
+// measured in sweep-equivalents and rho-hat compares to the model.
+func (m *Metrics) SetProblem(n int, predictedRho float64) {
+	if m == nil || m.engine == nil {
+		return
+	}
+	m.engine.SetProblem(n, predictedRho)
+}
+
+// Engine returns the live analytics engine (nil unless a server
+// address was configured).
+func (m *Metrics) Engine() *analytics.Engine {
+	if m == nil {
+		return nil
+	}
+	return m.engine
 }
 
 // Handle returns the solver instrumentation handle (nil when metrics
@@ -128,12 +199,30 @@ func (m *Metrics) finish(w io.Writer, linger bool) error {
 	if m.dump && m.reg != nil {
 		err = m.reg.WritePrometheus(w)
 	}
-	if m.server != nil {
-		if linger && m.linger > 0 {
-			fmt.Fprintf(os.Stderr, "metrics: lingering %v before shutdown\n", m.linger)
-			time.Sleep(m.linger)
+	if m.sub != nil {
+		// Let the engine drain whatever the solve published; the pump
+		// exits on the done event or, failing that, on this Close.
+		m.sub.Close()
+		select {
+		case <-m.pumped:
+		case <-time.After(2 * time.Second):
 		}
-		if cerr := m.server.Close(); err == nil {
+	}
+	if m.server != nil {
+		if linger {
+			if m.linger > 0 {
+				fmt.Fprintf(os.Stderr, "metrics: lingering %v before shutdown\n", m.linger)
+				time.Sleep(m.linger)
+			}
+			// Graceful: in-flight scrapes and SSE streams drain before
+			// the listener dies, bounded so a wedged client cannot hold
+			// the process open.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if cerr := m.server.Shutdown(ctx); err == nil {
+				err = cerr
+			}
+		} else if cerr := m.server.Close(); err == nil {
 			err = cerr
 		}
 	}

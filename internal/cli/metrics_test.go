@@ -110,3 +110,81 @@ func TestMetricsBadAddr(t *testing.T) {
 		t.Fatal("unbindable address accepted")
 	}
 }
+
+func TestMetricsLiveAnalyticsEndpoints(t *testing.T) {
+	m, err := NewMetricsConfig(MetricsConfig{Addr: "127.0.0.1:0", SampleEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Engine() == nil {
+		t.Fatal("server-mode metrics has no analytics engine")
+	}
+	m.SetProblem(64, 0.9)
+	addr := m.Addr()
+	resp, err := http.Get("http://" + addr + "/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "[]" {
+		t.Fatalf("fresh /alerts: status %d body %q", resp.StatusCode, body)
+	}
+
+	// An in-flight SSE scrape must see events the solve publishes and
+	// must be drained, not severed, by the graceful linger shutdown.
+	sresp, err := http.Get("http://" + addr + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); !strings.Contains(ct, "text/event-stream") {
+		t.Fatalf("/stream content type %q", ct)
+	}
+	h := m.Handle()
+	h.SetResidual(0.5)
+	h.SetConverged(true)
+
+	finished := make(chan error, 1)
+	go func() { finished <- m.Finish(io.Discard) }()
+
+	// The shutdown closes the stream; reading to EOF must terminate.
+	if _, err := io.ReadAll(sresp.Body); err != nil {
+		t.Fatalf("SSE body errored instead of draining: %v", err)
+	}
+	select {
+	case err := <-finished:
+		if err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Finish hung on the in-flight SSE stream")
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still up after graceful shutdown")
+	}
+}
+
+func TestMetricsAnalyticsSeesSolverEvents(t *testing.T) {
+	m, err := NewMetricsConfig(MetricsConfig{Addr: "127.0.0.1:0", SampleEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetProblem(10, 0)
+	h := m.Handle()
+	for i, r := range []float64{1, 0.5, 0.25, 0.125} {
+		h.SetResidual(r)
+		_ = i
+	}
+	h.SetConverged(true)
+	if err := m.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Engine().Snapshot()
+	if !snap.Done || !snap.Converged {
+		t.Fatalf("engine missed the done event: %+v", snap)
+	}
+	if snap.Residual != 0.125 {
+		t.Fatalf("engine residual %v, want 0.125", snap.Residual)
+	}
+}

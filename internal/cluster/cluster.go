@@ -264,6 +264,8 @@ func Simulate(a *sparse.CSR, b, x0 []float64, cfg Config) *Result {
 			cfg.Metrics.RecoveryCancel()
 		}
 		res.Elapsed = time.Since(wall0)
+		// End-of-solve event for live consumers (the stream bus).
+		cfg.Metrics.SetConverged(res.Converged)
 		return res
 	}
 	res := &Result{IterationsPerProc: make([]int, cfg.Procs)}

@@ -289,8 +289,13 @@ func Solve(a *sparse.CSR, b []float64, opt Options) (*Result, error) {
 		rr := relres()
 		if wm != nil {
 			wm.ObserveSweep(time.Since(sweepStart))
-			wm.IncIteration()
+			// Relaxations before the iteration tick: the stream
+			// sample published by IncIteration sees current totals.
 			wm.AddRelaxations(n)
+			if wm.StreamSampleDue() {
+				wm.SetLocalResidual(rr)
+			}
+			wm.IncIteration()
 			wm.SetResidual(rr)
 		}
 		if o.RecordHistory {

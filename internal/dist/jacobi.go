@@ -749,9 +749,12 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 				localHist[r.ID] = append(localHist[r.ID], vec.Norm1(rl))
 			}
 			if rm != nil {
-				rm.IncIteration()
+				// Relaxations and the residual share land before the
+				// iteration tick so the stream sample published by
+				// IncIteration sees current totals.
 				rm.AddRelaxations(nown)
 				rm.SetLocalResidual(vec.Norm1(rl) / nb)
+				rm.IncIteration()
 			}
 			// Communicate boundary values. Each message first draws its
 			// fate from the fault plan: dropped messages leave the

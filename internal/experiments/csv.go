@@ -151,41 +151,65 @@ func RunCSV(name string, w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		if err := cw.Write([]string{"drop", "crash", "rel_res", "converged",
-			"relax_per_n", "resumes"}); err != nil {
-			return err
-		}
+		var recs [][]string
 		for _, r := range rows {
-			if err := cw.Write([]string{ftoa(r.Drop), strconv.FormatBool(r.Crash),
+			recs = append(recs, []string{ftoa(r.Drop), strconv.FormatBool(r.Crash),
 				ftoa(r.RelRes), strconv.FormatBool(r.Converged),
-				ftoa(r.RelaxPerN), itoa(r.Resumes)}); err != nil {
-				return err
-			}
+				ftoa(r.RelaxPerN), itoa(r.Resumes)})
 		}
-		return nil
+		return writeTable(cw,
+			[]string{"drop", "crash", "rel_res", "converged", "relax_per_n", "resumes"}, recs)
 
 	case "recover":
 		data, err := RunRecoverSweep(cfg)
 		if err != nil {
 			return err
 		}
-		if err := cw.Write([]string{"interval_ms", "time_to_solution_ms",
-			"relax_per_n", "wasted_per_n", "checkpoint_age_ms", "converged"}); err != nil {
-			return err
-		}
+		var recs [][]string
 		for _, r := range data.Rows {
-			if err := cw.Write([]string{
+			recs = append(recs, []string{
 				ftoa(float64(r.Interval) / float64(time.Millisecond)),
 				ftoa(float64(r.TimeToSolution) / float64(time.Millisecond)),
 				ftoa(r.RelaxPerN), ftoa(r.WastedPerN),
 				ftoa(float64(r.CheckpointAge) / float64(time.Millisecond)),
-				strconv.FormatBool(r.Converged)}); err != nil {
-				return err
-			}
+				strconv.FormatBool(r.Converged)})
 		}
-		return nil
+		return writeTable(cw,
+			[]string{"interval_ms", "time_to_solution_ms", "relax_per_n",
+				"wasted_per_n", "checkpoint_age_ms", "converged"}, recs)
+
+	case "rates":
+		rows, err := RunRateSweep(cfg)
+		if err != nil {
+			return err
+		}
+		var recs [][]string
+		for _, r := range rows {
+			recs = append(recs, []string{itoa(r.Workers), ftoa(r.RhoHat),
+				ftoa(r.Lo), ftoa(r.Hi), itoa(r.Samples), ftoa(r.RelRes)})
+		}
+		return writeTable(cw,
+			[]string{"workers", "rho_hat", "rho_lo", "rho_hi", "samples", "rel_res"}, recs)
 	}
 	return fmt.Errorf("experiments: no CSV emitter for %q (text-only: fig1, ablation)", name)
+}
+
+// writeTable emits one header row followed by the data rows, checking
+// that every row has the header's width — the shared shape of the
+// sweep emitters above.
+func writeTable(cw *csv.Writer, header []string, rows [][]string) error {
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, r := range rows {
+		if len(r) != len(header) {
+			return fmt.Errorf("experiments: csv row %d has %d fields, header has %d", i, len(r), len(header))
+		}
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeSeriesCSV(cw *csv.Writer, xName string, series []Series) error {

@@ -3,10 +3,15 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
+	"repro/internal/analytics"
 	"repro/internal/core"
 	"repro/internal/matgen"
+	"repro/internal/obs"
+	"repro/internal/shm"
 	"repro/internal/spectral"
+	"repro/internal/stream"
 )
 
 // RatesRow compares a problem's predicted asymptotic Jacobi rate
@@ -73,7 +78,85 @@ func RunRates(cfg Config) ([]RatesRow, error) {
 	return rows, nil
 }
 
-// Rates prints the spectral-vs-measured rate validation table.
+// RateSweepRow is one worker count's live-estimated asynchronous rate.
+type RateSweepRow struct {
+	Workers int
+	RhoHat  float64 // windowed log-linear fit over sweep-equivalents
+	Lo, Hi  float64 // 95% confidence band
+	Samples int
+	RelRes  float64 // final true relative residual
+}
+
+// RunRateSweep measures the live rho-hat estimate (the streaming
+// analytics pipeline's windowed fit, not an offline history fit) of
+// the asynchronous shared-memory solver across worker counts on the
+// seed Laplacian — the paper's §VII observation that the rate
+// *improves* as the process count grows, because finer active blocks
+// make the iteration more multiplicative (§IV-D). Every run streams
+// through obs -> stream -> analytics exactly as a monitored production
+// solve would, so this doubles as an end-to-end check of the pipeline.
+func RunRateSweep(cfg Config) ([]RateSweepRow, error) {
+	a := matgen.FD2D(8, 8)
+	rng := cfg.NewRNG(0x4a7e)
+	b := RandomVec(rng, a.N)
+	counts := []int{1, 2, 4, 8, 16, 32}
+	iters := 300
+	if cfg.Quick {
+		counts = []int{1, 16}
+		iters = 200
+	}
+	reps := 5
+	if cfg.Quick {
+		reps = 3
+	}
+	var rows []RateSweepRow
+	for _, p := range counts {
+		// One asynchronous schedule is one draw from a distribution;
+		// the median fit over several runs is the stable rate figure.
+		fits := make([]RateFitLite, 0, reps)
+		var relRes float64
+		for rep := 0; rep < reps; rep++ {
+			m := obs.NewSolverMetrics(obs.NewRegistry())
+			bus := stream.NewBus()
+			m.AttachBus(bus, 0) // every iteration: the estimate wants dense samples
+			sub := bus.Subscribe(1 << 15)
+			eng := analytics.New(analytics.Config{N: a.N, Window: 128})
+			done := make(chan struct{})
+			go func() {
+				eng.Pump(sub)
+				close(done)
+			}()
+			res := shm.Solve(a, b, make([]float64, a.N), shm.Options{
+				Threads: p, Async: true, MaxIters: iters, Tol: 1e-14,
+				YieldProb: 0.25, Metrics: m,
+			})
+			<-done
+			sub.Close()
+			fit := eng.Snapshot().Fit
+			if !fit.OK {
+				return nil, fmt.Errorf("experiments: no rate fit for %d workers", p)
+			}
+			fits = append(fits, RateFitLite{Rho: fit.Rho, Lo: fit.Lo, Hi: fit.Hi, N: fit.N})
+			relRes += res.RelRes
+		}
+		sort.Slice(fits, func(i, j int) bool { return fits[i].Rho < fits[j].Rho })
+		med := fits[len(fits)/2]
+		rows = append(rows, RateSweepRow{
+			Workers: p, RhoHat: med.Rho, Lo: med.Lo, Hi: med.Hi,
+			Samples: med.N, RelRes: relRes / float64(reps),
+		})
+	}
+	return rows, nil
+}
+
+// RateFitLite is the subset of analytics.RateFit the sweep keeps.
+type RateFitLite struct {
+	Rho, Lo, Hi float64
+	N           int
+}
+
+// Rates prints the spectral-vs-measured rate validation table and the
+// live rho-hat-vs-workers sweep.
 func Rates(w io.Writer, cfg Config) error {
 	rows, err := RunRates(cfg)
 	if err != nil {
@@ -86,6 +169,19 @@ func Rates(w io.Writer, cfg Config) error {
 	}
 	fmt.Fprintln(w, "  (sync factor must match rho(G); the async factor is at or below it —")
 	fmt.Fprintln(w, "   the multiplicative advantage of Sections IV-B/IV-C)")
+	fmt.Fprintln(w)
+
+	sweep, err := RunRateSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Live rho-hat vs worker count (streaming analytics, seed Laplacian) ==")
+	fmt.Fprintf(w, "%-8s %10s %22s %10s\n", "workers", "rho-hat", "95% band", "rel res")
+	for _, r := range sweep {
+		fmt.Fprintf(w, "%-8d %10.5f    [%.5f, %.5f] %10.2g\n", r.Workers, r.RhoHat, r.Lo, r.Hi, r.RelRes)
+	}
+	fmt.Fprintln(w, "  (rho-hat falls as workers increase: finer active blocks are more")
+	fmt.Fprintln(w, "   multiplicative — the paper's §VII \"rate improves with more processes\")")
 	fmt.Fprintln(w)
 	return nil
 }

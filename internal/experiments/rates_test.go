@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestRateSweepImprovesWithWorkers(t *testing.T) {
+	rows, err := RunRateSweep(Config{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("quick sweep returned %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.RhoHat <= 0 || r.RhoHat >= 1 {
+			t.Fatalf("rho-hat for %d workers out of (0,1): %+v", r.Workers, r)
+		}
+		if r.Lo > r.RhoHat || r.Hi < r.RhoHat {
+			t.Fatalf("band excludes estimate: %+v", r)
+		}
+	}
+	// The paper's §VII effect: finer active blocks converge faster, so
+	// the high-concurrency rate beats the single-worker (= synchronous
+	// Jacobi) rate by more than run-to-run noise.
+	lo, hi := rows[0], rows[len(rows)-1]
+	if hi.RhoHat >= lo.RhoHat-5e-4 {
+		t.Fatalf("rho-hat did not improve with workers: %d -> %.6f, %d -> %.6f",
+			lo.Workers, lo.RhoHat, hi.Workers, hi.RhoHat)
+	}
+}
+
+func TestRatesCSVEmitter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunCSV("rates", &buf, Config{Seed: 7, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"workers", "rho_hat", "rho_lo", "rho_hi", "samples", "rel_res"}
+	if strings.Join(recs[0], ",") != strings.Join(want, ",") {
+		t.Fatalf("header %v, want %v", recs[0], want)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d rows incl header, want 3", len(recs))
+	}
+}
+
+func TestWriteTableRejectsRaggedRows(t *testing.T) {
+	var buf bytes.Buffer
+	cw := csv.NewWriter(&buf)
+	err := writeTable(cw, []string{"a", "b"}, [][]string{{"1", "2"}, {"only-one"}})
+	if err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	buf.Reset()
+	cw = csv.NewWriter(&buf)
+	if err := writeTable(cw, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}}); err != nil {
+		t.Fatal(err)
+	}
+	cw.Flush()
+	if got := buf.String(); got != "a,b\n1,2\n3,4\n" {
+		t.Fatalf("unexpected table output %q", got)
+	}
+}

@@ -1,11 +1,15 @@
 package obs
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"repro/internal/stream"
 )
 
 // Server serves a registry over HTTP:
@@ -13,6 +17,8 @@ import (
 //	/metrics        Prometheus text exposition
 //	/metrics.json   expvar-style flat JSON
 //	/healthz        liveness JSON ({"status":"ok","uptime":...})
+//	/stream         Server-Sent Events telemetry (with AttachBus)
+//	/alerts         JSON alert log (with AttachAlerts)
 //	/debug/pprof/   the standard runtime profiles
 //
 // pprof is wired onto the same mux (not http.DefaultServeMux) so a
@@ -20,17 +26,41 @@ import (
 // the slow-thread experiments of Fig 3/4 are exactly the situation
 // where you want `go tool pprof http://host/debug/pprof/profile`.
 type Server struct {
-	reg   *Registry
-	ln    net.Listener
-	srv   *http.Server
-	start time.Time
+	reg    *Registry
+	ln     net.Listener
+	srv    *http.Server
+	start  time.Time
+	bus    *stream.Bus
+	alerts http.Handler
+	quit   chan struct{}
+}
+
+// NewServer builds an unstarted server for reg. Attach the bus and
+// alert handler before Start; the handlers read them per request.
+func NewServer(reg *Registry) *Server {
+	return &Server{reg: reg, start: time.Now(), quit: make(chan struct{})}
+}
+
+// AttachBus enables the /stream SSE endpoint, subscribing each client
+// to b. Call before Start.
+func (s *Server) AttachBus(b *stream.Bus) {
+	if s != nil {
+		s.bus = b
+	}
+}
+
+// AttachAlerts mounts h at /alerts (typically the analytics engine's
+// JSON alert log). Call before Start.
+func (s *Server) AttachAlerts(h http.Handler) {
+	if s != nil {
+		s.alerts = h
+	}
 }
 
 // Handler returns the HTTP handler serving the registry, usable when
 // the caller owns the server (tests, embedding into an existing mux).
 func Handler(reg *Registry) http.Handler {
-	s := &Server{reg: reg, start: time.Now()}
-	return s.mux()
+	return NewServer(reg).mux()
 }
 
 func (s *Server) mux() *http.ServeMux {
@@ -48,6 +78,14 @@ func (s *Server) mux() *http.ServeMux {
 		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.3f}\n",
 			time.Since(s.start).Seconds())
 	})
+	mux.HandleFunc("/stream", s.serveStream)
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		if s.alerts == nil {
+			http.Error(w, "no alert log attached", http.StatusNotFound)
+			return
+		}
+		s.alerts.ServeHTTP(w, r)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -56,17 +94,71 @@ func (s *Server) mux() *http.ServeMux {
 	return mux
 }
 
-// Serve starts an HTTP server for reg on addr (":9090", "127.0.0.1:0",
-// ...) and returns once the listener is bound, serving in the
-// background. Close shuts it down.
-func Serve(addr string, reg *Registry) (*Server, error) {
+// serveStream is the SSE endpoint: one `data:` line per bus event,
+// JSON-encoded with the stream.Event field names. The subscription's
+// ring is generous (4096) but still bounded — a slow client drops
+// oldest events rather than backpressuring the solver.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
+	if s.bus == nil {
+		http.Error(w, "no telemetry bus attached", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	sub := s.bus.Subscribe(4096)
+	defer sub.Close()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev := <-sub.C():
+			if _, err := fmt.Fprint(w, "data: "); err != nil {
+				return
+			}
+			if err := enc.Encode(ev); err != nil { // Encode appends \n
+				return
+			}
+			if _, err := fmt.Fprint(w, "\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// Start binds addr (":9090", "127.0.0.1:0", ...) and serves in the
+// background, returning once the listener is bound.
+func (s *Server) Start(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+		return fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{reg: reg, ln: ln, start: time.Now()}
+	s.ln = ln
 	s.srv = &http.Server{Handler: s.mux()}
 	go s.srv.Serve(ln)
+	return nil
+}
+
+// Serve starts an HTTP server for reg on addr and returns once the
+// listener is bound, serving in the background. Shutdown (graceful)
+// or Close (hard) stops it.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	s := NewServer(reg)
+	if err := s.Start(addr); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -78,10 +170,35 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the server.
+// Shutdown stops the server gracefully: the listener closes
+// immediately (no new scrapes), open SSE streams are told to finish,
+// and in-flight requests are drained until ctx expires, at which point
+// any stragglers are hard-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	select {
+	case <-s.quit:
+	default:
+		close(s.quit)
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.srv.Close()
+		return err
+	}
+	return nil
+}
+
+// Close stops the server immediately, aborting in-flight requests.
 func (s *Server) Close() error {
 	if s == nil || s.srv == nil {
 		return nil
+	}
+	select {
+	case <-s.quit:
+	default:
+		close(s.quit)
 	}
 	return s.srv.Close()
 }

@@ -3,6 +3,8 @@ package obs
 import (
 	"strconv"
 	"time"
+
+	"repro/internal/stream"
 )
 
 // SolverMetrics is the instrumentation handle the solvers thread
@@ -61,6 +63,12 @@ type SolverMetrics struct {
 	recDeadline, recCancel, recResume       *Counter
 	recRetransmit, recExclude               *Counter
 	ckptBytes, ckptAge                      *Gauge
+
+	alerts *CounterVec
+
+	// strm mirrors instrumentation points onto a telemetry bus; nil
+	// until AttachBus (see stream.go).
+	strm *streamState
 }
 
 // NewSolverMetrics registers the solver metric families on reg and
@@ -154,6 +162,9 @@ func NewSolverMetrics(reg *Registry) *SolverMetrics {
 	m.ckptAge = reg.NewGauge("aj_checkpoint_age_seconds",
 		"Wall-clock age of the last successful checkpoint write; how "+
 			"much progress a kill right now would lose.").With()
+	m.alerts = reg.NewCounter("aj_alerts_total",
+		"Anomaly alerts raised by the live analytics engine, by type "+
+			"(divergence, stall, dead_worker).", "type")
 	return m
 }
 
@@ -166,6 +177,7 @@ func (m *SolverMetrics) RecoveryCheckpointWrite(nbytes int) {
 		m.recCkptWrite.Inc()
 		m.ckptBytes.Set(float64(nbytes))
 		m.ckptAge.Set(0)
+		m.emit(stream.TypeRecovery, "checkpoint_write")
 	}
 }
 
@@ -173,6 +185,7 @@ func (m *SolverMetrics) RecoveryCheckpointWrite(nbytes int) {
 func (m *SolverMetrics) RecoveryCheckpointError() {
 	if m != nil {
 		m.recCkptError.Inc()
+		m.emit(stream.TypeRecovery, "checkpoint_error")
 	}
 }
 
@@ -180,6 +193,7 @@ func (m *SolverMetrics) RecoveryCheckpointError() {
 func (m *SolverMetrics) RecoveryCheckpointLoad() {
 	if m != nil {
 		m.recCkptLoad.Inc()
+		m.emit(stream.TypeRecovery, "checkpoint_load")
 	}
 }
 
@@ -195,6 +209,7 @@ func (m *SolverMetrics) SetCheckpointAge(seconds float64) {
 func (m *SolverMetrics) RecoveryWorkerDead() {
 	if m != nil {
 		m.recWorkerDead.Inc()
+		m.emit(stream.TypeRecovery, "worker_dead")
 	}
 }
 
@@ -202,6 +217,7 @@ func (m *SolverMetrics) RecoveryWorkerDead() {
 func (m *SolverMetrics) RecoveryReassign() {
 	if m != nil {
 		m.recReassign.Inc()
+		m.emit(stream.TypeRecovery, "reassign")
 	}
 }
 
@@ -209,6 +225,7 @@ func (m *SolverMetrics) RecoveryReassign() {
 func (m *SolverMetrics) RecoveryDeadline() {
 	if m != nil {
 		m.recDeadline.Inc()
+		m.emit(stream.TypeRecovery, "deadline")
 	}
 }
 
@@ -216,6 +233,7 @@ func (m *SolverMetrics) RecoveryDeadline() {
 func (m *SolverMetrics) RecoveryCancel() {
 	if m != nil {
 		m.recCancel.Inc()
+		m.emit(stream.TypeRecovery, "cancel")
 	}
 }
 
@@ -223,6 +241,7 @@ func (m *SolverMetrics) RecoveryCancel() {
 func (m *SolverMetrics) RecoveryResume() {
 	if m != nil {
 		m.recResume.Inc()
+		m.emit(stream.TypeRecovery, "resume")
 	}
 }
 
@@ -231,6 +250,7 @@ func (m *SolverMetrics) RecoveryResume() {
 func (m *SolverMetrics) RecoveryRetransmit() {
 	if m != nil {
 		m.recRetransmit.Inc()
+		m.emit(stream.TypeRecovery, "retransmit")
 	}
 }
 
@@ -239,6 +259,7 @@ func (m *SolverMetrics) RecoveryRetransmit() {
 func (m *SolverMetrics) RecoveryExclude() {
 	if m != nil {
 		m.recExclude.Inc()
+		m.emit(stream.TypeRecovery, "exclude")
 	}
 }
 
@@ -288,6 +309,7 @@ func (m *SolverMetrics) RecoveryExcludeCount() uint64 {
 func (m *SolverMetrics) FaultDrop() {
 	if m != nil {
 		m.faultDrop.Inc()
+		m.emit(stream.TypeFault, "drop")
 	}
 }
 
@@ -295,6 +317,7 @@ func (m *SolverMetrics) FaultDrop() {
 func (m *SolverMetrics) FaultDup() {
 	if m != nil {
 		m.faultDup.Inc()
+		m.emit(stream.TypeFault, "dup")
 	}
 }
 
@@ -302,6 +325,7 @@ func (m *SolverMetrics) FaultDup() {
 func (m *SolverMetrics) FaultReorder() {
 	if m != nil {
 		m.faultReorder.Inc()
+		m.emit(stream.TypeFault, "reorder")
 	}
 }
 
@@ -309,6 +333,7 @@ func (m *SolverMetrics) FaultReorder() {
 func (m *SolverMetrics) FaultDelay() {
 	if m != nil {
 		m.faultDelay.Inc()
+		m.emit(stream.TypeFault, "delay")
 	}
 }
 
@@ -316,6 +341,7 @@ func (m *SolverMetrics) FaultDelay() {
 func (m *SolverMetrics) FaultStall() {
 	if m != nil {
 		m.faultStall.Inc()
+		m.emit(stream.TypeFault, "stall")
 	}
 }
 
@@ -323,6 +349,7 @@ func (m *SolverMetrics) FaultStall() {
 func (m *SolverMetrics) FaultCrash() {
 	if m != nil {
 		m.faultCrash.Inc()
+		m.emit(stream.TypeFault, "crash")
 	}
 }
 
@@ -330,6 +357,7 @@ func (m *SolverMetrics) FaultCrash() {
 func (m *SolverMetrics) FaultRestart() {
 	if m != nil {
 		m.faultRestart.Inc()
+		m.emit(stream.TypeFault, "restart")
 	}
 }
 
@@ -338,6 +366,7 @@ func (m *SolverMetrics) FaultRestart() {
 func (m *SolverMetrics) FaultTermTimeout() {
 	if m != nil {
 		m.faultTermTimeout.Inc()
+		m.emit(stream.TypeFault, "term_timeout")
 	}
 }
 
@@ -401,9 +430,14 @@ func (m *SolverMetrics) SetResidual(v float64) {
 		return
 	}
 	m.residual.Set(v)
+	if m.strm != nil {
+		m.mirrorResidual(v)
+	}
 }
 
-// SetConverged latches the final convergence state.
+// SetConverged latches the final convergence state. With a bus
+// attached this is also the end-of-solve event: every solver calls it
+// exactly once, after the final residual is known.
 func (m *SolverMetrics) SetConverged(ok bool) {
 	if m == nil {
 		return
@@ -412,6 +446,12 @@ func (m *SolverMetrics) SetConverged(ok bool) {
 		m.converged.Set(1)
 	} else {
 		m.converged.Set(0)
+	}
+	if m.strm != nil {
+		m.strm.bus.Publish(stream.Event{
+			Type: stream.TypeDone, Worker: -1,
+			Residual: m.residual.Value(), Converged: ok,
+		})
 	}
 }
 
@@ -440,42 +480,49 @@ func (m *SolverMetrics) ObserveStaleness(missed int) {
 func (m *SolverMetrics) TermFlagRaise() {
 	if m != nil {
 		m.termRaise.Inc()
+		m.emit(stream.TypeTermination, "flag_raise")
 	}
 }
 
 func (m *SolverMetrics) TermFlagLower() {
 	if m != nil {
 		m.termLower.Inc()
+		m.emit(stream.TypeTermination, "flag_lower")
 	}
 }
 
 func (m *SolverMetrics) TermLatch() {
 	if m != nil {
 		m.termLatch.Inc()
+		m.emit(stream.TypeTermination, "latch")
 	}
 }
 
 func (m *SolverMetrics) TermTokenPass() {
 	if m != nil {
 		m.termTokenPass.Inc()
+		m.emit(stream.TypeTermination, "token_pass")
 	}
 }
 
 func (m *SolverMetrics) TermTokenBlacken() {
 	if m != nil {
 		m.termTokenBlacken.Inc()
+		m.emit(stream.TypeTermination, "token_blacken")
 	}
 }
 
 func (m *SolverMetrics) TermHalt() {
 	if m != nil {
 		m.termHalt.Inc()
+		m.emit(stream.TypeTermination, "halt")
 	}
 }
 
 func (m *SolverMetrics) TermDecided() {
 	if m != nil {
 		m.termDecided.Inc()
+		m.emit(stream.TypeTermination, "decided")
 	}
 }
 
@@ -485,6 +532,7 @@ func (m *SolverMetrics) TermDecided() {
 func (m *SolverMetrics) TermResume() {
 	if m != nil {
 		m.termResume.Inc()
+		m.emit(stream.TypeTermination, "resume")
 	}
 }
 
@@ -521,6 +569,7 @@ type WorkerMetrics struct {
 	relax, iters, yields *Counter
 	sweep                *Histogram
 	parent               *SolverMetrics
+	ws                   *workerStream
 }
 
 // Worker resolves the handle for worker id; nil-safe.
@@ -535,6 +584,7 @@ func (m *SolverMetrics) Worker(id int) *WorkerMetrics {
 		yields: m.yields.With(w),
 		sweep:  m.sweep.With(w),
 		parent: m,
+		ws:     newWorkerStream(m.strm, id),
 	}
 }
 
@@ -545,10 +595,15 @@ func (w *WorkerMetrics) AddRelaxations(n int) {
 	}
 }
 
-// IncIteration counts one completed local iteration.
+// IncIteration counts one completed local iteration and, with a bus
+// attached, publishes this worker's periodic sample when the gate
+// allows.
 func (w *WorkerMetrics) IncIteration() {
 	if w != nil {
 		w.iters.Inc()
+		if w.ws != nil {
+			w.ws.maybePublish(w.iters.Value(), w.relax.Value())
+		}
 	}
 }
 
@@ -566,10 +621,12 @@ func (w *WorkerMetrics) ObserveSweep(d time.Duration) {
 	}
 }
 
-// ObserveStaleness forwards to the shared staleness histogram.
+// ObserveStaleness forwards to the shared staleness histogram and
+// accumulates the observation for this worker's next stream sample.
 func (w *WorkerMetrics) ObserveStaleness(missed int) {
 	if w != nil {
 		w.parent.ObserveStaleness(missed)
+		w.ws.observe(missed)
 	}
 }
 
@@ -578,6 +635,22 @@ func (w *WorkerMetrics) SetResidual(v float64) {
 	if w != nil {
 		w.parent.SetResidual(v)
 	}
+}
+
+// SetLocalResidual publishes this worker's residual-share sample (the
+// 1-norm of the residual over its row block, normalized like the
+// global residual) to the bus-wide sum-of-shares estimate.
+func (w *WorkerMetrics) SetLocalResidual(v float64) {
+	if w != nil {
+		w.ws.setShare(v)
+	}
+}
+
+// StreamSampleDue reports whether this worker's next periodic stream
+// sample would actually publish — callers use it to skip computing the
+// residual share when the sample gate is closed (or no bus attached).
+func (w *WorkerMetrics) StreamSampleDue() bool {
+	return w != nil && w.ws.due()
 }
 
 // IncDelay forwards one injected delay sleep.
@@ -593,6 +666,7 @@ type RankMetrics struct {
 	msgsSent, msgsRecv, puts *Counter
 	localResidual            *Gauge
 	parent                   *SolverMetrics
+	ws                       *workerStream
 }
 
 // Rank resolves the handle for the given rank; nil-safe.
@@ -609,6 +683,7 @@ func (m *SolverMetrics) Rank(id int) *RankMetrics {
 		puts:          m.puts.With(w),
 		localResidual: m.localResidual.With(w),
 		parent:        m,
+		ws:            newWorkerStream(m.strm, id),
 	}
 }
 
@@ -619,10 +694,15 @@ func (r *RankMetrics) AddRelaxations(n int) {
 	}
 }
 
-// IncIteration counts one completed local iteration.
+// IncIteration counts one completed local iteration and, with a bus
+// attached, publishes this rank's periodic sample when the gate
+// allows.
 func (r *RankMetrics) IncIteration() {
 	if r != nil {
 		r.iters.Inc()
+		if r.ws != nil {
+			r.ws.maybePublish(r.iters.Value(), r.relax.Value())
+		}
 	}
 }
 
@@ -647,17 +727,22 @@ func (r *RankMetrics) IncPut() {
 	}
 }
 
-// SetLocalResidual publishes this rank's local residual share.
+// SetLocalResidual publishes this rank's local residual share, both
+// to the per-rank gauge and (with a bus attached) to the bus-wide
+// sum-of-shares residual estimate.
 func (r *RankMetrics) SetLocalResidual(v float64) {
 	if r != nil {
 		r.localResidual.Set(v)
+		r.ws.setShare(v)
 	}
 }
 
-// ObserveStaleness records missed sender updates on a ghost read.
+// ObserveStaleness records missed sender updates on a ghost read and
+// accumulates the observation for this rank's next stream sample.
 func (r *RankMetrics) ObserveStaleness(missed int) {
 	if r != nil {
 		r.parent.ObserveStaleness(missed)
+		r.ws.observe(missed)
 	}
 }
 

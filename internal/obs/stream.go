@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// DefaultSampleInterval is the default time gate between per-worker
+// stream samples (and between global residual samples). At this rate a
+// millisecond-scale solve publishes a handful of events and a
+// long-running solve a few hundred per second per worker — cheap for
+// both the solver and any SSE client.
+const DefaultSampleInterval = 5 * time.Millisecond
+
+// streamState is the bus side of a SolverMetrics handle. It exists
+// only after AttachBus; every mirror checks the pointer first, so
+// handles without a bus pay one comparison per instrumented call.
+type streamState struct {
+	bus   *stream.Bus
+	every time.Duration
+
+	// lastResPub and lastEstPub gate the global residual streams
+	// (exact and sum-of-shares) in unix nanoseconds; CAS claims the
+	// publish so concurrent workers emit once per interval.
+	lastResPub atomic.Int64
+	lastEstPub atomic.Int64
+
+	// resSum accumulates per-worker residual shares (float bits) into
+	// a live estimate of the global relative residual; the distributed
+	// substrate has no exact global residual until the run ends.
+	resSum atomic.Uint64
+}
+
+// AttachBus mirrors this handle's instrumentation points onto b:
+// per-worker samples, global residual samples, and fault / recovery /
+// termination lifecycle events. sampleEvery gates the periodic
+// samples; <= 0 publishes on every instrumented call (tests, replay).
+// Attach before handing the handle to a solver — the worker and rank
+// sub-handles capture the bus when they are resolved.
+func (m *SolverMetrics) AttachBus(b *stream.Bus, sampleEvery time.Duration) {
+	if m == nil || b == nil {
+		return
+	}
+	m.strm = &streamState{bus: b, every: sampleEvery}
+}
+
+// Bus returns the attached bus (nil when detached or on a nil handle).
+func (m *SolverMetrics) Bus() *stream.Bus {
+	if m == nil || m.strm == nil {
+		return nil
+	}
+	return m.strm.bus
+}
+
+// IncAlert counts one analytics alert by type (aj_alerts_total). The
+// analytics engine reports alerts through a callback; the CLI wires
+// that callback here so alert totals appear beside the solver metrics
+// on /metrics.
+func (m *SolverMetrics) IncAlert(kind string) {
+	if m != nil {
+		m.alerts.With(kind).Inc()
+	}
+}
+
+// AlertCount reads the alert counter for one type (0 on nil).
+func (m *SolverMetrics) AlertCount(kind string) uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.alerts.With(kind).Value()
+}
+
+// emit publishes a lifecycle event (fault/recovery/termination/done).
+// These are rare, so they bypass the sample gate.
+func (m *SolverMetrics) emit(t stream.Type, kind string) {
+	if m == nil || m.strm == nil {
+		return
+	}
+	m.strm.bus.Publish(stream.Event{Type: t, Worker: -1, Kind: kind})
+}
+
+// claim implements the shared time gate: it returns true when the
+// interval has elapsed since the last claimed publish, updating the
+// stamp. A zero-or-negative interval always claims.
+func claim(last *atomic.Int64, every time.Duration) bool {
+	if every <= 0 {
+		return true
+	}
+	now := time.Now().UnixNano()
+	prev := last.Load()
+	if now-prev < int64(every) {
+		return false
+	}
+	return last.CompareAndSwap(prev, now)
+}
+
+// mirrorResidual publishes an exact global residual sample, gated.
+func (m *SolverMetrics) mirrorResidual(v float64) {
+	st := m.strm
+	if st == nil || !st.bus.Active() || !claim(&st.lastResPub, st.every) {
+		return
+	}
+	st.bus.Publish(stream.Event{Type: stream.TypeResidual, Worker: -1, Residual: v})
+}
+
+// addShare folds a per-worker residual-share delta into the global
+// estimate and publishes it, gated. Estimated=true distinguishes the
+// sum-of-shares stream from exactly computed residual samples.
+func (st *streamState) addShare(delta float64) {
+	if delta == 0 {
+		return
+	}
+	for {
+		old := st.resSum.Load()
+		next := floatBits(floatFromBits(old) + delta)
+		if st.resSum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	if !st.bus.Active() || !claim(&st.lastEstPub, st.every) {
+		return
+	}
+	st.bus.Publish(stream.Event{
+		Type: stream.TypeResidual, Worker: -1,
+		Residual: floatFromBits(st.resSum.Load()), Estimated: true,
+	})
+}
+
+// workerStream is the per-worker sampling state embedded in the
+// Worker/Rank sub-handles. It is owned by that worker's goroutine
+// (matching the sub-handle contract), so the accumulation fields need
+// no synchronization.
+type workerStream struct {
+	st      *streamState
+	id      int
+	nextPub time.Time
+	share   float64 // last local residual share (normalized)
+
+	staleSum float64
+	staleCnt int64
+	staleMax int64
+}
+
+func newWorkerStream(st *streamState, id int) *workerStream {
+	if st == nil {
+		return nil
+	}
+	return &workerStream{st: st, id: id}
+}
+
+// observe accumulates one staleness observation for the next sample.
+func (ws *workerStream) observe(missed int) {
+	if ws == nil {
+		return
+	}
+	ws.staleSum += float64(missed)
+	ws.staleCnt++
+	if int64(missed) > ws.staleMax {
+		ws.staleMax = int64(missed)
+	}
+}
+
+// setShare records this worker's residual contribution and folds the
+// delta into the bus-wide estimate.
+func (ws *workerStream) setShare(v float64) {
+	if ws == nil {
+		return
+	}
+	delta := v - ws.share
+	ws.share = v
+	ws.st.addShare(delta)
+}
+
+// due reports whether the next maybePublish call would pass the gate,
+// without consuming it. Publishers use it to skip computing expensive
+// sample payloads (a residual-share norm) that would be discarded.
+func (ws *workerStream) due() bool {
+	if ws == nil || !ws.st.bus.Active() {
+		return false
+	}
+	return ws.st.every <= 0 || !time.Now().Before(ws.nextPub)
+}
+
+// maybePublish emits this worker's periodic sample if the gate allows.
+// iters and relax are the counter values at the call site.
+func (ws *workerStream) maybePublish(iters, relax uint64) {
+	if ws == nil || !ws.st.bus.Active() {
+		return
+	}
+	if ws.st.every > 0 {
+		now := time.Now()
+		if now.Before(ws.nextPub) {
+			return
+		}
+		ws.nextPub = now.Add(ws.st.every)
+	}
+	ev := stream.Event{
+		Type: stream.TypeSample, Worker: ws.id,
+		Iter: int64(iters), Relax: int64(relax), Residual: ws.share,
+	}
+	if ws.staleCnt > 0 {
+		ev.Staleness = ws.staleSum / float64(ws.staleCnt)
+		ev.StaleN = ws.staleCnt
+		ev.MaxStale = ws.staleMax
+		ws.staleSum, ws.staleCnt, ws.staleMax = 0, 0, 0
+	}
+	ws.st.bus.Publish(ev)
+}

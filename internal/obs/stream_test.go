@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// TestAttachBusMirrorsInstrumentation drives the handle the way a
+// solver does and checks every event class reaches a subscriber.
+func TestAttachBusMirrorsInstrumentation(t *testing.T) {
+	m := NewSolverMetrics(NewRegistry())
+	bus := stream.NewBus()
+	m.AttachBus(bus, 0) // no gate: every call publishes
+	if m.Bus() != bus {
+		t.Fatal("Bus() does not return the attached bus")
+	}
+	sub := bus.Subscribe(256)
+	defer sub.Close()
+
+	w := m.Worker(2)
+	w.AddRelaxations(10)
+	w.ObserveStaleness(3)
+	w.ObserveStaleness(5)
+	w.SetLocalResidual(0.25)
+	w.IncIteration()
+	m.SetResidual(0.5)
+	m.FaultCrash()
+	m.RecoveryReassign()
+	m.TermLatch()
+	m.SetConverged(true)
+
+	got := map[stream.Type][]stream.Event{}
+	deadline := time.After(2 * time.Second)
+	for len(got[stream.TypeDone]) == 0 {
+		select {
+		case ev := <-sub.C():
+			got[ev.Type] = append(got[ev.Type], ev)
+		case <-deadline:
+			t.Fatalf("timed out; got %v", got)
+		}
+	}
+	samples := got[stream.TypeSample]
+	if len(samples) == 0 {
+		t.Fatal("no worker sample published")
+	}
+	s := samples[len(samples)-1]
+	if s.Worker != 2 || s.Iter != 1 || s.Relax != 10 {
+		t.Fatalf("sample = %+v", s)
+	}
+	if s.Staleness != 4 || s.MaxStale != 5 {
+		t.Fatalf("sample staleness = %v max %v, want mean 4 max 5", s.Staleness, s.MaxStale)
+	}
+	if s.Residual != 0.25 {
+		t.Fatalf("sample share = %v, want 0.25", s.Residual)
+	}
+	var exact bool
+	for _, ev := range got[stream.TypeResidual] {
+		if !ev.Estimated && ev.Residual == 0.5 {
+			exact = true
+		}
+	}
+	if !exact {
+		t.Fatalf("no exact residual sample in %v", got[stream.TypeResidual])
+	}
+	for typ, kind := range map[stream.Type]string{
+		stream.TypeFault:       "crash",
+		stream.TypeRecovery:    "reassign",
+		stream.TypeTermination: "latch",
+	} {
+		evs := got[typ]
+		if len(evs) != 1 || evs[0].Kind != kind {
+			t.Fatalf("%v events = %v, want one %q", typ, evs, kind)
+		}
+	}
+	done := got[stream.TypeDone][0]
+	if !done.Converged || done.Residual != 0.5 {
+		t.Fatalf("done = %+v", done)
+	}
+}
+
+// TestRankSharesSumIntoEstimate checks the distributed-substrate path:
+// per-rank local residual shares fold into one estimated global
+// residual stream.
+func TestRankSharesSumIntoEstimate(t *testing.T) {
+	m := NewSolverMetrics(NewRegistry())
+	bus := stream.NewBus()
+	m.AttachBus(bus, 0)
+	sub := bus.Subscribe(64)
+	defer sub.Close()
+
+	r0, r1 := m.Rank(0), m.Rank(1)
+	r0.SetLocalResidual(0.3)
+	r1.SetLocalResidual(0.2)
+	var last stream.Event
+	for i := 0; i < 2; i++ {
+		select {
+		case last = <-sub.C():
+		case <-time.After(time.Second):
+			t.Fatal("missing estimated residual event")
+		}
+	}
+	if !last.Estimated || last.Residual < 0.499 || last.Residual > 0.501 {
+		t.Fatalf("estimated residual = %+v, want ~0.5", last)
+	}
+	// Updating a share replaces it (delta semantics), not re-adds it.
+	r0.SetLocalResidual(0.1)
+	select {
+	case ev := <-sub.C():
+		if ev.Residual < 0.299 || ev.Residual > 0.301 {
+			t.Fatalf("after update residual = %v, want ~0.3", ev.Residual)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("missing updated estimate")
+	}
+}
+
+func TestSampleGateThrottles(t *testing.T) {
+	m := NewSolverMetrics(NewRegistry())
+	bus := stream.NewBus()
+	m.AttachBus(bus, time.Hour) // gate so wide only the first sample passes
+	sub := bus.Subscribe(64)
+	defer sub.Close()
+	w := m.Worker(0)
+	for i := 0; i < 100; i++ {
+		w.IncIteration()
+		m.SetResidual(float64(i))
+	}
+	// One worker sample and one residual sample claim the gate; the
+	// other 99 of each are suppressed.
+	if got := bus.Published(); got != 2 {
+		t.Fatalf("published %d events through an hour-wide gate, want 2", got)
+	}
+}
+
+func TestAlertCounters(t *testing.T) {
+	m := NewSolverMetrics(NewRegistry())
+	m.IncAlert("divergence")
+	m.IncAlert("divergence")
+	m.IncAlert("stall")
+	if got := m.AlertCount("divergence"); got != 2 {
+		t.Fatalf("divergence count = %d", got)
+	}
+	if got := m.AlertCount("stall"); got != 1 {
+		t.Fatalf("stall count = %d", got)
+	}
+	var nilM *SolverMetrics
+	nilM.IncAlert("divergence") // must not panic
+	if nilM.AlertCount("divergence") != 0 {
+		t.Fatal("nil handle reports alerts")
+	}
+}
+
+// TestSSEStream round-trips events through the live /stream endpoint.
+func TestSSEStream(t *testing.T) {
+	reg := NewRegistry()
+	m := NewSolverMetrics(reg)
+	bus := stream.NewBus()
+	m.AttachBus(bus, 0)
+	srv := NewServer(reg)
+	srv.AttachBus(bus)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// Publish until the subscriber inside the handler is attached.
+	go func() {
+		for bus.Published() == 0 {
+			m.SetResidual(0.125)
+			time.Sleep(time.Millisecond)
+		}
+		m.SetConverged(true)
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	var ev stream.Event
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		if ev.Type == stream.TypeDone {
+			break
+		}
+		if ev.Type != stream.TypeResidual || ev.Residual != 0.125 {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	}
+	if ev.Type != stream.TypeDone {
+		t.Fatalf("stream ended without done event: %v", sc.Err())
+	}
+}
+
+// TestShutdownDrainsInFlight is the graceful-shutdown test: an open
+// SSE stream (an in-flight request) must be released and drained, not
+// abandoned, and new requests must be refused afterwards.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	reg := newTestRegistry()
+	bus := stream.NewBus()
+	srv := NewServer(reg)
+	srv.AttachBus(bus)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	resp, err := http.Get("http://" + addr + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	for !bus.Active() { // wait until the handler has subscribed
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with open SSE stream: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Fatalf("Shutdown did not release the SSE handler promptly (%v)", elapsed)
+	}
+	// The drained stream reads EOF, not an abort.
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err == nil {
+		t.Fatal("stream still open after Shutdown")
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server accepted a request after Shutdown")
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+func TestAlertsEndpoint(t *testing.T) {
+	srv := NewServer(newTestRegistry())
+	srv.AttachAlerts(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`[{"type":"stall"}]`))
+	}))
+	code, _, body := get(t, srv.mux(), "/alerts")
+	if code != http.StatusOK || !strings.Contains(body, "stall") {
+		t.Fatalf("/alerts status %d body %q", code, body)
+	}
+	code, _, _ = get(t, Handler(newTestRegistry()).(*http.ServeMux), "/alerts")
+	if code != http.StatusNotFound {
+		t.Fatalf("/alerts without handler: status %d, want 404", code)
+	}
+	code, _, _ = get(t, Handler(newTestRegistry()).(*http.ServeMux), "/stream")
+	if code != http.StatusNotFound {
+		t.Fatalf("/stream without bus: status %d, want 404", code)
+	}
+}

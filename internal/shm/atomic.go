@@ -65,8 +65,14 @@ func (v AtomicVector) Snapshot(dst []float64) {
 
 // Norm1 returns the L1 norm of the current (racy) contents.
 func (v AtomicVector) Norm1() float64 {
+	return v.Norm1Range(0, len(v))
+}
+
+// Norm1Range returns the L1 norm of elements [lo, hi) — a worker's
+// share of the residual norm over its own row block.
+func (v AtomicVector) Norm1Range(lo, hi int) float64 {
 	var s float64
-	for i := range v {
+	for i := lo; i < hi; i++ {
 		s += math.Abs(v.Load(i))
 	}
 	return s

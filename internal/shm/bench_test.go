@@ -6,6 +6,8 @@ import (
 	"testing/quick"
 
 	"repro/internal/matgen"
+	"repro/internal/obs"
+	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
@@ -41,6 +43,28 @@ func BenchmarkAsyncSolveTraced(b *testing.B) {
 		rec := trace.NewRecorder(8, trace.DefaultCapacity)
 		b.StartTimer()
 		Solve(a, bb, x0, Options{Threads: 8, MaxIters: 50, Async: true, Tracer: rec})
+	}
+}
+
+// BenchmarkAsyncSolveStreamed measures the live-telemetry path: metrics
+// mirrored onto a stream.Bus at the default sampling interval with one
+// idle subscriber attached (the /stream + analytics configuration).
+// Sampling gates the per-iteration residual-share computation, so this
+// must stay within a few percent of BenchmarkAsyncSolve.
+func BenchmarkAsyncSolveStreamed(b *testing.B) {
+	a := matgen.FD2D(32, 32)
+	rng := rand.New(rand.NewPCG(1, 1))
+	bb := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	m := obs.NewSolverMetrics(obs.NewRegistry())
+	bus := stream.NewBus()
+	m.AttachBus(bus, obs.DefaultSampleInterval)
+	sub := bus.Subscribe(1 << 10)
+	defer sub.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(a, bb, x0, Options{Threads: 8, MaxIters: 50, Async: true, Metrics: m})
 	}
 }
 

@@ -601,7 +601,6 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 					// One batch of atomic adds per local iteration — the
 					// relaxation loops themselves stay untouched.
 					wm.ObserveSweep(time.Since(sweepStart))
-					wm.IncIteration()
 					wm.AddRelaxations(hi - lo)
 					for ni, u := range neighbors {
 						cur := progress[u].Load()
@@ -612,6 +611,13 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 						wm.ObserveStaleness(int(missed))
 						lastSeen[ni] = cur
 					}
+					if wm.StreamSampleDue() {
+						// This worker's residual-norm share over its
+						// own block, computed only when the telemetry
+						// gate is about to publish a sample.
+						wm.SetLocalResidual(r.Norm1Range(lo, hi) / nb)
+					}
+					wm.IncIteration()
 					if t == 0 {
 						wm.SetResidual(r.Norm1() / nb)
 					}

@@ -1,0 +1,270 @@
+// Package stream is a lock-light telemetry bus connecting the solvers'
+// existing instrumentation points to live consumers (the analytics
+// engine, the /stream SSE endpoint, cmd/ajmon).
+//
+// Design constraints, in order:
+//
+//  1. The hot path never blocks. Publish is wait-free from the
+//     publisher's point of view: each subscriber owns a bounded ring
+//     (a buffered channel); when it is full the oldest event is
+//     dropped and a per-subscriber drop counter increments. A
+//     subscriber that stops reading therefore costs the solver two
+//     channel operations per event, never a stall.
+//  2. Nil-safe handle. A nil *Bus no-ops on every method, so the
+//     disabled path costs one pointer comparison — the same contract
+//     as obs.SolverMetrics and trace.Recorder.
+//  3. Zero dependencies. The package sits below obs in the import
+//     graph; anything may publish to it.
+//
+// Events carry periodic per-worker samples (residual contribution,
+// relaxation and iteration counts, staleness since the last sample),
+// global residual samples, and fault/recovery/termination lifecycle
+// events. The JSON encoding (used verbatim by the SSE endpoint) keeps
+// field names stable for external consumers.
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Type discriminates bus events.
+type Type uint8
+
+const (
+	// TypeSample is a periodic per-worker progress sample.
+	TypeSample Type = iota + 1
+	// TypeResidual is a global residual sample. Estimated=true marks
+	// a sum-of-local-shares approximation (distributed substrate)
+	// rather than an exactly computed norm.
+	TypeResidual
+	// TypeFault is an injected-fault lifecycle event (drop, delay,
+	// stall, crash, restart, ...); Kind names the fault.
+	TypeFault
+	// TypeRecovery is a recovery-layer event (checkpoint, reassign,
+	// worker death, resume, ...); Kind names the action.
+	TypeRecovery
+	// TypeTermination is a termination-protocol transition; Kind
+	// names the transition (flag_raise, latch, halt, ...).
+	TypeTermination
+	// TypeDone marks the end of a solve. Converged carries the
+	// outcome; Residual the final relative residual if known.
+	TypeDone
+)
+
+var typeNames = [...]string{
+	TypeSample:      "sample",
+	TypeResidual:    "residual",
+	TypeFault:       "fault",
+	TypeRecovery:    "recovery",
+	TypeTermination: "termination",
+	TypeDone:        "done",
+}
+
+// String returns the wire name of the type ("sample", "residual", ...).
+func (t Type) String() string {
+	if int(t) < len(typeNames) && typeNames[t] != "" {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// ParseType inverts String. Unknown names return 0, false.
+func ParseType(s string) (Type, bool) {
+	for i, n := range typeNames {
+		if n == s {
+			return Type(i), true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON encodes the type as its wire name.
+func (t Type) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a wire name back into a Type.
+func (t *Type) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("stream: bad event type %q", b)
+	}
+	v, ok := ParseType(string(b[1 : len(b)-1]))
+	if !ok {
+		return fmt.Errorf("stream: unknown event type %q", b)
+	}
+	*t = v
+	return nil
+}
+
+// Event is one bus message. TS is event time relative to the bus
+// epoch (wall time for live runs, recorded time for replays).
+type Event struct {
+	TS        time.Duration `json:"ts_ns"`
+	Type      Type          `json:"type"`
+	Worker    int           `json:"worker"` // -1 for global events
+	Iter      int64         `json:"iter,omitempty"`
+	Relax     int64         `json:"relax,omitempty"`
+	Residual  float64       `json:"residual,omitempty"`
+	Staleness float64       `json:"staleness,omitempty"` // mean missed updates since last sample
+	StaleN    int64         `json:"stale_n,omitempty"`   // observations behind Staleness (0 = no reads)
+	MaxStale  int64         `json:"max_stale,omitempty"`
+	Estimated bool          `json:"estimated,omitempty"`
+	Kind      string        `json:"kind,omitempty"`
+	Converged bool          `json:"converged,omitempty"`
+}
+
+// Sub is one subscriber's bounded ring over the bus. Receive from C();
+// events overflowing the ring are dropped oldest-first and counted.
+type Sub struct {
+	bus     *Bus
+	ch      chan Event
+	done    chan struct{}
+	closed  atomic.Bool
+	dropped atomic.Uint64
+}
+
+// C returns the receive channel. It is never closed (a publisher may
+// hold a stale subscriber-list snapshot); select on Done to stop.
+func (s *Sub) C() <-chan Event { return s.ch }
+
+// Done is closed when the subscription is Closed, letting consumers
+// unblock even if no further events arrive.
+func (s *Sub) Done() <-chan struct{} { return s.done }
+
+// Dropped reports how many events were discarded because this
+// subscriber's ring was full.
+func (s *Sub) Dropped() uint64 { return s.dropped.Load() }
+
+// Close unsubscribes from the bus. Idempotent. Events already in the
+// ring remain readable from C().
+func (s *Sub) Close() {
+	if s == nil || !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.bus.unsubscribe(s)
+	close(s.done)
+}
+
+// Bus fans events out to subscribers. The subscriber list is
+// copy-on-write behind an atomic pointer: Publish loads it with one
+// atomic read and touches no locks.
+type Bus struct {
+	epoch     time.Time
+	subs      atomic.Pointer[[]*Sub]
+	mu        sync.Mutex // serializes Subscribe/unsubscribe COW swaps
+	published atomic.Uint64
+}
+
+// NewBus returns a bus whose event clock starts now.
+func NewBus() *Bus {
+	return &Bus{epoch: time.Now()}
+}
+
+// Active reports whether anyone is listening. Publishers may use it to
+// skip building events entirely; nil-safe.
+func (b *Bus) Active() bool {
+	if b == nil {
+		return false
+	}
+	subs := b.subs.Load()
+	return subs != nil && len(*subs) > 0
+}
+
+// Now returns the current event time (elapsed since the bus epoch).
+func (b *Bus) Now() time.Duration {
+	if b == nil {
+		return 0
+	}
+	return time.Since(b.epoch)
+}
+
+// Published reports the total number of events accepted by Publish
+// while at least one subscriber was attached.
+func (b *Bus) Published() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.published.Load()
+}
+
+// Subscribe attaches a new subscriber with the given ring capacity
+// (minimum 1; 0 or negative selects a default of 1024).
+func (b *Bus) Subscribe(capacity int) *Sub {
+	if b == nil {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	s := &Sub{bus: b, ch: make(chan Event, capacity), done: make(chan struct{})}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := b.subs.Load()
+	var next []*Sub
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, s)
+	b.subs.Store(&next)
+	return s
+}
+
+func (b *Bus) unsubscribe(s *Sub) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := b.subs.Load()
+	if old == nil {
+		return
+	}
+	next := make([]*Sub, 0, len(*old))
+	for _, x := range *old {
+		if x != s {
+			next = append(next, x)
+		}
+	}
+	b.subs.Store(&next)
+}
+
+// Publish fans ev out to every subscriber without ever blocking: a
+// full ring evicts its oldest event (counting the drop) to admit the
+// new one. If ev.TS is zero it is stamped with the bus clock. Nil-safe
+// and free when nobody subscribed.
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	subs := b.subs.Load()
+	if subs == nil || len(*subs) == 0 {
+		return
+	}
+	if ev.TS == 0 {
+		ev.TS = time.Since(b.epoch)
+	}
+	b.published.Add(1)
+	for _, s := range *subs {
+		select {
+		case s.ch <- ev:
+			continue
+		default:
+		}
+		// Ring full: evict the oldest event and retry once. The
+		// consumer may race us for the eviction; either way one slot
+		// frees up, and if it refills in between we drop the new
+		// event instead. Both outcomes count as one drop.
+		select {
+		case <-s.ch:
+		default:
+		}
+		select {
+		case s.ch <- ev:
+		default:
+		}
+		s.dropped.Add(1)
+	}
+}

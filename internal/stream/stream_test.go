@@ -1,0 +1,177 @@
+package stream
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilBusIsFree(t *testing.T) {
+	var b *Bus
+	if b.Active() {
+		t.Fatal("nil bus reports active")
+	}
+	b.Publish(Event{Type: TypeSample}) // must not panic
+	if b.Subscribe(8) != nil {
+		t.Fatal("nil bus returned a subscriber")
+	}
+	if b.Now() != 0 || b.Published() != 0 {
+		t.Fatal("nil bus reports nonzero state")
+	}
+	var s *Sub
+	s.Close() // must not panic
+}
+
+func TestPublishWithoutSubscribersIsDiscarded(t *testing.T) {
+	b := NewBus()
+	if b.Active() {
+		t.Fatal("fresh bus reports active")
+	}
+	b.Publish(Event{Type: TypeSample})
+	if got := b.Published(); got != 0 {
+		t.Fatalf("published=%d with no subscribers, want 0", got)
+	}
+}
+
+func TestFanOutAndTimestamps(t *testing.T) {
+	b := NewBus()
+	s1 := b.Subscribe(16)
+	s2 := b.Subscribe(16)
+	defer s1.Close()
+	defer s2.Close()
+	if !b.Active() {
+		t.Fatal("bus with subscribers reports inactive")
+	}
+	b.Publish(Event{Type: TypeResidual, Worker: -1, Residual: 0.5})
+	for i, s := range []*Sub{s1, s2} {
+		select {
+		case ev := <-s.C():
+			if ev.Type != TypeResidual || ev.Residual != 0.5 {
+				t.Fatalf("sub %d got %+v", i, ev)
+			}
+			if ev.TS <= 0 {
+				t.Fatalf("sub %d event not timestamped: %v", i, ev.TS)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("sub %d did not receive the event", i)
+		}
+	}
+}
+
+// TestIdleSubscriberNeverBlocks is the acceptance-criterion test: a
+// subscriber that stops reading must never block a publisher; the
+// drop counter increments instead and the ring retains recent events.
+func TestIdleSubscriberNeverBlocks(t *testing.T) {
+	b := NewBus()
+	const cap = 64
+	s := b.Subscribe(cap)
+	defer s.Close()
+
+	const n = 10 * cap
+	doneCh := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			b.Publish(Event{Type: TypeSample, Worker: 0, Iter: int64(i)})
+		}
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on an idle subscriber")
+	}
+	if s.Dropped() == 0 {
+		t.Fatal("overflow did not increment the drop counter")
+	}
+	if got := len(s.ch); got != cap {
+		t.Fatalf("ring holds %d events, want full capacity %d", got, cap)
+	}
+	// Drop-oldest: the retained window must be the most recent events.
+	first := <-s.C()
+	if first.Iter < int64(n-2*cap) {
+		t.Fatalf("oldest retained event is iter %d; drop-oldest should have evicted it", first.Iter)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe(4)
+	b.Publish(Event{Type: TypeSample})
+	s.Close()
+	s.Close() // idempotent
+	select {
+	case <-s.Done():
+	default:
+		t.Fatal("Done not closed after Close")
+	}
+	b.Publish(Event{Type: TypeSample})
+	if got := len(s.ch); got != 1 {
+		t.Fatalf("ring has %d events after unsubscribe, want only the pre-close one", got)
+	}
+	if b.Active() {
+		t.Fatal("bus still active after sole subscriber left")
+	}
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Publish(Event{Type: TypeSample, Worker: w})
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		s := b.Subscribe(8)
+		<-s.C()
+		s.Close()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	in := Event{
+		TS: 1500 * time.Nanosecond, Type: TypeFault, Worker: 3,
+		Iter: 7, Relax: 90, Residual: 1e-4, Staleness: 2.5, StaleN: 4,
+		MaxStale: 9, Estimated: true, Kind: "crash", Converged: false,
+	}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Event
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatalf("unmarshal %s: %v", blob, err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+	var bad Event
+	if err := json.Unmarshal([]byte(`{"type":"nonsense"}`), &bad); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestTypeNames(t *testing.T) {
+	for _, typ := range []Type{TypeSample, TypeResidual, TypeFault, TypeRecovery, TypeTermination, TypeDone} {
+		got, ok := ParseType(typ.String())
+		if !ok || got != typ {
+			t.Fatalf("ParseType(%q) = %v, %v", typ.String(), got, ok)
+		}
+	}
+	if _, ok := ParseType("bogus"); ok {
+		t.Fatal("ParseType accepted a bogus name")
+	}
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/stream"
+	"repro/internal/vec"
+)
+
+// ReplayOptions configures a trace replay.
+type ReplayOptions struct {
+	// Workers is the worker count of the recording run; rows map to
+	// workers by the same contiguous partition the solvers use, so
+	// replayed per-worker telemetry lines up with the live run's.
+	// Defaults to 1.
+	Workers int
+	// X0 is the starting iterate (nil = zeros). The recorded trace does
+	// not carry values, only the relaxation schedule, so the replayed
+	// trajectory depends on it; the convergence *rate* largely does not.
+	X0 []float64
+	// Bus receives the reconstructed telemetry. Nil replays silently
+	// (useful to just recompute the final residual).
+	Bus *stream.Bus
+	// SampleEvery is how many relaxations separate residual samples
+	// (each costs one O(nnz) residual recompute). 0 means n — one
+	// sample per sweep-equivalent.
+	SampleEvery int
+	// Tol, when positive, decides the Converged flag of the final done
+	// event from the replayed residual.
+	Tol float64
+}
+
+// ReplayResult summarizes a finished replay.
+type ReplayResult struct {
+	Relaxations int
+	Samples     int
+	FinalRes    float64
+	Converged   bool
+}
+
+// Replay re-executes a recorded relaxation schedule against a concrete
+// unit-diagonal system and publishes the reconstructed telemetry —
+// per-worker samples with exact version-derived staleness, periodic
+// exact residuals, and a final done event — through the same stream
+// schema the live solvers use. The analytics engine (and the ajmon
+// dashboard) can therefore analyze a saved trace exactly like a live
+// run: same estimators, same detectors, no solver in the loop.
+//
+// The relaxation applied is the paper's unit-diagonal Jacobi update
+// x_i <- b_i - sum_{j != i} a_ij x_j against the *current* iterate;
+// the recorded read versions are used to reconstruct staleness (how
+// many updates of row j the recorded read had missed), not to rewind
+// values. Events replay in Seq order. Recorded timestamps (v2 traces)
+// are honored when present; otherwise event time advances one
+// microsecond per relaxation so rate fits over event time stay
+// meaningful.
+func Replay(a *sparse.CSR, b []float64, tr *model.Trace, opt ReplayOptions) (*ReplayResult, error) {
+	if tr == nil || len(tr.Events) == 0 {
+		return nil, fmt.Errorf("trace: replay needs a non-empty trace")
+	}
+	if !a.IsSquare() || a.N != tr.N {
+		return nil, fmt.Errorf("trace: matrix is %dx%d but trace covers n=%d", a.N, a.M, tr.N)
+	}
+	if len(b) != a.N {
+		return nil, fmt.Errorf("trace: len(b)=%d != n=%d", len(b), a.N)
+	}
+	if !a.HasUnitDiagonal(1e-8) {
+		return nil, fmt.Errorf("trace: replay needs the unit-diagonal system the solvers ran (core.Prepare)")
+	}
+	n := a.N
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		return nil, fmt.Errorf("trace: %d workers for n=%d rows", workers, n)
+	}
+	sampleEvery := opt.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = n
+	}
+
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return nil, fmt.Errorf("trace: len(X0)=%d != n=%d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+	}
+
+	// Row -> recording worker, via the solvers' contiguous partition.
+	owner := make([]int, n)
+	for w := 0; w < workers; w++ {
+		lo, hi := partition.ContiguousRange(n, workers, w)
+		for i := lo; i < hi; i++ {
+			owner[i] = w
+		}
+	}
+
+	events := make([]model.Event, len(tr.Events))
+	copy(events, tr.Events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+
+	nb := vec.Norm1(b)
+	if nb == 0 {
+		nb = 1
+	}
+
+	type workerAcc struct {
+		relax    int64
+		staleSum float64
+		staleCnt int64
+		staleMax int64
+		touched  bool
+	}
+	acc := make([]workerAcc, workers)
+	version := make([]int, n)
+	rowsOf := func(w int) int {
+		lo, hi := partition.ContiguousRange(n, workers, w)
+		return hi - lo
+	}
+
+	r := make([]float64, n)
+	res := func() float64 {
+		a.Residual(r, b, x)
+		return vec.Norm1(r) / nb
+	}
+
+	var ts time.Duration
+	stamp := func(ev model.Event) time.Duration {
+		if ev.TimestampNs > 0 {
+			if t := time.Duration(ev.TimestampNs); t > ts {
+				return t
+			}
+		}
+		return ts + time.Microsecond
+	}
+
+	publishTick := func(rel float64) {
+		if opt.Bus == nil {
+			return
+		}
+		for w := range acc {
+			ac := &acc[w]
+			if !ac.touched {
+				continue
+			}
+			ev := stream.Event{
+				TS: ts, Type: stream.TypeSample, Worker: w,
+				Iter:  ac.relax / int64(rowsOf(w)),
+				Relax: ac.relax,
+			}
+			if ac.staleCnt > 0 {
+				ev.Staleness = ac.staleSum / float64(ac.staleCnt)
+				ev.StaleN = ac.staleCnt
+				ev.MaxStale = ac.staleMax
+				ac.staleSum, ac.staleCnt, ac.staleMax = 0, 0, 0
+			}
+			lo, hi := partition.ContiguousRange(n, workers, w)
+			ev.Residual = vec.Norm1Range(r, lo, hi) / nb
+			opt.Bus.Publish(ev)
+		}
+		opt.Bus.Publish(stream.Event{
+			TS: ts, Type: stream.TypeResidual, Worker: -1, Residual: rel,
+		})
+	}
+
+	samples := 0
+	for k, ev := range events {
+		i := ev.Row
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("trace: event %d relaxes row %d outside [0,%d)", k, i, n)
+		}
+		ts = stamp(ev)
+
+		ac := &acc[owner[i]]
+		ac.relax++
+		ac.touched = true
+		for _, rd := range ev.Reads {
+			if rd.Row < 0 || rd.Row >= n {
+				return nil, fmt.Errorf("trace: event %d reads row %d outside [0,%d)", k, rd.Row, n)
+			}
+			if stale := version[rd.Row] - rd.Version; stale > 0 {
+				ac.staleSum += float64(stale)
+				ac.staleCnt++
+				if int64(stale) > ac.staleMax {
+					ac.staleMax = int64(stale)
+				}
+			} else {
+				ac.staleCnt++ // fresh read still counts as an observation
+			}
+		}
+
+		s := b[i]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if j := a.Col[p]; j != i {
+				s -= a.Val[p] * x[j]
+			}
+		}
+		x[i] = s
+		version[i]++
+
+		if (k+1)%sampleEvery == 0 {
+			publishTick(res())
+			samples++
+		}
+	}
+
+	final := res()
+	if opt.Bus != nil {
+		publishTick(final)
+		samples++
+		conv := opt.Tol > 0 && final <= opt.Tol
+		opt.Bus.Publish(stream.Event{
+			TS: ts, Type: stream.TypeDone, Worker: -1,
+			Residual: final, Converged: conv,
+		})
+	}
+	return &ReplayResult{
+		Relaxations: len(events),
+		Samples:     samples,
+		FinalRes:    final,
+		Converged:   opt.Tol > 0 && final <= opt.Tol,
+	}, nil
+}

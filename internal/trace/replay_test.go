@@ -1,0 +1,188 @@
+package trace_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/analytics"
+	"repro/internal/matgen"
+	"repro/internal/model"
+	"repro/internal/shm"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+func replayVec(n int, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 0xc))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+func TestReplayFeedsAnalyticsLikeALiveRun(t *testing.T) {
+	a := matgen.FD2D(12, 12)
+	b := replayVec(a.N, 1)
+	rec := trace.NewRecorder(4, 1<<16)
+	shm.Solve(a, b, make([]float64, a.N), shm.Options{
+		Threads: 4, Async: true, MaxIters: 60, Tol: 1e-14,
+		YieldProb: 0.05, Tracer: rec,
+	})
+	tr, err := trace.ToModelTrace(rec, a.N)
+	if err != nil {
+		t.Fatalf("bridge: %v", err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("recording produced no events")
+	}
+
+	bus := stream.NewBus()
+	sub := bus.Subscribe(1 << 14)
+	defer sub.Close()
+	eng := analytics.New(analytics.Config{N: a.N})
+	done := make(chan struct{})
+	go func() { eng.Pump(sub); close(done) }()
+
+	res, err := trace.Replay(a, b, tr, trace.ReplayOptions{
+		Workers: 4, Bus: bus, Tol: 1e-3,
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	<-done
+
+	if res.Relaxations != len(tr.Events) {
+		t.Fatalf("replayed %d of %d events", res.Relaxations, len(tr.Events))
+	}
+	snap := eng.Snapshot()
+	if !snap.Done {
+		t.Fatal("engine never saw the done event")
+	}
+	if snap.Residual != res.FinalRes {
+		t.Fatalf("engine residual %v != replay final %v", snap.Residual, res.FinalRes)
+	}
+	if !snap.Fit.OK || snap.Fit.Rho >= 1 || snap.Fit.Rho <= 0 {
+		t.Fatalf("converging replay should fit rho in (0,1), got %+v", snap.Fit)
+	}
+	if n := eng.AlertCount(analytics.AlertDivergence); n != 0 {
+		t.Fatalf("converging replay raised divergence alerts: %+v", eng.Alerts())
+	}
+	if len(snap.Workers) != 4 {
+		t.Fatalf("engine saw %d workers, want 4: %+v", len(snap.Workers), snap.Workers)
+	}
+	var totalRelax int64
+	for _, w := range snap.Workers {
+		totalRelax += w.Relax
+	}
+	if totalRelax != int64(res.Relaxations) {
+		t.Fatalf("worker relax counts sum to %d, want %d", totalRelax, res.Relaxations)
+	}
+	if res.FinalRes > 1e-3 || !res.Converged {
+		t.Fatalf("replay of a converging run ended at res=%v converged=%v", res.FinalRes, res.Converged)
+	}
+}
+
+func TestReplayStalenessReconstruction(t *testing.T) {
+	// Hand-built 3-row trace: row 1 relaxes twice; row 0 then reads
+	// version 0 of row 1 (two updates behind) and the current version
+	// of row 2 (fresh).
+	a := matgen.Laplace1D(3)
+	b := []float64{1, 1, 1}
+	tr := &model.Trace{N: 3, Events: []model.Event{
+		{Row: 1, Count: 1, Seq: 0, Reads: []model.Read{{Row: 0, Version: 0}, {Row: 2, Version: 0}}},
+		{Row: 1, Count: 2, Seq: 1, Reads: []model.Read{{Row: 0, Version: 0}, {Row: 2, Version: 0}}},
+		{Row: 0, Count: 1, Seq: 2, Reads: []model.Read{{Row: 1, Version: 0}}},
+	}}
+	bus := stream.NewBus()
+	sub := bus.Subscribe(64)
+	defer sub.Close()
+	if _, err := trace.Replay(a, b, tr, trace.ReplayOptions{Workers: 1, Bus: bus, SampleEvery: 3}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	// Staleness accumulators reset at each publish, so the stats ride
+	// on the sample of the tick that observed the reads.
+	var sample *stream.Event
+	for {
+		ev := <-sub.C()
+		if ev.Type == stream.TypeSample && ev.StaleN > 0 {
+			sample = &ev
+		}
+		if ev.Type == stream.TypeDone {
+			break
+		}
+	}
+	if sample == nil {
+		t.Fatal("no worker sample carried staleness stats")
+	}
+	// Five reads total; only row 0's read of row 1 was stale, by 2.
+	if sample.StaleN != 5 {
+		t.Fatalf("StaleN = %d, want 5", sample.StaleN)
+	}
+	if want := 2.0 / 5.0; sample.Staleness != want {
+		t.Fatalf("mean staleness = %v, want %v", sample.Staleness, want)
+	}
+	if sample.MaxStale != 2 {
+		t.Fatalf("max staleness = %d, want 2", sample.MaxStale)
+	}
+}
+
+func TestReplayMatchesDirectRecompute(t *testing.T) {
+	// Replaying with a nil bus must still produce the same final
+	// residual as replaying with one (the bus is pure observation).
+	a := matgen.FD2D(8, 8)
+	b := replayVec(a.N, 2)
+	tr := &model.Trace{N: a.N}
+	for k := 0; k < 3*a.N; k++ {
+		tr.Events = append(tr.Events, model.Event{Row: k % a.N, Count: k/a.N + 1, Seq: k})
+	}
+	quiet, err := trace.Replay(a, b, tr, trace.ReplayOptions{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	bus := stream.NewBus()
+	sub := bus.Subscribe(1 << 12)
+	defer sub.Close()
+	loud, err := trace.Replay(a, b, tr, trace.ReplayOptions{Bus: bus})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if quiet.FinalRes != loud.FinalRes {
+		t.Fatalf("bus changed the arithmetic: %v vs %v", quiet.FinalRes, loud.FinalRes)
+	}
+	// Three full sequential sweeps of a W.D.D. system must contract.
+	if quiet.FinalRes >= 1 {
+		t.Fatalf("three Jacobi sweeps did not reduce the residual: %v", quiet.FinalRes)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	a := matgen.FD2D(4, 4)
+	b := replayVec(a.N, 3)
+	good := &model.Trace{N: a.N, Events: []model.Event{{Row: 0, Count: 1, Seq: 0}}}
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"empty trace", func() error { _, err := trace.Replay(a, b, &model.Trace{N: a.N}, trace.ReplayOptions{}); return err }},
+		{"size mismatch", func() error {
+			_, err := trace.Replay(a, b, &model.Trace{N: a.N + 1, Events: good.Events}, trace.ReplayOptions{})
+			return err
+		}},
+		{"bad b", func() error { _, err := trace.Replay(a, b[:3], good, trace.ReplayOptions{}); return err }},
+		{"bad x0", func() error {
+			_, err := trace.Replay(a, b, good, trace.ReplayOptions{X0: make([]float64, 2)})
+			return err
+		}},
+		{"too many workers", func() error { _, err := trace.Replay(a, b, good, trace.ReplayOptions{Workers: a.N + 1}); return err }},
+		{"row out of range", func() error {
+			_, err := trace.Replay(a, b, &model.Trace{N: a.N, Events: []model.Event{{Row: a.N, Seq: 0}}}, trace.ReplayOptions{})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if tc.run() == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Run the solver benchmarks, snapshot them in the BENCH_*.json format,
+# and gate against the newest committed BENCH_*.json: any
+# BenchmarkAsyncSolve* regressing by more than MAX_REGRESS percent in
+# ns/op fails the script (exit 1). CI runs this as the bench-smoke gate.
+#
+# Usage:
+#   scripts/benchcmp.sh [out.json]
+#
+# Environment knobs:
+#   BENCH_PKGS   packages to benchmark        (default ./internal/shm/)
+#   BENCH_REGEX  -bench selector              (default Benchmark)
+#   BENCHTIME    -benchtime per run           (default 3x)
+#   COUNT        -count, best-of-N per bench  (default 3)
+#   GATE_FILTER  regexp of gated benchmarks   (default ^BenchmarkAsyncSolve)
+#   MAX_REGRESS  allowed ns/op growth, %      (default 20)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-$(mktemp -t bench_new.XXXXXX.json)}"
+raw="$(mktemp -t bench_raw.XXXXXX.txt)"
+trap 'rm -f "$raw"' EXIT
+
+pkgs="${BENCH_PKGS:-./internal/shm/}"
+regex="${BENCH_REGEX:-Benchmark}"
+benchtime="${BENCHTIME:-3x}"
+count="${COUNT:-3}"
+filter="${GATE_FILTER:-^BenchmarkAsyncSolve}"
+max="${MAX_REGRESS:-20}"
+
+# shellcheck disable=SC2086 # BENCH_PKGS is a deliberate word list
+go test -bench "$regex" -benchtime "$benchtime" -count "$count" -run '^$' $pkgs | tee "$raw"
+go run ./scripts/benchcmp -emit "$out" -benchtime "$benchtime" < "$raw"
+
+baseline="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+if [ -z "$baseline" ]; then
+    echo "benchcmp.sh: no committed BENCH_*.json baseline; nothing to gate" >&2
+    exit 0
+fi
+echo "benchcmp.sh: comparing $out against $baseline" >&2
+go run ./scripts/benchcmp -old "$baseline" -new "$out" -filter "$filter" -max-regress "$max"

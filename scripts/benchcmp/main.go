@@ -1,0 +1,236 @@
+// Command benchcmp converts `go test -bench` output into the repo's
+// BENCH_*.json snapshot format and compares two snapshots
+// benchstat-style, gating CI on large regressions.
+//
+// Emit mode — parse benchmark output from stdin into a snapshot:
+//
+//	go test -bench . -benchtime 3x -count 3 ./... | \
+//	    go run ./scripts/benchcmp -emit BENCH_PR5.json -pr 5 -notes "..."
+//
+// With -count > 1 the same benchmark appears several times; emit keeps
+// the fastest run (best-of-N), which damps scheduler noise the same way
+// benchstat's min column does.
+//
+// Compare mode — diff a new snapshot against a committed baseline:
+//
+//	go run ./scripts/benchcmp -old BENCH_PR2.json -new BENCH_PR5.json \
+//	    -filter '^BenchmarkAsyncSolve' -max-regress 20
+//
+// Every benchmark present in both snapshots is printed with its delta.
+// Benchmarks matching -filter whose ns/op regressed by more than
+// -max-regress percent fail the run with exit code 1. Benchmarks that
+// exist on only one side are reported but never gate: new benchmarks
+// appear every PR and old ones are sometimes renamed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type result struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int     `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int     `json:"allocs_per_op,omitempty"`
+}
+
+type snapshot struct {
+	PR        int      `json:"pr"`
+	Date      string   `json:"date"`
+	Go        string   `json:"go"`
+	CPU       string   `json:"cpu"`
+	Benchtime string   `json:"benchtime"`
+	Notes     string   `json:"notes"`
+	Results   []result `json:"results"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	emit := flag.String("emit", "", "write a BENCH-format snapshot parsed from stdin to this path")
+	pr := flag.Int("pr", 0, "pr number recorded in the snapshot (emit mode)")
+	notes := flag.String("notes", "", "free-form notes recorded in the snapshot (emit mode)")
+	benchtime := flag.String("benchtime", "3x", "benchtime recorded in the snapshot (emit mode)")
+	oldPath := flag.String("old", "", "baseline snapshot (compare mode)")
+	newPath := flag.String("new", "", "candidate snapshot (compare mode)")
+	filter := flag.String("filter", "^BenchmarkAsyncSolve", "regexp of benchmark names the regression gate applies to")
+	maxRegress := flag.Float64("max-regress", 20, "fail if a gated benchmark's ns/op grows by more than this percent")
+	flag.Parse()
+
+	switch {
+	case *emit != "":
+		if err := runEmit(*emit, *pr, *notes, *benchtime); err != nil {
+			fatal(err)
+		}
+	case *oldPath != "" && *newPath != "":
+		ok, err := runCompare(*oldPath, *newPath, *filter, *maxRegress)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchcmp: need -emit FILE (stdin = go test -bench output) or -old FILE -new FILE")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+	os.Exit(2)
+}
+
+// runEmit parses `go test -bench` output from stdin into a snapshot,
+// keeping the fastest run of each benchmark.
+func runEmit(path string, pr int, notes, benchtime string) error {
+	best := map[string]result{} // "pkg name" -> fastest observation
+	var order []string
+	var pkg, cpu string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		r := result{Package: pkg, Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.Atoi(m[4])
+			r.AllocsPerOp, _ = strconv.Atoi(m[5])
+		}
+		key := pkg + " " + r.Name
+		if prev, seen := best[key]; !seen {
+			best[key] = r
+			order = append(order, key)
+		} else if r.NsPerOp < prev.NsPerOp {
+			best[key] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(best) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	snap := snapshot{
+		PR:        pr,
+		Date:      time.Now().Format("2006-01-02"),
+		Go:        runtime.Version(),
+		CPU:       cpu,
+		Benchtime: benchtime,
+		Notes:     notes,
+	}
+	for _, key := range order {
+		snap.Results = append(snap.Results, best[key])
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchcmp: wrote %d benchmarks to %s\n", len(snap.Results), path)
+	return nil
+}
+
+func readSnapshot(path string) (*snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// runCompare prints the delta table and reports whether the gate held.
+func runCompare(oldPath, newPath, filter string, maxRegress float64) (bool, error) {
+	gate, err := regexp.Compile(filter)
+	if err != nil {
+		return false, fmt.Errorf("-filter: %w", err)
+	}
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := map[string]result{}
+	for _, r := range oldSnap.Results {
+		oldBy[r.Package+" "+r.Name] = r
+	}
+	newBy := map[string]result{}
+	for _, r := range newSnap.Results {
+		newBy[r.Package+" "+r.Name] = r
+	}
+
+	fmt.Printf("%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	failed := false
+	for _, r := range newSnap.Results {
+		key := r.Package + " " + r.Name
+		old, seen := oldBy[key]
+		if !seen {
+			fmt.Printf("%-55s %14s %14.0f %9s\n", key, "-", r.NsPerOp, "new")
+			continue
+		}
+		delta := 100 * (r.NsPerOp - old.NsPerOp) / old.NsPerOp
+		mark := ""
+		if gate.MatchString(r.Name) {
+			mark = "  [gated]"
+			if delta > maxRegress {
+				mark = "  [FAIL > " + strconv.FormatFloat(maxRegress, 'g', -1, 64) + "%]"
+				failed = true
+			}
+		}
+		fmt.Printf("%-55s %14.0f %14.0f %+8.1f%%%s\n", key, old.NsPerOp, r.NsPerOp, delta, mark)
+	}
+	var gone []string
+	for key := range oldBy {
+		if _, seen := newBy[key]; !seen {
+			gone = append(gone, key)
+		}
+	}
+	sort.Strings(gone)
+	for _, key := range gone {
+		fmt.Printf("%-55s %14.0f %14s %9s\n", key, oldBy[key].NsPerOp, "-", "gone")
+	}
+	if failed {
+		fmt.Printf("\nbenchcmp: regression gate FAILED (filter %s, max %.4g%%)\n", filter, maxRegress)
+		return false, nil
+	}
+	fmt.Printf("\nbenchcmp: gate ok (filter %s, max %.4g%%)\n", filter, maxRegress)
+	return true, nil
+}
