@@ -46,8 +46,8 @@ func main() {
 	metricsDump := flag.Bool("metrics-dump", false, "print a final Prometheus-format metrics snapshot to stdout")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics server alive this long after the solve finishes")
 	sampleEvery := flag.Duration("sample-interval", 0, "telemetry sampling interval for /stream and the analytics engine (0 = default, negative = every event)")
-	traceOut := flag.String("trace-out", "", "record per-rank execution events and write Chrome trace-event JSON here")
-	traceCap := flag.Int("trace-cap", 0, "trace ring-buffer capacity per rank (0 = default)")
+	tf := cli.RegisterTraceFlags(flag.CommandLine)
+	pf := cli.RegisterProfileFlags(flag.CommandLine)
 	ff := cli.RegisterFaultFlags(flag.CommandLine)
 	rf := cli.RegisterRecoveryFlags(flag.CommandLine)
 	flag.Parse()
@@ -76,7 +76,10 @@ func main() {
 		cli.Fatalf("ajdist", "%v", err)
 	}
 	mx.SetProblem(a.N, 0)
-	ts := cli.NewTraceSink(*traceOut, "dist", *ranks, *traceCap)
+	ts, err := tf.Sink("dist", *ranks, *maxIters)
+	if err != nil {
+		cli.Usagef("ajdist", "%v", err)
+	}
 	plan, err := ff.Plan(*ranks)
 	if err != nil {
 		cli.Usagef("ajdist", "%v", err)
@@ -132,7 +135,16 @@ func main() {
 		x0 = ck.X
 	}
 
+	// The CPU profile brackets exactly the solve: setup above and
+	// reporting below stay out of the samples.
+	prof, err := pf.Start()
+	if err != nil {
+		cli.Fatalf("ajdist", "profile: %v", err)
+	}
 	res := dist.Solve(a, b, x0, opt)
+	if perr := prof.Stop(); perr != nil {
+		cli.Fatalf("ajdist", "profile: %v", perr)
+	}
 	mode := "sync (point-to-point)"
 	if *async {
 		mode = "async (RMA windows)"

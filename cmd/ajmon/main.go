@@ -61,14 +61,18 @@ func main() {
 	}
 
 	var eng *analytics.Engine
+	var traceLine string
 	switch {
 	case *replay != "":
 		eng = runReplay(*replay, *gen, *nx, *ny, *threads, *seed, *predict, *refresh)
 	default:
-		eng = runAttach(*attach, *refresh)
+		eng, traceLine = runAttach(*attach, *refresh)
 	}
 
 	render(os.Stdout, eng.Snapshot(), false)
+	if traceLine != "" {
+		fmt.Println(traceLine)
+	}
 	if *failOnDivergence && eng.AlertCount(analytics.AlertDivergence) > 0 {
 		fmt.Fprintln(os.Stderr, "ajmon: divergence alert raised")
 		os.Exit(4)
@@ -125,15 +129,15 @@ func runReplay(path, gen string, nx, ny, threads int, seed uint64, predict bool,
 }
 
 // runAttach consumes the SSE /stream feed of a running solve until the
-// done event or the server closes the stream.
-func runAttach(base string, refresh time.Duration) *analytics.Engine {
-	url := base
-	if !strings.Contains(url, "://") {
-		url = "http://" + url
+// done event or the server closes the stream, then best-effort samples
+// the aj_trace_* families for the dashboard's trace-cost line.
+func runAttach(base string, refresh time.Duration) (*analytics.Engine, string) {
+	root := base
+	if !strings.Contains(root, "://") {
+		root = "http://" + root
 	}
-	if !strings.HasSuffix(url, "/stream") {
-		url = strings.TrimSuffix(url, "/") + "/stream"
-	}
+	root = strings.TrimSuffix(strings.TrimSuffix(root, "/stream"), "/")
+	url := root + "/stream"
 	resp, err := http.Get(url)
 	if err != nil {
 		cli.Fatalf("ajmon", "%v", err)
@@ -166,7 +170,59 @@ func runAttach(base string, refresh time.Duration) *analytics.Engine {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "ajmon: stream ended: %v\n", err)
 	}
-	return eng
+	return eng, fetchTraceLine(root)
+}
+
+// fetchTraceLine renders the solver's trace self-observability as one
+// dashboard line from /metrics.json. The solver publishes aj_trace_*
+// at the end of the solve, so this runs after the done event; any
+// failure (server already gone, tracing off) yields an empty line.
+func fetchTraceLine(root string) string {
+	resp, err := http.Get(root + "/metrics.json")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	var series map[string]any
+	if json.NewDecoder(resp.Body).Decode(&series) != nil {
+		return ""
+	}
+	sum := func(prefix string) (total float64, workers int) {
+		for name, v := range series {
+			if f, ok := v.(float64); ok && strings.HasPrefix(name, prefix+"{") {
+				total += f
+				workers++
+			}
+		}
+		return
+	}
+	events, nw := sum("aj_trace_events_total")
+	if events == 0 {
+		return ""
+	}
+	coalesced, _ := sum("aj_trace_coalesced_total")
+	dropped, _ := sum("aj_trace_dropped_total")
+	sampledOut, _ := sum("aj_trace_sampled_out_total")
+	var peak float64
+	for name, v := range series {
+		if f, ok := v.(float64); ok && strings.HasPrefix(name, "aj_trace_events_per_second{") && f > peak {
+			peak = f
+		}
+	}
+	line := fmt.Sprintf("trace      %.0f events across %d workers", events, nw)
+	if peak > 0 {
+		line += fmt.Sprintf(", peak %.3g events/s", peak)
+	}
+	if coalesced > 0 {
+		line += fmt.Sprintf(", %.0f reads coalesced", coalesced)
+	}
+	if sampledOut > 0 {
+		line += fmt.Sprintf(", %.0f sampled out", sampledOut)
+	}
+	if dropped > 0 {
+		line += fmt.Sprintf(", %.0f DROPPED", dropped)
+	}
+	return line
 }
 
 // repaint redraws the dashboard on a TTY until done closes. Non-TTY

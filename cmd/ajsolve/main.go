@@ -46,8 +46,8 @@ func main() {
 	metricsDump := flag.Bool("metrics-dump", false, "print a final Prometheus-format metrics snapshot to stdout")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics server alive this long after the solve finishes")
 	sampleEvery := flag.Duration("sample-interval", 0, "telemetry sampling interval for /stream and the analytics engine (0 = default, negative = every event)")
-	traceOut := flag.String("trace-out", "", "record a jacobi-async run and write Chrome trace-event JSON here")
-	traceCap := flag.Int("trace-cap", 0, "trace ring-buffer capacity per worker (0 = default)")
+	tf := cli.RegisterTraceFlags(flag.CommandLine)
+	pf := cli.RegisterProfileFlags(flag.CommandLine)
 	ff := cli.RegisterFaultFlags(flag.CommandLine)
 	rf := cli.RegisterRecoveryFlags(flag.CommandLine)
 	flag.Parse()
@@ -89,10 +89,13 @@ func main() {
 		cli.Fatalf("ajsolve", "%v", err)
 	}
 	mx.SetProblem(a.N, 0)
-	if *traceOut != "" && m != core.JacobiAsync {
+	if tf.Out != "" && m != core.JacobiAsync {
 		cli.Usagef("ajsolve", "-trace-out records the asynchronous solver; use -method jacobi-async")
 	}
-	ts := cli.NewTraceSink(*traceOut, "shm", *threads, *traceCap)
+	ts, err := tf.Sink("shm", *threads, *maxSweeps)
+	if err != nil {
+		cli.Usagef("ajsolve", "%v", err)
+	}
 	plan, err := ff.Plan(*threads)
 	if err != nil {
 		cli.Usagef("ajsolve", "%v", err)
@@ -106,6 +109,12 @@ func main() {
 	ck, err := rf.Load()
 	if err != nil {
 		cli.Fatalf("ajsolve", "resume: %v", err)
+	}
+	// The CPU profile brackets exactly the solve: setup above and
+	// reporting below stay out of the samples.
+	prof, err := pf.Start()
+	if err != nil {
+		cli.Fatalf("ajsolve", "profile: %v", err)
 	}
 	t0 := time.Now()
 	res, err := core.Solve(a, b, core.Options{
@@ -124,6 +133,9 @@ func main() {
 		Supervise:      rf.Supervise(),
 		StallThreshold: rf.StallThreshold(),
 	})
+	if perr := prof.Stop(); perr != nil {
+		cli.Fatalf("ajsolve", "profile: %v", perr)
+	}
 	if err != nil {
 		cli.Fatalf("ajsolve", "%v", err)
 	}

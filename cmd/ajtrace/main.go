@@ -49,7 +49,22 @@ func main() {
 	summary := flag.Bool("summary", false, "print a per-row relaxation/staleness table")
 	verify := flag.Bool("verify", false, "check ‖Ĝ(k)‖∞ and ‖Ĥ(k)‖₁ on every recorded mask")
 	traceCap := flag.Int("trace-cap", 0, "ring-buffer capacity per worker (0 = default)")
+	sample := flag.String("trace-sample", "", "sampling policy: 1/N (or every:N), head:K, tail:K; empty records everything")
+	coalesce := flag.Bool("trace-coalesce", true, "coalesce per-relaxation reads into block events; false records one event per read")
 	flag.Parse()
+
+	var ropts []trace.Option
+	if *sample != "" {
+		pol, err := trace.ParseSamplePolicy(*sample)
+		if err != nil {
+			cli.Usagef("ajtrace", "%v", err)
+		}
+		pol.Horizon = *iters
+		ropts = append(ropts, trace.WithSampling(pol))
+	}
+	if !*coalesce {
+		ropts = append(ropts, trace.WithoutCoalescing())
+	}
 
 	var tr *model.Trace
 	var a = buildMatrix(*gen, *nx, *ny, *in == "")
@@ -80,7 +95,7 @@ func main() {
 		rng := cfg.NewRNG(0x7ace)
 		b := experiments.RandomVec(rng, a.N)
 		x0 := experiments.RandomVec(rng, a.N)
-		rec := trace.NewRecorder(*ranks, *traceCap)
+		rec := trace.NewRecorder(*ranks, *traceCap, ropts...)
 		res := dist.Solve(a, b, x0, dist.SolveOptions{
 			Procs:     *ranks,
 			MaxIters:  *iters,
@@ -98,7 +113,7 @@ func main() {
 		rng := cfg.NewRNG(0x7ace)
 		b := experiments.RandomVec(rng, a.N)
 		x0 := experiments.RandomVec(rng, a.N)
-		rec := trace.NewRecorder(*threads, *traceCap)
+		rec := trace.NewRecorder(*threads, *traceCap, ropts...)
 		res := shm.Solve(a, b, x0, shm.Options{
 			Threads:   *threads,
 			MaxIters:  *iters,
@@ -111,12 +126,16 @@ func main() {
 				"ajtrace: ring wraparound dropped %d events; the model replay covers the surviving window (raise -trace-cap for full coverage)\n", d)
 		}
 		var err error
-		tr, err = trace.ToModelTrace(rec, a.N)
+		tr, err = trace.ToModelTraceMatrix(rec, a)
 		if err != nil {
 			cli.Fatalf("ajtrace", "bridge: %v", err)
 		}
 		fmt.Printf("recorded trace: n=%d threads=%d events=%d (final rel res %.3g)\n",
 			a.N, *threads, len(tr.Events), res.RelRes)
+		if st := rec.Totals(); st.Coalesced > 0 || st.SampledOut > 0 {
+			fmt.Printf("trace cost:  %d ring events (%d bytes), %d reads coalesced, %d relaxations sampled out\n",
+				st.Total, st.Bytes, st.Coalesced, st.SampledOut)
+		}
 		writeChrome(*chrome, rec, "shm")
 	}
 

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestMetricsDisabled(t *testing.T) {
@@ -46,7 +48,10 @@ func TestMetricsDumpOnly(t *testing.T) {
 		t.Fatal("dump-only metrics started a server")
 	}
 	h.SetWorkers(2)
-	h.TraceCaptured(0, 100, 7)
+	h.TraceCaptured(0, obs.TraceCapture{
+		Events: 100, Dropped: 7, Coalesced: 64, SampledOut: 3,
+		Bytes: 107 * 32, EventsPerSec: 1e6,
+	})
 	var buf bytes.Buffer
 	if err := m.Finish(&buf); err != nil {
 		t.Fatal(err)
@@ -56,6 +61,10 @@ func TestMetricsDumpOnly(t *testing.T) {
 		"aj_workers",
 		"aj_trace_events_total",
 		"aj_trace_dropped_total",
+		"aj_trace_bytes_total",
+		"aj_trace_coalesced_total",
+		"aj_trace_sampled_out_total",
+		"aj_trace_events_per_second",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("dump missing %s:\n%s", want, out)

@@ -1,0 +1,74 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// ProfileFlags is the per-solve CPU-profiling knob shared by the solver
+// commands. The profile is scoped to exactly one solve: Start begins
+// the capture right before the solver call and Stop lands the file
+// right after, so setup (matrix generation, flag parsing) and teardown
+// (metrics linger, trace export) never pollute the samples. The worker
+// goroutines carry pprof labels (solver, worker, phase=relax/wait/
+// publish), so `go tool pprof -tagfocus` splits the capture by phase.
+type ProfileFlags struct {
+	Out string
+}
+
+// RegisterProfileFlags installs -profile-out on fs.
+func RegisterProfileFlags(fs *flag.FlagSet) *ProfileFlags {
+	p := &ProfileFlags{}
+	fs.StringVar(&p.Out, "profile-out", "",
+		"write a CPU profile covering exactly the solve to this file")
+	return p
+}
+
+// ProfileSink owns one running CPU profile. Inert when the flag was
+// empty.
+type ProfileSink struct {
+	f    *os.File
+	path string
+	done bool
+}
+
+// Start begins the CPU profile (no-op for an empty path). The OnExit
+// hook stops the profile on the Fatalf/Usagef paths so a fatal error
+// mid-solve still leaves a readable file behind.
+func (p *ProfileFlags) Start() (*ProfileSink, error) {
+	if p == nil || p.Out == "" {
+		return nil, nil
+	}
+	f, err := os.Create(p.Out)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s := &ProfileSink{f: f, path: p.Out}
+	OnExit(func() {
+		if err := s.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+		}
+	})
+	return s, nil
+}
+
+// Stop ends the capture and closes the file. Idempotent — the exit
+// hooks may have already flushed. Safe on a nil sink (profiling off).
+func (s *ProfileSink) Stop() error {
+	if s == nil || s.done {
+		return nil
+	}
+	s.done = true
+	pprof.StopCPUProfile()
+	err := s.f.Close()
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "profile: wrote %s\n", s.path)
+	}
+	return err
+}

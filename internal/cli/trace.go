@@ -1,11 +1,59 @@
 package cli
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/trace"
 )
+
+// TraceFlags are the execution-tracing knobs shared by the solver
+// commands; RegisterTraceFlags installs them on a FlagSet and Sink
+// turns the parsed values into a TraceSink.
+type TraceFlags struct {
+	Out      string
+	Cap      int
+	Sample   string
+	Coalesce bool
+}
+
+// RegisterTraceFlags installs the -trace-* flags on fs. The defaults
+// are the always-on configuration: coalescing enabled, no sampling.
+func RegisterTraceFlags(fs *flag.FlagSet) *TraceFlags {
+	f := &TraceFlags{}
+	fs.StringVar(&f.Out, "trace-out", "",
+		"record an execution trace and write Chrome trace-event JSON to this file")
+	fs.IntVar(&f.Cap, "trace-cap", trace.DefaultCapacity,
+		"trace ring-buffer capacity (events per worker); oldest events drop first")
+	fs.StringVar(&f.Sample, "trace-sample", "",
+		"trace sampling policy: 1/N (or every:N), head:K, tail:K; empty records everything")
+	fs.BoolVar(&f.Coalesce, "trace-coalesce", true,
+		"coalesce per-relaxation reads into block events (the low-overhead hot path); "+
+			"false records one event per read")
+	return f
+}
+
+// Sink builds the TraceSink the parsed flags describe. proc names the
+// process track ("shm", "dist"); workers is the worker/rank count;
+// horizon is the run's iteration budget (a tail:K policy needs it to
+// know where the tail starts). A bad -trace-sample value is reported
+// as an error for the caller's Usagef.
+func (f *TraceFlags) Sink(proc string, workers, horizon int) (*TraceSink, error) {
+	var opts []trace.Option
+	if f.Sample != "" {
+		pol, err := trace.ParseSamplePolicy(f.Sample)
+		if err != nil {
+			return nil, err
+		}
+		pol.Horizon = horizon
+		opts = append(opts, trace.WithSampling(pol))
+	}
+	if !f.Coalesce {
+		opts = append(opts, trace.WithoutCoalescing())
+	}
+	return NewTraceSink(f.Out, proc, workers, f.Cap, opts...), nil
+}
 
 // TraceSink bundles the execution-tracing plumbing shared by the solver
 // commands: an optional ring-buffer recorder (-trace-out) whose capture
@@ -22,13 +70,14 @@ type TraceSink struct {
 // NewTraceSink builds the command-level tracing plumbing. path == ""
 // yields an inert sink. workers is the worker/rank count; capacity ≤ 0
 // selects trace.DefaultCapacity events per ring. proc names the
-// process track in the exported trace ("shm", "dist", ...).
-func NewTraceSink(path, proc string, workers, capacity int) *TraceSink {
+// process track in the exported trace ("shm", "dist", ...). Options
+// forward to the recorder (sampling, coalescing).
+func NewTraceSink(path, proc string, workers, capacity int, opts ...trace.Option) *TraceSink {
 	s := &TraceSink{path: path, proc: proc}
 	if path == "" {
 		return s
 	}
-	s.rec = trace.NewRecorder(workers, capacity)
+	s.rec = trace.NewRecorder(workers, capacity, opts...)
 	// Flush on the Fatalf/Usagef paths too: a fatal error between the
 	// solve and the main's explicit Finish call used to discard the
 	// entire captured trace.
@@ -51,8 +100,9 @@ func (s *TraceSink) Recorder() *trace.Recorder {
 
 // Finish writes the Chrome trace-event file after the solve and
 // reports the capture totals on stderr, including how many events
-// were overwritten by ring wraparound. Idempotent — the exit hooks may
-// have already flushed.
+// were overwritten by ring wraparound and how much work coalescing
+// and sampling saved. Idempotent — the exit hooks may have already
+// flushed.
 func (s *TraceSink) Finish() error {
 	if s == nil || s.rec == nil || s.done {
 		return nil
@@ -69,9 +119,16 @@ func (s *TraceSink) Finish() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events", s.path, s.rec.TotalEvents())
-	if d := s.rec.TotalDropped(); d > 0 {
-		fmt.Fprintf(os.Stderr, ", %d dropped by ring wraparound — raise -trace-cap", d)
+	st := s.rec.Totals()
+	fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events", s.path, st.Total)
+	if st.Coalesced > 0 {
+		fmt.Fprintf(os.Stderr, ", %d reads coalesced", st.Coalesced)
+	}
+	if st.SampledOut > 0 {
+		fmt.Fprintf(os.Stderr, ", %d sampled out", st.SampledOut)
+	}
+	if st.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, ", %d dropped by ring wraparound — raise -trace-cap", st.Dropped)
 	}
 	fmt.Fprintln(os.Stderr, ")")
 	return nil

@@ -4,7 +4,9 @@ import (
 	"context"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -351,11 +353,16 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 	}
 
 	if opt.Tracer != nil {
-		// Trace loss is itself observable: per-rank capture and
-		// wraparound-drop counts flow into the metrics registry.
+		// The trace substrate is itself observable: per-rank capture,
+		// wraparound-drop, coalescing, and sampling totals flow into the
+		// metrics registry (aj_trace_*).
 		for p := 0; p < opt.Procs; p++ {
-			ring := opt.Tracer.Worker(p)
-			opt.Metrics.TraceCaptured(p, ring.Len(), ring.Dropped())
+			st := opt.Tracer.Worker(p).Stats()
+			opt.Metrics.TraceCaptured(p, obs.TraceCapture{
+				Events: st.Retained, Dropped: st.Dropped,
+				Coalesced: st.Coalesced, SampledOut: st.SampledOut,
+				Bytes: st.Bytes, EventsPerSec: st.EventsPerSec(),
+			})
 		}
 	}
 
@@ -418,6 +425,18 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 	opt.Metrics.SetWorkers(opt.Procs)
 
 	RunObserved(opt.Procs, opt.Metrics, func(r *Rank) {
+		// pprof labels: CPU samples on each rank goroutine attribute to
+		// solver/worker/phase so a -profile-out capture separates relax
+		// from ghost publishing and idle/termination waiting.
+		rid := strconv.Itoa(r.ID)
+		phaseRelax := pprof.WithLabels(context.Background(),
+			pprof.Labels("solver", "dist", "worker", rid, "phase", "relax"))
+		phasePublish := pprof.WithLabels(context.Background(),
+			pprof.Labels("solver", "dist", "worker", rid, "phase", "publish"))
+		phaseWait := pprof.WithLabels(context.Background(),
+			pprof.Labels("solver", "dist", "worker", rid, "phase", "wait"))
+		pprof.SetGoroutineLabels(phaseRelax)
+		defer pprof.SetGoroutineLabels(context.Background())
 		rm := opt.Metrics.Rank(r.ID)
 		tw := opt.Tracer.Worker(r.ID)
 		gp := plans[r.ID]
@@ -667,6 +686,7 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 				}
 				if !gotNew {
 					// Nothing new: poll termination and idle.
+					pprof.SetGoroutineLabels(phaseWait)
 					if opt.Tol > 0 {
 						localConv := iter >= opt.MaxIters ||
 							vec.Norm1(rl)/nb <= opt.Tol/float64(r.Size)
@@ -726,6 +746,7 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 					nextRetry = time.Time{}
 				}
 			}
+			pprof.SetGoroutineLabels(phaseRelax)
 			// Step 1: local residual. The tracer brackets the whole
 			// local iteration (residual + correction) as one slice; the
 			// per-read version sampling of the shm tracer has no
@@ -756,6 +777,7 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 				rm.SetLocalResidual(vec.Norm1(rl) / nb)
 				rm.IncIteration()
 			}
+			pprof.SetGoroutineLabels(phasePublish)
 			// Communicate boundary values. Each message first draws its
 			// fate from the fault plan: dropped messages leave the
 			// receiver on stale ghosts, duplicates exercise
@@ -835,6 +857,7 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 				}
 			}
 			// Termination.
+			pprof.SetGoroutineLabels(phaseWait)
 			if !opt.Async {
 				stop := iter >= opt.MaxIters
 				if opt.Tol > 0 {

@@ -51,7 +51,10 @@ type SolverMetrics struct {
 	simRelax, simMsgs, simDropped *Counter
 	simTime                       *Gauge
 
-	traceEvents, traceDropped *CounterVec
+	traceEvents, traceDropped  *CounterVec
+	traceBytes, traceCoalesced *CounterVec
+	traceSampledOut            *CounterVec
+	traceRate                  *GaugeVec
 
 	faultDrop, faultDup, faultReorder *Counter
 	faultDelay, faultStall            *Counter
@@ -128,6 +131,20 @@ func NewSolverMetrics(reg *Registry) *SolverMetrics {
 	m.traceDropped = reg.NewCounter("aj_trace_dropped_total",
 		"Execution-trace events lost to ring-buffer wraparound, by worker. "+
 			"Nonzero means the recorded schedule is a suffix of the real one.", "worker")
+	m.traceBytes = reg.NewCounter("aj_trace_bytes_total",
+		"Bytes of execution-trace events encoded, by worker (events x "+
+			"the 32-byte wire size, counting wraparound casualties).", "worker")
+	m.traceCoalesced = reg.NewCounter("aj_trace_coalesced_total",
+		"Per-component reads folded into coalesced read-block events, by "+
+			"worker. High values mean the always-on hot path is amortizing "+
+			"well; the bridge re-expands them exactly.", "worker")
+	m.traceSampledOut = reg.NewCounter("aj_trace_sampled_out_total",
+		"Relaxations skipped by the -trace-sample policy, by worker. The "+
+			"retained suffix is still verifiable; sampled-out versions round "+
+			"down in the bridge (DESIGN.md on sampling bias).", "worker")
+	m.traceRate = reg.NewGauge("aj_trace_events_per_second",
+		"Retained trace events per second of recording wall time, by "+
+			"worker — the live throughput of the trace hot path.", "worker")
 	faults := reg.NewCounter("aj_fault_events_total",
 		"Injected faults realized during the solve, by event "+
 			"(internal/fault: message loss, duplication, reordering, "+
@@ -394,18 +411,36 @@ func (m *SolverMetrics) FaultCrashCount() uint64 {
 	return m.faultCrash.Value()
 }
 
+// TraceCapture is one worker's execution-trace capture totals after a
+// solve, as reported by trace.Ring.Stats.
+type TraceCapture struct {
+	// Events is the count retained in the ring; Dropped is what
+	// wraparound overwrote. Trace loss is an observability signal of
+	// its own — a truncated ring silently turns "the realized
+	// schedule" into "the last window of it".
+	Events, Dropped int
+	// Coalesced counts per-component reads folded into read-block
+	// events; SampledOut counts relaxations the sampling policy
+	// skipped; Bytes is the encoded wire size (Events+Dropped events).
+	Coalesced, SampledOut, Bytes int
+	// EventsPerSec is the retained-event throughput over the span
+	// between the ring's first and last stamps (0 when unknown).
+	EventsPerSec float64
+}
+
 // TraceCaptured reports one worker's execution-trace capture totals
-// after a solve: events retained in its ring and events lost to
-// wraparound. Trace loss is an observability signal of its own — a
-// truncated ring silently turns "the realized schedule" into "the last
-// window of it".
-func (m *SolverMetrics) TraceCaptured(worker, events, dropped int) {
+// after a solve.
+func (m *SolverMetrics) TraceCaptured(worker int, c TraceCapture) {
 	if m == nil {
 		return
 	}
 	w := strconv.Itoa(worker)
-	m.traceEvents.With(w).Add(events)
-	m.traceDropped.With(w).Add(dropped)
+	m.traceEvents.With(w).Add(c.Events)
+	m.traceDropped.With(w).Add(c.Dropped)
+	m.traceBytes.With(w).Add(c.Bytes)
+	m.traceCoalesced.With(w).Add(c.Coalesced)
+	m.traceSampledOut.With(w).Add(c.SampledOut)
+	m.traceRate.With(w).Set(c.EventsPerSec)
 }
 
 // Registry returns the backing registry (nil on a nil handle).

@@ -26,10 +26,9 @@ func BenchmarkAsyncSolve(b *testing.B) {
 	}
 }
 
-// BenchmarkAsyncSolveTraced measures the enabled tracer: every
-// relaxation records start/end, per-read versions, and the write, into
-// per-worker rings sized to hold the whole run.
-func BenchmarkAsyncSolveTraced(b *testing.B) {
+// benchTraced runs the traced solve with the given recorder options;
+// the recorder allocation stays outside the timed region.
+func benchTraced(b *testing.B, opts ...trace.Option) {
 	a := matgen.FD2D(32, 32)
 	rng := rand.New(rand.NewPCG(1, 1))
 	bb := randomVec(rng, a.N)
@@ -38,12 +37,28 @@ func BenchmarkAsyncSolveTraced(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		// Sized to hold the whole run: 50 iterations x 128 rows/worker
-		// x ~7 events/relaxation stays under the default capacity.
-		rec := trace.NewRecorder(8, trace.DefaultCapacity)
+		rec := trace.NewRecorder(8, trace.DefaultCapacity, opts...)
 		b.StartTimer()
 		Solve(a, bb, x0, Options{Threads: 8, MaxIters: 50, Async: true, Tracer: rec})
 	}
+}
+
+// BenchmarkAsyncSolveTraced measures the always-on default: coalesced
+// encoding, no sampling. The perf ratchet gates this against
+// BenchmarkAsyncSolve (CI fails above 2.5x).
+func BenchmarkAsyncSolveTraced(b *testing.B) {
+	benchTraced(b)
+}
+
+// BenchmarkAsyncSolveTracedFull disables coalescing: one event per
+// read, the pre-coalescing recording fidelity.
+func BenchmarkAsyncSolveTracedFull(b *testing.B) {
+	benchTraced(b, trace.WithoutCoalescing())
+}
+
+// BenchmarkAsyncSolveTracedSampled keeps every 8th relaxation.
+func BenchmarkAsyncSolveTracedSampled(b *testing.B) {
+	benchTraced(b, trace.WithSampling(&trace.SamplePolicy{Mode: trace.SampleEvery, N: 8}))
 }
 
 // BenchmarkAsyncSolveStreamed measures the live-telemetry path: metrics

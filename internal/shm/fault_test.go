@@ -43,7 +43,7 @@ func TestShmFaultVerifyNorms(t *testing.T) {
 			t.Fatalf("worker %d ring dropped %d events; grow the capacity", w, d)
 		}
 	}
-	tr, err := trace.ToModelTrace(rec, a.N)
+	tr, err := trace.ToModelTraceMatrix(rec, a)
 	if err != nil {
 		t.Fatalf("ToModelTrace: %v", err)
 	}

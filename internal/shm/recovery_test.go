@@ -226,11 +226,11 @@ func TestShmCancelCheckpointResumeVerifyNorms(t *testing.T) {
 		}
 	}
 
-	tr1, err := trace.ToModelTrace(rec1, a.N)
+	tr1, err := trace.ToModelTraceMatrix(rec1, a)
 	if err != nil {
 		t.Fatalf("ToModelTrace run 1: %v", err)
 	}
-	tr2, err := trace.ToModelTrace(rec2, a.N)
+	tr2, err := trace.ToModelTraceMatrix(rec2, a)
 	if err != nil {
 		t.Fatalf("ToModelTrace run 2: %v", err)
 	}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"math/rand/v2"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -324,6 +326,19 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 	for t := 0; t < nt; t++ {
 		go func(t int) {
 			defer wg.Done()
+			// pprof labels: CPU samples on this goroutine carry
+			// solver/worker/phase, so a -profile-out capture splits
+			// relax vs wait vs publish time per worker. Labels swap at
+			// iteration-section granularity, never per relaxation.
+			wid := strconv.Itoa(t)
+			phaseRelax := pprof.WithLabels(context.Background(),
+				pprof.Labels("solver", "shm", "worker", wid, "phase", "relax"))
+			phasePublish := pprof.WithLabels(context.Background(),
+				pprof.Labels("solver", "shm", "worker", wid, "phase", "publish"))
+			phaseWait := pprof.WithLabels(context.Background(),
+				pprof.Labels("solver", "shm", "worker", wid, "phase", "wait"))
+			pprof.SetGoroutineLabels(phaseRelax)
+			defer pprof.SetGoroutineLabels(context.Background())
 			lo, hi := partition.ContiguousRange(n, nt, t)
 			local := make([]float64, hi-lo)
 			iter := 0
@@ -388,7 +403,12 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 						if opt.RecordTrace {
 							ev = &model.Event{Row: i, Count: cnt, Seq: int(seq.Add(1))}
 						}
-						tw.RelaxStart(i, cnt)
+						// Trace via the inlinable Try fast paths; the full
+						// helpers are the slow-path fallback (and the nil
+						// tracer short-circuits inside Try).
+						if !tw.TryRelaxStart(i, cnt) {
+							tw.RelaxStart(i, cnt)
+						}
 						s := b[i]
 						for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 							j := a.Col[k]
@@ -397,7 +417,9 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 								if ev != nil {
 									ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
 								}
-								tw.ReadVersion(i, cnt, j, v)
+								if !tw.TryReadVersion(j, v) {
+									tw.ReadVersion(i, cnt, j, v)
+								}
 							}
 							s -= a.Val[k] * x.Load(j)
 						}
@@ -407,7 +429,9 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 							version[i].Add(1)
 						}
 						tw.Write(i, cnt)
-						tw.RelaxEnd(i, cnt)
+						if !tw.TryRelaxEnd() {
+							tw.RelaxEnd(i, cnt)
+						}
 						if ev != nil {
 							traces[t] = append(traces[t], *ev)
 						}
@@ -431,6 +455,7 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 				}
 			}
 			for {
+				pprof.SetGoroutineLabels(phaseRelax)
 				// Adoption check: a new copy-on-write list means the
 				// supervisor reassigned a dead worker's rows here.
 				if reassign != nil {
@@ -516,7 +541,9 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 						if opt.RecordTrace {
 							ev = &model.Event{Row: i, Count: cnt, Seq: int(seq.Add(1))}
 						}
-						tw.RelaxStart(i, cnt)
+						if !tw.TryRelaxStart(i, cnt) {
+							tw.RelaxStart(i, cnt)
+						}
 						for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 							j := a.Col[k]
 							if version != nil && j != i {
@@ -524,7 +551,9 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 								if ev != nil {
 									ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
 								}
-								tw.ReadVersion(i, cnt, j, v)
+								if !tw.TryReadVersion(j, v) {
+									tw.ReadVersion(i, cnt, j, v)
+								}
 							}
 							s -= a.Val[k] * x.Load(j)
 						}
@@ -534,7 +563,9 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 							version[i].Add(1)
 						}
 						tw.Write(i, cnt)
-						tw.RelaxEnd(i, cnt)
+						if !tw.TryRelaxEnd() {
+							tw.RelaxEnd(i, cnt)
+						}
 						if ev != nil {
 							traces[t] = append(traces[t], *ev)
 						}
@@ -554,7 +585,9 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 						if opt.RecordTrace {
 							ev = &model.Event{Row: i, Count: cnt, Seq: int(seq.Add(1))}
 						}
-						tw.RelaxStart(i, cnt)
+						if !tw.TryRelaxStart(i, cnt) {
+							tw.RelaxStart(i, cnt)
+						}
 						for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 							j := a.Col[k]
 							if version != nil && j != i {
@@ -562,18 +595,23 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 								if ev != nil {
 									ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
 								}
-								tw.ReadVersion(i, cnt, j, v)
+								if !tw.TryReadVersion(j, v) {
+									tw.ReadVersion(i, cnt, j, v)
+								}
 							}
 							s -= a.Val[k] * x.Load(j)
 						}
 						local[i-lo] = s
-						tw.RelaxEnd(i, cnt)
+						if !tw.TryRelaxEnd() {
+							tw.RelaxEnd(i, cnt)
+						}
 						if ev != nil {
 							traces[t] = append(traces[t], *ev)
 						}
 						microYield()
 					}
 					sync0() // paper: barrier after step 1
+					pprof.SetGoroutineLabels(phasePublish)
 					// Step 2: correct the solution (unit diagonal) and
 					// publish the residual.
 					for i := lo; i < hi; i++ {
@@ -622,6 +660,7 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 						wm.SetResidual(r.Norm1() / nb)
 					}
 				}
+				pprof.SetGoroutineLabels(phaseWait)
 				sync0() // make step 3's norm a consistent reduction
 				// Step 3: convergence. Each worker computes the norm of
 				// the whole shared residual array (paper Section V) and
@@ -900,11 +939,16 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 	}
 	res.Elapsed = elapsed0 + res.WallTime
 	if opt.Tracer != nil {
-		// Trace loss is itself observable: per-worker capture and
-		// wraparound-drop counts flow into the metrics registry.
+		// The trace substrate is itself observable: per-worker capture,
+		// wraparound-drop, coalescing, and sampling totals flow into the
+		// metrics registry (aj_trace_*).
 		for t := 0; t < nt; t++ {
-			ring := opt.Tracer.Worker(t)
-			opt.Metrics.TraceCaptured(t, ring.Len(), ring.Dropped())
+			st := opt.Tracer.Worker(t).Stats()
+			opt.Metrics.TraceCaptured(t, obs.TraceCapture{
+				Events: st.Retained, Dropped: st.Dropped,
+				Coalesced: st.Coalesced, SampledOut: st.SampledOut,
+				Bytes: st.Bytes, EventsPerSec: st.EventsPerSec(),
+			})
 		}
 	}
 	if opt.RecordTrace {

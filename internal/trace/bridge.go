@@ -30,7 +30,36 @@ type relaxation struct {
 // value 0). Event Seq order and TimestampNs both come from the
 // relaxation-start timestamps, so the model sees the schedule the
 // hardware actually executed.
+//
+// Traces carrying coalesced KindReadBlock events need the matrix to
+// recover which columns each block read — use ToModelTraceMatrix for
+// those; this variant reports an error when it meets a block.
 func ToModelTrace(rec *Recorder, n int) (*model.Trace, error) {
+	return toModel(rec, n, nil)
+}
+
+// ToModelTraceMatrix is ToModelTrace for coalesced traces: a
+// KindReadBlock starting at off-diagonal index s with length m expands
+// to reads of columns s..s+m-1 of the row's CSR off-diagonal column
+// list (the order ReadVersion was called in), with per-component
+// versions decoded from the block's min-version + delta bitmap. The
+// expansion is bit-identical to the uncoalesced recording.
+func ToModelTraceMatrix(rec *Recorder, a *sparse.CSR) (*model.Trace, error) {
+	if a == nil {
+		return nil, fmt.Errorf("trace: nil matrix")
+	}
+	offdiag := make([][]int32, a.N)
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if j := a.Col[k]; j != i {
+				offdiag[i] = append(offdiag[i], int32(j))
+			}
+		}
+	}
+	return toModel(rec, a.N, offdiag)
+}
+
+func toModel(rec *Recorder, n int, offdiag [][]int32) (*model.Trace, error) {
 	if rec == nil {
 		return nil, fmt.Errorf("trace: nil recorder")
 	}
@@ -54,6 +83,46 @@ func ToModelTrace(rec *Recorder, n int) (*model.Trace, error) {
 				if p, ok := pending[e.Row]; ok && p.count == int(e.Iter) {
 					p.reads = append(p.reads, model.Read{Row: int(e.Peer), Version: int(e.Payload)})
 				}
+			case KindReadBlock:
+				complete := e.Peer&blockComplete != 0
+				var p *relaxation
+				if complete {
+					// A self-contained complete relaxation in one event.
+					p = &relaxation{row: int(e.Row), count: int(e.Iter), ts: e.TS}
+				} else {
+					q, ok := pending[e.Row]
+					if !ok || q.count != int(e.Iter) {
+						continue
+					}
+					p = q
+				}
+				if offdiag == nil {
+					return nil, fmt.Errorf("trace: coalesced read block for row %d: expanding needs the matrix (use ToModelTraceMatrix)", e.Row)
+				}
+				// Complete blocks start at off-diagonal index 0 and carry
+				// their delta width in Peer bits 7-8; chunked blocks carry
+				// a start index there and always use 1-bit deltas.
+				start, m := 0, int(e.Peer&63)
+				w := uint(1)
+				if complete {
+					w <<= uint(e.Peer>>7) & 3
+				} else {
+					start = int(e.Peer >> 7)
+				}
+				cols := offdiag[e.Row]
+				if start+m > len(cols) {
+					return nil, fmt.Errorf("trace: read block [%d,%d) exceeds row %d's %d off-diagonal entries",
+						start, start+m, e.Row, len(cols))
+				}
+				minv, bitmap := e.Payload>>32, e.Payload&0xffffffff
+				mask := int64(1)<<w - 1
+				for b := 0; b < m; b++ {
+					v := minv + bitmap>>(uint(b)*w)&mask
+					p.reads = append(p.reads, model.Read{Row: int(cols[start+b]), Version: int(v)})
+				}
+				if complete {
+					relaxes = append(relaxes, *p)
+				}
 			case KindRelaxEnd:
 				if p, ok := pending[e.Row]; ok && p.count == int(e.Iter) {
 					relaxes = append(relaxes, *p)
@@ -65,10 +134,44 @@ func ToModelTrace(rec *Recorder, n int) (*model.Trace, error) {
 	if len(relaxes) == 0 {
 		return nil, fmt.Errorf("trace: no complete relaxation events recorded")
 	}
-	// Per-row base: wraparound drops the oldest prefix of each worker's
-	// stream, so the surviving counts of a row form a contiguous suffix
-	// [min..max]; rebase it to [1..max-min+1]. Non-contiguous counts
-	// mean the ring was corrupted (or two workers relaxed one row).
+	if rec.Sampled() {
+		remapSampled(relaxes, n)
+	} else if err := rebaseContiguous(relaxes, n); err != nil {
+		return nil, err
+	}
+	sort.Slice(relaxes, func(a, b int) bool {
+		if relaxes[a].ts != relaxes[b].ts {
+			return relaxes[a].ts < relaxes[b].ts
+		}
+		if relaxes[a].row != relaxes[b].row {
+			return relaxes[a].row < relaxes[b].row
+		}
+		return relaxes[a].count < relaxes[b].count
+	})
+	tr := &model.Trace{N: n}
+	for seq, rx := range relaxes {
+		ev := model.Event{
+			Row:         rx.row,
+			Count:       rx.count,
+			Seq:         seq,
+			TimestampNs: rx.ts,
+			Reads:       rx.reads,
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: reconstructed trace invalid: %w", err)
+	}
+	return tr, nil
+}
+
+// rebaseContiguous handles the unsampled case in place: wraparound
+// drops the oldest prefix of each worker's stream, so the surviving
+// counts of a row form a contiguous suffix [min..max]; rebase it to
+// [1..max-min+1], rebasing read versions with it (reads of pre-window
+// versions clamp to the initial value 0). Non-contiguous counts mean
+// the ring was corrupted (or two workers relaxed one row).
+func rebaseContiguous(relaxes []relaxation, n int) error {
 	minCount := make([]int, n)
 	maxCount := make([]int, n)
 	seen := make([]int, n)
@@ -87,41 +190,56 @@ func ToModelTrace(rec *Recorder, n int) (*model.Trace, error) {
 			continue
 		}
 		if maxCount[i]-minCount[i]+1 != seen[i] {
-			return nil, fmt.Errorf("trace: row %d relaxation counts not contiguous (%d events spanning [%d,%d])",
+			return fmt.Errorf("trace: row %d relaxation counts not contiguous (%d events spanning [%d,%d])",
 				i, seen[i], minCount[i], maxCount[i])
 		}
 		base[i] = minCount[i] - 1
 	}
-	sort.Slice(relaxes, func(a, b int) bool {
-		if relaxes[a].ts != relaxes[b].ts {
-			return relaxes[a].ts < relaxes[b].ts
-		}
-		if relaxes[a].row != relaxes[b].row {
-			return relaxes[a].row < relaxes[b].row
-		}
-		return relaxes[a].count < relaxes[b].count
-	})
-	tr := &model.Trace{N: n}
-	for seq, rx := range relaxes {
-		ev := model.Event{
-			Row:         rx.row,
-			Count:       rx.count - base[rx.row],
-			Seq:         seq,
-			TimestampNs: rx.ts,
-		}
-		for _, rd := range rx.reads {
+	for k := range relaxes {
+		rx := &relaxes[k]
+		rx.count -= base[rx.row]
+		for j, rd := range rx.reads {
 			v := rd.Version - base[rd.Row]
 			if v < 0 {
 				v = 0
 			}
-			ev.Reads = append(ev.Reads, model.Read{Row: rd.Row, Version: v})
+			rx.reads[j].Version = v
 		}
-		tr.Events = append(tr.Events, ev)
 	}
-	if err := tr.Validate(); err != nil {
-		return nil, fmt.Errorf("trace: reconstructed trace invalid: %w", err)
+	return nil
+}
+
+// remapSampled handles sampled recorders, whose kept counts per row
+// are deliberately non-contiguous (every-N keeps counts 1, 1+N, ...).
+// The kept relaxations of each row renumber densely to 1..k in count
+// order — the verified object is the sampled sub-schedule — and a read
+// of version v of row j maps to how many kept relaxations of j have
+// count ≤ v (the latest kept version the read could have observed;
+// pre-window and sampled-out versions round down, which is the
+// sampling-bias caveat DESIGN.md §8 documents for delay histograms).
+func remapSampled(relaxes []relaxation, n int) {
+	counts := make([][]int, n)
+	for _, rx := range relaxes {
+		counts[rx.row] = append(counts[rx.row], rx.count)
 	}
-	return tr, nil
+	rank := make([]map[int]int, n)
+	for i := range counts {
+		if counts[i] == nil {
+			continue
+		}
+		sort.Ints(counts[i])
+		rank[i] = make(map[int]int, len(counts[i]))
+		for k, c := range counts[i] {
+			rank[i][c] = k + 1
+		}
+	}
+	for k := range relaxes {
+		rx := &relaxes[k]
+		rx.count = rank[rx.row][rx.count]
+		for j, rd := range rx.reads {
+			rx.reads[j].Version = sort.SearchInts(counts[rd.Row], rd.Version+1)
+		}
+	}
 }
 
 // VerifyReport is the outcome of replaying a trace through the

@@ -7,7 +7,10 @@ import (
 )
 
 func TestToModelTraceSimple(t *testing.T) {
-	rec := NewRecorder(2, 64)
+	// Exact stamps: the test asserts fine-grained cross-worker
+	// interleaving, which the production stride clock deliberately
+	// blurs within a stride.
+	rec := NewRecorder(2, 64, WithExactStamps())
 	w0, w1 := rec.Worker(0), rec.Worker(1)
 	// Row 0 relaxes twice, row 1 once, interleaved so the timestamp
 	// order is (0,1), (1,1), (0,2).
@@ -53,7 +56,7 @@ func TestToModelTraceRebaseAfterWraparound(t *testing.T) {
 	// 10 relaxations each of rows 0 and 1 (60 events) leave the last
 	// 12 = relaxations (0,9),(1,9),(0,10),(1,10) retained; the bridge
 	// must rebase counts to 1..2 and read versions with them.
-	rec := NewRecorder(1, 12)
+	rec := NewRecorder(1, 12, WithExactStamps())
 	w := rec.Worker(0)
 	for c := 1; c <= 10; c++ {
 		w.RelaxStart(0, c)
@@ -147,7 +150,7 @@ func TestVerifyNormsOnSyntheticSchedule(t *testing.T) {
 			w.RelaxEnd(i, c)
 		}
 	}
-	tr, err := ToModelTrace(rec, a.N)
+	tr, err := ToModelTraceMatrix(rec, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +198,7 @@ func TestVerifyNormsMaskCap(t *testing.T) {
 			w.RelaxEnd(i, c)
 		}
 	}
-	tr, err := ToModelTrace(rec, a.N)
+	tr, err := ToModelTraceMatrix(rec, a)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -101,6 +101,25 @@ func WriteChrome(w io.Writer, rec *Recorder, proc string) error {
 					o.reads++
 					pending[e.Row] = o
 				}
+			case KindReadBlock:
+				// A coalesced block counts as Peer&63 component reads; a
+				// complete block is a whole relaxation, rendered as a
+				// zero-duration slice (the coarse clock stamps the entire
+				// relaxation with its start time).
+				if e.Peer&(1<<6) != 0 {
+					if err := emit(chromeEvent{
+						Name: fmt.Sprintf("relax r%d", e.Row), Cat: "relax", Ph: "X",
+						TS: us(e.TS), Dur: 0, TID: id,
+						Args: map[string]any{"row": e.Row, "count": e.Iter, "reads": e.Peer & 63},
+					}); err != nil {
+						return err
+					}
+					continue
+				}
+				if o, ok := pending[e.Row]; ok {
+					o.reads += int(e.Peer & 63)
+					pending[e.Row] = o
+				}
 			case KindRelaxEnd:
 				o, ok := pending[e.Row]
 				if !ok || o.count != e.Iter {

@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/model"
+	"repro/internal/sparse"
+)
+
+// driveSchedule records a deterministic pseudo-asynchronous schedule:
+// sweeps round-robin sweeps over all rows, reading every off-diagonal
+// neighbor in CSR order with a staleness of (i+j) mod vary versions
+// (clamped at the initial value 0). The same call sequence lands on
+// any recorder, which is what the twin tests rely on.
+func driveSchedule(rec *Recorder, a *sparse.CSR, sweeps, vary int) {
+	w := rec.Worker(0)
+	for c := 1; c <= sweeps; c++ {
+		for i := 0; i < a.N; i++ {
+			w.RelaxStart(i, c)
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				if j := a.Col[k]; j != i {
+					v := c - 1 - (i+j)%vary
+					if v < 0 {
+						v = 0
+					}
+					w.ReadVersion(i, c, j, v)
+				}
+			}
+			w.Write(i, c)
+			w.RelaxEnd(i, c)
+		}
+	}
+}
+
+// canonical reduces a bridged trace to a deterministic shape —
+// events sorted by (count, row), sequence and timestamps erased — so
+// two recordings of the same schedule compare independently of clock
+// resolution.
+func canonical(tr *model.Trace) []model.Event {
+	evs := append([]model.Event(nil), tr.Events...)
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].Count != evs[b].Count {
+			return evs[a].Count < evs[b].Count
+		}
+		return evs[a].Row < evs[b].Row
+	})
+	for k := range evs {
+		evs[k].Seq = 0
+		evs[k].TimestampNs = 0
+	}
+	return evs
+}
+
+// TestCoalescedMatchesUncoalescedTwin is the core round-trip property
+// of the always-on hot path: the same schedule recorded with and
+// without coalescing must bridge to bit-identical relaxations (same
+// rows, counts, read columns, and read versions), and both must pass
+// Theorem 1's norm checks with zero violations on a W.D.D. system.
+func TestCoalescedMatchesUncoalescedTwin(t *testing.T) {
+	a := matgen.FD2D(6, 5)
+	for _, vary := range []int{1, 2, 4} {
+		co := NewRecorder(1, 1<<14)
+		un := NewRecorder(1, 1<<15, WithoutCoalescing())
+		driveSchedule(co, a, 7, vary)
+		driveSchedule(un, a, 7, vary)
+		if co.Totals().Coalesced == 0 {
+			t.Fatalf("vary=%d: coalescing recorder coalesced nothing", vary)
+		}
+		if co.TotalEvents() >= un.TotalEvents() {
+			t.Fatalf("vary=%d: coalescing did not shrink the stream (%d vs %d events)",
+				vary, co.TotalEvents(), un.TotalEvents())
+		}
+		trCo, err := ToModelTraceMatrix(co, a)
+		if err != nil {
+			t.Fatalf("vary=%d: coalesced bridge: %v", vary, err)
+		}
+		trUn, err := ToModelTraceMatrix(un, a)
+		if err != nil {
+			t.Fatalf("vary=%d: uncoalesced bridge: %v", vary, err)
+		}
+		if !reflect.DeepEqual(canonical(trCo), canonical(trUn)) {
+			t.Fatalf("vary=%d: coalesced and uncoalesced twins reconstruct different schedules", vary)
+		}
+		for name, tr := range map[string]*model.Trace{"coalesced": trCo, "uncoalesced": trUn} {
+			rep, err := VerifyNorms(a, tr, 1e-9, 0)
+			if err != nil {
+				t.Fatalf("vary=%d %s: %v", vary, name, err)
+			}
+			if rep.Violations != 0 {
+				t.Fatalf("vary=%d %s: %d Theorem 1 violations", vary, name, rep.Violations)
+			}
+		}
+	}
+}
+
+// TestCompleteBlockWidths exercises every delta width of the complete-
+// block encoding: spans of 1 (1-bit), 3 (2-bit), 15 (4-bit), and 255
+// (8-bit) must all round-trip to the exact recorded versions.
+func TestCompleteBlockWidths(t *testing.T) {
+	// Star matrix: row 0 couples to rows 1..4, so one relaxation of
+	// row 0 reads four neighbors whose version spread we control.
+	coo := sparse.NewCOO(5, 5)
+	for i := 0; i < 5; i++ {
+		coo.Add(i, i, 1)
+	}
+	for j := 1; j < 5; j++ {
+		coo.Add(0, j, -0.1)
+		coo.Add(j, 0, -0.1)
+	}
+	a := coo.ToCSR()
+	for _, span := range []int{0, 1, 3, 15, 255} {
+		rec := NewRecorder(1, 1<<13)
+		w := rec.Worker(0)
+		// Neighbors first reach the versions row 0 will read (keeps
+		// Validate's contiguity happy: row j relaxes base+... times).
+		base := span + 2
+		for j := 1; j < 5; j++ {
+			for c := 1; c <= base; c++ {
+				w.RelaxStart(j, c)
+				w.ReadVersion(j, c, 0, 0)
+				w.RelaxEnd(j, c)
+			}
+		}
+		// Row 0 reads versions spread across exactly `span`.
+		want := []int{base - span, base, base - span/2, base - span/3}
+		w.RelaxStart(0, 1)
+		for k, j := range []int{1, 2, 3, 4} {
+			w.ReadVersion(0, 1, j, want[k])
+		}
+		w.RelaxEnd(0, 1)
+		tr, err := ToModelTraceMatrix(rec, a)
+		if err != nil {
+			t.Fatalf("span=%d: %v", span, err)
+		}
+		var got []model.Read
+		for _, e := range tr.Events {
+			if e.Row == 0 {
+				got = e.Reads
+			}
+		}
+		if len(got) != 4 {
+			t.Fatalf("span=%d: row 0 reads %v", span, got)
+		}
+		for k, rd := range got {
+			if rd.Row != k+1 || rd.Version != want[k] {
+				t.Fatalf("span=%d read %d: got (%d,%d) want (%d,%d)",
+					span, k, rd.Row, rd.Version, k+1, want[k])
+			}
+		}
+	}
+}
+
+// TestRingAccountingAcrossWraparound is the regression test for the
+// drop-count double-count: Total == Retained + Dropped must hold
+// through multiple full wraparounds, including a burst larger than the
+// whole ring landing in one staging flush.
+func TestRingAccountingAcrossWraparound(t *testing.T) {
+	rec := NewRecorder(1, 64)
+	w := rec.Worker(0)
+	// 10 full ring generations of bare events, syncing (via the stats
+	// read) at uneven points so publishes split across block copies.
+	for gen := 0; gen < 10; gen++ {
+		for k := 0; k < 64; k++ {
+			w.Yield()
+		}
+		if gen%3 == 0 {
+			st := w.Stats()
+			if st.Total != st.Retained+st.Dropped {
+				t.Fatalf("gen %d: Total %d != Retained %d + Dropped %d",
+					gen, st.Total, st.Retained, st.Dropped)
+			}
+		}
+	}
+	st := w.Stats()
+	if st.Total != 640 {
+		t.Fatalf("Total = %d, want 640", st.Total)
+	}
+	if st.Retained != 64 || st.Dropped != 576 {
+		t.Fatalf("Retained/Dropped = %d/%d, want 64/576", st.Retained, st.Dropped)
+	}
+	if got := len(w.Events()); got != st.Retained {
+		t.Fatalf("Events() returned %d, Retained says %d", got, st.Retained)
+	}
+	// A burst larger than the ring in one go: the single flush must
+	// retain the final window and account for everything else.
+	rec2 := NewRecorder(1, 32)
+	w2 := rec2.Worker(0)
+	for k := 0; k < 500; k++ {
+		w2.Yield()
+	}
+	st2 := w2.Stats()
+	if st2.Total != 500 || st2.Retained != 32 || st2.Dropped != 468 {
+		t.Fatalf("burst stats = %+v", st2)
+	}
+}
+
+// TestSampledBridge round-trips each sampling mode through the bridge:
+// the kept sub-schedule must renumber densely, validate, and satisfy
+// Theorem 1 with zero violations.
+func TestSampledBridge(t *testing.T) {
+	a := matgen.FD2D(5, 4)
+	const sweeps = 12
+	cases := []struct {
+		pol  *SamplePolicy
+		kept int // kept relaxations per row
+	}{
+		{&SamplePolicy{Mode: SampleEvery, N: 4}, 3},
+		{&SamplePolicy{Mode: SampleHead, N: 5}, 5},
+		{&SamplePolicy{Mode: SampleTail, N: 5, Horizon: sweeps}, 5},
+	}
+	for _, tc := range cases {
+		rec := NewRecorder(1, 1<<14, WithSampling(tc.pol))
+		driveSchedule(rec, a, sweeps, 2)
+		if rec.Totals().SampledOut == 0 {
+			t.Fatalf("%s: nothing sampled out", tc.pol)
+		}
+		tr, err := ToModelTraceMatrix(rec, a)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.pol, err)
+		}
+		if want := tc.kept * a.N; len(tr.Events) != want {
+			t.Fatalf("%s: %d events, want %d", tc.pol, len(tr.Events), want)
+		}
+		rep, err := VerifyNorms(a, tr, 1e-9, 0)
+		if err != nil {
+			t.Fatalf("%s: verify: %v", tc.pol, err)
+		}
+		if rep.Violations != 0 {
+			t.Fatalf("%s: %d Theorem 1 violations on the sampled suffix", tc.pol, rep.Violations)
+		}
+	}
+}
+
+// TestParseSamplePolicy covers the flag syntax both ways.
+func TestParseSamplePolicy(t *testing.T) {
+	good := map[string]string{
+		"1/8": "1/8", "every:8": "1/8", "head:100": "head:100", "tail:50": "tail:50",
+	}
+	for in, want := range good {
+		p, err := ParseSamplePolicy(in)
+		if err != nil || p == nil || p.String() != want {
+			t.Fatalf("ParseSamplePolicy(%q) = %v, %v; want %s", in, p, err, want)
+		}
+	}
+	if p, err := ParseSamplePolicy(""); p != nil || err != nil {
+		t.Fatalf("empty policy = %v, %v", p, err)
+	}
+	for _, bad := range []string{"1/0", "every:x", "head:-3", "nope", "tail:"} {
+		if _, err := ParseSamplePolicy(bad); err == nil {
+			t.Fatalf("ParseSamplePolicy(%q) accepted", bad)
+		}
+	}
+	// Keep semantics: every-4 keeps counts 1, 5, 9, ...
+	p := &SamplePolicy{Mode: SampleEvery, N: 4}
+	for c, want := range map[int32]bool{1: true, 2: false, 4: false, 5: true, 9: true} {
+		if p.Keep(c) != want {
+			t.Fatalf("every:4 Keep(%d) = %v", c, !want)
+		}
+	}
+	tail := &SamplePolicy{Mode: SampleTail, N: 3, Horizon: 10}
+	for c, want := range map[int32]bool{7: false, 8: true, 10: true, 11: true} {
+		if tail.Keep(c) != want {
+			t.Fatalf("tail:3@10 Keep(%d) = %v", c, !want)
+		}
+	}
+}
+
+// TestRecorderStatsAndRate sanity-checks the self-observability
+// surface the solvers feed into the metrics registry.
+func TestRecorderStatsAndRate(t *testing.T) {
+	a := matgen.FD2D(4, 4)
+	rec := NewRecorder(1, 1<<12)
+	driveSchedule(rec, a, 3, 1)
+	st := rec.Worker(0).Stats()
+	if st.Total == 0 || st.Bytes != st.Total*EventBytes {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Coalesced == 0 {
+		t.Fatal("no reads coalesced on the default configuration")
+	}
+	if st.ElapsedNs <= 0 || st.EventsPerSec() <= 0 {
+		t.Fatalf("no recording span: %+v", st)
+	}
+	if (RingStats{}).EventsPerSec() != 0 {
+		t.Fatal("empty stats should have zero rate")
+	}
+}

@@ -55,7 +55,7 @@ func TestShmRecordedRunReplaysThroughModel(t *testing.T) {
 	if rec.TotalDropped() != 0 {
 		t.Fatalf("ring wrapped on a run sized to fit: dropped %d", rec.TotalDropped())
 	}
-	mt, err := trace.ToModelTrace(rec, a.N)
+	mt, err := trace.ToModelTraceMatrix(rec, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,6 +101,40 @@ func TestShmRecordedRunReplaysThroughModel(t *testing.T) {
 	if rep.Violations != 0 {
 		t.Fatalf("%d of %d masks violate the norm bound (G=%.6g, H=%.6g)",
 			rep.Violations, rep.MasksChecked, rep.MaxGNormInf, rep.MaxHNorm1)
+	}
+}
+
+// TestShmSampledRunVerifies records a live asynchronous run under 1/N
+// sampling: the retained sub-schedule must bridge cleanly and satisfy
+// Theorem 1's norm bounds with zero violations.
+func TestShmSampledRunVerifies(t *testing.T) {
+	a := matgen.FD2D(5, 8)
+	rng := rand.New(rand.NewPCG(7, 7))
+	b := randVec(rng, a.N)
+	x0 := randVec(rng, a.N)
+	rec := trace.NewRecorder(4, 1<<14,
+		trace.WithSampling(&trace.SamplePolicy{Mode: trace.SampleEvery, N: 3}))
+	shm.Solve(a, b, x0, shm.Options{
+		Threads:   4,
+		MaxIters:  9,
+		Async:     true,
+		YieldProb: 0.05,
+		Tracer:    rec,
+	})
+	if rec.Totals().SampledOut == 0 {
+		t.Fatal("sampling policy admitted everything")
+	}
+	mt, err := trace.ToModelTraceMatrix(rec, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := trace.VerifyNorms(a, mt, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MasksChecked == 0 || rep.Violations != 0 {
+		t.Fatalf("sampled masks=%d violations=%d (G=%.6g H=%.6g)",
+			rep.MasksChecked, rep.Violations, rep.MaxGNormInf, rep.MaxHNorm1)
 	}
 }
 

@@ -29,7 +29,7 @@ func TestReplayFeedsAnalyticsLikeALiveRun(t *testing.T) {
 		Threads: 4, Async: true, MaxIters: 60, Tol: 1e-14,
 		YieldProb: 0.05, Tracer: rec,
 	})
-	tr, err := trace.ToModelTrace(rec, a.N)
+	tr, err := trace.ToModelTraceMatrix(rec, a)
 	if err != nil {
 		t.Fatalf("bridge: %v", err)
 	}

@@ -3,18 +3,40 @@
 // away — the realized update schedule itself. The paper's Fig 2
 // methodology is literally "print the solution components that i read
 // from other rows for each relaxation of i"; this package is that
-// printout made cheap (fixed-capacity per-worker ring buffers,
-// lock-free single-writer append, one 32-byte record per event) and
-// useful (a Chrome trace-event exporter for Perfetto timelines, and a
-// bridge that replays a live trace through the propagation-matrix
-// model of Section IV).
+// printout made cheap enough to leave on in production (fixed-capacity
+// per-worker ring buffers, lock-free single-writer append, one 32-byte
+// record per event, staged block publication, a coarse per-relaxation
+// clock, and read coalescing) and useful (a Chrome trace-event
+// exporter for Perfetto timelines, and a bridge that replays a live
+// trace through the propagation-matrix model of Section IV).
+//
+// The hot path is built around three amortizations:
+//
+//   - Events are first written into a worker-local staging array and
+//     published to the ring in cache-line-sized blocks, so the ring's
+//     wraparound arithmetic runs once per block, not once per event.
+//   - Timestamps come from a coarse monotonic clock refreshed once per
+//     relaxation (at RelaxStart); the reads, write, and end events of
+//     that relaxation reuse the cached stamp. Rank-level iteration
+//     brackets (Row < 0) still take fresh stamps on both edges so the
+//     distributed timeline keeps real durations.
+//   - Per-component reads — the dominant event class, one per
+//     off-diagonal entry per relaxation — coalesce into one
+//     KindReadBlock event per run of reads whose versions span at most
+//     one increment, losslessly (the bridge expands blocks back to the
+//     exact per-component versions of Eq. 5).
 //
 // Like obs.SolverMetrics, every handle is nil-safe: a nil *Recorder
 // yields nil *Ring handles whose methods no-op, so the disabled path
 // in a solver hot loop costs one pointer comparison.
 package trace
 
-import "time"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
 
 // Kind classifies one trace event.
 type Kind uint8
@@ -80,6 +102,22 @@ const (
 	// the model bridge skips them.
 	KindCheckpoint
 	KindReassign
+	// KindReadBlock is a coalesced run of KindRead events: row Row's
+	// Iter-th relaxation read Peer&63 consecutive off-diagonal
+	// neighbors of row Row in CSR column order. Peer bit 6
+	// (blockComplete) marks a self-contained complete relaxation — the
+	// block is the whole relax-start/reads/relax-end group in one
+	// event, always starting at off-diagonal index 0, with Peer bits
+	// 7-8 holding the log2 of the delta width (1, 2, 4, or 8 bits per
+	// read). Non-complete blocks (the chunked fallback for relaxations
+	// longer than 32 reads) carry their starting off-diagonal index in
+	// Peer>>7 and always use 1-bit deltas. Payload>>32 is the minimum
+	// version in the run and the low 32 bits hold the per-read deltas
+	// (read b consumed version min + delta b). The encoding is exact:
+	// version spreads that exceed the widest delta fall back to plain
+	// KindRead events, so the bridge always reconstructs the
+	// per-component versions bit-identically.
+	KindReadBlock
 )
 
 // String names the kind for exporters and debugging.
@@ -133,6 +171,8 @@ func (k Kind) String() string {
 		return "checkpoint"
 	case KindReassign:
 		return "reassign"
+	case KindReadBlock:
+		return "read-block"
 	}
 	return "unknown"
 }
@@ -143,75 +183,678 @@ func (k Kind) String() string {
 type Event struct {
 	// TS is a monotonic nanosecond timestamp relative to the
 	// recorder's start (all rings of one recorder share the epoch, so
-	// cross-worker ordering is meaningful).
+	// cross-worker ordering is meaningful). Within one relaxation the
+	// stamp is coarse: read/write/end events reuse the stamp taken at
+	// RelaxStart.
 	TS int64
 	// Payload is kind-specific: the consumed version for KindRead, the
-	// observed iteration stamp for KindRecv.
+	// observed iteration stamp for KindRecv, the packed min-version and
+	// delta bitmap for KindReadBlock.
 	Payload int64
 	// Row is the subject row, or -1 for worker-level events.
 	Row int32
 	// Iter is the 1-based relaxation count (row events) or local
 	// iteration (worker/rank events).
 	Iter int32
-	// Peer is the read source row (KindRead) or the other rank
-	// (message events), or -1.
+	// Peer is the read source row (KindRead), the packed start index
+	// and length (KindReadBlock), or the other rank (message events),
+	// or -1.
 	Peer int32
 	Kind Kind
+}
+
+// EventBytes is the encoded size of one Event, used for byte-volume
+// accounting (aj_trace_bytes_total).
+const EventBytes = 32
+
+// stageEvents is the worker-local staging buffer length: 128 events =
+// 4 KiB = 64 cache lines published per block copy.
+const stageEvents = 128
+
+// coalesceMax is the longest run of reads one KindReadBlock can carry
+// (the delta bitmap has 32 bits).
+const coalesceMax = 32
+
+// blockComplete, set in a KindReadBlock's Peer field, marks the block
+// as a whole self-contained relaxation (see the Kind documentation).
+const blockComplete = int32(1) << 6
+
+// clockStride is how many row relaxations share one coarse-clock
+// refresh. The monotonic read costs ~25-30ns — comparable to an entire
+// untraced relaxation on small stencils — so stamping every
+// relaxation would alone double the solve. A stride of 16 keeps the
+// stamp resolution near a microsecond (finer than the Chrome
+// exporter's display unit) while making the clock's amortized cost
+// ~2ns. Rank-level brackets (Row < 0) and worker-level events always
+// take fresh stamps.
+const clockStride = 16
+
+// SampleMode selects which relaxations a SamplePolicy keeps.
+type SampleMode uint8
+
+const (
+	// SampleEvery keeps every N-th relaxation: counts 1, 1+N, 1+2N, ...
+	SampleEvery SampleMode = iota
+	// SampleHead keeps the first N relaxations of every row/rank.
+	SampleHead
+	// SampleTail keeps the last N relaxations before the horizon.
+	SampleTail
+)
+
+// SamplePolicy is a stateless per-relaxation admission filter: a
+// relaxation (identified by its 1-based count) is either recorded in
+// full — start, reads, write, end — or suppressed entirely, so the
+// bridge never sees a torn relaxation. Stateless means the decision
+// depends only on the count, keeping the start/read/end events of one
+// relaxation consistent without any cross-call state.
+type SamplePolicy struct {
+	Mode SampleMode
+	// N is the period (SampleEvery) or the kept prefix/suffix length
+	// (SampleHead/SampleTail).
+	N int
+	// Horizon is the expected maximum relaxation count (the solver's
+	// MaxIters); SampleTail keeps counts > Horizon-N. A zero horizon
+	// disables tail filtering (everything is kept).
+	Horizon int
+}
+
+// ParseSamplePolicy parses the -trace-sample flag syntax: "1/N" or
+// "every:N" (every N-th relaxation), "head:K" (first K), "tail:K"
+// (last K before the horizon). An empty string means no sampling and
+// returns nil.
+func ParseSamplePolicy(s string) (*SamplePolicy, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	mode := SampleEvery
+	var num string
+	switch {
+	case strings.HasPrefix(s, "1/"):
+		num = s[2:]
+	case strings.HasPrefix(s, "every:"):
+		num = s[len("every:"):]
+	case strings.HasPrefix(s, "head:"):
+		mode, num = SampleHead, s[len("head:"):]
+	case strings.HasPrefix(s, "tail:"):
+		mode, num = SampleTail, s[len("tail:"):]
+	default:
+		return nil, fmt.Errorf("trace: bad sample policy %q (want 1/N, every:N, head:K, or tail:K)", s)
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("trace: bad sample policy %q: count must be a positive integer", s)
+	}
+	return &SamplePolicy{Mode: mode, N: n}, nil
+}
+
+// Keep reports whether the relaxation with the given 1-based count is
+// admitted. Nil policies keep everything.
+func (p *SamplePolicy) Keep(count int32) bool {
+	if p == nil || p.N <= 1 && p.Mode == SampleEvery {
+		return true
+	}
+	switch p.Mode {
+	case SampleHead:
+		return count <= int32(p.N)
+	case SampleTail:
+		return p.Horizon <= 0 || count > int32(p.Horizon-p.N)
+	default:
+		return (count-1)%int32(p.N) == 0
+	}
+}
+
+// String renders the policy back in flag syntax.
+func (p *SamplePolicy) String() string {
+	if p == nil {
+		return ""
+	}
+	switch p.Mode {
+	case SampleHead:
+		return fmt.Sprintf("head:%d", p.N)
+	case SampleTail:
+		return fmt.Sprintf("tail:%d", p.N)
+	default:
+		return fmt.Sprintf("1/%d", p.N)
+	}
+}
+
+// relaxAcc holds the open (deferred) relaxation: with coalescing on,
+// RelaxStart stages nothing — the whole relaxation encodes at
+// RelaxEnd, usually as one self-contained KindReadBlock. Fallbacks
+// re-emit the classic KindRelaxStart/KindRead/KindRelaxEnd grouping,
+// so consumers never see a torn encoding.
+type relaxAcc struct {
+	open    bool
+	emitted bool // Start already staged (chunk spill fallback)
+	row     int32
+	cnt     int32
+	ts      int64 // stamp taken at RelaxStart
+	start   int32 // off-diagonal index of the pending chunk's first read
+	n       int32
+	cols    [coalesceMax]int32
+	vers    [coalesceMax]int64
+}
+
+// RingStats is a point-in-time accounting snapshot of one ring.
+type RingStats struct {
+	// Retained is how many events the ring currently holds; Total how
+	// many were ever encoded; Dropped how many wraparound overwrote.
+	// The invariant Total == Retained + Dropped holds at all times.
+	Retained int
+	Total    int
+	Dropped  int
+	// Coalesced counts component reads that were carried by
+	// KindReadBlock events instead of per-read events.
+	Coalesced int
+	// SampledOut counts events suppressed by the sampling policy.
+	SampledOut int
+	// Bytes is the event volume ever encoded (Total * EventBytes).
+	Bytes int
+	// ElapsedNs spans the first to the last recorded event timestamp,
+	// for events/sec rate derivation. Zero when fewer than two events.
+	ElapsedNs int64
+}
+
+// EventsPerSec derives the retained-event throughput over the
+// recording span; 0 when the span is unknown (fewer than two events).
+func (s RingStats) EventsPerSec() float64 {
+	if s.ElapsedNs <= 0 {
+		return 0
+	}
+	return float64(s.Retained) / (float64(s.ElapsedNs) / 1e9)
 }
 
 // Ring is one worker's fixed-capacity event buffer. Exactly one
 // goroutine — the owning worker — may append; when the buffer is full
 // new events overwrite the oldest (the tail of a long run is usually
 // the interesting part), and the overwritten count is reported by
-// Dropped. Readers must not call Events or Dropped until the owning
-// goroutine has finished (the solvers' WaitGroup join provides the
-// happens-before edge), which is what lets the append path stay free
-// of atomics entirely.
+// Dropped. Readers must not call Events, Len, or Dropped until the
+// owning goroutine has finished (the solvers' WaitGroup join provides
+// the happens-before edge), which is what lets the append path stay
+// free of atomics entirely — the read-side methods flush the staging
+// buffer, so they are writes too.
 type Ring struct {
 	buf  []Event
-	n    uint64 // total events appended (monotone)
+	n    uint64 // total events published (monotone)
 	base time.Time
 	id   int
+
+	now    int64 // coarse clock: ns since base, refreshed on a stride of relaxations
+	tick   int32 // fast relaxations left before the next clock refresh
+	nstage int
+	stage  [stageEvents]Event
+
+	pol      *SamplePolicy
+	coalesce bool
+	fast     bool // unsampled + coalescing: hot paths may inline
+	acc      relaxAcc
+
+	sampledOut uint64
+	coalesced  uint64
+	seenTS     bool
+	firstTS    int64
+	lastTS     int64
 }
 
-// Record appends one raw event; nil-safe.
-func (r *Ring) Record(k Kind, row, iter, peer int32, payload int64) {
-	if r == nil {
+// refresh re-reads the monotonic clock into the coarse stamp.
+func (r *Ring) refresh() { r.now = int64(time.Since(r.base)) }
+
+// put stages one event under the cached stamp; the stage publishes to
+// the ring in blocks so the wraparound arithmetic is amortized. The
+// fast path is a bounds-known array store that inlines into the typed
+// helpers; the stage-full path is split out to keep it that way.
+func (r *Ring) put(k Kind, row, iter, peer int32, payload int64) {
+	i := r.nstage
+	if i < stageEvents {
+		r.stage[i] = Event{
+			TS:      r.now,
+			Payload: payload,
+			Row:     row,
+			Iter:    iter,
+			Peer:    peer,
+			Kind:    k,
+		}
+		r.nstage = i + 1
 		return
 	}
-	i := r.n % uint64(len(r.buf))
-	r.buf[i] = Event{
-		TS:      int64(time.Since(r.base)),
+	r.putSlow(k, row, iter, peer, payload)
+}
+
+// putSlow publishes the full staging block, then stages the event.
+func (r *Ring) putSlow(k Kind, row, iter, peer int32, payload int64) {
+	r.flushStage()
+	r.stage[0] = Event{
+		TS:      r.now,
 		Payload: payload,
 		Row:     row,
 		Iter:    iter,
 		Peer:    peer,
 		Kind:    k,
 	}
-	r.n++
+	r.nstage = 1
 }
 
-// Typed helpers — all nil-safe, all one Record call.
+// flushStage publishes the staged block, preserving the ring invariant
+// that global event m lives at buf[m % cap]. Dropped counts are
+// derived from the monotone total (Total - cap), never accumulated per
+// publish, so a block that overwrites several older blocks — or wraps
+// the ring more than once — cannot double-count.
+func (r *Ring) flushStage() {
+	k := r.nstage
+	if k == 0 {
+		return
+	}
+	s := r.stage[:k]
+	if !r.seenTS {
+		r.firstTS, r.seenTS = s[0].TS, true
+	}
+	r.lastTS = s[k-1].TS
+	c := len(r.buf)
+	pos := int(r.n % uint64(c))
+	for len(s) > 0 {
+		m := copy(r.buf[pos:], s)
+		s = s[m:]
+		pos += m
+		if pos == c {
+			pos = 0
+		}
+	}
+	r.n += uint64(k)
+	r.nstage = 0
+}
 
-// RelaxStart marks the beginning of row's count-th relaxation.
+// flushChunk publishes the pending read chunk under the relaxation's
+// grouped encoding: one (non-complete) KindReadBlock when at least two
+// reads share a version span of at most one increment, plain KindRead
+// events otherwise (exactness first). The chunk's starting
+// off-diagonal index advances so a relaxation longer than coalesceMax
+// splits into consecutive exact blocks.
+func (r *Ring) flushChunk() {
+	a := &r.acc
+	n := int(a.n)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		r.put(KindRead, a.row, a.cnt, a.cols[0], a.vers[0])
+	} else {
+		minv, maxv := a.vers[0], a.vers[0]
+		for _, v := range a.vers[1:n] {
+			if v < minv {
+				minv = v
+			}
+			if v > maxv {
+				maxv = v
+			}
+		}
+		if maxv-minv <= 1 && minv >= 0 {
+			var bitmap int64
+			if maxv != minv {
+				for b := 0; b < n; b++ {
+					if a.vers[b] != minv {
+						bitmap |= 1 << b
+					}
+				}
+			}
+			r.coalesced += uint64(n)
+			r.put(KindReadBlock, a.row, a.cnt, a.start<<7|int32(n), minv<<32|bitmap)
+		} else {
+			for b := 0; b < n; b++ {
+				r.put(KindRead, a.row, a.cnt, a.cols[b], a.vers[b])
+			}
+		}
+	}
+	a.start += a.n
+	a.n = 0
+}
+
+// spillChunk handles a relaxation outgrowing one block: fall back to
+// the grouped encoding — emit the deferred KindRelaxStart, then the
+// full chunk — and keep accumulating.
+func (r *Ring) spillChunk() {
+	a := &r.acc
+	save := r.now
+	r.now = a.ts
+	if !a.emitted {
+		a.emitted = true
+		r.put(KindRelaxStart, a.row, a.cnt, -1, 0)
+	}
+	r.flushChunk()
+	r.now = save
+}
+
+// tryCompleteBlock encodes the open accumulator as one self-contained
+// complete KindReadBlock — the hot-path encoding — choosing the
+// narrowest per-read delta width that fits the version spread: 1-bit
+// deltas carry up to 32 reads spanning one increment, widening to
+// 8-bit deltas for up to 4 reads spanning 255 increments (the common
+// stencil case: few neighbors, versions spread by whole scheduler
+// quanta). Reports false — leaving the accumulator untouched — when no
+// width fits, or the relaxation already spilled a chunk, or it has
+// fewer than two reads (the grouped encoding is no larger then).
+func (r *Ring) tryCompleteBlock() bool {
+	a := &r.acc
+	n := int(a.n)
+	if a.emitted || n < 2 {
+		return false
+	}
+	minv, maxv := a.vers[0], a.vers[0]
+	for _, v := range a.vers[1:n] {
+		if v < minv {
+			minv = v
+		}
+		if v > maxv {
+			maxv = v
+		}
+	}
+	span := maxv - minv
+	var wlog int32
+	switch {
+	case minv < 0:
+		return false
+	case span <= 1:
+		wlog = 0
+	case span <= 3 && n <= 16:
+		wlog = 1
+	case span <= 15 && n <= 8:
+		wlog = 2
+	case span <= 255 && n <= 4:
+		wlog = 3
+	default:
+		return false
+	}
+	w := uint(1) << wlog
+	var bitmap int64
+	for b := 0; b < n; b++ {
+		bitmap |= (a.vers[b] - minv) << (uint(b) * w)
+	}
+	r.coalesced += uint64(n)
+	a.open, a.n = false, 0
+	i := r.nstage
+	if i == stageEvents {
+		r.flushStage()
+		i = 0
+	}
+	r.stage[i] = Event{
+		TS:      a.ts,
+		Payload: minv<<32 | bitmap,
+		Row:     a.row,
+		Iter:    a.cnt,
+		Peer:    int32(n) | blockComplete | wlog<<7,
+		Kind:    KindReadBlock,
+	}
+	r.nstage = i + 1
+	return true
+}
+
+// closeRelax encodes and clears the open relaxation. A complete
+// relaxation usually becomes a single self-contained KindReadBlock
+// (tryCompleteBlock); everything else re-emits the classic grouped
+// encoding — KindRelaxStart, reads (blocks or plain), and KindRelaxEnd
+// when complete. Incomplete closings (a new RelaxStart or a reader
+// sync arrived first) stage the group without its end marker, which
+// the bridge discards exactly like a wraparound-truncated group.
+func (r *Ring) closeRelax(complete bool) {
+	if complete && r.tryCompleteBlock() {
+		return
+	}
+	a := &r.acc
+	a.open = false
+	save := r.now
+	r.now = a.ts
+	if !a.emitted {
+		r.put(KindRelaxStart, a.row, a.cnt, -1, 0)
+	}
+	r.flushChunk()
+	if complete {
+		r.put(KindRelaxEnd, a.row, a.cnt, -1, 0)
+	}
+	a.start, a.emitted, a.n = 0, false, 0
+	r.now = save
+}
+
+// sync makes the ring externally consistent: the open relaxation (if
+// any) and the staging block are published. Reader-side methods call
+// it; the owner must have finished appending (same happens-before edge
+// as Events).
+func (r *Ring) sync() {
+	if r.acc.open {
+		r.closeRelax(false)
+	}
+	r.flushStage()
+}
+
+// Record appends one raw event under a fresh timestamp; nil-safe.
+// Worker-level helpers route through it. It does not disturb an open
+// relaxation: a yield or checkpoint landing mid-relaxation stages
+// immediately (its stamp carries the ordering) while the relaxation
+// still encodes as one block at RelaxEnd.
+func (r *Ring) Record(k Kind, row, iter, peer int32, payload int64) {
+	if r == nil {
+		return
+	}
+	r.refresh()
+	r.put(k, row, iter, peer, payload)
+}
+
+// Typed helpers — all nil-safe.
+//
+// The Try* variants are the inlinable fast paths of the corresponding
+// helpers, for hot loops that relax rows millions of times per second:
+// they report true when the event was fully handled (or the ring is
+// nil) and false when the caller must invoke the full helper. A
+// non-inlinable function call costs more than an entire untraced
+// relaxation on small stencils, so the solvers guard every per-event
+// call with the Try form; everyone else can just call the full
+// helpers, which subsume them.
+
+// TryRelaxStart is the inlinable fast path of RelaxStart: open the
+// deferred accumulator under the coarse clock stamp. It succeeds only
+// on unsampled coalescing rings (only those arm tick) with no open
+// relaxation, a non-negative row, and a stride budget left.
+func (r *Ring) TryRelaxStart(row, count int) bool {
+	if r == nil {
+		return true
+	}
+	a := &r.acc
+	t := r.tick - 1
+	if t >= 0 && !a.open && row >= 0 {
+		r.tick = t
+		a.open = true
+		a.row, a.cnt, a.ts = int32(row), int32(count), r.now
+		return true
+	}
+	return false
+}
+
+// TryReadVersion is the inlinable fast path of ReadVersion: append one
+// read to the open relaxation's accumulator. Like ReadVersion's own
+// fast path it trusts the caller's nesting discipline — the read must
+// belong to the relaxation bracketed by the enclosing
+// RelaxStart/RelaxEnd pair on this ring.
+func (r *Ring) TryReadVersion(src, version int) bool {
+	if r == nil {
+		return true
+	}
+	a := &r.acc
+	n := a.n
+	if a.open && n < coalesceMax {
+		a.cols[n] = int32(src)
+		a.vers[n] = int64(version)
+		a.n = n + 1
+		return true
+	}
+	return false
+}
+
+// TryRelaxEnd is the inlinable fast path of RelaxEnd: close the open
+// relaxation as one self-contained block event. Like TryReadVersion it
+// trusts the caller's nesting — the open relaxation is the one the
+// caller is ending — so it takes no row/count to match against.
+func (r *Ring) TryRelaxEnd() bool {
+	if r == nil {
+		return true
+	}
+	return r.acc.open && r.tryCompleteBlock()
+}
+
+// RelaxStart marks the beginning of row's count-th relaxation. With
+// coalescing on, nothing is staged yet — the relaxation encodes at
+// RelaxEnd (usually as one block event). The fast path inlines into
+// the solver: tick > 0 is only ever true for unsampled coalescing
+// rings (the slow path arms it), so the single comparison also proves
+// no sampling policy needs consulting and no previous relaxation is
+// open to close. The clock stamp is the coarse one refreshed every
+// clockStride-th relaxation by the slow path.
 func (r *Ring) RelaxStart(row, count int) {
-	r.Record(KindRelaxStart, int32(row), int32(count), -1, 0)
+	if r == nil {
+		return
+	}
+	a := &r.acc
+	t := r.tick - 1
+	if t >= 0 && !a.open && row >= 0 {
+		r.tick = t
+		a.open = true
+		a.row, a.cnt, a.ts = int32(row), int32(count), r.now
+		return
+	}
+	r.relaxStartSlow(row, count)
 }
 
-// RelaxEnd marks the end of row's count-th relaxation (read phase).
+// relaxStartSlow is the out-of-line RelaxStart: close any open
+// relaxation, consult the sampling policy, refresh the coarse clock
+// (re-arming the fast path's tick for fast rings), and either stage an
+// immediate KindRelaxStart (rank-level or uncoalesced) or open the
+// deferred accumulator.
+func (r *Ring) relaxStartSlow(row, count int) {
+	if r.acc.open {
+		r.closeRelax(false)
+	}
+	if r.pol != nil && !r.pol.Keep(int32(count)) {
+		r.sampledOut++
+		return
+	}
+	r.refresh()
+	if r.fast {
+		r.tick = clockStride - 1
+	}
+	if row < 0 || !r.coalesce {
+		r.put(KindRelaxStart, int32(row), int32(count), -1, 0)
+		return
+	}
+	a := &r.acc
+	a.open, a.emitted = true, false
+	a.row, a.cnt, a.ts = int32(row), int32(count), r.now
+	a.start, a.n = 0, 0
+}
+
+// RelaxEnd marks the end of row's count-th relaxation (read phase) and
+// publishes the deferred encoding — on the hot path a single
+// self-contained KindReadBlock stored straight into the staging
+// buffer. Rank-level brackets (row < 0) take a fresh stamp so
+// iteration slices keep real durations; row relaxations reuse the
+// RelaxStart stamp.
 func (r *Ring) RelaxEnd(row, count int) {
-	r.Record(KindRelaxEnd, int32(row), int32(count), -1, 0)
+	if r == nil {
+		return
+	}
+	a := &r.acc
+	if a.open && a.row == int32(row) && a.cnt == int32(count) && r.tryCompleteBlock() {
+		return
+	}
+	r.relaxEndSlow(row, count)
+}
+
+// relaxEndSlow handles everything the single-block fast path cannot:
+// grouped fallback encodings, mismatched or absent open relaxations,
+// sampling, and rank-level brackets.
+func (r *Ring) relaxEndSlow(row, count int) {
+	a := &r.acc
+	if a.open {
+		if a.row == int32(row) && a.cnt == int32(count) {
+			r.closeRelax(true)
+			return
+		}
+		r.closeRelax(false)
+	}
+	if r.pol != nil && !r.pol.Keep(int32(count)) {
+		r.sampledOut++
+		return
+	}
+	if row < 0 {
+		r.refresh()
+	}
+	r.put(KindRelaxEnd, int32(row), int32(count), -1, 0)
 }
 
 // ReadVersion records that row's count-th relaxation read version of
-// row src.
+// row src. Reads of the open relaxation accumulate and publish as
+// coalesced KindReadBlock events; srcs must then arrive in the row's
+// CSR off-diagonal column order (which is how the solvers iterate),
+// because the block encodes positions, not column ids. Reads outside
+// an open relaxation stage plain KindRead events (the uncoalesced wire
+// format). The fast path — accumulate into the open relaxation — is
+// two array stores and inlines into the solver; an open accumulator
+// already implies coalescing is on and the sampling policy admitted
+// this count. It trusts the solvers' call discipline — reads between a
+// RelaxStart/RelaxEnd pair belong to that relaxation — so it elides
+// the row/count match; the slow path keeps the full check for
+// out-of-group reads.
 func (r *Ring) ReadVersion(row, count, src, version int) {
-	r.Record(KindRead, int32(row), int32(count), int32(src), int64(version))
+	if r == nil {
+		return
+	}
+	a := &r.acc
+	n := a.n
+	if a.open && n < coalesceMax {
+		a.cols[n] = int32(src)
+		a.vers[n] = int64(version)
+		a.n = n + 1
+		return
+	}
+	r.readVersionSlow(row, count, src, version)
 }
 
-// Write records the solution write of row's count-th relaxation.
+// readVersionSlow handles sampling, the plain KindRead fallback, and
+// the chunk-spill case (a relaxation outgrowing one 32-read block).
+func (r *Ring) readVersionSlow(row, count, src, version int) {
+	if r.pol != nil && !r.pol.Keep(int32(count)) {
+		r.sampledOut++
+		return
+	}
+	a := &r.acc
+	if !a.open || a.row != int32(row) || a.cnt != int32(count) {
+		r.put(KindRead, int32(row), int32(count), int32(src), int64(version))
+		return
+	}
+	// The accumulator is full: spill it as a grouped chunk, then keep
+	// accumulating.
+	r.spillChunk()
+	a.cols[a.n] = int32(src)
+	a.vers[a.n] = int64(version)
+	a.n++
+}
+
+// Write records the solution write of row's count-th relaxation. The
+// coalesced encoding elides the marker: no consumer distinguishes the
+// write moment from the relaxation that produced it at the coarse
+// clock's resolution (the bridge ignores KindWrite entirely), so the
+// event would be a third of the hot-path volume for nothing. Disable
+// coalescing to record exact per-write events.
 func (r *Ring) Write(row, count int) {
-	r.Record(KindWrite, int32(row), int32(count), -1, 0)
+	if r == nil || r.coalesce {
+		return
+	}
+	r.writeSlow(row, count)
+}
+
+func (r *Ring) writeSlow(row, count int) {
+	if r.pol != nil && !r.pol.Keep(int32(count)) {
+		r.sampledOut++
+		return
+	}
+	r.put(KindWrite, int32(row), int32(count), -1, 0)
 }
 
 // Yield records a scheduler yield.
@@ -305,6 +948,7 @@ func (r *Ring) Len() int {
 	if r == nil {
 		return 0
 	}
+	r.sync()
 	if r.n < uint64(len(r.buf)) {
 		return int(r.n)
 	}
@@ -316,6 +960,7 @@ func (r *Ring) Total() int {
 	if r == nil {
 		return 0
 	}
+	r.sync()
 	return int(r.n)
 }
 
@@ -324,16 +969,49 @@ func (r *Ring) Dropped() int {
 	if r == nil {
 		return 0
 	}
+	r.sync()
 	if d := int(r.n) - len(r.buf); d > 0 {
 		return d
 	}
 	return 0
 }
 
+// SampledOut reports how many events the sampling policy suppressed.
+func (r *Ring) SampledOut() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.sampledOut)
+}
+
+// Stats snapshots the ring's accounting counters.
+func (r *Ring) Stats() RingStats {
+	if r == nil {
+		return RingStats{}
+	}
+	r.sync()
+	s := RingStats{
+		Retained:   r.Len(),
+		Total:      int(r.n),
+		Coalesced:  int(r.coalesced),
+		SampledOut: int(r.sampledOut),
+		Bytes:      int(r.n) * EventBytes,
+	}
+	s.Dropped = s.Total - s.Retained
+	if r.seenTS && r.lastTS > r.firstTS {
+		s.ElapsedNs = r.lastTS - r.firstTS
+	}
+	return s
+}
+
 // Events returns the retained events oldest-first. The returned slice
 // aliases the ring; callers must not append to the ring afterwards.
 func (r *Ring) Events() []Event {
-	if r == nil || r.n == 0 {
+	if r == nil {
+		return nil
+	}
+	r.sync()
+	if r.n == 0 {
 		return nil
 	}
 	if r.n <= uint64(len(r.buf)) {
@@ -348,28 +1026,98 @@ func (r *Ring) Events() []Event {
 
 // Recorder owns one ring per worker/rank, sharing a monotonic epoch.
 type Recorder struct {
-	rings []*Ring
-	base  time.Time
+	rings    []*Ring
+	base     time.Time
+	pol      *SamplePolicy
+	coalesce bool
+	exact    bool
 }
 
 // DefaultCapacity is the per-worker ring size commands use unless told
 // otherwise: 2^16 events = 2 MiB per worker.
 const DefaultCapacity = 1 << 16
 
+// Option configures a Recorder at construction.
+type Option func(*Recorder)
+
+// WithSampling installs a per-relaxation sampling policy (nil keeps
+// everything). The bridge detects a sampled recorder and verifies the
+// longest contiguous suffix per row instead of requiring a gap-free
+// window.
+func WithSampling(p *SamplePolicy) Option {
+	return func(rec *Recorder) { rec.pol = p }
+}
+
+// WithoutCoalescing disables KindReadBlock coalescing, recording one
+// KindRead per component read (the pre-coalescing wire format; useful
+// for differential testing and for consumers that cannot be given the
+// matrix the bridge needs to expand blocks).
+func WithoutCoalescing() Option {
+	return func(rec *Recorder) { rec.coalesce = false }
+}
+
+// WithExactStamps refreshes the coarse clock on every relaxation
+// instead of every clockStride-th, restoring exact cross-worker
+// interleaving at the cost of one monotonic clock read per relaxation
+// (roughly the cost of an untraced relaxation on small stencils).
+// Production tracing does not need it — within a stride the workers
+// race anyway — but differential tests and schedule-forensics tools
+// that assert fine-grained ordering do.
+func WithExactStamps() Option {
+	return func(rec *Recorder) { rec.exact = true }
+}
+
 // NewRecorder allocates rings for `workers` workers, each holding
-// `capacity` events (DefaultCapacity if capacity <= 0).
-func NewRecorder(workers, capacity int) *Recorder {
+// `capacity` events (DefaultCapacity if capacity <= 0). Read
+// coalescing is on by default.
+func NewRecorder(workers, capacity int, opts ...Option) *Recorder {
 	if workers <= 0 {
 		panic("trace: workers must be positive")
 	}
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	rec := &Recorder{base: time.Now(), rings: make([]*Ring, workers)}
+	rec := &Recorder{base: time.Now(), rings: make([]*Ring, workers), coalesce: true}
+	for _, o := range opts {
+		o(rec)
+	}
 	for i := range rec.rings {
-		rec.rings[i] = &Ring{buf: make([]Event, capacity), base: rec.base, id: i}
+		rec.rings[i] = &Ring{
+			buf:      make([]Event, capacity),
+			base:     rec.base,
+			id:       i,
+			pol:      rec.pol,
+			coalesce: rec.coalesce,
+			fast:     rec.pol == nil && rec.coalesce && !rec.exact,
+		}
 	}
 	return rec
+}
+
+// Reset rewinds every ring to empty and restarts the shared epoch, so
+// one recorder (and its megabytes of ring buffer) can be reused across
+// solves instead of reallocated — the always-on deployment shape. The
+// buffers are not rezeroed: a ring never reads past its published
+// count, so stale events are unreachable. The same single-writer rule
+// applies: only call Reset when no worker is appending.
+func (rec *Recorder) Reset() {
+	if rec == nil {
+		return
+	}
+	rec.base = time.Now()
+	for _, r := range rec.rings {
+		r.n = 0
+		r.base = rec.base
+		r.now = 0
+		r.tick = 0
+		r.nstage = 0
+		r.acc = relaxAcc{}
+		r.sampledOut = 0
+		r.coalesced = 0
+		r.seenTS = false
+		r.firstTS = 0
+		r.lastTS = 0
+	}
 }
 
 // Worker returns the ring owned by worker id; nil-safe, and nil when
@@ -388,6 +1136,25 @@ func (rec *Recorder) Workers() int {
 		return 0
 	}
 	return len(rec.rings)
+}
+
+// Sampled reports whether a sampling policy is installed — the bridge
+// switches to gap-tolerant suffix reconstruction when it is.
+func (rec *Recorder) Sampled() bool {
+	return rec != nil && rec.pol != nil
+}
+
+// Policy returns the installed sampling policy (nil when unsampled).
+func (rec *Recorder) Policy() *SamplePolicy {
+	if rec == nil {
+		return nil
+	}
+	return rec.pol
+}
+
+// Coalescing reports whether reads coalesce into KindReadBlock events.
+func (rec *Recorder) Coalescing() bool {
+	return rec != nil && rec.coalesce
 }
 
 // TotalEvents sums retained events across rings.
@@ -412,4 +1179,25 @@ func (rec *Recorder) TotalDropped() int {
 		n += r.Dropped()
 	}
 	return n
+}
+
+// Totals aggregates Stats across all rings.
+func (rec *Recorder) Totals() RingStats {
+	var t RingStats
+	if rec == nil {
+		return t
+	}
+	for _, r := range rec.rings {
+		s := r.Stats()
+		t.Retained += s.Retained
+		t.Total += s.Total
+		t.Dropped += s.Dropped
+		t.Coalesced += s.Coalesced
+		t.SampledOut += s.SampledOut
+		t.Bytes += s.Bytes
+		if s.ElapsedNs > t.ElapsedNs {
+			t.ElapsedNs = s.ElapsedNs
+		}
+	}
+	return t
 }

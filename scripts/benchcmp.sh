@@ -7,6 +7,11 @@
 # Usage:
 #   scripts/benchcmp.sh [out.json]
 #
+# The gate is two-sided. Regressions beyond MAX_REGRESS fail; with
+# RATCHET=1, improvements beyond NOISE rewrite the committed baseline's
+# floor in place (commit the diff to bank the win). The traced/untraced
+# ratio gate (RATIO <= MAX_RATIO) always runs, baseline or not.
+#
 # Environment knobs:
 #   BENCH_PKGS   packages to benchmark        (default ./internal/shm/)
 #   BENCH_REGEX  -bench selector              (default Benchmark)
@@ -14,6 +19,11 @@
 #   COUNT        -count, best-of-N per bench  (default 3)
 #   GATE_FILTER  regexp of gated benchmarks   (default ^BenchmarkAsyncSolve)
 #   MAX_REGRESS  allowed ns/op growth, %      (default 20)
+#   RATCHET      1 = bank improvements into the baseline (default 0)
+#   NOISE        improvement % needed to ratchet          (default 5)
+#   RATIO        NUM/DEN ns/op ratio gate
+#                (default BenchmarkAsyncSolveTraced/BenchmarkAsyncSolve)
+#   MAX_RATIO    fail if RATIO exceeds this   (default 2.5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +37,10 @@ benchtime="${BENCHTIME:-3x}"
 count="${COUNT:-3}"
 filter="${GATE_FILTER:-^BenchmarkAsyncSolve}"
 max="${MAX_REGRESS:-20}"
+ratchet="${RATCHET:-0}"
+noise="${NOISE:-5}"
+ratio="${RATIO:-BenchmarkAsyncSolveTraced/BenchmarkAsyncSolve}"
+max_ratio="${MAX_RATIO:-2.5}"
 
 # shellcheck disable=SC2086 # BENCH_PKGS is a deliberate word list
 go test -bench "$regex" -benchtime "$benchtime" -count "$count" -run '^$' $pkgs | tee "$raw"
@@ -34,8 +48,14 @@ go run ./scripts/benchcmp -emit "$out" -benchtime "$benchtime" < "$raw"
 
 baseline="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
 if [ -z "$baseline" ]; then
-    echo "benchcmp.sh: no committed BENCH_*.json baseline; nothing to gate" >&2
+    echo "benchcmp.sh: no committed BENCH_*.json baseline; ratio gate only" >&2
+    go run ./scripts/benchcmp -new "$out" -ratio "$ratio" -max-ratio "$max_ratio"
     exit 0
 fi
+flags=(-old "$baseline" -new "$out" -filter "$filter" -max-regress "$max"
+    -ratio "$ratio" -max-ratio "$max_ratio")
+if [ "$ratchet" = 1 ]; then
+    flags+=(-ratchet -noise "$noise")
+fi
 echo "benchcmp.sh: comparing $out against $baseline" >&2
-go run ./scripts/benchcmp -old "$baseline" -new "$out" -filter "$filter" -max-regress "$max"
+go run ./scripts/benchcmp "${flags[@]}"

@@ -21,6 +21,20 @@
 // -max-regress percent fail the run with exit code 1. Benchmarks that
 // exist on only one side are reported but never gate: new benchmarks
 // appear every PR and old ones are sometimes renamed.
+//
+// With -ratchet the gate tightens in both directions: a gated
+// benchmark that improves by more than -noise percent rewrites its
+// floor in the baseline file in place, so the next run is measured
+// against the better number. Regressions still fail; improvements are
+// banked instead of evaporating into the noise margin.
+//
+// -ratio NUM/DEN -max-ratio R additionally gates the relative cost of
+// one benchmark against another within the new snapshot — e.g.
+//
+//	-ratio BenchmarkAsyncSolveTraced/BenchmarkAsyncSolve -max-ratio 2.5
+//
+// asserts the traced solve stays within 2.5x of the untraced one. The
+// ratio gate also runs standalone with just -new (no baseline needed).
 package main
 
 import (
@@ -68,6 +82,10 @@ func main() {
 	newPath := flag.String("new", "", "candidate snapshot (compare mode)")
 	filter := flag.String("filter", "^BenchmarkAsyncSolve", "regexp of benchmark names the regression gate applies to")
 	maxRegress := flag.Float64("max-regress", 20, "fail if a gated benchmark's ns/op grows by more than this percent")
+	ratchet := flag.Bool("ratchet", false, "rewrite the -old baseline's floor in place when a gated benchmark improves beyond -noise percent")
+	noise := flag.Float64("noise", 5, "improvement must beat this percent before -ratchet rewrites a floor")
+	ratio := flag.String("ratio", "", "NUM/DEN benchmark pair whose ns/op ratio is gated within the new snapshot")
+	maxRatio := flag.Float64("max-ratio", 2.5, "fail if the -ratio pair's ns/op quotient exceeds this")
 	flag.Parse()
 
 	switch {
@@ -76,7 +94,22 @@ func main() {
 			fatal(err)
 		}
 	case *oldPath != "" && *newPath != "":
-		ok, err := runCompare(*oldPath, *newPath, *filter, *maxRegress)
+		ok, err := runCompare(*oldPath, *newPath, *filter, *maxRegress, *ratchet, *noise)
+		if err != nil {
+			fatal(err)
+		}
+		if *ratio != "" {
+			rok, err := runRatio(*newPath, *ratio, *maxRatio)
+			if err != nil {
+				fatal(err)
+			}
+			ok = ok && rok
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	case *newPath != "" && *ratio != "":
+		ok, err := runRatio(*newPath, *ratio, *maxRatio)
 		if err != nil {
 			fatal(err)
 		}
@@ -84,7 +117,7 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "benchcmp: need -emit FILE (stdin = go test -bench output) or -old FILE -new FILE")
+		fmt.Fprintln(os.Stderr, "benchcmp: need -emit FILE (stdin = go test -bench output), -old FILE -new FILE, or -new FILE -ratio NUM/DEN")
 		os.Exit(2)
 	}
 }
@@ -175,7 +208,9 @@ func readSnapshot(path string) (*snapshot, error) {
 }
 
 // runCompare prints the delta table and reports whether the gate held.
-func runCompare(oldPath, newPath, filter string, maxRegress float64) (bool, error) {
+// With ratchet set, gated benchmarks that improved beyond the noise
+// margin rewrite their floor in the baseline file.
+func runCompare(oldPath, newPath, filter string, maxRegress float64, ratchet bool, noise float64) (bool, error) {
 	gate, err := regexp.Compile(filter)
 	if err != nil {
 		return false, fmt.Errorf("-filter: %w", err)
@@ -199,6 +234,7 @@ func runCompare(oldPath, newPath, filter string, maxRegress float64) (bool, erro
 
 	fmt.Printf("%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	failed := false
+	ratcheted := map[string]result{} // key -> improved observation
 	for _, r := range newSnap.Results {
 		key := r.Package + " " + r.Name
 		old, seen := oldBy[key]
@@ -213,6 +249,9 @@ func runCompare(oldPath, newPath, filter string, maxRegress float64) (bool, erro
 			if delta > maxRegress {
 				mark = "  [FAIL > " + strconv.FormatFloat(maxRegress, 'g', -1, 64) + "%]"
 				failed = true
+			} else if ratchet && delta < -noise {
+				mark = "  [ratchet]"
+				ratcheted[key] = r
 			}
 		}
 		fmt.Printf("%-55s %14.0f %14.0f %+8.1f%%%s\n", key, old.NsPerOp, r.NsPerOp, delta, mark)
@@ -231,6 +270,76 @@ func runCompare(oldPath, newPath, filter string, maxRegress float64) (bool, erro
 		fmt.Printf("\nbenchcmp: regression gate FAILED (filter %s, max %.4g%%)\n", filter, maxRegress)
 		return false, nil
 	}
+	if len(ratcheted) > 0 {
+		if err := writeRatchet(oldPath, oldSnap, ratcheted); err != nil {
+			return false, err
+		}
+	}
 	fmt.Printf("\nbenchcmp: gate ok (filter %s, max %.4g%%)\n", filter, maxRegress)
 	return true, nil
+}
+
+// writeRatchet rewrites the baseline in place with the improved floors,
+// keeping everything else (metadata, ungated rows) untouched so the
+// diff shows exactly which benchmarks got faster.
+func writeRatchet(oldPath string, oldSnap *snapshot, improved map[string]result) error {
+	for i, r := range oldSnap.Results {
+		key := r.Package + " " + r.Name
+		nr, ok := improved[key]
+		if !ok {
+			continue
+		}
+		fmt.Printf("benchcmp: ratcheting %s floor %0.f -> %0.f ns/op\n", r.Name, r.NsPerOp, nr.NsPerOp)
+		oldSnap.Results[i].NsPerOp = nr.NsPerOp
+		oldSnap.Results[i].Iterations = nr.Iterations
+		if nr.BytesPerOp != 0 || nr.AllocsPerOp != 0 {
+			oldSnap.Results[i].BytesPerOp = nr.BytesPerOp
+			oldSnap.Results[i].AllocsPerOp = nr.AllocsPerOp
+		}
+	}
+	buf, err := json.MarshalIndent(oldSnap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(oldPath, append(buf, '\n'), 0o644)
+}
+
+// runRatio gates the quotient of two benchmarks' ns/op inside one
+// snapshot: spec is "Numerator/Denominator" by benchmark name.
+func runRatio(path, spec string, maxRatio float64) (bool, error) {
+	num, den, ok := strings.Cut(spec, "/")
+	if !ok || num == "" || den == "" {
+		return false, fmt.Errorf("-ratio: want NUM/DEN, got %q", spec)
+	}
+	snap, err := readSnapshot(path)
+	if err != nil {
+		return false, err
+	}
+	find := func(name string) (result, error) {
+		for _, r := range snap.Results {
+			if r.Name == name {
+				return r, nil
+			}
+		}
+		return result{}, fmt.Errorf("-ratio: %s not in %s", name, path)
+	}
+	rn, err := find(num)
+	if err != nil {
+		return false, err
+	}
+	rd, err := find(den)
+	if err != nil {
+		return false, err
+	}
+	if rd.NsPerOp <= 0 {
+		return false, fmt.Errorf("-ratio: %s has non-positive ns/op", den)
+	}
+	q := rn.NsPerOp / rd.NsPerOp
+	verdict := "ok"
+	if q > maxRatio {
+		verdict = "FAILED"
+	}
+	fmt.Printf("\nbenchcmp: ratio gate %s: %s / %s = %.0f / %.0f = %.2fx (max %.4gx)\n",
+		verdict, num, den, rn.NsPerOp, rd.NsPerOp, q, maxRatio)
+	return q <= maxRatio, nil
 }
