@@ -26,6 +26,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/ledger"
 	"repro/internal/partition"
 )
 
@@ -50,6 +51,7 @@ func main() {
 	pf := cli.RegisterProfileFlags(flag.CommandLine)
 	ff := cli.RegisterFaultFlags(flag.CommandLine)
 	rf := cli.RegisterRecoveryFlags(flag.CommandLine)
+	lf := cli.RegisterLedgerFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cli.Usagef("ajdist", "unexpected arguments %v", flag.Args())
@@ -76,10 +78,28 @@ func main() {
 		cli.Fatalf("ajdist", "%v", err)
 	}
 	mx.SetProblem(a.N, 0)
+	led, err := lf.Sink("ajdist")
+	if err != nil {
+		cli.Usagef("ajdist", "%v", err)
+	}
+	led.Describe(*gen, a)
+	method := "jacobi-sync"
+	if *async {
+		method = "jacobi-async"
+		if *eager {
+			method = "jacobi-async-eager"
+		}
+	}
+	led.SetSubstrate("dist", method)
+	led.SetConfig(ledger.SolveConfig{Tol: *tol, MaxSweeps: *maxIters, Threads: *ranks, Seed: *seed})
+	if spec := rf.Spec(); spec != nil {
+		led.SetCheckpoint(spec.Path)
+	}
 	ts, err := tf.Sink("dist", *ranks, *maxIters)
 	if err != nil {
 		cli.Usagef("ajdist", "%v", err)
 	}
+	led.AttachTrace(ts.Recorder())
 	plan, err := ff.Plan(*ranks)
 	if err != nil {
 		cli.Usagef("ajdist", "%v", err)
@@ -102,7 +122,7 @@ func main() {
 		Eager:         *eager,
 		DelayRank:     -1,
 		RecordHistory: *history,
-		Metrics:       mx.Handle(),
+		Metrics:       led.Instrument(mx),
 		Tracer:        ts.Recorder(),
 		Fault:         plan,
 		MaxTime:       rf.MaxTime(),
@@ -145,6 +165,11 @@ func main() {
 	if perr := prof.Stop(); perr != nil {
 		cli.Fatalf("ajdist", "profile: %v", perr)
 	}
+	led.RecordOutcome(ledger.Outcome{
+		Converged: res.Converged, StopReason: res.StopReason.String(),
+		Sweeps: res.TotalRelaxations / a.N, RelRes: res.RelRes,
+		WallNs: int64(res.WallTime), SolveNs: int64(res.Elapsed), Resumes: res.Resumes,
+	})
 	mode := "sync (point-to-point)"
 	if *async {
 		mode = "async (RMA windows)"
@@ -184,6 +209,9 @@ func main() {
 	}
 	if err := ts.Finish(); err != nil {
 		cli.Fatalf("ajdist", "trace: %v", err)
+	}
+	if err := led.Finish(); err != nil {
+		cli.Fatalf("ajdist", "ledger: %v", err)
 	}
 	if opt.Tol > 0 && !res.Converged {
 		os.Exit(3)

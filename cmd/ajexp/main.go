@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/ledger"
 )
 
 func main() {
@@ -26,6 +27,8 @@ func main() {
 	repeats := flag.Int("repeats", 1, "average jitter-sensitive measurements over this many seeds (fig8)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	format := flag.String("format", "text", "output format: text | csv | plot (csv/plot cover a subset of experiments)")
+	lf := cli.RegisterLedgerFlags(flag.CommandLine)
+	sweep := flag.String("sweep", "", "sweep ID stored on ledger records (default: the experiment name)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ajexp [-quick] [-seed N] {all | %s}\n",
 			strings.Join(experiments.Names(), " | "))
@@ -47,8 +50,22 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Repeats: *repeats}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Repeats: *repeats, LedgerNote: lf.Note}
+	if lf.Dir != "" {
+		store, err := ledger.Open(lf.Dir)
+		if err != nil {
+			cli.Fatalf("ajexp", "%v", err)
+		}
+		cfg.Ledger = store
+		// Appends are individually durable; Close below only refreshes
+		// the read-side index cache.
+		defer store.Close()
+	}
 	for _, name := range args {
+		cfg.SweepID = *sweep
+		if cfg.SweepID == "" {
+			cfg.SweepID = name
+		}
 		var err error
 		switch {
 		case name == "all" && *format == "csv":

@@ -1,0 +1,270 @@
+// Command ajreport inspects the run ledger: the persistent cross-run
+// history that every solver entry point appends to (see -ledger on
+// ajsolve/ajdist/ajtrace/ajexp, or the AJ_LEDGER environment default).
+//
+// Subcommands:
+//
+//	ajreport -ledger DIR list [-tool T] [-substrate S] [-failed] ...
+//	ajreport -ledger DIR show ID            # full record JSON (prefix ok)
+//	ajreport -ledger DIR diff ID-A ID-B     # field-by-field comparison
+//	ajreport -ledger DIR rates [-sweep ID]  # rebuild rate-vs-workers (§VII)
+//	ajreport -ledger DIR sweeps             # list recorded sweeps
+//
+// `rates` reproduces the paper's Section VII headline table — the
+// asynchronous rate improving with the worker count — from history
+// instead of a fresh sweep: group the recorded runs by worker count and
+// take the median fitted rho-hat per group. `-format csv` emits the
+// same table machine-readably.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/experiments"
+	"repro/internal/ledger"
+)
+
+func main() {
+	dir := flag.String("ledger", os.Getenv("AJ_LEDGER"), "ledger directory (default $AJ_LEDGER)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ajreport -ledger DIR {list | show ID | diff ID-A ID-B | rates | sweeps} [options]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *dir == "" {
+		cli.Usagef("ajreport", "no ledger directory: pass -ledger or set AJ_LEDGER")
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	recs, stats := load(*dir)
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "list":
+		runList(recs, stats, rest)
+	case "show":
+		runShow(recs, rest)
+	case "diff":
+		runDiff(recs, rest)
+	case "rates":
+		runRates(recs, rest)
+	case "sweeps":
+		runSweeps(recs, rest)
+	default:
+		cli.Usagef("ajreport", "unknown subcommand %q (want list, show, diff, rates, or sweeps)", cmd)
+	}
+}
+
+// load reads every record once; all subcommands work off the same scan.
+func load(dir string) ([]*ledger.RunRecord, ledger.ScanStats) {
+	s, err := ledger.Open(dir)
+	if err != nil {
+		cli.Fatalf("ajreport", "%v", err)
+	}
+	defer s.Close()
+	recs, stats, err := s.Records()
+	if err != nil {
+		cli.Fatalf("ajreport", "%v", err)
+	}
+	if stats.Torn > 0 || stats.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "ajreport: dropped %d torn and %d unreadable records (of %d segments)\n",
+			stats.Torn, stats.Skipped, stats.Segments)
+	}
+	return recs, stats
+}
+
+// filterFlags registers the shared record filters on a subcommand's
+// flag set and returns a closure producing the ledger.Filter.
+func filterFlags(fs *flag.FlagSet) func() ledger.Filter {
+	tool := fs.String("tool", "", "keep records from this tool (ajsolve, ajexp, ...)")
+	substrate := fs.String("substrate", "", "keep records on this substrate (seq, shm, dist, cluster)")
+	method := fs.String("method", "", "keep records of this method")
+	sweep := fs.String("sweep", "", "keep records of this sweep ID")
+	matrix := fs.String("matrix", "", "keep records whose matrix fingerprint matches exactly or generator spec contains this")
+	since := fs.Duration("since", 0, "keep records newer than this age (e.g. 24h; 0 = all)")
+	failed := fs.Bool("failed", false, "keep only non-converged runs")
+	converged := fs.Bool("converged", false, "keep only converged runs")
+	return func() ledger.Filter {
+		f := ledger.Filter{
+			Tool: *tool, Substrate: *substrate, Method: *method,
+			Sweep: *sweep, Matrix: *matrix,
+			FailedOnly: *failed, ConvergedOnly: *converged,
+		}
+		if *since > 0 {
+			f.Since = time.Now().Add(-*since)
+		}
+		return f
+	}
+}
+
+func parseInto(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+}
+
+func runList(recs []*ledger.RunRecord, stats ledger.ScanStats, args []string) {
+	fs := flag.NewFlagSet("ajreport list", flag.ExitOnError)
+	filter := filterFlags(fs)
+	limit := fs.Int("n", 0, "show at most the newest N records (0 = all)")
+	parseInto(fs, args)
+	sel := ledger.Select(recs, filter())
+	if *limit > 0 && len(sel) > *limit {
+		sel = sel[len(sel)-*limit:]
+	}
+	fmt.Printf("%-28s %-20s %-8s %-9s %-18s %6s %9s %10s %8s %9s %6s\n",
+		"id", "start", "tool", "substrate", "method", "n", "sweeps", "rel_res", "rho_hat", "wall", "ok")
+	for _, r := range sel {
+		fmt.Printf("%-28s %-20s %-8s %-9s %-18s %6d %9d %10.2g %8s %9s %6s\n",
+			r.ID, r.Start.Format("2006-01-02 15:04:05"), r.Tool, r.Substrate, r.Method,
+			r.Matrix.N, r.Outcome.Sweeps, r.Outcome.RelRes,
+			rhoStr(r.Rate), wallStr(r.Outcome.WallNs), okStr(r))
+	}
+	fmt.Printf("%d records (%d total, %d segments", len(sel), stats.Records, stats.Segments)
+	if stats.Torn > 0 {
+		fmt.Printf(", %d torn", stats.Torn)
+	}
+	fmt.Println(")")
+}
+
+func rhoStr(r ledger.RateInfo) string {
+	if r.Samples == 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(r.RhoHat, 'f', 5, 64)
+}
+
+func wallStr(ns int64) string {
+	if ns == 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(time.Millisecond).String()
+}
+
+func okStr(r *ledger.RunRecord) string {
+	if r.Outcome.Converged {
+		return "yes"
+	}
+	if r.Bundle != "" {
+		return "NO*" // * = a post-mortem bundle exists; `show` prints its path
+	}
+	return "NO"
+}
+
+func runShow(recs []*ledger.RunRecord, args []string) {
+	if len(args) != 1 {
+		cli.Usagef("ajreport", "show wants exactly one record ID (a unique prefix works)")
+	}
+	r, err := ledger.Find(recs, args[0])
+	if err != nil {
+		cli.Fatalf("ajreport", "%v", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		cli.Fatalf("ajreport", "%v", err)
+	}
+}
+
+func runDiff(recs []*ledger.RunRecord, args []string) {
+	fs := flag.NewFlagSet("ajreport diff", flag.ExitOnError)
+	all := fs.Bool("all", false, "print unchanged fields too")
+	parseInto(fs, args)
+	if fs.NArg() != 2 {
+		cli.Usagef("ajreport", "diff wants exactly two record IDs")
+	}
+	a, err := ledger.Find(recs, fs.Arg(0))
+	if err != nil {
+		cli.Fatalf("ajreport", "%v", err)
+	}
+	b, err := ledger.Find(recs, fs.Arg(1))
+	if err != nil {
+		cli.Fatalf("ajreport", "%v", err)
+	}
+	fmt.Printf("%-22s %-30s %-30s\n", "field", "A: "+a.ID, "B: "+b.ID)
+	changed := 0
+	for _, row := range ledger.Diff(a, b) {
+		if row.Changed {
+			changed++
+		} else if !*all {
+			continue
+		}
+		mark := " "
+		if row.Changed {
+			mark = "*"
+		}
+		fmt.Printf("%s %-20s %-30s %-30s\n", mark, row.Field, row.A, row.B)
+	}
+	fmt.Printf("%d fields differ\n", changed)
+}
+
+func runRates(recs []*ledger.RunRecord, args []string) {
+	fs := flag.NewFlagSet("ajreport rates", flag.ExitOnError)
+	filter := filterFlags(fs)
+	format := fs.String("format", "text", "output format: text | csv")
+	parseInto(fs, args)
+	sel := ledger.Select(recs, filter())
+	rows := ledger.RateTable(sel)
+	if len(rows) == 0 {
+		cli.Fatalf("ajreport", "no records with a fitted rate match (did the runs go through a -ledger-enabled sweep?)")
+	}
+	switch *format {
+	case "csv":
+		cw := csv.NewWriter(os.Stdout)
+		var out [][]string
+		for _, r := range rows {
+			out = append(out, []string{
+				strconv.Itoa(r.Workers),
+				strconv.FormatFloat(r.RhoHat, 'g', -1, 64),
+				strconv.FormatFloat(r.Lo, 'g', -1, 64),
+				strconv.FormatFloat(r.Hi, 'g', -1, 64),
+				strconv.Itoa(r.Samples),
+				strconv.FormatFloat(r.RelRes, 'g', -1, 64),
+				strconv.Itoa(r.Runs),
+			})
+		}
+		if err := experiments.WriteTable(cw,
+			[]string{"workers", "rho_hat", "rho_lo", "rho_hi", "samples", "rel_res", "runs"}, out); err != nil {
+			cli.Fatalf("ajreport", "%v", err)
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			cli.Fatalf("ajreport", "%v", err)
+		}
+	case "text":
+		fmt.Println("== rho-hat vs worker count, rebuilt from the ledger ==")
+		fmt.Printf("%-8s %10s %22s %10s %6s\n", "workers", "rho-hat", "95% band", "rel res", "runs")
+		for _, r := range rows {
+			fmt.Printf("%-8d %10.5f    [%.5f, %.5f] %10.2g %6d\n",
+				r.Workers, r.RhoHat, r.Lo, r.Hi, r.RelRes, r.Runs)
+		}
+		fmt.Println("  (median fitted rate per worker count across recorded runs; the")
+		fmt.Println("   paper's §VII trend — rate improves with more processes — from history)")
+	default:
+		cli.Usagef("ajreport", "unknown format %q (want text or csv)", *format)
+	}
+}
+
+func runSweeps(recs []*ledger.RunRecord, args []string) {
+	if len(args) != 0 {
+		cli.Usagef("ajreport", "sweeps takes no arguments")
+	}
+	sweeps := ledger.SweepList(recs)
+	if len(sweeps) == 0 {
+		fmt.Println("no sweeps recorded")
+		return
+	}
+	fmt.Printf("%-24s %6s %-20s\n", "sweep", "runs", "started")
+	for _, s := range sweeps {
+		fmt.Printf("%-24s %6d %-20s\n", s.ID, s.Runs, s.Start.Format("2006-01-02 15:04:05"))
+	}
+}

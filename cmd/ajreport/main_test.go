@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/csv"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/ledger"
+)
+
+// capture runs f with os.Stdout redirected into a pipe and returns
+// everything it printed. The subcommand runners print straight to
+// stdout (they are CLI handlers), so this is the test's seam.
+func capture(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// TestRoundTripThroughRealSolvers is the end-to-end acceptance path:
+// real asynchronous shared-memory solves (the quick rate sweep, which
+// streams through obs -> stream -> analytics exactly like a monitored
+// production run) record into a ledger, and every ajreport view is
+// rebuilt from that history alone.
+func TestRoundTripThroughRealSolvers(t *testing.T) {
+	dir := t.TempDir()
+	store, err := ledger.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := experiments.Config{Quick: true, Seed: 7, Ledger: store, SweepID: "rates-it"}
+	if _, err := experiments.RunRateSweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, stats := load(dir)
+	// Quick sweep: 2 worker counts x 3 reps.
+	if len(recs) != 6 {
+		t.Fatalf("got %d records, want 6 (scan %+v)", len(recs), stats)
+	}
+	if stats.Torn != 0 || stats.Skipped != 0 {
+		t.Fatalf("clean ledger scanned dirty: %+v", stats)
+	}
+	for _, r := range recs {
+		if r.Tool != "ajexp" || r.Sweep != "rates-it" {
+			t.Fatalf("record %s mislabelled: tool=%q sweep=%q", r.ID, r.Tool, r.Sweep)
+		}
+		if r.Rate.Samples == 0 {
+			t.Fatalf("record %s has no fitted rate", r.ID)
+		}
+		if r.Matrix.Fingerprint == "" || r.Env.Go == "" {
+			t.Fatalf("record %s missing fingerprint/env", r.ID)
+		}
+	}
+
+	t.Run("rates-csv", func(t *testing.T) {
+		out := capture(t, func() { runRates(recs, []string{"-format", "csv", "-sweep", "rates-it"}) })
+		rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Header + one row per worker count of the quick sweep {1, 16}.
+		if len(rows) != 3 {
+			t.Fatalf("got %d csv rows, want 3:\n%s", len(rows), out)
+		}
+		if got := strings.Join(rows[0], ","); got != "workers,rho_hat,rho_lo,rho_hi,samples,rel_res,runs" {
+			t.Fatalf("bad header %q", got)
+		}
+		for _, row := range rows[1:] {
+			w, _ := strconv.Atoi(row[0])
+			if w != 1 && w != 16 {
+				t.Errorf("unexpected worker count %q", row[0])
+			}
+			rho, err := strconv.ParseFloat(row[1], 64)
+			if err != nil || rho <= 0 || rho >= 1 {
+				t.Errorf("workers=%d: rho_hat %q not a convergent rate", w, row[1])
+			}
+			if runs, _ := strconv.Atoi(row[6]); runs != 3 {
+				t.Errorf("workers=%d: runs %q, want 3", w, row[6])
+			}
+		}
+	})
+
+	t.Run("rates-text", func(t *testing.T) {
+		out := capture(t, func() { runRates(recs, nil) })
+		if !strings.Contains(out, "rho-hat vs worker count") || !strings.Contains(out, "§VII") {
+			t.Fatalf("text table missing headline:\n%s", out)
+		}
+	})
+
+	t.Run("diff", func(t *testing.T) {
+		// First rep at 1 worker vs first at 16: threads must differ,
+		// the matrix fingerprint must not.
+		var a, b *ledger.RunRecord
+		for _, r := range recs {
+			if r.Config.Threads == 1 && a == nil {
+				a = r
+			}
+			if r.Config.Threads == 16 && b == nil {
+				b = r
+			}
+		}
+		if a == nil || b == nil {
+			t.Fatal("sweep did not cover both worker counts")
+		}
+		out := capture(t, func() { runDiff(recs, []string{a.ID, b.ID}) })
+		if !strings.Contains(out, "* config.threads") {
+			t.Fatalf("diff missed the threads change:\n%s", out)
+		}
+		if strings.Contains(out, "* matrix.fingerprint") {
+			t.Fatalf("same matrix diffed as changed:\n%s", out)
+		}
+		// A unique ID prefix resolves too.
+		out2 := capture(t, func() { runDiff(recs, []string{a.ID[:20], b.ID[:20]}) })
+		if !strings.Contains(out2, "* config.threads") {
+			t.Fatalf("prefix diff failed:\n%s", out2)
+		}
+	})
+
+	t.Run("list", func(t *testing.T) {
+		out := capture(t, func() { runList(recs, stats, []string{"-sweep", "rates-it"}) })
+		if !strings.Contains(out, "6 records") {
+			t.Fatalf("list count wrong:\n%s", out)
+		}
+		out = capture(t, func() { runList(recs, stats, []string{"-n", "2"}) })
+		if lines := strings.Count(out, "\n"); lines != 4 { // header + 2 + footer
+			t.Fatalf("-n 2 printed %d lines:\n%s", lines, out)
+		}
+	})
+
+	t.Run("show", func(t *testing.T) {
+		out := capture(t, func() { runShow(recs, []string{recs[0].ID}) })
+		if !strings.Contains(out, `"fingerprint"`) || !strings.Contains(out, `"rho_hat"`) {
+			t.Fatalf("show JSON incomplete:\n%s", out)
+		}
+	})
+
+	t.Run("sweeps", func(t *testing.T) {
+		out := capture(t, func() { runSweeps(recs, nil) })
+		if !strings.Contains(out, "rates-it") {
+			t.Fatalf("sweep list missing the sweep:\n%s", out)
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/ledger"
 )
 
 func main() {
@@ -50,6 +51,7 @@ func main() {
 	pf := cli.RegisterProfileFlags(flag.CommandLine)
 	ff := cli.RegisterFaultFlags(flag.CommandLine)
 	rf := cli.RegisterRecoveryFlags(flag.CommandLine)
+	lf := cli.RegisterLedgerFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cli.Usagef("ajsolve", "unexpected arguments %v", flag.Args())
@@ -89,6 +91,20 @@ func main() {
 		cli.Fatalf("ajsolve", "%v", err)
 	}
 	mx.SetProblem(a.N, 0)
+	led, err := lf.Sink("ajsolve")
+	if err != nil {
+		cli.Usagef("ajsolve", "%v", err)
+	}
+	led.Describe(spec, a)
+	substrate := "seq"
+	if m == core.JacobiAsync {
+		substrate = "shm"
+	}
+	led.SetSubstrate(substrate, m.String())
+	led.SetConfig(ledger.SolveConfig{Tol: *tol, MaxSweeps: *maxSweeps, Threads: *threads, Seed: *seed})
+	if spec := rf.Spec(); spec != nil {
+		led.SetCheckpoint(spec.Path)
+	}
 	if tf.Out != "" && m != core.JacobiAsync {
 		cli.Usagef("ajsolve", "-trace-out records the asynchronous solver; use -method jacobi-async")
 	}
@@ -96,6 +112,7 @@ func main() {
 	if err != nil {
 		cli.Usagef("ajsolve", "%v", err)
 	}
+	led.AttachTrace(ts.Recorder())
 	plan, err := ff.Plan(*threads)
 	if err != nil {
 		cli.Usagef("ajsolve", "%v", err)
@@ -124,7 +141,7 @@ func main() {
 		Threads:        *threads,
 		Omega:          *omega,
 		BlockSize:      *blockSize,
-		Metrics:        mx.Handle(),
+		Metrics:        led.Instrument(mx),
 		Tracer:         ts.Recorder(),
 		Fault:          plan,
 		MaxTime:        rf.MaxTime(),
@@ -139,6 +156,15 @@ func main() {
 	if err != nil {
 		cli.Fatalf("ajsolve", "%v", err)
 	}
+	resumes := 0
+	if ck != nil {
+		resumes = 1
+	}
+	led.RecordOutcome(ledger.Outcome{
+		Converged: res.Converged, StopReason: res.StopReason.String(),
+		Sweeps: res.Sweeps, RelRes: res.RelRes,
+		WallNs: int64(time.Since(t0)), SolveNs: int64(res.Elapsed), Resumes: resumes,
+	})
 	fmt.Printf("matrix:     n=%d nnz=%d wdd=%.2f\n", a.N, a.NNZ(), a.WDDFraction())
 	fmt.Printf("method:     %s\n", m)
 	fmt.Printf("sweeps:     %d\n", res.Sweeps)
@@ -157,6 +183,9 @@ func main() {
 	}
 	if err := ts.Finish(); err != nil {
 		cli.Fatalf("ajsolve", "trace: %v", err)
+	}
+	if err := led.Finish(); err != nil {
+		cli.Fatalf("ajsolve", "ledger: %v", err)
 	}
 	if !res.Converged {
 		os.Exit(3)

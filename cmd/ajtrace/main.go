@@ -27,6 +27,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/ledger"
 	"repro/internal/model"
 	"repro/internal/shm"
 	"repro/internal/sparse"
@@ -51,6 +52,7 @@ func main() {
 	traceCap := flag.Int("trace-cap", 0, "ring-buffer capacity per worker (0 = default)")
 	sample := flag.String("trace-sample", "", "sampling policy: 1/N (or every:N), head:K, tail:K; empty records everything")
 	coalesce := flag.Bool("trace-coalesce", true, "coalesce per-relaxation reads into block events; false records one event per read")
+	lf := cli.RegisterLedgerFlags(flag.CommandLine)
 	flag.Parse()
 
 	var ropts []trace.Option
@@ -64,6 +66,11 @@ func main() {
 	}
 	if !*coalesce {
 		ropts = append(ropts, trace.WithoutCoalescing())
+	}
+
+	led, err := lf.Sink("ajtrace")
+	if err != nil {
+		cli.Usagef("ajtrace", "%v", err)
 	}
 
 	var tr *model.Trace
@@ -96,16 +103,29 @@ func main() {
 		b := experiments.RandomVec(rng, a.N)
 		x0 := experiments.RandomVec(rng, a.N)
 		rec := trace.NewRecorder(*ranks, *traceCap, ropts...)
+		led.Describe(*gen, a)
+		led.SetSubstrate("dist", "jacobi-async")
+		led.SetConfig(ledger.SolveConfig{MaxSweeps: *iters, Threads: *ranks, Seed: *seed})
+		led.AttachTrace(rec)
 		res := dist.Solve(a, b, x0, dist.SolveOptions{
 			Procs:     *ranks,
 			MaxIters:  *iters,
 			Async:     true,
 			DelayRank: -1,
+			Metrics:   led.Instrument(nil),
 			Tracer:    rec,
+		})
+		led.RecordOutcome(ledger.Outcome{
+			Converged: res.Converged, StopReason: res.StopReason.String(),
+			Sweeps: res.TotalRelaxations / a.N, RelRes: res.RelRes,
+			WallNs: int64(res.WallTime), SolveNs: int64(res.Elapsed),
 		})
 		fmt.Printf("recorded dist run: n=%d ranks=%d events=%d (final rel res %.3g)\n",
 			a.N, *ranks, rec.TotalEvents(), res.RelRes)
 		writeChrome(*chrome, rec, "dist")
+		if err := led.Finish(); err != nil {
+			cli.Fatalf("ajtrace", "ledger: %v", err)
+		}
 		return
 
 	default:
@@ -114,12 +134,22 @@ func main() {
 		b := experiments.RandomVec(rng, a.N)
 		x0 := experiments.RandomVec(rng, a.N)
 		rec := trace.NewRecorder(*threads, *traceCap, ropts...)
+		led.Describe(*gen, a)
+		led.SetSubstrate("shm", "jacobi-async")
+		led.SetConfig(ledger.SolveConfig{MaxSweeps: *iters, Threads: *threads, Seed: *seed})
+		led.AttachTrace(rec)
 		res := shm.Solve(a, b, x0, shm.Options{
 			Threads:   *threads,
 			MaxIters:  *iters,
 			Async:     true,
+			Metrics:   led.Instrument(nil),
 			Tracer:    rec,
 			YieldProb: *yieldProb,
+		})
+		led.RecordOutcome(ledger.Outcome{
+			Converged: res.Converged, StopReason: res.StopReason.String(),
+			Sweeps: res.TotalRelaxations / a.N, RelRes: res.RelRes,
+			WallNs: int64(res.WallTime), SolveNs: int64(res.Elapsed),
 		})
 		if d := rec.TotalDropped(); d > 0 {
 			fmt.Fprintf(os.Stderr,
@@ -207,6 +237,13 @@ func main() {
 			rep.MasksChecked, rep.MaxGNormInf, rep.MaxHNorm1, rep.Violations)
 		if rep.Violations > 0 {
 			cli.Fatalf("ajtrace", "Theorem 1 bound violated on %d recorded masks", rep.Violations)
+		}
+	}
+	// Only the live-recording path produced a solve worth recording;
+	// analyzing a saved trace (-in) appends nothing.
+	if *in == "" {
+		if err := led.Finish(); err != nil {
+			cli.Fatalf("ajtrace", "ledger: %v", err)
 		}
 	}
 }

@@ -1,0 +1,82 @@
+package analytics
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// exactQuantile mirrors the estimator's documented small-sample
+// semantics: the sorted sample at index floor(p*n), clamped.
+func exactQuantile(samples []float64, p float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// TestP2UnderFiveSamplesExact: before the five-marker state exists the
+// estimator must return the exact sample quantile — for every sample
+// count 1..4, every tracked quantile, and unsorted/duplicate/negative
+// input. The staleness pipeline reads these estimates from the very
+// first event, so "warming up" may never mean "wrong" or NaN.
+func TestP2UnderFiveSamplesExact(t *testing.T) {
+	feeds := [][]float64{
+		{7},
+		{7, -2},
+		{5, 1, 3},
+		{4, 4, 4, 4},
+		{0.5, -0.5, 100, 2},
+	}
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		for _, feed := range feeds {
+			e := NewP2(p)
+			for i, v := range feed {
+				e.Add(v)
+				got := e.Quantile()
+				if math.IsNaN(got) || math.IsInf(got, 0) {
+					t.Fatalf("p=%v feed=%v: non-finite quantile %v after %d samples", p, feed, got, i+1)
+				}
+				if want := exactQuantile(feed[:i+1], p); got != want {
+					t.Fatalf("p=%v feed=%v n=%d: quantile %v, want exact %v", p, feed, i+1, got, want)
+				}
+				if e.Count() != i+1 {
+					t.Fatalf("p=%v: Count %d, want %d", p, e.Count(), i+1)
+				}
+			}
+		}
+	}
+}
+
+// TestP2TransitionToMarkers: crossing the 5-sample boundary swaps the
+// exact path for the marker state; the estimate must stay finite and
+// within the observed range through and beyond the swap, including the
+// degenerate all-equal stream where every marker coincides.
+func TestP2TransitionToMarkers(t *testing.T) {
+	t.Run("constant", func(t *testing.T) {
+		e := NewP2(0.95)
+		for i := 0; i < 50; i++ {
+			e.Add(3.25)
+			if got := e.Quantile(); got != 3.25 {
+				t.Fatalf("constant stream: quantile %v after %d samples, want 3.25", got, i+1)
+			}
+		}
+	})
+	t.Run("range-bounded", func(t *testing.T) {
+		e := NewP2(0.5)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		v := 17.0
+		for i := 0; i < 200; i++ {
+			v = math.Mod(v*1.7+3, 29) // deterministic scatter in [0, 29)
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+			e.Add(v)
+			got := e.Quantile()
+			if math.IsNaN(got) || got < lo || got > hi {
+				t.Fatalf("sample %d: quantile %v outside observed [%v, %v]", i+1, got, lo, hi)
+			}
+		}
+	})
+}

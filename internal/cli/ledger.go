@@ -1,0 +1,332 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/ledger"
+	"repro/internal/obs"
+	"repro/internal/sparse"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// LedgerFlags are the run-ledger knobs shared by the solver commands;
+// RegisterLedgerFlags installs them on a FlagSet and Sink turns the
+// parsed values into a Ledger.
+type LedgerFlags struct {
+	Dir       string
+	Note      string
+	Bundle    string
+	BundleCap int
+}
+
+// RegisterLedgerFlags installs the -ledger* and -bundle* flags on fs.
+// The ledger directory defaults to $AJ_LEDGER so CI and cron jobs can
+// record every invocation without touching each command line.
+func RegisterLedgerFlags(fs *flag.FlagSet) *LedgerFlags {
+	f := &LedgerFlags{}
+	fs.StringVar(&f.Dir, "ledger", os.Getenv("AJ_LEDGER"),
+		"append this run's record to the ledger directory (default $AJ_LEDGER; empty disables)")
+	fs.StringVar(&f.Note, "ledger-note", "", "free-form note stored on the ledger record")
+	fs.StringVar(&f.Bundle, "bundle", "auto",
+		"post-mortem flight-recorder bundles: auto (on alert or non-convergence), always, off")
+	fs.IntVar(&f.BundleCap, "bundle-cap", ledger.DefaultBundleCap,
+		"post-mortem bundle total size cap in bytes")
+	return f
+}
+
+// Sink builds the Ledger the parsed flags describe; tool names the
+// producing binary. An empty -ledger yields an inert sink whose
+// methods all no-op.
+func (f *LedgerFlags) Sink(tool string) (*Ledger, error) {
+	switch f.Bundle {
+	case "auto", "always", "off":
+	default:
+		return nil, fmt.Errorf("bad -bundle mode %q (want auto, always, or off)", f.Bundle)
+	}
+	l := &Ledger{tool: tool, start: time.Now(), bundleMode: f.Bundle, bundleCap: f.BundleCap}
+	if f.Dir == "" {
+		return l, nil
+	}
+	store, err := ledger.Open(f.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l.store = store
+	l.rec = ledger.RunRecord{Tool: tool, Start: l.start, Note: f.Note}
+	// Record on the Fatalf/Usagef paths too: a run that dies after the
+	// solve still lands its record (stop reason "fatal") and — with
+	// bundles on — its post-mortem bundle.
+	OnExit(func() {
+		if err := l.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "ledger: %v\n", err)
+		}
+	})
+	return l, nil
+}
+
+// Ledger stages one RunRecord during a solve and appends it durably at
+// Finish, wiring itself into whatever observability the command
+// already configured: with a live Metrics pipeline it reads that
+// pipeline's analytics engine, and without one it builds a private
+// registry+bus+engine so the record still carries a fitted rho-hat
+// and staleness quantiles. All methods are no-ops on a nil or
+// disabled (empty -ledger) receiver.
+type Ledger struct {
+	store      *ledger.Store
+	tool       string
+	start      time.Time
+	bundleMode string
+	bundleCap  int
+
+	rec    ledger.RunRecord
+	engine *analytics.Engine
+	reg    *obs.Registry
+	tracer *trace.Recorder
+
+	// Private fallback pipeline (built when the command ran without
+	// -metrics-addr): the ledger drains it itself at Finish.
+	ownEngine bool
+	ownSub    *stream.Sub
+	ownPumped chan struct{}
+
+	outcomeSet bool
+	done       bool
+}
+
+// Enabled reports whether records will actually be written.
+func (l *Ledger) Enabled() bool { return l != nil && l.store != nil }
+
+// Instrument returns the solver metrics handle the command should pass
+// into the solve. With the ledger disabled this is exactly mx.Handle();
+// enabled, it guarantees a live analytics pipeline feeds the record:
+// the command's own (preferred — mx configured with an address), the
+// command's registry with a ledger-private engine attached (mx
+// configured dump-only), or a fully private registry+bus+engine when
+// metrics are off entirely.
+func (l *Ledger) Instrument(mx *Metrics) *obs.SolverMetrics {
+	if !l.Enabled() {
+		return mx.Handle()
+	}
+	if mx != nil && mx.engine != nil {
+		l.engine, l.reg = mx.engine, mx.reg
+		return mx.Handle()
+	}
+	handle := mx.Handle()
+	if handle != nil {
+		l.reg = mx.reg
+	} else {
+		l.reg = obs.NewRegistry()
+		handle = obs.NewSolverMetrics(l.reg)
+	}
+	bus := stream.NewBus()
+	handle.AttachBus(bus, 0) // every sample: the rate fit wants density
+	l.engine = analytics.New(analytics.Config{})
+	l.ownEngine = true
+	l.ownSub = bus.Subscribe(1 << 15)
+	l.ownPumped = make(chan struct{})
+	go func() {
+		l.engine.Pump(l.ownSub)
+		close(l.ownPumped)
+	}()
+	return handle
+}
+
+// Describe stamps the matrix identity (generator spec, size,
+// diagonal-dominance fraction, content fingerprint) onto the record
+// and sizes the private analytics engine's sweep normalization.
+func (l *Ledger) Describe(gen string, a *sparse.CSR) {
+	if !l.Enabled() {
+		return
+	}
+	l.rec.Matrix = ledger.DescribeMatrix(gen, a)
+	if l.ownEngine && a != nil {
+		l.engine.SetProblem(a.N, 0)
+	}
+}
+
+// SetSubstrate records the execution substrate ("seq", "shm", "dist",
+// "cluster") and method name.
+func (l *Ledger) SetSubstrate(substrate, method string) {
+	if !l.Enabled() {
+		return
+	}
+	l.rec.Substrate, l.rec.Method = substrate, method
+}
+
+// SetConfig records the solver configuration.
+func (l *Ledger) SetConfig(cfg ledger.SolveConfig) {
+	if !l.Enabled() {
+		return
+	}
+	l.rec.Config = cfg
+}
+
+// SetSweep tags the record as one repetition of a parameter sweep.
+func (l *Ledger) SetSweep(id string, rep int, params map[string]float64) {
+	if !l.Enabled() {
+		return
+	}
+	l.rec.Sweep, l.rec.Rep, l.rec.Params = id, rep, params
+}
+
+// SetCheckpoint records the run's checkpoint file path.
+func (l *Ledger) SetCheckpoint(path string) {
+	if !l.Enabled() || path == "" {
+		return
+	}
+	l.rec.Checkpoint = path
+}
+
+// AttachTrace hands the ledger the run's trace recorder so a
+// post-mortem bundle can include the ring tail.
+func (l *Ledger) AttachTrace(rec *trace.Recorder) {
+	if !l.Enabled() {
+		return
+	}
+	l.tracer = rec
+}
+
+// RecordOutcome stages the solve's outcome. Call it right after the
+// solve returns; Finish appends the completed record.
+func (l *Ledger) RecordOutcome(o ledger.Outcome) {
+	if !l.Enabled() {
+		return
+	}
+	l.rec.Outcome = o
+	l.outcomeSet = true
+}
+
+// Finish drains the analytics pipeline into the record — fitted
+// rho-hat with its band, staleness quantiles, alert timeline, counter
+// totals — decides whether the flight recorder fires, writes the
+// bundle, and appends the record durably. Idempotent: the exit hooks
+// may already have flushed. A run that never reached RecordOutcome
+// (a Fatalf path) is recorded as stop reason "fatal".
+func (l *Ledger) Finish() error {
+	if !l.Enabled() || l.done {
+		return nil
+	}
+	l.done = true
+
+	if l.ownSub != nil {
+		l.ownSub.Close()
+		select {
+		case <-l.ownPumped:
+		case <-time.After(2 * time.Second):
+		}
+	}
+	if !l.outcomeSet {
+		l.rec.Outcome = ledger.Outcome{Converged: false, StopReason: "fatal"}
+	}
+	if l.rec.Outcome.WallNs == 0 {
+		l.rec.Outcome.WallNs = int64(time.Since(l.start))
+	}
+
+	reason := ""
+	if l.engine != nil {
+		snap := l.engine.Snapshot()
+		if snap.Fit.OK {
+			l.rec.Rate = ledger.RateInfo{
+				RhoHat: snap.Fit.Rho, Lo: snap.Fit.Lo, Hi: snap.Fit.Hi,
+				Samples: snap.Fit.N, PredictedRho: snap.PredictedRho,
+			}
+		} else {
+			l.rec.Rate.PredictedRho = snap.PredictedRho
+		}
+		l.rec.Staleness = ledger.StalenessInfo{P50: snap.StaleP50, P95: snap.StaleP95}
+		for _, a := range snap.Alerts {
+			l.rec.Alerts = append(l.rec.Alerts, ledger.AlertInfo{
+				TSNs: int64(a.TS), Type: string(a.Type), Worker: a.Worker, Msg: a.Msg,
+			})
+		}
+		if len(snap.Alerts) > 0 {
+			reason = string(snap.Alerts[0].Type) + "-latched"
+		}
+	}
+	if reason == "" && !l.rec.Outcome.Converged {
+		reason = "non-converged"
+		if !l.outcomeSet {
+			reason = "fatal"
+		}
+	}
+	l.rec.Counters = collectCounters(l.reg, l.tracer)
+
+	// Flight recorder: the bundle is written first (under the record's
+	// pre-assigned ID) so the appended record can point at it.
+	l.rec.ID = ledger.NewID(l.start)
+	if l.bundleMode == "always" || (l.bundleMode == "auto" && reason != "") {
+		if reason == "" {
+			reason = "requested"
+		}
+		rel, err := ledger.WriteBundle(l.store.Dir(), ledger.BundleInputs{
+			Record:   &l.rec,
+			Reason:   reason,
+			Registry: l.reg,
+			Trace:    l.tracer,
+		}, l.bundleCap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ledger: bundle: %v\n", err)
+		} else {
+			l.rec.Bundle = rel
+			fmt.Fprintf(os.Stderr, "ledger: wrote post-mortem bundle %s (%s)\n", rel, reason)
+		}
+	}
+
+	id, err := l.store.Append(&l.rec)
+	if cerr := l.store.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ledger: recorded %s in %s\n", id, l.store.Dir())
+	return nil
+}
+
+// collectCounters snapshots the nonzero *_total counter series of the
+// registry (fault, recovery, alert, message, and trace volumes all
+// live there) plus the trace recorder's ring accounting, keyed by
+// series name.
+func collectCounters(reg *obs.Registry, tracer *trace.Recorder) map[string]uint64 {
+	out := map[string]uint64{}
+	if reg != nil {
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err == nil {
+			var series map[string]any
+			if json.Unmarshal(buf.Bytes(), &series) == nil {
+				for name, v := range series {
+					f, ok := v.(float64)
+					if !ok || f <= 0 || !strings.Contains(name, "_total") {
+						continue
+					}
+					out[name] = uint64(f)
+				}
+			}
+		}
+	}
+	if tracer != nil {
+		st := tracer.Totals()
+		out["trace_events"] = uint64(st.Total)
+		if st.Dropped > 0 {
+			out["trace_dropped"] = uint64(st.Dropped)
+		}
+		if st.Coalesced > 0 {
+			out["trace_coalesced"] = uint64(st.Coalesced)
+		}
+		if st.SampledOut > 0 {
+			out["trace_sampled_out"] = uint64(st.SampledOut)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

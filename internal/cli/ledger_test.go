@@ -1,0 +1,134 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ledger"
+)
+
+// TestLedgerDivergenceAutoBundle is the flight-recorder acceptance
+// path end to end: a real synchronous Jacobi solve on the FE matrix
+// (rho(G) > 1, the paper's Fig 6 divergence case) runs through the
+// ledger's private analytics pipeline, the divergence detector
+// latches, and Finish auto-emits a post-mortem bundle bounded by the
+// configured cap.
+func TestLedgerDivergenceAutoBundle(t *testing.T) {
+	dir := t.TempDir()
+	const capBytes = 32 << 10
+	lf := &LedgerFlags{Dir: dir, Bundle: "auto", BundleCap: capBytes}
+	led, err := lf.Sink("cli-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !led.Enabled() {
+		t.Fatal("sink disabled despite a directory")
+	}
+
+	a, err := BuildMatrix("fe", 20, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led.Describe("fe", a)
+	led.SetSubstrate("seq", "jacobi-sync")
+	led.SetConfig(ledger.SolveConfig{MaxSweeps: 2000})
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	res, err := core.Solve(a, b, core.Options{
+		Method: core.JacobiSync, MaxSweeps: 2000, Tol: 1e-10,
+		Metrics: led.Instrument(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("FE sync solve converged; the divergence fixture is broken")
+	}
+	led.RecordOutcome(ledger.Outcome{
+		Converged: res.Converged, StopReason: res.StopReason.String(),
+		Sweeps: res.Sweeps, RelRes: res.RelRes,
+	})
+	if err := led.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The appended record must carry the latched divergence alert and
+	// point at the bundle.
+	store, err := ledger.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	recs, _, err := store.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	var divergence bool
+	for _, al := range rec.Alerts {
+		if al.Type == "divergence" {
+			divergence = true
+		}
+	}
+	if !divergence {
+		t.Fatalf("no divergence alert on the record (alerts: %+v)", rec.Alerts)
+	}
+	if rec.Bundle == "" {
+		t.Fatal("divergence-latched run did not auto-emit a bundle")
+	}
+	bdir := filepath.Join(dir, rec.Bundle)
+	for _, name := range []string{"manifest.json", "record.json", "alerts.json", "metrics.json"} {
+		if _, err := os.Stat(filepath.Join(bdir, name)); err != nil {
+			t.Errorf("bundle part %s: %v", name, err)
+		}
+	}
+	size, err := ledger.BundleSize(bdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size > capBytes {
+		t.Fatalf("bundle %d bytes exceeds the %d-byte cap", size, capBytes)
+	}
+	if size == 0 {
+		t.Fatal("empty bundle")
+	}
+}
+
+// TestLedgerDisabledSinkNoops: without a directory the sink is inert —
+// no files, no error, every method a no-op (including on nil).
+func TestLedgerDisabledSinkNoops(t *testing.T) {
+	lf := &LedgerFlags{Bundle: "auto"}
+	led, err := lf.Sink("cli-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.Enabled() {
+		t.Fatal("empty -ledger enabled a store")
+	}
+	led.SetSubstrate("shm", "jacobi-async")
+	led.RecordOutcome(ledger.Outcome{Converged: true})
+	if err := led.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	var nilLed *Ledger
+	nilLed.SetSubstrate("x", "y")
+	if err := nilLed.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLedgerBadBundleMode: an unknown -bundle value is a usage error,
+// caught before any store is opened.
+func TestLedgerBadBundleMode(t *testing.T) {
+	lf := &LedgerFlags{Dir: t.TempDir(), Bundle: "sometimes"}
+	if _, err := lf.Sink("cli-test"); err == nil {
+		t.Fatal("bad bundle mode accepted")
+	}
+}

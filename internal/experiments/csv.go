@@ -157,7 +157,7 @@ func RunCSV(name string, w io.Writer, cfg Config) error {
 				ftoa(r.RelRes), strconv.FormatBool(r.Converged),
 				ftoa(r.RelaxPerN), itoa(r.Resumes)})
 		}
-		return writeTable(cw,
+		return WriteTable(cw,
 			[]string{"drop", "crash", "rel_res", "converged", "relax_per_n", "resumes"}, recs)
 
 	case "recover":
@@ -174,7 +174,7 @@ func RunCSV(name string, w io.Writer, cfg Config) error {
 				ftoa(float64(r.CheckpointAge) / float64(time.Millisecond)),
 				strconv.FormatBool(r.Converged)})
 		}
-		return writeTable(cw,
+		return WriteTable(cw,
 			[]string{"interval_ms", "time_to_solution_ms", "relax_per_n",
 				"wasted_per_n", "checkpoint_age_ms", "converged"}, recs)
 
@@ -188,16 +188,16 @@ func RunCSV(name string, w io.Writer, cfg Config) error {
 			recs = append(recs, []string{itoa(r.Workers), ftoa(r.RhoHat),
 				ftoa(r.Lo), ftoa(r.Hi), itoa(r.Samples), ftoa(r.RelRes)})
 		}
-		return writeTable(cw,
+		return WriteTable(cw,
 			[]string{"workers", "rho_hat", "rho_lo", "rho_hi", "samples", "rel_res"}, recs)
 	}
 	return fmt.Errorf("experiments: no CSV emitter for %q (text-only: fig1, ablation)", name)
 }
 
-// writeTable emits one header row followed by the data rows, checking
+// WriteTable emits one header row followed by the data rows, checking
 // that every row has the header's width — the shared shape of the
-// sweep emitters above.
-func writeTable(cw *csv.Writer, header []string, rows [][]string) error {
+// sweep emitters above and of ajreport's ledger-derived tables.
+func WriteTable(cw *csv.Writer, header []string, rows [][]string) error {
 	if err := cw.Write(header); err != nil {
 		return err
 	}

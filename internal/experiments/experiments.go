@@ -17,7 +17,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"os"
 	"sort"
+
+	"repro/internal/ledger"
 )
 
 // Config controls experiment scale.
@@ -34,6 +37,29 @@ type Config struct {
 	// paper's "200 runs per configuration, mean wall-clock time".
 	// 0 or 1 means a single run.
 	Repeats int
+	// Ledger, when non-nil, receives one RunRecord per sweep
+	// repetition (the instrumented sweeps: rates, faultsweep), so the
+	// tables can later be rebuilt from history by ajreport.
+	Ledger *ledger.Store
+	// SweepID tags the records of one sweep invocation; LedgerNote is
+	// copied onto every record.
+	SweepID    string
+	LedgerNote string
+}
+
+// recordRun appends one sweep repetition to the configured ledger.
+// Recording is best-effort: a ledger failure warns and the sweep goes
+// on, because the experiment result matters more than its paper trail.
+func (c Config) recordRun(rec *ledger.RunRecord) {
+	if c.Ledger == nil {
+		return
+	}
+	rec.Tool = "ajexp"
+	rec.Sweep = c.SweepID
+	rec.Note = c.LedgerNote
+	if _, err := c.Ledger.Append(rec); err != nil {
+		fmt.Fprintf(os.Stderr, "ledger: %v\n", err)
+	}
 }
 
 // RandomVec returns a vector with entries uniform in [-1, 1], the

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/fault"
+	"repro/internal/ledger"
 	"repro/internal/matgen"
 )
 
@@ -85,6 +86,22 @@ func RunFaultSweep(cfg Config) ([]FaultSweepRow, error) {
 				RelaxPerN:  float64(res.TotalRelaxations) / float64(a.N),
 				Resumes:    res.Resumes,
 				FaultHalts: !res.Converged,
+			})
+			crashed := 0.0
+			if crash {
+				crashed = 1
+			}
+			cfg.recordRun(&ledger.RunRecord{
+				Substrate: "dist", Method: "jacobi-async",
+				Params: map[string]float64{"workers": procs, "drop": drop, "crash": crashed},
+				Matrix: ledger.DescribeMatrix(fmt.Sprintf("fd:%dx%d", nx, nx), a),
+				Config: ledger.SolveConfig{Tol: tol, MaxSweeps: maxIters, Threads: procs, Seed: seed},
+				Outcome: ledger.Outcome{
+					Converged: res.Converged, StopReason: res.StopReason.String(),
+					Sweeps: res.TotalRelaxations / a.N, RelRes: res.RelRes,
+					WallNs: int64(res.WallTime), SolveNs: int64(res.Elapsed),
+					Resumes: res.Resumes,
+				},
 			})
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/analytics"
 	"repro/internal/core"
+	"repro/internal/ledger"
 	"repro/internal/matgen"
 	"repro/internal/obs"
 	"repro/internal/shm"
@@ -132,12 +133,26 @@ func RunRateSweep(cfg Config) ([]RateSweepRow, error) {
 			})
 			<-done
 			sub.Close()
-			fit := eng.Snapshot().Fit
+			snap := eng.Snapshot()
+			fit := snap.Fit
 			if !fit.OK {
 				return nil, fmt.Errorf("experiments: no rate fit for %d workers", p)
 			}
 			fits = append(fits, RateFitLite{Rho: fit.Rho, Lo: fit.Lo, Hi: fit.Hi, N: fit.N})
 			relRes += res.RelRes
+			cfg.recordRun(&ledger.RunRecord{
+				Substrate: "shm", Method: "jacobi-async", Rep: rep,
+				Params: map[string]float64{"workers": float64(p)},
+				Matrix: ledger.DescribeMatrix("fd:8x8", a),
+				Config: ledger.SolveConfig{Tol: 1e-14, MaxSweeps: iters, Threads: p, Seed: cfg.Seed},
+				Outcome: ledger.Outcome{
+					Converged: res.Converged, StopReason: res.StopReason.String(),
+					Sweeps: res.TotalRelaxations / a.N, RelRes: res.RelRes,
+					WallNs: int64(res.WallTime), SolveNs: int64(res.Elapsed),
+				},
+				Rate:      ledger.RateInfo{RhoHat: fit.Rho, Lo: fit.Lo, Hi: fit.Hi, Samples: fit.N},
+				Staleness: ledger.StalenessInfo{P50: snap.StaleP50, P95: snap.StaleP95},
+			})
 		}
 		sort.Slice(fits, func(i, j int) bool { return fits[i].Rho < fits[j].Rho })
 		med := fits[len(fits)/2]

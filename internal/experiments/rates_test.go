@@ -54,13 +54,13 @@ func TestRatesCSVEmitter(t *testing.T) {
 func TestWriteTableRejectsRaggedRows(t *testing.T) {
 	var buf bytes.Buffer
 	cw := csv.NewWriter(&buf)
-	err := writeTable(cw, []string{"a", "b"}, [][]string{{"1", "2"}, {"only-one"}})
+	err := WriteTable(cw, []string{"a", "b"}, [][]string{{"1", "2"}, {"only-one"}})
 	if err == nil {
 		t.Fatal("ragged row accepted")
 	}
 	buf.Reset()
 	cw = csv.NewWriter(&buf)
-	if err := writeTable(cw, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}}); err != nil {
+	if err := WriteTable(cw, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}}); err != nil {
 		t.Fatal(err)
 	}
 	cw.Flush()

@@ -216,10 +216,10 @@ type Injector struct {
 	revived bool // crash latch restored from a checkpoint: the process
 	// was restarted by the operator, so the rank is alive again while
 	// the spent crash still cannot replay
-	xm      float64
-	alpha   float64
-	dprob   float64
-	dmax    time.Duration
+	xm    float64
+	alpha float64
+	dprob float64
+	dmax  time.Duration
 }
 
 // ForRank builds rank id's injector; nil-safe (a nil plan yields a nil

@@ -1,0 +1,226 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// DefaultBundleCap bounds a post-mortem bundle's total on-disk size
+// (all part files plus the manifest): 1 MiB.
+const DefaultBundleCap = 1 << 20
+
+// manifestReserve is held back from the cap for the manifest itself,
+// so the bound covers the whole directory.
+const manifestReserve = 2 << 10
+
+// BundleInputs is everything the flight recorder can snapshot when a
+// run ends badly. All fields except Record are optional; absent
+// sources simply produce no part file.
+type BundleInputs struct {
+	Record *RunRecord
+	// Reason is why the recorder fired: "divergence-latched",
+	// "non-converged", "fatal", ...
+	Reason string
+	// Registry renders the /metrics.json snapshot part.
+	Registry *obs.Registry
+	// Trace contributes the ring tail (newest events across workers).
+	Trace *trace.Recorder
+}
+
+// bundlePart is one rendered part before it is written.
+type bundlePart struct {
+	name      string
+	data      []byte
+	truncated bool
+}
+
+// manifest is the bundle's own table of contents.
+type manifest struct {
+	RecordID string         `json:"record_id"`
+	Reason   string         `json:"reason"`
+	Written  time.Time      `json:"written"`
+	CapBytes int            `json:"cap_bytes"`
+	Parts    []manifestPart `json:"parts"`
+}
+
+type manifestPart struct {
+	Name      string `json:"name"`
+	Bytes     int    `json:"bytes"`
+	Truncated bool   `json:"truncated,omitempty"`
+}
+
+// traceLine is one JSONL line of the trace-tail part.
+type traceLine struct {
+	Worker  int    `json:"w"`
+	TSNs    int64  `json:"ts_ns"`
+	Kind    string `json:"kind"`
+	Row     int32  `json:"row"`
+	Iter    int32  `json:"iter"`
+	Peer    int32  `json:"peer"`
+	Payload int64  `json:"payload,omitempty"`
+}
+
+// WriteBundle emits the post-mortem bundle for in.Record into
+// dir/bundles/<recordID>/ and returns the bundle path relative to dir.
+// Parts render in priority order — record.json, alerts.json,
+// metrics.json, trace-tail.jsonl — into a byte budget of capBytes
+// (DefaultBundleCap when <= 0); the trace tail keeps the newest events
+// that fit and lower-priority parts are dropped whole when the budget
+// runs out, so the directory's total size never exceeds the cap. The
+// record must already carry its ID (assign with NewID before calling,
+// then Append after setting Record.Bundle to the returned path).
+func WriteBundle(dir string, in BundleInputs, capBytes int) (string, error) {
+	if in.Record == nil || in.Record.ID == "" {
+		return "", fmt.Errorf("ledger: bundle needs a record with an assigned ID")
+	}
+	if capBytes <= 0 {
+		capBytes = DefaultBundleCap
+	}
+	budget := capBytes - manifestReserve
+	if budget < 0 {
+		budget = 0
+	}
+
+	var parts []bundlePart
+	add := func(name string, data []byte, truncated bool) bool {
+		if len(data) > budget {
+			return false
+		}
+		parts = append(parts, bundlePart{name: name, data: data, truncated: truncated})
+		budget -= len(data)
+		return true
+	}
+
+	// The bundle path is deterministic given the record ID; stamping it
+	// on the record before marshaling makes the bundled record.json
+	// self-referential (and matches what the caller appends).
+	rel := filepath.Join("bundles", in.Record.ID)
+	in.Record.Bundle = rel
+
+	// record.json: the run record itself, always first in line so even
+	// a tiny cap keeps the essential context.
+	if rec, err := json.MarshalIndent(in.Record, "", "  "); err == nil {
+		add("record.json", append(rec, '\n'), false)
+	}
+
+	// alerts.json: the alert timeline (already replayed into the
+	// record, duplicated here so the bundle is self-contained even if
+	// the ledger append later fails).
+	if len(in.Record.Alerts) > 0 {
+		if buf, err := json.MarshalIndent(in.Record.Alerts, "", "  "); err == nil {
+			add("alerts.json", append(buf, '\n'), false)
+		}
+	}
+
+	// metrics.json: the full registry snapshot, same shape as the
+	// /metrics.json endpoint.
+	if in.Registry != nil {
+		var buf bytes.Buffer
+		if err := in.Registry.WriteJSON(&buf); err == nil {
+			add("metrics.json", buf.Bytes(), false)
+		}
+	}
+
+	// trace-tail.jsonl: the newest trace events across all rings,
+	// time-ordered, trimmed oldest-first to whatever budget remains.
+	if in.Trace != nil && budget > 0 {
+		if data, truncated := renderTraceTail(in.Trace, budget); len(data) > 0 {
+			add("trace-tail.jsonl", data, truncated)
+		}
+	}
+
+	abs := filepath.Join(dir, rel)
+	if err := os.MkdirAll(abs, 0o755); err != nil {
+		return "", fmt.Errorf("ledger: bundle dir: %w", err)
+	}
+	man := manifest{
+		RecordID: in.Record.ID,
+		Reason:   in.Reason,
+		Written:  time.Now(),
+		CapBytes: capBytes,
+	}
+	for _, p := range parts {
+		if err := os.WriteFile(filepath.Join(abs, p.name), p.data, 0o644); err != nil {
+			return "", fmt.Errorf("ledger: bundle part %s: %w", p.name, err)
+		}
+		man.Parts = append(man.Parts, manifestPart{Name: p.name, Bytes: len(p.data), Truncated: p.truncated})
+	}
+	mbuf, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(abs, "manifest.json"), append(mbuf, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("ledger: bundle manifest: %w", err)
+	}
+	return rel, nil
+}
+
+// BundleSize totals the on-disk bytes of a bundle directory.
+func BundleSize(dir string) (int64, error) {
+	var total int64
+	err := filepath.Walk(dir, func(_ string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !fi.IsDir() {
+			total += fi.Size()
+		}
+		return nil
+	})
+	return total, err
+}
+
+// renderTraceTail renders the newest trace events that fit in budget
+// bytes as JSONL, dropping oldest lines first. truncated reports
+// whether anything was cut.
+func renderTraceTail(rec *trace.Recorder, budget int) (data []byte, truncated bool) {
+	var evs []traceLine
+	for w := 0; w < rec.Workers(); w++ {
+		r := rec.Worker(w)
+		for _, e := range r.Events() {
+			evs = append(evs, traceLine{
+				Worker: w, TSNs: e.TS, Kind: e.Kind.String(),
+				Row: e.Row, Iter: e.Iter, Peer: e.Peer, Payload: e.Payload,
+			})
+		}
+	}
+	if len(evs) == 0 {
+		return nil, false
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TSNs < evs[j].TSNs })
+
+	// Render newest-first until the budget fills, then reverse back to
+	// chronological order.
+	var lines [][]byte
+	used := 0
+	for i := len(evs) - 1; i >= 0; i-- {
+		line, err := json.Marshal(evs[i])
+		if err != nil {
+			continue
+		}
+		if used+len(line)+1 > budget {
+			truncated = true
+			break
+		}
+		lines = append(lines, line)
+		used += len(line) + 1
+	}
+	if len(lines) == 0 {
+		return nil, true
+	}
+	var buf bytes.Buffer
+	buf.Grow(used)
+	for i := len(lines) - 1; i >= 0; i-- {
+		buf.Write(lines[i])
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), truncated || len(lines) < len(evs)
+}

@@ -1,0 +1,173 @@
+package ledger
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+func timeFixed() time.Time {
+	return time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+}
+
+func testTraceRecorder(events int) *trace.Recorder {
+	rec := trace.NewRecorder(2, 1<<10, trace.WithoutCoalescing())
+	for w := 0; w < 2; w++ {
+		r := rec.Worker(w)
+		for i := 1; i <= events; i++ {
+			r.RelaxStart(w, i)
+			r.ReadVersion(w, i, 1-w, i-1)
+			r.RelaxEnd(w, i)
+		}
+	}
+	return rec
+}
+
+func TestBundleParts(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	reg.NewCounter("aj_test_total", "test counter").With().Add(7)
+	rec := &RunRecord{
+		ID:      NewID(timeFixed()),
+		Tool:    "ajsolve",
+		Outcome: Outcome{Converged: false, StopReason: "max-iter", RelRes: 0.3},
+		Alerts:  []AlertInfo{{TSNs: 123, Type: "divergence", Worker: -1, Msg: "residual grew"}},
+	}
+	rel, err := WriteBundle(dir, BundleInputs{
+		Record:   rec,
+		Reason:   "non-converged",
+		Registry: reg,
+		Trace:    testTraceRecorder(10),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := filepath.Join(dir, rel)
+	for _, name := range []string{"record.json", "alerts.json", "metrics.json", "trace-tail.jsonl", "manifest.json"} {
+		if _, err := os.Stat(filepath.Join(abs, name)); err != nil {
+			t.Errorf("bundle missing %s: %v", name, err)
+		}
+	}
+
+	var man manifest
+	buf, err := os.ReadFile(filepath.Join(abs, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.RecordID != rec.ID || man.Reason != "non-converged" || len(man.Parts) != 4 {
+		t.Fatalf("manifest = %+v", man)
+	}
+
+	// The metrics part carries the registry snapshot.
+	mbuf, err := os.ReadFile(filepath.Join(abs, "metrics.json"))
+	if err != nil || !bytes.Contains(mbuf, []byte("aj_test_total")) {
+		t.Errorf("metrics.json missing counter: %v", err)
+	}
+}
+
+// TestBundleBoundedUnderCap is the acceptance bound: whatever the
+// inputs, the bundle directory's total size stays under the cap, with
+// the record itself surviving even tiny caps.
+func TestBundleBoundedUnderCap(t *testing.T) {
+	for _, capBytes := range []int{4 << 10, 16 << 10, DefaultBundleCap} {
+		dir := t.TempDir()
+		reg := obs.NewRegistry()
+		for i := 0; i < 50; i++ {
+			reg.NewCounter("aj_counter_"+string(rune('a'+i%26)), "filler", "w").
+				With(string(rune('0' + i%10))).Add(i)
+		}
+		rec := &RunRecord{ID: NewID(timeFixed()), Tool: "ajsolve"}
+		rel, err := WriteBundle(dir, BundleInputs{
+			Record:   rec,
+			Reason:   "divergence-latched",
+			Registry: reg,
+			Trace:    testTraceRecorder(2000), // far more events than any small cap fits
+		}, capBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := BundleSize(filepath.Join(dir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size > int64(capBytes) {
+			t.Errorf("cap %d: bundle is %d bytes", capBytes, size)
+		}
+		if _, err := os.Stat(filepath.Join(dir, rel, "record.json")); err != nil {
+			t.Errorf("cap %d: record.json must always fit: %v", capBytes, err)
+		}
+	}
+}
+
+// TestTraceTailKeepsNewest: when the budget cannot hold the whole
+// trace, the tail (highest iteration counts) survives, oldest events
+// are cut, and the manifest marks the part truncated.
+func TestTraceTailKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	rec := &RunRecord{ID: NewID(timeFixed()), Tool: "ajsolve"}
+	rel, err := WriteBundle(dir, BundleInputs{
+		Record: rec,
+		Reason: "stall",
+		Trace:  testTraceRecorder(500),
+	}, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := filepath.Join(dir, rel)
+
+	f, err := os.Open(filepath.Join(abs, "trace-tail.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var maxIter, lines int
+	var prevTS int64 = -1
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var l traceLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		if l.TSNs < prevTS {
+			t.Fatal("trace tail not chronological")
+		}
+		prevTS = l.TSNs
+		if int(l.Iter) > maxIter {
+			maxIter = int(l.Iter)
+		}
+		lines++
+	}
+	if maxIter != 500 {
+		t.Errorf("newest iteration in tail = %d, want 500 (tail must keep the end)", maxIter)
+	}
+	if lines >= 500*3*2 {
+		t.Errorf("%d lines retained — budget did not trim", lines)
+	}
+
+	var man manifest
+	buf, _ := os.ReadFile(filepath.Join(abs, "manifest.json"))
+	if err := json.Unmarshal(buf, &man); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range man.Parts {
+		if p.Name == "trace-tail.jsonl" && !p.Truncated {
+			t.Error("manifest must mark the trimmed trace tail truncated")
+		}
+	}
+}
+
+func TestBundleNeedsID(t *testing.T) {
+	if _, err := WriteBundle(t.TempDir(), BundleInputs{Record: &RunRecord{}}, 0); err == nil {
+		t.Fatal("bundle without a record ID must fail")
+	}
+}

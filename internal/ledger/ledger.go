@@ -1,0 +1,241 @@
+// Package ledger is the persistent, cross-run observability layer:
+// every solve — sequential, shared-memory, distributed, cluster-
+// simulated, from any cmd/ entry point or ajexp sweep repetition —
+// appends one structured RunRecord to an append-only, CRC-framed,
+// crash-safe store. Everything the in-process observability stack
+// (internal/obs, internal/trace, internal/analytics) knows at exit
+// and then discards is durably captured here instead, because every
+// empirical claim in the paper is a *cross-run* comparison: §VII's
+// rate-improves-with-processes effect and Fig 6's async-converges-
+// where-sync-diverges both compare many solves against each other.
+//
+// The package has three layers:
+//
+//   - RunRecord (this file): the schema — config + matrix fingerprint,
+//     environment snapshot, timings, outcome, fitted rho-hat with its
+//     95% band vs the predicted rho(G), staleness quantiles,
+//     fault/recovery/trace counters, and the alert timeline.
+//   - Store (store.go): JSONL segment files under one directory, each
+//     record wrapped in the shared resilience frame (magic "AJLR") so
+//     a crash mid-append tears at most the final record, which reopen
+//     detects by CRC and drops. Concurrent writers are safe because
+//     every writer owns a uniquely named segment; the index is
+//     refreshed with the same temp+rename discipline as checkpoints.
+//   - Flight recorder (flight.go): when an analytics detector latches
+//     or a solve exits non-converged, a bounded post-mortem bundle
+//     (trace-ring tail, metrics snapshot, alert timeline, checkpoint
+//     pointer) lands next to the record.
+//
+// The record/query split here is deliberately the schema the ajserve
+// job store (ROADMAP item 1) will reuse: a job is a RunRecord whose
+// outcome has not happened yet.
+package ledger
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sparse"
+)
+
+// RecordSchema is the RunRecord schema version carried by every
+// record; readers skip records from a future schema.
+const RecordSchema = 1
+
+// MatrixInfo fingerprints the solved system.
+type MatrixInfo struct {
+	// Gen is the generator spec that produced the matrix ("fd",
+	// "suite:thermal2", "file:m.mtx", ...), when known.
+	Gen string `json:"gen,omitempty"`
+	N   int    `json:"n"`
+	NNZ int    `json:"nnz"`
+	// WDD is the weakly-diagonally-dominant row fraction — the
+	// Theorem 1 hypothesis, so a divergence alert on WDD=1 is a bug.
+	WDD float64 `json:"wdd,omitempty"`
+	// Fingerprint hashes the full structure and values (FNV-1a 64);
+	// two records with equal fingerprints solved the same system.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// SolveConfig is the solver configuration of one run.
+type SolveConfig struct {
+	Tol       float64 `json:"tol,omitempty"`
+	MaxSweeps int     `json:"max_sweeps,omitempty"`
+	Threads   int     `json:"threads,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+}
+
+// Env is the environment snapshot taken at record time.
+type Env struct {
+	Go         string `json:"go"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Host       string `json:"host,omitempty"`
+	// VCSRevision/VCSModified come from the build info when the binary
+	// was built inside a VCS checkout (go run / go test included).
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// Outcome is what the solve returned.
+type Outcome struct {
+	Converged  bool    `json:"converged"`
+	StopReason string  `json:"stop_reason,omitempty"`
+	Sweeps     int     `json:"sweeps,omitempty"`
+	RelRes     float64 `json:"rel_res"`
+	// WallNs is the end-to-end wall time of this run; SolveNs the
+	// solver-reported elapsed time (cumulative across resumes).
+	WallNs  int64 `json:"wall_ns,omitempty"`
+	SolveNs int64 `json:"solve_ns,omitempty"`
+	Resumes int   `json:"resumes,omitempty"`
+}
+
+// RateInfo is the fitted convergence rate next to the model's
+// prediction — the live counterpart of comparing against rho(G).
+type RateInfo struct {
+	RhoHat float64 `json:"rho_hat,omitempty"`
+	Lo     float64 `json:"rho_lo,omitempty"`
+	Hi     float64 `json:"rho_hi,omitempty"`
+	// Samples is the fit window's sample count (0 = no fit).
+	Samples int `json:"samples,omitempty"`
+	// PredictedRho is rho(G) (or the propagation-model bound) when
+	// something computed it; 0 = unknown.
+	PredictedRho float64 `json:"predicted_rho,omitempty"`
+}
+
+// StalenessInfo is the read-staleness quantile summary (P² estimates).
+type StalenessInfo struct {
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+}
+
+// AlertInfo is one analytics alert replayed into the record.
+type AlertInfo struct {
+	TSNs   int64  `json:"ts_ns"`
+	Type   string `json:"type"`
+	Worker int    `json:"worker"`
+	Msg    string `json:"msg,omitempty"`
+}
+
+// RunRecord is one solve's durable record.
+type RunRecord struct {
+	Schema int    `json:"schema"`
+	ID     string `json:"id"`
+	// Start is the run's start wall-clock time (record sort key).
+	Start time.Time `json:"start"`
+	// Tool is the producing binary ("ajsolve", "ajexp", ...).
+	Tool string `json:"tool"`
+	// Substrate is the execution substrate: seq | shm | dist |
+	// cluster | replay.
+	Substrate string `json:"substrate,omitempty"`
+	Method    string `json:"method,omitempty"`
+	// Sweep groups the repetitions of one parameter sweep; Rep is the
+	// repetition index and Params the swept values ("workers", "drop",
+	// ...), so a sweep table can be rebuilt from history.
+	Sweep  string             `json:"sweep,omitempty"`
+	Rep    int                `json:"rep,omitempty"`
+	Params map[string]float64 `json:"params,omitempty"`
+	Note   string             `json:"note,omitempty"`
+
+	Matrix    MatrixInfo    `json:"matrix"`
+	Config    SolveConfig   `json:"config"`
+	Env       Env           `json:"env"`
+	Outcome   Outcome       `json:"outcome"`
+	Rate      RateInfo      `json:"rate,omitempty"`
+	Staleness StalenessInfo `json:"staleness,omitempty"`
+	// Counters carries the nonzero observability counters
+	// (fault/recovery/trace event totals) keyed by short name.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	Alerts   []AlertInfo       `json:"alerts,omitempty"`
+	// Bundle is the post-mortem bundle directory (relative to the
+	// ledger root) when the flight recorder fired for this run.
+	Bundle string `json:"bundle,omitempty"`
+	// Checkpoint points at the last checkpoint file of the run.
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+var idSeq atomic.Uint64
+
+// NewID returns a process-unique, time-ordered record ID. Uniqueness
+// across concurrent processes comes from the pid component; within a
+// process from the sequence counter.
+func NewID(start time.Time) string {
+	return fmt.Sprintf("%016x-%05x-%04x", uint64(start.UnixNano()), os.Getpid()&0xfffff, idSeq.Add(1)&0xffff)
+}
+
+// CaptureEnv snapshots the running environment.
+func CaptureEnv() Env {
+	e := Env{
+		Go:         runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if h, err := os.Hostname(); err == nil {
+		e.Host = h
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				e.VCSRevision = s.Value
+			case "vcs.modified":
+				e.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return e
+}
+
+// Fingerprint hashes a CSR matrix — dimensions, structure, and values
+// — into a short stable identifier, so "same system?" is one string
+// compare across runs, machines, and PRs.
+func Fingerprint(a *sparse.CSR) string {
+	if a == nil {
+		return ""
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(a.N))
+	put(uint64(a.M))
+	for _, p := range a.RowPtr {
+		put(uint64(p))
+	}
+	for _, c := range a.Col {
+		put(uint64(c))
+	}
+	for _, v := range a.Val {
+		put(math.Float64bits(v))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// DescribeMatrix fills a MatrixInfo from the system about to be
+// solved.
+func DescribeMatrix(gen string, a *sparse.CSR) MatrixInfo {
+	if a == nil {
+		return MatrixInfo{Gen: gen}
+	}
+	return MatrixInfo{
+		Gen:         gen,
+		N:           a.N,
+		NNZ:         a.NNZ(),
+		WDD:         a.WDDFraction(),
+		Fingerprint: Fingerprint(a),
+	}
+}

@@ -1,0 +1,277 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Filter selects records. Zero fields match everything; string fields
+// match exactly except Matrix, which matches the fingerprint exactly
+// or the generator spec as a substring.
+type Filter struct {
+	Tool      string
+	Substrate string
+	Method    string
+	Sweep     string
+	Matrix    string
+	Since     time.Time
+	// FailedOnly keeps non-converged runs; ConvergedOnly the inverse.
+	FailedOnly    bool
+	ConvergedOnly bool
+}
+
+// Match reports whether the record passes the filter.
+func (f Filter) Match(r *RunRecord) bool {
+	if f.Tool != "" && r.Tool != f.Tool {
+		return false
+	}
+	if f.Substrate != "" && r.Substrate != f.Substrate {
+		return false
+	}
+	if f.Method != "" && r.Method != f.Method {
+		return false
+	}
+	if f.Sweep != "" && r.Sweep != f.Sweep {
+		return false
+	}
+	if f.Matrix != "" && r.Matrix.Fingerprint != f.Matrix &&
+		!strings.Contains(r.Matrix.Gen, f.Matrix) {
+		return false
+	}
+	if !f.Since.IsZero() && r.Start.Before(f.Since) {
+		return false
+	}
+	if f.FailedOnly && r.Outcome.Converged {
+		return false
+	}
+	if f.ConvergedOnly && !r.Outcome.Converged {
+		return false
+	}
+	return true
+}
+
+// Select returns the records passing the filter, preserving order.
+func Select(recs []*RunRecord, f Filter) []*RunRecord {
+	var out []*RunRecord
+	for _, r := range recs {
+		if f.Match(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Find resolves an ID or unique ID prefix.
+func Find(recs []*RunRecord, idPrefix string) (*RunRecord, error) {
+	var found *RunRecord
+	for _, r := range recs {
+		if r.ID == idPrefix {
+			return r, nil
+		}
+		if strings.HasPrefix(r.ID, idPrefix) {
+			if found != nil {
+				return nil, fmt.Errorf("ledger: id prefix %q is ambiguous", idPrefix)
+			}
+			found = r
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("ledger: no record with id %q", idPrefix)
+	}
+	return found, nil
+}
+
+// DiffRow is one field's comparison between two records.
+type DiffRow struct {
+	Field   string
+	A, B    string
+	Changed bool
+}
+
+func diffRow(field, a, b string) DiffRow {
+	return DiffRow{Field: field, A: a, B: b, Changed: a != b}
+}
+
+func fnum(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+func fdur(ns int64) string {
+	if ns == 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// Diff compares two records field by field — the "what changed
+// between these two solves" view: config, environment, outcome, rate.
+// Every row is returned with a Changed flag so callers can show all
+// rows or only the deltas.
+func Diff(a, b *RunRecord) []DiffRow {
+	rows := []DiffRow{
+		diffRow("tool", a.Tool, b.Tool),
+		diffRow("substrate", a.Substrate, b.Substrate),
+		diffRow("method", a.Method, b.Method),
+		diffRow("matrix.gen", a.Matrix.Gen, b.Matrix.Gen),
+		diffRow("matrix.n", strconv.Itoa(a.Matrix.N), strconv.Itoa(b.Matrix.N)),
+		diffRow("matrix.fingerprint", a.Matrix.Fingerprint, b.Matrix.Fingerprint),
+		diffRow("matrix.wdd", fnum(a.Matrix.WDD), fnum(b.Matrix.WDD)),
+		diffRow("config.tol", fnum(a.Config.Tol), fnum(b.Config.Tol)),
+		diffRow("config.max_sweeps", strconv.Itoa(a.Config.MaxSweeps), strconv.Itoa(b.Config.MaxSweeps)),
+		diffRow("config.threads", strconv.Itoa(a.Config.Threads), strconv.Itoa(b.Config.Threads)),
+		diffRow("config.seed", strconv.FormatUint(a.Config.Seed, 10), strconv.FormatUint(b.Config.Seed, 10)),
+		diffRow("env.go", a.Env.Go, b.Env.Go),
+		diffRow("env.host", a.Env.Host, b.Env.Host),
+		diffRow("env.gomaxprocs", strconv.Itoa(a.Env.GOMAXPROCS), strconv.Itoa(b.Env.GOMAXPROCS)),
+		diffRow("env.vcs_revision", shortRev(a.Env), shortRev(b.Env)),
+		diffRow("outcome.converged", strconv.FormatBool(a.Outcome.Converged), strconv.FormatBool(b.Outcome.Converged)),
+		diffRow("outcome.stop_reason", a.Outcome.StopReason, b.Outcome.StopReason),
+		diffRow("outcome.sweeps", strconv.Itoa(a.Outcome.Sweeps), strconv.Itoa(b.Outcome.Sweeps)),
+		diffRow("outcome.rel_res", fnum(a.Outcome.RelRes), fnum(b.Outcome.RelRes)),
+		diffRow("outcome.wall", fdur(a.Outcome.WallNs), fdur(b.Outcome.WallNs)),
+		diffRow("outcome.resumes", strconv.Itoa(a.Outcome.Resumes), strconv.Itoa(b.Outcome.Resumes)),
+		diffRow("rate.rho_hat", fnum(a.Rate.RhoHat), fnum(b.Rate.RhoHat)),
+		diffRow("rate.band", rateBand(a.Rate), rateBand(b.Rate)),
+		diffRow("rate.predicted", fnum(a.Rate.PredictedRho), fnum(b.Rate.PredictedRho)),
+		diffRow("staleness.p50", fnum(a.Staleness.P50), fnum(b.Staleness.P50)),
+		diffRow("staleness.p95", fnum(a.Staleness.P95), fnum(b.Staleness.P95)),
+		diffRow("alerts", strconv.Itoa(len(a.Alerts)), strconv.Itoa(len(b.Alerts))),
+	}
+	// Counters: union of keys, so a counter that only one side bumped
+	// still shows up.
+	keys := map[string]bool{}
+	for k := range a.Counters {
+		keys[k] = true
+	}
+	for k := range b.Counters {
+		keys[k] = true
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		rows = append(rows, diffRow("counters."+k,
+			strconv.FormatUint(a.Counters[k], 10), strconv.FormatUint(b.Counters[k], 10)))
+	}
+	return rows
+}
+
+func shortRev(e Env) string {
+	r := e.VCSRevision
+	if len(r) > 12 {
+		r = r[:12]
+	}
+	if e.VCSModified {
+		r += "+dirty"
+	}
+	return r
+}
+
+func rateBand(r RateInfo) string {
+	if r.Samples == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("[%.5f, %.5f]", r.Lo, r.Hi)
+}
+
+// RateRow is one worker count's aggregate in a rebuilt rate-vs-workers
+// table.
+type RateRow struct {
+	Workers int
+	// RhoHat is the median fitted rate across the group's runs; Lo/Hi
+	// the band of the median run.
+	RhoHat, Lo, Hi float64
+	// Samples is the median run's fit-window size.
+	Samples int
+	// RelRes is the mean final residual; Runs the group size.
+	RelRes float64
+	Runs   int
+}
+
+// RateTable rebuilds the §VII rate-vs-workers table from recorded
+// runs: group by the "workers" sweep parameter (falling back to
+// config.threads), take the median fitted rho-hat per group. This is
+// the paper's headline cross-run comparison served from history
+// instead of a fresh sweep.
+func RateTable(recs []*RunRecord) []RateRow {
+	groups := map[int][]*RunRecord{}
+	for _, r := range recs {
+		if r.Rate.Samples == 0 {
+			continue
+		}
+		w := int(r.Params["workers"])
+		if w == 0 {
+			w = r.Config.Threads
+		}
+		if w == 0 {
+			continue
+		}
+		groups[w] = append(groups[w], r)
+	}
+	workers := make([]int, 0, len(groups))
+	for w := range groups {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	var rows []RateRow
+	for _, w := range workers {
+		g := groups[w]
+		sort.Slice(g, func(i, j int) bool { return g[i].Rate.RhoHat < g[j].Rate.RhoHat })
+		med := g[len(g)/2]
+		var relRes float64
+		for _, r := range g {
+			relRes += r.Outcome.RelRes
+		}
+		rows = append(rows, RateRow{
+			Workers: w,
+			RhoHat:  med.Rate.RhoHat, Lo: med.Rate.Lo, Hi: med.Rate.Hi,
+			Samples: med.Rate.Samples,
+			RelRes:  relRes / float64(len(g)),
+			Runs:    len(g),
+		})
+	}
+	return rows
+}
+
+// Sweeps lists the distinct sweep IDs present, newest first, with
+// their record counts — the menu for `ajreport rates`.
+type SweepInfo struct {
+	ID    string
+	Runs  int
+	Start time.Time
+}
+
+// SweepList summarizes the sweeps present in recs.
+func SweepList(recs []*RunRecord) []SweepInfo {
+	byID := map[string]*SweepInfo{}
+	var order []string
+	for _, r := range recs {
+		if r.Sweep == "" {
+			continue
+		}
+		si := byID[r.Sweep]
+		if si == nil {
+			si = &SweepInfo{ID: r.Sweep, Start: r.Start}
+			byID[r.Sweep] = si
+			order = append(order, r.Sweep)
+		}
+		si.Runs++
+		if r.Start.Before(si.Start) {
+			si.Start = r.Start
+		}
+	}
+	out := make([]SweepInfo, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}

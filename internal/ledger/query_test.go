@@ -1,0 +1,141 @@
+package ledger
+
+import (
+	"testing"
+	"time"
+)
+
+func mkRecs() []*RunRecord {
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	return []*RunRecord{
+		{ID: "aaa1", Start: base, Tool: "ajsolve", Substrate: "shm", Method: "async",
+			Matrix:  MatrixInfo{Gen: "fd:8x8", Fingerprint: "f1"},
+			Outcome: Outcome{Converged: true, RelRes: 1e-9}},
+		{ID: "aab2", Start: base.Add(time.Minute), Tool: "ajsolve", Substrate: "shm", Method: "sync",
+			Matrix:  MatrixInfo{Gen: "fd:8x8", Fingerprint: "f1"},
+			Outcome: Outcome{Converged: false, StopReason: "max-iter", RelRes: 0.5}},
+		{ID: "bbb3", Start: base.Add(2 * time.Minute), Tool: "ajexp", Substrate: "dist", Method: "async",
+			Sweep: "s1", Matrix: MatrixInfo{Gen: "suite:x", Fingerprint: "f2"},
+			Outcome: Outcome{Converged: true, RelRes: 1e-8}},
+	}
+}
+
+func TestFilterSelect(t *testing.T) {
+	recs := mkRecs()
+	cases := []struct {
+		name string
+		f    Filter
+		want int
+	}{
+		{"all", Filter{}, 3},
+		{"tool", Filter{Tool: "ajsolve"}, 2},
+		{"substrate", Filter{Substrate: "dist"}, 1},
+		{"method+tool", Filter{Tool: "ajsolve", Method: "sync"}, 1},
+		{"sweep", Filter{Sweep: "s1"}, 1},
+		{"matrix fingerprint", Filter{Matrix: "f1"}, 2},
+		{"matrix gen substring", Filter{Matrix: "fd:8"}, 2},
+		{"failed", Filter{FailedOnly: true}, 1},
+		{"converged", Filter{ConvergedOnly: true}, 2},
+		{"since", Filter{Since: recs[1].Start}, 2},
+	}
+	for _, c := range cases {
+		if got := len(Select(recs, c.f)); got != c.want {
+			t.Errorf("%s: got %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFindPrefix(t *testing.T) {
+	recs := mkRecs()
+	if r, err := Find(recs, "bbb"); err != nil || r.ID != "bbb3" {
+		t.Fatalf("unique prefix: %v, %v", r, err)
+	}
+	if _, err := Find(recs, "aa"); err == nil {
+		t.Fatal("ambiguous prefix must error")
+	}
+	if r, err := Find(recs, "aaa1"); err != nil || r.ID != "aaa1" {
+		t.Fatalf("exact ID: %v, %v", r, err)
+	}
+	if _, err := Find(recs, "zzz"); err == nil {
+		t.Fatal("unknown ID must error")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	recs := mkRecs()
+	a, b := recs[0], recs[1]
+	a.Counters = map[string]uint64{"relax": 100, "yield": 5}
+	b.Counters = map[string]uint64{"relax": 120}
+	rows := Diff(a, b)
+	byField := map[string]DiffRow{}
+	for _, r := range rows {
+		byField[r.Field] = r
+	}
+	for field, wantChanged := range map[string]bool{
+		"tool":                false,
+		"method":              true,
+		"matrix.fingerprint":  false,
+		"outcome.converged":   true,
+		"outcome.stop_reason": true,
+		"counters.relax":      true,
+		"counters.yield":      true, // only one side has it
+	} {
+		r, ok := byField[field]
+		if !ok {
+			t.Errorf("diff missing field %s", field)
+			continue
+		}
+		if r.Changed != wantChanged {
+			t.Errorf("%s: changed=%v (%q vs %q), want %v", field, r.Changed, r.A, r.B, wantChanged)
+		}
+	}
+}
+
+func TestRateTable(t *testing.T) {
+	var recs []*RunRecord
+	// Three reps each at 2 and 4 workers; rho-hat medians are the
+	// middle values. One record without a fit must be ignored.
+	for i, rho := range []float64{0.80, 0.82, 0.84} {
+		recs = append(recs, &RunRecord{
+			Params:  map[string]float64{"workers": 2},
+			Rate:    RateInfo{RhoHat: rho, Lo: rho - 0.01, Hi: rho + 0.01, Samples: 32},
+			Outcome: Outcome{RelRes: float64(i + 1)},
+		})
+	}
+	for _, rho := range []float64{0.70, 0.72, 0.74} {
+		recs = append(recs, &RunRecord{
+			Config:  SolveConfig{Threads: 4}, // fallback path: no Params
+			Rate:    RateInfo{RhoHat: rho, Samples: 16},
+			Outcome: Outcome{RelRes: 1},
+		})
+	}
+	recs = append(recs, &RunRecord{Params: map[string]float64{"workers": 8}}) // no fit
+
+	rows := RateTable(recs)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (unfitted group dropped): %+v", len(rows), rows)
+	}
+	if rows[0].Workers != 2 || rows[0].RhoHat != 0.82 || rows[0].Runs != 3 {
+		t.Errorf("workers=2 row: %+v, want median rho 0.82 over 3 runs", rows[0])
+	}
+	if rows[0].RelRes != 2 {
+		t.Errorf("workers=2 mean rel-res = %v, want 2", rows[0].RelRes)
+	}
+	if rows[1].Workers != 4 || rows[1].RhoHat != 0.72 {
+		t.Errorf("workers=4 row: %+v, want median rho 0.72 via Threads fallback", rows[1])
+	}
+}
+
+func TestSweepList(t *testing.T) {
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	recs := []*RunRecord{
+		{Sweep: "old", Start: base},
+		{Sweep: "new", Start: base.Add(time.Hour)},
+		{Sweep: "new", Start: base.Add(2 * time.Hour)},
+		{Start: base.Add(3 * time.Hour)}, // sweepless: excluded
+	}
+	sw := SweepList(recs)
+	if len(sw) != 2 || sw[0].ID != "new" || sw[0].Runs != 2 || sw[1].ID != "old" {
+		t.Fatalf("sweep list = %+v, want [new(2) old(1)] newest first", sw)
+	}
+}

@@ -1,0 +1,307 @@
+package ledger
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// Segment files wrap each record's JSON line in the shared resilience
+// frame with this magic. A newline terminates every frame so segments
+// stay line-greppable; the reader tolerates the separator either way.
+const (
+	recordMagic   = "AJLR"
+	RecordVersion = 1
+	segmentExt    = ".ajl"
+	indexName     = "index.json"
+)
+
+// Store is one ledger directory. Opening never blocks other writers:
+// each Store appends to its own uniquely named segment file, so two
+// processes recording concurrently can never interleave bytes; readers
+// see whole frames or a detectable torn tail, never a mix.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	seg     *os.File
+	segName string
+	wrote   int
+}
+
+// Open creates (if necessary) and opens a ledger directory. The
+// segment file is created lazily on first Append, so read-only
+// consumers (ajreport) leave no trace.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("ledger: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the ledger root directory.
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// Append durably adds one record, assigning ID/Start/Schema/Env when
+// the caller left them empty, and returns the record's ID. The framed
+// bytes are written with a single write syscall to the store's own
+// segment and synced, so a crash tears at most this one record — and
+// the CRC frame lets reopen detect and drop the torn tail.
+func (s *Store) Append(rec *RunRecord) (string, error) {
+	if s == nil {
+		return "", errors.New("ledger: nil store")
+	}
+	if rec.Schema == 0 {
+		rec.Schema = RecordSchema
+	}
+	if rec.Start.IsZero() {
+		rec.Start = time.Now()
+	}
+	if rec.ID == "" {
+		rec.ID = NewID(rec.Start)
+	}
+	if rec.Env == (Env{}) {
+		rec.Env = CaptureEnv()
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return "", fmt.Errorf("ledger: encode record: %w", err)
+	}
+	framed := append(resilience.EncodeFrame(recordMagic, RecordVersion, payload), '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil {
+		name := fmt.Sprintf("seg-%016x-%05x%s", uint64(time.Now().UnixNano()), os.Getpid()&0xfffff, segmentExt)
+		f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return "", fmt.Errorf("ledger: open segment: %w", err)
+		}
+		s.seg, s.segName = f, name
+	}
+	if _, err := s.seg.Write(framed); err != nil {
+		return "", fmt.Errorf("ledger: append record: %w", err)
+	}
+	if err := s.seg.Sync(); err != nil {
+		return "", fmt.Errorf("ledger: sync segment: %w", err)
+	}
+	s.wrote++
+	return rec.ID, nil
+}
+
+// Close closes the write segment (if any) and refreshes the index.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	seg := s.seg
+	s.seg = nil
+	wrote := s.wrote
+	s.mu.Unlock()
+	var err error
+	if seg != nil {
+		err = seg.Close()
+	}
+	if wrote > 0 {
+		if _, ierr := s.RefreshIndex(); err == nil && ierr != nil {
+			err = ierr
+		}
+	}
+	return err
+}
+
+// ScanStats summarizes one full read of the ledger.
+type ScanStats struct {
+	Segments int `json:"segments"`
+	Records  int `json:"records"`
+	// Torn counts truncated or corrupted tails dropped during the
+	// scan — nonzero after a writer was killed mid-append.
+	Torn int `json:"torn"`
+	// Skipped counts records written by a future schema.
+	Skipped int `json:"skipped"`
+}
+
+// Records reads every record in the ledger, oldest first (by Start,
+// then ID). Torn tails are dropped, not fatal: a killed-mid-write
+// ledger reopens cleanly with every completed record intact.
+func (s *Store) Records() ([]*RunRecord, ScanStats, error) {
+	var stats ScanStats
+	if s == nil {
+		return nil, stats, errors.New("ledger: nil store")
+	}
+	names, err := s.segments()
+	if err != nil {
+		return nil, stats, err
+	}
+	var recs []*RunRecord
+	for _, name := range names {
+		rs, torn, err := readSegment(filepath.Join(s.dir, name))
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Segments++
+		stats.Torn += torn
+		for _, r := range rs {
+			if r.Schema > RecordSchema {
+				stats.Skipped++
+				continue
+			}
+			recs = append(recs, r)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].Start.Equal(recs[j].Start) {
+			return recs[i].Start.Before(recs[j].Start)
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	stats.Records = len(recs)
+	return recs, stats, nil
+}
+
+func (s *Store) segments() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segmentExt) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// readSegment parses one segment file. Any truncation or corruption
+// ends the segment at the last good frame: everything before it is
+// returned, everything after is counted as torn. (Frames are length-
+// prefixed, so there is no reliable resynchronization point past a bad
+// header — the tail is dropped wholesale, which matches the only
+// writer discipline that produces these files: append-only.)
+func readSegment(path string) ([]*RunRecord, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ledger: %w", err)
+	}
+	var recs []*RunRecord
+	torn := 0
+	for len(data) > 0 {
+		// Tolerate the newline separators between frames.
+		if data[0] == '\n' {
+			data = data[1:]
+			continue
+		}
+		payload, rest, err := resilience.DecodeFrame(data, recordMagic, RecordVersion)
+		if err != nil {
+			torn++
+			break
+		}
+		var r RunRecord
+		if jerr := json.Unmarshal(payload, &r); jerr != nil {
+			torn++
+			break
+		}
+		recs = append(recs, &r)
+		data = rest
+	}
+	return recs, torn, nil
+}
+
+// Index is the cached per-segment summary, refreshed with the same
+// temp+rename discipline as checkpoints so concurrent refreshers can
+// only replace it wholesale, never corrupt it. It is strictly a
+// cache: Records() always trusts the segments themselves.
+type Index struct {
+	Updated  time.Time               `json:"updated"`
+	Segments map[string]SegmentEntry `json:"segments"`
+}
+
+// SegmentEntry summarizes one segment at index-refresh time.
+type SegmentEntry struct {
+	Size    int64 `json:"size"`
+	Records int   `json:"records"`
+	Torn    int   `json:"torn"`
+}
+
+// RefreshIndex rescans every segment and atomically replaces the
+// index file.
+func (s *Store) RefreshIndex() (*Index, error) {
+	names, err := s.segments()
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{Updated: time.Now(), Segments: map[string]SegmentEntry{}}
+	for _, name := range names {
+		path := filepath.Join(s.dir, name)
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		recs, torn, err := readSegment(path)
+		if err != nil {
+			continue
+		}
+		idx.Segments[name] = SegmentEntry{Size: fi.Size(), Records: len(recs), Torn: torn}
+	}
+	buf, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	tmp := filepath.Join(s.dir, indexName+".tmp")
+	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("ledger: write index: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, indexName)); err != nil {
+		os.Remove(tmp)
+		return nil, fmt.Errorf("ledger: publish index: %w", err)
+	}
+	return idx, nil
+}
+
+// ReadIndex loads the cached index; ok is false when the cache is
+// missing or stale (a segment grew, appeared, or vanished since the
+// refresh), in which case callers should fall back to Records().
+func (s *Store) ReadIndex() (idx *Index, ok bool) {
+	buf, err := os.ReadFile(filepath.Join(s.dir, indexName))
+	if err != nil {
+		return nil, false
+	}
+	idx = &Index{}
+	if err := json.Unmarshal(buf, idx); err != nil {
+		return nil, false
+	}
+	names, err := s.segments()
+	if err != nil || len(names) != len(idx.Segments) {
+		return idx, false
+	}
+	for _, name := range names {
+		ent, seen := idx.Segments[name]
+		if !seen {
+			return idx, false
+		}
+		fi, err := os.Stat(filepath.Join(s.dir, name))
+		if err != nil || fi.Size() != ent.Size {
+			return idx, false
+		}
+	}
+	return idx, true
+}

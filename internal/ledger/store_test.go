@@ -1,0 +1,270 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func appendT(t *testing.T, s *Store, rec *RunRecord) string {
+	t.Helper()
+	id, err := s.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	base := time.Now().Add(-time.Minute)
+	for i := 0; i < 3; i++ {
+		appendT(t, s, &RunRecord{
+			Start: base.Add(time.Duration(i) * time.Second),
+			Tool:  "ajsolve", Substrate: "shm", Method: "jacobi",
+			Outcome:  Outcome{Converged: true, RelRes: 1e-9, Sweeps: 40 + i},
+			Rate:     RateInfo{RhoHat: 0.8, Lo: 0.79, Hi: 0.81, Samples: 32},
+			Counters: map[string]uint64{"relax": uint64(100 * (i + 1))},
+		})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, stats, err := openT(t, dir).Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 3 || stats.Torn != 0 || stats.Segments != 1 {
+		t.Fatalf("stats = %+v, want 3 records, 0 torn, 1 segment", stats)
+	}
+	for i, r := range recs {
+		if r.Outcome.Sweeps != 40+i {
+			t.Errorf("record %d out of order: sweeps=%d", i, r.Outcome.Sweeps)
+		}
+		if r.Schema != RecordSchema || r.ID == "" || r.Env.Go == "" {
+			t.Errorf("record %d missing assigned fields: %+v", i, r)
+		}
+		if r.Counters["relax"] != uint64(100*(i+1)) {
+			t.Errorf("record %d counters lost: %v", i, r.Counters)
+		}
+	}
+}
+
+// TestTornTailDroppedOnReopen is the crash-safety acceptance test: a
+// writer killed mid-append leaves a torn final frame, which reopen
+// must detect by CRC, drop, and count — with every prior record
+// intact.
+func TestTornTailDroppedOnReopen(t *testing.T) {
+	// Each cut is measured past the frame-terminating newline: 2 tears
+	// the payload's last byte, 7 tears deeper into the payload, 21
+	// reaches back into the frame header.
+	for _, cut := range []int{2, 7, 21} {
+		dir := t.TempDir()
+		s := openT(t, dir)
+		for i := 0; i < 3; i++ {
+			appendT(t, s, &RunRecord{Tool: "ajsolve", Outcome: Outcome{Sweeps: i + 1}})
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Injected truncation: chop the tail of the segment file so the
+		// final frame is incomplete, as a kill -9 mid-write would.
+		segs, err := filepath.Glob(filepath.Join(dir, "*"+segmentExt))
+		if err != nil || len(segs) != 1 {
+			t.Fatalf("segments: %v, %v", segs, err)
+		}
+		fi, err := os.Stat(segs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(segs[0], fi.Size()-int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+
+		recs, stats, err := openT(t, dir).Records()
+		if err != nil {
+			t.Fatalf("cut %d: reopen failed: %v", cut, err)
+		}
+		if len(recs) != 2 || stats.Torn != 1 {
+			t.Fatalf("cut %d: got %d records, %d torn; want 2 intact + 1 torn",
+				cut, len(recs), stats.Torn)
+		}
+		for i, r := range recs {
+			if r.Outcome.Sweeps != i+1 {
+				t.Errorf("cut %d: surviving record %d corrupted: %+v", cut, i, r.Outcome)
+			}
+		}
+
+		// The store stays appendable after the torn reopen.
+		s2 := openT(t, dir)
+		appendT(t, s2, &RunRecord{Tool: "ajsolve", Outcome: Outcome{Sweeps: 99}})
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		recs, stats, err = openT(t, dir).Records()
+		if err != nil || len(recs) != 3 || stats.Torn != 1 {
+			t.Fatalf("cut %d: after re-append: %d records, %+v, %v", cut, len(recs), stats, err)
+		}
+	}
+}
+
+// TestCorruptedMidSegment: a flipped byte inside an earlier frame ends
+// that segment at the last good record instead of failing the scan.
+func TestCorruptedMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	for i := 0; i < 3; i++ {
+		appendT(t, s, &RunRecord{Tool: "ajexp", Outcome: Outcome{Sweeps: i + 1}})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*"+segmentExt))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the second frame (past the first frame's
+	// bytes; headers are at deterministic offsets but JSON lengths
+	// vary, so aim at the middle of the file).
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats, err := openT(t, dir).Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Torn != 1 || len(recs) >= 3 {
+		t.Fatalf("got %d records, %d torn; corruption must drop the tail", len(recs), stats.Torn)
+	}
+}
+
+// TestConcurrentWriters: two stores on one directory own distinct
+// segments, so both histories survive unmixed.
+func TestConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	s1, s2 := openT(t, dir), openT(t, dir)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			appendT(t, s1, &RunRecord{Tool: "ajsolve", Note: "w1"})
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		appendT(t, s2, &RunRecord{Tool: "ajdist", Note: "w2"})
+	}
+	<-done
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats, err := openT(t, dir).Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 20 || stats.Segments != 2 || stats.Torn != 0 {
+		t.Fatalf("got %d records in %d segments (%d torn), want 20 in 2",
+			len(recs), stats.Segments, stats.Torn)
+	}
+	ids := map[string]bool{}
+	for _, r := range recs {
+		if ids[r.ID] {
+			t.Fatalf("duplicate record ID %s across concurrent writers", r.ID)
+		}
+		ids[r.ID] = true
+	}
+}
+
+func TestFutureSchemaSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	appendT(t, s, &RunRecord{Tool: "ajsolve"})
+	appendT(t, s, &RunRecord{Schema: RecordSchema + 1, Tool: "from-the-future"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats, err := openT(t, dir).Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || stats.Skipped != 1 {
+		t.Fatalf("got %d records, %d skipped; future schema must be skipped, not fatal",
+			len(recs), stats.Skipped)
+	}
+}
+
+func TestIndexRefreshAndStaleness(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	appendT(t, s, &RunRecord{Tool: "ajsolve"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, dir)
+	idx, ok := r.ReadIndex()
+	if !ok || len(idx.Segments) != 1 {
+		t.Fatalf("fresh index not usable: ok=%v idx=%+v", ok, idx)
+	}
+	for name, ent := range idx.Segments {
+		if !strings.HasSuffix(name, segmentExt) || ent.Records != 1 || ent.Torn != 0 {
+			t.Fatalf("index entry %s = %+v", name, ent)
+		}
+	}
+
+	// A new writer adds a segment: the cached index must read as stale.
+	s2 := openT(t, dir)
+	appendT(t, s2, &RunRecord{Tool: "ajdist"})
+	if err := s2.Close(); err == nil {
+		// Close refreshed the index; force staleness by adding another
+		// segment without a refresh.
+		s3 := openT(t, dir)
+		appendT(t, s3, &RunRecord{Tool: "ajexp"})
+		s3.mu.Lock()
+		s3.seg.Close() // close without RefreshIndex
+		s3.seg = nil
+		s3.wrote = 0
+		s3.mu.Unlock()
+	}
+	if _, ok := r.ReadIndex(); ok {
+		t.Fatal("index still read as fresh after an unindexed segment appeared")
+	}
+}
+
+// TestReadOnlyOpenLeavesNoTrace: ajreport-style consumers must not
+// create segments just by opening.
+func TestReadOnlyOpenLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	if _, _, err := s.Records(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("read-only open left %d entries behind", len(ents))
+	}
+}

@@ -2,11 +2,9 @@ package resilience
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"time"
 )
@@ -50,13 +48,8 @@ type Checkpoint struct {
 	Elapsed time.Duration
 }
 
-// Checkpoint file framing: a fixed header in front of a gob payload.
-//
-//	magic   [4]byte  "AJCP"
-//	version uint32   format version (little-endian)
-//	length  uint64   payload byte count
-//	crc     uint32   CRC-32 (IEEE) of the payload
-//	payload []byte   gob-encoded Checkpoint
+// Checkpoint files use the shared frame of frame.go (magic "AJCP")
+// around a gob payload.
 const (
 	ckptMagic = "AJCP"
 	// CheckpointVersion is the current on-disk format version. Readers
@@ -64,7 +57,6 @@ const (
 	// read of a newer format must not be misparsed as corruption of the
 	// current one.
 	CheckpointVersion = 1
-	headerLen         = 4 + 4 + 8 + 4
 )
 
 // Distinct checkpoint-rejection causes, each wrapped into Load's error
@@ -86,13 +78,7 @@ func (c *Checkpoint) Encode() ([]byte, error) {
 	if err := gob.NewEncoder(&payload).Encode(c); err != nil {
 		return nil, fmt.Errorf("resilience: encode checkpoint: %w", err)
 	}
-	out := make([]byte, headerLen+payload.Len())
-	copy(out, ckptMagic)
-	binary.LittleEndian.PutUint32(out[4:], CheckpointVersion)
-	binary.LittleEndian.PutUint64(out[8:], uint64(payload.Len()))
-	binary.LittleEndian.PutUint32(out[16:], crc32.ChecksumIEEE(payload.Bytes()))
-	copy(out[headerLen:], payload.Bytes())
-	return out, nil
+	return EncodeFrame(ckptMagic, CheckpointVersion, payload.Bytes()), nil
 }
 
 // Decode parses a framed checkpoint, failing with a distinct wrapped
@@ -100,26 +86,12 @@ func (c *Checkpoint) Encode() ([]byte, error) {
 // ErrTruncated (short header or payload), ErrVersion (written by a
 // future format), ErrChecksum (payload does not match its CRC).
 func Decode(data []byte) (*Checkpoint, error) {
-	if len(data) < headerLen {
-		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header",
-			ErrTruncated, len(data), headerLen)
-	}
-	if string(data[:4]) != ckptMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrNotCheckpoint, data[:4])
-	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v > CheckpointVersion {
-		return nil, fmt.Errorf("%w: file version %d, reader supports <= %d",
-			ErrVersion, v, CheckpointVersion)
-	}
-	length := binary.LittleEndian.Uint64(data[8:])
-	if uint64(len(data)-headerLen) < length {
-		return nil, fmt.Errorf("%w: header promises %d payload bytes, file holds %d",
-			ErrTruncated, length, len(data)-headerLen)
-	}
-	payload := data[headerLen : headerLen+int(length)]
-	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(data[16:]) {
-		return nil, fmt.Errorf("%w: computed %08x, recorded %08x",
-			ErrChecksum, crc, binary.LittleEndian.Uint32(data[16:]))
+	payload, _, err := DecodeFrame(data, ckptMagic, CheckpointVersion)
+	if err != nil {
+		if errors.Is(err, ErrMagic) {
+			return nil, fmt.Errorf("%w: bad magic %q", ErrNotCheckpoint, data[:4])
+		}
+		return nil, err
 	}
 	var c Checkpoint
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&c); err != nil {

@@ -72,7 +72,7 @@ func TestCheckpointTruncatedRejected(t *testing.T) {
 	}
 	data, _ := os.ReadFile(path)
 
-	for _, cut := range []int{0, 3, headerLen - 1, headerLen + 1, len(data) - 1} {
+	for _, cut := range []int{0, 3, FrameHeaderLen - 1, FrameHeaderLen + 1, len(data) - 1} {
 		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +89,7 @@ func TestCheckpointChecksumRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(path)
-	data[headerLen+5] ^= 0x40 // flip one payload bit
+	data[FrameHeaderLen+5] ^= 0x40 // flip one payload bit
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}

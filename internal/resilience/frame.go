@@ -1,0 +1,70 @@
+package resilience
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Generic on-disk frame shared by checkpoints (magic "AJCP") and the
+// run ledger (magic "AJLR"): a fixed header in front of an opaque
+// payload, sized and checksummed so a torn or corrupted tail is
+// detected rather than misparsed.
+//
+//	magic   [4]byte  producer tag
+//	version uint32   format version (little-endian)
+//	length  uint64   payload byte count
+//	crc     uint32   CRC-32 (IEEE) of the payload
+//	payload []byte
+const FrameHeaderLen = 4 + 4 + 8 + 4
+
+// ErrMagic: the bytes do not start with the expected frame magic.
+// Checkpoint readers translate it to ErrNotCheckpoint; the ledger
+// treats it as segment corruption.
+var ErrMagic = errors.New("resilience: frame magic mismatch")
+
+// EncodeFrame wraps payload in the shared header. magic must be
+// exactly four bytes.
+func EncodeFrame(magic string, version uint32, payload []byte) []byte {
+	if len(magic) != 4 {
+		panic(fmt.Sprintf("resilience: frame magic %q must be 4 bytes", magic))
+	}
+	out := make([]byte, FrameHeaderLen+len(payload))
+	copy(out, magic)
+	binary.LittleEndian.PutUint32(out[4:], version)
+	binary.LittleEndian.PutUint64(out[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[16:], crc32.ChecksumIEEE(payload))
+	copy(out[FrameHeaderLen:], payload)
+	return out
+}
+
+// DecodeFrame parses one frame from the front of data, returning the
+// payload and the bytes that follow the frame. Each corruption class
+// fails with a distinct wrapped sentinel: ErrTruncated (short header
+// or payload), ErrMagic (wrong magic), ErrVersion (written by a
+// future format), ErrChecksum (payload does not match its CRC).
+func DecodeFrame(data []byte, magic string, maxVersion uint32) (payload, rest []byte, err error) {
+	if len(data) < FrameHeaderLen {
+		return nil, nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header",
+			ErrTruncated, len(data), FrameHeaderLen)
+	}
+	if string(data[:4]) != magic {
+		return nil, nil, fmt.Errorf("%w: got %q, want %q", ErrMagic, data[:4], magic)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v > maxVersion {
+		return nil, nil, fmt.Errorf("%w: frame version %d, reader supports <= %d",
+			ErrVersion, v, maxVersion)
+	}
+	length := binary.LittleEndian.Uint64(data[8:])
+	if uint64(len(data)-FrameHeaderLen) < length {
+		return nil, nil, fmt.Errorf("%w: header promises %d payload bytes, %d remain",
+			ErrTruncated, length, len(data)-FrameHeaderLen)
+	}
+	payload = data[FrameHeaderLen : FrameHeaderLen+int(length)]
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(data[16:]) {
+		return nil, nil, fmt.Errorf("%w: computed %08x, recorded %08x",
+			ErrChecksum, crc, binary.LittleEndian.Uint32(data[16:]))
+	}
+	return payload, data[FrameHeaderLen+int(length):], nil
+}

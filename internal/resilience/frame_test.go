@@ -1,0 +1,71 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFrameRoundTrip pins the shared frame: payload survives, rest
+// points at the following frame, and each corruption class maps to its
+// sentinel.
+func TestFrameRoundTrip(t *testing.T) {
+	a := EncodeFrame("AJLR", 1, []byte(`{"a":1}`))
+	b := EncodeFrame("AJLR", 1, []byte(`{"b":2}`))
+	data := append(append([]byte(nil), a...), b...)
+
+	p1, rest, err := DecodeFrame(data, "AJLR", 1)
+	if err != nil || string(p1) != `{"a":1}` {
+		t.Fatalf("first frame: %q, %v", p1, err)
+	}
+	p2, rest, err := DecodeFrame(rest, "AJLR", 1)
+	if err != nil || string(p2) != `{"b":2}` {
+		t.Fatalf("second frame: %q, %v", p2, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes after last frame: %d", len(rest))
+	}
+}
+
+func TestFrameCorruptionClasses(t *testing.T) {
+	good := EncodeFrame("AJLR", 1, []byte("payload"))
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"short header", good[:FrameHeaderLen-1], ErrTruncated},
+		{"short payload", good[:len(good)-1], ErrTruncated},
+		{"wrong magic", append([]byte("XXXX"), good[4:]...), ErrMagic},
+		{"future version", EncodeFrame("AJLR", 99, []byte("payload")), ErrVersion},
+	}
+	for _, c := range cases {
+		if _, _, err := DecodeFrame(c.data, "AJLR", 1); !errors.Is(err, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, err, c.want)
+		}
+	}
+
+	flipped := append([]byte(nil), good...)
+	flipped[FrameHeaderLen] ^= 0xff
+	if _, _, err := DecodeFrame(flipped, "AJLR", 1); !errors.Is(err, ErrChecksum) {
+		t.Errorf("flipped payload byte: got %v, want ErrChecksum", err)
+	}
+}
+
+// TestCheckpointStillDecodesThroughSharedFrame guards the refactor:
+// checkpoint encode/decode goes through frame.go but keeps its own
+// sentinel for foreign files.
+func TestCheckpointStillDecodesThroughSharedFrame(t *testing.T) {
+	c := &Checkpoint{Substrate: "shm", N: 3, X: []float64{1, 2, 3}, Sweeps: 7}
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil || got.N != 3 || got.Sweeps != 7 {
+		t.Fatalf("round trip: %+v, %v", got, err)
+	}
+	if _, err := Decode(EncodeFrame("AJLR", 1, []byte("x"))); !errors.Is(err, ErrNotCheckpoint) {
+		t.Fatalf("ledger frame as checkpoint: got %v, want ErrNotCheckpoint", err)
+	}
+}

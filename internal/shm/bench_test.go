@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/analytics"
+	"repro/internal/ledger"
 	"repro/internal/matgen"
 	"repro/internal/obs"
 	"repro/internal/stream"
@@ -80,6 +82,56 @@ func BenchmarkAsyncSolveStreamed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Solve(a, bb, x0, Options{Threads: 8, MaxIters: 50, Async: true, Metrics: m})
+	}
+}
+
+// BenchmarkAsyncSolveLedgered measures the full run-ledger path per
+// solve: metrics streamed into a live analytics engine (the rate fit a
+// record carries), a RunRecord built from the snapshot, and a durable
+// CRC-framed append. This is what `ajsolve -ledger DIR` adds on top of
+// BenchmarkAsyncSolve; the ledger must stay within benchcmp noise of
+// the untraced baseline.
+func BenchmarkAsyncSolveLedgered(b *testing.B) {
+	a := matgen.FD2D(32, 32)
+	rng := rand.New(rand.NewPCG(1, 1))
+	bb := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	store, err := ledger.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	mat := ledger.DescribeMatrix("fd:32x32", a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := obs.NewSolverMetrics(obs.NewRegistry())
+		bus := stream.NewBus()
+		m.AttachBus(bus, obs.DefaultSampleInterval)
+		sub := bus.Subscribe(1 << 12)
+		eng := analytics.New(analytics.Config{N: a.N, Window: 128})
+		done := make(chan struct{})
+		go func() {
+			eng.Pump(sub)
+			close(done)
+		}()
+		res := Solve(a, bb, x0, Options{Threads: 8, MaxIters: 50, Async: true, Metrics: m})
+		sub.Close()
+		<-done
+		snap := eng.Snapshot()
+		_, err := store.Append(&ledger.RunRecord{
+			Tool: "bench", Substrate: "shm", Method: "jacobi-async", Matrix: mat,
+			Config: ledger.SolveConfig{MaxSweeps: 50, Threads: 8},
+			Outcome: ledger.Outcome{
+				Converged: res.Converged, RelRes: res.RelRes,
+				Sweeps: res.TotalRelaxations / a.N, SolveNs: int64(res.Elapsed),
+			},
+			Rate:      ledger.RateInfo{RhoHat: snap.Fit.Rho, Lo: snap.Fit.Lo, Hi: snap.Fit.Hi, Samples: snap.Fit.N},
+			Staleness: ledger.StalenessInfo{P50: snap.StaleP50, P95: snap.StaleP95},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

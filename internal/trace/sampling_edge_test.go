@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// expectedEvents counts the events driveSchedule emits on an
+// uncoalesced ring for the kept relaxations: one start, one read per
+// off-diagonal, one write, one end.
+func expectedEvents(a *sparse.CSR, sweeps int, pol *SamplePolicy) (kept, suppressed int) {
+	for c := 1; c <= sweeps; c++ {
+		for i := 0; i < a.N; i++ {
+			per := 3 // start + write + end
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				if a.Col[k] != i {
+					per++
+				}
+			}
+			if pol.Keep(int32(c)) {
+				kept += per
+			} else {
+				suppressed += per
+			}
+		}
+	}
+	return kept, suppressed
+}
+
+// TestSampleHeadBeyondTotal: head:K with K at or beyond the total
+// relaxation count is a no-op policy — every event recorded, zero
+// suppressed. The boundary where the filter never fires must not
+// miscount.
+func TestSampleHeadBeyondTotal(t *testing.T) {
+	a := matgen.FD2D(4, 4)
+	const sweeps = 10
+	for _, k := range []int{sweeps, sweeps + 1, sweeps * 100} {
+		pol := &SamplePolicy{Mode: SampleHead, N: k}
+		rec := NewRecorder(1, 1<<14, WithSampling(pol), WithoutCoalescing())
+		driveSchedule(rec, a, sweeps, 2)
+		st := rec.Totals()
+		want, _ := expectedEvents(a, sweeps, nil)
+		if st.SampledOut != 0 {
+			t.Fatalf("head:%d: %d events sampled out, want 0", k, st.SampledOut)
+		}
+		if st.Total != want {
+			t.Fatalf("head:%d: %d events recorded, want %d", k, st.Total, want)
+		}
+		if st.Dropped != 0 || st.Retained != want {
+			t.Fatalf("head:%d: stats %+v disagree with a full recording", k, st)
+		}
+	}
+}
+
+// TestSampleOneOfOne: 1/1 ("every relaxation") must behave exactly
+// like no policy at all — everything kept, zero suppressed — rather
+// than tripping on the (count-1)%1 degenerate period.
+func TestSampleOneOfOne(t *testing.T) {
+	pol, err := ParseSamplePolicy("1/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := int32(1); c <= 64; c++ {
+		if !pol.Keep(c) {
+			t.Fatalf("1/1 suppressed count %d", c)
+		}
+	}
+	a := matgen.FD2D(4, 4)
+	const sweeps = 8
+	rec := NewRecorder(1, 1<<14, WithSampling(pol), WithoutCoalescing())
+	driveSchedule(rec, a, sweeps, 2)
+	bare := NewRecorder(1, 1<<14, WithoutCoalescing())
+	driveSchedule(bare, a, sweeps, 2)
+	st, ref := rec.Totals(), bare.Totals()
+	if st.SampledOut != 0 {
+		t.Fatalf("1/1: %d events sampled out, want 0", st.SampledOut)
+	}
+	if st.Total != ref.Total || st.Retained != ref.Retained {
+		t.Fatalf("1/1 recording %+v differs from unsampled %+v", st, ref)
+	}
+}
+
+// TestSamplingWraparoundAccountingExact: sampling and ring wraparound
+// compose without losing a single event in the books. Against a ring
+// far smaller than the kept stream, every event is either retained,
+// dropped by wraparound, or suppressed by the policy — and each bucket
+// must match the schedule arithmetic exactly, not approximately.
+func TestSamplingWraparoundAccountingExact(t *testing.T) {
+	a := matgen.FD2D(5, 4)
+	const sweeps = 40
+	for _, tc := range []struct {
+		name string
+		pol  *SamplePolicy
+	}{
+		{"every-3", &SamplePolicy{Mode: SampleEvery, N: 3}},
+		{"head-7", &SamplePolicy{Mode: SampleHead, N: 7}},
+		{"tail-9", &SamplePolicy{Mode: SampleTail, N: 9, Horizon: sweeps}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const capacity = 64 // far below the kept volume: guaranteed wraparound
+			rec := NewRecorder(1, capacity, WithSampling(tc.pol), WithoutCoalescing())
+			driveSchedule(rec, a, sweeps, 2)
+			st := rec.Totals()
+			kept, suppressed := expectedEvents(a, sweeps, tc.pol)
+			if st.Total != kept {
+				t.Fatalf("Total = %d, want %d kept events", st.Total, kept)
+			}
+			if st.SampledOut != suppressed {
+				t.Fatalf("SampledOut = %d, want %d", st.SampledOut, suppressed)
+			}
+			if st.Dropped == 0 {
+				t.Fatalf("no wraparound: capacity %d did not overflow (Total %d)", capacity, st.Total)
+			}
+			if st.Total != st.Retained+st.Dropped {
+				t.Fatalf("Total %d != Retained %d + Dropped %d", st.Total, st.Retained, st.Dropped)
+			}
+			if got := len(rec.Worker(0).Events()); got != st.Retained {
+				t.Fatalf("Events() = %d, Retained = %d", got, st.Retained)
+			}
+		})
+	}
+}

@@ -24,6 +24,20 @@
 #   RATIO        NUM/DEN ns/op ratio gate
 #                (default BenchmarkAsyncSolveTraced/BenchmarkAsyncSolve)
 #   MAX_RATIO    fail if RATIO exceeds this   (default 2.5)
+#   RATIO2       second ratio gate (default
+#                BenchmarkAsyncSolveLedgered/BenchmarkAsyncSolve;
+#                empty string disables)
+#   MAX_RATIO2   fail if RATIO2 exceeds this  (default 2.5)
+#   STRICT       1 = baseline entries missing from the new run fail
+#                instead of warn (default 0)
+#
+# When a committed LEDGER_* run-ledger snapshot exists (or
+# TREND_BASELINE names one), the script additionally regenerates the
+# quick rate sweep into a scratch ledger and gates the fitted rho-hat
+# trend against the snapshot:
+#   TREND_BASELINE  baseline ledger dir  (default newest LEDGER_*)
+#   MAX_SLOWDOWN    allowed model time-to-solution growth, %
+#                   (default 30)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +55,32 @@ ratchet="${RATCHET:-0}"
 noise="${NOISE:-5}"
 ratio="${RATIO:-BenchmarkAsyncSolveTraced/BenchmarkAsyncSolve}"
 max_ratio="${MAX_RATIO:-2.5}"
+ratio2="${RATIO2-BenchmarkAsyncSolveLedgered/BenchmarkAsyncSolve}"
+max_ratio2="${MAX_RATIO2:-2.5}"
+strict="${STRICT:-0}"
+
+ratio2_gate() {
+    if [ -n "$ratio2" ]; then
+        go run ./scripts/benchcmp -new "$out" -ratio "$ratio2" -max-ratio "$max_ratio2"
+    fi
+}
+
+trend_gate() {
+    local base="${TREND_BASELINE:-$(ls -d LEDGER_* 2>/dev/null | sort -V | tail -1 || true)}"
+    if [ -z "$base" ]; then
+        return 0
+    fi
+    local tled
+    tled="$(mktemp -d -t ledger_new.XXXXXX)"
+    echo "benchcmp.sh: trend gate: regenerating the quick rate sweep into $tled" >&2
+    go run ./cmd/ajexp -quick -ledger "$tled" -sweep rates rates > /dev/null
+    local tflags=(-trend-old "$base" -trend-new "$tled" -max-slowdown "${MAX_SLOWDOWN:-30}")
+    if [ "$strict" = 1 ]; then
+        tflags+=(-strict)
+    fi
+    go run ./scripts/benchcmp "${tflags[@]}"
+    rm -rf "$tled"
+}
 
 # shellcheck disable=SC2086 # BENCH_PKGS is a deliberate word list
 go test -bench "$regex" -benchtime "$benchtime" -count "$count" -run '^$' $pkgs | tee "$raw"
@@ -50,6 +90,8 @@ baseline="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
 if [ -z "$baseline" ]; then
     echo "benchcmp.sh: no committed BENCH_*.json baseline; ratio gate only" >&2
     go run ./scripts/benchcmp -new "$out" -ratio "$ratio" -max-ratio "$max_ratio"
+    ratio2_gate
+    trend_gate
     exit 0
 fi
 flags=(-old "$baseline" -new "$out" -filter "$filter" -max-regress "$max"
@@ -57,5 +99,10 @@ flags=(-old "$baseline" -new "$out" -filter "$filter" -max-regress "$max"
 if [ "$ratchet" = 1 ]; then
     flags+=(-ratchet -noise "$noise")
 fi
+if [ "$strict" = 1 ]; then
+    flags+=(-strict)
+fi
 echo "benchcmp.sh: comparing $out against $baseline" >&2
 go run ./scripts/benchcmp "${flags[@]}"
+ratio2_gate
+trend_gate

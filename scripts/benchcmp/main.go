@@ -19,8 +19,10 @@
 // Every benchmark present in both snapshots is printed with its delta.
 // Benchmarks matching -filter whose ns/op regressed by more than
 // -max-regress percent fail the run with exit code 1. Benchmarks that
-// exist on only one side are reported but never gate: new benchmarks
-// appear every PR and old ones are sometimes renamed.
+// exist only in the new snapshot are reported but never gate (new
+// benchmarks appear every PR); baseline entries missing from the new
+// run warn — a silently vanished benchmark is how a gate rots — and
+// fail under -strict.
 //
 // With -ratchet the gate tightens in both directions: a gated
 // benchmark that improves by more than -noise percent rewrites its
@@ -35,6 +37,19 @@
 //
 // asserts the traced solve stays within 2.5x of the untraced one. The
 // ratio gate also runs standalone with just -new (no baseline needed).
+//
+// Trend mode — gate convergence-rate history from two run ledgers:
+//
+//	go run ./scripts/benchcmp -trend-old LEDGER_PR7 -trend-new /tmp/led \
+//	    -max-slowdown 30
+//
+// Both directories are internal/ledger stores (the committed snapshot
+// and a freshly regenerated sweep). Records are grouped by matrix
+// fingerprint + substrate + method + worker count; per group the
+// median fitted rho-hat becomes a model time-to-solution 1/(1-rho),
+// and the gate fails when the new/old time-to-solution quotient
+// exceeds 1 + max-slowdown percent. Groups in the baseline that the
+// new ledger never ran warn, or fail under -strict.
 package main
 
 import (
@@ -86,6 +101,10 @@ func main() {
 	noise := flag.Float64("noise", 5, "improvement must beat this percent before -ratchet rewrites a floor")
 	ratio := flag.String("ratio", "", "NUM/DEN benchmark pair whose ns/op ratio is gated within the new snapshot")
 	maxRatio := flag.Float64("max-ratio", 2.5, "fail if the -ratio pair's ns/op quotient exceeds this")
+	strict := flag.Bool("strict", false, "fail (instead of warn) when a baseline entry is missing from the new side")
+	trendOld := flag.String("trend-old", "", "baseline ledger directory (trend mode)")
+	trendNew := flag.String("trend-new", "", "candidate ledger directory (trend mode)")
+	maxSlowdown := flag.Float64("max-slowdown", 30, "fail if a group's model time-to-solution 1/(1-rho) grows by more than this percent (trend mode)")
 	flag.Parse()
 
 	switch {
@@ -93,8 +112,16 @@ func main() {
 		if err := runEmit(*emit, *pr, *notes, *benchtime); err != nil {
 			fatal(err)
 		}
+	case *trendOld != "" && *trendNew != "":
+		ok, err := runTrend(*trendOld, *trendNew, *maxSlowdown, *strict)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
 	case *oldPath != "" && *newPath != "":
-		ok, err := runCompare(*oldPath, *newPath, *filter, *maxRegress, *ratchet, *noise)
+		ok, err := runCompare(*oldPath, *newPath, *filter, *maxRegress, *ratchet, *noise, *strict)
 		if err != nil {
 			fatal(err)
 		}
@@ -117,7 +144,7 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "benchcmp: need -emit FILE (stdin = go test -bench output), -old FILE -new FILE, or -new FILE -ratio NUM/DEN")
+		fmt.Fprintln(os.Stderr, "benchcmp: need -emit FILE (stdin = go test -bench output), -old FILE -new FILE, -new FILE -ratio NUM/DEN, or -trend-old DIR -trend-new DIR")
 		os.Exit(2)
 	}
 }
@@ -210,7 +237,7 @@ func readSnapshot(path string) (*snapshot, error) {
 // runCompare prints the delta table and reports whether the gate held.
 // With ratchet set, gated benchmarks that improved beyond the noise
 // margin rewrite their floor in the baseline file.
-func runCompare(oldPath, newPath, filter string, maxRegress float64, ratchet bool, noise float64) (bool, error) {
+func runCompare(oldPath, newPath, filter string, maxRegress float64, ratchet bool, noise float64, strict bool) (bool, error) {
 	gate, err := regexp.Compile(filter)
 	if err != nil {
 		return false, fmt.Errorf("-filter: %w", err)
@@ -265,6 +292,15 @@ func runCompare(oldPath, newPath, filter string, maxRegress float64, ratchet boo
 	sort.Strings(gone)
 	for _, key := range gone {
 		fmt.Printf("%-55s %14.0f %14s %9s\n", key, oldBy[key].NsPerOp, "-", "gone")
+	}
+	if len(gone) > 0 {
+		verb := "warning"
+		if strict {
+			verb = "FAILED (-strict)"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "benchcmp: %s: %d baseline benchmark(s) missing from the new run: %s\n",
+			verb, len(gone), strings.Join(gone, ", "))
 	}
 	if failed {
 		fmt.Printf("\nbenchcmp: regression gate FAILED (filter %s, max %.4g%%)\n", filter, maxRegress)

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/ledger"
+)
+
+// trendKey identifies one comparable run population across ledgers:
+// the same linear system on the same substrate with the same worker
+// count. Anything looser would compare incomparable rates.
+type trendKey struct {
+	Fingerprint string
+	Substrate   string
+	Method      string
+	Workers     int
+}
+
+func (k trendKey) String() string {
+	fp := k.Fingerprint
+	if len(fp) > 12 {
+		fp = fp[:12]
+	}
+	return fmt.Sprintf("%s/%s/%s/w%d", fp, k.Substrate, k.Method, k.Workers)
+}
+
+// trendStat is one group's aggregate: median fitted rho-hat and median
+// wall time over the group's runs.
+type trendStat struct {
+	Rho    float64
+	WallNs int64
+	Runs   int
+}
+
+// loadTrend reads a ledger directory and aggregates its rate-carrying
+// records by trendKey.
+func loadTrend(dir string) (map[trendKey]trendStat, error) {
+	s, err := ledger.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	recs, stats, err := s.Records()
+	if err != nil {
+		return nil, err
+	}
+	if stats.Torn > 0 || stats.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %s: dropped %d torn and %d unreadable records\n",
+			dir, stats.Torn, stats.Skipped)
+	}
+	groups := map[trendKey][]*ledger.RunRecord{}
+	for _, r := range recs {
+		if r.Rate.Samples == 0 || r.Matrix.Fingerprint == "" {
+			continue
+		}
+		w := int(r.Params["workers"])
+		if w == 0 {
+			w = r.Config.Threads
+		}
+		groups[trendKey{r.Matrix.Fingerprint, r.Substrate, r.Method, w}] = append(
+			groups[trendKey{r.Matrix.Fingerprint, r.Substrate, r.Method, w}], r)
+	}
+	out := make(map[trendKey]trendStat, len(groups))
+	for k, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i].Rate.RhoHat < g[j].Rate.RhoHat })
+		med := g[len(g)/2]
+		walls := make([]int64, len(g))
+		for i, r := range g {
+			walls[i] = r.Outcome.WallNs
+		}
+		sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+		out[k] = trendStat{Rho: med.Rate.RhoHat, WallNs: walls[len(walls)/2], Runs: len(g)}
+	}
+	return out, nil
+}
+
+// runTrend compares two ledgers' rate history. The gated quantity is
+// the model time-to-solution: sweeps to shrink the error by a fixed
+// factor scale as 1/(1-rho) for rho near 1, so the slowdown quotient
+// (1-rho_old)/(1-rho_new) is machine-independent — unlike wall time,
+// which is printed for context but never gated.
+func runTrend(oldDir, newDir string, maxSlowdown float64, strict bool) (bool, error) {
+	oldStats, err := loadTrend(oldDir)
+	if err != nil {
+		return false, err
+	}
+	newStats, err := loadTrend(newDir)
+	if err != nil {
+		return false, err
+	}
+	if len(oldStats) == 0 {
+		return false, fmt.Errorf("trend: no rate-carrying records in baseline %s", oldDir)
+	}
+	keys := make([]trendKey, 0, len(oldStats))
+	for k := range oldStats {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+
+	fmt.Printf("%-42s %9s %9s %10s %11s %9s\n",
+		"group", "old rho", "new rho", "slowdown", "old wall", "new wall")
+	failed := false
+	var missing []string
+	for _, k := range keys {
+		o := oldStats[k]
+		n, seen := newStats[k]
+		if !seen {
+			fmt.Printf("%-42s %9.5f %9s %10s %11s %9s\n",
+				k, o.Rho, "-", "missing", wallStr(o.WallNs), "-")
+			missing = append(missing, k.String())
+			continue
+		}
+		mark, slow := slowdown(o.Rho, n.Rho)
+		verdict := fmt.Sprintf("%+8.1f%%", 100*(slow-1))
+		if mark == divergent {
+			verdict = "DIVERGED"
+			failed = true
+		} else if 100*(slow-1) > maxSlowdown {
+			verdict += " FAIL"
+			failed = true
+		}
+		fmt.Printf("%-42s %9.5f %9.5f %10s %11s %9s\n",
+			k, o.Rho, n.Rho, verdict, wallStr(o.WallNs), wallStr(n.WallNs))
+	}
+	for k, n := range newStats {
+		if _, seen := oldStats[k]; !seen {
+			fmt.Printf("%-42s %9s %9.5f %10s %11s %9s\n", k, "-", n.Rho, "new", "-", wallStr(n.WallNs))
+		}
+	}
+	if len(missing) > 0 {
+		verb := "warning"
+		if strict {
+			verb = "FAILED (-strict)"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "benchcmp: %s: %d baseline group(s) missing from the new ledger: %s\n",
+			verb, len(missing), strings.Join(missing, ", "))
+	}
+	if failed {
+		fmt.Printf("\nbenchcmp: trend gate FAILED (max slowdown %.4g%%)\n", maxSlowdown)
+		return false, nil
+	}
+	fmt.Printf("\nbenchcmp: trend gate ok (%d group(s), max slowdown %.4g%%)\n", len(keys), maxSlowdown)
+	return true, nil
+}
+
+func wallStr(ns int64) string {
+	if ns == 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(time.Millisecond).String()
+}
+
+const divergent = 1
+
+// slowdown returns the model time-to-solution quotient
+// (1-rho_old)/(1-rho_new), flagging a new-side rho at or beyond 1
+// (no longer a contraction) as divergent.
+func slowdown(oldRho, newRho float64) (int, float64) {
+	if newRho >= 1 {
+		if oldRho < 1 {
+			return divergent, 0
+		}
+		return 0, 1 // both already non-contractive: no trend to gate
+	}
+	if oldRho >= 1 {
+		return 0, 1 // new side fixed a divergence; never a slowdown
+	}
+	return 0, (1 - oldRho) / (1 - newRho)
+}
