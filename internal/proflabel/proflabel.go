@@ -1,0 +1,55 @@
+// Package proflabel caches pprof goroutine-label contexts for the
+// solver hot paths. Label sets are immutable and safe to share across
+// goroutines, but building one allocates: three phase contexts per
+// worker cost ~110 allocations on an 8-worker shm solve — most of the
+// untraced solve's entire allocation budget. Each solver substrate
+// keeps one process-wide cache and reuses the contexts across every
+// solve, so repeated solves (a serving workload) label their workers
+// for free.
+package proflabel
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+)
+
+// Set is one worker's label contexts, one per iteration phase. The
+// phases match what `go tool pprof -tagfocus` splits a -profile-out
+// capture by: relax (residual + correction), publish (shared stores /
+// sends), wait (barriers, termination polling, yields).
+type Set struct {
+	Relax, Publish, Wait context.Context
+}
+
+// Cache builds and retains label sets keyed by worker id for one
+// solver substrate ("shm", "dist", ...).
+type Cache struct {
+	solver string
+	mu     sync.Mutex
+	tab    []*Set
+}
+
+// NewCache returns an empty cache whose sets carry the given solver
+// label value.
+func NewCache(solver string) *Cache { return &Cache{solver: solver} }
+
+// For returns the label set for a worker id, building it on first use.
+// The returned set is shared: callers must treat it as read-only.
+func (c *Cache) For(worker int) *Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.tab) <= worker {
+		c.tab = append(c.tab, nil)
+	}
+	if c.tab[worker] == nil {
+		wid := strconv.Itoa(worker)
+		mk := func(phase string) context.Context {
+			return pprof.WithLabels(context.Background(),
+				pprof.Labels("solver", c.solver, "worker", wid, "phase", phase))
+		}
+		c.tab[worker] = &Set{Relax: mk("relax"), Publish: mk("publish"), Wait: mk("wait")}
+	}
+	return c.tab[worker]
+}

@@ -77,3 +77,49 @@ func (v AtomicVector) Norm1Range(lo, hi int) float64 {
 	}
 	return s
 }
+
+// shard is one worker's partial-sum slot, padded out to a 64-byte
+// cache line so per-iteration publishes from different workers never
+// share a line — the whole point is to keep the convergence check off
+// the relaxation loop's memory traffic.
+type shard struct {
+	bits atomic.Uint64
+	_    [56]byte
+}
+
+// ShardedNorm accumulates a vector 1-norm as per-worker partial sums.
+// Each worker publishes the |r|_1 of the rows it relaxes once per local
+// iteration, and any reader sums the shards for a possibly-stale view
+// of the whole norm. It replaces the paper's every-worker-rescans-
+// everything convergence check (Section V) — O(n) atomic loads per
+// worker per iteration — with an O(workers) read. The staleness a
+// reader can observe (shards one iteration apart, a crashed worker's
+// shard frozen at its last publish) is exactly the staleness Theorem 1
+// already licenses for the iterate reads themselves; the final RelRes
+// is still recomputed exactly after the run.
+type ShardedNorm []shard
+
+// NewShardedNorm allocates k zeroed shards.
+func NewShardedNorm(k int) ShardedNorm { return make(ShardedNorm, k) }
+
+// Publish atomically replaces worker t's partial sum.
+func (s ShardedNorm) Publish(t int, v float64) { s[t].bits.Store(math.Float64bits(v)) }
+
+// Load returns worker t's current partial sum.
+func (s ShardedNorm) Load(t int) float64 { return math.Float64frombits(s[t].bits.Load()) }
+
+// Zero clears worker t's share — the supervisor's reassignment hook:
+// once a dead worker's rows are handed to survivors, their residual
+// reappears inside the adopters' shares, so the frozen shard must not
+// keep double-counting it (a permanently double-counted shard would
+// pin the sum above tolerance and cost liveness, not just accuracy).
+func (s ShardedNorm) Zero(t int) { s[t].bits.Store(0) }
+
+// Sum returns the racy total over all shards.
+func (s ShardedNorm) Sum() float64 {
+	var tot float64
+	for i := range s {
+		tot += math.Float64frombits(s[i].bits.Load())
+	}
+	return tot
+}

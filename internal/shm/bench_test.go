@@ -28,19 +28,20 @@ func BenchmarkAsyncSolve(b *testing.B) {
 	}
 }
 
-// benchTraced runs the traced solve with the given recorder options;
-// the recorder allocation stays outside the timed region.
+// benchTraced runs the traced solve with the given recorder options.
+// One recorder is allocated up front and rewound with Reset per solve —
+// the always-on deployment shape Reset exists for; reallocating the
+// rings' megabytes per solve would measure GC churn, not tracing.
 func benchTraced(b *testing.B, opts ...trace.Option) {
 	a := matgen.FD2D(32, 32)
 	rng := rand.New(rand.NewPCG(1, 1))
 	bb := randomVec(rng, a.N)
 	x0 := randomVec(rng, a.N)
+	rec := trace.NewRecorder(8, trace.DefaultCapacity, opts...)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		rec := trace.NewRecorder(8, trace.DefaultCapacity, opts...)
-		b.StartTimer()
+		rec.Reset()
 		Solve(a, bb, x0, Options{Threads: 8, MaxIters: 50, Async: true, Tracer: rec})
 	}
 }

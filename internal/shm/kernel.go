@@ -1,0 +1,371 @@
+package shm
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+// kernelTile is the row-tile size of the fused asynchronous relaxation:
+// a tile's residuals are computed and published while its scratch and
+// mirror entries are still cache-hot. 256 rows = 2KB per array, well
+// inside L1 alongside the matrix slices streaming through.
+const kernelTile = 256
+
+// blockKernel is one worker's relaxation state over its contiguous row
+// block [lo, hi): hoisted CSR slices, the residual scratch of the
+// in-flight iteration, and a plain (non-atomic) mirror of the block's
+// slice of the iterate. The worker is the block's only writer, so reads
+// of in-block columns skip the atomic round-trip through the shared
+// vector, and a publish is one atomic store per row — the mirror
+// already holds the pre-update value the old code loaded back from the
+// shared array. Reads of remote columns still go through
+// AtomicVector.Load: those are the racy reads Theorem 1 licenses.
+//
+// The single-writer invariant has one sanctioned exception: a
+// supervisor false positive makes a survivor adopt rows whose owner
+// later revives, and both then write the same rows. The revived owner
+// keeps relaxing from its own mirror — equivalent to a worker that
+// never observes the adopter's updates, which is just one more
+// admissible asynchronous schedule (each write is still a legal
+// relaxation of values some schedule produced).
+type blockKernel struct {
+	lo, hi int
+	rp     []int
+	col    []int
+	val    []float64
+	b      []float64
+	x      AtomicVector
+	omega  float64
+	mine   []float64 // mirror of x[lo:hi); this worker is the sole writer
+	local  []float64 // residual scratch of the in-flight iteration
+}
+
+func newBlockKernel(a *sparse.CSR, b []float64, x AtomicVector, x0 []float64, lo, hi int, omega float64) *blockKernel {
+	m := hi - lo
+	buf := make([]float64, 2*m)
+	k := &blockKernel{
+		lo: lo, hi: hi,
+		rp: a.RowPtr, col: a.Col, val: a.Val,
+		b: b, x: x, omega: omega,
+		mine: buf[:m:m], local: buf[m:],
+	}
+	copy(k.mine, x0[lo:hi])
+	return k
+}
+
+// load reads column j: in-block from the mirror, remote atomically.
+// The mirror is never older than the shared array, so a version
+// attributed to the value still satisfies "saw relaxation >= v".
+func (k *blockKernel) load(j int) float64 {
+	if uint(j-k.lo) < uint(len(k.mine)) {
+		return k.mine[j-k.lo]
+	}
+	return k.x.Load(j)
+}
+
+// store publishes a correction to own row i (immediate-write paths:
+// inner Gauss-Seidel, multicolor): mirror first, then one shared store.
+func (k *blockKernel) store(i int, r float64) {
+	v := k.mine[i-k.lo] + k.omega*r
+	k.mine[i-k.lo] = v
+	k.x.Store(i, v)
+}
+
+// residual computes r = b - A·x over rows [rlo, rhi) of the block into
+// local, returning the tile's |r|_1. In-block columns read the mirror;
+// the loop carries no instrumentation of any kind — this is the
+// production kernel the per-read tracing branches specialize away from.
+func (k *blockKernel) residual(rlo, rhi int) float64 {
+	var sum float64
+	lo, mine := k.lo, k.mine
+	rp, col, val, b := k.rp, k.col, k.val, k.b
+	for i := rlo; i < rhi; i++ {
+		s := b[i]
+		end := rp[i+1]
+		for p := rp[i]; p < end; p++ {
+			j := col[p]
+			if uint(j-lo) < uint(len(mine)) {
+				s -= val[p] * mine[j-lo]
+			} else {
+				s -= val[p] * k.x.Load(j)
+			}
+		}
+		k.local[i-lo] = s
+		sum += math.Abs(s)
+	}
+	return sum
+}
+
+// publish applies local's corrections to rows [rlo, rhi): one atomic
+// store per row (the old path paid an atomic load, an atomic residual
+// store, and an atomic solution store per row).
+func (k *blockKernel) publish(rlo, rhi int) {
+	lo, omega := k.lo, k.omega
+	for i := rlo; i < rhi; i++ {
+		v := k.mine[i-lo] + omega*k.local[i-lo]
+		k.mine[i-lo] = v
+		k.x.Store(i, v)
+	}
+}
+
+// relaxTiled runs one asynchronous Jacobi iteration over the whole
+// block, tile-fused: each tile's residuals are computed and published
+// before the next tile starts, so scratch and mirror stay cache-hot on
+// blocks too large for L1. Rows in a later tile may therefore read an
+// earlier tile's fresh in-block values — under the asynchronous scheme
+// that is just another admissible read schedule (the synchronous solver
+// never takes this path; its barrier semantics need the strict
+// two-phase sweep).
+func (k *blockKernel) relaxTiled() float64 {
+	var sum float64
+	for tlo := k.lo; tlo < k.hi; tlo += kernelTile {
+		thi := tlo + kernelTile
+		if thi > k.hi {
+			thi = k.hi
+		}
+		sum += k.residual(tlo, thi)
+		k.publish(tlo, thi)
+	}
+	return sum
+}
+
+// relaxGS runs one inner-Gauss-Seidel pass over the block: each row's
+// correction is written before the next row's residual is computed, so
+// in-block couplings see fresh values (the Jager–Bradley inexact block
+// Jacobi). Uninstrumented counterpart of the traced InnerGS branch.
+func (k *blockKernel) relaxGS() float64 {
+	var sum float64
+	lo, mine, omega := k.lo, k.mine, k.omega
+	rp, col, val, b := k.rp, k.col, k.val, k.b
+	for i := k.lo; i < k.hi; i++ {
+		s := b[i]
+		end := rp[i+1]
+		for p := rp[i]; p < end; p++ {
+			j := col[p]
+			if uint(j-lo) < uint(len(mine)) {
+				s -= val[p] * mine[j-lo]
+			} else {
+				s -= val[p] * k.x.Load(j)
+			}
+		}
+		v := mine[i-lo] + omega*s
+		mine[i-lo] = v
+		k.x.Store(i, v)
+		sum += math.Abs(s)
+	}
+	return sum
+}
+
+// tracedResidual is residual's fused traced counterpart over rows
+// [rlo, rhi): it computes r = b - A·x into local while gathering each
+// row's off-diagonal read versions (mirror for in-block columns,
+// shared counter for remote ones) into a stack buffer, handed to the
+// ring in a single AppendReads call per row. One outlined call per
+// relaxation replaces the RelaxStart / per-read / RelaxEnd bracket —
+// six-plus calls' worth of branchy bookkeeping — which is what keeps
+// always-on tracing within its overhead ratio budget. Rows wider than
+// the buffer (none in the stencil matrices, any only in pathological
+// ones) take the generic bracket.
+func (k *blockKernel) tracedResidual(rlo, rhi int, vm *versionMirror, tw *trace.Ring, ts int64) float64 {
+	var sum float64
+	lo, mine := k.lo, k.mine
+	rp, col, val, b := k.rp, k.col, k.val, k.b
+	vmine := vm.mine
+	var vbuf [32]int64
+	for i := rlo; i < rhi; i++ {
+		s := b[i]
+		beg, end := rp[i], rp[i+1]
+		cnt := int(vmine[i-lo]) + 1
+		if end-beg <= len(vbuf) {
+			nv := 0
+			for p := beg; p < end; p++ {
+				j := col[p]
+				if uint(j-lo) < uint(len(mine)) {
+					if j != i {
+						vbuf[nv] = vmine[j-lo]
+						nv++
+					}
+					s -= val[p] * mine[j-lo]
+				} else {
+					vbuf[nv] = vm.remote(j)
+					nv++
+					s -= val[p] * k.x.Load(j)
+				}
+			}
+			tw.AppendReads(i, cnt, ts, vbuf[:nv], col[beg:end])
+		} else {
+			tw.RelaxStart(i, cnt)
+			for p := beg; p < end; p++ {
+				j := col[p]
+				if j != i {
+					v := vm.read(j)
+					if !tw.TryReadVersion(j, v) {
+						tw.ReadVersion(i, cnt, j, v)
+					}
+				}
+				s -= val[p] * k.load(j)
+			}
+			tw.RelaxEnd(i, cnt)
+		}
+		k.local[i-lo] = s
+		sum += math.Abs(s)
+	}
+	return sum
+}
+
+// tracedPublish is publish plus the version bumps: corrections land in
+// the mirror and the shared vector, then the row's relaxation counter
+// publishes (store after value, preserving the "saw relaxation >= v"
+// read contract). Write markers are elided — the fused path only runs
+// on coalescing rings, where Write is a no-op anyway.
+func (k *blockKernel) tracedPublish(rlo, rhi int, vm *versionMirror) {
+	lo, omega := k.lo, k.omega
+	if vm.shared == nil {
+		// Sweep mode: the bump is a plain mirror increment (endSweep
+		// publishes once per sweep), so inline it without the per-call
+		// mode dispatch.
+		vmine := vm.mine
+		for i := rlo; i < rhi; i++ {
+			v := k.mine[i-lo] + omega*k.local[i-lo]
+			k.mine[i-lo] = v
+			k.x.Store(i, v)
+			vmine[i-lo]++
+		}
+		return
+	}
+	for i := rlo; i < rhi; i++ {
+		v := k.mine[i-lo] + omega*k.local[i-lo]
+		k.mine[i-lo] = v
+		k.x.Store(i, v)
+		vm.bump(i)
+	}
+}
+
+// versionMirror pairs the shared per-row relaxation counters with a
+// plain mirror of the worker's own rows' counts, the way blockKernel's
+// mine mirrors x: the worker is the only writer of its rows' versions,
+// so in-block version reads are plain loads and a bump is one atomic
+// store of the locally tracked count instead of a read-modify-write.
+// The mirror can lag the shared counter only when an adopter
+// (supervisor false positive) bumps an own row concurrently;
+// attributing a staler version to a read keeps the "saw relaxation
+// >= v" contract, staleness being exactly what the trace model admits.
+// In sweep mode (shared == nil) the per-row shared counters are
+// replaced outright: every row of a block relaxes exactly once per
+// local sweep, so all its counters advance in lockstep and one
+// per-worker completed-sweep counter carries the same information —
+// version[j] = base[j] + sweeps[owner(j)] — at one atomic store per
+// sweep instead of one per row (each atomic store is a full fence on
+// the hot publish loop). The counter publishes at sweep END, so a
+// remote reader attributes to a mid-sweep value the version of the
+// sweep before — staler, hence still inside the ">= v" contract. The
+// solver enables sweep mode only when nothing needs per-row counts
+// live: no checkpointer (RelaxCounts snapshots) and no supervisor
+// (adopted rows advance out of lockstep).
+type versionMirror struct {
+	lo     int
+	mine   []int64
+	shared []atomic.Int64 // per-row counters; nil selects sweep mode
+	base   []int64        // sweep mode: immutable starting counts
+	sweeps []sweepSlot    // sweep mode: per-worker completed sweeps
+	owner  []int32        // sweep mode: row -> owning worker
+	self   *atomic.Int64  // sweep mode: own sweeps slot
+}
+
+// sweepSlot is one worker's completed-sweep counter, padded to a cache
+// line: neighbors read each other's slots on every remote version
+// lookup, so a publish must not invalidate anyone else's slot.
+type sweepSlot struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+func newVersionMirror(shared []atomic.Int64, lo, hi int) *versionMirror {
+	m := &versionMirror{lo: lo, mine: make([]int64, hi-lo), shared: shared}
+	for i := lo; i < hi; i++ {
+		m.mine[i-lo] = shared[i].Load()
+	}
+	return m
+}
+
+func newSweepMirror(base []int64, sweeps []sweepSlot, owner []int32, lo, hi, t int) *versionMirror {
+	m := &versionMirror{
+		lo: lo, mine: make([]int64, hi-lo),
+		base: base, sweeps: sweeps, owner: owner, self: &sweeps[t].v,
+	}
+	copy(m.mine, base[lo:hi])
+	return m
+}
+
+// remote returns the version to attribute to a read of row j outside
+// the block.
+func (m *versionMirror) remote(j int) int64 {
+	if m.shared != nil {
+		return m.shared[j].Load()
+	}
+	return m.base[j] + m.sweeps[m.owner[j]].v.Load()
+}
+
+// read returns the version to attribute to a read of row j.
+func (m *versionMirror) read(j int) int {
+	if uint(j-m.lo) < uint(len(m.mine)) {
+		return int(m.mine[j-m.lo])
+	}
+	return int(m.remote(j))
+}
+
+// next returns the 1-based count of own row i's upcoming relaxation.
+func (m *versionMirror) next(i int) int { return int(m.mine[i-m.lo]) + 1 }
+
+// bump records a completed relaxation of own row i. Sweep mode keeps
+// it a plain increment; the shared publish happens once per sweep in
+// endSweep.
+func (m *versionMirror) bump(i int) {
+	m.mine[i-m.lo]++
+	if m.shared != nil {
+		m.shared[i].Store(m.mine[i-m.lo])
+	}
+}
+
+// endSweep publishes s completed local sweeps (sweep mode; no-op on
+// per-row counters, which bump already published).
+func (m *versionMirror) endSweep(s int) {
+	if m.self != nil {
+		m.self.Store(int64(s))
+	}
+}
+
+// rowOwner returns the worker owning row j under the contiguous
+// partition of n rows over p workers — the closed-form inverse of
+// partition.ContiguousRange (whose block b spans [⌊bn/p⌋, ⌊(b+1)n/p⌋)):
+// owner(j) = ⌈(j+1)p/n⌉ − 1, here in integer arithmetic.
+func rowOwner(n, p, j int) int { return ((j+1)*p - 1) / n }
+
+// neighborSets returns, per worker, the sorted ids of the workers whose
+// rows appear as off-block columns in its rows — who it reads from, for
+// the staleness sampler. One O(nnz) pass with the O(1) owner lookup
+// replaces the per-worker per-nonzero binary search (O(nnz·log p)) the
+// setup used to pay.
+func neighborSets(a *sparse.CSR, nt int) [][]int {
+	n := a.N
+	sets := make([][]int, nt)
+	seen := make([]int, nt) // seen[u] == t+1: u already recorded for worker t
+	for t := 0; t < nt; t++ {
+		lo, hi := partition.ContiguousRange(n, nt, t)
+		for i := lo; i < hi; i++ {
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				if u := rowOwner(n, nt, a.Col[p]); u != t && seen[u] != t+1 {
+					seen[u] = t + 1
+					sets[t] = append(sets[t], u)
+				}
+			}
+		}
+		sort.Ints(sets[t])
+	}
+	return sets
+}

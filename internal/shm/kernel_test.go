@@ -1,0 +1,382 @@
+package shm
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/matgen"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// ShardedNorm is the convergence check's data structure: per-worker
+// partial |r|_1 sums, summed racily by readers. Publish replaces (not
+// accumulates), Zero is the supervisor's reassignment hook.
+func TestShardedNorm(t *testing.T) {
+	s := NewShardedNorm(4)
+	if got := s.Sum(); got != 0 {
+		t.Fatalf("fresh sum = %g, want 0", got)
+	}
+	s.Publish(0, 1.5)
+	s.Publish(1, 2.25)
+	s.Publish(3, 0.25)
+	if got := s.Sum(); got != 4.0 {
+		t.Fatalf("sum = %g, want 4", got)
+	}
+	if got := s.Load(1); got != 2.25 {
+		t.Fatalf("load(1) = %g, want 2.25", got)
+	}
+	// Publish replaces the shard wholesale — one stale iteration never
+	// compounds.
+	s.Publish(1, 0.5)
+	if got := s.Sum(); got != 2.25 {
+		t.Fatalf("sum after republish = %g, want 2.25", got)
+	}
+	// Zero models a death + reassignment: the dead shard must stop
+	// contributing or the total can never cross the tolerance.
+	s.Zero(0)
+	if got := s.Sum(); got != 0.75 {
+		t.Fatalf("sum after zero = %g, want 0.75", got)
+	}
+}
+
+// The 5-point FD2D stencil on an 8x8 grid split over 4 workers gives
+// each worker two grid rows, so off-block couplings reach only the
+// adjacent blocks. Pins the neighbor sets the staleness sampler and
+// the supervisor's adoption bookkeeping both consume.
+func TestNeighborSetsFD2DPinned(t *testing.T) {
+	a := matgen.FD2D(8, 8)
+	got := neighborSets(a, 4)
+	want := [][]int{{1}, {0, 2}, {1, 3}, {2}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d sets, want %d", len(got), len(want))
+	}
+	for w := range want {
+		if len(got[w]) != len(want[w]) {
+			t.Fatalf("worker %d: neighbors %v, want %v", w, got[w], want[w])
+		}
+		for i := range want[w] {
+			if got[w][i] != want[w][i] {
+				t.Fatalf("worker %d: neighbors %v, want %v", w, got[w], want[w])
+			}
+		}
+	}
+}
+
+// neighborSets' O(1) owner lookup must agree with the binary-search
+// reference it replaced, for every worker count that divides the rows
+// unevenly.
+func TestNeighborSetsMatchesReference(t *testing.T) {
+	mats := []struct {
+		name string
+		rows int
+		cols int
+	}{{"fd:8x8", 8, 8}, {"fd:7x9", 7, 9}, {"fd:16x5", 16, 5}}
+	for _, mc := range mats {
+		a := matgen.FD2D(mc.rows, mc.cols)
+		for nt := 1; nt <= 8; nt++ {
+			// Reference: per worker, per nonzero, binary search over the
+			// partition boundaries.
+			bounds := make([]int, nt+1)
+			for q := 0; q < nt; q++ {
+				lo, hi := partition.ContiguousRange(a.N, nt, q)
+				bounds[q], bounds[q+1] = lo, hi
+			}
+			want := make([][]int, nt)
+			for q := 0; q < nt; q++ {
+				set := map[int]bool{}
+				for i := bounds[q]; i < bounds[q+1]; i++ {
+					for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+						u := sort.SearchInts(bounds[1:], a.Col[p]+1)
+						if u != q {
+							set[u] = true
+						}
+					}
+				}
+				for u := range set {
+					want[q] = append(want[q], u)
+				}
+				sort.Ints(want[q])
+			}
+			got := neighborSets(a, nt)
+			for q := 0; q < nt; q++ {
+				if len(got[q]) != len(want[q]) {
+					t.Fatalf("%s nt=%d worker %d: %v, want %v", mc.name, nt, q, got[q], want[q])
+				}
+				for i := range want[q] {
+					if got[q][i] != want[q][i] {
+						t.Fatalf("%s nt=%d worker %d: %v, want %v", mc.name, nt, q, got[q], want[q])
+					}
+				}
+			}
+		}
+	}
+}
+
+// rowOwner is the closed-form inverse of partition.ContiguousRange:
+// every row must land inside the range of the block it names.
+func TestRowOwnerMatchesPartition(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 100, 1023} {
+		for p := 1; p <= 16 && p <= n; p++ {
+			for j := 0; j < n; j++ {
+				q := rowOwner(n, p, j)
+				if q < 0 || q >= p {
+					t.Fatalf("rowOwner(%d,%d,%d) = %d out of range", n, p, j, q)
+				}
+				lo, hi := partition.ContiguousRange(n, p, q)
+				if j < lo || j >= hi {
+					t.Fatalf("rowOwner(%d,%d,%d) = %d but block is [%d,%d)", n, p, j, q, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// Regression for the triple-rescan bug: the convergence decision, the
+// recorded history, and the metrics gauge must all read the same
+// residual snapshot. With one worker the run is deterministic, so the
+// stop condition must fire exactly at the first history point at or
+// below tolerance — if the check and the history read different scans
+// of the residual, the last point disagrees with the decision.
+func TestResidualSnapshotConsistency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	const tol = 1e-6
+	reg := obs.NewRegistry()
+	m := obs.NewSolverMetrics(reg)
+	res := Solve(a, b, x0, Options{
+		Threads: 1, MaxIters: 5000, Tol: tol, Async: true,
+		RecordHistory: true, Metrics: m,
+	})
+	if !res.Converged || res.RelRes > tol {
+		t.Fatalf("did not converge: relres=%g converged=%v", res.RelRes, res.Converged)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no history recorded")
+	}
+	last := res.History[len(res.History)-1]
+	if last.RelRes > tol {
+		t.Fatalf("stopped while last history point %g > tol %g: check and history disagree",
+			last.RelRes, tol)
+	}
+	for i, h := range res.History[:len(res.History)-1] {
+		if h.RelRes <= tol {
+			t.Fatalf("history point %d (iter %d) already at %g <= tol but solver kept going: "+
+				"check read a different residual than the history", i, h.Iteration, h.RelRes)
+		}
+	}
+	if last.Iteration != res.Iterations[0] {
+		t.Fatalf("last history iteration %d != worker iterations %d", last.Iteration, res.Iterations[0])
+	}
+	// The gauge holds the exact post-run residual, same value the
+	// result reports.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "aj_residual ") || strings.HasPrefix(line, "aj_residual{") {
+			fs := strings.Fields(line)
+			v, err := strconv.ParseFloat(fs[len(fs)-1], 64)
+			if err != nil {
+				t.Fatalf("parse gauge %q: %v", line, err)
+			}
+			if v != res.RelRes {
+				t.Fatalf("gauge %g != result relres %g", v, res.RelRes)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("aj_residual gauge not exported")
+	}
+}
+
+// The multicolor branch is instrumented like every other relaxation
+// loop: a traced multicolor run must produce a non-empty, verifiable
+// history (not a silently empty one that passes vacuously), and the
+// replay must satisfy Theorem 1's norm bounds on the W.D.D. stencil.
+func TestMulticolorTracedVerifyNorms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	rec := trace.NewRecorder(4, 1<<16)
+	Solve(a, b, x0, Options{
+		Threads: 4, MaxIters: 40, Multicolor: true, Tracer: rec,
+	})
+	for w := 0; w < 4; w++ {
+		if d := rec.Worker(w).Dropped(); d != 0 {
+			t.Fatalf("worker %d ring dropped %d events", w, d)
+		}
+	}
+	tr, err := trace.ToModelTraceMatrix(rec, a)
+	if err != nil {
+		t.Fatalf("ToModelTrace: %v", err)
+	}
+	rep, err := trace.VerifyNorms(a, tr, 1e-9, 200)
+	if err != nil {
+		t.Fatalf("VerifyNorms: %v", err)
+	}
+	if rep.MasksChecked == 0 {
+		t.Fatal("traced multicolor run produced no step masks — instrumentation fell off the branch")
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("Theorem 1 violated on multicolor trace: %d of %d masks (G=%g H=%g)",
+			rep.Violations, rep.MasksChecked, rep.MaxGNormInf, rep.MaxHNorm1)
+	}
+}
+
+// The fused traced kernel (tracedResidual/tracedPublish + sweep-mode
+// version counters) must record a history that still verifies against
+// the propagation model with zero violations — the fast path is only
+// an encoding change, never a semantics change.
+func TestTracedFusedKernelVerifyNorms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	rec := trace.NewRecorder(4, 1<<17)
+	Solve(a, b, x0, Options{
+		Threads: 4, MaxIters: 60, Async: true, Tracer: rec,
+	})
+	for w := 0; w < 4; w++ {
+		if d := rec.Worker(w).Dropped(); d != 0 {
+			t.Fatalf("worker %d ring dropped %d events", w, d)
+		}
+	}
+	tr, err := trace.ToModelTraceMatrix(rec, a)
+	if err != nil {
+		t.Fatalf("ToModelTrace: %v", err)
+	}
+	rep, err := trace.VerifyNorms(a, tr, 1e-9, 200)
+	if err != nil {
+		t.Fatalf("VerifyNorms: %v", err)
+	}
+	if rep.MasksChecked == 0 {
+		t.Fatal("fused traced run produced no step masks")
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("Theorem 1 violated on fused trace: %d of %d masks (G=%g H=%g)",
+			rep.Violations, rep.MasksChecked, rep.MaxGNormInf, rep.MaxHNorm1)
+	}
+}
+
+// Same check with supervision on: the checkpoint/adoption machinery
+// forces the per-row shared version counters (sweep mode is refused),
+// so this pins the fused kernel's other attribution mode.
+func TestTracedSupervisedVerifyNorms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	rec := trace.NewRecorder(4, 1<<17)
+	Solve(a, b, x0, Options{
+		Threads: 4, MaxIters: 60, Async: true, Tracer: rec,
+		Supervise: true, StallThreshold: time.Second,
+	})
+	tr, err := trace.ToModelTraceMatrix(rec, a)
+	if err != nil {
+		t.Fatalf("ToModelTrace: %v", err)
+	}
+	rep, err := trace.VerifyNorms(a, tr, 1e-9, 200)
+	if err != nil {
+		t.Fatalf("VerifyNorms: %v", err)
+	}
+	if rep.MasksChecked == 0 {
+		t.Fatal("supervised traced run produced no step masks")
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("Theorem 1 violated on supervised trace: %d of %d masks (G=%g H=%g)",
+			rep.Violations, rep.MasksChecked, rep.MaxGNormInf, rep.MaxHNorm1)
+	}
+}
+
+// Race-detector workout for the sharded residual, the owned-row
+// mirrors, and the adoption path together: a crash without restart
+// makes the supervisor zero the dead shard and hand its rows to
+// survivors, whose relaxAdopted shares flow into the same ShardedNorm
+// the convergence check reads. Run under -race this is the proof the
+// mirror's single-writer invariant survives reassignment; functionally
+// the solve must still converge because the adopted rows keep moving.
+func TestShardedResidualAdoptionUnderRace(t *testing.T) {
+	rng := rand.New(rand.NewPCG(81, 82))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	const tol = 1e-6
+	m := obs.NewSolverMetrics(obs.NewRegistry())
+	done := make(chan *Result, 1)
+	go func() {
+		done <- Solve(a, b, x0, Options{
+			Threads: 4, MaxIters: 20000, Tol: tol, Async: true, DelayThread: -1,
+			Supervise: true, StallThreshold: 20 * time.Millisecond,
+			Metrics: m,
+			Fault: &fault.Plan{
+				Seed: 13, StallRank: -1,
+				CrashRanks: []int{2}, CrashIter: 8,
+			},
+		})
+	}()
+	var res *Result
+	select {
+	case res = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("supervised crash solve hung")
+	}
+	if !res.Converged || res.RelRes > tol {
+		t.Fatalf("adoption did not restore convergence: relres=%g converged=%v (reassigns=%d)",
+			res.RelRes, res.Converged, m.RecoveryReassignCount())
+	}
+	if m.RecoveryWorkerDeadCount() == 0 {
+		t.Fatal("supervisor never declared the crashed worker dead — shares.Zero path untested")
+	}
+	if m.RecoveryReassignCount() == 0 {
+		t.Fatal("no reassignment happened — relaxAdopted path untested")
+	}
+}
+
+// Fail-stop crashes are detected by the worker goroutine's exit, not
+// by waiting out the heartbeat threshold. With a threshold far larger
+// than the whole run, adoption can only happen through exit
+// detection — the solve must still converge within the sweep budget.
+// (This matters because the threshold is wall-clock while the budget
+// is sweeps: the faster the kernel, the more budget a threshold wait
+// would burn.)
+func TestSupervisorDetectsFailStopByExit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 92))
+	a := matgen.FD2D(8, 8)
+	b := randomVec(rng, a.N)
+	x0 := randomVec(rng, a.N)
+	const tol = 1e-6
+	m := obs.NewSolverMetrics(obs.NewRegistry())
+	res := Solve(a, b, x0, Options{
+		Threads: 4, MaxIters: 20000, Tol: tol, Async: true, DelayThread: -1,
+		Supervise: true, StallThreshold: time.Hour,
+		Metrics: m,
+		Fault: &fault.Plan{
+			Seed: 17, StallRank: -1,
+			CrashRanks: []int{1}, CrashIter: 8,
+		},
+	})
+	if m.RecoveryWorkerDeadCount() == 0 {
+		t.Fatal("exited worker never declared dead despite the 1h stall threshold")
+	}
+	if !res.Converged || res.RelRes > tol {
+		t.Fatalf("exit-detected adoption did not restore convergence: relres=%g converged=%v",
+			res.RelRes, res.Converged)
+	}
+}

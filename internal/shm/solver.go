@@ -2,11 +2,10 @@ package shm
 
 import (
 	"context"
+	"math"
 	"math/rand/v2"
 	"runtime"
 	"runtime/pprof"
-	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,11 +14,19 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/proflabel"
 	"repro/internal/resilience"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 	"repro/internal/vec"
 )
+
+// shmLabels caches the pprof label contexts the workers run under.
+// Building the label sets used to happen per solve per worker and
+// dominated the untraced solve's allocation profile (~110 of 142
+// allocs/op); the cache amortizes them across every solve in the
+// process.
+var shmLabels = proflabel.NewCache("shm")
 
 // Options configure a shared-memory solve.
 type Options struct {
@@ -245,13 +252,17 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 
 	x := NewAtomicVector(n)
 	x.SetAll(x0)
-	r := NewAtomicVector(n)
 	nb := vec.Norm1(b)
 	if nb == 0 {
 		nb = 1
 	}
 
 	nt := opt.Threads
+	// shares replaces the shared residual array: each worker publishes
+	// its block's |r|_1 once per local iteration, so the convergence
+	// check (and worker 0's gauge and history point) reads nt shards
+	// instead of rescanning all n residual atomics.
+	shares := NewShardedNorm(nt)
 	flags := make([]atomic.Bool, nt)
 	var barrier *Barrier
 	if !opt.Async {
@@ -295,27 +306,56 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 	// of this is allocated and touched only when metrics are enabled.
 	opt.Metrics.SetWorkers(nt)
 	supervising := opt.Supervise && opt.Async && nt > 1
+	// Sweep-mode versions (see versionMirror): when nothing needs the
+	// per-row counters live — no checkpoint snapshots of RelaxCounts, no
+	// supervisor whose adopters advance rows out of lockstep — one
+	// per-worker completed-sweep counter replaces n per-row atomic
+	// stores per sweep. verOwner is the closed-form partition inverse,
+	// tabulated so a remote version lookup costs loads, not a division.
+	var verBase []int64
+	var verSweeps []sweepSlot
+	var verOwner []int32
+	if version != nil && !supervising && writer == nil {
+		verBase = make([]int64, n)
+		if opt.Resume != nil && opt.Resume.RelaxCounts != nil {
+			copy(verBase, opt.Resume.RelaxCounts)
+		}
+		verSweeps = make([]sweepSlot, nt)
+		verOwner = make([]int32, n)
+		for j := range verOwner {
+			verOwner[j] = int32(rowOwner(n, nt, j))
+		}
+	}
 	var progress []atomic.Int64
-	var rangeEnd []int
+	var nbrSets [][]int
 	if opt.Metrics != nil || supervising || writer != nil {
 		// Progress counters double as supervisor heartbeats and as the
 		// checkpoint's per-worker iteration counts.
 		progress = make([]atomic.Int64, nt)
 	}
 	if opt.Metrics != nil {
-		rangeEnd = make([]int, nt)
-		for q := 0; q < nt; q++ {
-			_, rangeEnd[q] = partition.ContiguousRange(n, nt, q)
-		}
+		// Who reads from whom, for the staleness sampler: one O(nnz)
+		// pass with the closed-form owner lookup, instead of each
+		// worker binary-searching the partition per nonzero.
+		nbrSets = neighborSets(a, nt)
 	}
 
 	// Supervisor state: per-worker death latches and copy-on-write
 	// adoption lists the survivors poll at each iteration top.
 	var superDead []atomic.Bool
 	var reassign []atomic.Pointer[adoption]
+	var exited []atomic.Bool
 	if supervising {
 		superDead = make([]atomic.Bool, nt)
 		reassign = make([]atomic.Pointer[adoption], nt)
+		// A fail-stop exit (crash without restart) is visible the
+		// moment the goroutine returns; only genuine stalls need the
+		// wall-clock heartbeat threshold. Detecting exits directly
+		// matters because the threshold is a fixed wall-time cost
+		// while the iteration budget is sweep-denominated: the faster
+		// the kernel gets, the more of the budget a threshold wait
+		// burns before adoption can start.
+		exited = make([]atomic.Bool, nt)
 	}
 	extras := make([]int64, nt) // adopted-row relaxations per worker
 
@@ -326,21 +366,20 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 	for t := 0; t < nt; t++ {
 		go func(t int) {
 			defer wg.Done()
+			if exited != nil {
+				defer exited[t].Store(true)
+			}
 			// pprof labels: CPU samples on this goroutine carry
 			// solver/worker/phase, so a -profile-out capture splits
 			// relax vs wait vs publish time per worker. Labels swap at
-			// iteration-section granularity, never per relaxation.
-			wid := strconv.Itoa(t)
-			phaseRelax := pprof.WithLabels(context.Background(),
-				pprof.Labels("solver", "shm", "worker", wid, "phase", "relax"))
-			phasePublish := pprof.WithLabels(context.Background(),
-				pprof.Labels("solver", "shm", "worker", wid, "phase", "publish"))
-			phaseWait := pprof.WithLabels(context.Background(),
-				pprof.Labels("solver", "shm", "worker", wid, "phase", "wait"))
-			pprof.SetGoroutineLabels(phaseRelax)
+			// iteration-section granularity, never per relaxation, and
+			// the contexts come from a process-wide cache rather than
+			// being rebuilt per solve.
+			lbl := shmLabels.For(t)
+			pprof.SetGoroutineLabels(lbl.Relax)
 			defer pprof.SetGoroutineLabels(context.Background())
 			lo, hi := partition.ContiguousRange(n, nt, t)
-			local := make([]float64, hi-lo)
+			k := newBlockKernel(a, b, x, x0, lo, hi, omega)
 			iter := 0
 			extraRel := int64(0)
 			defer func() { iters[t] = iter; extras[t] = extraRel }()
@@ -357,41 +396,56 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 				inj = injs[t]
 			}
 			faultsOn := opt.Async && inj != nil
+			// plain selects the uninstrumented kernels: no versions to
+			// bump, no trace events, no per-row yields. Metrics-on runs
+			// still qualify — their sampling sits outside the row loops.
+			plain := version == nil && tw == nil && yrng == nil
+			// vm mirrors version[lo:hi) the way k.mine mirrors x[lo:hi)
+			// — see versionMirror.
+			var vm *versionMirror
+			if verSweeps != nil {
+				vm = newSweepMirror(verBase, verSweeps, verOwner, lo, hi, t)
+			} else if version != nil {
+				vm = newVersionMirror(version, lo, hi)
+			}
+			// fastTraced selects the fused traced kernels for the hot
+			// tracing configuration (unsampled coalescing ring, no
+			// unbounded RecordTrace log, no per-row yields): the
+			// relaxation loop gathers read versions itself and stages
+			// one complete block per row via AppendReads, instead of
+			// walking the per-read accumulator API.
+			fastTraced := tw.FastBlocks() && vm != nil && !opt.RecordTrace && yrng == nil
 			// Neighbor workers whose rows this worker reads, for
 			// staleness sampling.
 			var neighbors []int
 			var lastSeen []int64
 			if wm != nil {
-				owner := func(j int) int {
-					return sort.SearchInts(rangeEnd, j+1)
-				}
-				seen := map[int]bool{}
-				for i := lo; i < hi; i++ {
-					for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-						if u := owner(a.Col[k]); u != t && !seen[u] {
-							seen[u] = true
-							neighbors = append(neighbors, u)
-						}
-					}
-				}
-				sort.Ints(neighbors)
+				neighbors = nbrSets[t]
 				lastSeen = make([]int64, len(neighbors))
 			}
+			// microYield is only ever invoked behind a yrng != nil guard
+			// at the call sites: the closure call is indirect (never
+			// inlined), and paying it per row relaxation just to test nil
+			// inside was measurable tracing overhead.
 			microYield := func() {
-				if yrng != nil && yrng.Float64() < opt.YieldProb {
+				if yrng.Float64() < opt.YieldProb {
 					wm.IncYield()
 					tw.Yield()
 					runtime.Gosched()
 				}
 			}
 			// relaxAdopted runs one immediate-write pass over the rows
-			// this worker adopted from supervisor-declared-dead workers.
-			// Counts derive from the shared version array so the trace
+			// this worker adopted from supervisor-declared-dead workers
+			// and returns the pass's |r|_1, so the adopter's published
+			// share covers the adopted rows (the dead owner's shard is
+			// zeroed at reassignment — see ShardedNorm.Zero). Counts
+			// derive from the shared version array so the trace
 			// numbering continues where the dead owner stopped.
-			relaxAdopted := func() {
+			relaxAdopted := func() float64 {
 				if myAdopt == nil {
-					return
+					return 0
 				}
+				var sum float64
 				nrel := 0
 				for _, rg := range myAdopt.ranges {
 					for i := rg.lo; i < rg.hi; i++ {
@@ -410,10 +464,10 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 							tw.RelaxStart(i, cnt)
 						}
 						s := b[i]
-						for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-							j := a.Col[k]
+						for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+							j := a.Col[p]
 							if version != nil && j != i {
-								v := int(version[j].Load())
+								v := vm.read(j)
 								if ev != nil {
 									ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
 								}
@@ -421,9 +475,11 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 									tw.ReadVersion(i, cnt, j, v)
 								}
 							}
-							s -= a.Val[k] * x.Load(j)
+							s -= a.Val[p] * k.load(j)
 						}
-						r.Store(i, s)
+						// Adopted rows live outside this worker's mirror;
+						// they go through the shared vector like any
+						// remote row.
 						x.Store(i, x.Load(i)+omega*s)
 						if version != nil {
 							version[i].Add(1)
@@ -435,12 +491,88 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 						if ev != nil {
 							traces[t] = append(traces[t], *ev)
 						}
+						sum += math.Abs(s)
 						nrel++
-						microYield()
+						if yrng != nil {
+							microYield()
+						}
 					}
 				}
 				extraRel += int64(nrel)
 				wm.AddRelaxations(nrel)
+				return sum
+			}
+			// step1/step2 are the instrumented two-phase Jacobi bodies
+			// over rows [tlo, thi): step1 computes residuals into k.local
+			// (recording read versions) and returns the range's |r|_1;
+			// step2 publishes the corrections and bumps the versions. The
+			// asynchronous solver calls them tile-fused, the synchronous
+			// one across the whole block around its barrier. Closure
+			// calls are per-tile, not per-row, so the indirect-call cost
+			// is amortized away; plain mode never builds them.
+			var step1 func(tlo, thi, iter int) float64
+			var step2 func(tlo, thi, iter int)
+			if !plain {
+				step1 = func(tlo, thi, iter int) float64 {
+					var share float64
+					for i := tlo; i < thi; i++ {
+						s := b[i]
+						cnt := iter + 1
+						if vm != nil {
+							cnt = vm.next(i)
+						}
+						var ev *model.Event
+						if opt.RecordTrace {
+							ev = &model.Event{Row: i, Count: cnt, Seq: int(seq.Add(1))}
+						}
+						if !tw.TryRelaxStart(i, cnt) {
+							tw.RelaxStart(i, cnt)
+						}
+						for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+							j := a.Col[p]
+							if version != nil && j != i {
+								v := vm.read(j)
+								if ev != nil {
+									ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
+								}
+								if !tw.TryReadVersion(j, v) {
+									tw.ReadVersion(i, cnt, j, v)
+								}
+							}
+							s -= a.Val[p] * k.load(j)
+						}
+						k.local[i-lo] = s
+						share += math.Abs(s)
+						if !tw.TryRelaxEnd() {
+							tw.RelaxEnd(i, cnt)
+						}
+						if ev != nil {
+							traces[t] = append(traces[t], *ev)
+						}
+						if yrng != nil {
+							microYield()
+						}
+					}
+					return share
+				}
+				step2 = func(tlo, thi, iter int) {
+					for i := tlo; i < thi; i++ {
+						cnt := iter + 1
+						if vm != nil {
+							cnt = vm.next(i)
+						}
+						v := k.mine[i-lo] + omega*k.local[i-lo]
+						k.mine[i-lo] = v
+						x.Store(i, v)
+						if vm != nil {
+							vm.bump(i)
+						}
+						tw.Write(i, cnt)
+						if yrng != nil {
+							microYield()
+						}
+					}
+				}
 			}
 			// Multicolor: this worker's slice of each color class.
 			var myColor [][]int
@@ -455,7 +587,7 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 				}
 			}
 			for {
-				pprof.SetGoroutineLabels(phaseRelax)
+				pprof.SetGoroutineLabels(lbl.Relax)
 				// Adoption check: a new copy-on-write list means the
 				// supervisor reassigned a dead worker's rows here.
 				if reassign != nil {
@@ -503,20 +635,53 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 					tw.Delay(iter + 1)
 					time.Sleep(opt.Delay)
 				}
+				var myShare float64
 				if myColor != nil {
 					// Multicolor Gauss-Seidel iteration: colors in
 					// sequence, barrier between them; within a color,
 					// rows are independent so parallel relaxation is
-					// exact.
+					// exact. Instrumented like every other branch, so a
+					// traced multicolor run yields a verifiable history
+					// instead of a silently empty, vacuously-passing one.
 					for _, rows := range myColor {
 						for _, i := range rows {
-							s := b[i]
-							for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-								j := a.Col[k]
-								s -= a.Val[k] * x.Load(j)
+							cnt := iter + 1
+							if vm != nil {
+								cnt = vm.next(i)
 							}
-							r.Store(i, s)
-							x.Store(i, x.Load(i)+omega*s)
+							var ev *model.Event
+							if opt.RecordTrace {
+								ev = &model.Event{Row: i, Count: cnt, Seq: int(seq.Add(1))}
+							}
+							if !tw.TryRelaxStart(i, cnt) {
+								tw.RelaxStart(i, cnt)
+							}
+							s := b[i]
+							for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+								j := a.Col[p]
+								if version != nil && j != i {
+									v := vm.read(j)
+									if ev != nil {
+										ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
+									}
+									if !tw.TryReadVersion(j, v) {
+										tw.ReadVersion(i, cnt, j, v)
+									}
+								}
+								s -= a.Val[p] * k.load(j)
+							}
+							k.store(i, s)
+							if vm != nil {
+								vm.bump(i)
+							}
+							tw.Write(i, cnt)
+							if !tw.TryRelaxEnd() {
+								tw.RelaxEnd(i, cnt)
+							}
+							if ev != nil {
+								traces[t] = append(traces[t], *ev)
+							}
+							myShare += math.Abs(s)
 						}
 						sync0() // color barrier
 					}
@@ -527,109 +692,127 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 					// correction is written before the next row's
 					// residual is computed, so in-block couplings see
 					// fresh values (multiplicative within the block).
-					for i := lo; i < hi; i++ {
-						s := b[i]
-						// Counts derive from the version array when it exists
-						// so a resumed run keeps numbering where the
-						// checkpoint left off (identical to iter+1 on a fresh
-						// run).
-						cnt := iter + 1
-						if version != nil {
-							cnt = int(version[i].Load()) + 1
-						}
-						var ev *model.Event
-						if opt.RecordTrace {
-							ev = &model.Event{Row: i, Count: cnt, Seq: int(seq.Add(1))}
-						}
-						if !tw.TryRelaxStart(i, cnt) {
-							tw.RelaxStart(i, cnt)
-						}
-						for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-							j := a.Col[k]
-							if version != nil && j != i {
-								v := int(version[j].Load())
-								if ev != nil {
-									ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
-								}
-								if !tw.TryReadVersion(j, v) {
-									tw.ReadVersion(i, cnt, j, v)
-								}
+					if plain {
+						myShare = k.relaxGS()
+					} else {
+						for i := lo; i < hi; i++ {
+							s := b[i]
+							// Counts derive from the version mirror when it
+							// exists so a resumed run keeps numbering where
+							// the checkpoint left off (identical to iter+1 on
+							// a fresh run).
+							cnt := iter + 1
+							if vm != nil {
+								cnt = vm.next(i)
 							}
-							s -= a.Val[k] * x.Load(j)
+							var ev *model.Event
+							if opt.RecordTrace {
+								ev = &model.Event{Row: i, Count: cnt, Seq: int(seq.Add(1))}
+							}
+							if !tw.TryRelaxStart(i, cnt) {
+								tw.RelaxStart(i, cnt)
+							}
+							for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+								j := a.Col[p]
+								if version != nil && j != i {
+									v := vm.read(j)
+									if ev != nil {
+										ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
+									}
+									if !tw.TryReadVersion(j, v) {
+										tw.ReadVersion(i, cnt, j, v)
+									}
+								}
+								s -= a.Val[p] * k.load(j)
+							}
+							k.store(i, s)
+							if vm != nil {
+								vm.bump(i)
+							}
+							tw.Write(i, cnt)
+							if !tw.TryRelaxEnd() {
+								tw.RelaxEnd(i, cnt)
+							}
+							if ev != nil {
+								traces[t] = append(traces[t], *ev)
+							}
+							myShare += math.Abs(s)
+							if yrng != nil {
+								microYield()
+							}
 						}
-						r.Store(i, s)
-						x.Store(i, x.Load(i)+omega*s)
-						if version != nil {
-							version[i].Add(1)
-						}
-						tw.Write(i, cnt)
-						if !tw.TryRelaxEnd() {
-							tw.RelaxEnd(i, cnt)
-						}
-						if ev != nil {
-							traces[t] = append(traces[t], *ev)
-						}
-						microYield()
 					}
 					iter++
-					relaxAdopted()
+					myShare += relaxAdopted()
+				} else if plain {
+					// Two-phase Jacobi sweep, uninstrumented kernels.
+					// Asynchronously there is no barrier between the
+					// phases, so the tile-fused kernel (residual +
+					// publish per tile, cache-hot) just realizes another
+					// legal schedule; the synchronous path keeps the
+					// strict phases around the barrier.
+					if opt.Async {
+						myShare = k.relaxTiled()
+						sync0() // no-op: the asynchronous solver has no barrier
+					} else {
+						// Step 1: local residual, reading shared x.
+						myShare = k.residual(lo, hi)
+						sync0() // paper: barrier after step 1
+						pprof.SetGoroutineLabels(lbl.Publish)
+						// Step 2: correct the solution (unit diagonal).
+						k.publish(lo, hi)
+					}
+					iter++
+					myShare += relaxAdopted()
 				} else {
-					// Step 1: local residual, reading shared x.
-					for i := lo; i < hi; i++ {
-						s := b[i]
-						cnt := iter + 1
-						if version != nil {
-							cnt = int(version[i].Load()) + 1
-						}
-						var ev *model.Event
-						if opt.RecordTrace {
-							ev = &model.Event{Row: i, Count: cnt, Seq: int(seq.Add(1))}
-						}
-						if !tw.TryRelaxStart(i, cnt) {
-							tw.RelaxStart(i, cnt)
-						}
-						for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-							j := a.Col[k]
-							if version != nil && j != i {
-								v := int(version[j].Load())
-								if ev != nil {
-									ev.Reads = append(ev.Reads, model.Read{Row: j, Version: v})
-								}
-								if !tw.TryReadVersion(j, v) {
-									tw.ReadVersion(i, cnt, j, v)
-								}
+					// Instrumented two-phase sweep. Asynchronously the two
+					// steps run tile-fused exactly like relaxTiled — rows
+					// in a later tile may read an earlier tile's fresh
+					// values, another admissible schedule, and the version
+					// attributed to such a read is the bumped one, so the
+					// "saw relaxation >= v" contract holds either way. The
+					// synchronous path keeps the paper's barrier between
+					// full phases.
+					if opt.Async {
+						for tlo := lo; tlo < hi; tlo += kernelTile {
+							thi := tlo + kernelTile
+							if thi > hi {
+								thi = hi
 							}
-							s -= a.Val[k] * x.Load(j)
+							if fastTraced {
+								myShare += k.tracedResidual(tlo, thi, vm, tw, tw.TileStamp())
+								k.tracedPublish(tlo, thi, vm)
+							} else {
+								myShare += step1(tlo, thi, iter)
+								step2(tlo, thi, iter)
+							}
 						}
-						local[i-lo] = s
-						if !tw.TryRelaxEnd() {
-							tw.RelaxEnd(i, cnt)
+					} else {
+						// Step 1: local residual, reading shared x.
+						if fastTraced {
+							myShare = k.tracedResidual(lo, hi, vm, tw, tw.TileStamp())
+						} else {
+							myShare = step1(lo, hi, iter)
 						}
-						if ev != nil {
-							traces[t] = append(traces[t], *ev)
+						sync0() // paper: barrier after step 1
+						pprof.SetGoroutineLabels(lbl.Publish)
+						// Step 2: correct the solution (unit diagonal) and
+						// bump the versions.
+						if fastTraced {
+							k.tracedPublish(lo, hi, vm)
+						} else {
+							step2(lo, hi, iter)
 						}
-						microYield()
-					}
-					sync0() // paper: barrier after step 1
-					pprof.SetGoroutineLabels(phasePublish)
-					// Step 2: correct the solution (unit diagonal) and
-					// publish the residual.
-					for i := lo; i < hi; i++ {
-						cnt := iter + 1
-						if version != nil {
-							cnt = int(version[i].Load()) + 1
-						}
-						r.Store(i, local[i-lo])
-						x.Store(i, x.Load(i)+omega*local[i-lo])
-						if version != nil {
-							version[i].Add(1)
-						}
-						tw.Write(i, cnt)
-						microYield()
 					}
 					iter++
-					relaxAdopted()
+					myShare += relaxAdopted()
 				}
+				if vm != nil {
+					// Sweep-mode version publish: one store covers every
+					// row the sweep just relaxed.
+					vm.endSweep(iter)
+				}
+				shares.Publish(t, myShare)
 				if progress != nil {
 					// Heartbeat for the supervisor, iteration count for the
 					// checkpoint, staleness baseline for the metrics.
@@ -650,26 +833,28 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 						lastSeen[ni] = cur
 					}
 					if wm.StreamSampleDue() {
-						// This worker's residual-norm share over its
-						// own block, computed only when the telemetry
-						// gate is about to publish a sample.
-						wm.SetLocalResidual(r.Norm1Range(lo, hi) / nb)
+						// This worker's residual-norm share (adopted rows
+						// included) is already in hand — no rescan.
+						wm.SetLocalResidual(myShare / nb)
 					}
 					wm.IncIteration()
-					if t == 0 {
-						wm.SetResidual(r.Norm1() / nb)
-					}
 				}
-				pprof.SetGoroutineLabels(phaseWait)
-				sync0() // make step 3's norm a consistent reduction
-				// Step 3: convergence. Each worker computes the norm of
-				// the whole shared residual array (paper Section V) and
-				// raises its flag when converged or out of budget.
+				pprof.SetGoroutineLabels(lbl.Wait)
+				sync0() // make step 3's reduction consistent
+				// Step 3: convergence. One possibly-stale snapshot of the
+				// sharded residual norm per iteration feeds the
+				// convergence test, worker 0's metrics gauge, and worker
+				// 0's history point alike (the old code rescanned the
+				// whole shared residual array up to three times here).
+				// Under the synchronous barrier the sum is a consistent
+				// reduction; asynchronously it is as stale as any other
+				// read Theorem 1 already licenses.
+				var rel float64
+				if opt.Tol > 0 && !done || t == 0 && (wm != nil || opt.RecordHistory) {
+					rel = shares.Sum() / nb
+				}
 				if !done {
-					conv := false
-					if opt.Tol > 0 {
-						conv = r.Norm1()/nb <= opt.Tol
-					}
+					conv := opt.Tol > 0 && rel <= opt.Tol
 					// Cancellation and the wall-clock deadline stop through
 					// the same flag array as convergence: the stopper latches
 					// one reason atomically, so every worker that polls it
@@ -682,10 +867,13 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 						done = true
 					}
 				}
+				if t == 0 && wm != nil {
+					wm.SetResidual(rel)
+				}
 				if opt.RecordHistory && t == 0 {
 					hist = append(hist, HistoryPoint{
 						Elapsed:   time.Since(t0),
-						RelRes:    r.Norm1() / nb,
+						RelRes:    rel,
 						Iteration: iter,
 					})
 				}
@@ -729,7 +917,14 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 		if thr <= 0 {
 			thr = DefaultStallThreshold
 		}
+		// The tick is only polling granularity — declaring a stalled
+		// worker dead still requires thr of heartbeat silence — but it
+		// also bounds how fast a fail-stop exit is noticed, so cap it:
+		// a huge threshold must not delay exit detection with it.
 		tick := thr / 4
+		if tick > 25*time.Millisecond {
+			tick = 25 * time.Millisecond
+		}
 		if tick < time.Millisecond {
 			tick = time.Millisecond
 		}
@@ -774,21 +969,32 @@ func Solve(a *sparse.CSR, b []float64, x0 []float64, opt Options) *Result {
 					if superDead[d].Load() {
 						continue
 					}
-					if v := progress[d].Load(); v != lastVal[d] {
-						lastVal[d] = v
-						lastChange[d] = now
-						continue
+					if !exited[d].Load() {
+						if v := progress[d].Load(); v != lastVal[d] {
+							lastVal[d] = v
+							lastChange[d] = now
+							continue
+						}
+						if now.Sub(lastChange[d]) < thr {
+							continue
+						}
 					}
-					if now.Sub(lastChange[d]) < thr {
-						continue
-					}
-					// Heartbeat stalled past the threshold: the worker is
-					// dead (or so slow it might as well be — Theorem 1 makes
-					// a false positive merely redundant work). Raise its
-					// flag on its behalf so the flag array degrades to the
-					// survivors, then hand its rows out in finer blocks.
+					// The worker's goroutine returned mid-run (fail-stop
+					// crash; no threshold wait needed — it cannot relax
+					// again) or its heartbeat stalled past the threshold:
+					// the worker is dead (or so slow it might as well be —
+					// Theorem 1 makes a false positive merely redundant
+					// work). Raise its flag on its behalf so the flag array
+					// degrades to the survivors, then hand its rows out in
+					// finer blocks.
 					superDead[d].Store(true)
 					flags[d].Store(true)
+					// The dead worker's rows are about to reappear inside
+					// the adopters' shares: drop its frozen shard so their
+					// residual is not double-counted forever (a pinned
+					// shard could hold the sum above Tol and cost
+					// liveness, not just accuracy).
+					shares.Zero(d)
 					opt.Metrics.RecoveryWorkerDead()
 					var survivors []int
 					for q := 0; q < nt; q++ {

@@ -539,35 +539,42 @@ func (r *Ring) tryCompleteBlock() bool {
 	if a.emitted || n < 2 {
 		return false
 	}
-	minv, maxv := a.vers[0], a.vers[0]
+	v0 := a.vers[0]
+	minv, maxv := v0, v0
 	for _, v := range a.vers[1:n] {
 		if v < minv {
 			minv = v
-		}
-		if v > maxv {
+		} else if v > maxv {
 			maxv = v
 		}
 	}
-	span := maxv - minv
-	var wlog int32
-	switch {
-	case minv < 0:
-		return false
-	case span <= 1:
-		wlog = 0
-	case span <= 3 && n <= 16:
-		wlog = 1
-	case span <= 15 && n <= 8:
-		wlog = 2
-	case span <= 255 && n <= 4:
-		wlog = 3
-	default:
+	if minv < 0 {
 		return false
 	}
-	w := uint(1) << wlog
+	span := maxv - minv
 	var bitmap int64
-	for b := 0; b < n; b++ {
-		bitmap |= (a.vers[b] - minv) << (uint(b) * w)
+	var wlog int32
+	// span == 0 — every read saw the same version — is the steady-state
+	// common case (an interior stencil row's neighbors are all in-block,
+	// relaxed in lockstep): the delta bitmap is identically zero, so skip
+	// the width fit and the bitmap build outright.
+	if span != 0 {
+		switch {
+		case span <= 1:
+			wlog = 0
+		case span <= 3 && n <= 16:
+			wlog = 1
+		case span <= 15 && n <= 8:
+			wlog = 2
+		case span <= 255 && n <= 4:
+			wlog = 3
+		default:
+			return false
+		}
+		w := uint(1) << wlog
+		for b := 0; b < n; b++ {
+			bitmap |= (a.vers[b] - minv) << (uint(b) * w)
+		}
 	}
 	r.coalesced += uint64(n)
 	a.open, a.n = false, 0
@@ -834,6 +841,122 @@ func (r *Ring) readVersionSlow(row, count, src, version int) {
 	a.cols[a.n] = int32(src)
 	a.vers[a.n] = int64(version)
 	a.n++
+}
+
+// FastBlocks reports whether the ring is on the fused block path —
+// unsampled, coalescing — where every complete relaxation encodes as
+// one self-contained KindReadBlock. A solver may then accumulate the
+// read versions inside its own relaxation loop and hand them over
+// wholesale with AppendReads, skipping the per-read accumulator API
+// entirely. Nil-safe (false; the generic path handles nil rings).
+func (r *Ring) FastBlocks() bool { return r != nil && r.fast }
+
+// TileStamp refreshes and returns the coarse clock stamp. Solvers on
+// the fused path stamp once per row tile instead of once per
+// clockStride relaxations — the same sub-sweep granularity trade the
+// stride already makes, amortized further.
+func (r *Ring) TileStamp() int64 {
+	if r == nil {
+		return 0
+	}
+	r.refresh()
+	return r.now
+}
+
+// AppendReads encodes row's count-th relaxation — its off-diagonal
+// read versions, CSR column order — in one call under stamp ts: the
+// fused equivalent of a RelaxStart / n× ReadVersion / RelaxEnd
+// bracket for hot loops that gather vers themselves (FastBlocks
+// rings). cols is the row's full CSR column slice, diagonal included;
+// it is consulted only on the fallback when no delta width fits the
+// version spread and the reads re-emit as plain KindRead events.
+func (r *Ring) AppendReads(row, count int, ts int64, vers []int64, cols []int) {
+	if r == nil {
+		return
+	}
+	if r.acc.open {
+		r.closeRelax(false)
+	}
+	n := len(vers)
+	if n >= 2 {
+		v0 := vers[0]
+		minv, maxv := v0, v0
+		for _, v := range vers[1:] {
+			if v < minv {
+				minv = v
+			} else if v > maxv {
+				maxv = v
+			}
+		}
+		if minv >= 0 {
+			span := maxv - minv
+			var bitmap int64
+			var wlog int32
+			fits := true
+			if span != 0 {
+				switch {
+				case span <= 1:
+					wlog = 0
+				case span <= 3 && n <= 16:
+					wlog = 1
+				case span <= 15 && n <= 8:
+					wlog = 2
+				case span <= 255 && n <= 4:
+					wlog = 3
+				default:
+					fits = false
+				}
+				if fits {
+					w := uint(1) << wlog
+					for b := 0; b < n; b++ {
+						bitmap |= (vers[b] - minv) << (uint(b) * w)
+					}
+				}
+			}
+			if fits {
+				r.coalesced += uint64(n)
+				i := r.nstage
+				if i == stageEvents {
+					r.flushStage()
+					i = 0
+				}
+				r.stage[i] = Event{
+					TS:      ts,
+					Payload: minv<<32 | bitmap,
+					Row:     int32(row),
+					Iter:    int32(count),
+					Peer:    int32(n) | blockComplete | wlog<<7,
+					Kind:    KindReadBlock,
+				}
+				r.nstage = i + 1
+				return
+			}
+		}
+	}
+	r.appendReadsSlow(row, count, ts, vers, cols)
+}
+
+// appendReadsSlow re-emits the grouped encoding for relaxations the
+// complete block cannot carry (fewer than two reads, negative
+// versions, spreads no delta width fits): KindRelaxStart, plain
+// KindRead events recovering the column ids from cols, KindRelaxEnd.
+func (r *Ring) appendReadsSlow(row, count int, ts int64, vers []int64, cols []int) {
+	save := r.now
+	r.now = ts
+	r.put(KindRelaxStart, int32(row), int32(count), -1, 0)
+	q := 0
+	for _, j := range cols {
+		if j == row {
+			continue
+		}
+		if q >= len(vers) {
+			break
+		}
+		r.put(KindRead, int32(row), int32(count), int32(j), vers[q])
+		q++
+	}
+	r.put(KindRelaxEnd, int32(row), int32(count), -1, 0)
+	r.now = save
 }
 
 // Write records the solution write of row's count-th relaxation. The

@@ -16,8 +16,14 @@
 #   BENCH_PKGS   packages to benchmark        (default ./internal/shm/)
 #   BENCH_REGEX  -bench selector              (default Benchmark)
 #   BENCHTIME    -benchtime per run           (default 3x)
-#   COUNT        -count, best-of-N per bench  (default 3)
-#   GATE_FILTER  regexp of gated benchmarks   (default ^BenchmarkAsyncSolve)
+#   COUNT        -count, best-of-N per bench  (default 5; the 1-core CI
+#                host's scheduler noise is bimodal and ~20% at best-of-3,
+#                five samples stabilize the min)
+#   GATE_FILTER  regexp of gated benchmarks
+#                (default ^BenchmarkAsyncSolve($|Traced|Streamed) —
+#                everything but Ledgered, whose per-op disk append is
+#                noisier than the 20% margin; Ledgered is held by the
+#                RATIO2 gate instead, which normalizes out host speed)
 #   MAX_REGRESS  allowed ns/op growth, %      (default 20)
 #   RATCHET      1 = bank improvements into the baseline (default 0)
 #   NOISE        improvement % needed to ratchet          (default 5)
@@ -27,7 +33,12 @@
 #   RATIO2       second ratio gate (default
 #                BenchmarkAsyncSolveLedgered/BenchmarkAsyncSolve;
 #                empty string disables)
-#   MAX_RATIO2   fail if RATIO2 exceeds this  (default 2.5)
+#   MAX_RATIO2   fail if RATIO2 exceeds this  (default 3.5: the ledger
+#                adds a roughly fixed ~1ms per run — durable CRC append
+#                plus an analytics engine — which was 1.6x when the
+#                solve took 1.8ms and is ~2-3x now that it takes 0.8ms)
+#   MAX_ALLOCS   NAME=N[,NAME=N...] allocs/op ceilings, exact gate
+#                (default BenchmarkAsyncSolve=64; empty disables)
 #   STRICT       1 = baseline entries missing from the new run fail
 #                instead of warn (default 0)
 #
@@ -48,20 +59,27 @@ trap 'rm -f "$raw"' EXIT
 pkgs="${BENCH_PKGS:-./internal/shm/}"
 regex="${BENCH_REGEX:-Benchmark}"
 benchtime="${BENCHTIME:-3x}"
-count="${COUNT:-3}"
-filter="${GATE_FILTER:-^BenchmarkAsyncSolve}"
+count="${COUNT:-5}"
+filter="${GATE_FILTER:-^BenchmarkAsyncSolve(\$|Traced|Streamed)}"
 max="${MAX_REGRESS:-20}"
 ratchet="${RATCHET:-0}"
 noise="${NOISE:-5}"
 ratio="${RATIO:-BenchmarkAsyncSolveTraced/BenchmarkAsyncSolve}"
 max_ratio="${MAX_RATIO:-2.5}"
 ratio2="${RATIO2-BenchmarkAsyncSolveLedgered/BenchmarkAsyncSolve}"
-max_ratio2="${MAX_RATIO2:-2.5}"
+max_ratio2="${MAX_RATIO2:-3.5}"
+max_allocs="${MAX_ALLOCS-BenchmarkAsyncSolve=64}"
 strict="${STRICT:-0}"
 
 ratio2_gate() {
     if [ -n "$ratio2" ]; then
         go run ./scripts/benchcmp -new "$out" -ratio "$ratio2" -max-ratio "$max_ratio2"
+    fi
+}
+
+allocs_gate() {
+    if [ -n "$max_allocs" ]; then
+        go run ./scripts/benchcmp -new "$out" -max-allocs "$max_allocs"
     fi
 }
 
@@ -91,6 +109,7 @@ if [ -z "$baseline" ]; then
     echo "benchcmp.sh: no committed BENCH_*.json baseline; ratio gate only" >&2
     go run ./scripts/benchcmp -new "$out" -ratio "$ratio" -max-ratio "$max_ratio"
     ratio2_gate
+    allocs_gate
     trend_gate
     exit 0
 fi
@@ -105,4 +124,5 @@ fi
 echo "benchcmp.sh: comparing $out against $baseline" >&2
 go run ./scripts/benchcmp "${flags[@]}"
 ratio2_gate
+allocs_gate
 trend_gate

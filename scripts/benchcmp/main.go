@@ -38,6 +38,15 @@
 // asserts the traced solve stays within 2.5x of the untraced one. The
 // ratio gate also runs standalone with just -new (no baseline needed).
 //
+// -max-allocs NAME=N[,NAME=N...] gates allocations instead of time: it
+// fails when a named benchmark's allocs/op in the new snapshot exceeds
+// its ceiling. Allocation counts are deterministic (no noise margin
+// applies), so this pins "the hot path allocates nothing per
+// iteration" claims exactly:
+//
+//	go run ./scripts/benchcmp -new BENCH_PR8.json \
+//	    -max-allocs 'BenchmarkAsyncSolve=64'
+//
 // Trend mode — gate convergence-rate history from two run ledgers:
 //
 //	go run ./scripts/benchcmp -trend-old LEDGER_PR7 -trend-new /tmp/led \
@@ -101,6 +110,7 @@ func main() {
 	noise := flag.Float64("noise", 5, "improvement must beat this percent before -ratchet rewrites a floor")
 	ratio := flag.String("ratio", "", "NUM/DEN benchmark pair whose ns/op ratio is gated within the new snapshot")
 	maxRatio := flag.Float64("max-ratio", 2.5, "fail if the -ratio pair's ns/op quotient exceeds this")
+	maxAllocs := flag.String("max-allocs", "", "NAME=N[,NAME=N...] allocs/op ceilings gated within the new snapshot")
 	strict := flag.Bool("strict", false, "fail (instead of warn) when a baseline entry is missing from the new side")
 	trendOld := flag.String("trend-old", "", "baseline ledger directory (trend mode)")
 	trendNew := flag.String("trend-new", "", "candidate ledger directory (trend mode)")
@@ -132,13 +142,31 @@ func main() {
 			}
 			ok = ok && rok
 		}
+		if *maxAllocs != "" {
+			aok, err := runAllocs(*newPath, *maxAllocs)
+			if err != nil {
+				fatal(err)
+			}
+			ok = ok && aok
+		}
 		if !ok {
 			os.Exit(1)
 		}
-	case *newPath != "" && *ratio != "":
-		ok, err := runRatio(*newPath, *ratio, *maxRatio)
-		if err != nil {
-			fatal(err)
+	case *newPath != "" && (*ratio != "" || *maxAllocs != ""):
+		ok := true
+		if *ratio != "" {
+			rok, err := runRatio(*newPath, *ratio, *maxRatio)
+			if err != nil {
+				fatal(err)
+			}
+			ok = ok && rok
+		}
+		if *maxAllocs != "" {
+			aok, err := runAllocs(*newPath, *maxAllocs)
+			if err != nil {
+				fatal(err)
+			}
+			ok = ok && aok
 		}
 		if !ok {
 			os.Exit(1)
@@ -338,6 +366,47 @@ func writeRatchet(oldPath string, oldSnap *snapshot, improved map[string]result)
 		return err
 	}
 	return os.WriteFile(oldPath, append(buf, '\n'), 0o644)
+}
+
+// runAllocs gates allocs/op ceilings inside one snapshot: spec is a
+// comma-separated list of "BenchmarkName=N". Allocation counts are
+// deterministic, so the gate is exact — no noise margin, no ratchet.
+// A named benchmark missing from the snapshot fails too: a gate whose
+// subject silently vanished is no gate at all.
+func runAllocs(path, spec string) (bool, error) {
+	snap, err := readSnapshot(path)
+	if err != nil {
+		return false, err
+	}
+	byName := map[string]result{}
+	for _, r := range snap.Results {
+		byName[r.Name] = r
+	}
+	ok := true
+	for _, part := range strings.Split(spec, ",") {
+		name, lim, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found || name == "" {
+			return false, fmt.Errorf("-max-allocs: want NAME=N, got %q", part)
+		}
+		ceil, err := strconv.Atoi(lim)
+		if err != nil {
+			return false, fmt.Errorf("-max-allocs: %q: %w", part, err)
+		}
+		r, seen := byName[name]
+		if !seen {
+			fmt.Printf("benchcmp: allocs gate FAILED: %s not in %s\n", name, path)
+			ok = false
+			continue
+		}
+		verdict := "ok"
+		if r.AllocsPerOp > ceil {
+			verdict = "FAILED"
+			ok = false
+		}
+		fmt.Printf("benchcmp: allocs gate %s: %s = %d allocs/op (max %d)\n",
+			verdict, name, r.AllocsPerOp, ceil)
+	}
+	return ok, nil
 }
 
 // runRatio gates the quotient of two benchmarks' ns/op inside one
