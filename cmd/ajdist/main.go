@@ -15,17 +15,40 @@
 // and message counters, the ghost-read staleness histogram, and
 // termination-protocol transitions at /metrics, plus /debug/pprof.
 // -metrics-dump prints the same families to stdout after the run.
+//
+// With -transport tcp the ranks are separate OS processes exchanging
+// length-prefixed frames over real sockets instead of goroutines in one
+// address space. Either launch every rank yourself —
+//
+//	ajdist -transport tcp -ranks 4 -rank 0 -peers "h0:9000,h1:9000,h2:9000,h3:9000" -async
+//
+// (one invocation per rank, same -peers everywhere, plus -seed and the
+// matrix flags identical so every process builds the same system) — or
+// let -spawn do it on localhost:
+//
+//	ajdist -transport tcp -spawn -ranks 4 -gen fd -nx 24 -ny 24 -async
+//	ajdist -transport tcp -spawn -ranks 2 -async -fault-wire -fault-drop 0.1 -fault-seed 7
+//
+// -fault-wire moves the -fault-* message faults from the solver's
+// injector onto the wire itself: real frames are dropped, duplicated,
+// reordered, and delayed (deterministically, per link) on the way out.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/exec"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/dist"
+	"repro/internal/dist/tcptransport"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/ledger"
 	"repro/internal/partition"
 )
@@ -43,6 +66,12 @@ func main() {
 	partKind := flag.String("part", "bfs", "partitioner: bfs | contiguous")
 	history := flag.Bool("history", false, "print the per-iteration residual history")
 	seed := flag.Uint64("seed", 2018, "seed for b and x0")
+	transport := flag.String("transport", "mem", "communication backend: mem (rank goroutines in one process) | tcp (one OS process per rank)")
+	rankFlag := flag.Int("rank", -1, "this process's rank (with -transport tcp; -spawn sets it)")
+	peers := flag.String("peers", "", "comma-separated listen addresses in rank order (with -transport tcp)")
+	listen := flag.String("listen", "", "override this rank's local bind address (defaults to its -peers entry)")
+	spawn := flag.Bool("spawn", false, "launch one child process per rank on localhost loopback ports and wait (with -transport tcp)")
+	netTimeout := flag.Duration("net-timeout", 0, "deadline for blocking wire operations (0 = transport default)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address during the solve")
 	metricsDump := flag.Bool("metrics-dump", false, "print a final Prometheus-format metrics snapshot to stdout")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics server alive this long after the solve finishes")
@@ -55,6 +84,33 @@ func main() {
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cli.Usagef("ajdist", "unexpected arguments %v", flag.Args())
+	}
+	if *spawn {
+		if *transport != "tcp" {
+			cli.Usagef("ajdist", "-spawn launches TCP rank processes; add -transport tcp")
+		}
+		if *metricsAddr != "" {
+			cli.Usagef("ajdist", "-metrics-addr with -spawn would collide across ranks; run the ranks yourself to serve metrics")
+		}
+		os.Exit(spawnRanks(*ranks))
+	}
+	var addrs []string
+	if *transport == "tcp" {
+		addrs = strings.Split(*peers, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		if *peers == "" || len(addrs) != *ranks {
+			cli.Usagef("ajdist", "-transport tcp wants -peers with exactly -ranks (%d) comma-separated addresses", *ranks)
+		}
+		if *rankFlag < 0 || *rankFlag >= *ranks {
+			cli.Usagef("ajdist", "-transport tcp wants -rank in [0,%d)", *ranks)
+		}
+		if *listen != "" {
+			addrs[*rankFlag] = *listen
+		}
+	} else if *transport != "mem" {
+		cli.Usagef("ajdist", "unknown transport %q (want mem or tcp)", *transport)
 	}
 
 	a, err := cli.BuildMatrix(*gen, *nx, *ny, 1)
@@ -78,6 +134,11 @@ func main() {
 		cli.Fatalf("ajdist", "%v", err)
 	}
 	mx.SetProblem(a.N, 0)
+	if *transport == "tcp" && *rankFlag != 0 {
+		// One ledger record per solve, written by the root (it holds
+		// the authoritative residual); non-root ranks stay silent.
+		lf.Dir = ""
+	}
 	led, err := lf.Sink("ajdist")
 	if err != nil {
 		cli.Usagef("ajdist", "%v", err)
@@ -91,7 +152,13 @@ func main() {
 		}
 	}
 	led.SetSubstrate("dist", method)
+	led.SetTransport(*transport)
 	led.SetConfig(ledger.SolveConfig{Tol: *tol, MaxSweeps: *maxIters, Threads: *ranks, Seed: *seed})
+	if *transport == "tcp" {
+		// Per-process state files: ranks launched from one command line
+		// (e.g. by -spawn) must not clobber each other's checkpoints.
+		rf.SuffixPaths(fmt.Sprintf(".r%d", *rankFlag))
+	}
 	if spec := rf.Spec(); spec != nil {
 		led.SetCheckpoint(spec.Path)
 	}
@@ -106,6 +173,15 @@ func main() {
 	}
 	if plan != nil && !*async {
 		cli.Usagef("ajdist", "-fault-* flags apply to the asynchronous solver; add -async")
+	}
+	var wirePlan *fault.Plan
+	if ff.Wire() {
+		if *transport != "tcp" {
+			cli.Usagef("ajdist", "-fault-wire faults real transport frames; add -transport tcp")
+		}
+		// The whole plan moves to the wire: frames drop/dup/reorder/delay
+		// on the way out instead of the solver simulating it.
+		wirePlan, plan = plan, nil
 	}
 	if rf.Supervise() {
 		cli.Usagef("ajdist", "-supervise applies to the shared-memory solver (ajsolve); ranks use the failure detector instead")
@@ -161,7 +237,27 @@ func main() {
 	if err != nil {
 		cli.Fatalf("ajdist", "profile: %v", err)
 	}
-	res := dist.Solve(a, b, x0, opt)
+	var res *dist.Result
+	if *transport == "tcp" {
+		opt.NetTimeout = *netTimeout
+		tr, terr := tcptransport.Dial(tcptransport.Config{
+			Rank:      *rankFlag,
+			Addrs:     addrs,
+			Metrics:   opt.Metrics,
+			WireFault: wirePlan,
+			OpTimeout: *netTimeout,
+		})
+		if terr != nil {
+			cli.Fatalf("ajdist", "transport: %v", terr)
+		}
+		if werr := tr.WaitReady(30 * time.Second); werr != nil {
+			cli.Fatalf("ajdist", "transport: %v", werr)
+		}
+		res = dist.SolveRank(tr, a, b, x0, opt)
+		tr.Close()
+	} else {
+		res = dist.Solve(a, b, x0, opt)
+	}
 	if perr := prof.Stop(); perr != nil {
 		cli.Fatalf("ajdist", "profile: %v", perr)
 	}
@@ -170,6 +266,17 @@ func main() {
 		Sweeps: res.TotalRelaxations / a.N, RelRes: res.RelRes,
 		WallNs: int64(res.WallTime), SolveNs: int64(res.Elapsed), Resumes: res.Resumes,
 	})
+	if *transport == "tcp" && *rankFlag != 0 {
+		// Non-root ranks: one status line instead of the full report —
+		// with -spawn every rank's stdout lands on the same terminal.
+		fmt.Printf("rank %d:      rel res %.6g (converged=%v), stopped %s, %v\n",
+			*rankFlag, res.RelRes, res.Converged, res.StopReason, res.WallTime.Round(time.Millisecond))
+		finishOutputs(mx, ts, led)
+		if opt.Tol > 0 && !res.Converged {
+			os.Exit(3)
+		}
+		return
+	}
 	mode := "sync (point-to-point)"
 	if *async {
 		mode = "async (RMA windows)"
@@ -204,6 +311,14 @@ func main() {
 			fmt.Printf("%10d %14.6g\n", k+1, res.History[k])
 		}
 	}
+	finishOutputs(mx, ts, led)
+	if opt.Tol > 0 && !res.Converged {
+		os.Exit(3)
+	}
+}
+
+// finishOutputs flushes the metrics, trace, and ledger sinks.
+func finishOutputs(mx *cli.Metrics, ts *cli.TraceSink, led *cli.Ledger) {
 	if err := mx.Finish(os.Stdout); err != nil {
 		cli.Fatalf("ajdist", "metrics: %v", err)
 	}
@@ -213,7 +328,59 @@ func main() {
 	if err := led.Finish(); err != nil {
 		cli.Fatalf("ajdist", "ledger: %v", err)
 	}
-	if opt.Tol > 0 && !res.Converged {
-		os.Exit(3)
+}
+
+// spawnRanks reserves one loopback port per rank, re-execs this binary
+// once per rank with -rank/-peers appended (and -spawn stripped), and
+// waits for all of them. The exit code is the worst child's, so a
+// non-converged rank's 3 survives the fan-out.
+func spawnRanks(ranks int) int {
+	addrs := make([]string, ranks)
+	lns := make([]net.Listener, ranks)
+	for r := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cli.Fatalf("ajdist", "spawn: reserve port: %v", err)
+		}
+		lns[r], addrs[r] = ln, ln.Addr().String()
 	}
+	// Close just before the children start: the kernel keeps the ports
+	// from being handed out again in the gap on any sane system, and
+	// the children's own listeners retry through the dial backoff
+	// anyway if a bind races.
+	for _, ln := range lns {
+		ln.Close()
+	}
+	var base []string
+	for _, arg := range os.Args[1:] {
+		if arg == "-spawn" || arg == "--spawn" || arg == "-spawn=true" || arg == "--spawn=true" {
+			continue
+		}
+		base = append(base, arg)
+	}
+	peerList := strings.Join(addrs, ",")
+	cmds := make([]*exec.Cmd, ranks)
+	for r := 0; r < ranks; r++ {
+		args := append(append([]string{}, base...), "-rank", strconv.Itoa(r), "-peers", peerList)
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Start(); err != nil {
+			cli.Fatalf("ajdist", "spawn rank %d: %v", r, err)
+		}
+		cmds[r] = cmd
+	}
+	code := 0
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			c := 1
+			if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() > 0 {
+				c = ee.ExitCode()
+			}
+			if c > code {
+				code = c
+			}
+			fmt.Fprintf(os.Stderr, "ajdist: rank %d exited: %v\n", r, err)
+		}
+	}
+	return code
 }

@@ -88,6 +88,7 @@ func filterFlags(fs *flag.FlagSet) func() ledger.Filter {
 	tool := fs.String("tool", "", "keep records from this tool (ajsolve, ajexp, ...)")
 	substrate := fs.String("substrate", "", "keep records on this substrate (seq, shm, dist, cluster)")
 	method := fs.String("method", "", "keep records of this method")
+	transport := fs.String("transport", "", "keep records over this transport (mem, tcp)")
 	sweep := fs.String("sweep", "", "keep records of this sweep ID")
 	matrix := fs.String("matrix", "", "keep records whose matrix fingerprint matches exactly or generator spec contains this")
 	since := fs.Duration("since", 0, "keep records newer than this age (e.g. 24h; 0 = all)")
@@ -96,7 +97,7 @@ func filterFlags(fs *flag.FlagSet) func() ledger.Filter {
 	return func() ledger.Filter {
 		f := ledger.Filter{
 			Tool: *tool, Substrate: *substrate, Method: *method,
-			Sweep: *sweep, Matrix: *matrix,
+			Transport: *transport, Sweep: *sweep, Matrix: *matrix,
 			FailedOnly: *failed, ConvergedOnly: *converged,
 		}
 		if *since > 0 {
@@ -121,11 +122,15 @@ func runList(recs []*ledger.RunRecord, stats ledger.ScanStats, args []string) {
 	if *limit > 0 && len(sel) > *limit {
 		sel = sel[len(sel)-*limit:]
 	}
-	fmt.Printf("%-28s %-20s %-8s %-9s %-18s %6s %9s %10s %8s %9s %6s\n",
-		"id", "start", "tool", "substrate", "method", "n", "sweeps", "rel_res", "rho_hat", "wall", "ok")
+	fmt.Printf("%-28s %-20s %-8s %-9s %-18s %-5s %6s %9s %10s %8s %9s %6s\n",
+		"id", "start", "tool", "substrate", "method", "trans", "n", "sweeps", "rel_res", "rho_hat", "wall", "ok")
 	for _, r := range sel {
-		fmt.Printf("%-28s %-20s %-8s %-9s %-18s %6d %9d %10.2g %8s %9s %6s\n",
-			r.ID, r.Start.Format("2006-01-02 15:04:05"), r.Tool, r.Substrate, r.Method,
+		tr := r.Transport
+		if tr == "" {
+			tr = "-"
+		}
+		fmt.Printf("%-28s %-20s %-8s %-9s %-18s %-5s %6d %9d %10.2g %8s %9s %6s\n",
+			r.ID, r.Start.Format("2006-01-02 15:04:05"), r.Tool, r.Substrate, r.Method, tr,
 			r.Matrix.N, r.Outcome.Sweeps, r.Outcome.RelRes,
 			rhoStr(r.Rate), wallStr(r.Outcome.WallNs), okStr(r))
 	}

@@ -32,6 +32,7 @@ type FaultFlags struct {
 	restart      *bool
 	restartAfter *time.Duration
 	termTimeout  *time.Duration
+	wire         *bool
 }
 
 // RegisterFaultFlags installs the -fault-* flags on fs (use
@@ -57,8 +58,14 @@ func RegisterFaultFlags(fs *flag.FlagSet) *FaultFlags {
 	ff.restartAfter = fs.Duration("fault-restart-after", 0, "outage length before a restart (0 = 1ms)")
 	ff.termTimeout = fs.Duration("fault-term-timeout", 0,
 		"deadline before termination degrades to the surviving ranks after a crash (0 = 2s)")
+	ff.wire = fs.Bool("fault-wire", false,
+		"apply drop/dup/reorder/delay to real transport frames instead of solver-level injection (requires -transport tcp)")
 	return ff
 }
+
+// Wire reports whether -fault-wire moved the plan's message faults to
+// the transport layer (TCP frames) instead of the solver's injector.
+func (ff *FaultFlags) Wire() bool { return ff != nil && *ff.wire }
 
 // Plan resolves the parsed flags into a validated fault plan for a
 // procs-rank (or procs-thread) world. It returns (nil, nil) when no

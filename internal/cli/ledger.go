@@ -161,6 +161,15 @@ func (l *Ledger) SetSubstrate(substrate, method string) {
 	l.rec.Substrate, l.rec.Method = substrate, method
 }
 
+// SetTransport records the communication backend a dist solve ran over
+// ("mem" for in-process channels, "tcp" for multi-process frames).
+func (l *Ledger) SetTransport(transport string) {
+	if !l.Enabled() {
+		return
+	}
+	l.rec.Transport = transport
+}
+
 // SetConfig records the solver configuration.
 func (l *Ledger) SetConfig(cfg ledger.SolveConfig) {
 	if !l.Enabled() {

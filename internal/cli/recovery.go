@@ -43,6 +43,21 @@ func (rf *RecoveryFlags) Spec() *resilience.Spec {
 	return &resilience.Spec{Path: *rf.checkpoint, Interval: *rf.interval}
 }
 
+// SuffixPaths appends suffix to the -checkpoint and -resume paths when
+// they are set. Multi-process solves call this with a per-rank suffix
+// so ranks sharing one command line do not clobber each other's files.
+func (rf *RecoveryFlags) SuffixPaths(suffix string) {
+	if rf == nil {
+		return
+	}
+	if *rf.checkpoint != "" {
+		*rf.checkpoint += suffix
+	}
+	if *rf.resume != "" {
+		*rf.resume += suffix
+	}
+}
+
 // Load reads the -resume checkpoint; it returns (nil, nil) when the
 // flag was not set.
 func (rf *RecoveryFlags) Load() (*resilience.Checkpoint, error) {

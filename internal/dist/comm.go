@@ -1,5 +1,8 @@
 // Package dist is the distributed-memory substrate (Section VI of the
-// paper): an MPI-like communication layer whose ranks are goroutines.
+// paper): an MPI-like communication layer whose default backend runs
+// ranks as goroutines, and whose TCP backend
+// (internal/dist/tcptransport) runs the same rank loop across OS
+// processes. See transport.go for the Comm interface both implement.
 //
 // Two communication styles are provided, matching the paper's two
 // implementations:
@@ -7,7 +10,10 @@
 //   - Point-to-point: non-blocking Isend and blocking Recv over
 //     per-(source, destination, tag) mailboxes. The synchronous solver
 //     exchanges ghost values this way, just as the paper uses
-//     MPI_Isend/MPI_Recv.
+//     MPI_Isend/MPI_Recv. User-tag mailboxes are bounded (evict-
+//     oldest, DefaultMailboxCap): a slow rank no longer accumulates
+//     every ghost update ever sent to it, because readers drain to the
+//     newest anyway.
 //
 //   - Remote memory access (RMA): each rank collectively allocates a
 //     window (WinAllocate); neighbors write into disjoint subarrays of
@@ -19,12 +25,15 @@
 //     fidelity; the Go memory model makes them no-ops.
 //
 // A small Allreduce collective (sum) supports the synchronous solver's
-// global residual norm.
+// global residual norm; AllreduceTimeout/BarrierTimeout are the
+// deadline-and-liveness-aware versions that degrade on crashed ranks
+// instead of blocking forever.
 package dist
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/shm"
@@ -33,7 +42,7 @@ import (
 // World owns the shared state of a rank group.
 type World struct {
 	size    int
-	boxes   sync.Map // mailKey -> *mailbox
+	boxes   sync.Map // mailKey -> *Mailbox
 	wins    []*Win
 	winMu   sync.Mutex
 	metrics *obs.SolverMetrics
@@ -43,48 +52,6 @@ type mailKey struct {
 	src, dst, tag int
 }
 
-// mailbox is an unbounded FIFO channel substitute: Isend never blocks.
-type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue [][]float64
-}
-
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
-
-func (m *mailbox) push(data []float64) {
-	m.mu.Lock()
-	m.queue = append(m.queue, data)
-	m.cond.Signal()
-	m.mu.Unlock()
-}
-
-func (m *mailbox) pop() []float64 {
-	m.mu.Lock()
-	for len(m.queue) == 0 {
-		m.cond.Wait()
-	}
-	data := m.queue[0]
-	m.queue = m.queue[1:]
-	m.mu.Unlock()
-	return data
-}
-
-func (m *mailbox) tryPop() ([]float64, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.queue) == 0 {
-		return nil, false
-	}
-	data := m.queue[0]
-	m.queue = m.queue[1:]
-	return data, true
-}
-
 // Rank is one process's handle into the world.
 type Rank struct {
 	ID    int
@@ -92,6 +59,12 @@ type Rank struct {
 	world *World
 	rm    *obs.RankMetrics // nil unless the world is observed
 }
+
+// RankID returns this rank's id (Comm).
+func (r *Rank) RankID() int { return r.ID }
+
+// WorldSize returns the rank count (Comm).
+func (r *Rank) WorldSize() int { return r.Size }
 
 // Run spawns fn on p rank goroutines and blocks until all return.
 func Run(p int, fn func(*Rank)) { RunObserved(p, nil, fn) }
@@ -115,13 +88,22 @@ func RunObserved(p int, m *obs.SolverMetrics, fn func(*Rank)) {
 	wg.Wait()
 }
 
-func (w *World) box(src, dst, tag int) *mailbox {
+func (w *World) box(src, dst, tag int) *Mailbox {
 	key := mailKey{src, dst, tag}
 	if b, ok := w.boxes.Load(key); ok {
-		return b.(*mailbox)
+		return b.(*Mailbox)
 	}
-	b, _ := w.boxes.LoadOrStore(key, newMailbox())
-	return b.(*mailbox)
+	// User tags are ghost traffic: bounded, evict-oldest (readers
+	// drain to newest, so dropping the oldest loses nothing the reader
+	// would have kept). Internal tags carry collectives and
+	// termination protocol messages whose loss would be a protocol
+	// violation; their depth is bounded by the protocols themselves.
+	capacity := 0
+	if tag >= 0 {
+		capacity = DefaultMailboxCap
+	}
+	b, _ := w.boxes.LoadOrStore(key, NewMailbox(capacity, w.metrics.TransportEvict))
+	return b.(*Mailbox)
 }
 
 // Isend posts data to rank `to` with the given tag and returns
@@ -134,7 +116,7 @@ func (r *Rank) Isend(to, tag int, data []float64) {
 	cp := make([]float64, len(data))
 	copy(cp, data)
 	r.rm.IncSent()
-	r.world.box(r.ID, to, tag).push(cp)
+	r.world.box(r.ID, to, tag).Push(cp)
 }
 
 // Recv blocks until a message from rank `from` with the given tag
@@ -143,9 +125,25 @@ func (r *Rank) Recv(from, tag int) []float64 {
 	if from < 0 || from >= r.Size {
 		panic(fmt.Sprintf("dist: Recv from invalid rank %d", from))
 	}
-	data := r.world.box(from, r.ID, tag).pop()
+	data := r.world.box(from, r.ID, tag).Pop()
 	r.rm.IncReceived()
 	return data
+}
+
+// RecvTimeout is Recv with a deadline: it returns ErrTimeout instead
+// of blocking forever on a sender that will never send. d <= 0
+// selects DefaultOpTimeout.
+func (r *Rank) RecvTimeout(from, tag int, d time.Duration) ([]float64, error) {
+	if from < 0 || from >= r.Size {
+		panic(fmt.Sprintf("dist: Recv from invalid rank %d", from))
+	}
+	data, err := r.world.box(from, r.ID, tag).PopTimeout(d)
+	if err != nil {
+		r.world.metrics.TransportTimeout()
+		return nil, err
+	}
+	r.rm.IncReceived()
+	return data, nil
 }
 
 // TryRecv is a non-blocking receive (MPI_Iprobe+Recv): it returns the
@@ -157,7 +155,7 @@ func (r *Rank) TryRecv(from, tag int) ([]float64, bool) {
 	var last []float64
 	ok := false
 	for {
-		data, got := box.tryPop()
+		data, got := box.TryPop()
 		if !got {
 			break
 		}
@@ -167,10 +165,14 @@ func (r *Rank) TryRecv(from, tag int) ([]float64, bool) {
 	return last, ok
 }
 
-// internal tags reserved by collectives; user tags must be >= 0.
+// internal tags reserved by collectives and the multi-process solve
+// protocol; user tags must be >= 0.
 const (
 	tagReduce = -1
 	tagBcast  = -2
+	// tagToken, tagHalt (-3, -4) live in termination.go.
+	tagGather = -5
+	tagDecide = -6
 )
 
 // Allreduce sums each rank's contribution and returns the global sum on
@@ -192,8 +194,65 @@ func (r *Rank) Allreduce(v float64) float64 {
 	return r.Recv(0, tagBcast)[0]
 }
 
+// AllreduceTimeout is Allreduce with a deadline and a liveness view:
+// dead ranks' contributions are skipped (their block is frozen at its
+// final iterate), and the call returns ErrTimeout/ErrPeerDead instead
+// of blocking forever on a crashed peer. All live ranks must call it
+// collectively, with an agreeing dead view, or the tag streams
+// desynchronize (same contract as any MPI collective).
+func (r *Rank) AllreduceTimeout(v float64, timeout time.Duration, dead func(int) bool) (float64, error) {
+	if timeout <= 0 {
+		timeout = DefaultOpTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	if r.ID == 0 {
+		sum := v
+		for src := 1; src < r.Size; src++ {
+			if dead != nil && dead(src) {
+				continue
+			}
+			m, err := r.RecvTimeout(src, tagReduce, time.Until(deadline))
+			if err != nil {
+				if dead != nil && dead(src) {
+					// The peer died mid-collective; its share is
+					// whatever the survivors last saw.
+					continue
+				}
+				return 0, fmt.Errorf("allreduce gather from rank %d: %w", src, err)
+			}
+			sum += m[0]
+		}
+		for dst := 1; dst < r.Size; dst++ {
+			if dead != nil && dead(dst) {
+				continue
+			}
+			r.Isend(dst, tagBcast, []float64{sum})
+		}
+		return sum, nil
+	}
+	if dead != nil && dead(0) {
+		return 0, fmt.Errorf("allreduce root: %w", ErrPeerDead)
+	}
+	r.Isend(0, tagReduce, []float64{v})
+	m, err := r.RecvTimeout(0, tagBcast, time.Until(deadline))
+	if err != nil {
+		if dead != nil && dead(0) {
+			return 0, fmt.Errorf("allreduce root: %w", ErrPeerDead)
+		}
+		return 0, fmt.Errorf("allreduce broadcast: %w", err)
+	}
+	return m[0], nil
+}
+
 // Barrier synchronizes all ranks (an Allreduce of zero).
 func (r *Rank) Barrier() { r.Allreduce(0) }
+
+// BarrierTimeout is Barrier with deadline/liveness semantics; see
+// AllreduceTimeout.
+func (r *Rank) BarrierTimeout(timeout time.Duration, dead func(int) bool) error {
+	_, err := r.AllreduceTimeout(0, timeout, dead)
+	return err
+}
 
 // Win is a remote-access memory window: one shared atomic array per
 // rank, allocated collectively. Writers use Put; the owner reads its
@@ -235,6 +294,21 @@ func (r *Rank) WinAllocate(n int) *Win {
 	r.Barrier()
 	return win
 }
+
+// AllocWindow is the Comm-interface window allocation: WinAllocate
+// wrapped with this rank's local view.
+func (r *Rank) AllocWindow(n int) Window {
+	return &memWindow{win: r.WinAllocate(n), rank: r.ID}
+}
+
+// memWindow adapts *Win to the backend-neutral Window interface.
+type memWindow struct {
+	win  *Win
+	rank int
+}
+
+func (w *memWindow) Put(target, offset int, data []float64) { w.win.Put(target, offset, data) }
+func (w *memWindow) Local() shm.AtomicVector                { return w.win.bufs[w.rank] }
 
 // Put writes data into target's window starting at offset. Each
 // float64 element is stored atomically; the message as a whole is not

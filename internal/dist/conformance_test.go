@@ -1,0 +1,381 @@
+package dist_test
+
+// Transport conformance: one table of behavioral tests asserted
+// against BOTH Comm backends — the in-process channel world and the
+// TCP transport on localhost — so a backend cannot drift from the
+// contract the solver loop assumes (ordering per channel, Isend buffer
+// copy, drain-to-newest receives, window put visibility, collective
+// correctness, deadline errors, dead-rank degradation).
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/dist/tcptransport"
+	"repro/internal/obs"
+)
+
+// world runs a p-rank communication world, invoking body concurrently
+// with each rank's Comm. Bodies must return before the world tears
+// down (the TCP backend closes its transports only after every body
+// finishes, so late frames still have live sockets).
+type world struct {
+	name string
+	run  func(t *testing.T, p int, body func(c dist.Comm))
+}
+
+func memWorld() world {
+	return world{
+		name: "mem",
+		run: func(t *testing.T, p int, body func(c dist.Comm)) {
+			dist.Run(p, func(r *dist.Rank) { body(r) })
+		},
+	}
+}
+
+// freeAddrs reserves n distinct localhost ports by listening and
+// immediately closing; the tiny reuse race is acceptable in tests.
+func freeAddrs(t testing.TB, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+func tcpWorld() world {
+	return world{
+		name: "tcp",
+		run: func(t *testing.T, p int, body func(c dist.Comm)) {
+			addrs := freeAddrs(t, p)
+			trs := make([]*tcptransport.Transport, p)
+			var wg sync.WaitGroup
+			wg.Add(p)
+			for rank := 0; rank < p; rank++ {
+				go func(rank int) {
+					defer wg.Done()
+					tr, err := tcptransport.Dial(tcptransport.Config{
+						Rank: rank, Addrs: addrs,
+						Metrics: obs.NewSolverMetrics(obs.NewRegistry()),
+					})
+					if err != nil {
+						t.Errorf("rank %d dial: %v", rank, err)
+						return
+					}
+					trs[rank] = tr
+					if err := tr.WaitReady(10 * time.Second); err != nil {
+						t.Errorf("rank %d not ready: %v", rank, err)
+						return
+					}
+					body(tr)
+				}(rank)
+			}
+			wg.Wait()
+			for _, tr := range trs {
+				if tr != nil {
+					tr.Close()
+				}
+			}
+		},
+	}
+}
+
+func worlds() []world { return []world{memWorld(), tcpWorld()} }
+
+func TestConformanceOrderingPerChannel(t *testing.T) {
+	for _, w := range worlds() {
+		t.Run(w.name, func(t *testing.T) {
+			w.run(t, 2, func(c dist.Comm) {
+				const k = 20
+				if c.RankID() == 0 {
+					for i := 0; i < k; i++ {
+						c.Isend(1, 0, []float64{float64(i)})
+					}
+					return
+				}
+				for i := 0; i < k; i++ {
+					got := c.Recv(0, 0)
+					if got[0] != float64(i) {
+						t.Errorf("message %d arrived out of order: got %v", i, got[0])
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestConformanceIsendCopiesBuffer(t *testing.T) {
+	for _, w := range worlds() {
+		t.Run(w.name, func(t *testing.T) {
+			w.run(t, 2, func(c dist.Comm) {
+				if c.RankID() == 0 {
+					buf := []float64{1, 2, 3}
+					c.Isend(1, 0, buf)
+					buf[0] = 99 // must not affect the in-flight message
+					return
+				}
+				got := c.Recv(0, 0)
+				if got[0] != 1 {
+					t.Errorf("Isend aliased the caller's buffer: got %v", got)
+				}
+			})
+		})
+	}
+}
+
+func TestConformanceTryRecvDrainsToNewest(t *testing.T) {
+	for _, w := range worlds() {
+		t.Run(w.name, func(t *testing.T) {
+			w.run(t, 2, func(c dist.Comm) {
+				if c.RankID() == 0 {
+					for i := 1; i <= 3; i++ {
+						c.Isend(1, 7, []float64{float64(10 * i)})
+					}
+					c.Barrier()
+					return
+				}
+				c.Barrier()
+				// All three were sent before the barrier; keep draining
+				// until the newest shows (frames may still be landing).
+				deadline := time.Now().Add(5 * time.Second)
+				var newest float64
+				for time.Now().Before(deadline) && newest != 30 {
+					if got, ok := c.TryRecv(0, 7); ok {
+						newest = got[0]
+					}
+					time.Sleep(time.Millisecond)
+				}
+				if newest != 30 {
+					t.Errorf("drain-to-newest: want 30, got %v", newest)
+				}
+				// And nothing older may surface afterwards.
+				if got, ok := c.TryRecv(0, 7); ok {
+					t.Errorf("stale message after drain: %v", got)
+				}
+			})
+		})
+	}
+}
+
+func TestConformanceTagsSeparateChannels(t *testing.T) {
+	for _, w := range worlds() {
+		t.Run(w.name, func(t *testing.T) {
+			w.run(t, 2, func(c dist.Comm) {
+				if c.RankID() == 0 {
+					c.Isend(1, 2, []float64{2})
+					c.Isend(1, 1, []float64{1})
+					return
+				}
+				if got := c.Recv(0, 1); got[0] != 1 {
+					t.Errorf("tag 1: got %v", got[0])
+				}
+				if got := c.Recv(0, 2); got[0] != 2 {
+					t.Errorf("tag 2: got %v", got[0])
+				}
+			})
+		})
+	}
+}
+
+func TestConformanceWindowPutVisibility(t *testing.T) {
+	for _, w := range worlds() {
+		t.Run(w.name, func(t *testing.T) {
+			w.run(t, 2, func(c dist.Comm) {
+				win := c.AllocWindow(4)
+				c.Barrier() // both windows exist before any put
+				if c.RankID() == 0 {
+					win.Put(1, 1, []float64{2.5, 3.5})
+					c.Barrier() // wait for rank 1's assertion
+					return
+				}
+				buf := win.Local()
+				deadline := time.Now().Add(5 * time.Second)
+				for time.Now().Before(deadline) {
+					if buf.Load(1) == 2.5 && buf.Load(2) == 3.5 {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				if buf.Load(1) != 2.5 || buf.Load(2) != 3.5 || buf.Load(0) != 0 || buf.Load(3) != 0 {
+					t.Errorf("window after put: [%v %v %v %v]",
+						buf.Load(0), buf.Load(1), buf.Load(2), buf.Load(3))
+				}
+				c.Barrier()
+			})
+		})
+	}
+}
+
+func TestConformanceAllreduce(t *testing.T) {
+	for _, w := range worlds() {
+		t.Run(w.name, func(t *testing.T) {
+			const p = 4
+			want := float64(p * (p + 1) / 2)
+			w.run(t, p, func(c dist.Comm) {
+				// Twice, to exercise tag-stream reuse across calls.
+				for round := 0; round < 2; round++ {
+					got := c.Allreduce(float64(c.RankID() + 1))
+					if got != want {
+						t.Errorf("round %d rank %d: Allreduce = %v, want %v",
+							round, c.RankID(), got, want)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestConformanceBarrierSynchronizes(t *testing.T) {
+	for _, w := range worlds() {
+		t.Run(w.name, func(t *testing.T) {
+			const p = 3
+			var before atomic.Int64
+			w.run(t, p, func(c dist.Comm) {
+				before.Add(1)
+				c.Barrier()
+				if got := before.Load(); got != p {
+					t.Errorf("rank %d passed barrier with only %d/%d arrivals",
+						c.RankID(), got, p)
+				}
+			})
+		})
+	}
+}
+
+func TestConformanceAllreduceTimeoutDeadline(t *testing.T) {
+	for _, w := range worlds() {
+		t.Run(w.name, func(t *testing.T) {
+			w.run(t, 2, func(c dist.Comm) {
+				if c.RankID() == 1 {
+					return // crashed peer: never joins the collective
+				}
+				_, err := c.AllreduceTimeout(1, 150*time.Millisecond, nil)
+				if !errors.Is(err, dist.ErrTimeout) {
+					t.Errorf("want ErrTimeout on a silent peer, got %v", err)
+				}
+			})
+		})
+	}
+}
+
+func TestConformanceAllreduceTimeoutSkipsDead(t *testing.T) {
+	for _, w := range worlds() {
+		t.Run(w.name, func(t *testing.T) {
+			const p = 3
+			dead := func(q int) bool { return q == 2 }
+			w.run(t, p, func(c dist.Comm) {
+				if c.RankID() == 2 {
+					return // declared dead: contributes nothing
+				}
+				got, err := c.AllreduceTimeout(float64(c.RankID()+1), 5*time.Second, dead)
+				if err != nil {
+					t.Errorf("rank %d: %v", c.RankID(), err)
+					return
+				}
+				if got != 3 { // 1 + 2, rank 2 skipped
+					t.Errorf("rank %d: sum over survivors = %v, want 3", c.RankID(), got)
+				}
+			})
+		})
+	}
+}
+
+func TestConformanceBarrierTimeoutDeadPeer(t *testing.T) {
+	for _, w := range worlds() {
+		t.Run(w.name, func(t *testing.T) {
+			w.run(t, 2, func(c dist.Comm) {
+				if c.RankID() == 1 {
+					return
+				}
+				dead := func(q int) bool { return q == 1 }
+				if err := c.BarrierTimeout(5*time.Second, dead); err != nil {
+					t.Errorf("barrier over survivors: %v", err)
+				}
+			})
+		})
+	}
+}
+
+// TestMailboxBoundedEviction covers the satellite fix directly: a slow
+// reader no longer accumulates unbounded ghost backlog — the oldest
+// message is shed, the eviction is counted, and the newest survives.
+func TestMailboxBoundedEviction(t *testing.T) {
+	var evictions atomic.Int64
+	mb := dist.NewMailbox(4, func() { evictions.Add(1) })
+	for i := 1; i <= 7; i++ {
+		mb.Push([]float64{float64(i)})
+	}
+	if got := mb.Len(); got != 4 {
+		t.Fatalf("bounded mailbox holds %d, want 4", got)
+	}
+	if got := evictions.Load(); got != 3 {
+		t.Fatalf("evictions = %d, want 3", got)
+	}
+	first, _ := mb.TryPop()
+	if first[0] != 4 {
+		t.Fatalf("oldest surviving message = %v, want 4 (1..3 evicted)", first[0])
+	}
+	var last []float64
+	for {
+		m, ok := mb.TryPop()
+		if !ok {
+			break
+		}
+		last = m
+	}
+	if last[0] != 7 {
+		t.Fatalf("newest message = %v, want 7", last[0])
+	}
+}
+
+func TestMailboxPopTimeout(t *testing.T) {
+	mb := dist.NewMailbox(0, nil)
+	if _, err := mb.PopTimeout(50 * time.Millisecond); !errors.Is(err, dist.ErrTimeout) {
+		t.Fatalf("empty mailbox: want ErrTimeout, got %v", err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		mb.Push([]float64{42})
+	}()
+	got, err := mb.PopTimeout(5 * time.Second)
+	if err != nil || got[0] != 42 {
+		t.Fatalf("PopTimeout after push: %v, %v", got, err)
+	}
+}
+
+// TestWorldEvictionCounted checks the in-process world sheds backlog on
+// user tags and surfaces it on the transport eviction counter.
+func TestWorldEvictionCounted(t *testing.T) {
+	m := obs.NewSolverMetrics(obs.NewRegistry())
+	total := dist.DefaultMailboxCap + 50
+	dist.RunObserved(2, m, func(r *dist.Rank) {
+		if r.ID == 0 {
+			for i := 0; i < total; i++ {
+				r.Isend(1, 0, []float64{float64(i)})
+			}
+		}
+		r.Barrier()
+		if r.ID == 1 {
+			newest, ok := r.TryRecv(0, 0)
+			if !ok {
+				t.Error("no message survived the bounded mailbox")
+			} else if newest[0] != float64(total-1) {
+				t.Errorf("newest = %v, want %v", newest[0], total-1)
+			}
+		}
+	})
+	if got := m.TransportEvictCount(); got != 50 {
+		t.Fatalf("evictions = %d, want 50", got)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"math"
 	"runtime"
-	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -114,6 +113,10 @@ type SolveOptions struct {
 	// backoff until the policy is exhausted, after which the link is
 	// given up as dead. Nil selects DefaultRetryPolicy.
 	Retry *resilience.RetryPolicy
+	// NetTimeout bounds SolveRank's cross-process coordination waits
+	// (the per-pass gather/decide exchange with rank 0); <= 0 selects
+	// DefaultOpTimeout. Ignored by the in-process Solve.
+	NetTimeout time.Duration
 }
 
 // Result reports a distributed solve.
@@ -257,6 +260,7 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 	}
 	t0 := time.Now()
 	plans := buildPlans(a, part)
+	lrp, lcol, lval := buildLocalCSR(a.RowPtr, a.Col, a.Val, plans)
 
 	nb := vec.Norm1(b)
 	if nb == 0 {
@@ -317,7 +321,7 @@ func Solve(a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
 	}
 	prev := math.Inf(1)
 	for {
-		pass := solvePass(a, b, res.X, opt, plans, injs, budget, nb, stopper)
+		pass := solvePass(a, b, res.X, opt, plans, lrp, lcol, lval, injs, budget, nb, stopper)
 		res.X = pass.x
 		maxIter := 0
 		for p := 0; p < opt.Procs; p++ {
@@ -412,10 +416,11 @@ type passResult struct {
 }
 
 // solvePass executes one full parallel solve attempt from x0 with the
-// given per-rank iteration budget. The caller owns the resume loop.
+// given per-rank iteration budget, running runRank on one goroutine per
+// rank over the in-process world. The caller owns the resume loop.
 func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostPlan,
+	lrp [][]int, lcol [][]int, lval [][]float64,
 	injs []*fault.Injector, budget int, nb float64, stopper *resilience.Stopper) passResult {
-	n := a.N
 	opt.MaxIters = budget
 
 	// Dead or crashed ranks may never write their block, so the gather
@@ -424,504 +429,28 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 	var finalMu sync.Mutex
 	iters := make([]int, opt.Procs)
 	localHist := make([][]float64, opt.Procs)
-	board := newFlagBoard(opt.Procs, opt.Metrics) // async termination extension
 	var safraDecided atomic.Bool
+	sh := &rankShared{
+		b: b, x0: x0, opt: opt, plans: plans,
+		lrp: lrp, lcol: lcol, lval: lval, nb: nb,
+		stopper: stopper,
+		board:   newFlagBoard(opt.Procs, opt.Metrics), // async termination extension
+		decided: &safraDecided,
+	}
 	opt.Metrics.SetWorkers(opt.Procs)
 
 	RunObserved(opt.Procs, opt.Metrics, func(r *Rank) {
-		// pprof labels: CPU samples on each rank goroutine attribute to
-		// solver/worker/phase so a -profile-out capture separates relax
-		// from ghost publishing and idle/termination waiting. The label
-		// contexts come from a process-wide cache — building them is a
-		// dozen allocations per rank, which used to dominate repeated
-		// small solves' allocation profiles.
-		lbl := distLabels.For(r.ID)
-		phaseRelax := lbl.Relax
-		phasePublish := lbl.Publish
-		phaseWait := lbl.Wait
-		pprof.SetGoroutineLabels(phaseRelax)
-		defer pprof.SetGoroutineLabels(context.Background())
-		rm := opt.Metrics.Rank(r.ID)
-		tw := opt.Tracer.Worker(r.ID)
-		gp := plans[r.ID]
-		nown := len(gp.rows)
 		var inj *fault.Injector
 		if injs != nil {
 			inj = injs[r.ID]
 		}
-		// Fault injection applies to the asynchronous solver only: the
-		// synchronous scheme's blocking receives and collectives would
-		// deadlock on a lost message rather than degrade.
-		faultsOn := opt.Async && inj != nil
-		// Local state: own values then ghosts.
-		xl := make([]float64, gp.nLocal)
-		for s, i := range gp.rows {
-			xl[s] = x0[i]
-		}
-		for _, q := range gp.recvFrom {
-			for _, j := range gp.recvIdx[q] {
-				xl[gp.localOf[j]] = x0[j]
-			}
-		}
-		rl := make([]float64, nown)
-		// curNorm tracks |rl|_1, accumulated inside the relaxation loop
-		// of the most recent local iteration: the convergence predicate,
-		// the history point, the metrics gauge, and the synchronous
-		// Allreduce all reuse it instead of each rescanning rl (up to
-		// four O(nLocal) passes per iteration before).
-		curNorm := 0.0
-
-		// Local CSR with remapped columns for cache-friendly SpMV.
-		lrp := make([]int, nown+1)
-		var lcol []int
-		var lval []float64
-		for s, i := range gp.rows {
-			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-				lcol = append(lcol, gp.localOf[a.Col[k]])
-				lval = append(lval, a.Val[k])
-			}
-			lrp[s+1] = len(lcol)
-		}
-
-		eager := opt.Async && opt.Eager
-		var win *Win
-		if opt.Async && !eager {
-			win = r.WinAllocate(gp.winLen)
-			win.LockAll()
-			defer win.UnlockAll()
-			// Seed our own ghost slots with the pass's starting iterate:
-			// the window is allocated zeroed on every pass, and the loop
-			// top refreshes ghosts from it unconditionally, so without
-			// the seed a resume pass would overwrite converged ghost
-			// values with zeros — destroying exactly the progress the
-			// resume loop exists to preserve. A neighbor racing ahead of
-			// the seed only reinstates values one Put older; asynchronous
-			// Jacobi tolerates that by construction.
-			wbuf := win.Local(r.ID)
-			for s := 0; s < gp.ghostLen; s++ {
-				wbuf.Store(s, xl[nown+s])
-			}
-		}
-		// A rank that fail-stopped in an earlier pass stays down; it
-		// still took part in the collective window allocation above so
-		// the survivors' setup barrier completes.
-		if faultsOn && inj.Dead() {
-			board.markDead(r.ID)
-			return
-		}
-
-		sendBufs := map[int][]float64{}
-		for _, q := range gp.sendTo {
-			buflen := len(gp.sendIdx[q])
-			if eager {
-				buflen++ // room for the iteration stamp
-			}
-			sendBufs[q] = make([]float64, buflen)
-		}
-		// Reordered point-to-point messages are held back here until
-		// the next send on the same link overtakes them.
-		var held map[int][]float64
-		if faultsOn {
-			held = map[int][]float64{}
-		}
-		// Async: precompute (targetRank, targetOffset) of our boundary
-		// values inside each neighbor's window, plus the slot where our
-		// iteration stamp goes.
-		putOff := map[int]int{}
-		stampPutOff := map[int]int{}
-		if opt.Async {
-			for _, q := range gp.sendTo {
-				// Our values land in q's window at q's offset for
-				// neighbor r.ID, which q computed as winOff[r.ID].
-				putOff[q] = plans[q].winOff[r.ID]
-				stampPutOff[q] = plans[q].stampOff[r.ID]
-			}
-		}
-		// lastStamp[qi] is the newest iteration stamp seen from
-		// gp.recvFrom[qi]; the gap between consecutive stamps minus one
-		// is how many of that neighbor's updates this rank never saw.
-		// Both the staleness histogram and the tracer's ghost-arrival
-		// events key on it.
-		var lastStamp []int64
-		if rm != nil || tw != nil {
-			lastStamp = make([]int64, len(gp.recvFrom))
-		}
-		stampBuf := make([]float64, 1)
-
-		iter := 0
-		idle := 0
-		// Loss-recovery retransmission budget for the eager scheme:
-		// bounded retry with exponential backoff, reset whenever fresh
-		// ghost data arrives. Exhaustion gives the links up as dead
-		// rather than retransmitting forever.
-		retry := resilience.DefaultRetryPolicy()
-		if opt.Retry != nil {
-			retry = *opt.Retry
-		}
-		attempt := 0
-		var nextRetry time.Time
-		var safra *safraState
-		if opt.Async && opt.Tol > 0 && opt.Termination == DijkstraSafra {
-			safra = newSafra(r, &safraDecided, opt.Metrics, tw)
-		}
-		// Termination-degradation deadline: once a crash is visible on
-		// the board, a locally-converged rank waits at most this long
-		// for the regular protocol before deciding over the surviving
-		// active block (Safra's token may be parked forever in a dead
-		// rank's mailbox; the flag board skips dead ranks by itself).
-		termDeadline := opt.Fault.TermDeadline()
-		var deadSeen time.Time
-		pollTerm := func(localConv bool) bool {
-			if safra == nil {
-				if board.set(r.ID, localConv) {
-					tw.Flag(localConv, iter)
-				}
-				return board.check()
-			}
-			stop := safra.poll(r, localConv)
-			if !stop && faultsOn && board.anyDead() {
-				if deadSeen.IsZero() {
-					deadSeen = time.Now()
-				}
-				if board.set(r.ID, localConv) {
-					tw.Flag(localConv, iter)
-				}
-				if time.Since(deadSeen) > termDeadline && board.check() {
-					if safraDecided.CompareAndSwap(false, true) {
-						opt.Metrics.FaultTermTimeout()
-						opt.Metrics.TermDecided()
-						tw.TermTimeout(iter)
-					}
-					stop = true
-				}
-			}
-			return stop
-		}
-		for {
-			// Cancellation / deadline: an asynchronous rank just leaves;
-			// the flag board and the other ranks' own stopper polls keep
-			// termination live without it. (Synchronous ranks instead
-			// vote below, in lockstep.)
-			if opt.Async && stopper.Check() != resilience.StopNone {
-				break
-			}
-			if faultsOn {
-				if inj.CrashNow(iter) {
-					opt.Metrics.FaultCrash()
-					tw.Crash(iter)
-					after, restart := inj.Restart()
-					if !restart {
-						board.markDead(r.ID)
-						break
-					}
-					// Restart-from-current-x: the rank rejoins after the
-					// outage with the iterate its window and local state
-					// already hold.
-					time.Sleep(after)
-					opt.Metrics.FaultRestart()
-					tw.Restart(iter)
-				}
-				if d := inj.StallFor(iter); d > 0 {
-					opt.Metrics.FaultStall()
-					tw.Stall(iter)
-					time.Sleep(d)
-				}
-				if d := inj.IterDelay(); d > 0 {
-					opt.Metrics.FaultDelay()
-					tw.Delay(iter + 1)
-					time.Sleep(d)
-				}
-			}
-			if opt.DelayRank == r.ID && opt.Delay > 0 {
-				rm.IncDelay()
-				tw.Delay(iter + 1)
-				time.Sleep(opt.Delay)
-			}
-			gotNew := iter == 0 || len(gp.recvFrom) == 0
-			if opt.Async && win != nil {
-				// Refresh ghosts from the local window (neighbors Put
-				// whenever they finish an iteration).
-				wbuf := win.Local(r.ID)
-				base := nown
-				for s := 0; s < gp.ghostLen; s++ {
-					xl[base+s] = wbuf.Load(s)
-				}
-				if lastStamp != nil {
-					// Ghost-read staleness: each neighbor stamps its
-					// Puts with its iteration count; the jump between
-					// consecutive stamps counts the updates this rank
-					// skipped over.
-					for qi, q := range gp.recvFrom {
-						stamp := int64(wbuf.Load(gp.ghostLen + qi))
-						if stamp > lastStamp[qi] {
-							rm.ObserveStaleness(int(stamp - lastStamp[qi] - 1))
-							tw.Recv(q, int(stamp))
-							lastStamp[qi] = stamp
-						}
-					}
-				}
-			}
-			if eager {
-				// Drain pending ghost messages; remember whether any
-				// neighbor supplied fresh information.
-				for qi, q := range gp.recvFrom {
-					if data, ok := r.TryRecv(q, 0); ok {
-						for t, j := range gp.recvIdx[q] {
-							xl[gp.localOf[j]] = data[t]
-						}
-						if lastStamp != nil && len(data) > len(gp.recvIdx[q]) {
-							stamp := int64(data[len(data)-1])
-							if stamp > lastStamp[qi] {
-								rm.ObserveStaleness(int(stamp - lastStamp[qi] - 1))
-								tw.Recv(q, int(stamp))
-								lastStamp[qi] = stamp
-							}
-						}
-						gotNew = true
-					}
-				}
-				if !gotNew && faultsOn && board.anyDead() && len(gp.recvFrom) > 0 {
-					// Every neighbor fail-stopped: no fresh ghosts will ever
-					// arrive, so iterate on what we have rather than idling
-					// against dead links (their blocks are frozen; ours can
-					// still improve).
-					allDead := true
-					for _, q := range gp.recvFrom {
-						if !board.isDead(q) {
-							allDead = false
-							break
-						}
-					}
-					gotNew = allDead
-				}
-				if !gotNew {
-					// Nothing new: poll termination and idle.
-					pprof.SetGoroutineLabels(phaseWait)
-					if opt.Tol > 0 {
-						localConv := iter >= opt.MaxIters ||
-							curNorm/nb <= opt.Tol/float64(r.Size)
-						if pollTerm(localConv) {
-							tw.Decided(iter)
-							break
-						}
-					} else if iter >= opt.MaxIters {
-						break
-					}
-					idle++
-					if idle >= 1000*opt.MaxIters {
-						break
-					}
-					if faultsOn && !retry.Exhausted(attempt) && !time.Now().Before(nextRetry) {
-						// Liveness under loss: an eager rank iterates only
-						// on fresh ghosts, so if the last message on a link
-						// is dropped both endpoints idle forever with their
-						// flags down. Retransmit the current boundary values
-						// (each copy drawing its own fate) with exponential
-						// backoff, the way a real at-least-once transport
-						// retries — bounded, so a genuinely dead peer stops
-						// costing bandwidth once the policy is exhausted.
-						nextRetry = time.Now().Add(retry.Backoff(attempt))
-						attempt++
-						opt.Metrics.RecoveryRetransmit()
-						for _, q := range gp.sendTo {
-							if board.isDead(q) {
-								opt.Metrics.RecoveryExclude()
-								continue
-							}
-							buf := sendBufs[q]
-							for t, j := range gp.sendIdx[q] {
-								buf[t] = xl[gp.localOf[j]]
-							}
-							buf[len(buf)-1] = float64(iter)
-							if inj.SendFate(q) == fault.Drop {
-								opt.Metrics.FaultDrop()
-								tw.FaultDrop(q, iter)
-								continue
-							}
-							r.Isend(q, 0, buf)
-							tw.Send(q, iter)
-							if old, ok := held[q]; ok {
-								delete(held, q)
-								r.Isend(q, 0, old)
-							}
-						}
-					}
-					tw.Yield()
-					yield()
-					continue
-				}
-				idle = 0
-				if attempt != 0 {
-					attempt = 0
-					nextRetry = time.Time{}
-				}
-			}
-			pprof.SetGoroutineLabels(phaseRelax)
-			// Step 1: local residual. The tracer brackets the whole
-			// local iteration (residual + correction) as one slice; the
-			// per-read version sampling of the shm tracer has no
-			// counterpart here because ghost versions are only known at
-			// neighbor granularity (the iteration stamps).
-			tw.RelaxStart(-1, iter+1)
-			rsum := 0.0
-			for s := 0; s < nown; s++ {
-				sum := b[gp.rows[s]]
-				for k := lrp[s]; k < lrp[s+1]; k++ {
-					sum -= lval[k] * xl[lcol[k]]
-				}
-				rl[s] = sum
-				rsum += math.Abs(sum)
-			}
-			curNorm = rsum
-			// Step 2: correct own values.
-			for s := 0; s < nown; s++ {
-				xl[s] += rl[s]
-			}
-			iter++
-			tw.RelaxEnd(-1, iter)
-			if opt.RecordHistory {
-				localHist[r.ID] = append(localHist[r.ID], curNorm)
-			}
-			if rm != nil {
-				// Relaxations and the residual share land before the
-				// iteration tick so the stream sample published by
-				// IncIteration sees current totals.
-				rm.AddRelaxations(nown)
-				rm.SetLocalResidual(curNorm / nb)
-				rm.IncIteration()
-			}
-			pprof.SetGoroutineLabels(phasePublish)
-			// Communicate boundary values. Each message first draws its
-			// fate from the fault plan: dropped messages leave the
-			// receiver on stale ghosts, duplicates exercise
-			// at-least-once delivery, and a reordered point-to-point
-			// message is held back until the next send on the same link
-			// overtakes it (the receiver then installs the older values
-			// last). RMA windows have no inter-message ordering, so
-			// Reorder degrades to Deliver there.
-			for _, q := range gp.sendTo {
-				if faultsOn && board.isDead(q) {
-					// Rank exclusion: the failure detector already knows q
-					// fail-stopped, so sending to it is pure waste (and, for
-					// eager links, would count as a live retransmission).
-					opt.Metrics.RecoveryExclude()
-					continue
-				}
-				buf := sendBufs[q]
-				for t, j := range gp.sendIdx[q] {
-					buf[t] = xl[gp.localOf[j]]
-				}
-				if eager {
-					buf[len(buf)-1] = float64(iter) // iteration stamp
-				}
-				fate := fault.Deliver
-				if faultsOn {
-					fate = inj.SendFate(q)
-				}
-				if fate == fault.Drop {
-					opt.Metrics.FaultDrop()
-					tw.FaultDrop(q, iter)
-					continue
-				}
-				if opt.Async && !eager {
-					win.Put(q, putOff[q], buf)
-					stampBuf[0] = float64(iter)
-					win.Put(q, stampPutOff[q], stampBuf)
-					rm.IncPut()
-					rm.IncPut()
-					tw.Put(q, iter)
-					if fate == fault.Dup {
-						win.Put(q, putOff[q], buf)
-						win.Put(q, stampPutOff[q], stampBuf)
-						opt.Metrics.FaultDup()
-						tw.FaultDup(q, iter)
-					}
-				} else {
-					if fate == fault.Reorder {
-						held[q] = append([]float64(nil), buf...)
-						opt.Metrics.FaultReorder()
-						tw.FaultReorder(q, iter)
-						continue
-					}
-					r.Isend(q, 0, buf)
-					tw.Send(q, iter)
-					if fate == fault.Dup {
-						r.Isend(q, 0, buf)
-						opt.Metrics.FaultDup()
-						tw.FaultDup(q, iter)
-					}
-					if old, ok := held[q]; ok {
-						delete(held, q)
-						r.Isend(q, 0, old) // the overtaken message lands late
-					}
-				}
-			}
-			if !opt.Async {
-				// Synchronous ghost exchange: blocking receives from
-				// every neighbor. In lockstep the sender's iteration
-				// equals ours, which is the stamp the tracer records
-				// (and what pairs the send→receive flow arrows).
-				for _, q := range gp.recvFrom {
-					data := r.Recv(q, 0)
-					for t, j := range gp.recvIdx[q] {
-						xl[gp.localOf[j]] = data[t]
-					}
-					tw.Recv(q, iter)
-				}
-			}
-			// Termination.
-			pprof.SetGoroutineLabels(phaseWait)
-			if !opt.Async {
-				stop := iter >= opt.MaxIters
-				if opt.Tol > 0 {
-					grn := r.Allreduce(curNorm)
-					if grn/nb <= opt.Tol {
-						stop = true
-					}
-				}
-				if stopper != nil {
-					// Stop vote: lockstep ranks must agree on the exact
-					// iteration they stop at, so the deadline/cancel poll
-					// goes through a collective. One extra Allreduce per
-					// iteration, paid only when a stopper exists.
-					vote := 0.0
-					if stopper.Check() != resilience.StopNone {
-						vote = 1
-					}
-					if r.Allreduce(vote) > 0 {
-						stop = true
-					}
-				}
-				if stop {
-					break
-				}
-			} else {
-				if opt.Tol <= 0 {
-					// The paper's naive scheme: stop after MaxIters.
-					if iter >= opt.MaxIters {
-						break
-					}
-				} else {
-					// Local predicate: own residual share below tol/P
-					// (additive in the 1-norm), or budget exhausted.
-					localConv := iter >= opt.MaxIters ||
-						curNorm/nb <= opt.Tol/float64(r.Size)
-					stop := pollTerm(localConv)
-					if stop {
-						tw.Decided(iter)
-					}
-					if stop || iter >= 100*opt.MaxIters {
-						break
-					}
-				}
-				tw.Yield()
-				yield()
-			}
-		}
-		iters[r.ID] = iter
+		out := runRank(r, inj, sh)
+		gp := plans[r.ID]
+		iters[r.ID] = out.iter
+		localHist[r.ID] = out.hist
 		finalMu.Lock()
 		for s, i := range gp.rows {
-			finalX[i] = xl[s]
+			finalX[i] = out.xl[s]
 		}
 		finalMu.Unlock()
 	})
@@ -947,7 +476,6 @@ func solvePass(a *sparse.CSR, b, x0 []float64, opt SolveOptions, plans []*ghostP
 			pr.history = append(pr.history, sum/nb)
 		}
 	}
-	_ = n
 	return pr
 }
 

@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultMailboxCap bounds a user-tag mailbox. The original mailbox
+// was unbounded, so a slow rank accumulated every ghost update ever
+// sent to it; a bounded evict-oldest queue is legal for ghost traffic
+// because newest-wins is the reading discipline anyway (TryRecv
+// drains to the newest pending message), and 1024 pending messages is
+// three orders of magnitude more lag than the asynchronous model ever
+// profits from. Internal (negative) tags — collectives, termination
+// tokens, gather/decide coordination — stay unbounded: dropping one
+// of those is a protocol violation, and their queue depth is bounded
+// by the protocols themselves.
+const DefaultMailboxCap = 1024
+
+// Mailbox is a FIFO message queue with an optional evict-oldest bound,
+// blocking and deadline pops, and a drain-to-newest TryPop. Both
+// transport backends use it: the in-process world keys one per
+// (src, dst, tag), the TCP backend one per (src, tag) on the
+// receiving side.
+type Mailbox struct {
+	mu    sync.Mutex
+	queue [][]float64
+	// avail coalesces arrival signals for blocked readers (cap 1; a
+	// reader re-checks the queue after every wake, so coalescing is
+	// safe).
+	avail chan struct{}
+	// cap bounds the queue; 0 = unbounded. When full, Push evicts the
+	// oldest message and calls onEvict.
+	cap     int
+	onEvict func()
+}
+
+// NewMailbox builds a mailbox with the given capacity (0 = unbounded)
+// and eviction callback (nil ok).
+func NewMailbox(capacity int, onEvict func()) *Mailbox {
+	return &Mailbox{avail: make(chan struct{}, 1), cap: capacity, onEvict: onEvict}
+}
+
+// Push appends data (not copied — callers own the copy discipline),
+// evicting the oldest message when the bound is hit.
+func (m *Mailbox) Push(data []float64) {
+	m.mu.Lock()
+	evicted := false
+	if m.cap > 0 && len(m.queue) >= m.cap {
+		// Evict-oldest: readers drain to newest, so the oldest message
+		// is the one whose information is most superseded.
+		m.queue = m.queue[1:]
+		evicted = true
+	}
+	m.queue = append(m.queue, data)
+	m.mu.Unlock()
+	if evicted && m.onEvict != nil {
+		m.onEvict()
+	}
+	select {
+	case m.avail <- struct{}{}:
+	default:
+	}
+}
+
+// TryPop removes and returns the oldest message, or ok=false when the
+// mailbox is empty.
+func (m *Mailbox) TryPop() ([]float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	data := m.queue[0]
+	m.queue = m.queue[1:]
+	return data, true
+}
+
+// Pop blocks until a message is available and returns the oldest.
+func (m *Mailbox) Pop() []float64 {
+	for {
+		if data, ok := m.TryPop(); ok {
+			return data
+		}
+		<-m.avail
+	}
+}
+
+// PopTimeout is Pop with a deadline: it returns ErrTimeout once d has
+// elapsed without a message. d <= 0 selects DefaultOpTimeout.
+func (m *Mailbox) PopTimeout(d time.Duration) ([]float64, error) {
+	if data, ok := m.TryPop(); ok {
+		return data, nil
+	}
+	if d <= 0 {
+		d = DefaultOpTimeout
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		select {
+		case <-m.avail:
+			if data, ok := m.TryPop(); ok {
+				return data, nil
+			}
+		case <-timer.C:
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// Len reports the queued message count.
+func (m *Mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}

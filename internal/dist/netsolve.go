@@ -1,0 +1,367 @@
+package dist
+
+// SolveRank drives ONE rank of a multi-process distributed solve over
+// a NetComm transport (internal/dist/tcptransport): the same runRank
+// loop, ghost plans, and termination protocols as the in-process
+// Solve, with the recheck-and-resume decision centralized on rank 0
+// through a gather/decide exchange.
+//
+// Per pass, every rank runs runRank to a termination detection, then:
+//
+//   - non-root ranks send [iterations, owned values...] to rank 0
+//     (tagGather) and wait for its verdict (tagDecide);
+//   - rank 0 assembles the global iterate from the newest gather of
+//     each live peer (a dead or silent peer's block stays frozen at
+//     its last known values — exactly the degradation Theorem 1's
+//     arbitrary-delay model permits), recomputes the residual
+//     EXACTLY, applies the same stop logic as Solve (tolerance,
+//     budget, progress), and broadcasts [stop, relres, nextBudget]
+//     — plus the assembled solution on the final pass, so every
+//     process returns the same converged X.
+//
+// Both waits drain to the newest message, which makes a skipped
+// round self-correcting: if rank 0 gave up on a slow peer and decided
+// with its frozen block, the late gather simply feeds the next pass,
+// and the slow peer picks up the newest decide whenever it arrives.
+// All coordination runs on negative (control-plane) tags, which the
+// TCP backend neither evicts nor wire-faults.
+//
+// Checkpoints are per-process and iteration-grained: each rank
+// snapshots its locally-assembled view of the iterate (own block
+// authoritative, ghosts as last seen) on the spec's interval from
+// inside the solve loop, so a SIGKILL mid-pass still resumes from
+// recent work. A restarted rank re-enters with -resume: the transport
+// revives it on its peers' boards and its checkpointed block rejoins
+// the iteration.
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/resilience"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// SolveRank runs this process's rank of a distributed Jacobi solve
+// over c. Every process passes the same a, b, x0, and options.
+// Result.X is the globally-assembled final iterate on every rank when
+// the solve ends through the decide protocol; if rank 0 became
+// unreachable, it is this rank's local view and RelRes is recomputed
+// exactly against it, so Converged == (RelRes <= Tol) holds either
+// way. Result.History carries this rank's LOCAL residual share per
+// iteration (no cross-process reconstruction). Result.Iterations has
+// only this rank's entry filled.
+func SolveRank(c NetComm, a *sparse.CSR, b, x0 []float64, opt SolveOptions) *Result {
+	n := a.N
+	rank := c.RankID()
+	if opt.Procs == 0 {
+		opt.Procs = c.WorldSize()
+	}
+	if opt.Procs != c.WorldSize() {
+		panic("dist: SolveRank Procs != transport world size")
+	}
+	if len(b) != n || len(x0) != n {
+		panic("dist: dimension mismatch")
+	}
+	if opt.MaxIters <= 0 {
+		panic("dist: MaxIters must be positive")
+	}
+	if err := opt.Fault.Validate(opt.Procs); err != nil {
+		panic("dist: " + err.Error())
+	}
+	part := opt.Part
+	if part == nil {
+		part = partition.Contiguous(n, opt.Procs)
+	}
+	if part.P != opt.Procs {
+		panic("dist: partition part count != Procs")
+	}
+	netTimeout := opt.NetTimeout
+	if netTimeout <= 0 {
+		netTimeout = DefaultOpTimeout
+	}
+	t0 := time.Now()
+	plans := buildPlans(a, part)
+	lrp, lcol, lval := buildLocalCSR(a.RowPtr, a.Col, a.Val, plans)
+	gp := plans[rank]
+
+	nb := vec.Norm1(b)
+	if nb == 0 {
+		nb = 1
+	}
+
+	// One injector slice sized to the world, with only this rank's slot
+	// armed: fault.States/RestoreStates then key checkpointed RNG
+	// streams by rank exactly as the in-process solver does.
+	injs := make([]*fault.Injector, opt.Procs)
+	injs[rank] = opt.Fault.ForRank(rank)
+	inj := injs[rank]
+
+	res := &Result{
+		Iterations: make([]int, opt.Procs),
+		X:          append([]float64(nil), x0...),
+	}
+	var elapsed0 time.Duration
+	if opt.Resume != nil {
+		if err := opt.Resume.ValidateFor(n); err != nil {
+			panic("dist: " + err.Error())
+		}
+		if err := fault.RestoreStates(injs, opt.Resume.FaultStates); err != nil {
+			panic("dist: " + err.Error())
+		}
+		if len(opt.Resume.Iters) == opt.Procs {
+			res.Iterations[rank] = int(opt.Resume.Iters[rank])
+		}
+		elapsed0 = opt.Resume.Elapsed
+		opt.Metrics.RecoveryCheckpointLoad()
+		opt.Metrics.RecoveryResume()
+	}
+	iters0 := res.Iterations[rank] // cumulative baseline from the resume
+	stopper := resilience.NewStopper(opt.Ctx, opt.MaxTime)
+	writer := resilience.NewWriter(opt.Checkpoint, opt.Metrics)
+
+	// scatter installs this rank's local state (own rows + ghosts) into
+	// a full-length vector.
+	scatter := func(dst, xl []float64) {
+		for s, i := range gp.rows {
+			dst[i] = xl[s]
+		}
+		for _, q := range gp.recvFrom {
+			for _, j := range gp.recvIdx[q] {
+				dst[j] = xl[gp.localOf[j]]
+			}
+		}
+	}
+	ckptFrom := func(x []float64, cumIters int) *resilience.Checkpoint {
+		ck := &resilience.Checkpoint{
+			Substrate: "dist",
+			N:         n,
+			X:         append([]float64(nil), x...),
+			Iters:     make([]int64, opt.Procs),
+			Sweeps:    cumIters,
+			Elapsed:   elapsed0 + time.Since(t0),
+		}
+		ck.Iters[rank] = int64(cumIters)
+		ck.FaultStates = fault.States(injs)
+		return ck
+	}
+	rr := make([]float64, n)
+	relres := func() float64 {
+		a.Residual(rr, b, res.X)
+		return vec.Norm1(rr) / nb
+	}
+
+	board := c.Board()
+	var win Window
+	if opt.Async && !opt.Eager {
+		// Allocated once, outside the pass loop: the TCP backend's
+		// windows are keyed by allocation order, and reallocating per
+		// pass would desynchronize ids across ranks that run different
+		// pass counts.
+		win = c.AllocWindow(gp.winLen)
+	}
+	opt.Metrics.SetWorkers(opt.Procs)
+
+	budget := opt.MaxIters
+	prev := math.Inf(1)
+	stalls := 0
+	crashedOut := false
+	for {
+		board.Reset()
+		var decided atomic.Bool
+		passOpt := opt
+		passOpt.MaxIters = budget
+		sh := &rankShared{
+			b: b, x0: res.X, opt: passOpt, plans: plans,
+			lrp: lrp, lcol: lcol, lval: lval, nb: nb,
+			stopper: stopper, board: board, decided: &decided,
+			net: true, win: win,
+		}
+		cumBase := res.Iterations[rank]
+		sh.onIter = func(iterInPass int, xl []float64) {
+			// Iteration-grained checkpointing: snapshot the local view
+			// on the writer's interval so a kill mid-pass resumes from
+			// recent work, not the last pass boundary.
+			_, _ = writer.MaybeWrite(func() *resilience.Checkpoint {
+				x := append([]float64(nil), res.X...)
+				scatter(x, xl)
+				return ckptFrom(x, cumBase+iterInPass)
+			})
+		}
+		out := runRank(c, inj, sh)
+		res.Iterations[rank] += out.iter
+		res.TotalRelaxations += out.iter * len(gp.rows)
+		for _, h := range out.hist {
+			res.History = append(res.History, h/nb)
+		}
+		scatter(res.X, out.xl)
+
+		if rank == 0 {
+			// Gather the newest contribution of every live peer; a
+			// silent one's block stays frozen at its last known values.
+			for src := 1; src < opt.Procs; src++ {
+				if board.IsDead(src) {
+					continue
+				}
+				msg, ok := recvNewest(c, board, src, tagGather, netTimeout)
+				if !ok || len(msg) != 1+len(plans[src].rows) {
+					continue
+				}
+				for s, i := range plans[src].rows {
+					res.X[i] = msg[1+s]
+				}
+			}
+			res.RelRes = relres()
+			stop := stopper.Stopped() ||
+				opt.Tol <= 0 || !opt.Async ||
+				res.RelRes <= opt.Tol
+			// MaxIters is a per-rank budget, so charge the root's own
+			// pass against it: a fast peer free-running while it waits
+			// for slower flags must not bill the whole solve.
+			budget -= out.iter
+			if budget <= 0 || out.iter == 0 {
+				stop = true
+			}
+			if res.RelRes > 0.999*prev {
+				// No meaningful progress over the previous pass. One
+				// stalled pass can be an artifact of the wire: a peer's
+				// flag-true rebroadcast from the previous pass can land
+				// just after Reset and latch the tree before the peer's
+				// corrected flag arrives, ending the pass after a
+				// handful of iterations. A dead rank's frozen block, by
+				// contrast, pins the residual on EVERY pass — so only
+				// consecutive stalls stop the solve.
+				stalls++
+				if stalls >= 3 {
+					stop = true
+				}
+			} else {
+				stalls = 0
+			}
+			prev = res.RelRes
+			// Decide broadcast: [stop, relres, nextBudget] plus the
+			// assembled iterate — on EVERY decide, not just the final
+			// one. A resumed pass must restart from the globally-
+			// consistent state: each rank left the last pass at the
+			// local fixpoint of its own block against whatever ghosts
+			// it last saw, so its local residual share reads (near)
+			// zero and its flag re-raises after a single relaxation —
+			// before any new boundary data has crossed the wire. Passes
+			// then degenerate into one-iteration no-ops that never move
+			// the true residual. Restarting from the assembled X makes
+			// the local share reflect the TRUE residual: whichever rank
+			// holds the remaining residual mass sees it immediately and
+			// keeps its flag down until the work is actually done. (The
+			// in-process solver never needs this — its shared-memory
+			// ghosts refresh instantly, so the residual re-excites
+			// before the flag tree can latch.)
+			payload := []float64{0, res.RelRes, float64(budget)}
+			if stop {
+				payload[0] = 1
+			}
+			payload = append(payload, res.X...)
+			for dst := 1; dst < opt.Procs; dst++ {
+				if !board.IsDead(dst) {
+					c.Isend(dst, tagDecide, payload)
+				}
+			}
+			if stop {
+				break
+			}
+		} else {
+			gmsg := make([]float64, 1+len(gp.rows))
+			gmsg[0] = float64(out.iter)
+			for s, i := range gp.rows {
+				gmsg[1+s] = res.X[i]
+			}
+			c.Isend(0, tagGather, gmsg)
+			wait := netTimeout
+			if stopper.Stopped() {
+				// This process is leaving regardless; give the verdict
+				// one short window, then go.
+				wait = time.Second
+			}
+			msg, ok := recvNewest(c, board, 0, tagDecide, wait)
+			if !ok {
+				// Rank 0 is unreachable: stop with the local view,
+				// recomputing the residual exactly against it so the
+				// convergence contract holds on what we actually return.
+				res.RelRes = relres()
+				crashedOut = board.IsDead(0)
+				break
+			}
+			res.RelRes = msg[1]
+			budget = int(msg[2])
+			if msg[0] == 1 {
+				if len(msg) == 3+n {
+					copy(res.X, msg[3:])
+				}
+				break
+			}
+			if len(msg) == 3+n {
+				// Resume from the root's assembled iterate, keeping our
+				// own block authoritative: if the root decided with an
+				// older gather of ours (it skips silent peers), its copy
+				// of our rows may trail the work we have already done.
+				copy(res.X, msg[3:])
+				for s, i := range gp.rows {
+					res.X[i] = out.xl[s]
+				}
+			}
+		}
+		if stopper.Stopped() {
+			break
+		}
+		res.Resumes++
+		opt.Metrics.TermResume()
+	}
+
+	if opt.Tracer != nil {
+		st := opt.Tracer.Worker(rank).Stats()
+		opt.Metrics.TraceCaptured(rank, obs.TraceCapture{
+			Events: st.Retained, Dropped: st.Dropped,
+			Coalesced: st.Coalesced, SampledOut: st.SampledOut,
+			Bytes: st.Bytes, EventsPerSec: st.EventsPerSec(),
+		})
+	}
+
+	res.WallTime = time.Since(t0)
+	res.Converged = opt.Tol > 0 && res.RelRes <= opt.Tol
+	opt.Metrics.SetResidual(res.RelRes)
+	opt.Metrics.SetConverged(res.Converged)
+	if writer != nil {
+		res.CheckpointErr = writer.Write(ckptFrom(res.X, res.Iterations[rank]))
+		opt.Tracer.Worker(rank).Checkpoint(res.Iterations[rank] - iters0)
+	}
+	crashed := crashedOut || inj.Dead()
+	res.StopReason = resilience.Resolve(res.Converged, stopper, crashed)
+	switch res.StopReason {
+	case resilience.StopDeadline:
+		opt.Metrics.RecoveryDeadline()
+	case resilience.StopCanceled:
+		opt.Metrics.RecoveryCancel()
+	}
+	res.Elapsed = elapsed0 + res.WallTime
+	return res
+}
+
+// recvNewest waits for the newest pending message on (from, tag),
+// draining intermediates. It gives up when the deadline passes or the
+// board declares the sender dead.
+func recvNewest(c Comm, board Board, from, tag int, timeout time.Duration) ([]float64, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if msg, ok := c.TryRecv(from, tag); ok {
+			return msg, true
+		}
+		if board.IsDead(from) || time.Now().After(deadline) {
+			return nil, false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

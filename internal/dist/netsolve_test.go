@@ -1,0 +1,326 @@
+package dist_test
+
+// End-to-end SolveRank coverage over the TCP transport: a 4-rank
+// asynchronous solve under deterministic wire faults (in-process
+// goroutines, real sockets on localhost), and a kill-and-restart solve
+// across real OS processes where one rank resumes from its checkpoint.
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand/v2"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/dist/tcptransport"
+	"repro/internal/fault"
+	"repro/internal/matgen"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/sparse"
+)
+
+func testVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+// soakProblem is the fixed test system shared by the in-process soak
+// and the subprocess helper (which must rebuild it bit-identically).
+func soakProblem() (*sparse.CSR, []float64, []float64) {
+	a := matgen.FD2D(12, 12)
+	rng := rand.New(rand.NewPCG(41, 43))
+	b := testVec(rng, a.N)
+	x0 := testVec(rng, a.N)
+	return a, b, x0
+}
+
+func dialRanks(t *testing.T, p int, mk func(rank int) tcptransport.Config) []*tcptransport.Transport {
+	t.Helper()
+	trs := make([]*tcptransport.Transport, p)
+	for rank := 0; rank < p; rank++ {
+		tr, err := tcptransport.Dial(mk(rank))
+		if err != nil {
+			t.Fatalf("rank %d dial: %v", rank, err)
+		}
+		trs[rank] = tr
+	}
+	for _, tr := range trs {
+		if err := tr.WaitReady(10 * time.Second); err != nil {
+			t.Fatalf("mesh never completed: %v", err)
+		}
+	}
+	return trs
+}
+
+// TestSolveRankTCPWireFaultSoak runs the asynchronous solver across
+// four TCP transports with 10% deterministic frame drops (plus some
+// reordering) on the data plane and asserts the convergence contract
+// on every rank: Converged == (RelRes <= Tol), and all ranks agree on
+// the final iterate.
+func TestSolveRankTCPWireFaultSoak(t *testing.T) {
+	const p = 4
+	a, b, x0 := soakProblem()
+	addrs := freeAddrs(t, p)
+	plan := &fault.Plan{Seed: 2026, Drop: 0.10, Reorder: 0.05}
+	trs := dialRanks(t, p, func(rank int) tcptransport.Config {
+		return tcptransport.Config{
+			Rank: rank, Addrs: addrs,
+			Metrics:   obs.NewSolverMetrics(obs.NewRegistry()),
+			WireFault: plan,
+		}
+	})
+
+	results := make([]*dist.Result, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for rank := 0; rank < p; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			results[rank] = dist.SolveRank(trs[rank], a, b, x0, dist.SolveOptions{
+				Procs: p, MaxIters: 200000, Tol: 1e-6, Async: true,
+				NetTimeout: 20 * time.Second,
+			})
+		}(rank)
+	}
+	wg.Wait()
+	for _, tr := range trs {
+		tr.Close()
+	}
+
+	for rank, res := range results {
+		if res == nil {
+			t.Fatalf("rank %d returned no result", rank)
+		}
+		if res.Converged != (res.RelRes <= 1e-6) {
+			t.Errorf("rank %d violates the contract: Converged=%v RelRes=%g",
+				rank, res.Converged, res.RelRes)
+		}
+		if !res.Converged {
+			t.Errorf("rank %d did not converge under 10%% wire drop: RelRes=%g",
+				rank, res.RelRes)
+		}
+	}
+	// The stop decision broadcast the assembled solution: all ranks
+	// must hold the same X.
+	for rank := 1; rank < p; rank++ {
+		for i := range results[0].X {
+			if math.Abs(results[rank].X[i]-results[0].X[i]) > 1e-12 {
+				t.Fatalf("rank %d X[%d]=%g disagrees with rank 0's %g",
+					rank, i, results[rank].X[i], results[0].X[i])
+			}
+		}
+	}
+}
+
+// TestSolveRankTCPMatchesTolerance is the fault-free sanity twin of the
+// soak: same solve, clean wire, must converge with the same contract.
+func TestSolveRankTCPClean(t *testing.T) {
+	const p = 2
+	a, b, x0 := soakProblem()
+	addrs := freeAddrs(t, p)
+	trs := dialRanks(t, p, func(rank int) tcptransport.Config {
+		return tcptransport.Config{
+			Rank: rank, Addrs: addrs,
+			Metrics: obs.NewSolverMetrics(obs.NewRegistry()),
+		}
+	})
+	results := make([]*dist.Result, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for rank := 0; rank < p; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			results[rank] = dist.SolveRank(trs[rank], a, b, x0, dist.SolveOptions{
+				Procs: p, MaxIters: 200000, Tol: 1e-8, Async: true,
+				NetTimeout: 20 * time.Second,
+			})
+		}(rank)
+	}
+	wg.Wait()
+	for _, tr := range trs {
+		tr.Close()
+	}
+	for rank, res := range results {
+		if !res.Converged || res.RelRes > 1e-8 {
+			t.Errorf("rank %d: Converged=%v RelRes=%g", rank, res.Converged, res.RelRes)
+		}
+	}
+}
+
+// helperResult is what each helper process writes for the parent.
+type helperResult struct {
+	Rank      int     `json:"rank"`
+	Converged bool    `json:"converged"`
+	RelRes    float64 `json:"relres"`
+	Tol       float64 `json:"tol"`
+	Resumed   bool    `json:"resumed"`
+	Stop      string  `json:"stop"`
+}
+
+// TestHelperRankProcess is not a test: it is the per-rank body of the
+// kill/restart integration test below, re-executed as a child process.
+func TestHelperRankProcess(t *testing.T) {
+	rankEnv := os.Getenv("AJ_HELPER_RANK")
+	if rankEnv == "" {
+		t.Skip("helper body for TestSolveRankKillRestart; not a standalone test")
+	}
+	rank, err := strconv.Atoi(rankEnv)
+	if err != nil {
+		t.Fatalf("AJ_HELPER_RANK: %v", err)
+	}
+	addrs := strings.Split(os.Getenv("AJ_HELPER_ADDRS"), ",")
+	ckptPath := os.Getenv("AJ_HELPER_CKPT")
+	outPath := os.Getenv("AJ_HELPER_OUT")
+
+	a, b, x0 := soakProblem()
+	const tol = 1e-8
+
+	opt := dist.SolveOptions{
+		Procs: len(addrs), MaxIters: 500000, Tol: tol, Async: true,
+		NetTimeout: 15 * time.Second,
+		// A heavy-ish per-iteration delay stretches the solve to ~2s of
+		// wall time so the parent can kill and restart a rank while
+		// real work is in flight.
+		Fault:      &fault.Plan{Seed: 9, DelayMean: 3 * time.Millisecond, DelayAlpha: 8},
+		Checkpoint: &resilience.Spec{Path: ckptPath, Interval: 20 * time.Millisecond},
+	}
+	resumed := false
+	if ck, err := resilience.Load(ckptPath); err == nil {
+		if err := ck.ValidateFor(a.N); err != nil {
+			t.Fatalf("checkpoint invalid: %v", err)
+		}
+		x0 = ck.X
+		opt.Resume = ck
+		resumed = true
+	}
+
+	tr, err := tcptransport.Dial(tcptransport.Config{
+		Rank: rank, Addrs: addrs,
+		Metrics:        obs.NewSolverMetrics(obs.NewRegistry()),
+		HeartbeatEvery: 50 * time.Millisecond,
+		PeerTimeout:    1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer tr.Close()
+	if err := tr.WaitReady(20 * time.Second); err != nil {
+		t.Fatalf("mesh: %v", err)
+	}
+
+	res := dist.SolveRank(tr, a, b, x0, opt)
+	out, _ := json.Marshal(helperResult{
+		Rank: rank, Converged: res.Converged, RelRes: res.RelRes,
+		Tol: tol, Resumed: resumed, Stop: res.StopReason.String(),
+	})
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		t.Fatalf("write result: %v", err)
+	}
+}
+
+// TestSolveRankKillRestart runs a real multi-process solve: four OS
+// processes over TCP, rank 2 SIGKILLed mid-solve and restarted shortly
+// after, resuming from its interval checkpoint. The solve must still
+// converge, the contract must hold on every surviving record, and the
+// restarted process must actually have resumed.
+func TestSolveRankKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	const p = 4
+	addrs := freeAddrs(t, p)
+	dir := t.TempDir()
+
+	spawn := func(rank int) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=^TestHelperRankProcess$", "-test.timeout=120s")
+		cmd.Env = append(os.Environ(),
+			"AJ_HELPER_RANK="+strconv.Itoa(rank),
+			"AJ_HELPER_ADDRS="+strings.Join(addrs, ","),
+			"AJ_HELPER_CKPT="+filepath.Join(dir, "ck."+strconv.Itoa(rank)),
+			"AJ_HELPER_OUT="+filepath.Join(dir, "out."+strconv.Itoa(rank)+".json"),
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawn rank %d: %v", rank, err)
+		}
+		return cmd
+	}
+
+	cmds := make([]*exec.Cmd, p)
+	for rank := 0; rank < p; rank++ {
+		cmds[rank] = spawn(rank)
+	}
+
+	// Let the mesh form and real iterations (and checkpoints) happen,
+	// then kill rank 2 the hard way and bring it back.
+	time.Sleep(900 * time.Millisecond)
+	victimCkpt := filepath.Join(dir, "ck.2")
+	if err := cmds[2].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("kill rank 2: %v", err)
+	}
+	cmds[2].Wait()
+	if _, err := os.Stat(victimCkpt); err != nil {
+		t.Fatalf("no checkpoint written before the kill: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	cmds[2] = spawn(2)
+
+	done := make(chan int, p)
+	for rank := 0; rank < p; rank++ {
+		go func(rank int) {
+			cmds[rank].Wait()
+			done <- rank
+		}(rank)
+	}
+	deadline := time.After(90 * time.Second)
+	for i := 0; i < p; i++ {
+		select {
+		case <-done:
+		case <-deadline:
+			for _, c := range cmds {
+				c.Process.Kill()
+			}
+			t.Fatal("solve processes did not finish in time")
+		}
+	}
+
+	read := func(rank int) helperResult {
+		raw, err := os.ReadFile(filepath.Join(dir, "out."+strconv.Itoa(rank)+".json"))
+		if err != nil {
+			t.Fatalf("rank %d wrote no result: %v", rank, err)
+		}
+		var hr helperResult
+		if err := json.Unmarshal(raw, &hr); err != nil {
+			t.Fatalf("rank %d result: %v", rank, err)
+		}
+		return hr
+	}
+	for rank := 0; rank < p; rank++ {
+		hr := read(rank)
+		if hr.Converged != (hr.RelRes <= hr.Tol) {
+			t.Errorf("rank %d violates the contract: converged=%v relres=%g tol=%g",
+				rank, hr.Converged, hr.RelRes, hr.Tol)
+		}
+	}
+	root := read(0)
+	if !root.Converged {
+		t.Errorf("solve with a killed+restarted rank did not converge: relres=%g stop=%s",
+			root.RelRes, root.Stop)
+	}
+	if victim := read(2); !victim.Resumed {
+		t.Error("restarted rank 2 did not resume from its checkpoint")
+	}
+}

@@ -1,0 +1,589 @@
+package dist
+
+// runRank is ONE rank's solve loop, extracted from the solvePass
+// closure so the same code drives both backends: Solve runs it on
+// opt.Procs goroutines over the in-process *Rank world, SolveRank runs
+// it once per OS process over a NetComm (TCP). Everything
+// backend-specific comes in through the Comm/Window/Board interfaces;
+// everything pass-shared comes in through rankShared.
+
+import (
+	"context"
+	"math"
+	"runtime/pprof"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/resilience"
+	"repro/internal/shm"
+)
+
+// rankShared is the per-pass state every rank of a pass shares. opt
+// carries this pass's budget in MaxIters.
+type rankShared struct {
+	b     []float64
+	x0    []float64
+	opt   SolveOptions
+	plans []*ghostPlan
+	// lrp/lcol/lval are the per-rank local CSR blocks (own rows,
+	// columns remapped to local slots), built once per solve.
+	lrp  [][]int
+	lcol [][]int
+	lval [][]float64
+	nb   float64
+	// stopper polls cancellation/deadline; never nil.
+	stopper *resilience.Stopper
+	// board is the termination flag board / failure detector. In-process
+	// it is a fresh flagBoard per pass; over TCP it is the transport's
+	// wire-replicated board, Reset between passes.
+	board Board
+	// decided is the Safra decision latch, fresh per pass.
+	decided *atomic.Bool
+	// net marks multi-process mode: tokens can be lost on the wire, so
+	// the flag-board fallback engages after the termination deadline
+	// even before any peer is declared dead.
+	net bool
+	// win, when non-nil, is this rank's preallocated RMA window (net
+	// mode allocates once, outside the pass loop); nil makes runRank
+	// allocate collectively via c.AllocWindow.
+	win Window
+	// onIter, when non-nil, runs after every completed local iteration
+	// with the current local iterate — SolveRank's sub-pass checkpoint
+	// hook, so a kill mid-pass still resumes from recent work.
+	onIter func(iter int, xl []float64)
+}
+
+// rankOut is one rank's pass outcome.
+type rankOut struct {
+	iter int
+	hist []float64
+	xl   []float64 // local state: own values first, then ghosts
+}
+
+func runRank(c Comm, inj *fault.Injector, sh *rankShared) rankOut {
+	opt := &sh.opt
+	id := c.RankID()
+	size := c.WorldSize()
+	board := sh.board
+	// pprof labels: CPU samples on each rank goroutine attribute to
+	// solver/worker/phase so a -profile-out capture separates relax
+	// from ghost publishing and idle/termination waiting. The label
+	// contexts come from a process-wide cache — building them is a
+	// dozen allocations per rank, which used to dominate repeated
+	// small solves' allocation profiles.
+	lbl := distLabels.For(id)
+	phaseRelax := lbl.Relax
+	phasePublish := lbl.Publish
+	phaseWait := lbl.Wait
+	pprof.SetGoroutineLabels(phaseRelax)
+	defer pprof.SetGoroutineLabels(context.Background())
+	rm := opt.Metrics.Rank(id)
+	tw := opt.Tracer.Worker(id)
+	gp := sh.plans[id]
+	nown := len(gp.rows)
+	// Fault injection applies to the asynchronous solver only: the
+	// synchronous scheme's blocking receives and collectives would
+	// deadlock on a lost message rather than degrade.
+	faultsOn := opt.Async && inj != nil
+	// Local state: own values then ghosts.
+	xl := make([]float64, gp.nLocal)
+	for s, i := range gp.rows {
+		xl[s] = sh.x0[i]
+	}
+	for _, q := range gp.recvFrom {
+		for _, j := range gp.recvIdx[q] {
+			xl[gp.localOf[j]] = sh.x0[j]
+		}
+	}
+	rl := make([]float64, nown)
+	// curNorm tracks |rl|_1, accumulated inside the relaxation loop
+	// of the most recent local iteration: the convergence predicate,
+	// the history point, the metrics gauge, and the synchronous
+	// Allreduce all reuse it instead of each rescanning rl (up to
+	// four O(nLocal) passes per iteration before).
+	curNorm := 0.0
+
+	lrp, lcol, lval := sh.lrp[id], sh.lcol[id], sh.lval[id]
+
+	eager := opt.Async && opt.Eager
+	var win Window
+	if opt.Async && !eager {
+		win = sh.win
+		if win == nil {
+			win = c.AllocWindow(gp.winLen)
+		}
+		// Seed our own ghost slots with the pass's starting iterate:
+		// the window is allocated zeroed on every pass, and the loop
+		// top refreshes ghosts from it unconditionally, so without
+		// the seed a resume pass would overwrite converged ghost
+		// values with zeros — destroying exactly the progress the
+		// resume loop exists to preserve. A neighbor racing ahead of
+		// the seed only reinstates values one Put older; asynchronous
+		// Jacobi tolerates that by construction.
+		wbuf := win.Local()
+		for s := 0; s < gp.ghostLen; s++ {
+			wbuf.Store(s, xl[nown+s])
+		}
+	}
+	var wbuf shm.AtomicVector
+	if win != nil {
+		wbuf = win.Local()
+	}
+	// A rank that fail-stopped in an earlier pass stays down; it
+	// still took part in the collective window allocation above so
+	// the survivors' setup barrier completes.
+	if faultsOn && inj.Dead() {
+		board.MarkDead(id)
+		return rankOut{xl: xl}
+	}
+
+	sendBufs := map[int][]float64{}
+	for _, q := range gp.sendTo {
+		buflen := len(gp.sendIdx[q])
+		if eager {
+			buflen++ // room for the iteration stamp
+		}
+		sendBufs[q] = make([]float64, buflen)
+	}
+	// Reordered point-to-point messages are held back here until
+	// the next send on the same link overtakes them.
+	var held map[int][]float64
+	if faultsOn {
+		held = map[int][]float64{}
+	}
+	// Async: precompute (targetRank, targetOffset) of our boundary
+	// values inside each neighbor's window, plus the slot where our
+	// iteration stamp goes.
+	putOff := map[int]int{}
+	stampPutOff := map[int]int{}
+	if opt.Async {
+		for _, q := range gp.sendTo {
+			// Our values land in q's window at q's offset for
+			// neighbor id, which q computed as winOff[id].
+			putOff[q] = sh.plans[q].winOff[id]
+			stampPutOff[q] = sh.plans[q].stampOff[id]
+		}
+	}
+	// lastStamp[qi] is the newest iteration stamp seen from
+	// gp.recvFrom[qi]; the gap between consecutive stamps minus one
+	// is how many of that neighbor's updates this rank never saw.
+	// Both the staleness histogram and the tracer's ghost-arrival
+	// events key on it.
+	var lastStamp []int64
+	if rm != nil || tw != nil {
+		lastStamp = make([]int64, len(gp.recvFrom))
+	}
+	stampBuf := make([]float64, 1)
+
+	var hist []float64
+	iter := 0
+	idle := 0
+	// Loss-recovery retransmission budget for the eager scheme:
+	// bounded retry with exponential backoff, reset whenever fresh
+	// ghost data arrives. Exhaustion gives the links up as dead
+	// rather than retransmitting forever.
+	retry := resilience.DefaultRetryPolicy()
+	if opt.Retry != nil {
+		retry = *opt.Retry
+	}
+	attempt := 0
+	var nextRetry time.Time
+	var safra *safraState
+	if opt.Async && opt.Tol > 0 && opt.Termination == DijkstraSafra {
+		safra = newSafra(c, sh.decided, opt.Metrics, tw)
+	}
+	// Termination-degradation deadline: once a crash is visible on
+	// the board, a locally-converged rank waits at most this long
+	// for the regular protocol before deciding over the surviving
+	// active block (Safra's token may be parked forever in a dead
+	// rank's mailbox; the flag board skips dead ranks by itself).
+	// Over a real wire the fallback also covers lost tokens: net mode
+	// arms the deadline whenever the protocol stalls, dead peer or
+	// not.
+	termDeadline := opt.Fault.TermDeadline()
+	var deadSeen time.Time
+	pollTerm := func(localConv bool) bool {
+		if safra == nil {
+			if board.Set(id, localConv) {
+				tw.Flag(localConv, iter)
+			}
+			return board.Check()
+		}
+		stop := safra.poll(c, localConv)
+		if !stop && ((faultsOn && board.AnyDead()) || sh.net) {
+			if deadSeen.IsZero() {
+				deadSeen = time.Now()
+			}
+			if board.Set(id, localConv) {
+				tw.Flag(localConv, iter)
+			}
+			if time.Since(deadSeen) > termDeadline && board.Check() {
+				if sh.decided.CompareAndSwap(false, true) {
+					opt.Metrics.FaultTermTimeout()
+					opt.Metrics.TermDecided()
+					tw.TermTimeout(iter)
+				}
+				stop = true
+			}
+		}
+		return stop
+	}
+	for {
+		// Cancellation / deadline: an asynchronous rank just leaves;
+		// the flag board and the other ranks' own stopper polls keep
+		// termination live without it. (Synchronous ranks instead
+		// vote below, in lockstep.)
+		if opt.Async && sh.stopper.Check() != resilience.StopNone {
+			break
+		}
+		if faultsOn {
+			if inj.CrashNow(iter) {
+				opt.Metrics.FaultCrash()
+				tw.Crash(iter)
+				after, restart := inj.Restart()
+				if !restart {
+					board.MarkDead(id)
+					break
+				}
+				// Restart-from-current-x: the rank rejoins after the
+				// outage with the iterate its window and local state
+				// already hold.
+				time.Sleep(after)
+				opt.Metrics.FaultRestart()
+				tw.Restart(iter)
+			}
+			if d := inj.StallFor(iter); d > 0 {
+				opt.Metrics.FaultStall()
+				tw.Stall(iter)
+				time.Sleep(d)
+			}
+			if d := inj.IterDelay(); d > 0 {
+				opt.Metrics.FaultDelay()
+				tw.Delay(iter + 1)
+				time.Sleep(d)
+			}
+		}
+		if opt.DelayRank == id && opt.Delay > 0 {
+			rm.IncDelay()
+			tw.Delay(iter + 1)
+			time.Sleep(opt.Delay)
+		}
+		gotNew := iter == 0 || len(gp.recvFrom) == 0
+		if opt.Async && win != nil {
+			// Refresh ghosts from the local window (neighbors Put
+			// whenever they finish an iteration).
+			base := nown
+			for s := 0; s < gp.ghostLen; s++ {
+				xl[base+s] = wbuf.Load(s)
+			}
+			if lastStamp != nil {
+				// Ghost-read staleness: each neighbor stamps its
+				// Puts with its iteration count; the jump between
+				// consecutive stamps counts the updates this rank
+				// skipped over.
+				for qi, q := range gp.recvFrom {
+					stamp := int64(wbuf.Load(gp.ghostLen + qi))
+					if stamp > lastStamp[qi] {
+						rm.ObserveStaleness(int(stamp - lastStamp[qi] - 1))
+						tw.Recv(q, int(stamp))
+						lastStamp[qi] = stamp
+					}
+				}
+			}
+		}
+		if eager {
+			// Drain pending ghost messages; remember whether any
+			// neighbor supplied fresh information.
+			for qi, q := range gp.recvFrom {
+				if data, ok := c.TryRecv(q, 0); ok {
+					for t, j := range gp.recvIdx[q] {
+						xl[gp.localOf[j]] = data[t]
+					}
+					if lastStamp != nil && len(data) > len(gp.recvIdx[q]) {
+						stamp := int64(data[len(data)-1])
+						if stamp > lastStamp[qi] {
+							rm.ObserveStaleness(int(stamp - lastStamp[qi] - 1))
+							tw.Recv(q, int(stamp))
+							lastStamp[qi] = stamp
+						}
+					}
+					gotNew = true
+				}
+			}
+			if !gotNew && faultsOn && board.AnyDead() && len(gp.recvFrom) > 0 {
+				// Every neighbor fail-stopped: no fresh ghosts will ever
+				// arrive, so iterate on what we have rather than idling
+				// against dead links (their blocks are frozen; ours can
+				// still improve).
+				allDead := true
+				for _, q := range gp.recvFrom {
+					if !board.IsDead(q) {
+						allDead = false
+						break
+					}
+				}
+				gotNew = allDead
+			}
+			if !gotNew {
+				// Nothing new: poll termination and idle.
+				pprof.SetGoroutineLabels(phaseWait)
+				if opt.Tol > 0 {
+					localConv := iter >= opt.MaxIters ||
+						curNorm/sh.nb <= opt.Tol/float64(size)
+					if pollTerm(localConv) {
+						tw.Decided(iter)
+						break
+					}
+				} else if iter >= opt.MaxIters {
+					break
+				}
+				idle++
+				if idle >= 1000*opt.MaxIters {
+					break
+				}
+				if faultsOn && !retry.Exhausted(attempt) && !time.Now().Before(nextRetry) {
+					// Liveness under loss: an eager rank iterates only
+					// on fresh ghosts, so if the last message on a link
+					// is dropped both endpoints idle forever with their
+					// flags down. Retransmit the current boundary values
+					// (each copy drawing its own fate) with exponential
+					// backoff, the way a real at-least-once transport
+					// retries — bounded, so a genuinely dead peer stops
+					// costing bandwidth once the policy is exhausted.
+					nextRetry = time.Now().Add(retry.Backoff(attempt))
+					attempt++
+					opt.Metrics.RecoveryRetransmit()
+					for _, q := range gp.sendTo {
+						if board.IsDead(q) {
+							opt.Metrics.RecoveryExclude()
+							continue
+						}
+						buf := sendBufs[q]
+						for t, j := range gp.sendIdx[q] {
+							buf[t] = xl[gp.localOf[j]]
+						}
+						buf[len(buf)-1] = float64(iter)
+						if inj.SendFate(q) == fault.Drop {
+							opt.Metrics.FaultDrop()
+							tw.FaultDrop(q, iter)
+							continue
+						}
+						c.Isend(q, 0, buf)
+						tw.Send(q, iter)
+						if old, ok := held[q]; ok {
+							delete(held, q)
+							c.Isend(q, 0, old)
+						}
+					}
+				}
+				tw.Yield()
+				yield()
+				continue
+			}
+			idle = 0
+			if attempt != 0 {
+				attempt = 0
+				nextRetry = time.Time{}
+			}
+		}
+		pprof.SetGoroutineLabels(phaseRelax)
+		// Step 1: local residual. The tracer brackets the whole
+		// local iteration (residual + correction) as one slice; the
+		// per-read version sampling of the shm tracer has no
+		// counterpart here because ghost versions are only known at
+		// neighbor granularity (the iteration stamps).
+		tw.RelaxStart(-1, iter+1)
+		rsum := 0.0
+		for s := 0; s < nown; s++ {
+			sum := sh.b[gp.rows[s]]
+			for k := lrp[s]; k < lrp[s+1]; k++ {
+				sum -= lval[k] * xl[lcol[k]]
+			}
+			rl[s] = sum
+			rsum += math.Abs(sum)
+		}
+		curNorm = rsum
+		// Step 2: correct own values.
+		for s := 0; s < nown; s++ {
+			xl[s] += rl[s]
+		}
+		iter++
+		tw.RelaxEnd(-1, iter)
+		if opt.RecordHistory {
+			hist = append(hist, curNorm)
+		}
+		if rm != nil {
+			// Relaxations and the residual share land before the
+			// iteration tick so the stream sample published by
+			// IncIteration sees current totals.
+			rm.AddRelaxations(nown)
+			rm.SetLocalResidual(curNorm / sh.nb)
+			rm.IncIteration()
+		}
+		if sh.onIter != nil {
+			sh.onIter(iter, xl)
+		}
+		pprof.SetGoroutineLabels(phasePublish)
+		// Communicate boundary values. Each message first draws its
+		// fate from the fault plan: dropped messages leave the
+		// receiver on stale ghosts, duplicates exercise
+		// at-least-once delivery, and a reordered point-to-point
+		// message is held back until the next send on the same link
+		// overtakes it (the receiver then installs the older values
+		// last). RMA windows have no inter-message ordering, so
+		// Reorder degrades to Deliver there.
+		for _, q := range gp.sendTo {
+			if faultsOn && board.IsDead(q) {
+				// Rank exclusion: the failure detector already knows q
+				// fail-stopped, so sending to it is pure waste (and, for
+				// eager links, would count as a live retransmission).
+				opt.Metrics.RecoveryExclude()
+				continue
+			}
+			buf := sendBufs[q]
+			for t, j := range gp.sendIdx[q] {
+				buf[t] = xl[gp.localOf[j]]
+			}
+			if eager {
+				buf[len(buf)-1] = float64(iter) // iteration stamp
+			}
+			fate := fault.Deliver
+			if faultsOn {
+				fate = inj.SendFate(q)
+			}
+			if fate == fault.Drop {
+				opt.Metrics.FaultDrop()
+				tw.FaultDrop(q, iter)
+				continue
+			}
+			if opt.Async && !eager {
+				win.Put(q, putOff[q], buf)
+				stampBuf[0] = float64(iter)
+				win.Put(q, stampPutOff[q], stampBuf)
+				rm.IncPut()
+				rm.IncPut()
+				tw.Put(q, iter)
+				if fate == fault.Dup {
+					win.Put(q, putOff[q], buf)
+					win.Put(q, stampPutOff[q], stampBuf)
+					opt.Metrics.FaultDup()
+					tw.FaultDup(q, iter)
+				}
+			} else {
+				if fate == fault.Reorder {
+					held[q] = append([]float64(nil), buf...)
+					opt.Metrics.FaultReorder()
+					tw.FaultReorder(q, iter)
+					continue
+				}
+				c.Isend(q, 0, buf)
+				tw.Send(q, iter)
+				if fate == fault.Dup {
+					c.Isend(q, 0, buf)
+					opt.Metrics.FaultDup()
+					tw.FaultDup(q, iter)
+				}
+				if old, ok := held[q]; ok {
+					delete(held, q)
+					c.Isend(q, 0, old) // the overtaken message lands late
+				}
+			}
+		}
+		if !opt.Async {
+			// Synchronous ghost exchange: blocking receives from
+			// every neighbor. In lockstep the sender's iteration
+			// equals ours, which is the stamp the tracer records
+			// (and what pairs the send→receive flow arrows).
+			for _, q := range gp.recvFrom {
+				data := c.Recv(q, 0)
+				for t, j := range gp.recvIdx[q] {
+					xl[gp.localOf[j]] = data[t]
+				}
+				tw.Recv(q, iter)
+			}
+		}
+		// Termination.
+		pprof.SetGoroutineLabels(phaseWait)
+		if !opt.Async {
+			stop := iter >= opt.MaxIters
+			if opt.Tol > 0 {
+				grn := c.Allreduce(curNorm)
+				if grn/sh.nb <= opt.Tol {
+					stop = true
+				}
+			}
+			if sh.stopper != nil {
+				// Stop vote: lockstep ranks must agree on the exact
+				// iteration they stop at, so the deadline/cancel poll
+				// goes through a collective. One extra Allreduce per
+				// iteration, paid only when a stopper exists.
+				vote := 0.0
+				if sh.stopper.Check() != resilience.StopNone {
+					vote = 1
+				}
+				if c.Allreduce(vote) > 0 {
+					stop = true
+				}
+			}
+			if stop {
+				break
+			}
+		} else {
+			if opt.Tol <= 0 {
+				// The paper's naive scheme: stop after MaxIters.
+				if iter >= opt.MaxIters {
+					break
+				}
+			} else {
+				// Local predicate: own residual share below tol/P
+				// (additive in the 1-norm), or budget exhausted.
+				localConv := iter >= opt.MaxIters ||
+					curNorm/sh.nb <= opt.Tol/float64(size)
+				stop := pollTerm(localConv)
+				if stop {
+					tw.Decided(iter)
+				}
+				if stop || iter >= 100*opt.MaxIters {
+					break
+				}
+				if sh.net && localConv {
+					// Over a real wire, a rank that is only waiting for
+					// its peers' flags gains nothing by spinning: every
+					// extra relaxation floods the links (and on a small
+					// box, the CPU) with puts of values that barely
+					// change, starving slower ranks. Pace the wait; the
+					// solve stays asynchronous, just not busy-hot.
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+			tw.Yield()
+			yield()
+		}
+	}
+	return rankOut{iter: iter, hist: hist, xl: xl}
+}
+
+// buildLocalCSR remaps each rank's rows of a into local column slots so
+// the relax loop's SpMV is cache-friendly; built once per solve and
+// shared read-only by every pass.
+func buildLocalCSR(rowPtr []int, col []int, val []float64, plans []*ghostPlan) (lrp [][]int, lcol [][]int, lval [][]float64) {
+	lrp = make([][]int, len(plans))
+	lcol = make([][]int, len(plans))
+	lval = make([][]float64, len(plans))
+	for p, gp := range plans {
+		nown := len(gp.rows)
+		rp := make([]int, nown+1)
+		var cols []int
+		var vals []float64
+		for s, i := range gp.rows {
+			for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+				cols = append(cols, gp.localOf[col[k]])
+				vals = append(vals, val[k])
+			}
+			rp[s+1] = len(cols)
+		}
+		lrp[p], lcol[p], lval[p] = rp, cols, vals
+	}
+	return lrp, lcol, lval
+}

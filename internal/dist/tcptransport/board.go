@@ -1,0 +1,227 @@
+package tcptransport
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// flagRebroadcast is how often the transport re-announces the local
+// flag. The in-process board is shared memory — a flag raised once is
+// visible forever — but over the wire a peer that reset its board for a
+// new pass, or restarted from a checkpoint, has lost our transition
+// frame; periodic re-announcement heals both races without any
+// request/reply machinery. The re-announcement is driven by the
+// transport's own ticker, not by Set calls, so it keeps flowing while
+// this rank sits outside its solve loop (e.g. the root waiting in the
+// gather/decide exchange) — otherwise a peer that missed the last
+// transition would wait in silence until its own network deadline.
+const flagRebroadcast = 50 * time.Millisecond
+
+// wireBoard is the TCP backend's termination flag board and fail-stop
+// failure detector (dist.Board): local atomics mirrored across the
+// world by frFlag/frDead control frames. Flag transitions of the owning
+// rank broadcast immediately (plus the periodic re-announcement);
+// remote transitions land via the reader goroutines. Dead marks come
+// from three sources — a frDead broadcast (a rank announcing its own
+// injected crash, or a peer's verdict), heartbeat silence past the peer
+// timeout, and a reconnect retry budget exhausting — and are cleared
+// only by a revive (hello handshake from a restarted peer).
+//
+// Flags are epoch-scoped. The epoch counts recheck-and-resume passes,
+// every flag frame carries it, and each flag slot remembers the epoch
+// it was installed at: a flag only counts toward the latch while its
+// epoch matches the board's. This is what makes the board safe across
+// pass boundaries over an asynchronous wire — a flag-true frame from
+// the pass that just ended cannot latch the new pass (it reads as
+// down), while a flag that arrived EARLY, from a peer that already
+// entered the next pass, survives this rank's own Reset instead of
+// being wiped and re-awaited.
+type wireBoard struct {
+	self int
+	// flags[q] packs (epoch<<1 | converged): the flag value and the
+	// pass epoch it belongs to, swapped as one word so a reader never
+	// sees a value paired with the wrong pass.
+	flags []atomic.Int64
+	dead  []atomic.Bool
+	nDead atomic.Int64
+	done  atomic.Bool
+	// epoch is the pass this board is currently deciding. It advances
+	// at Reset, and fast-forwards when a flag frame from a later epoch
+	// arrives — that means this rank is behind (it missed a decide,
+	// e.g. it just restarted from a checkpoint) and the world has moved
+	// on without it.
+	epoch atomic.Int64
+	// latchEpoch is the epoch the decision latch last fired at. Reset
+	// advances the epoch to latchEpoch+1 rather than blindly +1:
+	// if gossip already fast-forwarded the board into the new pass,
+	// Reset must not advance it a second time.
+	latchEpoch atomic.Int64
+	// lastReset is the epoch the previous Reset left the board at — the
+	// floor for the next Reset, covering passes that end without a
+	// local latch (the root's degraded timeout decisions).
+	lastReset atomic.Int64
+	// broadcast sends a control frame to every connected peer; wired to
+	// the transport at construction.
+	broadcast func(f *frame)
+	m         *obs.SolverMetrics
+}
+
+func newWireBoard(self, size int, m *obs.SolverMetrics, broadcast func(*frame)) *wireBoard {
+	return &wireBoard{
+		self:      self,
+		flags:     make([]atomic.Int64, size),
+		dead:      make([]atomic.Bool, size),
+		broadcast: broadcast,
+		m:         m,
+	}
+}
+
+// flagWord packs a flag and its epoch into one atomic word.
+func flagWord(ep int64, converged bool) int64 {
+	w := ep << 1
+	if converged {
+		w |= 1
+	}
+	return w
+}
+
+// up reports whether rank's flag is raised for epoch ep.
+func (b *wireBoard) up(rank int, ep int64) bool {
+	w := b.flags[rank].Load()
+	return w>>1 == ep && w&1 == 1
+}
+
+// Set publishes this rank's convergence state for the current pass: the
+// local mirror flips and the transition crosses the wire immediately
+// (the transport's ticker handles the periodic re-announcement). Only
+// rank == self makes sense here (remote flags arrive via setRemote);
+// the signature is the Board interface's.
+func (b *wireBoard) Set(rank int, converged bool) bool {
+	ep := b.epoch.Load()
+	old := b.flags[rank].Swap(flagWord(ep, converged))
+	was := old>>1 == ep && old&1 == 1
+	changed := was != converged
+	if changed {
+		if converged {
+			b.m.TermFlagRaise()
+		} else {
+			b.m.TermFlagLower()
+		}
+		if rank == b.self {
+			b.announce()
+		}
+	}
+	return changed
+}
+
+// announce broadcasts this rank's flag state for the current pass
+// epoch. A flag installed in an earlier pass reads as down — "not yet
+// converged in this pass" is exactly what the peers must hear.
+func (b *wireBoard) announce() {
+	ep := b.epoch.Load()
+	a := int32(0)
+	if b.up(b.self, ep) {
+		a = 1
+	}
+	b.broadcast(&frame{typ: frFlag, src: int32(b.self), a: a, b: int32(ep)})
+}
+
+// setRemote installs a peer's flag as received off the wire (no
+// rebroadcast, no transition counting — the owner already counted).
+// Flags from a past epoch are dropped; a future epoch fast-forwards
+// this rank's own epoch first, then installs.
+func (b *wireBoard) setRemote(rank int, converged bool, ep int64) {
+	if rank < 0 || rank >= len(b.flags) || rank == b.self {
+		return
+	}
+	for {
+		cur := b.epoch.Load()
+		if ep < cur {
+			return // stale: from a pass that already ended
+		}
+		if ep == cur || b.epoch.CompareAndSwap(cur, ep) {
+			b.flags[rank].Store(flagWord(ep, converged))
+			return
+		}
+	}
+}
+
+// Check reports whether every live rank's flag is up for the current
+// pass; the first observer latches the decision (Board).
+func (b *wireBoard) Check() bool {
+	if b.done.Load() {
+		return true
+	}
+	ep := b.epoch.Load()
+	for q := range b.flags {
+		if !b.up(q, ep) && !b.dead[q].Load() {
+			return false
+		}
+	}
+	if !b.done.Swap(true) {
+		b.latchEpoch.Store(ep)
+		b.m.TermLatch()
+		b.m.TermDecided()
+	}
+	return true
+}
+
+// MarkDead records rank's fail-stop and broadcasts the verdict so the
+// whole world degrades together (Board). Transition-guarded, so the
+// gossip converges instead of looping.
+func (b *wireBoard) MarkDead(rank int) {
+	if rank < 0 || rank >= len(b.dead) {
+		return
+	}
+	if !b.dead[rank].Swap(true) {
+		b.nDead.Add(1)
+		b.m.TransportPeerDead()
+		b.broadcast(&frame{typ: frDead, src: int32(b.self), a: int32(rank)})
+	}
+}
+
+// Revive clears a dead mark — a restarted peer completed the hello
+// handshake (Board).
+func (b *wireBoard) Revive(rank int) {
+	if rank < 0 || rank >= len(b.dead) {
+		return
+	}
+	if b.dead[rank].Swap(false) {
+		b.nDead.Add(-1)
+		b.m.TransportRevive()
+	}
+}
+
+// IsDead reports whether rank is currently declared dead (Board).
+func (b *wireBoard) IsDead(rank int) bool {
+	return rank >= 0 && rank < len(b.dead) && b.dead[rank].Load()
+}
+
+// AnyDead reports whether any rank is currently declared dead (Board).
+func (b *wireBoard) AnyDead() bool { return b.nDead.Load() > 0 }
+
+// Reset opens the next recheck-and-resume pass: the decision latch
+// clears and the epoch advances to one past the pass that just decided
+// — latchEpoch+1, floored by one past the previous Reset for passes
+// that ended without a local latch. Dead marks survive (Board). Flags
+// are NOT cleared: a slot whose epoch is now behind reads as down by
+// itself, while a flag that already arrived for the new pass (from a
+// peer that reset first) stays visible — wiping it would mean waiting
+// out a re-announcement interval for information the board already
+// had.
+func (b *wireBoard) Reset() {
+	next := b.latchEpoch.Load() + 1
+	if floor := b.lastReset.Load() + 1; floor > next {
+		next = floor
+	}
+	for {
+		cur := b.epoch.Load()
+		if cur >= next || b.epoch.CompareAndSwap(cur, next) {
+			break
+		}
+	}
+	b.lastReset.Store(b.epoch.Load())
+	b.done.Store(false)
+}

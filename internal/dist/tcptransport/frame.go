@@ -1,0 +1,112 @@
+// Package tcptransport is the multi-process backend of internal/dist:
+// the same Comm surface the in-process world provides — mailboxes,
+// RMA-style windows, collectives, the termination/liveness board —
+// carried over length-prefixed frames on real TCP sockets, so the
+// asynchronous Jacobi rank loop, its ghost exchanges, and its
+// termination protocols run unchanged across OS processes.
+//
+// The robustness layer is the point: dials and reconnects retry with
+// bounded exponential backoff (resilience.RetryPolicy), every blocking
+// wire operation carries a deadline and returns a typed error,
+// heartbeats feed the dead-rank board so termination degrades to the
+// surviving block exactly as it does for simulated crashes, and a
+// deterministic wire-fault mode drops/duplicates/reorders/delays real
+// data frames from the same seeded PCG streams as internal/fault.
+package tcptransport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Frame types. Control frames (hello, flag, dead, heartbeat) and
+// protocol-tagged data frames are never wire-faulted; only user-tag
+// data and put frames draw fates.
+const (
+	frHello     = 1 // handshake: src introduces itself on a new conn
+	frData      = 2 // point-to-point message: a = tag
+	frPut       = 3 // RMA put: a = window id, b = element offset
+	frFlag      = 4 // termination flag: a = 0/1 (src's convergence), b = epoch
+	frDead      = 5 // liveness: a = rank declared fail-stopped
+	frHeartbeat = 6 // keepalive; payload empty
+)
+
+// frameMagic guards against cross-protocol connections; "AJF1" =
+// asynchronous Jacobi framing, version 1.
+var frameMagic = [4]byte{'A', 'J', 'F', '1'}
+
+// headerLen is the fixed frame header size:
+//
+//	magic[4] type[1] flags[1] reserved[2] src[4] a[4] b[4] count[4]
+//
+// followed by count little-endian float64 payload words.
+const headerLen = 24
+
+// maxFrameWords caps a frame's payload so a corrupt length prefix
+// cannot make the reader allocate gigabytes.
+const maxFrameWords = 1 << 22 // 32 MiB of float64s
+
+// frame is the in-memory form of one wire frame.
+type frame struct {
+	typ     byte
+	src     int32
+	a, b    int32
+	payload []float64
+}
+
+// appendFrame serializes f onto buf and returns the extended slice
+// (writer-side, reusing the writer's scratch buffer).
+func appendFrame(buf []byte, f *frame) []byte {
+	var hdr [headerLen]byte
+	copy(hdr[0:4], frameMagic[:])
+	hdr[4] = f.typ
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(f.src))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(f.a))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(f.b))
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(f.payload)))
+	buf = append(buf, hdr[:]...)
+	for _, v := range f.payload {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+		buf = append(buf, w[:]...)
+	}
+	return buf
+}
+
+// readFrame reads one frame from r. The payload slice is freshly
+// allocated (it is handed to mailboxes and windows, which own it).
+func readFrame(r io.Reader, hdr []byte) (*frame, error) {
+	if _, err := io.ReadFull(r, hdr[:headerLen]); err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[0:4]) != frameMagic {
+		return nil, fmt.Errorf("tcptransport: bad frame magic %q", hdr[0:4])
+	}
+	f := &frame{
+		typ: hdr[4],
+		src: int32(binary.LittleEndian.Uint32(hdr[8:12])),
+		a:   int32(binary.LittleEndian.Uint32(hdr[12:16])),
+		b:   int32(binary.LittleEndian.Uint32(hdr[16:20])),
+	}
+	count := binary.LittleEndian.Uint32(hdr[20:24])
+	if count > maxFrameWords {
+		return nil, fmt.Errorf("tcptransport: frame payload %d words exceeds cap", count)
+	}
+	if count == 0 {
+		return f, nil
+	}
+	raw := make([]byte, 8*count)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, err
+	}
+	f.payload = make([]float64, count)
+	for i := range f.payload {
+		f.payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return f, nil
+}
+
+// wireLen is the encoded size of f in bytes.
+func (f *frame) wireLen() int { return headerLen + 8*len(f.payload) }

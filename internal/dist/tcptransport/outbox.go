@@ -1,0 +1,157 @@
+package tcptransport
+
+import "sync"
+
+// outbox is one peer's outbound frame queue, in three lanes:
+//
+//   - control: never dropped (handshakes, flags, dead marks,
+//     collective and gather/decide traffic). Heartbeats coalesce — at
+//     most one is ever queued.
+//   - puts: newest-wins slots keyed by (window, offset). A put
+//     superseded before it reaches the wire is simply replaced — the
+//     receiver would have overwritten it anyway, so the wire carries
+//     the freshest value at whatever rate it can drain instead of a
+//     backlog of stale ones. This is what keeps a fast rank from
+//     flooding the link (and the CPU) with puts a slow peer will
+//     never read.
+//   - data: bounded evict-oldest FIFO for user-tag messages (eager
+//     ghost exchanges) — newest-wins traffic by construction, so
+//     shedding the oldest under backpressure costs nothing the
+//     receiver would have kept.
+type outbox struct {
+	mu        sync.Mutex
+	control   []*frame
+	puts      map[uint64]*frame
+	putOrder  []uint64
+	data      []*frame
+	dataCap   int
+	hbPending bool
+	avail     chan struct{}
+	onEvict   func()
+}
+
+func newOutbox(dataCap int, onEvict func()) *outbox {
+	return &outbox{
+		dataCap: dataCap,
+		puts:    make(map[uint64]*frame),
+		avail:   make(chan struct{}, 1),
+		onEvict: onEvict,
+	}
+}
+
+func putKey(f *frame) uint64 {
+	return uint64(uint32(f.a))<<32 | uint64(uint32(f.b))
+}
+
+func (o *outbox) signal() {
+	select {
+	case o.avail <- struct{}{}:
+	default:
+	}
+}
+
+// push enqueues f on the lane its type selects.
+func (o *outbox) push(f *frame, control bool) {
+	o.mu.Lock()
+	switch {
+	case control:
+		o.control = append(o.control, f)
+	case f.typ == frPut:
+		k := putKey(f)
+		if _, pending := o.puts[k]; pending {
+			// Supersede in place: the slot is already queued, so the
+			// writer will pick up the fresh frame when it gets there.
+			o.puts[k] = f
+			o.mu.Unlock()
+			return
+		}
+		o.puts[k] = f
+		o.putOrder = append(o.putOrder, k)
+	default:
+		evicted := false
+		if o.dataCap > 0 && len(o.data) >= o.dataCap {
+			o.data = o.data[1:]
+			evicted = true
+		}
+		o.data = append(o.data, f)
+		if evicted && o.onEvict != nil {
+			o.mu.Unlock()
+			o.onEvict()
+			o.signal()
+			return
+		}
+	}
+	o.mu.Unlock()
+	o.signal()
+}
+
+// pushHeartbeat enqueues a keepalive unless one is already pending.
+func (o *outbox) pushHeartbeat(f *frame) {
+	o.mu.Lock()
+	if o.hbPending {
+		o.mu.Unlock()
+		return
+	}
+	o.hbPending = true
+	o.control = append(o.control, f)
+	o.mu.Unlock()
+	o.signal()
+}
+
+// next pops the highest-priority queued frame; caller holds o.mu.
+func (o *outbox) next() *frame {
+	if len(o.control) > 0 {
+		f := o.control[0]
+		o.control = o.control[1:]
+		if f.typ == frHeartbeat {
+			o.hbPending = false
+		}
+		return f
+	}
+	if len(o.putOrder) > 0 {
+		k := o.putOrder[0]
+		o.putOrder = o.putOrder[1:]
+		f := o.puts[k]
+		delete(o.puts, k)
+		return f
+	}
+	if len(o.data) > 0 {
+		f := o.data[0]
+		o.data = o.data[1:]
+		return f
+	}
+	return nil
+}
+
+// pop blocks for the next frame — control lane first, then put slots,
+// then data — until the closed channel fires (ok=false).
+func (o *outbox) pop(closed <-chan struct{}) (*frame, bool) {
+	for {
+		o.mu.Lock()
+		f := o.next()
+		o.mu.Unlock()
+		if f != nil {
+			return f, true
+		}
+		select {
+		case <-o.avail:
+		case <-closed:
+			return nil, false
+		}
+	}
+}
+
+// tryPop is pop without the wait, for batching writers.
+func (o *outbox) tryPop() (*frame, bool) {
+	o.mu.Lock()
+	f := o.next()
+	o.mu.Unlock()
+	return f, f != nil
+}
+
+// len reports queued frames across all lanes.
+func (o *outbox) len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.control) + len(o.putOrder) + len(o.data)
+}

@@ -1,0 +1,845 @@
+package tcptransport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/shm"
+)
+
+// Internal tags reserved by the collectives; they mirror the
+// in-process backend's so the gather/broadcast streams of the two
+// backends behave identically. Negative tags are control-plane: never
+// wire-faulted, never evicted.
+const (
+	tagReduce = -1
+	tagBcast  = -2
+)
+
+// Defaults for the liveness and retry machinery.
+const (
+	DefaultHeartbeatEvery = 100 * time.Millisecond
+	DefaultPeerTimeout    = 3 * time.Second
+	// DefaultOutboxCap bounds each peer's queued data frames
+	// (evict-oldest; control frames are never evicted).
+	DefaultOutboxCap = 1024
+	// dialTimeout bounds one TCP connect attempt.
+	dialTimeout = 2 * time.Second
+	// redialEvery paces the background redial loop that keeps probing a
+	// dead peer's address until it restarts or the transport closes.
+	redialEvery = time.Second
+	// helloTimeout bounds how long an accepted connection may stall
+	// before its handshake frame arrives.
+	helloTimeout = 5 * time.Second
+)
+
+// DefaultDialRetry is the bounded-exponential-backoff budget for
+// connection establishment: more patient than the solver's
+// retransmission policy because peer processes routinely start seconds
+// apart.
+func DefaultDialRetry() resilience.RetryPolicy {
+	return resilience.RetryPolicy{MaxAttempts: 40, Base: 10 * time.Millisecond, Max: 500 * time.Millisecond}
+}
+
+// Config describes one rank of a TCP world.
+type Config struct {
+	// Rank is this process's id in [0, len(Addrs)).
+	Rank int
+	// Addrs lists every rank's listen address in rank order; Addrs[Rank]
+	// is the local listen address.
+	Addrs []string
+	// Metrics receives transport counters (bytes, frames, retries,
+	// reconnects, timeouts, evictions) plus per-rank send/recv counts;
+	// nil disables instrumentation.
+	Metrics *obs.SolverMetrics
+	// DialRetry bounds connection-establishment retries; nil selects
+	// DefaultDialRetry. After the budget exhausts the peer is marked
+	// dead and a slow background redial keeps probing so a restarted
+	// peer can revive.
+	DialRetry *resilience.RetryPolicy
+	// OpTimeout bounds blocking wire operations (Recv, collectives)
+	// when the caller passes none; <= 0 selects dist.DefaultOpTimeout.
+	OpTimeout time.Duration
+	// HeartbeatEvery paces keepalive frames; <= 0 selects the default.
+	HeartbeatEvery time.Duration
+	// PeerTimeout is the heartbeat silence after which a peer is
+	// declared dead; <= 0 selects the default.
+	PeerTimeout time.Duration
+	// WireFault, when non-nil and enabled, faults real data/put frames
+	// on the way out: drops, duplicates, reorders, and heavy-tailed
+	// delays drawn deterministically from per-link PCG streams
+	// (fault.Plan.ForLink), so a seeded run loses the same frames every
+	// time. Control frames (hello, flags, liveness, heartbeats,
+	// collective traffic) are never faulted.
+	WireFault *fault.Plan
+	// OutboxCap bounds each peer's data-frame send queue; 0 selects
+	// DefaultOutboxCap.
+	OutboxCap int
+}
+
+// Transport is one rank's TCP-backed communication world. It
+// implements dist.NetComm: the solver's Comm surface plus the
+// wire-replicated termination/liveness board and a lifecycle.
+type Transport struct {
+	cfg    Config
+	rank   int
+	size   int
+	ln     net.Listener
+	board  *wireBoard
+	peers  []*peer // index by rank; peers[rank] is nil
+	boxes  sync.Map
+	winMu  sync.Mutex
+	wins   []*window
+	closed chan struct{}
+	once   sync.Once
+	m      *obs.SolverMetrics
+	rm     *obs.RankMetrics
+	wg     sync.WaitGroup
+}
+
+type boxKey struct{ src, tag int }
+
+// peer is the send/liveness state for one remote rank. The connection
+// convention is dialer-owns: the higher rank dials the lower, owns
+// reconnection, and the acceptor simply installs whatever connection
+// last said hello.
+type peer struct {
+	rank   int
+	addr   string
+	dialer bool
+
+	mu     sync.Mutex
+	conn   net.Conn
+	connCh chan struct{} // signaled when a connection is installed
+
+	out      *outbox
+	lastSeen atomic.Int64 // UnixNano of the last frame read
+	everConn atomic.Bool
+
+	inj  *fault.Injector // wire faults for the self→peer link
+	held *frame          // reorder holdback
+}
+
+func (p *peer) getConn() net.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn
+}
+
+// setConn installs c as the peer's live connection, closing any
+// predecessor (a reconnect replaces, never races).
+func (p *peer) setConn(c net.Conn) {
+	p.mu.Lock()
+	old := p.conn
+	p.conn = c
+	p.mu.Unlock()
+	if old != nil && old != c {
+		old.Close()
+	}
+	select {
+	case p.connCh <- struct{}{}:
+	default:
+	}
+}
+
+// clearConn drops c if it is still the live connection; a stale clear
+// (reconnect already installed a fresh conn) is a no-op.
+func (p *peer) clearConn(c net.Conn) {
+	p.mu.Lock()
+	if p.conn == c {
+		p.conn = nil
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+// Dial starts rank cfg.Rank of the world described by cfg.Addrs:
+// binds the local listener, begins dialing lower-ranked peers (with
+// bounded-backoff retries), and accepts connections from higher ranks.
+// It returns immediately; WaitReady blocks until the full mesh is up.
+func Dial(cfg Config) (*Transport, error) {
+	size := len(cfg.Addrs)
+	if size == 0 || cfg.Rank < 0 || cfg.Rank >= size {
+		return nil, fmt.Errorf("tcptransport: rank %d out of range for %d addrs", cfg.Rank, size)
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = dist.DefaultOpTimeout
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = DefaultPeerTimeout
+	}
+	if cfg.OutboxCap <= 0 {
+		cfg.OutboxCap = DefaultOutboxCap
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: listen %s: %w", cfg.Addrs[cfg.Rank], err)
+	}
+	t := &Transport{
+		cfg:    cfg,
+		rank:   cfg.Rank,
+		size:   size,
+		ln:     ln,
+		closed: make(chan struct{}),
+		m:      cfg.Metrics,
+		rm:     cfg.Metrics.Rank(cfg.Rank),
+	}
+	t.board = newWireBoard(cfg.Rank, size, cfg.Metrics, t.broadcastControl)
+	t.peers = make([]*peer, size)
+	now := time.Now().UnixNano()
+	for q := 0; q < size; q++ {
+		if q == cfg.Rank {
+			continue
+		}
+		p := &peer{
+			rank:   q,
+			addr:   cfg.Addrs[q],
+			dialer: q < cfg.Rank, // higher rank dials lower
+			connCh: make(chan struct{}, 1),
+			out:    newOutbox(cfg.OutboxCap, t.evicted),
+			inj:    cfg.WireFault.ForLink(cfg.Rank, q),
+		}
+		p.lastSeen.Store(now)
+		t.peers[q] = p
+		t.wg.Add(1)
+		go t.writerLoop(p)
+	}
+	t.wg.Add(3)
+	go t.acceptLoop()
+	go t.heartbeatLoop()
+	go t.flagLoop()
+	return t, nil
+}
+
+func (t *Transport) evicted() { t.m.TransportEvict() }
+
+// WaitReady blocks until every peer has a live connection, or the
+// timeout expires (dist.ErrTimeout).
+func (t *Transport) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ready := true
+		for _, p := range t.peers {
+			if p != nil && p.getConn() == nil {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return nil
+		}
+		select {
+		case <-t.closed:
+			return dist.ErrClosed
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("tcptransport: mesh not ready: %w", dist.ErrTimeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// RankID implements dist.Comm.
+func (t *Transport) RankID() int { return t.rank }
+
+// WorldSize implements dist.Comm.
+func (t *Transport) WorldSize() int { return t.size }
+
+// Board returns the wire-replicated termination/liveness board
+// (dist.NetComm).
+func (t *Transport) Board() dist.Board { return t.board }
+
+// Addr returns the listener's actual address (useful when the config
+// asked for port 0).
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+func (t *Transport) box(src, tag int) *dist.Mailbox {
+	key := boxKey{src, tag}
+	if b, ok := t.boxes.Load(key); ok {
+		return b.(*dist.Mailbox)
+	}
+	capacity := 0
+	if tag >= 0 {
+		capacity = dist.DefaultMailboxCap
+	}
+	b, _ := t.boxes.LoadOrStore(key, dist.NewMailbox(capacity, t.evicted))
+	return b.(*dist.Mailbox)
+}
+
+// Isend posts data to rank `to` under tag and returns immediately; the
+// slice is copied (dist.Comm). User-tag frames ride the bounded data
+// queue and may be evicted or wire-faulted; negative-tag frames are
+// control-plane and are neither.
+func (t *Transport) Isend(to, tag int, data []float64) {
+	if to < 0 || to >= t.size {
+		panic(fmt.Sprintf("tcptransport: Isend to invalid rank %d", to))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	t.rm.IncSent()
+	if to == t.rank {
+		t.box(t.rank, tag).Push(cp)
+		return
+	}
+	f := &frame{typ: frData, src: int32(t.rank), a: int32(tag), payload: cp}
+	t.peers[to].out.push(f, tag < 0)
+}
+
+// Recv blocks until a message from `from` under tag arrives
+// (dist.Comm). Over a real wire "blocks" is bounded by the configured
+// OpTimeout, after which Recv panics: the synchronous lockstep solver
+// it serves cannot degrade anyway (a lost blocking message is a
+// deadlock, not a slow path), so the panic converts a silent hang into
+// a diagnosable crash. Fault-tolerant paths use TryRecv or the
+// *Timeout collectives instead.
+func (t *Transport) Recv(from, tag int) []float64 {
+	data, err := t.RecvTimeout(from, tag, t.cfg.OpTimeout)
+	if err != nil {
+		panic(fmt.Sprintf("tcptransport: Recv(from=%d, tag=%d): %v", from, tag, err))
+	}
+	return data
+}
+
+// RecvTimeout is Recv with a deadline and a typed error.
+func (t *Transport) RecvTimeout(from, tag int, d time.Duration) ([]float64, error) {
+	if from < 0 || from >= t.size {
+		panic(fmt.Sprintf("tcptransport: Recv from invalid rank %d", from))
+	}
+	data, err := t.box(from, tag).PopTimeout(d)
+	if err != nil {
+		t.m.TransportTimeout()
+		return nil, err
+	}
+	t.rm.IncReceived()
+	return data, nil
+}
+
+// TryRecv drains the (from, tag) mailbox and returns the newest
+// pending message (dist.Comm).
+func (t *Transport) TryRecv(from, tag int) ([]float64, bool) {
+	box := t.box(from, tag)
+	var last []float64
+	ok := false
+	for {
+		data, got := box.TryPop()
+		if !got {
+			break
+		}
+		t.rm.IncReceived()
+		last, ok = data, true
+	}
+	return last, ok
+}
+
+// Allreduce sums v across all ranks (dist.Comm): gather to rank 0 plus
+// broadcast, like the in-process backend. Blocking; panics on a wire
+// timeout for the same reason Recv does.
+func (t *Transport) Allreduce(v float64) float64 {
+	sum, err := t.AllreduceTimeout(v, t.cfg.OpTimeout, nil)
+	if err != nil {
+		panic(fmt.Sprintf("tcptransport: Allreduce: %v", err))
+	}
+	return sum
+}
+
+// AllreduceTimeout is Allreduce with a deadline and a liveness view
+// (dist.Comm): dead ranks' contributions are skipped, and the call
+// returns dist.ErrTimeout/dist.ErrPeerDead instead of hanging on a
+// crashed peer.
+func (t *Transport) AllreduceTimeout(v float64, timeout time.Duration, dead func(int) bool) (float64, error) {
+	if timeout <= 0 {
+		timeout = t.cfg.OpTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	if t.rank == 0 {
+		sum := v
+		for src := 1; src < t.size; src++ {
+			if dead != nil && dead(src) {
+				continue
+			}
+			m, err := t.RecvTimeout(src, tagReduce, time.Until(deadline))
+			if err != nil {
+				if dead != nil && dead(src) {
+					continue
+				}
+				return 0, fmt.Errorf("allreduce gather from rank %d: %w", src, err)
+			}
+			sum += m[0]
+		}
+		for dst := 1; dst < t.size; dst++ {
+			if dead != nil && dead(dst) {
+				continue
+			}
+			t.Isend(dst, tagBcast, []float64{sum})
+		}
+		return sum, nil
+	}
+	if dead != nil && dead(0) {
+		return 0, fmt.Errorf("allreduce root: %w", dist.ErrPeerDead)
+	}
+	t.Isend(0, tagReduce, []float64{v})
+	m, err := t.RecvTimeout(0, tagBcast, time.Until(deadline))
+	if err != nil {
+		if dead != nil && dead(0) {
+			return 0, fmt.Errorf("allreduce root: %w", dist.ErrPeerDead)
+		}
+		return 0, fmt.Errorf("allreduce broadcast: %w", err)
+	}
+	return m[0], nil
+}
+
+// Barrier synchronizes all ranks (dist.Comm).
+func (t *Transport) Barrier() { t.Allreduce(0) }
+
+// BarrierTimeout is Barrier with deadline/liveness semantics
+// (dist.Comm).
+func (t *Transport) BarrierTimeout(timeout time.Duration, dead func(int) bool) error {
+	_, err := t.AllreduceTimeout(0, timeout, dead)
+	return err
+}
+
+// window is one rank's local slab of a distributed RMA window.
+type window struct {
+	t   *Transport
+	id  int
+	buf shm.AtomicVector
+}
+
+// AllocWindow creates an n-slot window (dist.Comm). Unlike the
+// in-process backend this is NOT collective: window ids are assigned
+// by local allocation order, which matches across ranks because every
+// rank runs the same solver code (the same discipline MPI_Win_allocate
+// demands, minus the barrier). A Put that arrives before the target
+// allocated the window is dropped — asynchronous Jacobi tolerates a
+// lost first put exactly as it tolerates a dropped frame, and the next
+// put heals it.
+func (t *Transport) AllocWindow(n int) dist.Window {
+	t.winMu.Lock()
+	defer t.winMu.Unlock()
+	w := &window{t: t, id: len(t.wins), buf: shm.NewAtomicVector(n)}
+	t.wins = append(t.wins, w)
+	return w
+}
+
+func (t *Transport) winAt(id int) *window {
+	t.winMu.Lock()
+	defer t.winMu.Unlock()
+	if id < 0 || id >= len(t.wins) {
+		return nil
+	}
+	return t.wins[id]
+}
+
+// Put writes data into target's window at offset (dist.Window): local
+// atomic stores for the own rank, a put frame otherwise. Never blocks;
+// the frame may be evicted, lost to wire faults, or dropped by a
+// not-yet-allocated target — all tolerated by the asynchronous solver.
+func (w *window) Put(target, offset int, data []float64) {
+	t := w.t
+	if target == t.rank {
+		for i, v := range data {
+			w.buf.Store(offset+i, v)
+		}
+		return
+	}
+	if target < 0 || target >= t.size {
+		panic(fmt.Sprintf("tcptransport: Put to invalid rank %d", target))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	t.rm.IncPut()
+	f := &frame{typ: frPut, src: int32(t.rank), a: int32(w.id), b: int32(offset), payload: cp}
+	t.peers[target].out.push(f, false)
+}
+
+// Local returns this rank's own window buffer (dist.Window).
+func (w *window) Local() shm.AtomicVector { return w.buf }
+
+// broadcastControl enqueues a control frame to every peer (the board's
+// flag/dead gossip).
+func (t *Transport) broadcastControl(f *frame) {
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			p.out.push(f, true)
+		}
+	}
+}
+
+// Close tears the transport down: the listener stops, writers and
+// readers unwind, connections close (dist.NetComm). Outboxes get a
+// brief drain so final protocol frames (a stop decision, a dead mark)
+// reach the wire.
+func (t *Transport) Close() error {
+	t.once.Do(func() {
+		// Grace for queued control frames: writers drain until empty or
+		// the grace expires.
+		deadline := time.Now().Add(250 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			pending := false
+			for _, p := range t.peers {
+				if p != nil && p.out.len() > 0 && p.getConn() != nil {
+					pending = true
+					break
+				}
+			}
+			if !pending {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		close(t.closed)
+		t.ln.Close()
+		for _, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			if c := p.getConn(); c != nil {
+				c.Close()
+			}
+		}
+	})
+	return nil
+}
+
+// acceptLoop installs connections from higher-ranked dialers: each must
+// introduce itself with a hello frame before it is trusted with a peer
+// slot.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+				return
+			default:
+			}
+			// Transient accept failure; the listener is still up.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		go t.handleAccept(conn)
+	}
+}
+
+func (t *Transport) handleAccept(conn net.Conn) {
+	hdr := make([]byte, headerLen)
+	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	f, err := readFrame(conn, hdr)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil || f.typ != frHello {
+		conn.Close()
+		return
+	}
+	src := int(f.src)
+	if src < 0 || src >= t.size || src == t.rank || t.peers[src] == nil {
+		conn.Close()
+		return
+	}
+	p := t.peers[src]
+	wasConnected := p.everConn.Swap(true)
+	p.lastSeen.Store(time.Now().UnixNano())
+	p.setConn(conn)
+	// A hello is proof of life: revive a dead mark (a restarted peer
+	// re-entering the solve) and re-announce our own flag so the
+	// newcomer's board converges without waiting for a transition.
+	if t.board.IsDead(src) {
+		t.board.Revive(src)
+	}
+	if wasConnected {
+		t.m.TransportReconnect()
+	}
+	t.board.announce()
+	t.wg.Add(1)
+	go t.readerLoop(p, conn)
+}
+
+// readerLoop demultiplexes inbound frames from one connection until it
+// errors: data to mailboxes, puts to windows, flags/deads to the
+// board, heartbeats to the liveness clock.
+func (t *Transport) readerLoop(p *peer, conn net.Conn) {
+	defer t.wg.Done()
+	hdr := make([]byte, headerLen)
+	for {
+		f, err := readFrame(conn, hdr)
+		if err != nil {
+			p.clearConn(conn)
+			return
+		}
+		p.lastSeen.Store(time.Now().UnixNano())
+		t.m.TransportRx(f.wireLen())
+		switch f.typ {
+		case frData:
+			t.box(int(f.src), int(f.a)).Push(f.payload)
+		case frPut:
+			if w := t.winAt(int(f.a)); w != nil && int(f.b)+len(f.payload) <= len(w.buf) {
+				for i, v := range f.payload {
+					w.buf.Store(int(f.b)+i, v)
+				}
+			} else {
+				// Put raced the target's window allocation (or was
+				// corrupted): dropped, like any lost frame.
+				t.m.TransportEvict()
+			}
+		case frFlag:
+			t.board.setRemote(int(f.src), f.a == 1, int64(f.b))
+		case frDead:
+			// A dead mark about ourselves is necessarily stale — we are
+			// alive to read it. It happens after a restart: the gossip
+			// frame sat in a peer's control outbox while we were down and
+			// flushes on reconnect. Honoring it would re-broadcast our
+			// own death and undo the hello-driven revive.
+			if int(f.a) != t.rank {
+				t.board.MarkDead(int(f.a))
+			}
+		case frHeartbeat, frHello:
+			// Liveness already refreshed above.
+		}
+	}
+}
+
+// writerBatchBytes caps how much a writer serializes before forcing a
+// socket write. Batching matters: an asynchronous rank can refresh its
+// put slots hundreds of thousands of times per second, and one write
+// syscall per frame would burn the CPU the solver needs.
+const writerBatchBytes = 32 << 10
+
+// writerLoop owns one peer's outbound side: it pops frames, applies
+// wire faults to data-class traffic, serializes batches into single
+// socket writes, and (for dialer-owned links) establishes and
+// re-establishes the connection with bounded backoff.
+//
+// A batch that fails to write is lost whole — the wire is lossy by
+// design; data traffic tolerates it and control traffic heals by
+// re-announcement on reconnect.
+func (t *Transport) writerLoop(p *peer) {
+	defer t.wg.Done()
+	var buf []byte
+	var lens []int
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		if conn := t.connFor(p); conn != nil {
+			if _, err := conn.Write(buf); err != nil {
+				p.clearConn(conn)
+			} else {
+				for _, n := range lens {
+					t.m.TransportTx(n)
+				}
+			}
+		}
+		buf, lens = buf[:0], lens[:0]
+	}
+	add := func(f *frame) {
+		pre := len(buf)
+		buf = appendFrame(buf, f)
+		lens = append(lens, len(buf)-pre)
+	}
+	for {
+		f, ok := p.out.pop(t.closed)
+		if !ok {
+			flush()
+			return
+		}
+		for {
+			// Wire faults apply to user-tag data and put frames only.
+			faultable := p.inj != nil &&
+				(f.typ == frPut || (f.typ == frData && f.a >= 0))
+			if faultable {
+				if d := p.inj.IterDelay(); d > 0 {
+					// A delayed frame delays the frames behind it too —
+					// that is what an in-order byte stream does.
+					flush()
+					t.m.FaultDelay()
+					time.Sleep(d)
+				}
+				switch p.inj.SendFate(p.rank) {
+				case fault.Drop:
+					t.m.FaultDrop()
+				case fault.Dup:
+					t.m.FaultDup()
+					add(f)
+					add(f)
+					if p.held != nil {
+						add(p.held)
+						p.held = nil
+					}
+				case fault.Reorder:
+					// Hold the frame back until the next data frame on
+					// this link overtakes it.
+					t.m.FaultReorder()
+					if p.held != nil {
+						add(p.held)
+					}
+					p.held = f
+				default:
+					add(f)
+					if p.held != nil {
+						add(p.held)
+						p.held = nil
+					}
+				}
+			} else {
+				add(f)
+			}
+			if len(buf) >= writerBatchBytes {
+				flush()
+			}
+			if f, ok = p.out.tryPop(); !ok {
+				break
+			}
+		}
+		flush()
+	}
+}
+
+// connFor returns the peer's live connection, dialing (with bounded
+// backoff, then slow background redial) when this side owns the link.
+// Returns nil only when the transport is closed or the peer is
+// unreachable right now.
+func (t *Transport) connFor(p *peer) net.Conn {
+	if c := p.getConn(); c != nil {
+		return c
+	}
+	if !p.dialer {
+		// Acceptor side: wait briefly for the peer to redial us; frames
+		// queued meanwhile stay in the outbox.
+		select {
+		case <-p.connCh:
+			return p.getConn()
+		case <-t.closed:
+			return nil
+		case <-time.After(50 * time.Millisecond):
+			return nil
+		}
+	}
+	return t.dialPeer(p)
+}
+
+// dialPeer establishes the connection to a lower-ranked peer: bounded
+// exponential backoff first, then — after marking the peer dead — a
+// slow background probe that keeps the door open for a restarted
+// process to revive.
+func (t *Transport) dialPeer(p *peer) net.Conn {
+	retry := DefaultDialRetry()
+	if t.cfg.DialRetry != nil {
+		retry = *t.cfg.DialRetry
+	}
+	attempt := 0
+	for {
+		select {
+		case <-t.closed:
+			return nil
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", p.addr, dialTimeout)
+		if err == nil {
+			// Introduce ourselves before the conn is trusted with
+			// traffic; the hello is what keys the acceptor's peer slot.
+			hello := appendFrame(nil, &frame{typ: frHello, src: int32(t.rank)})
+			if _, werr := conn.Write(hello); werr != nil {
+				conn.Close()
+			} else {
+				wasConnected := p.everConn.Swap(true)
+				p.lastSeen.Store(time.Now().UnixNano())
+				p.setConn(conn)
+				if t.board.IsDead(p.rank) {
+					t.board.Revive(p.rank)
+				}
+				if wasConnected {
+					t.m.TransportReconnect()
+				}
+				t.board.announce()
+				t.wg.Add(1)
+				go t.readerLoop(p, conn)
+				return conn
+			}
+		}
+		if retry.Exhausted(attempt) {
+			// Retry budget spent: declare the peer dead so the solver
+			// degrades, then keep probing slowly — a restarted peer
+			// revives on the next successful dial.
+			t.board.MarkDead(p.rank)
+			select {
+			case <-t.closed:
+				return nil
+			case <-time.After(redialEvery):
+			}
+			continue
+		}
+		t.m.TransportRetry()
+		select {
+		case <-t.closed:
+			return nil
+		case <-time.After(retry.Backoff(attempt)):
+		}
+		attempt++
+	}
+}
+
+// heartbeatLoop paces keepalives and turns heartbeat silence into dead
+// marks. Revival is NOT heartbeat-driven: a dead mark clears only on a
+// fresh hello (or successful dial), so a crash-injected rank whose
+// transport still breathes stays dead until it deliberately rejoins.
+func (t *Transport) heartbeatLoop() {
+	defer t.wg.Done()
+	ticker := time.NewTicker(t.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	hb := &frame{typ: frHeartbeat, src: int32(t.rank)}
+	for {
+		select {
+		case <-t.closed:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		for _, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			p.out.pushHeartbeat(hb)
+			if now-p.lastSeen.Load() > int64(t.cfg.PeerTimeout) && !t.board.IsDead(p.rank) {
+				t.board.MarkDead(p.rank)
+			}
+		}
+	}
+}
+
+// flagLoop re-announces this rank's termination flag every
+// flagRebroadcast, for as long as the transport lives. Driving this
+// from the transport rather than from Board.Set keeps the gossip
+// flowing while the rank is outside its solve loop — a root waiting in
+// the gather/decide exchange would otherwise go silent, and a peer that
+// reset its board just after the last transition frame landed would
+// wait out its whole network deadline for a flag that never comes
+// again.
+func (t *Transport) flagLoop() {
+	defer t.wg.Done()
+	ticker := time.NewTicker(flagRebroadcast)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.closed:
+			return
+		case <-ticker.C:
+			t.board.announce()
+		}
+	}
+}

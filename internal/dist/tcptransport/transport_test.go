@@ -1,0 +1,356 @@
+package tcptransport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+func testAddrs(t testing.TB, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+func testMetrics() *obs.SolverMetrics { return obs.NewSolverMetrics(obs.NewRegistry()) }
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []frame{
+		{typ: frHello, src: 3},
+		{typ: frData, src: 1, a: -3, payload: []float64{1.5}},
+		{typ: frData, src: 0, a: 7, payload: []float64{0.25, -2, 1e300}},
+		{typ: frPut, src: 2, a: 0, b: 128, payload: make([]float64, 1000)},
+		{typ: frFlag, src: 1, a: 1},
+		{typ: frDead, src: 0, a: 2},
+		{typ: frHeartbeat, src: 3},
+	}
+	var buf bytes.Buffer
+	for i := range cases {
+		buf.Write(appendFrame(nil, &cases[i]))
+	}
+	hdr := make([]byte, headerLen)
+	for i := range cases {
+		got, err := readFrame(&buf, hdr)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		want := &cases[i]
+		if got.typ != want.typ || got.src != want.src || got.a != want.a || got.b != want.b {
+			t.Fatalf("frame %d header: got %+v want %+v", i, got, want)
+		}
+		if len(got.payload) != len(want.payload) {
+			t.Fatalf("frame %d payload len: got %d want %d", i, len(got.payload), len(want.payload))
+		}
+		for j := range got.payload {
+			if got.payload[j] != want.payload[j] {
+				t.Fatalf("frame %d payload[%d]: got %v want %v", i, j, got.payload[j], want.payload[j])
+			}
+		}
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	hdr := make([]byte, headerLen)
+	if _, err := readFrame(bytes.NewReader([]byte("not a frame, definitely")), hdr); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Oversized count must be rejected before any giant allocation.
+	f := frame{typ: frData, src: 0, a: 0, payload: []float64{1}}
+	raw := appendFrame(nil, &f)
+	raw[20], raw[21], raw[22], raw[23] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := readFrame(bytes.NewReader(raw), hdr); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestDialRetryLateListener starts the dialing (higher) rank before the
+// listening (lower) rank exists: the bounded-backoff retry loop must
+// absorb the refused connections and complete the mesh once the peer
+// appears, counting the failed attempts on the transport retry metric.
+func TestDialRetryLateListener(t *testing.T) {
+	addrs := testAddrs(t, 2)
+	m1 := testMetrics()
+
+	t1, err := Dial(Config{Rank: 1, Addrs: addrs, Metrics: m1})
+	if err != nil {
+		t.Fatalf("rank 1 dial: %v", err)
+	}
+	defer t1.Close()
+
+	time.Sleep(150 * time.Millisecond) // let a few dial attempts fail
+
+	t0, err := Dial(Config{Rank: 0, Addrs: addrs, Metrics: testMetrics()})
+	if err != nil {
+		t.Fatalf("rank 0 dial: %v", err)
+	}
+	defer t0.Close()
+
+	if err := t1.WaitReady(10 * time.Second); err != nil {
+		t.Fatalf("rank 1 never completed the mesh: %v", err)
+	}
+	if err := t0.WaitReady(10 * time.Second); err != nil {
+		t.Fatalf("rank 0 never completed the mesh: %v", err)
+	}
+	if got := m1.TransportRetryCount(); got == 0 {
+		t.Error("no dial retries recorded despite the late listener")
+	}
+
+	// The mesh works end to end after the retries.
+	t1.Isend(0, 5, []float64{42})
+	got, err := t0.RecvTimeout(1, 5, 5*time.Second)
+	if err != nil || got[0] != 42 {
+		t.Fatalf("post-retry delivery: %v, %v", got, err)
+	}
+}
+
+// TestHeartbeatDeathAndHelloRevive kills a peer process (modeled by
+// closing its transport), waits for heartbeat silence to cross
+// PeerTimeout so the survivor marks it dead, then restarts it on the
+// same address and checks the hello handshake revives it on the board.
+func TestHeartbeatDeathAndHelloRevive(t *testing.T) {
+	addrs := testAddrs(t, 2)
+	cfg := func(rank int) Config {
+		return Config{
+			Rank: rank, Addrs: addrs, Metrics: testMetrics(),
+			HeartbeatEvery: 20 * time.Millisecond,
+			PeerTimeout:    200 * time.Millisecond,
+		}
+	}
+	t0, err := Dial(cfg(0))
+	if err != nil {
+		t.Fatalf("rank 0: %v", err)
+	}
+	defer t0.Close()
+	t1, err := Dial(cfg(1))
+	if err != nil {
+		t.Fatalf("rank 1: %v", err)
+	}
+	if err := t0.WaitReady(10 * time.Second); err != nil {
+		t.Fatalf("mesh: %v", err)
+	}
+
+	t1.Close() // rank 1 "dies"
+
+	deadline := time.Now().Add(10 * time.Second)
+	for !t0.Board().IsDead(1) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !t0.Board().IsDead(1) {
+		t.Fatal("rank 1 never marked dead after heartbeat silence")
+	}
+
+	// Restart rank 1; its hello (it is the dialer) must revive it.
+	t1b, err := Dial(cfg(1))
+	if err != nil {
+		t.Fatalf("rank 1 restart: %v", err)
+	}
+	defer t1b.Close()
+	deadline = time.Now().Add(10 * time.Second)
+	for t0.Board().IsDead(1) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if t0.Board().IsDead(1) {
+		t.Fatal("rank 1 not revived after reconnect hello")
+	}
+
+	// Traffic flows again on the new connection.
+	t1b.Isend(0, 9, []float64{7})
+	got, err := t0.RecvTimeout(1, 9, 5*time.Second)
+	if err != nil || got[0] != 7 {
+		t.Fatalf("post-revive delivery: %v, %v", got, err)
+	}
+}
+
+// TestBoardFlagReplication checks the wire board: a flag set on one
+// rank becomes visible to Check on the other, and a full board latches.
+func TestBoardFlagReplication(t *testing.T) {
+	addrs := testAddrs(t, 2)
+	var trs [2]*Transport
+	for rank := 0; rank < 2; rank++ {
+		tr, err := Dial(Config{Rank: rank, Addrs: addrs, Metrics: testMetrics()})
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		defer tr.Close()
+		trs[rank] = tr
+	}
+	if err := trs[0].WaitReady(10 * time.Second); err != nil {
+		t.Fatalf("mesh: %v", err)
+	}
+	trs[0].Board().Set(0, true)
+	trs[1].Board().Set(1, true)
+	for rank := 0; rank < 2; rank++ {
+		deadline := time.Now().Add(5 * time.Second)
+		for !trs[rank].Board().Check() && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if !trs[rank].Board().Check() {
+			t.Fatalf("rank %d: board never latched after both flags raised", rank)
+		}
+	}
+}
+
+// TestWireFaultDropIsDeterministicAndScoped checks that wire faults
+// (a) hit only data-plane frames — the control plane stays reliable so
+// barriers still complete under 100% data drop — and (b) replay
+// identically for the same seed: two runs deliver the same subset.
+func TestWireFaultDropIsDeterministicAndScoped(t *testing.T) {
+	run := func(seed uint64, drop float64) []float64 {
+		addrs := testAddrs(t, 2)
+		plan := &fault.Plan{Seed: seed, Drop: drop}
+		var trs [2]*Transport
+		for rank := 0; rank < 2; rank++ {
+			tr, err := Dial(Config{
+				Rank: rank, Addrs: addrs, Metrics: testMetrics(),
+				WireFault: plan,
+			})
+			if err != nil {
+				t.Fatalf("rank %d: %v", rank, err)
+			}
+			trs[rank] = tr
+		}
+		defer trs[0].Close()
+		defer trs[1].Close()
+		if err := trs[0].WaitReady(10 * time.Second); err != nil {
+			t.Fatalf("mesh: %v", err)
+		}
+		const k = 60
+		for i := 0; i < k; i++ {
+			trs[0].Isend(1, 0, []float64{float64(i)})
+		}
+		// Control-plane barrier must complete even under total data
+		// drop — faults are scoped to user-tag and put frames only.
+		var wg sync.WaitGroup
+		wg.Add(2)
+		for rank := 0; rank < 2; rank++ {
+			go func(rank int) { defer wg.Done(); trs[rank].Barrier() }(rank)
+		}
+		wg.Wait()
+		var got []float64
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if msg, ok := trs[1].TryRecv(0, 0); ok {
+				got = append(got, msg[0])
+				deadline = time.Now().Add(250 * time.Millisecond)
+				continue
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return got
+	}
+
+	if got := run(7, 1.0); len(got) != 0 {
+		t.Fatalf("total drop delivered %d data messages: %v", len(got), got)
+	}
+	a := run(99, 0.5)
+	b := run(99, 0.5)
+	if len(a) == 0 || len(a) == 60 {
+		t.Fatalf("50%% drop delivered %d/60 — fault injection inert or total", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different delivery counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different delivery at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestForLinkStreamsIndependent pins the per-link fate streams: the
+// same plan replays identically per directed link, and distinct links
+// draw from distinct streams.
+func TestForLinkStreamsIndependent(t *testing.T) {
+	plan := &fault.Plan{Seed: 11, Drop: 0.3, Dup: 0.2, Reorder: 0.1}
+	fates := func(src, dst int) []fault.Fate {
+		in := plan.ForLink(src, dst)
+		out := make([]fault.Fate, 200)
+		for i := range out {
+			out[i] = in.SendFate(dst)
+		}
+		return out
+	}
+	a, b := fates(0, 1), fates(0, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("link (0,1) not replayable at draw %d", i)
+		}
+	}
+	c := fates(1, 0)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("links (0,1) and (1,0) share a fate stream")
+	}
+}
+
+// TestRetryPolicyExhaustionMarksDead: with an address nobody ever
+// listens on and a tiny retry budget, the dialer must exhaust its
+// policy and mark the peer dead rather than block forever.
+func TestRetryPolicyExhaustionMarksDead(t *testing.T) {
+	addrs := testAddrs(t, 2)
+	tr, err := Dial(Config{
+		Rank: 1, Addrs: addrs, Metrics: testMetrics(),
+		DialRetry: &resilience.RetryPolicy{MaxAttempts: 3, Base: 5 * time.Millisecond, Max: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer tr.Close()
+	// Force traffic so the writer loop needs a connection.
+	tr.Isend(0, 0, []float64{1})
+	deadline := time.Now().Add(10 * time.Second)
+	for !tr.Board().IsDead(0) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !tr.Board().IsDead(0) {
+		t.Fatal("peer with no listener never marked dead after retry exhaustion")
+	}
+}
+
+// TestRecvTimeoutTyped: a blocking receive with nothing inbound must
+// return dist.ErrTimeout, not hang.
+func TestRecvTimeoutTyped(t *testing.T) {
+	addrs := testAddrs(t, 2)
+	var trs [2]*Transport
+	for rank := 0; rank < 2; rank++ {
+		tr, err := Dial(Config{Rank: rank, Addrs: addrs, Metrics: testMetrics()})
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		defer tr.Close()
+		trs[rank] = tr
+	}
+	if err := trs[0].WaitReady(10 * time.Second); err != nil {
+		t.Fatalf("mesh: %v", err)
+	}
+	_, err := trs[0].RecvTimeout(1, 3, 100*time.Millisecond)
+	if !errors.Is(err, dist.ErrTimeout) {
+		t.Fatalf("want dist.ErrTimeout, got %v", err)
+	}
+	var m = trs[0].m
+	if got := m.TransportTimeoutCount(); got == 0 {
+		t.Error("timeout not counted on transport metrics")
+	}
+}

@@ -92,25 +92,33 @@ func newFlagBoard(p int, m *obs.SolverMetrics) *flagBoard {
 	return &flagBoard{flags: make([]atomic.Bool, p), dead: make([]atomic.Bool, p), m: m}
 }
 
-// markDead records rank's fail-stop crash; one-way.
-func (fb *flagBoard) markDead(rank int) {
+// MarkDead records rank's fail-stop crash (Board).
+func (fb *flagBoard) MarkDead(rank int) {
 	if !fb.dead[rank].Swap(true) {
 		fb.nDead.Add(1)
 	}
 }
 
-// anyDead reports whether any rank has fail-stopped.
-func (fb *flagBoard) anyDead() bool { return fb.nDead.Load() > 0 }
+// Revive clears a dead mark: a restarted peer has reconnected and
+// re-entered the solve (Board).
+func (fb *flagBoard) Revive(rank int) {
+	if fb.dead[rank].Swap(false) {
+		fb.nDead.Add(-1)
+	}
+}
 
-// isDead reports whether rank q has fail-stopped — the failure
+// AnyDead reports whether any rank is currently declared dead (Board).
+func (fb *flagBoard) AnyDead() bool { return fb.nDead.Load() > 0 }
+
+// IsDead reports whether rank q has fail-stopped — the failure
 // detector's read side, which survivors use to exclude dead ranks from
-// sends and retransmissions.
-func (fb *flagBoard) isDead(q int) bool { return fb.dead[q].Load() }
+// sends and retransmissions (Board).
+func (fb *flagBoard) IsDead(q int) bool { return fb.dead[q].Load() }
 
-// set publishes rank's local convergence state, counting raise/lower
+// Set publishes rank's local convergence state, counting raise/lower
 // transitions. It reports whether the call changed the flag, so the
-// caller can trace the transition on its own ring.
-func (fb *flagBoard) set(rank int, converged bool) bool {
+// caller can trace the transition on its own ring (Board).
+func (fb *flagBoard) Set(rank int, converged bool) bool {
 	if fb.flags[rank].Swap(converged) != converged {
 		if converged {
 			fb.m.TermFlagRaise()
@@ -122,10 +130,20 @@ func (fb *flagBoard) set(rank int, converged bool) bool {
 	return false
 }
 
-// check returns true once all live ranks' flags have been seen up (dead
+// Reset clears the flags and the decision latch for the next
+// recheck-and-resume pass; dead marks survive, because a crash outlives
+// a pass boundary (Board).
+func (fb *flagBoard) Reset() {
+	for q := range fb.flags {
+		fb.flags[q].Store(false)
+	}
+	fb.done.Store(false)
+}
+
+// Check returns true once all live ranks' flags have been seen up (dead
 // ranks are vacuously converged — their block froze at its final
-// iterate); the first observer latches the decision.
-func (fb *flagBoard) check() bool {
+// iterate); the first observer latches the decision (Board).
+func (fb *flagBoard) Check() bool {
 	if fb.done.Load() {
 		return true
 	}
@@ -163,11 +181,11 @@ type safraState struct {
 	tw         *trace.Ring // this rank's trace ring (nil-safe)
 }
 
-func newSafra(r *Rank, decided *atomic.Bool, m *obs.SolverMetrics, tw *trace.Ring) *safraState {
+func newSafra(c Comm, decided *atomic.Bool, m *obs.SolverMetrics, tw *trace.Ring) *safraState {
 	return &safraState{
-		rank:       r.ID,
-		size:       r.Size,
-		haveToken:  r.ID == 0,
+		rank:       c.RankID(),
+		size:       c.WorldSize(),
+		haveToken:  c.RankID() == 0,
 		tokenColor: tokenWhite,
 		dirty:      true, // conservative: not converged yet
 		decided:    decided,
@@ -179,7 +197,7 @@ func newSafra(r *Rank, decided *atomic.Bool, m *obs.SolverMetrics, tw *trace.Rin
 // poll advances the protocol. converged is this rank's current local
 // state. It returns true once global termination has been decided
 // (either by this rank or broadcast by another).
-func (s *safraState) poll(r *Rank, converged bool) bool {
+func (s *safraState) poll(r Comm, converged bool) bool {
 	if s.decided.Load() {
 		return true
 	}

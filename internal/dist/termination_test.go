@@ -20,21 +20,21 @@ func TestTerminationModeString(t *testing.T) {
 
 func TestFlagBoard(t *testing.T) {
 	fb := newFlagBoard(3, nil)
-	if fb.check() {
+	if fb.Check() {
 		t.Fatal("empty board reported done")
 	}
-	fb.set(0, true)
-	fb.set(1, true)
-	if fb.check() {
+	fb.Set(0, true)
+	fb.Set(1, true)
+	if fb.Check() {
 		t.Fatal("partial board reported done")
 	}
-	fb.set(2, true)
-	if !fb.check() {
+	fb.Set(2, true)
+	if !fb.Check() {
 		t.Fatal("full board not detected")
 	}
 	// Latched: lowering a flag afterwards cannot retract the decision.
-	fb.set(1, false)
-	if !fb.check() {
+	fb.Set(1, false)
+	if !fb.Check() {
 		t.Fatal("decision retracted after latch")
 	}
 }

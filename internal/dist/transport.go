@@ -1,0 +1,143 @@
+package dist
+
+// The communication layer of this package is defined by the Comm
+// interface below, with two backends:
+//
+//   - the in-process channel substrate of comm.go (*Rank): ranks are
+//     goroutines, mailboxes are bounded in-memory queues, RMA windows
+//     are shared atomic arrays. The default, and the only backend the
+//     paper's experiments need.
+//
+//   - the TCP backend of internal/dist/tcptransport: ranks are OS
+//     processes, mailboxes and windows are fed by length-prefixed
+//     frames over real sockets, and the fault tolerance the paper's
+//     delay model promises (Theorem 1: the residual never grows under
+//     arbitrary bounded delay) is exercised by real packet loss, peer
+//     restarts, and partitions instead of simulated fates.
+//
+// The same rank loop (runRank in jacobi.go), the same ghost-exchange
+// plans, and the same termination protocols (flag tree, Dijkstra-
+// Safra) run against either backend; Solve drives all ranks in one
+// process, SolveRank drives one rank of a multi-process world.
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/shm"
+)
+
+// Typed wire errors. Every blocking transport operation with a
+// deadline reports one of these instead of hanging forever on a dead
+// peer; callers errors.Is their way to the cause.
+var (
+	// ErrTimeout: the operation's deadline expired before the peers
+	// answered.
+	ErrTimeout = errors.New("dist: operation deadline exceeded")
+	// ErrPeerDead: the operation needs a peer the liveness layer has
+	// declared dead (crashed, heartbeat-silent, or unreachable past
+	// the retry budget).
+	ErrPeerDead = errors.New("dist: peer is dead")
+	// ErrClosed: the transport has been closed.
+	ErrClosed = errors.New("dist: transport closed")
+)
+
+// DefaultOpTimeout bounds blocking wire operations (deadline receives
+// and collectives) when the caller passes no explicit timeout.
+const DefaultOpTimeout = 30 * time.Second
+
+// Comm is one rank's handle into the communication world — the
+// MPI-flavored surface the solver loop runs against. The in-process
+// *Rank and the TCP transport both implement it.
+//
+// Send-side calls never block on a slow peer: Isend copies the buffer
+// and queues it (bounded, evict-oldest), RMA puts are asynchronous.
+// Blocking calls (Recv, the collectives) come in two flavors: the
+// bare ones for lockstep synchronous code that would deadlock rather
+// than degrade anyway, and *Timeout variants that accept a deadline
+// plus a dead-rank predicate and return typed errors instead of
+// hanging on a crashed peer.
+type Comm interface {
+	// RankID is this rank's id in [0, WorldSize).
+	RankID() int
+	// WorldSize is the number of ranks.
+	WorldSize() int
+	// Isend posts data to rank `to` under tag (>= 0 for user traffic)
+	// and returns immediately; the slice is copied.
+	Isend(to, tag int, data []float64)
+	// Recv blocks until a message from `from` under tag arrives.
+	Recv(from, tag int) []float64
+	// TryRecv drains the (from, tag) mailbox and returns the newest
+	// pending message, or ok=false when none is pending.
+	TryRecv(from, tag int) ([]float64, bool)
+	// Allreduce sums v across all ranks; collective and blocking.
+	Allreduce(v float64) float64
+	// AllreduceTimeout is Allreduce with a deadline and a liveness
+	// view: contributions from ranks where dead(rank) is true are
+	// skipped (a crashed block is frozen — its share is whatever the
+	// survivors last saw), and the call returns ErrTimeout or
+	// ErrPeerDead instead of blocking forever. timeout <= 0 selects
+	// DefaultOpTimeout; a nil dead treats every rank as live.
+	AllreduceTimeout(v float64, timeout time.Duration, dead func(int) bool) (float64, error)
+	// Barrier synchronizes all ranks.
+	Barrier()
+	// BarrierTimeout is Barrier with the same deadline/liveness
+	// semantics as AllreduceTimeout.
+	BarrierTimeout(timeout time.Duration, dead func(int) bool) error
+	// AllocWindow creates an n-slot RMA window on this rank and
+	// returns the handle used for remote puts and local reads.
+	AllocWindow(n int) Window
+}
+
+// Window is one rank's view of an RMA window: remote writes via Put,
+// local reads (and seeding stores) via the Local atomic buffer. Puts
+// are atomic per float64 element but not per message — MPI_Put under
+// passive-target locking, which is exactly what row-independent
+// asynchronous Jacobi needs.
+type Window interface {
+	// Put writes data into target's window starting at offset. Never
+	// blocks; over a wire backend the message may be lost, which the
+	// asynchronous solver tolerates by construction.
+	Put(target, offset int, data []float64)
+	// Local returns this rank's own window buffer for direct atomic
+	// reads and stores.
+	Local() shm.AtomicVector
+}
+
+// Board is the termination flag board doubling as a fail-stop failure
+// detector: one convergence flag and one dead mark per rank. The
+// in-process flagBoard shares atomics; the TCP backend replicates
+// transitions as wire frames and feeds dead marks from heartbeats.
+type Board interface {
+	// Set publishes rank's local convergence state; reports whether
+	// the call changed the flag.
+	Set(rank int, converged bool) bool
+	// Check reports whether every live rank's flag has been seen up;
+	// the first observer latches the decision.
+	Check() bool
+	// MarkDead records rank's fail-stop crash.
+	MarkDead(rank int)
+	// Revive clears a dead mark (a restarted peer reconnected).
+	Revive(rank int)
+	// IsDead reports whether rank has been declared dead.
+	IsDead(rank int) bool
+	// AnyDead reports whether any rank is currently declared dead.
+	AnyDead() bool
+	// Reset clears the flags and the decision latch (dead marks
+	// survive) for the next recheck-and-resume pass.
+	Reset()
+}
+
+// NetComm is what a multi-process transport provides beyond Comm: the
+// wire-replicated termination/liveness board and a lifecycle. The
+// in-process backend never needs it (Solve builds a fresh board per
+// pass); SolveRank requires it.
+type NetComm interface {
+	Comm
+	// Board returns the transport's termination/liveness board. The
+	// same board instance lives for the whole transport; SolveRank
+	// resets it between passes.
+	Board() Board
+	// Close tears the transport down; subsequent operations fail.
+	Close() error
+}

@@ -238,34 +238,64 @@ func (p *Plan) ForRank(id int) *Injector {
 		rng:     rand.New(src),
 		crashAt: -1,
 	}
-	if p.DelayMean > 0 {
-		in.delayed = len(p.DelayRanks) == 0
-		for _, r := range p.DelayRanks {
-			if r == id {
-				in.delayed = true
-			}
-		}
-		in.alpha = p.DelayAlpha
-		if in.alpha == 0 {
-			in.alpha = 1.5
-		}
-		// Pareto scale x_m chosen so the mean alpha*x_m/(alpha-1)
-		// equals DelayMean.
-		in.xm = float64(p.DelayMean) * (in.alpha - 1) / in.alpha
-		in.dprob = p.DelayProb
-		if in.dprob == 0 {
-			in.dprob = 1
-		}
-		in.dmax = p.DelayMax
-		if in.dmax <= 0 {
-			in.dmax = 50 * p.DelayMean
-		}
-	}
+	p.armDelay(in, id)
 	for _, r := range p.CrashRanks {
 		if r == id {
 			in.crashAt = p.CrashIter
 		}
 	}
+	return in
+}
+
+// armDelay configures in's heavy-tailed delay distribution for rank (or
+// link-source) id per the plan.
+func (p *Plan) armDelay(in *Injector, id int) {
+	if p.DelayMean <= 0 {
+		return
+	}
+	in.delayed = len(p.DelayRanks) == 0
+	for _, r := range p.DelayRanks {
+		if r == id {
+			in.delayed = true
+		}
+	}
+	in.alpha = p.DelayAlpha
+	if in.alpha == 0 {
+		in.alpha = 1.5
+	}
+	// Pareto scale x_m chosen so the mean alpha*x_m/(alpha-1)
+	// equals DelayMean.
+	in.xm = float64(p.DelayMean) * (in.alpha - 1) / in.alpha
+	in.dprob = p.DelayProb
+	if in.dprob == 0 {
+		in.dprob = 1
+	}
+	in.dmax = p.DelayMax
+	if in.dmax <= 0 {
+		in.dmax = 50 * p.DelayMean
+	}
+}
+
+// ForLink builds a per-directed-link injector for wire-level fault
+// injection: the (src, dst) pair seeds its own deterministic PCG
+// stream, so the fate sequence drawn on each link is reproducible
+// regardless of how frames from different links interleave on the
+// socket. Crash faults stay per-rank and are never armed on a link;
+// the delay distribution follows the frame's source rank (DelayRanks
+// selects links by origin). Nil-safe like ForRank.
+func (p *Plan) ForLink(src, dst int) *Injector {
+	if p == nil || !p.Enabled() {
+		return nil
+	}
+	s := rand.NewPCG(p.Seed, uint64(src)*0x9e3779b97f4a7c15+uint64(dst)*0xbf58476d1ce4e5b9+0x51ed)
+	in := &Injector{
+		plan:    p,
+		rank:    src,
+		src:     s,
+		rng:     rand.New(s),
+		crashAt: -1,
+	}
+	p.armDelay(in, src)
 	return in
 }
 

@@ -137,6 +137,10 @@ type RunRecord struct {
 	// cluster | replay.
 	Substrate string `json:"substrate,omitempty"`
 	Method    string `json:"method,omitempty"`
+	// Transport is the communication backend a dist solve ran over:
+	// mem (in-process channels) | tcp (multi-process frames). Empty for
+	// non-dist substrates.
+	Transport string `json:"transport,omitempty"`
 	// Sweep groups the repetitions of one parameter sweep; Rep is the
 	// repetition index and Params the swept values ("workers", "drop",
 	// ...), so a sweep table can be rebuilt from history.

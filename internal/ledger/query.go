@@ -15,6 +15,7 @@ type Filter struct {
 	Tool      string
 	Substrate string
 	Method    string
+	Transport string
 	Sweep     string
 	Matrix    string
 	Since     time.Time
@@ -32,6 +33,9 @@ func (f Filter) Match(r *RunRecord) bool {
 		return false
 	}
 	if f.Method != "" && r.Method != f.Method {
+		return false
+	}
+	if f.Transport != "" && r.Transport != f.Transport {
 		return false
 	}
 	if f.Sweep != "" && r.Sweep != f.Sweep {
@@ -118,6 +122,7 @@ func Diff(a, b *RunRecord) []DiffRow {
 		diffRow("tool", a.Tool, b.Tool),
 		diffRow("substrate", a.Substrate, b.Substrate),
 		diffRow("method", a.Method, b.Method),
+		diffRow("transport", a.Transport, b.Transport),
 		diffRow("matrix.gen", a.Matrix.Gen, b.Matrix.Gen),
 		diffRow("matrix.n", strconv.Itoa(a.Matrix.N), strconv.Itoa(b.Matrix.N)),
 		diffRow("matrix.fingerprint", a.Matrix.Fingerprint, b.Matrix.Fingerprint),

@@ -67,6 +67,11 @@ type SolverMetrics struct {
 	recRetransmit, recExclude               *Counter
 	ckptBytes, ckptAge                      *Gauge
 
+	trRetry, trReconnect, trTimeout *Counter
+	trEvict, trPeerDead, trRevive   *Counter
+	trTxBytes, trRxBytes            *Counter
+	trTxFrames, trRxFrames          *Counter
+
 	alerts *CounterVec
 
 	// strm mirrors instrumentation points onto a telemetry bus; nil
@@ -182,7 +187,145 @@ func NewSolverMetrics(reg *Registry) *SolverMetrics {
 	m.alerts = reg.NewCounter("aj_alerts_total",
 		"Anomaly alerts raised by the live analytics engine, by type "+
 			"(divergence, stall, dead_worker).", "type")
+	tr := reg.NewCounter("aj_transport_events_total",
+		"Wire-transport lifecycle events, by event (internal/dist "+
+			"transports: bounded send/dial retries, peer reconnects, "+
+			"operation deadline expiries, bounded-mailbox and "+
+			"send-queue evictions, heartbeat-declared peer deaths, and "+
+			"peer revivals after a reconnect).", "event")
+	m.trRetry = tr.With("retry")
+	m.trReconnect = tr.With("reconnect")
+	m.trTimeout = tr.With("timeout")
+	m.trEvict = tr.With("evict")
+	m.trPeerDead = tr.With("peer_dead")
+	m.trRevive = tr.With("revive")
+	trBytes := reg.NewCounter("aj_transport_bytes_total",
+		"Wire-transport payload bytes moved, by direction.", "dir")
+	m.trTxBytes = trBytes.With("tx")
+	m.trRxBytes = trBytes.With("rx")
+	trFrames := reg.NewCounter("aj_transport_frames_total",
+		"Wire-transport frames moved, by direction.", "dir")
+	m.trTxFrames = trFrames.With("tx")
+	m.trRxFrames = trFrames.With("rx")
 	return m
+}
+
+// Transport-layer counters (see internal/dist and its wire backends).
+// All nil-safe.
+
+// TransportRetry counts one bounded-backoff retry of a dial or send.
+func (m *SolverMetrics) TransportRetry() {
+	if m != nil {
+		m.trRetry.Inc()
+	}
+}
+
+// TransportReconnect counts one successful peer reconnection.
+func (m *SolverMetrics) TransportReconnect() {
+	if m != nil {
+		m.trReconnect.Inc()
+		m.emit(stream.TypeRecovery, "reconnect")
+	}
+}
+
+// TransportTimeout counts one wire-operation deadline expiry (a
+// blocking receive or collective that returned ErrTimeout).
+func (m *SolverMetrics) TransportTimeout() {
+	if m != nil {
+		m.trTimeout.Inc()
+	}
+}
+
+// TransportEvict counts one message dropped by the bounded-mailbox or
+// send-queue evict-oldest policy (newest-wins is legal for ghost
+// traffic: readers drain to the newest anyway).
+func (m *SolverMetrics) TransportEvict() {
+	if m != nil {
+		m.trEvict.Inc()
+	}
+}
+
+// TransportPeerDead counts one heartbeat- or connection-loss-declared
+// peer death feeding the dead-rank board.
+func (m *SolverMetrics) TransportPeerDead() {
+	if m != nil {
+		m.trPeerDead.Inc()
+		m.emit(stream.TypeRecovery, "peer_dead")
+	}
+}
+
+// TransportRevive counts one dead-marked peer coming back (a restart
+// re-dialed, or a new hello arrived on the listener).
+func (m *SolverMetrics) TransportRevive() {
+	if m != nil {
+		m.trRevive.Inc()
+		m.emit(stream.TypeRecovery, "revive")
+	}
+}
+
+// TransportTx counts one outbound wire frame of the given payload size.
+func (m *SolverMetrics) TransportTx(bytes int) {
+	if m != nil {
+		m.trTxFrames.Inc()
+		m.trTxBytes.Add(bytes)
+	}
+}
+
+// TransportRx counts one inbound wire frame of the given payload size.
+func (m *SolverMetrics) TransportRx(bytes int) {
+	if m != nil {
+		m.trRxFrames.Inc()
+		m.trRxBytes.Add(bytes)
+	}
+}
+
+// TransportRetryCount reads the transport retry counter (0 on nil).
+func (m *SolverMetrics) TransportRetryCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.trRetry.Value()
+}
+
+// TransportReconnectCount reads the reconnect counter (0 on nil).
+func (m *SolverMetrics) TransportReconnectCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.trReconnect.Value()
+}
+
+// TransportTimeoutCount reads the deadline-expiry counter (0 on nil).
+func (m *SolverMetrics) TransportTimeoutCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.trTimeout.Value()
+}
+
+// TransportEvictCount reads the bounded-queue eviction counter (0 on
+// nil).
+func (m *SolverMetrics) TransportEvictCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.trEvict.Value()
+}
+
+// TransportTxFrameCount reads the outbound frame counter (0 on nil).
+func (m *SolverMetrics) TransportTxFrameCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.trTxFrames.Value()
+}
+
+// TransportRxFrameCount reads the inbound frame counter (0 on nil).
+func (m *SolverMetrics) TransportRxFrameCount() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.trRxFrames.Value()
 }
 
 // Recovery-layer counters (see internal/resilience). All nil-safe.
