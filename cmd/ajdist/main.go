@@ -37,6 +37,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"os/exec"
@@ -45,12 +46,16 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/collect"
 	"repro/internal/dist"
 	"repro/internal/dist/tcptransport"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/ledger"
+	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -89,9 +94,10 @@ func main() {
 		if *transport != "tcp" {
 			cli.Usagef("ajdist", "-spawn launches TCP rank processes; add -transport tcp")
 		}
-		if *metricsAddr != "" {
-			cli.Usagef("ajdist", "-metrics-addr with -spawn would collide across ranks; run the ranks yourself to serve metrics")
-		}
+		// -metrics-addr goes to rank 0 only: the root's endpoint serves
+		// the whole cluster (its own live series plus the gathered
+		// aj_cluster_* view), so per-rank listeners would collide for
+		// nothing.
 		os.Exit(spawnRanks(*ranks))
 	}
 	var addrs []string
@@ -190,6 +196,14 @@ func main() {
 	if err != nil {
 		cli.Fatalf("ajdist", "resume: %v", err)
 	}
+	handle := led.Instrument(mx)
+	if *transport == "tcp" && handle == nil {
+		// Every rank of a multi-process run gets a real (if private)
+		// instrumentation handle: the staleness quantiles and wire
+		// telemetry its ledger sub-record carries are read back from the
+		// handle at exit, whether or not this rank serves /metrics.
+		handle = obs.NewSolverMetrics(obs.NewRegistry())
+	}
 	opt := dist.SolveOptions{
 		Procs:         *ranks,
 		Part:          pt,
@@ -198,7 +212,7 @@ func main() {
 		Eager:         *eager,
 		DelayRank:     -1,
 		RecordHistory: *history,
-		Metrics:       led.Instrument(mx),
+		Metrics:       handle,
 		Tracer:        ts.Recorder(),
 		Fault:         plan,
 		MaxTime:       rf.MaxTime(),
@@ -254,6 +268,23 @@ func main() {
 			cli.Fatalf("ajdist", "transport: %v", werr)
 		}
 		res = dist.SolveRank(tr, a, b, x0, opt)
+		// Cluster collection: non-root ranks ship their sub-record and
+		// trace events to the root over the (never-faulted) control
+		// channel; the root gathers them, embeds the sub-records in its
+		// ledger record, publishes the aj_cluster_* view, and merges the
+		// traces onto its own timeline. Both sides run before Close so
+		// the reports ride the still-open connections.
+		sub := rankRecord(*rankFlag, *ranks, res, tr, opt.Metrics, pt, a, b)
+		if *rankFlag != 0 {
+			shipReport(tr, *rankFlag, sub, ts)
+			ts.Skip()
+		} else {
+			wait := *netTimeout
+			if wait <= 0 {
+				wait = 10 * time.Second
+			}
+			mergeCluster(sub, collect.Gather(tr, wait), tr, ts, led, mx, *ranks)
+		}
 		tr.Close()
 	} else {
 		res = dist.Solve(a, b, x0, opt)
@@ -317,6 +348,138 @@ func main() {
 	}
 }
 
+// rankRecord snapshots this rank's contribution to the run's ledger
+// record: local outcome, residual share, read-staleness quantiles, and
+// the transport's measured wire telemetry aggregated across peers.
+func rankRecord(rank, ranks int, res *dist.Result, tr *tcptransport.Transport,
+	h *obs.SolverMetrics, pt *partition.Partition, a *sparse.CSR, b []float64) ledger.RankRecord {
+	sub := ledger.RankRecord{
+		Rank:          rank,
+		Converged:     res.Converged,
+		StopReason:    res.StopReason.String(),
+		Iters:         res.Iterations[rank],
+		Relaxations:   uint64(res.TotalRelaxations),
+		ResidualShare: residualShare(a, b, res.X, pt, rank),
+		StalenessP50:  h.StalenessQuantile(0.50),
+		StalenessP95:  h.StalenessQuantile(0.95),
+		WallNs:        int64(res.WallTime),
+	}
+	if off, ok := tr.OffsetTo(0); ok {
+		sub.ClockOffsetNs = off // root clock minus this rank's
+	}
+	// Sample-weighted aggregation of the per-peer measured quantiles:
+	// a chatty link's distribution dominates, an idle one's noise does
+	// not.
+	var rtt50, rtt95, d50, d95, rttW, dW float64
+	counters := map[string]uint64{}
+	for q := 0; q < ranks; q++ {
+		st, ok := tr.PeerStats(q)
+		if !ok {
+			continue
+		}
+		if st.RTTSamples > 0 {
+			w := float64(st.RTTSamples)
+			rtt50 += w * st.RTTP50Ns
+			rtt95 += w * st.RTTP95Ns
+			rttW += w
+		}
+		if st.DelaySamples > 0 {
+			w := float64(st.DelaySamples)
+			d50 += w * st.DelayP50Ns
+			d95 += w * st.DelayP95Ns
+			dW += w
+		}
+		counters["wire_drops"] += st.Drops
+		counters["wire_evicts"] += st.Evicts
+		counters["wire_reconnects"] += st.Reconnects
+	}
+	if rttW > 0 {
+		sub.RTTP50Ns, sub.RTTP95Ns = rtt50/rttW, rtt95/rttW
+	}
+	if dW > 0 {
+		sub.DelayP50Ns, sub.DelayP95Ns = d50/dW, d95/dW
+	}
+	for k, v := range counters {
+		if v == 0 {
+			delete(counters, k)
+		}
+	}
+	if len(counters) > 0 {
+		sub.Counters = counters
+	}
+	return sub
+}
+
+// residualShare is this rank's share of the final residual 1-norm.
+func residualShare(a *sparse.CSR, b, x []float64, pt *partition.Partition, rank int) float64 {
+	rr := make([]float64, a.N)
+	a.Residual(rr, b, x)
+	var own, all float64
+	for i, v := range rr {
+		av := math.Abs(v)
+		all += av
+		if pt.Part[i] == rank {
+			own += av
+		}
+	}
+	if all == 0 {
+		return 0
+	}
+	return own / all
+}
+
+// shipReport sends a non-root rank's sub-record (and, when tracing,
+// its event stream plus partial clock-rebase shift) to the root.
+func shipReport(tr *tcptransport.Transport, rank int, sub ledger.RankRecord, ts *cli.TraceSink) {
+	rep := &collect.RankReport{Rank: rank, Record: sub}
+	if rec := ts.Recorder(); rec != nil {
+		// Partial shift (base_r - epoch_r) + offset_r; the root completes
+		// it with its own base/epoch skew (trace.ProcTrace.ShiftNs).
+		off, _ := tr.OffsetTo(0)
+		rep.ShiftNs = rec.Base().Sub(tr.Epoch()).Nanoseconds() + int64(off)
+		rep.Events = rec.Worker(rank).Events()
+	}
+	if err := collect.Ship(tr, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "ajdist: collect: %v\n", err)
+	}
+}
+
+// mergeCluster runs the root side of collection: embed every rank's
+// sub-record in the ledger record, publish the cluster view on the
+// metrics registry, and merge the per-process traces into one
+// skew-corrected timeline.
+func mergeCluster(rootSub ledger.RankRecord, reports []collect.RankReport,
+	tr *tcptransport.Transport, ts *cli.TraceSink, led *cli.Ledger, mx *cli.Metrics, ranks int) {
+	subs := []ledger.RankRecord{rootSub}
+	for _, rep := range reports {
+		subs = append(subs, rep.Record)
+	}
+	led.AddRankRecords(subs)
+	collect.PublishCluster(mx.Registry(), subs)
+	rec := ts.Recorder()
+	if rec == nil {
+		return
+	}
+	procs := []trace.ProcTrace{{Rank: 0, Events: rec.Worker(0).Events()}}
+	d0 := rec.Base().Sub(tr.Epoch()).Nanoseconds()
+	for _, rep := range reports {
+		if len(rep.Events) == 0 {
+			continue
+		}
+		procs = append(procs, trace.ProcTrace{Rank: rep.Rank, ShiftNs: rep.ShiftNs - d0, Events: rep.Events})
+	}
+	merged, err := trace.MergeProcesses(procs, ranks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ajdist: trace merge: %v\n", err)
+		return
+	}
+	if v := trace.CausalViolations(merged); v > 0 {
+		fmt.Fprintf(os.Stderr, "ajdist: trace merge: %d flow arrows still inverted after skew correction\n", v)
+	}
+	fmt.Fprintf(os.Stderr, "ajdist: merged trace timelines from %d of %d ranks\n", len(procs), ranks)
+	ts.SetMerged(merged)
+}
+
 // finishOutputs flushes the metrics, trace, and ledger sinks.
 func finishOutputs(mx *cli.Metrics, ts *cli.TraceSink, led *cli.Ledger) {
 	if err := mx.Finish(os.Stdout); err != nil {
@@ -358,10 +521,18 @@ func spawnRanks(ranks int) int {
 		}
 		base = append(base, arg)
 	}
+	// The metrics endpoint belongs to the root alone; stripping it from
+	// the other ranks avoids N processes fighting over one listen
+	// address (the root's /metrics carries the gathered cluster view).
+	nonRoot := stripFlags(base, "metrics-addr", "metrics-dump", "metrics-linger")
 	peerList := strings.Join(addrs, ",")
 	cmds := make([]*exec.Cmd, ranks)
 	for r := 0; r < ranks; r++ {
-		args := append(append([]string{}, base...), "-rank", strconv.Itoa(r), "-peers", peerList)
+		src := base
+		if r != 0 {
+			src = nonRoot
+		}
+		args := append(append([]string{}, src...), "-rank", strconv.Itoa(r), "-peers", peerList)
 		cmd := exec.Command(os.Args[0], args...)
 		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -383,4 +554,30 @@ func spawnRanks(ranks int) int {
 		}
 	}
 	return code
+}
+
+// stripFlags removes the named flags (with their values, in both
+// "-name value" and "-name=value" spellings) from an argument list.
+func stripFlags(args []string, names ...string) []string {
+	var out []string
+	for i := 0; i < len(args); i++ {
+		trimmed := strings.TrimLeft(args[i], "-")
+		skip := false
+		for _, n := range names {
+			if trimmed == n {
+				skip = true
+				// Separate-value spelling: consume the value too, unless
+				// the next token is another flag (boolean form).
+				if i+1 < len(args) && !strings.HasPrefix(args[i+1], "-") {
+					i++
+				}
+			} else if strings.HasPrefix(trimmed, n+"=") {
+				skip = true
+			}
+		}
+		if !skip {
+			out = append(out, args[i])
+		}
+	}
+	return out
 }

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -170,7 +171,130 @@ func runAttach(base string, refresh time.Duration) (*analytics.Engine, string) {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "ajmon: stream ended: %v\n", err)
 	}
-	return eng, fetchTraceLine(root)
+	lines := fetchTraceLine(root)
+	if cluster := fetchClusterBlock(root); cluster != "" {
+		if lines != "" {
+			lines += "\n"
+		}
+		lines += cluster
+	}
+	return eng, lines
+}
+
+// parseSeries splits a /metrics.json key — name{k="v",k2="v2"} or a
+// bare name — into the family name and its labels.
+func parseSeries(key string) (string, map[string]string) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 {
+		return key, nil
+	}
+	labels := map[string]string{}
+	for _, kv := range strings.Split(strings.TrimSuffix(key[open+1:], "}"), ",") {
+		if eq := strings.IndexByte(kv, '='); eq > 0 {
+			labels[kv[:eq]] = strings.Trim(kv[eq+1:], `"`)
+		}
+	}
+	return key[:open], labels
+}
+
+// fetchClusterBlock renders the whole-cluster dashboard section from
+// the root's gathered aj_cluster_* gauges: one row per rank with its
+// iteration count, residual share, staleness quantiles, and measured
+// wire telemetry. Empty when the run was single-process (the families
+// are only published after a multi-process gather).
+func fetchClusterBlock(root string) string {
+	resp, err := http.Get(root + "/metrics.json")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	var series map[string]any
+	if json.NewDecoder(resp.Body).Decode(&series) != nil {
+		return ""
+	}
+	type rankRow struct {
+		iters, share, s50, s95, rtt50, d50, off float64
+		converged                               bool
+		hasConv                                 bool
+	}
+	rows := map[int]*rankRow{}
+	row := func(labels map[string]string) *rankRow {
+		r, err := strconv.Atoi(labels["rank"])
+		if err != nil {
+			return nil
+		}
+		if rows[r] == nil {
+			rows[r] = &rankRow{}
+		}
+		return rows[r]
+	}
+	for key, v := range series {
+		f, ok := v.(float64)
+		if !ok {
+			continue
+		}
+		name, labels := parseSeries(key)
+		r := row(labels)
+		if r == nil {
+			continue
+		}
+		switch name {
+		case "aj_cluster_iters":
+			r.iters = f
+		case "aj_cluster_residual_share":
+			r.share = f
+		case "aj_cluster_converged":
+			r.converged, r.hasConv = f > 0, true
+		case "aj_cluster_staleness_iters":
+			if labels["q"] == "p50" {
+				r.s50 = f
+			} else if labels["q"] == "p95" {
+				r.s95 = f
+			}
+		case "aj_cluster_rtt_seconds":
+			if labels["q"] == "p50" {
+				r.rtt50 = f
+			}
+		case "aj_cluster_delay_seconds":
+			if labels["q"] == "p50" {
+				r.d50 = f
+			}
+		case "aj_cluster_clock_offset_seconds":
+			r.off = f
+		}
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	ids := make([]int, 0, len(rows))
+	for r := range rows {
+		ids = append(ids, r)
+	}
+	sort.Ints(ids)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cluster    %d ranks (gathered at the root)\n", len(ids))
+	fmt.Fprintf(&sb, "%-8s %10s %10s %14s %10s %10s %10s %4s\n",
+		"rank", "iters", "res-share", "stale p50/p95", "rtt p50", "delay p50", "offset", "ok")
+	ms := func(sec float64) string {
+		if sec == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	}
+	for _, id := range ids {
+		r := rows[id]
+		ok := "-"
+		if r.hasConv {
+			if r.converged {
+				ok = "yes"
+			} else {
+				ok = "NO"
+			}
+		}
+		fmt.Fprintf(&sb, "%-8d %10.0f %10.2f %8.0f/%-5.0f %10s %10s %10s %4s\n",
+			id, r.iters, r.share, r.s50, r.s95, ms(r.rtt50), ms(r.d50), ms(r.off), ok)
+	}
+	return strings.TrimSuffix(sb.String(), "\n")
 }
 
 // fetchTraceLine renders the solver's trace self-observability as one

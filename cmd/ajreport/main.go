@@ -4,8 +4,9 @@
 //
 // Subcommands:
 //
-//	ajreport -ledger DIR list [-tool T] [-substrate S] [-failed] ...
-//	ajreport -ledger DIR show ID            # full record JSON (prefix ok)
+//	ajreport -ledger DIR list [-tool T] [-substrate S] [-rank R] [-failed] ...
+//	ajreport -ledger DIR show [-rank R] ID  # full record JSON (prefix ok);
+//	                                        # -rank prints one embedded sub-record
 //	ajreport -ledger DIR diff ID-A ID-B     # field-by-field comparison
 //	ajreport -ledger DIR rates [-sweep ID]  # rebuild rate-vs-workers (§VII)
 //	ajreport -ledger DIR sweeps             # list recorded sweeps
@@ -91,6 +92,7 @@ func filterFlags(fs *flag.FlagSet) func() ledger.Filter {
 	transport := fs.String("transport", "", "keep records over this transport (mem, tcp)")
 	sweep := fs.String("sweep", "", "keep records of this sweep ID")
 	matrix := fs.String("matrix", "", "keep records whose matrix fingerprint matches exactly or generator spec contains this")
+	rank := fs.String("rank", "", "keep multi-process records embedding a sub-record for this rank")
 	since := fs.Duration("since", 0, "keep records newer than this age (e.g. 24h; 0 = all)")
 	failed := fs.Bool("failed", false, "keep only non-converged runs")
 	converged := fs.Bool("converged", false, "keep only converged runs")
@@ -98,7 +100,7 @@ func filterFlags(fs *flag.FlagSet) func() ledger.Filter {
 		f := ledger.Filter{
 			Tool: *tool, Substrate: *substrate, Method: *method,
 			Transport: *transport, Sweep: *sweep, Matrix: *matrix,
-			FailedOnly: *failed, ConvergedOnly: *converged,
+			Rank: *rank, FailedOnly: *failed, ConvergedOnly: *converged,
 		}
 		if *since > 0 {
 			f.Since = time.Now().Add(-*since)
@@ -166,15 +168,29 @@ func okStr(r *ledger.RunRecord) string {
 }
 
 func runShow(recs []*ledger.RunRecord, args []string) {
-	if len(args) != 1 {
+	fs := flag.NewFlagSet("ajreport show", flag.ExitOnError)
+	rank := fs.Int("rank", -1, "print only this rank's embedded sub-record of a multi-process run")
+	parseInto(fs, args)
+	if fs.NArg() != 1 {
 		cli.Usagef("ajreport", "show wants exactly one record ID (a unique prefix works)")
 	}
-	r, err := ledger.Find(recs, args[0])
+	r, err := ledger.Find(recs, fs.Arg(0))
 	if err != nil {
 		cli.Fatalf("ajreport", "%v", err)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
+	if *rank >= 0 {
+		sub := ledger.FindRank(r, *rank)
+		if sub == nil {
+			cli.Fatalf("ajreport", "record %s has no sub-record for rank %d (%d rank entries)",
+				r.ID, *rank, len(r.Ranks))
+		}
+		if err := enc.Encode(sub); err != nil {
+			cli.Fatalf("ajreport", "%v", err)
+		}
+		return
+	}
 	if err := enc.Encode(r); err != nil {
 		cli.Fatalf("ajreport", "%v", err)
 	}

@@ -203,6 +203,17 @@ func (l *Ledger) AttachTrace(rec *trace.Recorder) {
 	l.tracer = rec
 }
 
+// AddRankRecords embeds per-rank sub-records (the root's own plus the
+// reports gathered from the other ranks) into the staged record, so a
+// multi-process run lands as one ledger record carrying the whole
+// cluster's outcome.
+func (l *Ledger) AddRankRecords(ranks []ledger.RankRecord) {
+	if !l.Enabled() || len(ranks) == 0 {
+		return
+	}
+	l.rec.Ranks = append(l.rec.Ranks, ranks...)
+}
+
 // RecordOutcome stages the solve's outcome. Call it right after the
 // solve returns; Finish appends the completed record.
 func (l *Ledger) RecordOutcome(o ledger.Outcome) {

@@ -174,6 +174,16 @@ func (m *Metrics) Handle() *obs.SolverMetrics {
 	return m.handle
 }
 
+// Registry returns the underlying metrics registry (nil when metrics
+// are disabled). The multi-process collector publishes its gathered
+// aj_cluster_* series here so one scrape of the root sees every rank.
+func (m *Metrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
 // Addr returns the bound metrics listen address, or "".
 func (m *Metrics) Addr() string {
 	if m == nil {

@@ -98,6 +98,25 @@ func (s *TraceSink) Recorder() *trace.Recorder {
 	return s.rec
 }
 
+// SetMerged swaps in a merged multi-process recorder (one ring per
+// rank, skew-corrected) so Finish exports the whole cluster's timeline
+// instead of just this process's slice. No-op on an inert sink.
+func (s *TraceSink) SetMerged(rec *trace.Recorder) {
+	if s == nil || s.rec == nil || rec == nil {
+		return
+	}
+	s.rec = rec
+}
+
+// Skip marks the sink finished without writing anything: non-root
+// ranks of a multi-process run ship their events to the root for the
+// merged export instead of writing a partial file of their own.
+func (s *TraceSink) Skip() {
+	if s != nil {
+		s.done = true
+	}
+}
+
 // Finish writes the Chrome trace-event file after the solve and
 // reports the capture totals on stderr, including how many events
 // were overwritten by ring wraparound and how much work coalescing

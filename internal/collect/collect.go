@@ -1,0 +1,167 @@
+package collect
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Tag is the reserved control-plane message tag of the collection side
+// channel. Negative tags ride the transport's control lane: never
+// wire-faulted, never evicted by the bounded outbox, and delivered into
+// an unbounded mailbox — a rank's final report must survive exactly the
+// fault regimes the experiment was injecting. Tags -1..-6 belong to the
+// dist collectives and termination protocol (see dist/comm.go).
+const Tag = -7
+
+// Comm is the slice of the transport the collector needs. It is a
+// local interface (satisfied by *tcptransport.Transport and dist.Rank)
+// so the import graph stays acyclic: tcptransport already imports this
+// package for the clock-offset estimator.
+type Comm interface {
+	RankID() int
+	WorldSize() int
+	Isend(to, tag int, data []float64)
+	RecvTimeout(from, tag int, d time.Duration) ([]float64, error)
+}
+
+// RankReport is everything a non-root rank ships to the root at the
+// end of a solve: its ledger sub-record, its retained trace events,
+// and the partial clock-rebase shift the root completes with its own
+// recorder-base/transport-epoch skew (see trace.ProcTrace.ShiftNs).
+type RankReport struct {
+	Rank   int
+	Record ledger.RankRecord
+	// ShiftNs is the shipping rank's partial rebase term
+	// (base_r - epoch_r) + offset_r; the root subtracts its own
+	// (base_0 - epoch_0) before handing the events to MergeProcesses.
+	ShiftNs int64
+	Events  []trace.Event
+}
+
+// pack gob-encodes the report and bit-packs the bytes into the
+// transport's []float64 payload unit: word 0 is the byte count, the
+// rest are little-endian 8-byte chunks reinterpreted through
+// math.Float64frombits. The transport moves payload words by copy and
+// bit-exact serialization, so arbitrary bit patterns (including
+// NaN-space ones) survive the trip.
+func pack(rep *RankReport) ([]float64, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(rep); err != nil {
+		return nil, fmt.Errorf("collect: encode rank %d report: %w", rep.Rank, err)
+	}
+	raw := b.Bytes()
+	words := make([]float64, 1+(len(raw)+7)/8)
+	words[0] = float64(len(raw))
+	var chunk [8]byte
+	for i := 0; i < len(raw); i += 8 {
+		for j := range chunk {
+			chunk[j] = 0
+		}
+		copy(chunk[:], raw[i:])
+		words[1+i/8] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[:]))
+	}
+	return words, nil
+}
+
+func unpack(words []float64) (*RankReport, error) {
+	if len(words) == 0 {
+		return nil, fmt.Errorf("collect: empty report payload")
+	}
+	n := int(words[0])
+	if n < 0 || n > (len(words)-1)*8 {
+		return nil, fmt.Errorf("collect: report length %d outside payload of %d words", n, len(words))
+	}
+	raw := make([]byte, (len(words)-1)*8)
+	for i, w := range words[1:] {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(w))
+	}
+	var rep RankReport
+	if err := gob.NewDecoder(bytes.NewReader(raw[:n])).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("collect: decode report: %w", err)
+	}
+	return &rep, nil
+}
+
+// Ship sends this rank's report to the root over the collection
+// channel. Non-blocking (transport Isend semantics); the caller should
+// keep the transport open long enough for the control lane to drain —
+// Transport.Close's grace period covers that.
+func Ship(c Comm, rep *RankReport) error {
+	words, err := pack(rep)
+	if err != nil {
+		return err
+	}
+	c.Isend(0, Tag, words)
+	return nil
+}
+
+// Gather collects the non-root ranks' reports at the root, waiting up
+// to `each` per rank. A rank that died or never shipped is skipped —
+// the merged record simply lacks its sub-record, mirroring how the
+// solver itself tolerates dead neighbors. Reports arrive keyed by
+// source rank (per-source mailboxes), so no cross-rank ordering is
+// assumed. Returns the reports in rank order.
+func Gather(c Comm, each time.Duration) []RankReport {
+	var out []RankReport
+	for q := 1; q < c.WorldSize(); q++ {
+		words, err := c.RecvTimeout(q, Tag, each)
+		if err != nil {
+			continue
+		}
+		rep, err := unpack(words)
+		if err != nil || rep.Rank != q {
+			continue
+		}
+		out = append(out, *rep)
+	}
+	return out
+}
+
+// PublishCluster mirrors the gathered sub-records (plus the root's
+// own) onto the root's metrics registry as aj_cluster_* gauges, so one
+// scrape of the root's /metrics sees the whole cluster and ajmon can
+// render the per-rank dashboard without talking to every process.
+func PublishCluster(reg *obs.Registry, ranks []ledger.RankRecord) {
+	if reg == nil || len(ranks) == 0 {
+		return
+	}
+	iters := reg.NewGauge("aj_cluster_iters", "Per-rank local asynchronous iteration count.", "rank")
+	relax := reg.NewGauge("aj_cluster_relaxations", "Per-rank row relaxation count.", "rank")
+	share := reg.NewGauge("aj_cluster_residual_share", "Per-rank share of the final squared residual.", "rank")
+	conv := reg.NewGauge("aj_cluster_converged", "Per-rank convergence flag (1 = converged).", "rank")
+	stale := reg.NewGauge("aj_cluster_staleness_iters", "Per-rank read-staleness quantiles in iterations.", "rank", "q")
+	rtt := reg.NewGauge("aj_cluster_rtt_seconds", "Per-rank measured heartbeat RTT quantiles.", "rank", "q")
+	delay := reg.NewGauge("aj_cluster_delay_seconds", "Per-rank measured one-way frame delay quantiles.", "rank", "q")
+	offset := reg.NewGauge("aj_cluster_clock_offset_seconds", "Per-rank estimated clock offset to root.", "rank")
+	events := reg.NewGauge("aj_cluster_wire_events", "Per-rank wire event totals by kind.", "rank", "event")
+	for _, rr := range ranks {
+		r := strconv.Itoa(rr.Rank)
+		iters.With(r).Set(float64(rr.Iters))
+		relax.With(r).Set(float64(rr.Relaxations))
+		share.With(r).Set(rr.ResidualShare)
+		if rr.Converged {
+			conv.With(r).Set(1)
+		} else {
+			conv.With(r).Set(0)
+		}
+		stale.With(r, "p50").Set(rr.StalenessP50)
+		stale.With(r, "p95").Set(rr.StalenessP95)
+		rtt.With(r, "p50").Set(rr.RTTP50Ns / 1e9)
+		rtt.With(r, "p95").Set(rr.RTTP95Ns / 1e9)
+		delay.With(r, "p50").Set(rr.DelayP50Ns / 1e9)
+		delay.With(r, "p95").Set(rr.DelayP95Ns / 1e9)
+		offset.With(r).Set(rr.ClockOffsetNs / 1e9)
+		for k, v := range rr.Counters {
+			events.With(r, k).Set(float64(v))
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package collect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/trace"
+)
+
+// simClocks runs n ping/echo exchanges between a local clock and a
+// peer clock offset by skew(t) ns, with one-way delays drawn by delay.
+func simClocks(est *OffsetEstimator, n int, skew func(t float64) float64, delay func() (d1, d2 float64)) {
+	t := 0.0
+	for i := 0; i < n; i++ {
+		d1, d2 := delay()
+		t1 := t
+		t2 := t1 + d1 + skew(t1+d1) // peer's clock at arrival
+		t4 := t1 + d1 + d2
+		est.AddPingEcho(t1, t2, t4)
+		t += 5e6 // 5ms heartbeat cadence
+	}
+}
+
+func TestOffsetEstimatorSymmetricSkew(t *testing.T) {
+	for _, skewMs := range []float64{50, -50} {
+		est := &OffsetEstimator{}
+		want := skewMs * 1e6
+		simClocks(est, 32, func(float64) float64 { return want },
+			func() (float64, float64) { return 1e6, 1e6 })
+		got, ok := est.OffsetNs()
+		if !ok {
+			t.Fatalf("skew %vms: no estimate", skewMs)
+		}
+		if math.Abs(got-want) > 1 {
+			t.Fatalf("skew %vms: offset = %v ns, want %v", skewMs, got, want)
+		}
+	}
+}
+
+func TestOffsetEstimatorAsymmetricJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	est := &OffsetEstimator{}
+	const want = 50e6 // +50ms
+	// Base 0.5ms each way plus up to 4ms of independent jitter: the
+	// lowest-RTT-half median should land within the base asymmetry
+	// (well under 1ms), not the worst-case 2ms.
+	simClocks(est, 200, func(float64) float64 { return want },
+		func() (float64, float64) {
+			return 0.5e6 + 4e6*rng.Float64(), 0.5e6 + 4e6*rng.Float64()
+		})
+	got, ok := est.OffsetNs()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.Abs(got-want) > 1e6 {
+		t.Fatalf("offset = %v ms, want 50 +/- 1", got/1e6)
+	}
+}
+
+func TestOffsetEstimatorDrift(t *testing.T) {
+	est := &OffsetEstimator{}
+	// -50ms initial skew drifting at +100ppm: over 200 beats at 5ms the
+	// skew moves 0.1ms. The windowed median must track the recent value,
+	// not the stale start.
+	skew := func(tns float64) float64 { return -50e6 + 100e-6*tns }
+	simClocks(est, 200, skew, func() (float64, float64) { return 1e6, 1e6 })
+	got, ok := est.OffsetNs()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	finalSkew := skew(200 * 5e6)
+	if math.Abs(got-finalSkew) > 0.2e6 {
+		t.Fatalf("offset = %v ms, want %v +/- 0.2", got/1e6, finalSkew/1e6)
+	}
+}
+
+func TestOffsetEstimatorRejectsGarbage(t *testing.T) {
+	est := &OffsetEstimator{}
+	if _, ok := est.OffsetNs(); ok {
+		t.Fatal("estimate before any sample")
+	}
+	est.AddPingEcho(100, 50, 90)       // t4 < t1: negative rtt
+	est.AddPingEcho(math.NaN(), 1, 2)  // NaN
+	est.AddPingEcho(0, math.Inf(1), 1) // Inf
+	if _, ok := est.OffsetNs(); ok || est.Samples() != 0 {
+		t.Fatalf("garbage samples accepted: %d", est.Samples())
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := &RankReport{
+		Rank: 2,
+		Record: ledger.RankRecord{
+			Rank: 2, Converged: true, StopReason: "converged",
+			Iters: 137, Relaxations: 137 * 33, ResidualShare: 0.31,
+			StalenessP50: 1.5, StalenessP95: 4,
+			RTTP50Ns: 2.1e6, RTTP95Ns: 3.7e6,
+			DelayP50Ns: 1.0e6, DelayP95Ns: 2.2e6,
+			ClockOffsetNs: -48.9e6,
+			Counters:      map[string]uint64{"wire_drops": 12, "wire_retransmits": 3},
+			WallNs:        812e6,
+		},
+		ShiftNs: -51e6,
+		Events: []trace.Event{
+			{TS: 10, Kind: trace.KindSend, Peer: 0, Payload: 1},
+			{TS: 20, Kind: trace.KindRecv, Peer: 1, Payload: 7},
+		},
+	}
+	words, err := pack(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := unpack(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != rep.Rank || got.ShiftNs != rep.ShiftNs ||
+		len(got.Events) != len(rep.Events) || got.Events[1] != rep.Events[1] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Record.Iters != rep.Record.Iters || got.Record.RTTP95Ns != rep.Record.RTTP95Ns ||
+		got.Record.Counters["wire_drops"] != 12 {
+		t.Fatalf("record mismatch: %+v", got.Record)
+	}
+	if got.Record.ClockOffsetNs != rep.Record.ClockOffsetNs {
+		t.Fatalf("offset mismatch: %v", got.Record.ClockOffsetNs)
+	}
+}
+
+func TestUnpackRejectsTruncation(t *testing.T) {
+	words, err := pack(&RankReport{Rank: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unpack(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, err := unpack(words[:len(words)/2]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+// fakeComm is an in-memory world for Gather: mail[src] holds what src
+// shipped to root.
+type fakeComm struct {
+	rank, size int
+	mail       map[int][][]float64
+}
+
+func (f *fakeComm) RankID() int    { return f.rank }
+func (f *fakeComm) WorldSize() int { return f.size }
+func (f *fakeComm) Isend(to, tag int, data []float64) {
+	cp := append([]float64(nil), data...)
+	f.mail[f.rank] = append(f.mail[f.rank], cp)
+}
+func (f *fakeComm) RecvTimeout(from, tag int, d time.Duration) ([]float64, error) {
+	if q := f.mail[from]; len(q) > 0 {
+		m := q[0]
+		f.mail[from] = q[1:]
+		return m, nil
+	}
+	return nil, errTimeout{}
+}
+
+type errTimeout struct{}
+
+func (errTimeout) Error() string { return "timeout" }
+
+func TestGatherSkipsDeadRank(t *testing.T) {
+	mail := map[int][][]float64{}
+	for _, q := range []int{1, 3} { // rank 2 never ships
+		c := &fakeComm{rank: q, size: 4, mail: mail}
+		if err := Ship(c, &RankReport{Rank: q, Record: ledger.RankRecord{Rank: q, Iters: 10 * q}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := &fakeComm{rank: 0, size: 4, mail: mail}
+	reps := Gather(root, 10*time.Millisecond)
+	if len(reps) != 2 || reps[0].Rank != 1 || reps[1].Rank != 3 {
+		t.Fatalf("gathered %+v", reps)
+	}
+	if reps[1].Record.Iters != 30 {
+		t.Fatalf("rank 3 record: %+v", reps[1].Record)
+	}
+}

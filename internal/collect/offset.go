@@ -1,0 +1,103 @@
+// Package collect is the cluster-observability side of the multi-process
+// world: clock alignment between ranks and root-side collection of each
+// rank's telemetry (metric snapshots, trace-ring flushes, and final
+// ledger sub-records) so a -spawn run yields one merged trace, one
+// ledger record, and one live dashboard instead of N disjoint ones.
+//
+// Clock alignment uses the transport's heartbeat timing probes: each
+// ping/echo exchange yields one NTP-style midpoint sample
+//
+//	offset = ((t2 - t1) + (t2 - t4)) / 2
+//	rtt    = t4 - t1
+//
+// (t1 = ping sent, t2 = ping turned around on the peer, t4 = echo
+// received; the echo is stamped once so t3 = t2). The estimator keeps a
+// sliding window of samples and reports the median offset over the
+// lowest-RTT half — low-RTT exchanges bound the asymmetry error the
+// tightest, exactly the filtering NTP's clock discipline applies.
+// Offsets are expressed as peer_clock - local_clock in nanoseconds of
+// each side's monotonic transport epoch, so rebasing a rank-local
+// timestamp onto another rank's timeline is a single addition.
+package collect
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// offsetWindow is the sample window the estimator keeps; old samples
+// fall off so a drifting clock tracks rather than averages forever.
+const offsetWindow = 64
+
+// offsetSample is one ping/echo measurement.
+type offsetSample struct {
+	offset float64 // peer_clock - local_clock, ns
+	rtt    float64 // round trip, ns
+}
+
+// OffsetEstimator estimates the clock offset to one peer from
+// heartbeat RTT samples. Safe for concurrent use (the transport's
+// reader goroutine adds samples while collectors read the estimate).
+// The zero value is ready to use.
+type OffsetEstimator struct {
+	mu      sync.Mutex
+	samples []offsetSample // ring of the last offsetWindow samples
+	next    int            // ring cursor
+	scratch []offsetSample // reused sort buffer
+}
+
+// AddPingEcho folds in one completed ping/echo exchange: t1 = local
+// monotonic ns when the ping was sent, t2 = the peer's monotonic ns at
+// turnaround, t4 = local monotonic ns when the echo arrived. Samples
+// with negative RTT (clock retreat, reordered echo) are discarded.
+func (e *OffsetEstimator) AddPingEcho(t1, t2, t4 float64) {
+	rtt := t4 - t1
+	if rtt < 0 || math.IsNaN(rtt) || math.IsInf(rtt, 0) {
+		return
+	}
+	// Midpoint: the peer stamped t2 once, so the exchange is
+	// (t1 -> t2 | t2 -> t4) and offset = ((t2-t1)+(t2-t4))/2.
+	off := ((t2 - t1) + (t2 - t4)) / 2
+	if math.IsNaN(off) || math.IsInf(off, 0) {
+		return
+	}
+	e.mu.Lock()
+	if len(e.samples) < offsetWindow {
+		e.samples = append(e.samples, offsetSample{off, rtt})
+	} else {
+		e.samples[e.next] = offsetSample{off, rtt}
+		e.next = (e.next + 1) % offsetWindow
+	}
+	e.mu.Unlock()
+}
+
+// Samples reports how many measurements the window currently holds.
+func (e *OffsetEstimator) Samples() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.samples)
+}
+
+// OffsetNs returns the current estimate of peer_clock - local_clock in
+// nanoseconds: the median offset over the lowest-RTT half of the
+// window. ok is false until at least one sample has landed.
+func (e *OffsetEstimator) OffsetNs() (offset float64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := len(e.samples)
+	if n == 0 {
+		return 0, false
+	}
+	e.scratch = append(e.scratch[:0], e.samples...)
+	// Keep the lowest-RTT half (at least one): those exchanges saw the
+	// least queueing, so their midpoint asymmetry error is smallest.
+	sort.Slice(e.scratch, func(i, j int) bool { return e.scratch[i].rtt < e.scratch[j].rtt })
+	keep := (n + 1) / 2
+	best := e.scratch[:keep]
+	sort.Slice(best, func(i, j int) bool { return best[i].offset < best[j].offset })
+	if keep%2 == 1 {
+		return best[keep/2].offset, true
+	}
+	return (best[keep/2-1].offset + best[keep/2].offset) / 2, true
+}

@@ -1,0 +1,132 @@
+package dist_test
+
+// Whole-pipeline coverage for the cluster observability path: three
+// ranks solve over real TCP sockets with tracing on, the non-root
+// ranks ship their telemetry reports through the collect side channel,
+// and the root merges the skew-corrected timelines. The merged trace
+// must be causally clean and must still satisfy Theorem 1's norm
+// bounds when bridged to the model — the same check the shm tracer
+// passes, now across process timelines.
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/collect"
+	"repro/internal/dist"
+	"repro/internal/dist/tcptransport"
+	"repro/internal/ledger"
+	"repro/internal/matgen"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+func TestSolveRankTCPMergedTraceNorms(t *testing.T) {
+	const p = 3
+	// Smaller than the soak problem: the model-side propagation analysis
+	// of the reconstructed schedule is O(events·n) and a 12x12 grid
+	// pushes the runtime past 20s.
+	a := matgen.FD2D(8, 8)
+	rng := rand.New(rand.NewPCG(7, 11))
+	b := testVec(rng, a.N)
+	x0 := testVec(rng, a.N)
+	addrs := freeAddrs(t, p)
+	trs := dialRanks(t, p, func(rank int) tcptransport.Config {
+		return tcptransport.Config{
+			Rank: rank, Addrs: addrs,
+			Metrics:        obs.NewSolverMetrics(obs.NewRegistry()),
+			HeartbeatEvery: 20 * time.Millisecond,
+		}
+	})
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+
+	recs := make([]*trace.Recorder, p)
+	results := make([]*dist.Result, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for rank := 0; rank < p; rank++ {
+		recs[rank] = trace.NewRecorder(p, 1<<16)
+		go func(rank int) {
+			defer wg.Done()
+			results[rank] = dist.SolveRank(trs[rank], a, b, x0, dist.SolveOptions{
+				Procs: p, MaxIters: 200000, Tol: 1e-6, Async: true,
+				NetTimeout: 20 * time.Second,
+				Tracer:     recs[rank],
+			})
+		}(rank)
+	}
+	wg.Wait()
+	for rank, res := range results {
+		if res == nil || !res.Converged {
+			t.Fatalf("rank %d did not converge", rank)
+		}
+	}
+
+	// Non-root ranks ship their reports exactly as ajdist does: events
+	// plus the partial clock rebase (recorder-base minus transport-epoch
+	// plus the heartbeat-estimated offset to root).
+	var swg sync.WaitGroup
+	for rank := 1; rank < p; rank++ {
+		swg.Add(1)
+		go func(rank int) {
+			defer swg.Done()
+			off, _ := trs[rank].OffsetTo(0)
+			rep := collect.RankReport{
+				Rank:    rank,
+				Record:  ledger.RankRecord{Rank: rank, Converged: true},
+				ShiftNs: recs[rank].Base().Sub(trs[rank].Epoch()).Nanoseconds() + int64(off),
+				Events:  recs[rank].Worker(rank).Events(),
+			}
+			if err := collect.Ship(trs[rank], &rep); err != nil {
+				t.Errorf("rank %d ship: %v", rank, err)
+			}
+		}(rank)
+	}
+	gathered := collect.Gather(trs[0], 10*time.Second)
+	swg.Wait()
+	if len(gathered) != p-1 {
+		t.Fatalf("root gathered %d reports, want %d", len(gathered), p-1)
+	}
+
+	d0 := recs[0].Base().Sub(trs[0].Epoch()).Nanoseconds()
+	procs := []trace.ProcTrace{{Rank: 0, Events: recs[0].Worker(0).Events()}}
+	for _, rep := range gathered {
+		if len(rep.Events) == 0 {
+			t.Fatalf("rank %d shipped no trace events", rep.Rank)
+		}
+		procs = append(procs, trace.ProcTrace{
+			Rank: rep.Rank, ShiftNs: rep.ShiftNs - d0, Events: rep.Events,
+		})
+	}
+	merged, err := trace.MergeProcesses(procs, p)
+	if err != nil {
+		t.Fatalf("MergeProcesses: %v", err)
+	}
+	if v := trace.CausalViolations(merged); v != 0 {
+		t.Errorf("merged trace has %d causal violations, want 0", v)
+	}
+
+	owner := partition.Contiguous(a.N, p).Part
+	mt, err := trace.ToModelTraceRanks(merged, a, owner)
+	if err != nil {
+		t.Fatalf("ToModelTraceRanks: %v", err)
+	}
+	rep, err := trace.VerifyNorms(a, mt, 1e-9, 400)
+	if err != nil {
+		t.Fatalf("VerifyNorms: %v", err)
+	}
+	if rep.MasksChecked == 0 {
+		t.Fatal("VerifyNorms checked no masks")
+	}
+	if rep.Violations != 0 {
+		t.Errorf("merged trace violates the norm bounds: %d of %d masks (max |G|_inf=%g |H|_1=%g)",
+			rep.Violations, rep.MasksChecked, rep.MaxGNormInf, rep.MaxHNorm1)
+	}
+}

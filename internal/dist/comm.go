@@ -173,6 +173,7 @@ const (
 	// tagToken, tagHalt (-3, -4) live in termination.go.
 	tagGather = -5
 	tagDecide = -6
+	// collect.Tag (-7) is the end-of-run telemetry collection channel.
 )
 
 // Allreduce sums each rank's contribution and returns the global sum on

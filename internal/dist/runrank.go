@@ -371,6 +371,7 @@ func runRank(c Comm, inj *fault.Injector, sh *rankShared) rankOut {
 						}
 						c.Isend(q, 0, buf)
 						tw.Send(q, iter)
+						opt.Metrics.Wire(q).Retransmit()
 						if old, ok := held[q]; ok {
 							delete(held, q)
 							c.Isend(q, 0, old)

@@ -1,0 +1,104 @@
+package tcptransport
+
+// Wire-measurement coverage: the measured one-way delay histogram must
+// agree with the fault injector's configured Pareto when the injector
+// IS the wire (loopback transit is microseconds, the injected sleeps
+// are milliseconds), and the defensive heartbeat payload cap must
+// reject oversized control frames before they allocate.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func TestHeartbeatPayloadCapRejected(t *testing.T) {
+	hdr := make([]byte, headerLen)
+	ok := frame{typ: frHeartbeat, src: 0, payload: make([]float64, maxHeartbeatWords)}
+	if _, err := readFrame(bytes.NewReader(appendFrame(nil, &ok)), hdr); err != nil {
+		t.Fatalf("heartbeat at the cap rejected: %v", err)
+	}
+	big := frame{typ: frHeartbeat, src: 0, payload: make([]float64, maxHeartbeatWords+1)}
+	if _, err := readFrame(bytes.NewReader(appendFrame(nil, &big)), hdr); err == nil {
+		t.Fatal("heartbeat above the payload cap accepted")
+	}
+}
+
+// TestMeasuredDelayMatchesConfiguredPareto drives data frames through
+// a link whose only latency is the injected truncated Pareto and
+// checks the receiver's measured one-way quantiles against the plan's
+// analytic ones. The histogram buckets are factor-4 and Quantile
+// returns a bucket's upper bound, so the comparison allows one bucket
+// of slack each way — what it actually pins down is that the stamp is
+// taken at wire entry (before the injected sleep): with the stamp
+// taken after the sleep the measured quantiles collapse to the
+// microsecond floor and fail the lower bound by orders of magnitude.
+func TestMeasuredDelayMatchesConfiguredPareto(t *testing.T) {
+	addrs := testAddrs(t, 2)
+	plan := &fault.Plan{Seed: 5, DelayMean: 2 * time.Millisecond}
+	var trs [2]*Transport
+	for rank := 0; rank < 2; rank++ {
+		tr, err := Dial(Config{
+			Rank: rank, Addrs: addrs, Metrics: testMetrics(),
+			WireFault:      plan,
+			HeartbeatEvery: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		defer tr.Close()
+		trs[rank] = tr
+	}
+	if err := trs[0].WaitReady(10 * time.Second); err != nil {
+		t.Fatalf("mesh: %v", err)
+	}
+	// Delay samples are only folded in once the receiver has a clock
+	// offset estimate for the sender; wait for the first heartbeat
+	// exchanges before generating traffic.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := trs[1].OffsetTo(0); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("receiver never estimated a clock offset to the sender")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// One frame in flight at a time: a burst would overflow the lossy
+	// outbox while the writer sleeps out the injected delays, and the
+	// evicted frames' draws would go missing from the histogram.
+	const k = 150
+	for i := 0; i < k; i++ {
+		trs[0].Isend(1, 0, []float64{float64(i), 0, 0, 0})
+		if _, err := trs[1].RecvTimeout(0, 0, 10*time.Second); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+
+	st, ok := trs[1].PeerStats(0)
+	if !ok {
+		t.Fatal("no peer stats for rank 0")
+	}
+	if st.DelaySamples < 100 {
+		t.Fatalf("only %d delay samples measured, want >= 100", st.DelaySamples)
+	}
+	check := func(name string, measuredNs float64, q float64) {
+		want := float64(plan.DelayQuantile(q))
+		// One factor-4 bucket of slack up (upper-bound quantiles), a
+		// little more than one down (sample scatter near a boundary).
+		lo, hi := want/6, want*6
+		if measuredNs < lo || measuredNs > hi {
+			t.Errorf("measured %s %.3gms outside [%.3g, %.3g]ms of configured %.3gms",
+				name, measuredNs/1e6, lo/1e6, hi/1e6, want/1e6)
+		}
+	}
+	check("p50", st.DelayP50Ns, 0.50)
+	check("p95", st.DelayP95Ns, 0.95)
+	if st.DelayP95Ns < st.DelayP50Ns {
+		t.Errorf("delay p95 %.3gms below p50 %.3gms", st.DelayP95Ns/1e6, st.DelayP50Ns/1e6)
+	}
+}

@@ -25,12 +25,41 @@ import (
 // protocol-tagged data frames are never wire-faulted; only user-tag
 // data and put frames draw fates.
 const (
-	frHello     = 1 // handshake: src introduces itself on a new conn
+	frHello     = 1 // handshake: src introduces itself on a new conn; a = wire version
 	frData      = 2 // point-to-point message: a = tag
 	frPut       = 3 // RMA put: a = window id, b = element offset
 	frFlag      = 4 // termination flag: a = 0/1 (src's convergence), b = epoch
 	frDead      = 5 // liveness: a = rank declared fail-stopped
-	frHeartbeat = 6 // keepalive; payload empty
+	frHeartbeat = 6 // keepalive; a = heartbeat version, b = kind (ping/echo)
+)
+
+// Heartbeat versioning. Version 0 heartbeats (the original wire format)
+// carry an empty payload and no kind; version 1 heartbeats are timing
+// probes: a ping carries [t1] (the sender's monotonic ns at send) and
+// the echo replies [t1, t2] (t2 = the echoer's monotonic ns when it
+// turned the ping around), which is enough for the NTP-style midpoint
+// offset and RTT estimates (t3 ~ t2: the echo is stamped once, at
+// turnaround, and the control lane sends it promptly). A v0 peer
+// ignores the payload and a v1 peer tolerates an empty one, so mixed
+// worlds keep heartbeating.
+const (
+	hbVersion = 1 // heartbeat format we speak (frame.a)
+	hbPing    = 0 // frame.b: timing probe carrying [t1]
+	hbEcho    = 1 // frame.b: reply carrying [t1, t2]
+)
+
+// maxHeartbeatWords bounds a heartbeat payload defensively: timing
+// probes need at most a few words, so anything larger is a corrupt or
+// hostile frame and the connection is dropped rather than buffered.
+const maxHeartbeatWords = 4
+
+// Header flag bits (hdr[5]).
+const (
+	// flagStamped marks a data/put frame whose final payload word is a
+	// send timestamp (monotonic ns since the sender's transport epoch,
+	// as a float64) rather than solver data. The receiver strips it and
+	// feeds the one-way delay histogram.
+	flagStamped = 1 << 0
 )
 
 // frameMagic guards against cross-protocol connections; "AJF1" =
@@ -48,28 +77,50 @@ const headerLen = 24
 // cannot make the reader allocate gigabytes.
 const maxFrameWords = 1 << 22 // 32 MiB of float64s
 
-// frame is the in-memory form of one wire frame.
+// frame is the in-memory form of one wire frame. stamp is receive-side
+// only: readFrame strips a flagStamped trailing word into it (0 when
+// the frame was unstamped).
 type frame struct {
 	typ     byte
 	src     int32
 	a, b    int32
 	payload []float64
+	stamp   float64
 }
 
 // appendFrame serializes f onto buf and returns the extended slice
 // (writer-side, reusing the writer's scratch buffer).
 func appendFrame(buf []byte, f *frame) []byte {
+	return appendFrameStamp(buf, f, 0, false)
+}
+
+// appendFrameStamp serializes f with an optional trailing send
+// timestamp. The stamp never mutates f — frames may be serialized more
+// than once (a Dup fate re-appends the same *frame) — it is written
+// straight into the wire image: flagStamped in the header, count+1, and
+// the stamp as the final payload word.
+func appendFrameStamp(buf []byte, f *frame, stampNs float64, stamped bool) []byte {
 	var hdr [headerLen]byte
 	copy(hdr[0:4], frameMagic[:])
 	hdr[4] = f.typ
+	count := len(f.payload)
+	if stamped {
+		hdr[5] = flagStamped
+		count++
+	}
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(f.src))
 	binary.LittleEndian.PutUint32(hdr[12:16], uint32(f.a))
 	binary.LittleEndian.PutUint32(hdr[16:20], uint32(f.b))
-	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(f.payload)))
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(count))
 	buf = append(buf, hdr[:]...)
 	for _, v := range f.payload {
 		var w [8]byte
 		binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+		buf = append(buf, w[:]...)
+	}
+	if stamped {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], math.Float64bits(stampNs))
 		buf = append(buf, w[:]...)
 	}
 	return buf
@@ -94,6 +145,13 @@ func readFrame(r io.Reader, hdr []byte) (*frame, error) {
 	if count > maxFrameWords {
 		return nil, fmt.Errorf("tcptransport: frame payload %d words exceeds cap", count)
 	}
+	if f.typ == frHeartbeat && count > maxHeartbeatWords {
+		return nil, fmt.Errorf("tcptransport: heartbeat payload %d words exceeds cap %d", count, maxHeartbeatWords)
+	}
+	stamped := hdr[5]&flagStamped != 0
+	if stamped && count == 0 {
+		return nil, fmt.Errorf("tcptransport: stamped frame with empty payload")
+	}
 	if count == 0 {
 		return f, nil
 	}
@@ -104,6 +162,10 @@ func readFrame(r io.Reader, hdr []byte) (*frame, error) {
 	f.payload = make([]float64, count)
 	for i := range f.payload {
 		f.payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	if stamped {
+		f.stamp = f.payload[count-1]
+		f.payload = f.payload[:count-1]
 	}
 	return f, nil
 }

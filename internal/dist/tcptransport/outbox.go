@@ -155,3 +155,10 @@ func (o *outbox) len() int {
 	defer o.mu.Unlock()
 	return len(o.control) + len(o.putOrder) + len(o.data)
 }
+
+// depths reports the per-lane queue depths, for outbox depth gauges.
+func (o *outbox) depths() (control, puts, data int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.control), len(o.putOrder), len(o.data)
+}

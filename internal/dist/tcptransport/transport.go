@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/collect"
 	"repro/internal/dist"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -102,7 +103,17 @@ type Transport struct {
 	m      *obs.SolverMetrics
 	rm     *obs.RankMetrics
 	wg     sync.WaitGroup
+
+	// epoch anchors this rank's wire timestamps: every stamp on the
+	// wire (heartbeat probes, stamped data/put frames) is monotonic
+	// nanoseconds since epoch, so the offset estimator aligns epochs —
+	// not wall clocks — across ranks.
+	epoch time.Time
 }
+
+// mono returns monotonic nanoseconds since the transport epoch, as the
+// float64 the wire carries (exact below 2^53 ns ≈ 104 days).
+func (t *Transport) mono() float64 { return float64(time.Since(t.epoch)) }
 
 type boxKey struct{ src, tag int }
 
@@ -123,8 +134,22 @@ type peer struct {
 	lastSeen atomic.Int64 // UnixNano of the last frame read
 	everConn atomic.Bool
 
-	inj  *fault.Injector // wire faults for the self→peer link
-	held *frame          // reorder holdback
+	inj       *fault.Injector // wire faults for the self→peer link
+	held      *frame          // reorder holdback
+	heldStamp float64         // wire-entry instant of the held frame
+
+	// Wire-measurement state. est and the standalone histograms are
+	// always on (PeerStats works with a nil metrics registry); wm
+	// additionally feeds the obs families and is nil-safe.
+	verOK atomic.Bool // peer speaks heartbeat v1 (timing probes)
+	est   *collect.OffsetEstimator
+	rtt   *obs.Histogram // measured heartbeat RTT, seconds
+	delay *obs.Histogram // measured one-way data/put delay, seconds
+	wm    *obs.WireMetrics
+
+	drops      atomic.Uint64 // injected frame drops on this link
+	evicts     atomic.Uint64 // outbox evict-oldest sheds on this link
+	reconnects atomic.Uint64 // re-established connections
 }
 
 func (p *peer) getConn() net.Conn {
@@ -193,6 +218,7 @@ func Dial(cfg Config) (*Transport, error) {
 		closed: make(chan struct{}),
 		m:      cfg.Metrics,
 		rm:     cfg.Metrics.Rank(cfg.Rank),
+		epoch:  time.Now(),
 	}
 	t.board = newWireBoard(cfg.Rank, size, cfg.Metrics, t.broadcastControl)
 	t.peers = make([]*peer, size)
@@ -206,9 +232,17 @@ func Dial(cfg Config) (*Transport, error) {
 			addr:   cfg.Addrs[q],
 			dialer: q < cfg.Rank, // higher rank dials lower
 			connCh: make(chan struct{}, 1),
-			out:    newOutbox(cfg.OutboxCap, t.evicted),
 			inj:    cfg.WireFault.ForLink(cfg.Rank, q),
+			est:    &collect.OffsetEstimator{},
+			rtt:    obs.NewHistogram(obs.LatencyBuckets()),
+			delay:  obs.NewHistogram(obs.LatencyBuckets()),
+			wm:     cfg.Metrics.Wire(q),
 		}
+		p.out = newOutbox(cfg.OutboxCap, func() {
+			t.m.TransportEvict()
+			p.wm.Evict()
+			p.evicts.Add(1)
+		})
 		p.lastSeen.Store(now)
 		t.peers[q] = p
 		t.wg.Add(1)
@@ -263,6 +297,58 @@ func (t *Transport) Board() dist.Board { return t.board }
 // Addr returns the listener's actual address (useful when the config
 // asked for port 0).
 func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// Epoch returns the instant this rank's wire timestamps count from.
+func (t *Transport) Epoch() time.Time { return t.epoch }
+
+// OffsetTo returns the estimated clock offset to rank q — the peer's
+// monotonic epoch-time minus the local one, in nanoseconds — from the
+// heartbeat ping/echo samples. ok is false for self, an invalid rank,
+// or before any sample landed.
+func (t *Transport) OffsetTo(q int) (offsetNs float64, ok bool) {
+	if q < 0 || q >= t.size || t.peers[q] == nil {
+		return 0, false
+	}
+	return t.peers[q].est.OffsetNs()
+}
+
+// PeerStats is a snapshot of the measured wire behavior of one link,
+// independent of any metrics registry (the always-on transport-local
+// instrumentation), in the units ledger sub-records carry.
+type PeerStats struct {
+	Rank                   int
+	RTTSamples             int     // completed ping/echo exchanges
+	RTTP50Ns, RTTP95Ns     float64 // measured round-trip quantiles
+	DelayP50Ns, DelayP95Ns float64 // measured one-way delay quantiles
+	DelaySamples           uint64  // stamped data/put frames observed
+	OffsetNs               float64 // peer clock - local clock estimate
+	Drops                  uint64  // injected frame drops on this link
+	Evicts                 uint64  // outbox evict-oldest sheds
+	Reconnects             uint64  // re-established connections
+}
+
+// PeerStats snapshots the link to rank q; ok is false for self or an
+// invalid rank.
+func (t *Transport) PeerStats(q int) (PeerStats, bool) {
+	if q < 0 || q >= t.size || t.peers[q] == nil {
+		return PeerStats{}, false
+	}
+	p := t.peers[q]
+	off, _ := p.est.OffsetNs()
+	return PeerStats{
+		Rank:         q,
+		RTTSamples:   p.est.Samples(),
+		RTTP50Ns:     p.rtt.Quantile(0.50) * 1e9,
+		RTTP95Ns:     p.rtt.Quantile(0.95) * 1e9,
+		DelayP50Ns:   p.delay.Quantile(0.50) * 1e9,
+		DelayP95Ns:   p.delay.Quantile(0.95) * 1e9,
+		DelaySamples: p.delay.Count(),
+		OffsetNs:     off,
+		Drops:        p.drops.Load(),
+		Evicts:       p.evicts.Load(),
+		Reconnects:   p.reconnects.Load(),
+	}, true
+}
 
 func (t *Transport) box(src, tag int) *dist.Mailbox {
 	key := boxKey{src, tag}
@@ -553,6 +639,9 @@ func (t *Transport) handleAccept(conn net.Conn) {
 		return
 	}
 	p := t.peers[src]
+	if f.a >= hbVersion {
+		p.verOK.Store(true)
+	}
 	wasConnected := p.everConn.Swap(true)
 	p.lastSeen.Store(time.Now().UnixNano())
 	p.setConn(conn)
@@ -564,6 +653,8 @@ func (t *Transport) handleAccept(conn net.Conn) {
 	}
 	if wasConnected {
 		t.m.TransportReconnect()
+		p.wm.Reconnect()
+		p.reconnects.Add(1)
 	}
 	t.board.announce()
 	t.wg.Add(1)
@@ -584,6 +675,9 @@ func (t *Transport) readerLoop(p *peer, conn net.Conn) {
 		}
 		p.lastSeen.Store(time.Now().UnixNano())
 		t.m.TransportRx(f.wireLen())
+		if f.stamp > 0 && (f.typ == frData || f.typ == frPut) {
+			t.observeDelay(p, f.stamp)
+		}
 		switch f.typ {
 		case frData:
 			t.box(int(f.src), int(f.a)).Push(f.payload)
@@ -608,10 +702,69 @@ func (t *Transport) readerLoop(p *peer, conn net.Conn) {
 			if int(f.a) != t.rank {
 				t.board.MarkDead(int(f.a))
 			}
-		case frHeartbeat, frHello:
-			// Liveness already refreshed above.
+		case frHeartbeat:
+			t.handleHeartbeat(p, f)
+		case frHello:
+			// Liveness already refreshed above; learn the peer's wire
+			// version if the hello carries one.
+			if f.a >= hbVersion {
+				p.verOK.Store(true)
+			}
 		}
 	}
+}
+
+// handleHeartbeat processes one inbound keepalive. Version-0 frames
+// (empty payload, a=0) are pure liveness — already refreshed by the
+// caller. Version-1 frames are timing probes: a ping is turned around
+// on the control lane as an echo, and a completed echo yields one RTT
+// and clock-offset sample for the link.
+func (t *Transport) handleHeartbeat(p *peer, f *frame) {
+	if f.a < hbVersion {
+		return
+	}
+	p.verOK.Store(true)
+	switch f.b {
+	case hbPing:
+		if len(f.payload) < 1 {
+			return
+		}
+		echo := &frame{typ: frHeartbeat, src: int32(t.rank), a: hbVersion, b: hbEcho,
+			payload: []float64{f.payload[0], t.mono()}}
+		p.out.push(echo, true)
+	case hbEcho:
+		if len(f.payload) < 2 {
+			return
+		}
+		t1, t2, t4 := f.payload[0], f.payload[1], t.mono()
+		if t4 < t1 {
+			return
+		}
+		p.est.AddPingEcho(t1, t2, t4)
+		p.rtt.Observe((t4 - t1) / 1e9)
+		p.wm.ObserveRTT((t4 - t1) / 1e9)
+		if off, ok := p.est.OffsetNs(); ok {
+			p.wm.SetClockOffset(off / 1e9)
+		}
+	}
+}
+
+// observeDelay folds one stamped inbound frame into the link's one-way
+// delay histogram: the stamp is the sender's monotonic send time, so
+// delay = (local arrival rebased onto the sender's clock) - stamp.
+// Without an offset estimate yet, the sample is skipped rather than
+// polluted with raw epoch skew.
+func (t *Transport) observeDelay(p *peer, stamp float64) {
+	off, ok := p.est.OffsetNs()
+	if !ok {
+		return
+	}
+	d := (t.mono() + off) - stamp
+	if d < 0 {
+		d = 0
+	}
+	p.delay.Observe(d / 1e9)
+	p.wm.ObserveDelay(d / 1e9)
 }
 
 // writerBatchBytes caps how much a writer serializes before forcing a
@@ -647,9 +800,17 @@ func (t *Transport) writerLoop(p *peer) {
 		}
 		buf, lens = buf[:0], lens[:0]
 	}
-	add := func(f *frame) {
+	add := func(f *frame, stamp float64) {
 		pre := len(buf)
-		buf = appendFrame(buf, f)
+		// Stamp data-class frames to v1 peers with their wire-entry
+		// instant — the stamp lives in the wire image, never in the
+		// frame, so a Dup fate re-serializing the same *frame stays
+		// race-free and each copy carries its own send instant.
+		if p.verOK.Load() && (f.typ == frPut || (f.typ == frData && f.a >= 0)) {
+			buf = appendFrameStamp(buf, f, stamp, true)
+		} else {
+			buf = appendFrame(buf, f)
+		}
 		lens = append(lens, len(buf)-pre)
 	}
 	for {
@@ -660,8 +821,14 @@ func (t *Transport) writerLoop(p *peer) {
 		}
 		for {
 			// Wire faults apply to user-tag data and put frames only.
+			// The stamp is taken BEFORE the injected delay: the injector
+			// emulates a slow wire, and a real slow wire shows up in the
+			// receiver's measured one-way delay — that is what lets the
+			// measured distribution be compared against the configured
+			// one (see the delay test and DESIGN.md).
 			faultable := p.inj != nil &&
 				(f.typ == frPut || (f.typ == frData && f.a >= 0))
+			stamp := t.mono()
 			if faultable {
 				if d := p.inj.IterDelay(); d > 0 {
 					// A delayed frame delays the frames behind it too —
@@ -673,31 +840,35 @@ func (t *Transport) writerLoop(p *peer) {
 				switch p.inj.SendFate(p.rank) {
 				case fault.Drop:
 					t.m.FaultDrop()
+					p.wm.Drop()
+					p.drops.Add(1)
 				case fault.Dup:
 					t.m.FaultDup()
-					add(f)
-					add(f)
+					add(f, stamp)
+					add(f, stamp)
 					if p.held != nil {
-						add(p.held)
+						add(p.held, p.heldStamp)
 						p.held = nil
 					}
 				case fault.Reorder:
 					// Hold the frame back until the next data frame on
-					// this link overtakes it.
+					// this link overtakes it; its stamp stays its original
+					// wire-entry instant, so the holdback reads as extra
+					// measured delay, exactly like real reordering.
 					t.m.FaultReorder()
 					if p.held != nil {
-						add(p.held)
+						add(p.held, p.heldStamp)
 					}
-					p.held = f
+					p.held, p.heldStamp = f, stamp
 				default:
-					add(f)
+					add(f, stamp)
 					if p.held != nil {
-						add(p.held)
+						add(p.held, p.heldStamp)
 						p.held = nil
 					}
 				}
 			} else {
-				add(f)
+				add(f, stamp)
 			}
 			if len(buf) >= writerBatchBytes {
 				flush()
@@ -753,7 +924,7 @@ func (t *Transport) dialPeer(p *peer) net.Conn {
 		if err == nil {
 			// Introduce ourselves before the conn is trusted with
 			// traffic; the hello is what keys the acceptor's peer slot.
-			hello := appendFrame(nil, &frame{typ: frHello, src: int32(t.rank)})
+			hello := appendFrame(nil, &frame{typ: frHello, src: int32(t.rank), a: hbVersion})
 			if _, werr := conn.Write(hello); werr != nil {
 				conn.Close()
 			} else {
@@ -765,6 +936,8 @@ func (t *Transport) dialPeer(p *peer) net.Conn {
 				}
 				if wasConnected {
 					t.m.TransportReconnect()
+					p.wm.Reconnect()
+					p.reconnects.Add(1)
 				}
 				t.board.announce()
 				t.wg.Add(1)
@@ -802,7 +975,6 @@ func (t *Transport) heartbeatLoop() {
 	defer t.wg.Done()
 	ticker := time.NewTicker(t.cfg.HeartbeatEvery)
 	defer ticker.Stop()
-	hb := &frame{typ: frHeartbeat, src: int32(t.rank)}
 	for {
 		select {
 		case <-t.closed:
@@ -814,7 +986,14 @@ func (t *Transport) heartbeatLoop() {
 			if p == nil {
 				continue
 			}
-			p.out.pushHeartbeat(hb)
+			// Each keepalive is a v1 timing probe: [t1] stamped at push.
+			// pushHeartbeat coalesces, so a backed-up link keeps at most
+			// one pending ping (its slightly stale t1 inflates that RTT
+			// sample; the estimator's lowest-RTT filter sheds it).
+			p.out.pushHeartbeat(&frame{typ: frHeartbeat, src: int32(t.rank),
+				a: hbVersion, b: hbPing, payload: []float64{t.mono()}})
+			c, pu, d := p.out.depths()
+			p.wm.SetOutboxDepths(c, pu, d)
 			if now-p.lastSeen.Load() > int64(t.cfg.PeerTimeout) && !t.board.IsDead(p.rank) {
 				t.board.MarkDead(p.rank)
 			}

@@ -247,6 +247,39 @@ func (p *Plan) ForRank(id int) *Injector {
 	return in
 }
 
+// DelayQuantile returns the q-quantile (0 < q < 1) of the plan's
+// configured delay distribution: the truncated Pareto(x_m, alpha) the
+// injector draws from, including DelayProb's point mass at zero. This
+// is the analytic reference the transport's *measured* one-way delay
+// histogram is compared against. Zero when the plan injects no delay.
+func (p *Plan) DelayQuantile(q float64) time.Duration {
+	if p == nil || p.DelayMean <= 0 || q <= 0 || q >= 1 {
+		return 0
+	}
+	alpha := p.DelayAlpha
+	if alpha == 0 {
+		alpha = 1.5
+	}
+	prob := p.DelayProb
+	if prob == 0 {
+		prob = 1
+	}
+	if q <= 1-prob {
+		return 0
+	}
+	q = (q - (1 - prob)) / prob
+	xm := float64(p.DelayMean) * (alpha - 1) / alpha
+	d := time.Duration(xm * math.Pow(1/(1-q), 1/alpha))
+	dmax := p.DelayMax
+	if dmax <= 0 {
+		dmax = 50 * p.DelayMean
+	}
+	if d > dmax {
+		d = dmax
+	}
+	return d
+}
+
 // armDelay configures in's heavy-tailed delay distribution for rank (or
 // link-source) id per the plan.
 func (p *Plan) armDelay(in *Injector, id int) {

@@ -125,6 +125,44 @@ type AlertInfo struct {
 	Msg    string `json:"msg,omitempty"`
 }
 
+// RankRecord is one rank's contribution to a distributed run's
+// record. Non-root ranks build theirs locally at exit and ship it to
+// the root over the transport's collection channel; the root embeds
+// the full set in its RunRecord, so one ledger record carries the
+// whole cluster's outcome — per-rank iteration counts, residual
+// shares, staleness quantiles, and the measured wire telemetry (RTT,
+// one-way delay, clock offset, drop/evict/reconnect/retransmit
+// counters) that PR 10's transport instrumentation produces.
+type RankRecord struct {
+	Rank       int    `json:"rank"`
+	Converged  bool   `json:"converged"`
+	StopReason string `json:"stop_reason,omitempty"`
+	// Iters is the rank's local asynchronous iteration count;
+	// Relaxations the row relaxations it performed.
+	Iters       int    `json:"iters,omitempty"`
+	Relaxations uint64 `json:"relaxations,omitempty"`
+	// ResidualShare is the rank's share of the final squared residual
+	// (sum over owned rows / global), in [0,1] when known.
+	ResidualShare float64 `json:"residual_share,omitempty"`
+	// StalenessP50/P95 are the rank's read-staleness quantiles in
+	// iterations (the paper's delay model observable).
+	StalenessP50 float64 `json:"staleness_p50,omitempty"`
+	StalenessP95 float64 `json:"staleness_p95,omitempty"`
+	// RTT and one-way delay quantiles are measured by the transport's
+	// heartbeat echo / frame stamping, aggregated across peers, in ns.
+	RTTP50Ns   float64 `json:"rtt_p50_ns,omitempty"`
+	RTTP95Ns   float64 `json:"rtt_p95_ns,omitempty"`
+	DelayP50Ns float64 `json:"delay_p50_ns,omitempty"`
+	DelayP95Ns float64 `json:"delay_p95_ns,omitempty"`
+	// ClockOffsetNs is the rank's estimated clock offset to root
+	// (root minus rank) at exit; 0 for the root itself.
+	ClockOffsetNs float64 `json:"clock_offset_ns,omitempty"`
+	// Counters carries the rank's nonzero wire counters (drops,
+	// evictions, reconnects, retransmits, ...) keyed by short name.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	WallNs   int64             `json:"wall_ns,omitempty"`
+}
+
 // RunRecord is one solve's durable record.
 type RunRecord struct {
 	Schema int    `json:"schema"`
@@ -158,7 +196,10 @@ type RunRecord struct {
 	// Counters carries the nonzero observability counters
 	// (fault/recovery/trace event totals) keyed by short name.
 	Counters map[string]uint64 `json:"counters,omitempty"`
-	Alerts   []AlertInfo       `json:"alerts,omitempty"`
+	// Ranks embeds every rank's sub-record on multi-process runs; the
+	// root's own entry is rank 0. Empty on single-process runs.
+	Ranks  []RankRecord `json:"ranks,omitempty"`
+	Alerts []AlertInfo  `json:"alerts,omitempty"`
 	// Bundle is the post-mortem bundle directory (relative to the
 	// ledger root) when the flight recorder fired for this run.
 	Bundle string `json:"bundle,omitempty"`

@@ -18,7 +18,10 @@ type Filter struct {
 	Transport string
 	Sweep     string
 	Matrix    string
-	Since     time.Time
+	// Rank keeps records that embed a sub-record for this rank
+	// ("0", "2", ...); empty matches everything. `ajreport -rank`.
+	Rank  string
+	Since time.Time
 	// FailedOnly keeps non-converged runs; ConvergedOnly the inverse.
 	FailedOnly    bool
 	ConvergedOnly bool
@@ -45,6 +48,15 @@ func (f Filter) Match(r *RunRecord) bool {
 		!strings.Contains(r.Matrix.Gen, f.Matrix) {
 		return false
 	}
+	if f.Rank != "" {
+		want, err := strconv.Atoi(f.Rank)
+		if err != nil {
+			return false
+		}
+		if FindRank(r, want) == nil {
+			return false
+		}
+	}
 	if !f.Since.IsZero() && r.Start.Before(f.Since) {
 		return false
 	}
@@ -66,6 +78,18 @@ func Select(recs []*RunRecord, f Filter) []*RunRecord {
 		}
 	}
 	return out
+}
+
+// FindRank returns the record's embedded sub-record for a rank, or
+// nil when the record has none (single-process run, or the rank's
+// report never reached the root).
+func FindRank(r *RunRecord, rank int) *RankRecord {
+	for i := range r.Ranks {
+		if r.Ranks[i].Rank == rank {
+			return &r.Ranks[i]
+		}
+	}
+	return nil
 }
 
 // Find resolves an ID or unique ID prefix.

@@ -181,6 +181,45 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile returns an approximate q-quantile (q in [0,1]) from the
+// bucket counts: the upper bound of the first bucket whose cumulative
+// count reaches q of the total. Observations in the +Inf bucket report
+// the last finite bound (the histogram cannot resolve beyond it).
+// Returns 0 on an empty histogram or a nil receiver — callers treat
+// "no data" and "instantaneous" the same way.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Snapshot returns the bucket upper bounds and the (non-cumulative)
 // per-bucket counts, including the final +Inf bucket.
 func (h *Histogram) Snapshot() (bounds []float64, counts []uint64) {

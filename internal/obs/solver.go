@@ -72,6 +72,12 @@ type SolverMetrics struct {
 	trTxBytes, trRxBytes            *Counter
 	trTxFrames, trRxFrames          *Counter
 
+	wireRTT    *HistogramVec
+	wireDelay  *HistogramVec
+	wireOffset *GaugeVec
+	wireOutbox *GaugeVec
+	wireEvents *CounterVec
+
 	alerts *CounterVec
 
 	// strm mirrors instrumentation points onto a telemetry bus; nil
@@ -207,7 +213,37 @@ func NewSolverMetrics(reg *Registry) *SolverMetrics {
 		"Wire-transport frames moved, by direction.", "dir")
 	m.trTxFrames = trFrames.With("tx")
 	m.trRxFrames = trFrames.With("rx")
+	m.wireRTT = reg.NewHistogram("aj_wire_rtt_seconds",
+		"Measured heartbeat round-trip time to each peer (ping/echo "+
+			"timing probes on the control lane).", LatencyBuckets(), "peer")
+	m.wireDelay = reg.NewHistogram("aj_wire_delay_seconds",
+		"Measured one-way delay of inbound data/put frames from each "+
+			"peer, skew-corrected via the heartbeat offset estimate — the "+
+			"*observed* counterpart of the fault injector's configured "+
+			"delay distribution (the paper's §IV delay model).",
+		LatencyBuckets(), "peer")
+	m.wireOffset = reg.NewGauge("aj_wire_clock_offset_seconds",
+		"Estimated clock offset to each peer (peer minus local, NTP-style "+
+			"midpoint, median over the lowest-RTT half of the sample window).",
+		"peer")
+	m.wireOutbox = reg.NewGauge("aj_wire_outbox_depth",
+		"Queued frames per peer outbox lane (control / puts / data), "+
+			"sampled each heartbeat tick — live wire backpressure.",
+		"peer", "lane")
+	m.wireEvents = reg.NewCounter("aj_wire_events_total",
+		"Per-peer wire events: injected frame drops, evict-oldest sheds, "+
+			"reconnects, and eager boundary retransmissions.",
+		"peer", "event")
 	return m
+}
+
+// StalenessQuantile reads an approximate quantile of the staleness
+// histogram (0 on nil or when nothing was observed).
+func (m *SolverMetrics) StalenessQuantile(q float64) float64 {
+	if m == nil {
+		return 0
+	}
+	return m.staleness.Quantile(q)
 }
 
 // Transport-layer counters (see internal/dist and its wire backends).

@@ -1,0 +1,97 @@
+package obs
+
+import "strconv"
+
+// WireMetrics is the per-peer handle of the wire-transport
+// instrumentation: RTT and one-way delay histograms, the clock-offset
+// gauge, per-lane outbox depth gauges, and the per-peer event counters.
+// Like WorkerMetrics and RankMetrics, children are resolved once so the
+// transport's reader/writer loops see only direct atomic operations,
+// and every method no-ops on a nil receiver.
+type WireMetrics struct {
+	rtt, delay            *Histogram
+	offset                *Gauge
+	obControl             *Gauge
+	obPuts, obData        *Gauge
+	drop, evict           *Counter
+	reconnect, retransmit *Counter
+}
+
+// Wire resolves the per-peer wire handle; nil-safe.
+func (m *SolverMetrics) Wire(peer int) *WireMetrics {
+	if m == nil {
+		return nil
+	}
+	p := strconv.Itoa(peer)
+	return &WireMetrics{
+		rtt:        m.wireRTT.With(p),
+		delay:      m.wireDelay.With(p),
+		offset:     m.wireOffset.With(p),
+		obControl:  m.wireOutbox.With(p, "control"),
+		obPuts:     m.wireOutbox.With(p, "puts"),
+		obData:     m.wireOutbox.With(p, "data"),
+		drop:       m.wireEvents.With(p, "drop"),
+		evict:      m.wireEvents.With(p, "evict"),
+		reconnect:  m.wireEvents.With(p, "reconnect"),
+		retransmit: m.wireEvents.With(p, "retransmit"),
+	}
+}
+
+// ObserveRTT records one measured heartbeat round trip, in seconds.
+func (w *WireMetrics) ObserveRTT(seconds float64) {
+	if w != nil {
+		w.rtt.Observe(seconds)
+	}
+}
+
+// ObserveDelay records one measured one-way frame delay, in seconds.
+func (w *WireMetrics) ObserveDelay(seconds float64) {
+	if w != nil {
+		w.delay.Observe(seconds)
+	}
+}
+
+// SetClockOffset publishes the current offset estimate (peer minus
+// local), in seconds.
+func (w *WireMetrics) SetClockOffset(seconds float64) {
+	if w != nil {
+		w.offset.Set(seconds)
+	}
+}
+
+// SetOutboxDepths publishes the per-lane outbox depths.
+func (w *WireMetrics) SetOutboxDepths(control, puts, data int) {
+	if w != nil {
+		w.obControl.Set(float64(control))
+		w.obPuts.Set(float64(puts))
+		w.obData.Set(float64(data))
+	}
+}
+
+// Drop counts one injected frame drop on this link.
+func (w *WireMetrics) Drop() {
+	if w != nil {
+		w.drop.Inc()
+	}
+}
+
+// Evict counts one frame shed by the bounded outbox on this link.
+func (w *WireMetrics) Evict() {
+	if w != nil {
+		w.evict.Inc()
+	}
+}
+
+// Reconnect counts one re-established connection to this peer.
+func (w *WireMetrics) Reconnect() {
+	if w != nil {
+		w.reconnect.Inc()
+	}
+}
+
+// Retransmit counts one eager boundary retransmission to this peer.
+func (w *WireMetrics) Retransmit() {
+	if w != nil {
+		w.retransmit.Inc()
+	}
+}

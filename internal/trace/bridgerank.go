@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sparse"
+)
+
+// Rank-level bridge: the distributed solver's rings carry per-iteration
+// brackets (Row = -1) and neighbor-granular ghost observations (KindRecv
+// iteration stamps) rather than the per-row relaxations the shm tracer
+// records. That is still a faithful — if coarser — sample of the §IV
+// schedule: rank r's k-th local iteration relaxes every row it owns
+// exactly once, reading its own rows at version k-1 (block Jacobi) and
+// each ghost row at the version of the owner's latest stamp observed so
+// far. ToModelTraceRanks expands that into a model.Trace so Theorem 1's
+// norm checks run on merged multi-process traces too.
+//
+// One wrinkle the per-row bridge does not have: the network solver's
+// termination runs in PASSES (see dist.SolveRank), and both the
+// iteration brackets and the wire stamps restart at 1 inside each pass.
+// The bridge rebuilds a globally-numbered schedule from the pass
+// structure: a reset in a rank's bracket stream marks a pass boundary,
+// each pass's counts shift by the rank's cumulative prior iterations,
+// and — because every pass restarts from the decide broadcast's
+// assembled iterate — a pass boundary also advances every ghost row to
+// its owner's pass-start version. Wire stamps observed mid-pass rebase
+// by the sender's matching pass offset, clamped to what the sender had
+// actually completed by the (merged, skew-corrected) receive time, so
+// a straggler stamp from the previous pass can only round down — the
+// reconstruction never claims a read of the future.
+
+// rankTimeline is one rank's multi-pass iteration history, extracted
+// from its bracket stream in ring order.
+type rankTimeline struct {
+	offsets []int64 // cumulative global count at the start of each pass
+	ts      []int64 // RelaxEnd timestamps, ascending (ring order)
+	counts  []int64 // global count completed at ts[i]
+}
+
+func buildTimeline(evs []Event) *rankTimeline {
+	tl := &rankTimeline{offsets: []int64{0}}
+	var lastLocal, offset int64
+	for i := range evs {
+		e := &evs[i]
+		if e.Kind != KindRelaxEnd || e.Row >= 0 || e.Iter <= 0 {
+			continue
+		}
+		k := int64(e.Iter)
+		if k <= lastLocal { // stamp went backwards: a new pass began
+			offset += lastLocal
+			tl.offsets = append(tl.offsets, offset)
+		}
+		lastLocal = k
+		tl.ts = append(tl.ts, e.TS)
+		tl.counts = append(tl.counts, offset+k)
+	}
+	return tl
+}
+
+// completedAt returns the rank's cumulative iteration count at merged
+// time ts: the count of its latest bracket at or before ts.
+func (tl *rankTimeline) completedAt(ts int64) int64 {
+	i := sort.Search(len(tl.ts), func(i int) bool { return tl.ts[i] > ts }) - 1
+	if i < 0 {
+		return 0
+	}
+	return tl.counts[i]
+}
+
+// last returns the rank's final cumulative iteration count.
+func (tl *rankTimeline) last() int64 {
+	if len(tl.counts) == 0 {
+		return 0
+	}
+	return tl.counts[len(tl.counts)-1]
+}
+
+// offsetOf returns the cumulative count at the start of the given pass,
+// saturating at the final pass for ranks that ran fewer.
+func (tl *rankTimeline) offsetOf(pass int) int64 {
+	if pass >= len(tl.offsets) {
+		pass = len(tl.offsets) - 1
+	}
+	return tl.offsets[pass]
+}
+
+// ToModelTraceRanks reconstructs a model.Trace from a rank-level trace
+// (one ring per rank, as the dist solver and MergeProcesses produce)
+// for the system a, with owner[i] naming the rank that owns row i.
+// Pass-local iteration stamps rebase onto each rank's cumulative count
+// (see above); ghost read versions clamp into [0, owner's completed
+// count] so wraparound-truncated neighbor histories round down,
+// mirroring the sampled-trace bias rule of the per-row bridge.
+func ToModelTraceRanks(rec *Recorder, a *sparse.CSR, owner []int) (*model.Trace, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("trace: nil recorder")
+	}
+	if a == nil {
+		return nil, fmt.Errorf("trace: nil matrix")
+	}
+	n := a.N
+	if len(owner) != n {
+		return nil, fmt.Errorf("trace: owner map has %d rows, matrix has %d", len(owner), n)
+	}
+	nr := rec.Workers()
+	rows := make([][]int, nr)
+	for i, r := range owner {
+		if r < 0 || r >= nr {
+			return nil, fmt.Errorf("trace: row %d owned by rank %d outside [0,%d)", i, r, nr)
+		}
+		rows[r] = append(rows[r], i)
+	}
+	// First pass: every rank's pass structure and completion timeline —
+	// the rebase offsets and clamp bounds for stamps referencing it.
+	timelines := make([]*rankTimeline, nr)
+	for r := 0; r < nr; r++ {
+		timelines[r] = buildTimeline(rec.Worker(r).Events())
+	}
+	var relaxes []relaxation
+	for r := 0; r < nr; r++ {
+		// last[q] is the freshest cumulative iteration of rank q this
+		// rank had observed at the current point of its event stream.
+		last := make([]int64, nr)
+		pass := 0
+		var lastLocal int64
+		for _, e := range rec.Worker(r).Events() {
+			switch {
+			case e.Kind == KindRecv && e.Peer >= 0 && int(e.Peer) < nr:
+				q := int(e.Peer)
+				v := timelines[q].offsetOf(pass) + e.Payload
+				if c := timelines[q].completedAt(e.TS); v > c {
+					v = c // stamp from an earlier pass: round down
+				}
+				if v > last[q] {
+					last[q] = v
+				}
+			case e.Kind == KindRelaxEnd && e.Row < 0 && e.Iter > 0:
+				k := int64(e.Iter)
+				if k <= lastLocal {
+					pass++
+					// Every pass restarts from the decide broadcast's
+					// assembled iterate: each ghost block advances to its
+					// owner's pass-start version even if no wire stamp
+					// from it was observed.
+					for q := range last {
+						if v := timelines[q].offsetOf(pass); v > last[q] {
+							last[q] = v
+						}
+					}
+				}
+				lastLocal = k
+				kg := timelines[r].offsetOf(pass) + k
+				for _, i := range rows[r] {
+					rx := relaxation{row: i, count: int(kg), ts: e.TS}
+					for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+						j := a.Col[kk]
+						if j == i {
+							continue
+						}
+						var v int64
+						if q := owner[j]; q == r {
+							v = kg - 1
+						} else {
+							v = last[q]
+							if mx := timelines[q].last(); v > mx {
+								v = mx
+							}
+						}
+						rx.reads = append(rx.reads, model.Read{Row: j, Version: int(v)})
+					}
+					relaxes = append(relaxes, rx)
+				}
+			}
+		}
+	}
+	if len(relaxes) == 0 {
+		return nil, fmt.Errorf("trace: no rank-level iteration brackets recorded")
+	}
+	if err := rebaseContiguous(relaxes, n); err != nil {
+		return nil, err
+	}
+	sort.Slice(relaxes, func(a, b int) bool {
+		if relaxes[a].ts != relaxes[b].ts {
+			return relaxes[a].ts < relaxes[b].ts
+		}
+		if relaxes[a].row != relaxes[b].row {
+			return relaxes[a].row < relaxes[b].row
+		}
+		return relaxes[a].count < relaxes[b].count
+	})
+	tr := &model.Trace{N: n}
+	for seq, rx := range relaxes {
+		tr.Events = append(tr.Events, model.Event{
+			Row:         rx.row,
+			Count:       rx.count,
+			Seq:         seq,
+			TimestampNs: rx.ts,
+			Reads:       rx.reads,
+		})
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: reconstructed rank-level trace invalid: %w", err)
+	}
+	return tr, nil
+}

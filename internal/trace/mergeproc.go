@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Multi-process trace merging: a -spawn run yields one Recorder per OS
+// process, each stamping events against its own monotonic epoch. This
+// file rebases every rank's events onto the root's timeline (using the
+// per-rank shift derived from the transport's heartbeat clock-offset
+// estimator) and assembles one Recorder with one ring per rank, so
+// WriteChrome renders a single timeline whose cross-process flow
+// arrows — send(src, iter) -> recv(dst, stamp) pairs — never point
+// backwards in time.
+//
+// The skew correction is two-stage. The shift applies the measured
+// clock offset; because the offset estimate carries up to half an RTT
+// of asymmetry error, a residual causal fixup then raises whole rings
+// (preserving each rank's internal order) until every matched arrow
+// satisfies recv > send, clamping any stragglers individually.
+
+// ProcTrace is one process's contribution to a merged trace.
+type ProcTrace struct {
+	// Rank is the process's rank in [0, world size).
+	Rank int
+	// ShiftNs rebases this rank's event timestamps onto the root
+	// recorder's timeline: root_trace_ns = local_trace_ns + ShiftNs.
+	// For the root itself it is 0; for other ranks it is
+	// (base_r - epoch_r) + offset_r - (base_0 - epoch_0), combining the
+	// recorder-base/transport-epoch skews with the heartbeat-estimated
+	// clock offset to root.
+	ShiftNs int64
+	// Events is the rank's retained event stream, oldest first
+	// (Ring.Events order).
+	Events []Event
+}
+
+// flowKey identifies one send(src, iter) -> recv(dst) pairing, matched
+// by iteration stamp exactly like the Chrome exporter's flow ids.
+type flowKey struct {
+	src, dst int32
+	stamp    int64
+}
+
+// mergeFixupPasses bounds the whole-ring raise iteration: each pass can
+// propagate a raise one hop further through the rank graph, so a few
+// multiples of the world size settles any realistic tension. The
+// per-event clamp afterwards handles whatever is left.
+func mergeFixupPasses(ranks int) int { return 3*ranks + 1 }
+
+// MergeProcesses assembles per-process traces into one Recorder with
+// one ring per rank (so flow-arrow ids match the single-process
+// layout). Missing ranks — a crashed process that shipped nothing —
+// leave empty rings. Event slices are copied; inputs are not mutated.
+func MergeProcesses(procs []ProcTrace, ranks int) (*Recorder, error) {
+	if ranks <= 0 {
+		return nil, fmt.Errorf("trace: merge needs a positive rank count")
+	}
+	byRank := make([][]Event, ranks)
+	for _, pt := range procs {
+		if pt.Rank < 0 || pt.Rank >= ranks {
+			return nil, fmt.Errorf("trace: merge rank %d outside [0,%d)", pt.Rank, ranks)
+		}
+		if byRank[pt.Rank] != nil {
+			return nil, fmt.Errorf("trace: duplicate merge contribution for rank %d", pt.Rank)
+		}
+		evs := make([]Event, len(pt.Events))
+		copy(evs, pt.Events)
+		for i := range evs {
+			evs[i].TS += pt.ShiftNs
+		}
+		byRank[pt.Rank] = evs
+	}
+	causalFixup(byRank)
+	rec := &Recorder{base: time.Now(), rings: make([]*Ring, ranks), coalesce: true}
+	for r := range byRank {
+		buf := byRank[r]
+		if buf == nil {
+			buf = []Event{}
+		}
+		rec.rings[r] = &Ring{buf: buf, n: uint64(len(buf)), base: rec.base, id: r}
+	}
+	return rec, nil
+}
+
+// sendIndex maps each flow key to the earliest matching send/put
+// timestamp (the weakest constraint a recv must satisfy: it can only
+// have observed a stamp that some send already carried).
+func sendIndex(byRank [][]Event) map[flowKey]int64 {
+	sends := make(map[flowKey]int64)
+	for r, evs := range byRank {
+		for i := range evs {
+			e := &evs[i]
+			if (e.Kind == KindSend || e.Kind == KindPut) && e.Payload > 0 {
+				k := flowKey{src: int32(r), dst: e.Peer, stamp: e.Payload}
+				if ts, ok := sends[k]; !ok || e.TS < ts {
+					sends[k] = e.TS
+				}
+			}
+		}
+	}
+	return sends
+}
+
+// causalFixup repairs residual skew the offset estimate missed: while
+// any matched recv does not strictly follow its earliest send, the
+// receiving ring is raised wholesale by the largest deficit (keeping
+// its internal order intact), bounded by mergeFixupPasses. Any arrows
+// still inverted after that — mutually tensioned cycles from
+// asymmetric-path offset error — are clamped per event, restoring
+// non-decreasing order within the ring afterwards.
+func causalFixup(byRank [][]Event) {
+	n := len(byRank)
+	for pass := 0; pass < mergeFixupPasses(n); pass++ {
+		sends := sendIndex(byRank)
+		raise := make([]int64, n)
+		for r, evs := range byRank {
+			for i := range evs {
+				e := &evs[i]
+				if e.Kind != KindRecv || e.Payload <= 0 {
+					continue
+				}
+				sts, ok := sends[flowKey{src: e.Peer, dst: int32(r), stamp: e.Payload}]
+				if ok && e.TS <= sts {
+					if d := sts - e.TS + 1; d > raise[r] {
+						raise[r] = d
+					}
+				}
+			}
+		}
+		moved := false
+		for r, d := range raise {
+			if d > 0 {
+				moved = true
+				for i := range byRank[r] {
+					byRank[r][i].TS += d
+				}
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+	// Fallback: clamp each inverted recv just past its send, then
+	// restore monotone order within the ring so intra-rank slices never
+	// run backwards.
+	sends := sendIndex(byRank)
+	for r, evs := range byRank {
+		touched := false
+		for i := range evs {
+			e := &evs[i]
+			if e.Kind != KindRecv || e.Payload <= 0 {
+				continue
+			}
+			sts, ok := sends[flowKey{src: e.Peer, dst: int32(r), stamp: e.Payload}]
+			if ok && e.TS <= sts {
+				e.TS = sts + 1
+				touched = true
+			}
+		}
+		if touched {
+			for i := 1; i < len(evs); i++ {
+				if evs[i].TS < evs[i-1].TS {
+					evs[i].TS = evs[i-1].TS
+				}
+			}
+		}
+	}
+}
+
+// CausalViolations counts matched cross-rank flow arrows that do not
+// strictly go forward in time — recv at or before its earliest send.
+// Zero on a well-merged trace; tests and the CI smoke assert it.
+func CausalViolations(rec *Recorder) int {
+	if rec == nil {
+		return 0
+	}
+	byRank := make([][]Event, rec.Workers())
+	for r := range byRank {
+		byRank[r] = rec.Worker(r).Events()
+	}
+	sends := sendIndex(byRank)
+	bad := 0
+	for r, evs := range byRank {
+		for i := range evs {
+			e := &evs[i]
+			if e.Kind != KindRecv || e.Payload <= 0 {
+				continue
+			}
+			sts, ok := sends[flowKey{src: e.Peer, dst: int32(r), stamp: e.Payload}]
+			if ok && e.TS <= sts {
+				bad++
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func send(ts int64, to int32, iter int64) Event {
+	return Event{TS: ts, Kind: KindSend, Peer: to, Payload: iter, Iter: int32(iter), Row: -1}
+}
+
+func recv(ts int64, from int32, stamp int64) Event {
+	return Event{TS: ts, Kind: KindRecv, Peer: from, Payload: stamp, Row: -1}
+}
+
+func TestMergeProcessesRebasesShifts(t *testing.T) {
+	rec, err := MergeProcesses([]ProcTrace{
+		{Rank: 0, ShiftNs: 0, Events: []Event{send(100, 1, 1)}},
+		{Rank: 1, ShiftNs: 50_000_000, Events: []Event{recv(60, 0, 1)}},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Worker(1).Events()[0].TS; got != 50_000_060 {
+		t.Fatalf("rank 1 recv TS = %d, want shifted 50000060", got)
+	}
+	if got := rec.Worker(0).Events()[0].TS; got != 100 {
+		t.Fatalf("rank 0 send TS = %d, want unshifted 100", got)
+	}
+	if v := CausalViolations(rec); v != 0 {
+		t.Fatalf("%d causal violations after merge", v)
+	}
+}
+
+func TestMergeProcessesValidates(t *testing.T) {
+	if _, err := MergeProcesses([]ProcTrace{{Rank: 2}}, 2); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if _, err := MergeProcesses([]ProcTrace{{Rank: 0}, {Rank: 0}}, 2); err == nil {
+		t.Fatal("duplicate rank accepted")
+	}
+	if _, err := MergeProcesses(nil, 0); err == nil {
+		t.Fatal("zero world size accepted")
+	}
+	// A crashed rank that shipped nothing leaves an empty ring.
+	rec, err := MergeProcesses([]ProcTrace{{Rank: 0, Events: []Event{send(1, 1, 1)}}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Workers() != 3 || len(rec.Worker(2).Events()) != 0 {
+		t.Fatalf("missing ranks not materialized as empty rings")
+	}
+}
+
+// Residual skew the offset estimate missed: rank 1's recv lands before
+// rank 0's send even after shifting, and rank 1's own send to rank 2
+// cascades the tension one hop further. The fixup must raise whole
+// rings until every arrow points forward, preserving intra-ring order.
+func TestMergeProcessesCausalFixup(t *testing.T) {
+	r1 := []Event{recv(900, 0, 1), send(950, 2, 1)}
+	r2 := []Event{recv(940, 1, 1)}
+	rec, err := MergeProcesses([]ProcTrace{
+		{Rank: 0, Events: []Event{send(1000, 1, 1)}},
+		{Rank: 1, Events: r1},
+		{Rank: 2, Events: r2},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CausalViolations(rec); v != 0 {
+		t.Fatalf("%d causal violations survive the fixup", v)
+	}
+	evs1 := rec.Worker(1).Events()
+	if evs1[0].TS <= 1000 {
+		t.Fatalf("rank 1 recv at %d not raised past send at 1000", evs1[0].TS)
+	}
+	if evs1[1].TS-evs1[0].TS != 50 {
+		t.Fatalf("rank 1 intra-ring spacing changed: %d -> %d", evs1[0].TS, evs1[1].TS)
+	}
+	if rec.Worker(2).Events()[0].TS <= evs1[1].TS {
+		t.Fatalf("rank 2 recv at %d not raised past rank 1 send at %d",
+			rec.Worker(2).Events()[0].TS, evs1[1].TS)
+	}
+	// Inputs untouched.
+	if r1[0].TS != 900 || r2[0].TS != 940 {
+		t.Fatal("merge mutated its inputs")
+	}
+}
+
+// A merged 3-rank trace renders as one Chrome timeline whose
+// cross-process flow arrows pair up: every finish ("ph":"f") id has a
+// matching start ("ph":"s") id, and matched arrows go forward in time.
+func TestMergedChromeFlowArrows(t *testing.T) {
+	// 3 ranks in a ring, each sending its iteration stamp onward, with
+	// ±50ms synthetic skew baked into the raw timestamps and corrected
+	// by the shifts.
+	const ms = int64(1e6)
+	rec, err := MergeProcesses([]ProcTrace{
+		{Rank: 0, ShiftNs: 0, Events: []Event{
+			send(1*ms, 1, 1), recv(9*ms, 2, 1), send(10*ms, 1, 2),
+		}},
+		{Rank: 1, ShiftNs: 50 * ms, Events: []Event{
+			recv(-48*ms, 0, 1), send(-47*ms, 2, 1), recv(-39*ms, 0, 2),
+		}},
+		{Rank: 2, ShiftNs: -50 * ms, Events: []Event{
+			recv(55*ms, 1, 1), send(56*ms, 0, 1),
+		}},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CausalViolations(rec); v != 0 {
+		t.Fatalf("%d causal violations", v)
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, rec, "dist"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			ID  int64   `json:"id"`
+			TS  float64 `json:"ts"`
+			TID int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output not JSON: %v", err)
+	}
+	starts := map[int64]float64{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "s" {
+			if ts, ok := starts[e.ID]; !ok || e.TS < ts {
+				starts[e.ID] = e.TS
+			}
+		}
+	}
+	finishes := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "f" {
+			continue
+		}
+		finishes++
+		sts, ok := starts[e.ID]
+		if !ok {
+			t.Fatalf("flow finish id %d has no matching start", e.ID)
+		}
+		if e.TS <= sts {
+			t.Fatalf("flow id %d points backwards: start %v, finish %v", e.ID, sts, e.TS)
+		}
+	}
+	if finishes != 4 {
+		t.Fatalf("expected 4 flow arrows, saw %d", finishes)
+	}
+	if !strings.Contains(buf.String(), `"ph":"s"`) {
+		t.Fatal("no flow starts in chrome output")
+	}
+}

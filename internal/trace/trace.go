@@ -1253,6 +1253,17 @@ func (rec *Recorder) Worker(id int) *Ring {
 	return rec.rings[id]
 }
 
+// Base returns the recorder's epoch — the instant event timestamps
+// count from (zero on nil). Cross-process merging needs it: a rank's
+// trace time rebases onto another clock via the difference between its
+// recorder base and its transport epoch plus the estimated peer offset.
+func (rec *Recorder) Base() time.Time {
+	if rec == nil {
+		return time.Time{}
+	}
+	return rec.base
+}
+
 // Workers reports the number of rings (0 on nil).
 func (rec *Recorder) Workers() int {
 	if rec == nil {
